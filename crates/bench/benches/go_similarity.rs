@@ -1,0 +1,98 @@
+//! Criterion bench: GO term similarity (Eq. 1) and vertex similarity
+//! (Eq. 2) — the innermost kernels of the labeling pipeline.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use go_ontology::{ProteinId, TermId, TermSimilarity, TermWeights};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use synthetic_data::{generate_ontology, GoGenConfig, PaperExample};
+
+fn bench_go_similarity(c: &mut Criterion) {
+    // Paper-example scale: tiny DAG, exercised heavily.
+    let ex = PaperExample::new();
+    let weights = TermWeights::compute(&ex.ontology, &ex.genome);
+
+    c.bench_function("st_paper_example_uncached", |b| {
+        b.iter_batched(
+            || TermSimilarity::new(&ex.ontology, &weights),
+            |sim| {
+                for a in 0..11u32 {
+                    for bb in 0..11u32 {
+                        black_box(sim.st(TermId(a), TermId(bb)));
+                    }
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    let sim = TermSimilarity::new(&ex.ontology, &weights);
+    c.bench_function("st_paper_example_cached", |b| {
+        b.iter(|| {
+            for a in 0..11u32 {
+                for bb in 0..11u32 {
+                    black_box(sim.st(TermId(a), TermId(bb)));
+                }
+            }
+        })
+    });
+
+    // Synthetic-GO scale: 1200 terms, realistic ancestor sets.
+    let mut rng = SmallRng::seed_from_u64(3);
+    let ontology = generate_ontology(&GoGenConfig::default(), &mut rng);
+    let mut ann = go_ontology::Annotations::new(2000, ontology.term_count());
+    let terms: Vec<TermId> = ontology.term_ids().collect();
+    for p in 0..2000u32 {
+        for _ in 0..3 {
+            ann.annotate(ProteinId(p), terms[rng.gen_range(0..terms.len())]);
+        }
+    }
+    let weights2 = TermWeights::compute(&ontology, &ann);
+    let sim2 = TermSimilarity::new(&ontology, &weights2);
+    let pairs: Vec<(TermId, TermId)> = (0..200)
+        .map(|_| {
+            (
+                terms[rng.gen_range(0..terms.len())],
+                terms[rng.gen_range(0..terms.len())],
+            )
+        })
+        .collect();
+    c.bench_function("st_synthetic_go_200_pairs", |b| {
+        b.iter(|| {
+            for &(x, y) in &pairs {
+                black_box(sim2.st(x, y));
+            }
+        })
+    });
+
+    // SV over multi-term annotation sets.
+    let sets: Vec<Vec<TermId>> = (0..50)
+        .map(|_| {
+            (0..rng.gen_range(2..8))
+                .map(|_| terms[rng.gen_range(0..terms.len())])
+                .collect()
+        })
+        .collect();
+    let mut group = c.benchmark_group("sv_sets");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.bench_function("sv_synthetic_go_50x50_sets", |b| {
+        b.iter(|| {
+            for a in &sets {
+                for bb in &sets {
+                    black_box(sim2.sv(a, bb));
+                }
+            }
+        })
+    });
+
+    group.finish();
+
+    c.bench_function("weights_compute_synthetic_go", |b| {
+        b.iter(|| black_box(TermWeights::compute(&ontology, &ann)))
+    });
+}
+
+criterion_group!(benches, bench_go_similarity);
+criterion_main!(benches);

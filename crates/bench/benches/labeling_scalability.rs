@@ -1,0 +1,72 @@
+//! Criterion bench: the O(|D|²) labeling-cost curve of Section 3.2 —
+//! clustering one motif's occurrences as |D| doubles.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use go_ontology::{Namespace, ProteinId, TermId, TermSimilarity, TermWeights};
+use lamofinder::{cluster_occurrences, compute_frontier, ClusteringConfig, LabelContext};
+use std::hint::black_box;
+use synthetic_data::{YeastConfig, YeastDataset};
+
+fn bench_labeling_scalability(c: &mut Criterion) {
+    let data = YeastDataset::generate(&YeastConfig::small());
+    // Use triangle occurrences directly from classification — plentiful
+    // and position-aligned.
+    let classes = motif_finder::classify_size_k(&data.network, 3);
+    let triangle = classes
+        .iter()
+        .find(|cl| cl.pattern.edge_count() == 3)
+        .expect("triangles exist");
+
+    let weights = TermWeights::compute(&data.ontology, &data.annotations);
+    let sim = TermSimilarity::new(&data.ontology, &weights);
+    let informative = go_ontology::InformativeClasses::compute(
+        &data.ontology,
+        &data.annotations,
+        go_ontology::InformativeConfig {
+            min_direct: 5,
+            ..Default::default()
+        },
+    );
+    let frontier = compute_frontier(&data.ontology, &informative);
+    let ns = Namespace::BiologicalProcess;
+    let terms_by_protein: Vec<Vec<TermId>> = (0..data.annotations.protein_count())
+        .map(|p| {
+            data.annotations
+                .terms_of(ProteinId(p as u32))
+                .iter()
+                .copied()
+                .filter(|&t| data.ontology.namespace(t) == ns)
+                .collect()
+        })
+        .collect();
+    let ctx = LabelContext {
+        ontology: &data.ontology,
+        sim: &sim,
+        informative: &informative,
+        terms_by_protein: &terms_by_protein,
+        frontier: &frontier,
+    };
+    let config = ClusteringConfig {
+        sigma: 5,
+        ..Default::default()
+    };
+
+    let mut group = c.benchmark_group("cluster_occurrences");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(4));
+    for d in [25usize, 50, 100] {
+        if d > triangle.occurrences.len() {
+            continue;
+        }
+        let occs: Vec<_> = triangle.occurrences.iter().take(d).cloned().collect();
+        group.bench_with_input(BenchmarkId::from_parameter(d), &occs, |b, occs| {
+            b.iter(|| {
+                black_box(cluster_occurrences(&triangle.pattern, occs, &ctx, &config).len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_labeling_scalability);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Criterion bench: the LaMoFinder labeling stage end to end — build a
+//! labeling context and cluster one motif's occurrence set.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use go_ontology::Namespace;
+use lamofinder::{LaMoFinder, LaMoFinderConfig};
+use motif_finder::{GrowthConfig, Motif, MotifFinder, MotifFinderConfig, UniquenessConfig};
+use std::hint::black_box;
+use synthetic_data::{YeastConfig, YeastDataset};
+
+fn setup() -> (YeastDataset, Vec<Motif>) {
+    let data = YeastDataset::generate(&YeastConfig::small());
+    let (motifs, _) = MotifFinder::new(MotifFinderConfig {
+        growth: GrowthConfig {
+            min_size: 3,
+            max_size: 4,
+            frequency_threshold: 20,
+            ..Default::default()
+        },
+        uniqueness: UniquenessConfig {
+            n_random: 4,
+            ..Default::default()
+        },
+        uniqueness_threshold: 0.75,
+        seed: 42,
+    })
+    .find(&data.network);
+    (data, motifs)
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let (data, motifs) = setup();
+    assert!(!motifs.is_empty());
+
+    let config = LaMoFinderConfig {
+        namespace: Namespace::BiologicalProcess,
+        informative: go_ontology::InformativeConfig {
+            min_direct: 5,
+            ..Default::default()
+        },
+        clustering: lamofinder::ClusteringConfig {
+            sigma: 5,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+
+    let mut group = c.benchmark_group("lamofinder");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(4));
+    group.bench_function("context_build", |b| {
+        b.iter(|| {
+            black_box(LaMoFinder::new(&data.ontology, &data.annotations, config.clone()))
+        })
+    });
+
+    let labeler = LaMoFinder::new(&data.ontology, &data.annotations, config.clone());
+    let one = motifs
+        .iter()
+        .max_by_key(|m| m.occurrences.len())
+        .unwrap()
+        .clone();
+    group.bench_function("label_largest_motif", |b| {
+        b.iter(|| black_box(labeler.label_motif(&one).len()))
+    });
+    group.bench_function("label_first5_motifs", |b| {
+        let five: Vec<Motif> = motifs.iter().take(5).cloned().collect();
+        b.iter(|| black_box(labeler.label_motifs(&five).len()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

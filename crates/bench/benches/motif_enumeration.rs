@@ -1,0 +1,84 @@
+//! Criterion bench: subgraph enumeration (ESU), classification,
+//! frequent-subgraph growth and pattern counting — the Task 1/2 kernels.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use motif_finder::{
+    classify_size_k, count_connected_subgraphs, count_occurrences_capped,
+    grow_frequent_subgraphs, GrowthConfig,
+};
+use ppi_graph::Graph;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use synthetic_data::{YeastConfig, YeastDataset};
+
+fn bench_motif_enumeration(c: &mut Criterion) {
+    let data = YeastDataset::generate(&YeastConfig::small());
+    let g = &data.network;
+
+    let mut group = c.benchmark_group("esu");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for k in [3usize, 4] {
+        group.bench_function(format!("count_size{k}"), |b| {
+            b.iter(|| black_box(count_connected_subgraphs(g, k)))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("classify");
+    group.sample_size(10);
+    group.bench_function("classify_size3", |b| {
+        b.iter(|| black_box(classify_size_k(g, 3).len()))
+    });
+    group.bench_function("classify_size4", |b| {
+        b.iter(|| black_box(classify_size_k(g, 4).len()))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("growth");
+    group.sample_size(10);
+    group.bench_function("grow_to_size5_threshold20", |b| {
+        b.iter(|| {
+            let report = grow_frequent_subgraphs(
+                g,
+                &GrowthConfig {
+                    min_size: 3,
+                    max_size: 5,
+                    frequency_threshold: 20,
+                    ..Default::default()
+                },
+            );
+            black_box(report.classes.len())
+        })
+    });
+    group.finish();
+
+    // Capped pattern counting in a randomized network (the uniqueness
+    // kernel).
+    let mut rng = SmallRng::seed_from_u64(5);
+    let shuffled = ppi_graph::random::degree_preserving_shuffle(g, 10, &mut rng);
+    let triangle = Graph::from_edges(3, &[(0, 1), (1, 2), (0, 2)]);
+    let k6 = {
+        let mut e = Vec::new();
+        for i in 0..6u32 {
+            for j in i + 1..6 {
+                e.push((i, j));
+            }
+        }
+        Graph::from_edges(6, &e)
+    };
+    let mut group = c.benchmark_group("pattern_count");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.bench_function("count_triangles_capped_200", |b| {
+        b.iter(|| black_box(count_occurrences_capped(&shuffled, &triangle, 200, 5_000_000)))
+    });
+    group.bench_function("count_k6_absent_pattern", |b| {
+        b.iter(|| black_box(count_occurrences_capped(&shuffled, &k6, 50, 5_000_000)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_motif_enumeration);
+criterion_main!(benches);

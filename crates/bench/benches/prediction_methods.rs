@@ -1,0 +1,89 @@
+//! Criterion bench: the five function-prediction methods of Section 5.2
+//! (full score-matrix computation on a small MIPS-style dataset).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use function_prediction::{
+    CategoryView, Chi2Predictor, FunctionPredictor, LabeledMotifPredictor, MrfPredictor,
+    NeighborCountingPredictor, PredictionContext, ProdistinPredictor,
+};
+use go_ontology::Namespace;
+use lamofinder::{LaMoFinder, LaMoFinderConfig};
+use motif_finder::{GrowthConfig, MotifFinder, MotifFinderConfig, UniquenessConfig};
+use std::hint::black_box;
+use synthetic_data::{MipsConfig, MipsDataset};
+
+fn bench_prediction(c: &mut Criterion) {
+    let data = MipsDataset::generate(&MipsConfig::small());
+    let view = CategoryView::new(&data.ontology, &data.annotations, &data.categories);
+
+    let (motifs, _) = MotifFinder::new(MotifFinderConfig {
+        growth: GrowthConfig {
+            min_size: 3,
+            max_size: 4,
+            frequency_threshold: 15,
+            ..Default::default()
+        },
+        uniqueness: UniquenessConfig {
+            n_random: 4,
+            ..Default::default()
+        },
+        uniqueness_threshold: 0.6,
+        seed: 5,
+    })
+    .find(&data.network);
+    let labeled = LaMoFinder::new(
+        &data.ontology,
+        &data.annotations,
+        LaMoFinderConfig {
+            namespace: Namespace::BiologicalProcess,
+            clustering: lamofinder::ClusteringConfig {
+                sigma: 5,
+                ..Default::default()
+            },
+            informative: go_ontology::InformativeConfig {
+                min_direct: 5,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    )
+    .label_motifs(&motifs);
+
+    let ctx = PredictionContext {
+        network: &data.network,
+        functions: &view.functions,
+        n_categories: view.n_categories(),
+        category_terms: &data.categories,
+    };
+
+    let motif_pred = LabeledMotifPredictor::new(labeled);
+    let mut fast = c.benchmark_group("fast_predictors");
+    fast.sample_size(30);
+    fast.measurement_time(std::time::Duration::from_secs(3));
+    fast.bench_function("predict_labeled_motif", |b| {
+        b.iter(|| black_box(motif_pred.predict_all(&ctx)))
+    });
+    fast.bench_function("predict_nc", |b| {
+        b.iter(|| black_box(NeighborCountingPredictor.predict_all(&ctx)))
+    });
+    fast.bench_function("predict_chi2", |b| {
+        b.iter(|| black_box(Chi2Predictor.predict_all(&ctx)))
+    });
+    fast.finish();
+
+    let mut group = c.benchmark_group("slow_predictors");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(4));
+    group.bench_function("predict_mrf", |b| {
+        let mrf = MrfPredictor::default();
+        b.iter(|| black_box(mrf.predict_all(&ctx)))
+    });
+    group.bench_function("predict_prodistin", |b| {
+        let p = ProdistinPredictor::default();
+        b.iter(|| black_box(p.predict_all(&ctx)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_prediction);
+criterion_main!(benches);

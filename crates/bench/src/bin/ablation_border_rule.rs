@@ -1,0 +1,91 @@
+//! Experiment A3 — ablation: the two readings of the paper's border
+//! informative FC definition (DESIGN.md §6). The formal definition
+//! ("no informative ancestors") vs the alternative reading that keeps
+//! every informative FC as a border term. Compares vocabulary sizes,
+//! stop-rule behavior and labeled motif yield.
+//!
+//! ```bash
+//! cargo run --release -p lamofinder-bench --bin ablation_border_rule [small|full]
+//! ```
+
+use go_ontology::{BorderRule, InformativeClasses, InformativeConfig};
+use lamofinder::{ClusteringConfig, LaMoFinder, LaMoFinderConfig};
+use lamofinder_bench::report::print_table;
+use lamofinder_bench::{find_motifs, yeast, Scale};
+use synthetic_data::PaperExample;
+
+fn main() {
+    let scale = Scale::from_args();
+    println!("Ablation A3 — border informative FC rule variants ({scale:?})\n");
+
+    // First, the paper's own example.
+    let ex = PaperExample::new();
+    println!("Figure 1 example:");
+    for rule in [BorderRule::NoInformativeAncestor, BorderRule::AllInformative] {
+        let ic = InformativeClasses::compute(
+            &ex.ontology,
+            &ex.genome,
+            InformativeConfig {
+                border_rule: rule,
+                ..Default::default()
+            },
+        );
+        let borders: Vec<String> = ic
+            .border_terms()
+            .iter()
+            .map(|t| format!("G{:02}", t.0 + 1))
+            .collect();
+        println!("  {rule:?}: border = {borders:?}, vocabulary = {} terms", ic.vocabulary().len());
+    }
+
+    // Then the synthetic yeast pipeline.
+    let data = yeast(scale);
+    let (motifs, _) = find_motifs(&data.network, scale);
+    let (sigma, min_direct) = match scale {
+        Scale::Full => (10, 30),
+        Scale::Small => (5, 5),
+    };
+
+    let mut rows = Vec::new();
+    for rule in [BorderRule::NoInformativeAncestor, BorderRule::AllInformative] {
+        let informative_cfg = InformativeConfig {
+            min_direct,
+            border_rule: rule,
+        };
+        let ic = InformativeClasses::compute(&data.ontology, &data.annotations, informative_cfg);
+        let labeler = LaMoFinder::new(
+            &data.ontology,
+            &data.annotations,
+            LaMoFinderConfig {
+                informative: informative_cfg,
+                clustering: ClusteringConfig {
+                    sigma,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        );
+        let labeled = labeler.label_motifs(&motifs);
+        let mean_support = if labeled.is_empty() {
+            0.0
+        } else {
+            labeled.iter().map(|m| m.support()).sum::<usize>() as f64 / labeled.len() as f64
+        };
+        rows.push(vec![
+            format!("{rule:?}"),
+            ic.border_terms().len().to_string(),
+            ic.vocabulary().len().to_string(),
+            labeled.len().to_string(),
+            format!("{mean_support:.1}"),
+        ]);
+    }
+    println!("\nsynthetic yeast pipeline (process branch):");
+    print_table(
+        &["border rule", "border terms", "vocabulary", "labeled motifs", "mean support"],
+        &rows,
+    );
+    println!(
+        "\n(AllInformative admits more specific border terms, so the stop\n\
+         rule fires earlier and schemes stay more specific but smaller)"
+    );
+}

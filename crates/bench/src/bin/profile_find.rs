@@ -1,0 +1,23 @@
+use lamofinder_bench::{finder_config, yeast, Scale};
+use motif_finder::{grow_frequent_subgraphs, uniqueness_scores, MotifFinder};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn main() {
+    let scale = Scale::from_args();
+    let data = yeast(scale);
+    let config = finder_config(scale);
+    let t = Instant::now();
+    let growth = grow_frequent_subgraphs(&data.network, &config.growth);
+    println!("growth: {} classes in {:.1?} (truncated {:?}, capped {:?})",
+        growth.classes.len(), t.elapsed(), growth.truncated_levels, growth.capped_levels);
+    let t = Instant::now();
+    let patterns: Vec<(&ppi_graph::Graph, usize)> =
+        growth.classes.iter().map(|c| (&c.pattern, c.frequency)).collect();
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let scores = uniqueness_scores(&data.network, &patterns, &config.uniqueness, &mut rng);
+    let unique = scores.iter().filter(|&&s| s >= config.uniqueness_threshold).count();
+    println!("uniqueness: {} unique of {} in {:.1?}", unique, patterns.len(), t.elapsed());
+    let _ = MotifFinder::default();
+}

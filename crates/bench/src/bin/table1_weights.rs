@@ -1,0 +1,66 @@
+//! Experiment T1 — reproduce **Table 1**: genome-specific GO term
+//! weights for the Figure 1 example.
+//!
+//! ```bash
+//! cargo run --release -p lamofinder-bench --bin table1_weights
+//! ```
+
+use go_ontology::TermWeights;
+use lamofinder_bench::report::{check, print_table};
+use synthetic_data::PaperExample;
+
+/// Paper values: (term, direct count, subtree count, weight).
+const PAPER: [(u32, usize, usize, f64); 11] = [
+    (1, 0, 585, 1.00),
+    (2, 0, 415, 0.71),
+    (3, 20, 475, 0.81),
+    (4, 100, 245, 0.42),
+    (5, 70, 280, 0.48),
+    (6, 150, 250, 0.43),
+    (7, 10, 100, 0.17),
+    (8, 25, 135, 0.23),
+    (9, 100, 100, 0.17),
+    (10, 90, 90, 0.15),
+    (11, 20, 20, 0.03),
+];
+
+fn main() {
+    let ex = PaperExample::new();
+    let weights = TermWeights::compute(&ex.ontology, &ex.genome);
+
+    println!("Table 1 — GO term weights in the Figure 1 example\n");
+    let mut rows = Vec::new();
+    let mut all_pass = true;
+    for (g, direct, subtree, w_paper) in PAPER {
+        let t = ex.g(g);
+        let direct_got = ex.genome.direct_count(t);
+        let subtree_got = weights.subtree_occurrences(t);
+        let w_got = weights.weight(t);
+        let ok = direct_got == direct
+            && subtree_got == subtree
+            && ((w_got * 100.0).round() / 100.0 - w_paper).abs() < 1e-9;
+        all_pass &= ok;
+        rows.push(vec![
+            format!("G{g:02}"),
+            direct.to_string(),
+            direct_got.to_string(),
+            subtree.to_string(),
+            subtree_got.to_string(),
+            format!("{w_paper:.2}"),
+            format!("{w_got:.4}"),
+            check(ok).to_string(),
+        ]);
+    }
+    print_table(
+        &[
+            "term", "direct(paper)", "direct(ours)", "subtree(paper)", "subtree(ours)",
+            "w(paper)", "w(ours)", "match",
+        ],
+        &rows,
+    );
+    println!(
+        "\ntotal annotation occurrences: {} (paper: 585)",
+        ex.genome.total_occurrences()
+    );
+    println!("overall: {}", if all_pass { "ALL ROWS MATCH" } else { "DIFFERENCES FOUND" });
+}

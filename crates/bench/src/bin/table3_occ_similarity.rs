@@ -1,0 +1,82 @@
+//! Experiment T3 — reproduce **Table 3**: vertex similarities between
+//! occurrences o1 and o2 of the Figure 2 motif, and their occurrence
+//! similarity SO(o1, o2).
+//!
+//! The paper's SV values derive from its illustrative (and internally
+//! inconsistent) Figure 1 numbers; ours derive from the reconstructed
+//! DAG that reproduces Table 1 exactly, so small deltas are expected on
+//! the non-trivial rows while the exact rows (shared terms → 1.00) must
+//! match. See EXPERIMENTS.md.
+//!
+//! ```bash
+//! cargo run --release -p lamofinder-bench --bin table3_occ_similarity
+//! ```
+
+use go_ontology::{ProteinId, TermId, TermSimilarity, TermWeights};
+use lamofinder::OccurrenceScorer;
+use lamofinder_bench::report::{check, print_table};
+use synthetic_data::PaperExample;
+
+/// Paper rows: (protein of o1, position, protein of o2, position, SV).
+const PAPER_ROWS: [(&str, usize, &str, usize, f64); 8] = [
+    ("p1", 0, "p12", 0, 1.00),
+    ("p1", 0, "p10", 2, 0.99),
+    ("p2", 1, "p9", 1, 1.00),
+    ("p2", 1, "p11", 3, 0.76),
+    ("p3", 2, "p10", 2, 0.80),
+    ("p3", 2, "p12", 0, 0.45),
+    ("p4", 3, "p11", 3, 0.69),
+    ("p4", 3, "p9", 1, 0.99),
+];
+
+fn main() {
+    let ex = PaperExample::new();
+    let weights = TermWeights::compute(&ex.ontology, &ex.genome);
+    let sim = TermSimilarity::new(&ex.ontology, &weights);
+    let terms_by_protein: Vec<Vec<TermId>> = (0..22)
+        .map(|p| ex.proteins.terms_of(ProteinId(p)).to_vec())
+        .collect();
+    let scorer = OccurrenceScorer::new(&ex.motif.pattern, &sim, &terms_by_protein);
+    let (o1, o2) = (ex.occurrence(1), ex.occurrence(2));
+
+    println!("Table 3 — SV between occurrences o1 and o2\n");
+    let mut rows = Vec::new();
+    for (na, va, nb, vb, sv_paper) in PAPER_ROWS {
+        let sv = scorer.sv(o1, va, o2, vb);
+        // Exact-match criterion only for the rows the paper pins at 1.00
+        // (identical shared terms); others are compared loosely.
+        let ok = if sv_paper == 1.0 {
+            (sv - 1.0).abs() < 1e-9
+        } else {
+            (sv - sv_paper).abs() < 0.25
+        };
+        rows.push(vec![
+            format!("{na} {:?}", terms(&ex, na)),
+            format!("{nb} {:?}", terms(&ex, nb)),
+            format!("{sv_paper:.2}"),
+            format!("{sv:.2}"),
+            check(ok).to_string(),
+        ]);
+    }
+    print_table(&["o1 vertex", "o2 vertex", "SV(paper)", "SV(ours)", "match"], &rows);
+
+    let (so, pairing) = scorer.so_with_pairing(o1, o2);
+    println!("\nSO(o1, o2): paper 0.87, ours {so:.4}");
+    println!("chosen symmetric pairing (o1 position -> o2 position): {pairing:?}");
+    println!(
+        "note: Eq. 3's maximization selects p2<->p11 / p4<->p9 (sum {:.2})\n\
+         over the identity pairing (sum {:.2}) — consistent with the\n\
+         paper's own Table 3 arithmetic (0.76 + 0.99 > 1.00 + 0.69).",
+        scorer.sv(o1, 1, o2, 3) + scorer.sv(o1, 3, o2, 1),
+        scorer.sv(o1, 1, o2, 1) + scorer.sv(o1, 3, o2, 3),
+    );
+}
+
+fn terms(ex: &PaperExample, name: &str) -> Vec<String> {
+    let idx: u32 = name[1..].parse().unwrap();
+    ex.proteins
+        .terms_of(ex.p(idx))
+        .iter()
+        .map(|t| format!("G{:02}", t.0 + 1))
+        .collect()
+}

@@ -1,0 +1,104 @@
+//! Experiment T4 — reproduce **Table 4**: the minimum common father
+//! labels of corresponding vertices in occurrences o1 and o2, and the
+//! least-general labeling scheme of Figure 4.
+//!
+//! Table 4 uses the pairing {p1↔p12, p2↔p9, p3↔p10, p4↔p11}; we print
+//! both that pairing's common labels (directly comparable to the paper's
+//! rows) and the labeling scheme produced by the full clustering (which
+//! follows Eq. 3's optimal pairing — the paper's Table 3 and Table 4
+//! disagree on this; see EXPERIMENTS.md).
+//!
+//! ```bash
+//! cargo run --release -p lamofinder-bench --bin table4_common_labels
+//! ```
+
+use go_ontology::{
+    InformativeClasses, InformativeConfig, ProteinId, TermId, TermSimilarity, TermWeights,
+};
+use lamofinder::{cluster_occurrences, compute_frontier, ClusteringConfig, LabelContext};
+use lamofinder_bench::report::{check, print_table};
+use synthetic_data::PaperExample;
+
+/// Paper rows: (o1 protein, o2 protein, common labels).
+const PAPER_ROWS: [(u32, u32, &[u32]); 4] = [
+    (1, 12, &[2, 9, 5]),
+    (2, 9, &[3, 10, 8]),
+    (3, 10, &[3, 5, 4]),
+    (4, 11, &[2, 5]),
+];
+
+fn main() {
+    let ex = PaperExample::new();
+    let weights = TermWeights::compute(&ex.ontology, &ex.genome);
+    let sim = TermSimilarity::new(&ex.ontology, &weights);
+
+    println!("Table 4 — minimum common father labels (paper's pairing)\n");
+    let mut rows = Vec::new();
+    for (pa, pb, expected) in PAPER_ROWS {
+        let ta = ex.proteins.terms_of(ex.p(pa)).to_vec();
+        let tb = ex.proteins.terms_of(ex.p(pb)).to_vec();
+        let mut got: Vec<TermId> = Vec::new();
+        for &a in &ta {
+            for &b in &tb {
+                if let Some(l) = sim.lowest_common_parent(a, b) {
+                    got.push(l);
+                }
+            }
+        }
+        got.sort_unstable();
+        got.dedup();
+        let mut want: Vec<TermId> = expected.iter().map(|&g| ex.g(g)).collect();
+        want.sort_unstable();
+        let ok = got == want;
+        rows.push(vec![
+            format!("p{pa} {:?}", names(&ta)),
+            format!("p{pb} {:?}", names(&tb)),
+            format!("{:?}", names(&want)),
+            format!("{:?}", names(&got)),
+            check(ok).to_string(),
+        ]);
+    }
+    print_table(
+        &["o1 vertex", "o2 vertex", "common(paper)", "common(ours)", "match"],
+        &rows,
+    );
+    println!(
+        "\n(the single DIFF row traces to the paper's inconsistent claim\n\
+         that G05 is an ancestor of G08 — impossible under Table 1's\n\
+         arithmetic; DESIGN.md §6)"
+    );
+
+    // Full clustering output (Figure 4), with the Eq.3-optimal pairing.
+    let informative =
+        InformativeClasses::compute(&ex.ontology, &ex.genome, InformativeConfig::default());
+    let frontier = compute_frontier(&ex.ontology, &informative);
+    let terms_by_protein: Vec<Vec<TermId>> = (0..22)
+        .map(|p| ex.proteins.terms_of(ProteinId(p)).to_vec())
+        .collect();
+    let ctx = LabelContext {
+        ontology: &ex.ontology,
+        sim: &sim,
+        informative: &informative,
+        terms_by_protein: &terms_by_protein,
+        frontier: &frontier,
+    };
+    let clusters = cluster_occurrences(
+        &ex.motif.pattern,
+        &[ex.occurrence(1).clone(), ex.occurrence(2).clone()],
+        &ctx,
+        &ClusteringConfig {
+            sigma: 2,
+            ..Default::default()
+        },
+    );
+    println!("\nFigure 4 — least-general labeling scheme of {{o1, o2}} (vocabulary-filtered):");
+    for (v, label) in clusters[0].scheme.labels.iter().enumerate() {
+        println!("  v{}: {:?}   (paper: {})", v + 1, names(&label.terms), PAPER_SCHEME[v]);
+    }
+}
+
+const PAPER_SCHEME: [&str; 4] = ["(G05, G09)", "(G08, G10)", "(G04, G05)", "(G05)"];
+
+fn names(terms: &[TermId]) -> Vec<String> {
+    terms.iter().map(|t| format!("G{:02}", t.0 + 1)).collect()
+}

@@ -1,0 +1,186 @@
+//! Maximum-weight perfect assignment (Hungarian algorithm).
+//!
+//! Equation 3 of the paper maximizes, for every pair of corresponding
+//! symmetric-vertex sets, the sum of vertex similarities over all
+//! pairings of the two sets. Symmetric sets can be as large as the motif
+//! itself (star leaves, clique members), so brute-force permutation
+//! enumeration is hopeless; the Jonker–Volgenant style shortest
+//! augmenting path formulation below is `O(n³)`.
+
+/// Solve the maximum-weight perfect assignment for a square weight
+/// matrix: returns `(assignment, total)` where `assignment[row] = col`.
+///
+/// Weights may be any finite `f64` (similarities in `[0,1]` in our use).
+///
+/// # Panics
+///
+/// Panics if `weights` is not square or contains non-finite values.
+pub fn max_assignment(weights: &[Vec<f64>]) -> (Vec<usize>, f64) {
+    let n = weights.len();
+    if n == 0 {
+        return (Vec::new(), 0.0);
+    }
+    for row in weights {
+        assert_eq!(row.len(), n, "weight matrix must be square");
+        assert!(
+            row.iter().all(|w| w.is_finite()),
+            "weights must be finite"
+        );
+    }
+    // Minimize cost = -weight with the classic 1-indexed potentials
+    // formulation (shortest augmenting paths).
+    let inf = f64::INFINITY;
+    let mut u = vec![0.0f64; n + 1]; // row potentials
+    let mut v = vec![0.0f64; n + 1]; // col potentials
+    let mut p = vec![0usize; n + 1]; // p[col] = row assigned to col (0 = none)
+    let mut way = vec![0usize; n + 1];
+
+    for i in 1..=n {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![inf; n + 1];
+        let mut used = vec![false; n + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = inf;
+            let mut j1 = 0usize;
+            for j in 1..=n {
+                if used[j] {
+                    continue;
+                }
+                let cost = -weights[i0 - 1][j - 1];
+                let cur = cost - u[i0] - v[j];
+                if cur < minv[j] {
+                    minv[j] = cur;
+                    way[j] = j0;
+                }
+                if minv[j] < delta {
+                    delta = minv[j];
+                    j1 = j;
+                }
+            }
+            for j in 0..=n {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+
+    let mut assignment = vec![usize::MAX; n];
+    let mut total = 0.0;
+    for j in 1..=n {
+        if p[j] != 0 {
+            assignment[p[j] - 1] = j - 1;
+            total += weights[p[j] - 1][j - 1];
+        }
+    }
+    (assignment, total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn brute_force(weights: &[Vec<f64>]) -> f64 {
+        let n = weights.len();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut best = f64::NEG_INFINITY;
+        permute(&mut perm, 0, &mut |p| {
+            let s: f64 = p.iter().enumerate().map(|(i, &j)| weights[i][j]).sum();
+            if s > best {
+                best = s;
+            }
+        });
+        best
+    }
+
+    fn permute(perm: &mut Vec<usize>, k: usize, visit: &mut dyn FnMut(&[usize])) {
+        if k == perm.len() {
+            visit(perm);
+            return;
+        }
+        for i in k..perm.len() {
+            perm.swap(k, i);
+            permute(perm, k + 1, visit);
+            perm.swap(k, i);
+        }
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let (a, t) = max_assignment(&[]);
+        assert!(a.is_empty());
+        assert_eq!(t, 0.0);
+    }
+
+    #[test]
+    fn singleton() {
+        let (a, t) = max_assignment(&[vec![0.7]]);
+        assert_eq!(a, vec![0]);
+        assert!((t - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_by_two_prefers_cross() {
+        // Diagonal sum 0.2; anti-diagonal 1.8.
+        let w = vec![vec![0.1, 0.9], vec![0.9, 0.1]];
+        let (a, t) = max_assignment(&w);
+        assert_eq!(a, vec![1, 0]);
+        assert!((t - 1.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_matrices() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(17);
+        for n in 1..=6 {
+            for _ in 0..20 {
+                let w: Vec<Vec<f64>> = (0..n)
+                    .map(|_| (0..n).map(|_| rng.gen_range(0.0..1.0)).collect())
+                    .collect();
+                let (a, t) = max_assignment(&w);
+                // Assignment is a permutation.
+                let mut seen = vec![false; n];
+                for &j in &a {
+                    assert!(!seen[j]);
+                    seen[j] = true;
+                }
+                // Total matches the assignment and the brute-force optimum.
+                let direct: f64 = a.iter().enumerate().map(|(i, &j)| w[i][j]).sum();
+                assert!((t - direct).abs() < 1e-9);
+                assert!((t - brute_force(&w)).abs() < 1e-9, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn handles_negative_weights() {
+        let w = vec![vec![-1.0, -2.0], vec![-3.0, -0.5]];
+        let (_, t) = max_assignment(&w);
+        assert!((t - brute_force(&w)).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn rejects_ragged_matrix() {
+        max_assignment(&[vec![1.0, 2.0], vec![3.0]]);
+    }
+}

@@ -1,0 +1,332 @@
+//! A persistent dictionary of labeled network motifs.
+//!
+//! Section 5 builds on Alon's vision of "a dictionary of network motifs
+//! and their functional information" [3]. This module gives the labeled
+//! motif set a stable, line-oriented text format so a mined dictionary
+//! can be saved, shipped and reloaded without re-running the pipeline.
+//!
+//! Format (one motif per stanza, `#` comments allowed):
+//!
+//! ```text
+//! [motif]
+//! namespace: biological_process
+//! size: 3
+//! frequency: 214
+//! uniqueness: 1.00
+//! edges: 0-1 0-2 1-2
+//! label 0: GO:0000123 GO:0000456
+//! label 1: unknown
+//! label 2: GO:0000123
+//! occurrence: 17 4 902
+//! occurrence: 3 55 2010
+//! ```
+
+use crate::labeled::LabeledMotif;
+use crate::labeling::{LabelingScheme, VertexLabel};
+use go_ontology::{Namespace, Ontology};
+use motif_finder::Occurrence;
+use ppi_graph::{Graph, VertexId};
+use std::fmt;
+
+/// Errors from [`parse_dictionary`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum DictionaryError {
+    /// A line outside any `[motif]` stanza, or an unknown field.
+    UnexpectedLine { line_no: usize, content: String },
+    /// A field failed to parse.
+    BadField { line_no: usize, field: String },
+    /// A stanza is missing a required field.
+    MissingField { stanza: usize, field: &'static str },
+    /// A GO accession is not in the ontology.
+    UnknownTerm { line_no: usize, accession: String },
+}
+
+impl fmt::Display for DictionaryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DictionaryError::UnexpectedLine { line_no, content } => {
+                write!(f, "line {line_no}: unexpected {content:?}")
+            }
+            DictionaryError::BadField { line_no, field } => {
+                write!(f, "line {line_no}: malformed field {field}")
+            }
+            DictionaryError::MissingField { stanza, field } => {
+                write!(f, "motif stanza #{stanza}: missing field {field}")
+            }
+            DictionaryError::UnknownTerm { line_no, accession } => {
+                write!(f, "line {line_no}: unknown GO accession {accession}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DictionaryError {}
+
+/// Serialize labeled motifs to the dictionary format.
+pub fn write_dictionary(motifs: &[LabeledMotif], ontology: &Ontology) -> String {
+    let mut out = String::from("# LaMoFinder labeled network motif dictionary\n");
+    for m in motifs {
+        out.push_str("\n[motif]\n");
+        out.push_str(&format!("namespace: {}\n", m.namespace.obo_name()));
+        out.push_str(&format!("size: {}\n", m.size()));
+        out.push_str(&format!("frequency: {}\n", m.motif_frequency));
+        if let Some(u) = m.uniqueness {
+            out.push_str(&format!("uniqueness: {u}\n"));
+        }
+        let edges: Vec<String> = m
+            .pattern
+            .edges()
+            .map(|e| format!("{}-{}", e.0, e.1))
+            .collect();
+        out.push_str(&format!("edges: {}\n", edges.join(" ")));
+        for (i, label) in m.scheme.labels.iter().enumerate() {
+            if label.is_unknown() {
+                out.push_str(&format!("label {i}: unknown\n"));
+            } else {
+                let accs: Vec<&str> = label
+                    .terms
+                    .iter()
+                    .map(|&t| ontology.term(t).accession.as_str())
+                    .collect();
+                out.push_str(&format!("label {i}: {}\n", accs.join(" ")));
+            }
+        }
+        for occ in &m.occurrences {
+            let ids: Vec<String> = occ.vertices.iter().map(|v| v.0.to_string()).collect();
+            out.push_str(&format!("occurrence: {}\n", ids.join(" ")));
+        }
+    }
+    out
+}
+
+#[derive(Default)]
+struct Stanza {
+    namespace: Option<Namespace>,
+    size: Option<usize>,
+    frequency: Option<usize>,
+    uniqueness: Option<f64>,
+    edges: Option<Vec<(u32, u32)>>,
+    labels: Vec<(usize, VertexLabel)>,
+    occurrences: Vec<Vec<u32>>,
+}
+
+/// Parse a dictionary back into labeled motifs.
+pub fn parse_dictionary(
+    text: &str,
+    ontology: &Ontology,
+) -> Result<Vec<LabeledMotif>, DictionaryError> {
+    let mut stanzas: Vec<Stanza> = Vec::new();
+    let mut current: Option<Stanza> = None;
+
+    for (ln, raw) in text.lines().enumerate() {
+        let line_no = ln + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "[motif]" {
+            if let Some(s) = current.take() {
+                stanzas.push(s);
+            }
+            current = Some(Stanza::default());
+            continue;
+        }
+        let Some(stanza) = current.as_mut() else {
+            return Err(DictionaryError::UnexpectedLine {
+                line_no,
+                content: line.to_string(),
+            });
+        };
+        let Some((key, value)) = line.split_once(':') else {
+            return Err(DictionaryError::UnexpectedLine {
+                line_no,
+                content: line.to_string(),
+            });
+        };
+        let value = value.trim();
+        let bad = |field: &str| DictionaryError::BadField {
+            line_no,
+            field: field.to_string(),
+        };
+        match key.trim() {
+            "namespace" => {
+                stanza.namespace =
+                    Some(Namespace::from_obo_name(value).ok_or_else(|| bad("namespace"))?);
+            }
+            "size" => stanza.size = Some(value.parse().map_err(|_| bad("size"))?),
+            "frequency" => {
+                stanza.frequency = Some(value.parse().map_err(|_| bad("frequency"))?)
+            }
+            "uniqueness" => {
+                stanza.uniqueness = Some(value.parse().map_err(|_| bad("uniqueness"))?)
+            }
+            "edges" => {
+                let mut edges = Vec::new();
+                for part in value.split_whitespace() {
+                    let (a, b) = part.split_once('-').ok_or_else(|| bad("edges"))?;
+                    edges.push((
+                        a.parse().map_err(|_| bad("edges"))?,
+                        b.parse().map_err(|_| bad("edges"))?,
+                    ));
+                }
+                stanza.edges = Some(edges);
+            }
+            k if k.starts_with("label ") => {
+                let idx: usize = k[6..].trim().parse().map_err(|_| bad("label index"))?;
+                let label = if value == "unknown" {
+                    VertexLabel::unknown()
+                } else {
+                    let mut terms = Vec::new();
+                    for acc in value.split_whitespace() {
+                        let t = ontology.by_accession(acc).ok_or_else(|| {
+                            DictionaryError::UnknownTerm {
+                                line_no,
+                                accession: acc.to_string(),
+                            }
+                        })?;
+                        terms.push(t);
+                    }
+                    VertexLabel::new(terms)
+                };
+                stanza.labels.push((idx, label));
+            }
+            "occurrence" => {
+                let mut ids = Vec::new();
+                for part in value.split_whitespace() {
+                    ids.push(part.parse().map_err(|_| bad("occurrence"))?);
+                }
+                stanza.occurrences.push(ids);
+            }
+            _ => {
+                return Err(DictionaryError::UnexpectedLine {
+                    line_no,
+                    content: line.to_string(),
+                })
+            }
+        }
+    }
+    if let Some(s) = current.take() {
+        stanzas.push(s);
+    }
+
+    let mut motifs = Vec::with_capacity(stanzas.len());
+    for (si, s) in stanzas.into_iter().enumerate() {
+        let stanza_no = si + 1;
+        let missing = |field: &'static str| DictionaryError::MissingField {
+            stanza: stanza_no,
+            field,
+        };
+        let namespace = s.namespace.ok_or_else(|| missing("namespace"))?;
+        let size = s.size.ok_or_else(|| missing("size"))?;
+        let frequency = s.frequency.ok_or_else(|| missing("frequency"))?;
+        let edges = s.edges.ok_or_else(|| missing("edges"))?;
+        let pattern = Graph::from_edges(size, &edges);
+        let mut labels = vec![VertexLabel::unknown(); size];
+        for (idx, label) in s.labels {
+            if idx < size {
+                labels[idx] = label;
+            }
+        }
+        let occurrences: Vec<Occurrence> = s
+            .occurrences
+            .into_iter()
+            .map(|ids| Occurrence::new(ids.into_iter().map(VertexId).collect()))
+            .collect();
+        motifs.push(LabeledMotif {
+            pattern,
+            namespace,
+            scheme: LabelingScheme::new(labels),
+            occurrences,
+            motif_frequency: frequency,
+            uniqueness: s.uniqueness,
+        });
+    }
+    Ok(motifs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use go_ontology::OntologyBuilder;
+
+    fn ontology() -> Ontology {
+        let mut ob = OntologyBuilder::new();
+        ob.add_term("GO:0000001", "alpha", Namespace::BiologicalProcess);
+        ob.add_term("GO:0000002", "beta", Namespace::BiologicalProcess);
+        ob.build().unwrap()
+    }
+
+    fn sample_motif() -> LabeledMotif {
+        LabeledMotif {
+            pattern: Graph::from_edges(3, &[(0, 1), (1, 2), (0, 2)]),
+            namespace: Namespace::BiologicalProcess,
+            scheme: LabelingScheme::new(vec![
+                VertexLabel::new(vec![go_ontology::TermId(0)]),
+                VertexLabel::new(vec![go_ontology::TermId(0), go_ontology::TermId(1)]),
+                VertexLabel::unknown(),
+            ]),
+            occurrences: vec![
+                Occurrence::new(vec![VertexId(10), VertexId(11), VertexId(12)]),
+                Occurrence::new(vec![VertexId(20), VertexId(21), VertexId(22)]),
+            ],
+            motif_frequency: 42,
+            uniqueness: Some(0.95),
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let o = ontology();
+        let motifs = vec![sample_motif()];
+        let text = write_dictionary(&motifs, &o);
+        let back = parse_dictionary(&text, &o).unwrap();
+        assert_eq!(back.len(), 1);
+        let m = &back[0];
+        assert_eq!(m.size(), 3);
+        assert_eq!(m.motif_frequency, 42);
+        assert_eq!(m.uniqueness, Some(0.95));
+        assert_eq!(m.namespace, Namespace::BiologicalProcess);
+        assert_eq!(m.pattern.edge_count(), 3);
+        assert_eq!(m.scheme, motifs[0].scheme);
+        assert_eq!(m.occurrences, motifs[0].occurrences);
+    }
+
+    #[test]
+    fn unknown_accession_is_reported() {
+        let o = ontology();
+        let text = "[motif]\nnamespace: biological_process\nsize: 1\nfrequency: 1\nedges: \nlabel 0: GO:9999999\n";
+        let err = parse_dictionary(text, &o).unwrap_err();
+        assert!(matches!(err, DictionaryError::UnknownTerm { .. }));
+    }
+
+    #[test]
+    fn missing_field_is_reported() {
+        let o = ontology();
+        let text = "[motif]\nnamespace: biological_process\nsize: 2\nedges: 0-1\n";
+        let err = parse_dictionary(text, &o).unwrap_err();
+        assert_eq!(
+            err,
+            DictionaryError::MissingField {
+                stanza: 1,
+                field: "frequency"
+            }
+        );
+    }
+
+    #[test]
+    fn stray_line_is_reported() {
+        let o = ontology();
+        let err = parse_dictionary("frequency: 3\n", &o).unwrap_err();
+        assert!(matches!(err, DictionaryError::UnexpectedLine { .. }));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let o = ontology();
+        let text = "# header\n\n[motif]\n# inner comment\nnamespace: biological_process\nsize: 2\nfrequency: 7\nedges: 0-1\n";
+        let motifs = parse_dictionary(text, &o).unwrap();
+        assert_eq!(motifs.len(), 1);
+        assert_eq!(motifs[0].motif_frequency, 7);
+        assert!(motifs[0].scheme.is_all_unknown());
+    }
+}

@@ -1,0 +1,258 @@
+//! k-medoids occurrence clustering — the non-overlapping baseline the
+//! paper argues against in Section 3.2 / Figure 5.
+//!
+//! The paper observes that partitioning clusterers ("such as the k-means
+//! clustering algorithm") force occurrences into non-overlapping
+//! clusters and can miss valid labeling schemes that straddle cluster
+//! boundaries. We implement the occurrence-space analogue (k-medoids,
+//! since only pairwise `SO` similarities exist — there is no vector
+//! space to average in) and expose it for the clustering ablation.
+
+use crate::clustering::{
+    permute_occurrence, permute_scheme, Aligner, ClusteringConfig, LabelContext, LabeledCluster,
+};
+use crate::labeling::{initial_scheme, merge_schemes, vocabulary_filter, LabelingScheme};
+use crate::occ_similarity::OccurrenceScorer;
+use go_ontology::ProteinId;
+use motif_finder::Occurrence;
+use ppi_graph::Graph;
+
+/// Cluster `occurrences` into `k` groups by SO-similarity to medoids,
+/// derive each group's least-general labeling scheme, and emit groups
+/// with ≥ σ occurrences.
+pub fn kmedoids_label(
+    pattern: &Graph,
+    occurrences: &[Occurrence],
+    ctx: &LabelContext<'_>,
+    config: &ClusteringConfig,
+    k: usize,
+    max_iters: usize,
+) -> Vec<LabeledCluster> {
+    let n = occurrences.len();
+    if n == 0 || k == 0 {
+        return Vec::new();
+    }
+    let k = k.min(n);
+    let scorer = OccurrenceScorer::new(pattern, ctx.sim, ctx.terms_by_protein);
+
+    // Pairwise similarity matrix.
+    let mut sim = vec![vec![1.0f64; n]; n];
+    for i in 0..n {
+        for j in i + 1..n {
+            let s = scorer.so(&occurrences[i], &occurrences[j]);
+            sim[i][j] = s;
+            sim[j][i] = s;
+        }
+    }
+
+    // Deterministic initialization: evenly strided medoids.
+    let mut medoids: Vec<usize> = (0..k).map(|i| i * n / k).collect();
+    let mut assignment = vec![0usize; n];
+
+    for _ in 0..max_iters {
+        // Assign each occurrence to its most similar medoid.
+        for (i, slot) in assignment.iter_mut().enumerate() {
+            *slot = medoids
+                .iter()
+                .enumerate()
+                .max_by(|(_, &a), (_, &b)| {
+                    sim[i][a].partial_cmp(&sim[i][b]).expect("finite sims")
+                })
+                .map(|(c, _)| c)
+                .expect("k >= 1");
+        }
+        // Recompute medoids: member maximizing total similarity within
+        // the cluster.
+        let mut changed = false;
+        for (c, medoid) in medoids.iter_mut().enumerate() {
+            let members: Vec<usize> =
+                (0..n).filter(|&i| assignment[i] == c).collect();
+            if members.is_empty() {
+                continue;
+            }
+            let best = *members
+                .iter()
+                .max_by(|&&a, &&b| {
+                    let sa: f64 = members.iter().map(|&m| sim[a][m]).sum();
+                    let sb: f64 = members.iter().map(|&m| sim[b][m]).sum();
+                    sa.partial_cmp(&sb).expect("finite sims")
+                })
+                .expect("non-empty cluster");
+            if best != *medoid {
+                *medoid = best;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Derive per-cluster least-general schemes (with automorphism
+    // alignment, like the hierarchical path).
+    let aligner = Aligner::new(pattern, config.max_automorphisms);
+    let mut out = Vec::new();
+    for c in 0..k {
+        let members: Vec<usize> = (0..n).filter(|&i| assignment[i] == c).collect();
+        if members.len() < config.sigma {
+            continue;
+        }
+        let mut scheme: Option<LabelingScheme> = None;
+        let mut aligned_occs: Vec<Occurrence> = Vec::new();
+        for &m in &members {
+            let occ_scheme = initial_scheme(&occurrences[m], &|p: ProteinId| {
+                ctx.terms_by_protein[p.index()].clone()
+            });
+            match scheme {
+                None => {
+                    scheme = Some(occ_scheme);
+                    aligned_occs.push(occurrences[m].clone());
+                }
+                Some(ref s) => {
+                    let perm = aligner.align(s, &occ_scheme, ctx);
+                    let aligned = permute_scheme(&occ_scheme, &perm);
+                    aligned_occs.push(permute_occurrence(&occurrences[m], &perm));
+                    scheme = Some(merge_schemes(s, &aligned, ctx.sim, ctx.informative));
+                }
+            }
+        }
+        let scheme = vocabulary_filter(&scheme.expect("members non-empty"), ctx.informative);
+        if !scheme.is_all_unknown() {
+            out.push(LabeledCluster {
+                scheme,
+                occurrences: aligned_occs,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clustering::compute_frontier;
+    use go_ontology::{
+        Annotations, InformativeClasses, InformativeConfig, Namespace, Ontology, OntologyBuilder,
+        Relation, TermId, TermSimilarity, TermWeights,
+    };
+    use ppi_graph::VertexId;
+
+    struct World {
+        ontology: Ontology,
+        annotations: Annotations,
+    }
+
+    /// root -> F -> {f1, f2}; 24 proteins: 0..12 f1, 12..24 f2; 4 pads on F.
+    fn world() -> World {
+        let mut ob = OntologyBuilder::new();
+        let root = ob.add_term("GO:0", "root", Namespace::BiologicalProcess);
+        let f = ob.add_term("GO:1", "F", Namespace::BiologicalProcess);
+        let f1 = ob.add_term("GO:2", "f1", Namespace::BiologicalProcess);
+        let f2 = ob.add_term("GO:3", "f2", Namespace::BiologicalProcess);
+        ob.add_edge(f, root, Relation::IsA);
+        ob.add_edge(f1, f, Relation::IsA);
+        ob.add_edge(f2, f, Relation::IsA);
+        let ontology = ob.build().unwrap();
+        let mut annotations = Annotations::new(28, ontology.term_count());
+        for p in 0..12 {
+            annotations.annotate(ProteinId(p), f1);
+        }
+        for p in 12..24 {
+            annotations.annotate(ProteinId(p), f2);
+        }
+        for p in 24..28 {
+            annotations.annotate(ProteinId(p), f);
+        }
+        World {
+            ontology,
+            annotations,
+        }
+    }
+
+    #[test]
+    fn two_populations_separate_into_two_medoid_clusters() {
+        let w = world();
+        let weights = TermWeights::compute(&w.ontology, &w.annotations);
+        let sim = TermSimilarity::new(&w.ontology, &weights);
+        let informative = InformativeClasses::compute(
+            &w.ontology,
+            &w.annotations,
+            InformativeConfig {
+                min_direct: 4,
+                ..Default::default()
+            },
+        );
+        let frontier = compute_frontier(&w.ontology, &informative);
+        let terms_by_protein: Vec<Vec<TermId>> = (0..w.annotations.protein_count())
+            .map(|p| w.annotations.terms_of(ProteinId(p as u32)).to_vec())
+            .collect();
+        let ctx = LabelContext {
+            ontology: &w.ontology,
+            sim: &sim,
+            informative: &informative,
+            terms_by_protein: &terms_by_protein,
+            frontier: &frontier,
+        };
+        let pattern = Graph::from_edges(2, &[(0, 1)]);
+        // 6 edge occurrences on f1 proteins, 6 on f2 proteins.
+        let mut occs = Vec::new();
+        for i in 0..6u32 {
+            occs.push(Occurrence::new(vec![VertexId(2 * i), VertexId(2 * i + 1)]));
+        }
+        for i in 0..6u32 {
+            occs.push(Occurrence::new(vec![
+                VertexId(12 + 2 * i),
+                VertexId(12 + 2 * i + 1),
+            ]));
+        }
+        let config = ClusteringConfig {
+            sigma: 4,
+            ..Default::default()
+        };
+        let clusters = kmedoids_label(&pattern, &occs, &ctx, &config, 2, 30);
+        assert_eq!(clusters.len(), 2);
+        let mut labels: Vec<Vec<TermId>> = clusters
+            .iter()
+            .map(|c| c.scheme.labels[0].terms.clone())
+            .collect();
+        labels.sort();
+        assert_eq!(labels, vec![vec![TermId(2)], vec![TermId(3)]]);
+        // Partitioning: every occurrence in exactly one cluster.
+        let total: usize = clusters.iter().map(|c| c.occurrences.len()).sum();
+        assert_eq!(total, 12);
+    }
+
+    #[test]
+    fn k_larger_than_n_is_clamped() {
+        let w = world();
+        let weights = TermWeights::compute(&w.ontology, &w.annotations);
+        let sim = TermSimilarity::new(&w.ontology, &weights);
+        let informative = InformativeClasses::compute(
+            &w.ontology,
+            &w.annotations,
+            InformativeConfig {
+                min_direct: 4,
+                ..Default::default()
+            },
+        );
+        let frontier = compute_frontier(&w.ontology, &informative);
+        let terms_by_protein: Vec<Vec<TermId>> = (0..w.annotations.protein_count())
+            .map(|p| w.annotations.terms_of(ProteinId(p as u32)).to_vec())
+            .collect();
+        let ctx = LabelContext {
+            ontology: &w.ontology,
+            sim: &sim,
+            informative: &informative,
+            terms_by_protein: &terms_by_protein,
+            frontier: &frontier,
+        };
+        let pattern = Graph::from_edges(2, &[(0, 1)]);
+        let occs = vec![Occurrence::new(vec![VertexId(0), VertexId(1)])];
+        let config = ClusteringConfig {
+            sigma: 1,
+            ..Default::default()
+        };
+        let clusters = kmedoids_label(&pattern, &occs, &ctx, &config, 5, 10);
+        assert_eq!(clusters.len(), 1);
+    }
+}

@@ -1,0 +1,398 @@
+//! Labeling schemes: the objects LaMoFinder produces (Task 3).
+//!
+//! A [`LabelingScheme`] assigns each motif vertex a set of GO terms (or
+//! "unknown"). A scheme *conforms* to an occurrence when every labeled
+//! vertex's labels are the same as, or more general than, an annotation
+//! of the corresponding protein (Problem Definition, Section 3). The
+//! least-general merge of two schemes takes, per vertex, the lowest
+//! common parents over the cross product of their label sets — the
+//! operation behind Table 4 and Figure 4 — filtered to the informative
+//! label vocabulary `T`.
+
+use go_ontology::{Annotations, InformativeClasses, Ontology, ProteinId, TermId, TermSimilarity};
+use motif_finder::Occurrence;
+
+/// Per-vertex labels. An empty set plays the paper's "unknown" role.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct VertexLabel {
+    /// Sorted, deduplicated GO terms.
+    pub terms: Vec<TermId>,
+}
+
+impl VertexLabel {
+    /// Label with the given terms (sorted + deduplicated here).
+    pub fn new(mut terms: Vec<TermId>) -> Self {
+        terms.sort_unstable();
+        terms.dedup();
+        VertexLabel { terms }
+    }
+
+    /// The "unknown" label.
+    pub fn unknown() -> Self {
+        VertexLabel { terms: Vec::new() }
+    }
+
+    /// Whether this vertex is unlabeled.
+    pub fn is_unknown(&self) -> bool {
+        self.terms.is_empty()
+    }
+}
+
+/// A full labeling scheme for a motif: one [`VertexLabel`] per pattern
+/// vertex.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LabelingScheme {
+    /// `labels[i]` labels pattern vertex `i`.
+    pub labels: Vec<VertexLabel>,
+}
+
+impl LabelingScheme {
+    /// Scheme from per-vertex labels.
+    pub fn new(labels: Vec<VertexLabel>) -> Self {
+        LabelingScheme { labels }
+    }
+
+    /// Scheme with every vertex unknown.
+    pub fn all_unknown(k: usize) -> Self {
+        LabelingScheme {
+            labels: vec![VertexLabel::unknown(); k],
+        }
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the scheme has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Whether every vertex is unknown.
+    pub fn is_all_unknown(&self) -> bool {
+        self.labels.iter().all(VertexLabel::is_unknown)
+    }
+
+    /// Conformance test (Problem Definition): every *labeled* vertex's
+    /// every label must be the same as or an ancestor of at least one
+    /// annotation of the corresponding protein. Unknown vertices do not
+    /// constrain, and neither do proteins with no annotation *in the
+    /// label's namespace* (the paper labels one GO branch at a time; a
+    /// protein annotated only in another branch is "unannotated" for
+    /// this run).
+    pub fn conforms_to(
+        &self,
+        occurrence: &Occurrence,
+        ontology: &Ontology,
+        annotations: &Annotations,
+    ) -> bool {
+        debug_assert_eq!(self.labels.len(), occurrence.len());
+        self.labels
+            .iter()
+            .zip(&occurrence.vertices)
+            .all(|(label, &v)| {
+                if label.is_unknown() {
+                    return true;
+                }
+                let protein_terms = annotations.terms_of(ProteinId(v.0));
+                label.terms.iter().all(|&t| {
+                    let ns = ontology.namespace(t);
+                    let mut in_ns = protein_terms
+                        .iter()
+                        .filter(|&&a| ontology.namespace(a) == ns)
+                        .peekable();
+                    if in_ns.peek().is_none() {
+                        return true;
+                    }
+                    in_ns.any(|&a| ontology.is_same_or_ancestor(t, a))
+                })
+            })
+    }
+
+    /// Number of occurrences (from `pool`) this scheme conforms to.
+    pub fn support(
+        &self,
+        pool: &[Occurrence],
+        ontology: &Ontology,
+        annotations: &Annotations,
+    ) -> usize {
+        pool.iter()
+            .filter(|o| self.conforms_to(o, ontology, annotations))
+            .count()
+    }
+}
+
+/// Least-general merge of two label sets for one vertex: the lowest
+/// common parents over the cross product, restricted to the label
+/// vocabulary. An unknown side is dominated by the other (the paper's
+/// rule for unannotated proteins).
+pub fn merge_labels(
+    a: &VertexLabel,
+    b: &VertexLabel,
+    sim: &TermSimilarity<'_>,
+    vocabulary: &InformativeClasses,
+) -> VertexLabel {
+    if a.is_unknown() {
+        return b.clone();
+    }
+    if b.is_unknown() {
+        return a.clone();
+    }
+    let mut merged: Vec<TermId> = Vec::new();
+    for &ta in &a.terms {
+        for &tb in &b.terms {
+            if let Some(lcp) = sim.lowest_common_parent(ta, tb) {
+                merged.push(lcp);
+            }
+        }
+    }
+    merged.sort_unstable();
+    merged.dedup();
+    // Restrict to the vocabulary T (border informative FC and their
+    // descendants); keep over-generalized terms out of the scheme.
+    let filtered: Vec<TermId> = merged
+        .iter()
+        .copied()
+        .filter(|&t| vocabulary.in_vocabulary(t))
+        .collect();
+    if filtered.is_empty() {
+        // Everything generalized past the border: keep the raw common
+        // parents so the stop rule can see the vertex is exhausted, but
+        // mark nothing as vocabulary output. Callers filter at emission.
+        VertexLabel::new(merged)
+    } else {
+        VertexLabel::new(filtered)
+    }
+}
+
+/// Merge two full schemes vertex-wise.
+pub fn merge_schemes(
+    a: &LabelingScheme,
+    b: &LabelingScheme,
+    sim: &TermSimilarity<'_>,
+    vocabulary: &InformativeClasses,
+) -> LabelingScheme {
+    debug_assert_eq!(a.len(), b.len());
+    LabelingScheme::new(
+        a.labels
+            .iter()
+            .zip(&b.labels)
+            .map(|(la, lb)| merge_labels(la, lb, sim, vocabulary))
+            .collect(),
+    )
+}
+
+/// The initial scheme of a single occurrence: each vertex labeled with
+/// its protein's direct annotations (restricted to one namespace is the
+/// caller's choice — pass pre-filtered annotation lookups via
+/// `terms_of`).
+pub fn initial_scheme(
+    occurrence: &Occurrence,
+    terms_of: &dyn Fn(ProteinId) -> Vec<TermId>,
+) -> LabelingScheme {
+    LabelingScheme::new(
+        occurrence
+            .vertices
+            .iter()
+            .map(|&v| VertexLabel::new(terms_of(ProteinId(v.0))))
+            .collect(),
+    )
+}
+
+/// Final output filter: keep only vocabulary terms; a vertex with no
+/// vocabulary term becomes unknown.
+pub fn vocabulary_filter(scheme: &LabelingScheme, vocabulary: &InformativeClasses) -> LabelingScheme {
+    LabelingScheme::new(
+        scheme
+            .labels
+            .iter()
+            .map(|l| {
+                VertexLabel::new(
+                    l.terms
+                        .iter()
+                        .copied()
+                        .filter(|&t| vocabulary.in_vocabulary(t))
+                        .collect(),
+                )
+            })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use go_ontology::{
+        Annotations, InformativeConfig, Namespace, OntologyBuilder, Relation, TermWeights,
+    };
+    use ppi_graph::VertexId;
+
+    /// root -> a -> {x, y}; root -> b. Informative threshold 2.
+    /// Annotations: x:2, y:2, b:3, a:2 (direct) → informative: all but root.
+    /// Border: a, b (x, y have informative ancestor a).
+    struct Fixture {
+        ontology: Ontology,
+        annotations: Annotations,
+    }
+
+    fn fixture() -> Fixture {
+        let mut ob = OntologyBuilder::new();
+        let root = ob.add_term("GO:0", "root", Namespace::BiologicalProcess);
+        let a = ob.add_term("GO:1", "a", Namespace::BiologicalProcess);
+        let b = ob.add_term("GO:2", "b", Namespace::BiologicalProcess);
+        let x = ob.add_term("GO:3", "x", Namespace::BiologicalProcess);
+        let y = ob.add_term("GO:4", "y", Namespace::BiologicalProcess);
+        ob.add_edge(a, root, Relation::IsA);
+        ob.add_edge(b, root, Relation::IsA);
+        ob.add_edge(x, a, Relation::IsA);
+        ob.add_edge(y, a, Relation::IsA);
+        let ontology = ob.build().unwrap();
+        let mut annotations = Annotations::new(12, ontology.term_count());
+        // Proteins 0,1 -> x; 2,3 -> y; 4,5,6 -> b; 7,8 -> a; 9..12 none.
+        for p in 0..2 {
+            annotations.annotate(ProteinId(p), x);
+        }
+        for p in 2..4 {
+            annotations.annotate(ProteinId(p), y);
+        }
+        for p in 4..7 {
+            annotations.annotate(ProteinId(p), b);
+        }
+        for p in 7..9 {
+            annotations.annotate(ProteinId(p), a);
+        }
+        Fixture {
+            ontology,
+            annotations,
+        }
+    }
+
+    fn informative(f: &Fixture) -> InformativeClasses {
+        InformativeClasses::compute(
+            &f.ontology,
+            &f.annotations,
+            InformativeConfig {
+                min_direct: 2,
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn conformance_allows_ancestor_labels() {
+        let f = fixture();
+        // Occurrence: proteins 0 (x) and 4 (b).
+        let occ = Occurrence::new(vec![VertexId(0), VertexId(4)]);
+        // Labels: (a, b): a is an ancestor of x → conforms.
+        let scheme = LabelingScheme::new(vec![
+            VertexLabel::new(vec![TermId(1)]),
+            VertexLabel::new(vec![TermId(2)]),
+        ]);
+        assert!(scheme.conforms_to(&occ, &f.ontology, &f.annotations));
+        // Labels: (b, b): b unrelated to x → fails.
+        let bad = LabelingScheme::new(vec![
+            VertexLabel::new(vec![TermId(2)]),
+            VertexLabel::new(vec![TermId(2)]),
+        ]);
+        assert!(!bad.conforms_to(&occ, &f.ontology, &f.annotations));
+    }
+
+    #[test]
+    fn unknown_vertices_and_unannotated_proteins_conform() {
+        let f = fixture();
+        let occ = Occurrence::new(vec![VertexId(9), VertexId(4)]);
+        let scheme = LabelingScheme::new(vec![
+            VertexLabel::new(vec![TermId(3)]), // label on unannotated protein 9
+            VertexLabel::unknown(),            // unknown over protein 4
+        ]);
+        assert!(scheme.conforms_to(&occ, &f.ontology, &f.annotations));
+    }
+
+    #[test]
+    fn merge_labels_takes_lowest_common_parent() {
+        let f = fixture();
+        let w = TermWeights::compute(&f.ontology, &f.annotations);
+        let sim = TermSimilarity::new(&f.ontology, &w);
+        let ic = informative(&f);
+        // x ∪ y → a (their lowest common parent, in vocabulary).
+        let m = merge_labels(
+            &VertexLabel::new(vec![TermId(3)]),
+            &VertexLabel::new(vec![TermId(4)]),
+            &sim,
+            &ic,
+        );
+        assert_eq!(m.terms, vec![TermId(1)]);
+    }
+
+    #[test]
+    fn merge_labels_keeps_shared_term() {
+        let f = fixture();
+        let w = TermWeights::compute(&f.ontology, &f.annotations);
+        let sim = TermSimilarity::new(&f.ontology, &w);
+        let ic = informative(&f);
+        let m = merge_labels(
+            &VertexLabel::new(vec![TermId(3)]),
+            &VertexLabel::new(vec![TermId(3)]),
+            &sim,
+            &ic,
+        );
+        assert_eq!(m.terms, vec![TermId(3)]);
+    }
+
+    #[test]
+    fn merge_with_unknown_adopts_other_side() {
+        let f = fixture();
+        let w = TermWeights::compute(&f.ontology, &f.annotations);
+        let sim = TermSimilarity::new(&f.ontology, &w);
+        let ic = informative(&f);
+        let lab = VertexLabel::new(vec![TermId(3)]);
+        assert_eq!(merge_labels(&VertexLabel::unknown(), &lab, &sim, &ic), lab);
+        assert_eq!(merge_labels(&lab, &VertexLabel::unknown(), &sim, &ic), lab);
+    }
+
+    #[test]
+    fn merge_past_border_keeps_raw_parents() {
+        let f = fixture();
+        let w = TermWeights::compute(&f.ontology, &f.annotations);
+        let sim = TermSimilarity::new(&f.ontology, &w);
+        let ic = informative(&f);
+        // x ∪ b → root (out of vocabulary): raw parent kept, but the
+        // final vocabulary filter empties it.
+        let m = merge_labels(
+            &VertexLabel::new(vec![TermId(3)]),
+            &VertexLabel::new(vec![TermId(2)]),
+            &sim,
+            &ic,
+        );
+        assert_eq!(m.terms, vec![TermId(0)]);
+        let filtered = vocabulary_filter(&LabelingScheme::new(vec![m]), &ic);
+        assert!(filtered.labels[0].is_unknown());
+    }
+
+    #[test]
+    fn initial_scheme_reads_annotations() {
+        let f = fixture();
+        let occ = Occurrence::new(vec![VertexId(0), VertexId(9)]);
+        let ann = &f.annotations;
+        let scheme = initial_scheme(&occ, &|p| ann.terms_of(p).to_vec());
+        assert_eq!(scheme.labels[0].terms, vec![TermId(3)]);
+        assert!(scheme.labels[1].is_unknown());
+    }
+
+    #[test]
+    fn support_counts_conforming_occurrences() {
+        let f = fixture();
+        // Scheme: (a, b). Conforms to (0,4), (2,5) but not (4,0).
+        let scheme = LabelingScheme::new(vec![
+            VertexLabel::new(vec![TermId(1)]),
+            VertexLabel::new(vec![TermId(2)]),
+        ]);
+        let pool = vec![
+            Occurrence::new(vec![VertexId(0), VertexId(4)]),
+            Occurrence::new(vec![VertexId(2), VertexId(5)]),
+            Occurrence::new(vec![VertexId(4), VertexId(0)]),
+        ];
+        assert_eq!(scheme.support(&pool, &f.ontology, &f.annotations), 2);
+    }
+}

@@ -1,0 +1,260 @@
+//! The naive labeling baseline sketched in Section 3 of the paper.
+//!
+//! "Pick an occurrence at random and use its labels as a possible
+//! labeling scheme. [...] If the number of occurrences [conforming] is
+//! less than σ, pick a combination of vertices at random and generalize
+//! their labels one level up the function hierarchy. [...] The process
+//! is repeated till all occurrences have participated in at least one
+//! labeling scheme. Clearly, this approach is not scalable."
+//!
+//! Implemented faithfully (with an iteration budget so tests terminate)
+//! as the comparison point for the labeling-scalability ablation.
+
+use crate::clustering::LabelContext;
+use crate::labeling::{initial_scheme, vocabulary_filter, LabelingScheme, VertexLabel};
+use go_ontology::ProteinId;
+use motif_finder::Occurrence;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Budgeted naive labeler. Returns the discovered schemes and the number
+/// of conformance evaluations spent (the scalability metric).
+pub struct NaiveOutcome {
+    /// Vocabulary-filtered schemes with support ≥ σ.
+    pub schemes: Vec<LabelingScheme>,
+    /// Total conformance checks performed.
+    pub conformance_checks: usize,
+}
+
+/// Run the naive random-generalization labeler.
+pub fn naive_label<R: Rng>(
+    occurrences: &[Occurrence],
+    ctx: &LabelContext<'_>,
+    sigma: usize,
+    max_rounds: usize,
+    rng: &mut R,
+) -> NaiveOutcome {
+    let n = occurrences.len();
+    let mut covered = vec![false; n];
+    let mut schemes: Vec<LabelingScheme> = Vec::new();
+    let mut checks = 0usize;
+
+    for _ in 0..max_rounds {
+        // Pick a random uncovered occurrence as the seed.
+        let uncovered: Vec<usize> = (0..n).filter(|&i| !covered[i]).collect();
+        let Some(&seed_idx) = uncovered.choose(rng) else {
+            break;
+        };
+        let mut scheme = initial_scheme(&occurrences[seed_idx], &|p: ProteinId| {
+            ctx.terms_by_protein[p.index()].clone()
+        });
+
+        // Generalize until the scheme conforms to ≥ σ occurrences or the
+        // labels cannot rise further.
+        loop {
+            let conforming: Vec<usize> = (0..n)
+                .filter(|&i| {
+                    checks += 1;
+                    scheme_conforms(&scheme, &occurrences[i], ctx)
+                })
+                .collect();
+            if conforming.len() >= sigma {
+                let filtered = vocabulary_filter(&scheme, ctx.informative);
+                if !filtered.is_all_unknown() && !schemes.contains(&filtered) {
+                    schemes.push(filtered);
+                }
+                for i in conforming {
+                    covered[i] = true;
+                }
+                break;
+            }
+            // Generalize a random non-empty vertex label one level up.
+            let candidates: Vec<usize> = scheme
+                .labels
+                .iter()
+                .enumerate()
+                .filter(|(_, l)| {
+                    !l.is_unknown()
+                        && l.terms
+                            .iter()
+                            .any(|&t| !ctx.ontology.parents(t).is_empty())
+                })
+                .map(|(i, _)| i)
+                .collect();
+            let Some(&v) = candidates.choose(rng) else {
+                // Nothing left to generalize: give up on this seed.
+                covered[seed_idx] = true;
+                break;
+            };
+            let mut lifted: Vec<go_ontology::TermId> = Vec::new();
+            for &t in &scheme.labels[v].terms {
+                let parents = ctx.ontology.parents(t);
+                if parents.is_empty() {
+                    lifted.push(t);
+                } else {
+                    lifted.extend(parents.iter().map(|&(p, _)| p));
+                }
+            }
+            scheme.labels[v] = VertexLabel::new(lifted);
+        }
+        if covered.iter().all(|&c| c) {
+            break;
+        }
+    }
+
+    NaiveOutcome {
+        schemes,
+        conformance_checks: checks,
+    }
+}
+
+/// Conformance against the namespace-filtered annotation view (the same
+/// view the labeling pipeline uses).
+fn scheme_conforms(scheme: &LabelingScheme, occ: &Occurrence, ctx: &LabelContext<'_>) -> bool {
+    scheme
+        .labels
+        .iter()
+        .zip(&occ.vertices)
+        .all(|(label, &v)| {
+            if label.is_unknown() {
+                return true;
+            }
+            let protein_terms = &ctx.terms_by_protein[v.index()];
+            if protein_terms.is_empty() {
+                return true;
+            }
+            label.terms.iter().all(|&t| {
+                protein_terms
+                    .iter()
+                    .any(|&a| ctx.ontology.is_same_or_ancestor(t, a))
+            })
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clustering::compute_frontier;
+    use go_ontology::{
+        Annotations, InformativeClasses, InformativeConfig, Namespace, Ontology, OntologyBuilder,
+        Relation, TermId, TermSimilarity, TermWeights,
+    };
+    use ppi_graph::VertexId;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    struct World {
+        ontology: Ontology,
+        annotations: Annotations,
+    }
+
+    fn world() -> World {
+        let mut ob = OntologyBuilder::new();
+        let root = ob.add_term("GO:0", "root", Namespace::BiologicalProcess);
+        let f = ob.add_term("GO:1", "F", Namespace::BiologicalProcess);
+        let f1 = ob.add_term("GO:2", "f1", Namespace::BiologicalProcess);
+        let f2 = ob.add_term("GO:3", "f2", Namespace::BiologicalProcess);
+        ob.add_edge(f, root, Relation::IsA);
+        ob.add_edge(f1, f, Relation::IsA);
+        ob.add_edge(f2, f, Relation::IsA);
+        let ontology = ob.build().unwrap();
+        let mut annotations = Annotations::new(20, ontology.term_count());
+        // Occurrences pair proteins (2i, 2i+1); alternate whole pairs
+        // between f1 and f2 so no single-population scheme reaches σ=6
+        // and generalization to F is required.
+        for p in 0..16 {
+            annotations.annotate(ProteinId(p), if (p / 2) % 2 == 0 { f1 } else { f2 });
+        }
+        for p in 16..20 {
+            annotations.annotate(ProteinId(p), f);
+        }
+        World {
+            ontology,
+            annotations,
+        }
+    }
+
+    fn with_ctx<T>(w: &World, run: impl FnOnce(&LabelContext<'_>) -> T) -> T {
+        let weights = TermWeights::compute(&w.ontology, &w.annotations);
+        let sim = TermSimilarity::new(&w.ontology, &weights);
+        let informative = InformativeClasses::compute(
+            &w.ontology,
+            &w.annotations,
+            InformativeConfig {
+                min_direct: 4,
+                ..Default::default()
+            },
+        );
+        let frontier = compute_frontier(&w.ontology, &informative);
+        let terms_by_protein: Vec<Vec<TermId>> = (0..w.annotations.protein_count())
+            .map(|p| w.annotations.terms_of(ProteinId(p as u32)).to_vec())
+            .collect();
+        let ctx = LabelContext {
+            ontology: &w.ontology,
+            sim: &sim,
+            informative: &informative,
+            terms_by_protein: &terms_by_protein,
+            frontier: &frontier,
+        };
+        run(&ctx)
+    }
+
+    fn edge_occs() -> Vec<Occurrence> {
+        (0..8u32)
+            .map(|i| Occurrence::new(vec![VertexId(2 * i), VertexId(2 * i + 1)]))
+            .collect()
+    }
+
+    #[test]
+    fn naive_finds_generalized_scheme() {
+        let w = world();
+        with_ctx(&w, |ctx| {
+            let mut rng = SmallRng::seed_from_u64(3);
+            let out = naive_label(&edge_occs(), ctx, 6, 50, &mut rng);
+            assert!(
+                !out.schemes.is_empty(),
+                "expected at least one scheme, checks={}",
+                out.conformance_checks
+            );
+            // Every occurrence pairs f1 with f2, so a ≥6-support scheme
+            // must generalize at least one side to F.
+            let has_f = out
+                .schemes
+                .iter()
+                .any(|s| s.labels.iter().any(|l| l.terms.contains(&TermId(1))));
+            assert!(has_f, "schemes: {:?}", out.schemes);
+        });
+    }
+
+    #[test]
+    fn naive_spends_many_conformance_checks() {
+        let w = world();
+        with_ctx(&w, |ctx| {
+            let mut rng = SmallRng::seed_from_u64(3);
+            let out = naive_label(&edge_occs(), ctx, 6, 50, &mut rng);
+            // The scalability point: repeated full-pool conformance scans.
+            assert!(out.conformance_checks >= 16);
+        });
+    }
+
+    #[test]
+    fn impossible_sigma_terminates() {
+        let w = world();
+        with_ctx(&w, |ctx| {
+            let mut rng = SmallRng::seed_from_u64(9);
+            let out = naive_label(&edge_occs(), ctx, 100, 20, &mut rng);
+            assert!(out.schemes.is_empty());
+        });
+    }
+
+    #[test]
+    fn empty_pool_is_fine() {
+        let w = world();
+        with_ctx(&w, |ctx| {
+            let mut rng = SmallRng::seed_from_u64(1);
+            let out = naive_label(&[], ctx, 1, 10, &mut rng);
+            assert!(out.schemes.is_empty());
+            assert_eq!(out.conformance_checks, 0);
+        });
+    }
+}

@@ -1,0 +1,287 @@
+//! Occurrence similarity `SO` (Equation 3 of the paper).
+//!
+//! The similarity of two occurrences of the same motif is the sum, over
+//! the motif's symmetric-vertex sets (automorphism orbits), of the best
+//! pairing of corresponding vertices by `SV`, normalized by the motif
+//! size:
+//!
+//! ```text
+//! SO(oi, oj) = (1/|V|) Σ_orbits max_{pairings} Σ SV(vα, vβ)    (Eq. 3)
+//! ```
+//!
+//! The per-orbit maximization is a maximum-weight assignment, solved
+//! exactly in `O(t³)` per orbit (the paper enumerates pairings, which is
+//! `O(t!)` — see DESIGN.md §5 on the PIGALE substitution).
+
+use crate::assignment::max_assignment;
+use go_ontology::{TermId, TermSimilarity};
+use motif_finder::Occurrence;
+use ppi_graph::{automorphism_orbits, Graph};
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+/// Precomputed context for scoring occurrence pairs of one motif.
+pub struct OccurrenceScorer<'a> {
+    sim: &'a TermSimilarity<'a>,
+    /// Namespace-filtered annotation lists, indexed by network vertex id.
+    terms_by_protein: &'a [Vec<TermId>],
+    /// Pattern automorphism orbits as position lists (singletons kept).
+    orbits: Vec<Vec<usize>>,
+    size: usize,
+    /// Protein-pair SV memo — occurrences of one motif overlap heavily
+    /// (clique subsets, bipartite subsets), so the same protein pairs
+    /// recur across thousands of occurrence pairs.
+    sv_cache: RefCell<HashMap<(u32, u32), f64>>,
+}
+
+impl<'a> OccurrenceScorer<'a> {
+    /// Build a scorer for `pattern`, reading annotations from
+    /// `terms_by_protein` (one entry per network vertex, already
+    /// restricted to the namespace being labeled).
+    pub fn new(
+        pattern: &Graph,
+        sim: &'a TermSimilarity<'a>,
+        terms_by_protein: &'a [Vec<TermId>],
+    ) -> Self {
+        let orbits = automorphism_orbits(pattern)
+            .into_iter()
+            .map(|o| o.into_iter().map(|v| v.index()).collect())
+            .collect();
+        Self::from_orbits(orbits, pattern.vertex_count(), sim, terms_by_protein)
+    }
+
+    /// Build a scorer from explicit symmetric-vertex sets (position
+    /// lists). Used for directed motifs, whose orbits are finer than
+    /// their skeleton's.
+    pub fn from_orbits(
+        orbits: Vec<Vec<usize>>,
+        size: usize,
+        sim: &'a TermSimilarity<'a>,
+        terms_by_protein: &'a [Vec<TermId>],
+    ) -> Self {
+        debug_assert_eq!(orbits.iter().map(Vec::len).sum::<usize>(), size);
+        OccurrenceScorer {
+            sim,
+            terms_by_protein,
+            orbits,
+            size,
+            sv_cache: RefCell::new(HashMap::new()),
+        }
+    }
+
+    /// The symmetric vertex sets used for pairing (positions).
+    pub fn orbits(&self) -> &[Vec<usize>] {
+        &self.orbits
+    }
+
+    /// Annotation terms of the protein at `occ` position `pos`.
+    fn terms_at(&self, occ: &Occurrence, pos: usize) -> &[TermId] {
+        &self.terms_by_protein[occ.vertices[pos].index()]
+    }
+
+    /// Vertex similarity `SV` between position `pa` of `a` and `pb` of
+    /// `b`, memoized per protein pair.
+    pub fn sv(&self, a: &Occurrence, pa: usize, b: &Occurrence, pb: usize) -> f64 {
+        let (va, vb) = (a.vertices[pa].0, b.vertices[pb].0);
+        let key = if va <= vb { (va, vb) } else { (vb, va) };
+        if let Some(&v) = self.sv_cache.borrow().get(&key) {
+            return v;
+        }
+        let v = self.sim.sv(self.terms_at(a, pa), self.terms_at(b, pb));
+        self.sv_cache.borrow_mut().insert(key, v);
+        v
+    }
+
+    /// Occurrence similarity `SO(a, b)` per Equation 3.
+    pub fn so(&self, a: &Occurrence, b: &Occurrence) -> f64 {
+        debug_assert_eq!(a.len(), self.size);
+        debug_assert_eq!(b.len(), self.size);
+        if self.size == 0 {
+            return 0.0;
+        }
+        let mut total = 0.0;
+        for orbit in &self.orbits {
+            if orbit.len() == 1 {
+                total += self.sv(a, orbit[0], b, orbit[0]);
+            } else {
+                let w: Vec<Vec<f64>> = orbit
+                    .iter()
+                    .map(|&x| orbit.iter().map(|&y| self.sv(a, x, b, y)).collect())
+                    .collect();
+                let (_, best) = max_assignment(&w);
+                total += best;
+            }
+        }
+        total / self.size as f64
+    }
+
+    /// Like [`OccurrenceScorer::so`], but also returns the chosen
+    /// position pairing `pairing[pos_in_a] = pos_in_b` (identity outside
+    /// symmetric sets).
+    pub fn so_with_pairing(&self, a: &Occurrence, b: &Occurrence) -> (f64, Vec<usize>) {
+        let mut pairing: Vec<usize> = (0..self.size).collect();
+        if self.size == 0 {
+            return (0.0, pairing);
+        }
+        let mut total = 0.0;
+        for orbit in &self.orbits {
+            if orbit.len() == 1 {
+                total += self.sv(a, orbit[0], b, orbit[0]);
+            } else {
+                let w: Vec<Vec<f64>> = orbit
+                    .iter()
+                    .map(|&x| orbit.iter().map(|&y| self.sv(a, x, b, y)).collect())
+                    .collect();
+                let (assign, best) = max_assignment(&w);
+                for (xi, &yi) in assign.iter().enumerate() {
+                    pairing[orbit[xi]] = orbit[yi];
+                }
+                total += best;
+            }
+        }
+        (total / self.size as f64, pairing)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use go_ontology::{
+        Annotations, Namespace, Ontology, OntologyBuilder, ProteinId, Relation, TermWeights,
+    };
+    use ppi_graph::VertexId;
+
+    /// Ontology: root -> a -> {x, y}; root -> b.
+    fn ontology() -> Ontology {
+        let mut ob = OntologyBuilder::new();
+        let root = ob.add_term("GO:0", "root", Namespace::BiologicalProcess);
+        let a = ob.add_term("GO:1", "a", Namespace::BiologicalProcess);
+        let b = ob.add_term("GO:2", "b", Namespace::BiologicalProcess);
+        let x = ob.add_term("GO:3", "x", Namespace::BiologicalProcess);
+        let y = ob.add_term("GO:4", "y", Namespace::BiologicalProcess);
+        ob.add_edge(a, root, Relation::IsA);
+        ob.add_edge(b, root, Relation::IsA);
+        ob.add_edge(x, a, Relation::IsA);
+        ob.add_edge(y, a, Relation::IsA);
+        ob.build().unwrap()
+    }
+
+    fn weights(o: &Ontology) -> TermWeights {
+        let mut ann = Annotations::new(10, o.term_count());
+        let (x, y, b) = (TermId(3), TermId(4), TermId(2));
+        for p in 0..3 {
+            ann.annotate(ProteinId(p), x);
+        }
+        for p in 3..6 {
+            ann.annotate(ProteinId(p), y);
+        }
+        for p in 6..10 {
+            ann.annotate(ProteinId(p), b);
+        }
+        TermWeights::compute(o, &ann)
+    }
+
+    /// terms_by_protein for 6 network vertices:
+    /// 0:{x} 1:{b} 2:{y} 3:{b} 4:{} 5:{x,b}
+    fn protein_terms() -> Vec<Vec<TermId>> {
+        vec![
+            vec![TermId(3)],
+            vec![TermId(2)],
+            vec![TermId(4)],
+            vec![TermId(2)],
+            vec![],
+            vec![TermId(3), TermId(2)],
+        ]
+    }
+
+    #[test]
+    fn identical_occurrences_score_one_when_fully_annotated() {
+        let o = ontology();
+        let w = weights(&o);
+        let sim = TermSimilarity::new(&o, &w);
+        let terms = protein_terms();
+        // Pattern: path3 (orbits {0,2},{1}).
+        let pattern = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        let scorer = OccurrenceScorer::new(&pattern, &sim, &terms);
+        let occ = Occurrence::new(vec![VertexId(0), VertexId(1), VertexId(2)]);
+        assert!((scorer.so(&occ, &occ) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn symmetric_pairing_recovers_swapped_endpoints() {
+        let o = ontology();
+        let w = weights(&o);
+        let sim = TermSimilarity::new(&o, &w);
+        let terms = protein_terms();
+        let pattern = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        let scorer = OccurrenceScorer::new(&pattern, &sim, &terms);
+        // a = (x, b, y); b = (y, b, x): endpoints swapped. The orbit
+        // pairing must map 0↔2 and score as if aligned.
+        let oa = Occurrence::new(vec![VertexId(0), VertexId(1), VertexId(2)]);
+        let ob = Occurrence::new(vec![VertexId(2), VertexId(1), VertexId(0)]);
+        let (so, pairing) = scorer.so_with_pairing(&oa, &ob);
+        assert!((so - 1.0).abs() < 1e-12, "so = {so}");
+        assert_eq!(pairing, vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn fixed_alignment_scores_lower_than_symmetric() {
+        let o = ontology();
+        let w = weights(&o);
+        let sim = TermSimilarity::new(&o, &w);
+        let terms = protein_terms();
+        let pattern = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        let scorer = OccurrenceScorer::new(&pattern, &sim, &terms);
+        let oa = Occurrence::new(vec![VertexId(0), VertexId(1), VertexId(2)]);
+        let ob = Occurrence::new(vec![VertexId(2), VertexId(1), VertexId(0)]);
+        // Identity alignment: SV(x,y) twice (siblings, < 1) + SV(b,b)=1.
+        let fixed = (scorer.sv(&oa, 0, &ob, 0) + scorer.sv(&oa, 1, &ob, 1)
+            + scorer.sv(&oa, 2, &ob, 2))
+            / 3.0;
+        assert!(fixed < scorer.so(&oa, &ob));
+    }
+
+    #[test]
+    fn unannotated_positions_drag_score_down() {
+        let o = ontology();
+        let w = weights(&o);
+        let sim = TermSimilarity::new(&o, &w);
+        let terms = protein_terms();
+        let pattern = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        let scorer = OccurrenceScorer::new(&pattern, &sim, &terms);
+        let oa = Occurrence::new(vec![VertexId(0), VertexId(1), VertexId(2)]);
+        // Vertex 4 is unannotated.
+        let ob = Occurrence::new(vec![VertexId(0), VertexId(1), VertexId(4)]);
+        let so = scorer.so(&oa, &ob);
+        assert!(so < 1.0 && so > 0.0);
+    }
+
+    #[test]
+    fn asymmetric_pattern_uses_identity_orbits() {
+        let o = ontology();
+        let w = weights(&o);
+        let sim = TermSimilarity::new(&o, &w);
+        let terms = protein_terms();
+        // Pattern: triangle with a tail (no symmetry between tail and
+        // triangle vertices; orbits of the two non-attachment triangle
+        // vertices are symmetric).
+        let pattern = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 0), (0, 3)]);
+        let scorer = OccurrenceScorer::new(&pattern, &sim, &terms);
+        assert_eq!(scorer.orbits().len(), 3);
+        let occ = Occurrence::new(vec![VertexId(0), VertexId(1), VertexId(2), VertexId(5)]);
+        assert!((scorer.so(&occ, &occ) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn so_is_symmetric() {
+        let o = ontology();
+        let w = weights(&o);
+        let sim = TermSimilarity::new(&o, &w);
+        let terms = protein_terms();
+        let pattern = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        let scorer = OccurrenceScorer::new(&pattern, &sim, &terms);
+        let oa = Occurrence::new(vec![VertexId(0), VertexId(1), VertexId(2)]);
+        let ob = Occurrence::new(vec![VertexId(5), VertexId(3), VertexId(2)]);
+        assert!((scorer.so(&oa, &ob) - scorer.so(&ob, &oa)).abs() < 1e-12);
+    }
+}

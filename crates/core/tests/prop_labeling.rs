@@ -1,0 +1,183 @@
+//! Property-based tests for the labeling core: conformance invariants of
+//! the clustering output over randomized worlds.
+
+use go_ontology::{
+    Annotations, InformativeClasses, InformativeConfig, Namespace, Ontology, OntologyBuilder,
+    ProteinId, Relation, TermId, TermSimilarity, TermWeights,
+};
+use lamofinder::{
+    cluster_occurrences, compute_frontier, ClusteringConfig, LabelContext, LabelingScheme,
+    VertexLabel,
+};
+use motif_finder::Occurrence;
+use ppi_graph::{Graph, VertexId};
+use proptest::prelude::*;
+
+/// Random world: chain-of-`n` ontology DAG, `p` proteins with random
+/// annotations, and a set of edge occurrences over those proteins.
+#[derive(Debug, Clone)]
+struct World {
+    terms: usize,
+    parent_seed: Vec<u32>,
+    protein_terms: Vec<Vec<u32>>,
+    occ_pairs: Vec<(u32, u32)>,
+}
+
+fn world_strategy() -> impl Strategy<Value = World> {
+    (
+        5usize..14,
+        proptest::collection::vec(any::<u32>(), 16),
+        proptest::collection::vec(proptest::collection::vec(0u32..14, 0..4), 8..24),
+        proptest::collection::vec((0u32..24, 0u32..24), 3..12),
+    )
+        .prop_map(|(terms, parent_seed, protein_terms, occ_pairs)| World {
+            terms,
+            parent_seed,
+            protein_terms,
+            occ_pairs,
+        })
+}
+
+fn build(w: &World) -> (Ontology, Annotations, Vec<Occurrence>) {
+    let mut b = OntologyBuilder::new();
+    for i in 0..w.terms {
+        b.add_term(format!("GO:{i}"), format!("t{i}"), Namespace::BiologicalProcess);
+    }
+    for i in 1..w.terms {
+        let p = (w.parent_seed[i % w.parent_seed.len()] as usize) % i;
+        b.add_edge(TermId(i as u32), TermId(p as u32), Relation::IsA);
+    }
+    let ontology = b.build().unwrap();
+    let n = w.protein_terms.len();
+    let mut ann = Annotations::new(n, w.terms);
+    for (p, terms) in w.protein_terms.iter().enumerate() {
+        for &t in terms {
+            ann.annotate(ProteinId(p as u32), TermId(t % w.terms as u32));
+        }
+    }
+    let occs: Vec<Occurrence> = w
+        .occ_pairs
+        .iter()
+        .filter(|&&(a, b)| a as usize % n != b as usize % n)
+        .map(|&(a, b)| {
+            Occurrence::new(vec![
+                VertexId(a % n as u32),
+                VertexId(b % n as u32),
+            ])
+        })
+        .collect();
+    (ontology, ann, occs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn clustering_output_always_conforms(w in world_strategy()) {
+        let (ontology, ann, occs) = build(&w);
+        if occs.is_empty() {
+            return Ok(());
+        }
+        let weights = TermWeights::compute(&ontology, &ann);
+        let sim = TermSimilarity::new(&ontology, &weights);
+        let informative = InformativeClasses::compute(&ontology, &ann, InformativeConfig {
+            min_direct: 1,
+            ..Default::default()
+        });
+        let frontier = compute_frontier(&ontology, &informative);
+        let terms_by_protein: Vec<Vec<TermId>> = (0..ann.protein_count())
+            .map(|p| ann.terms_of(ProteinId(p as u32)).to_vec())
+            .collect();
+        let ctx = LabelContext {
+            ontology: &ontology,
+            sim: &sim,
+            informative: &informative,
+            terms_by_protein: &terms_by_protein,
+            frontier: &frontier,
+        };
+        let pattern = Graph::from_edges(2, &[(0, 1)]);
+        let config = ClusteringConfig {
+            sigma: 2,
+            ..Default::default()
+        };
+        for cluster in cluster_occurrences(&pattern, &occs, &ctx, &config) {
+            prop_assert!(cluster.occurrences.len() >= 2);
+            prop_assert!(!cluster.scheme.is_all_unknown());
+            for o in &cluster.occurrences {
+                prop_assert!(
+                    cluster.scheme.conforms_to(o, &ontology, &ann),
+                    "scheme {:?} vs occurrence {:?}",
+                    cluster.scheme,
+                    o
+                );
+            }
+            // Emitted labels live in the vocabulary.
+            for label in &cluster.scheme.labels {
+                for &t in &label.terms {
+                    prop_assert!(informative.in_vocabulary(t));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generalizing_a_label_preserves_conformance(w in world_strategy()) {
+        let (ontology, ann, occs) = build(&w);
+        // For any conforming scheme, replacing a label term by one of its
+        // ancestors must keep it conforming (labels grow more general).
+        for occ in occs.iter().take(4) {
+            let scheme = LabelingScheme::new(
+                occ.vertices
+                    .iter()
+                    .map(|&v| VertexLabel::new(ann.terms_of(ProteinId(v.0)).to_vec()))
+                    .collect(),
+            );
+            prop_assert!(scheme.conforms_to(occ, &ontology, &ann));
+            for (vi, label) in scheme.labels.iter().enumerate() {
+                for (ti, &t) in label.terms.iter().enumerate() {
+                    for &(parent, _) in ontology.parents(t) {
+                        let mut lifted = scheme.clone();
+                        lifted.labels[vi].terms[ti] = parent;
+                        lifted.labels[vi] = VertexLabel::new(lifted.labels[vi].terms.clone());
+                        prop_assert!(
+                            lifted.conforms_to(occ, &ontology, &ann),
+                            "ancestor labels must conform"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn support_never_decreases_under_generalization(w in world_strategy()) {
+        let (ontology, ann, occs) = build(&w);
+        if occs.is_empty() {
+            return Ok(());
+        }
+        let occ = &occs[0];
+        let scheme = LabelingScheme::new(
+            occ.vertices
+                .iter()
+                .map(|&v| VertexLabel::new(ann.terms_of(ProteinId(v.0)).to_vec()))
+                .collect(),
+        );
+        let base = scheme.support(&occs, &ontology, &ann);
+        // Lift every label to the root (term 0): support can only grow.
+        let lifted = LabelingScheme::new(
+            scheme
+                .labels
+                .iter()
+                .map(|l| {
+                    if l.is_unknown() {
+                        l.clone()
+                    } else {
+                        VertexLabel::new(vec![TermId(0)])
+                    }
+                })
+                .collect(),
+        );
+        let lifted_support = lifted.support(&occs, &ontology, &ann);
+        prop_assert!(lifted_support >= base, "{lifted_support} < {base}");
+    }
+}

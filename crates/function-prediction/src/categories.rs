@@ -1,0 +1,88 @@
+//! Mapping annotations to top functional categories.
+//!
+//! The paper evaluates against "the top 13 functional categories of
+//! yeast proteins", generalizing every annotation up the hierarchy
+//! (footnote 1 of Section 5). [`CategoryView`] performs the same
+//! generalization: a protein has category `c` iff `c` is an
+//! ancestor-or-self of one of its annotations.
+
+use go_ontology::{Annotations, Ontology, ProteinId, TermId};
+
+/// Precomputed protein → category-index mapping.
+pub struct CategoryView {
+    /// The category terms, in index order.
+    pub categories: Vec<TermId>,
+    /// Per-protein sorted category indices.
+    pub functions: Vec<Vec<usize>>,
+}
+
+impl CategoryView {
+    /// Generalize `annotations` to `categories`.
+    pub fn new(ontology: &Ontology, annotations: &Annotations, categories: &[TermId]) -> Self {
+        let functions = (0..annotations.protein_count())
+            .map(|p| {
+                let mut cats: Vec<usize> = annotations
+                    .terms_of(ProteinId(p as u32))
+                    .iter()
+                    .flat_map(|&t| {
+                        categories
+                            .iter()
+                            .enumerate()
+                            .filter(move |&(_, &c)| ontology.is_same_or_ancestor(c, t))
+                            .map(|(i, _)| i)
+                            .collect::<Vec<_>>()
+                    })
+                    .collect();
+                cats.sort_unstable();
+                cats.dedup();
+                cats
+            })
+            .collect();
+        CategoryView {
+            categories: categories.to_vec(),
+            functions,
+        }
+    }
+
+    /// Number of categories.
+    pub fn n_categories(&self) -> usize {
+        self.categories.len()
+    }
+
+    /// Fraction of proteins with at least one category.
+    pub fn coverage(&self) -> f64 {
+        if self.functions.is_empty() {
+            return 0.0;
+        }
+        self.functions.iter().filter(|f| !f.is_empty()).count() as f64
+            / self.functions.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use go_ontology::{Namespace, OntologyBuilder, Relation};
+
+    #[test]
+    fn generalizes_to_ancestor_categories() {
+        let mut ob = OntologyBuilder::new();
+        let root = ob.add_term("GO:0", "root", Namespace::BiologicalProcess);
+        let c0 = ob.add_term("GO:1", "cat0", Namespace::BiologicalProcess);
+        let c1 = ob.add_term("GO:2", "cat1", Namespace::BiologicalProcess);
+        let leaf = ob.add_term("GO:3", "leaf", Namespace::BiologicalProcess);
+        ob.add_edge(c0, root, Relation::IsA);
+        ob.add_edge(c1, root, Relation::IsA);
+        ob.add_edge(leaf, c0, Relation::IsA);
+        let o = ob.build().unwrap();
+        let mut ann = Annotations::new(3, o.term_count());
+        ann.annotate(ProteinId(0), leaf); // under cat0
+        ann.annotate(ProteinId(1), c1); // directly cat1
+        let view = CategoryView::new(&o, &ann, &[c0, c1]);
+        assert_eq!(view.functions[0], vec![0]);
+        assert_eq!(view.functions[1], vec![1]);
+        assert!(view.functions[2].is_empty());
+        assert_eq!(view.n_categories(), 2);
+        assert!((view.coverage() - 2.0 / 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,118 @@
+//! Chi-square neighborhood scoring (Hishigaki et al. 2001) — baseline 2.
+//!
+//! "A statistical approach that makes use of Chi-Square statistics to
+//! take into account the frequency of each function in the dataset."
+//! For protein `p` and function `c`: with `n_c` neighbors of `p` having
+//! function `c` and `e_c = π_c · |N(p)|` the count expected from the
+//! background frequency `π_c`, the score is `(n_c − e_c)² / e_c`,
+//! signed by over-representation (under-represented functions should
+//! not be predicted just because they deviate).
+
+use crate::context::{FunctionPredictor, PredictionContext};
+use ppi_graph::VertexId;
+
+/// The chi-square predictor.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Chi2Predictor;
+
+impl FunctionPredictor for Chi2Predictor {
+    fn name(&self) -> &str {
+        "Chi2"
+    }
+
+    fn predict_all(&self, ctx: &PredictionContext<'_>) -> Vec<Vec<f64>> {
+        let priors = ctx.category_priors();
+        (0..ctx.protein_count())
+            .map(|p| {
+                let neighbors = ctx.network.neighbors(VertexId(p as u32));
+                let mut counts = vec![0.0f64; ctx.n_categories];
+                for &nb in neighbors {
+                    for &c in &ctx.functions[nb as usize] {
+                        counts[c] += 1.0;
+                    }
+                }
+                let n = neighbors.len() as f64;
+                counts
+                    .iter()
+                    .enumerate()
+                    .map(|(c, &observed)| {
+                        let expected = priors[c] * n;
+                        if expected <= 0.0 {
+                            return 0.0;
+                        }
+                        let chi = (observed - expected).powi(2) / expected;
+                        if observed >= expected {
+                            chi
+                        } else {
+                            -chi
+                        }
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use go_ontology::TermId;
+    use ppi_graph::Graph;
+
+    fn ctx_fixture(functions: &[Vec<usize>], g: &Graph) -> Vec<Vec<f64>> {
+        let ctx = PredictionContext {
+            network: g,
+            functions,
+            n_categories: 2,
+            category_terms: &[TermId(0), TermId(1)],
+        };
+        Chi2Predictor.predict_all(&ctx)
+    }
+
+    #[test]
+    fn over_representation_scores_positive() {
+        // 0 is connected to 1, 2 (function 0); 3, 4, 5 carry function 1
+        // elsewhere, making function 1 globally common.
+        let g = Graph::from_edges(6, &[(0, 1), (0, 2), (3, 4), (4, 5)]);
+        let functions = vec![
+            vec![],
+            vec![0],
+            vec![0],
+            vec![1],
+            vec![1],
+            vec![1],
+        ];
+        let scores = ctx_fixture(&functions, &g);
+        assert!(scores[0][0] > 0.0, "function 0 over-represented: {scores:?}");
+        assert!(scores[0][1] < 0.0, "function 1 absent among neighbors");
+        assert!(scores[0][0] > scores[0][1]);
+    }
+
+    #[test]
+    fn rare_function_concentration_beats_common_background() {
+        // p's 2 neighbors both carry the globally rare function 0; NC
+        // would tie it with a common function seen twice; chi-square
+        // separates them.
+        let g = Graph::from_edges(8, &[(0, 1), (0, 2), (3, 4), (5, 6), (6, 7)]);
+        let mut functions = vec![vec![]; 8];
+        functions[1] = vec![0, 1];
+        functions[2] = vec![0, 1];
+        functions[3] = vec![1];
+        functions[4] = vec![1];
+        functions[5] = vec![1];
+        functions[6] = vec![1];
+        functions[7] = vec![1];
+        let scores = ctx_fixture(&functions, &g);
+        // Function 0: observed 2, expected 2 * (2/7); function 1:
+        // observed 2, expected 2 * (7/7) = 2 → chi 0.
+        assert!(scores[0][0] > scores[0][1]);
+    }
+
+    #[test]
+    fn empty_neighborhood_is_neutral() {
+        let g = Graph::empty(3);
+        let functions = vec![vec![0], vec![1], vec![]];
+        let scores = ctx_fixture(&functions, &g);
+        assert_eq!(scores[2], vec![0.0, 0.0]);
+    }
+}

@@ -1,0 +1,93 @@
+//! Shared prediction context and the predictor interface.
+//!
+//! Every method in Section 5.2 predicts, for a protein with hidden
+//! annotations, a ranking over the top functional categories (13 in the
+//! paper's yeast evaluation). Predictors implement [`FunctionPredictor`]
+//! by producing a full score matrix at once — batch form lets the MRF
+//! run its field updates per fold and PRODISTIN build its tree once —
+//! with the contract that row `p` must not read `functions[p]`.
+
+use go_ontology::TermId;
+use ppi_graph::{Graph, VertexId};
+
+/// Input to all predictors.
+pub struct PredictionContext<'a> {
+    /// The PPI network.
+    pub network: &'a Graph,
+    /// True category indices per protein (`0..n_categories`), empty for
+    /// unannotated proteins.
+    pub functions: &'a [Vec<usize>],
+    /// Number of categories (the paper's top 13).
+    pub n_categories: usize,
+    /// The category terms (for reporting only).
+    pub category_terms: &'a [TermId],
+}
+
+impl PredictionContext<'_> {
+    /// Number of proteins.
+    pub fn protein_count(&self) -> usize {
+        self.network.vertex_count()
+    }
+
+    /// Whether protein `p` has at least one category function.
+    pub fn has_functions(&self, p: VertexId) -> bool {
+        !self.functions[p.index()].is_empty()
+    }
+
+    /// Global frequency of each category among annotated proteins.
+    pub fn category_priors(&self) -> Vec<f64> {
+        let mut counts = vec![0usize; self.n_categories];
+        let mut annotated = 0usize;
+        for f in self.functions {
+            if f.is_empty() {
+                continue;
+            }
+            annotated += 1;
+            for &c in f {
+                counts[c] += 1;
+            }
+        }
+        counts
+            .into_iter()
+            .map(|c| {
+                if annotated == 0 {
+                    0.0
+                } else {
+                    c as f64 / annotated as f64
+                }
+            })
+            .collect()
+    }
+}
+
+/// A protein-function prediction method.
+pub trait FunctionPredictor {
+    /// Display name (used in the Fig. 9 report).
+    fn name(&self) -> &str;
+
+    /// Score matrix: `scores[p][c]` ranks category `c` for protein `p`.
+    /// Row `p` must be computed as if `functions[p]` were unknown.
+    fn predict_all(&self, ctx: &PredictionContext<'_>) -> Vec<Vec<f64>>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn priors_count_annotated_only() {
+        let g = Graph::empty(4);
+        let functions = vec![vec![0], vec![0, 1], vec![], vec![1]];
+        let ctx = PredictionContext {
+            network: &g,
+            functions: &functions,
+            n_categories: 2,
+            category_terms: &[TermId(0), TermId(1)],
+        };
+        let priors = ctx.category_priors();
+        assert!((priors[0] - 2.0 / 3.0).abs() < 1e-12);
+        assert!((priors[1] - 2.0 / 3.0).abs() < 1e-12);
+        assert!(ctx.has_functions(VertexId(0)));
+        assert!(!ctx.has_functions(VertexId(2)));
+    }
+}

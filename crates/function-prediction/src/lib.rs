@@ -1,0 +1,34 @@
+//! Protein function prediction (Section 5 of the paper).
+//!
+//! The labeled-network-motif predictor (Eqs. 4–5) and the four
+//! comparison methods of Section 5.2, all behind one
+//! [`FunctionPredictor`] interface, plus the leave-one-out
+//! precision–recall harness that regenerates Figure 9:
+//!
+//! * [`LabeledMotifPredictor`] — this paper's method;
+//! * [`NeighborCountingPredictor`] — Schwikowski et al.;
+//! * [`Chi2Predictor`] — Hishigaki et al.;
+//! * [`ProdistinPredictor`] — Brun et al. (Czekanowski-Dice + NJ tree);
+//! * [`MrfPredictor`] — Deng et al. (mean-field MRF).
+
+pub mod categories;
+pub mod chi2;
+pub mod context;
+pub mod eval;
+pub mod lms;
+pub mod motif_predictor;
+pub mod mrf;
+pub mod nc;
+pub mod nj;
+pub mod prodistin;
+
+pub use categories::CategoryView;
+pub use chi2::Chi2Predictor;
+pub use context::{FunctionPredictor, PredictionContext};
+pub use eval::{LeaveOneOut, PrCurve, PrPoint};
+pub use lms::lms_scores;
+pub use motif_predictor::LabeledMotifPredictor;
+pub use mrf::MrfPredictor;
+pub use nc::NeighborCountingPredictor;
+pub use nj::{neighbor_joining, NjTree};
+pub use prodistin::{czekanowski_dice, ProdistinPredictor};

@@ -1,0 +1,74 @@
+//! Neighbor Counting (Schwikowski, Uetz & Fields) — baseline 1.
+//!
+//! "Labels a protein with the function that occurs frequently in its
+//! neighbors. The k most frequent functions are assigned as the k most
+//! likely functions."
+
+use crate::context::{FunctionPredictor, PredictionContext};
+use ppi_graph::VertexId;
+
+/// The neighbor-counting predictor.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NeighborCountingPredictor;
+
+impl FunctionPredictor for NeighborCountingPredictor {
+    fn name(&self) -> &str {
+        "NC"
+    }
+
+    fn predict_all(&self, ctx: &PredictionContext<'_>) -> Vec<Vec<f64>> {
+        (0..ctx.protein_count())
+            .map(|p| {
+                let mut counts = vec![0.0f64; ctx.n_categories];
+                for &nb in ctx.network.neighbors(VertexId(p as u32)) {
+                    for &c in &ctx.functions[nb as usize] {
+                        counts[c] += 1.0;
+                    }
+                }
+                counts
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use go_ontology::TermId;
+    use ppi_graph::Graph;
+
+    #[test]
+    fn counts_neighbor_functions() {
+        // Star: center 0 with neighbors 1, 2, 3 having functions
+        // {0}, {0, 1}, {1}.
+        let g = Graph::from_edges(4, &[(0, 1), (0, 2), (0, 3)]);
+        let functions = vec![vec![1], vec![0], vec![0, 1], vec![1]];
+        let ctx = PredictionContext {
+            network: &g,
+            functions: &functions,
+            n_categories: 2,
+            category_terms: &[TermId(0), TermId(1)],
+        };
+        let scores = NeighborCountingPredictor.predict_all(&ctx);
+        assert_eq!(scores[0], vec![2.0, 2.0]);
+        // Leaves see only the center's own function set {1}.
+        assert_eq!(scores[1], vec![0.0, 1.0]);
+        // The row for p must ignore p's own labels (row 0 counted 1's
+        // function only through neighbors — but 0 IS a neighbor of 1).
+        assert_eq!(scores[3], vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn isolated_protein_scores_zero() {
+        let g = Graph::empty(2);
+        let functions = vec![vec![0], vec![0]];
+        let ctx = PredictionContext {
+            network: &g,
+            functions: &functions,
+            n_categories: 1,
+            category_terms: &[TermId(0)],
+        };
+        let scores = NeighborCountingPredictor.predict_all(&ctx);
+        assert_eq!(scores[0], vec![0.0]);
+    }
+}

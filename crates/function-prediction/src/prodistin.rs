@@ -1,0 +1,189 @@
+//! PRODISTIN (Brun et al. 2003) — baseline 3.
+//!
+//! "Uses the Czekanowski-Dice distance between each pair of proteins as
+//! a distance metric and clusters the proteins using the BIONJ
+//! algorithm." We compute the same distance, build a neighbor-joining
+//! tree once (the distances are label-free, so one tree serves every
+//! leave-one-out query), and score a protein's categories by their
+//! frequency inside its smallest sufficiently large clade.
+
+use crate::context::{FunctionPredictor, PredictionContext};
+use crate::nj::neighbor_joining;
+use ppi_graph::VertexId;
+
+/// The PRODISTIN-style predictor.
+#[derive(Clone, Copy, Debug)]
+pub struct ProdistinPredictor {
+    /// Minimum number of annotated clade members (excluding the query)
+    /// required before a clade is read.
+    pub min_clade: usize,
+}
+
+impl Default for ProdistinPredictor {
+    fn default() -> Self {
+        ProdistinPredictor { min_clade: 3 }
+    }
+}
+
+/// Czekanowski-Dice distance between proteins `i` and `j`:
+/// `|N(i) Δ N(j)| / (|N(i) ∪ N(j)| + |N(i) ∩ N(j)|)` with
+/// `N(x) = neighbors(x) ∪ {x}` — interacting proteins with shared
+/// partners come out close.
+pub fn czekanowski_dice(g: &ppi_graph::Graph, i: VertexId, j: VertexId) -> f64 {
+    if i == j {
+        return 0.0;
+    }
+    // Sorted merged neighbor lists including self.
+    let with_self = |v: VertexId| -> Vec<u32> {
+        let mut n: Vec<u32> = g.neighbors(v).to_vec();
+        let pos = n.binary_search(&v.0).unwrap_err();
+        n.insert(pos, v.0);
+        n
+    };
+    let a = with_self(i);
+    let b = with_self(j);
+    let mut inter = 0usize;
+    let (mut x, mut y) = (0usize, 0usize);
+    while x < a.len() && y < b.len() {
+        match a[x].cmp(&b[y]) {
+            std::cmp::Ordering::Less => x += 1,
+            std::cmp::Ordering::Greater => y += 1,
+            std::cmp::Ordering::Equal => {
+                inter += 1;
+                x += 1;
+                y += 1;
+            }
+        }
+    }
+    let union = a.len() + b.len() - inter;
+    let sym_diff = union - inter;
+    sym_diff as f64 / (union + inter) as f64
+}
+
+impl FunctionPredictor for ProdistinPredictor {
+    fn name(&self) -> &str {
+        "Prodistin"
+    }
+
+    fn predict_all(&self, ctx: &PredictionContext<'_>) -> Vec<Vec<f64>> {
+        let n = ctx.protein_count();
+        if n < 2 {
+            return vec![vec![0.0; ctx.n_categories]; n];
+        }
+        // Full distance matrix (label-free).
+        let mut dist = vec![vec![0.0f64; n]; n];
+        for i in 0..n {
+            for j in i + 1..n {
+                let d = czekanowski_dice(ctx.network, VertexId(i as u32), VertexId(j as u32));
+                dist[i][j] = d;
+                dist[j][i] = d;
+            }
+        }
+        let tree = neighbor_joining(&dist);
+
+        // NJ trees are inherently unrooted (our root is an arbitrary
+        // final join), so "clades" are not meaningful; instead vote with
+        // the annotated leaves nearest to `p` in tree-topology distance,
+        // expanding ring by ring until at least `min_clade` voters are
+        // found (the whole final ring is included for determinism).
+        (0..n)
+            .map(|p| {
+                let mut scores = vec![0.0f64; ctx.n_categories];
+                let mut seen = vec![false; tree.parent.len()];
+                let mut frontier = vec![p];
+                seen[p] = true;
+                let mut voters = 0usize;
+                while !frontier.is_empty() && voters < self.min_clade {
+                    let mut next = Vec::new();
+                    for &node in &frontier {
+                        for nb in tree.tree_neighbors(node) {
+                            if !seen[nb] {
+                                seen[nb] = true;
+                                next.push(nb);
+                            }
+                        }
+                    }
+                    for &node in &next {
+                        if node < tree.n_leaves && node != p && !ctx.functions[node].is_empty() {
+                            voters += 1;
+                            for &c in &ctx.functions[node] {
+                                scores[c] += 1.0;
+                            }
+                        }
+                    }
+                    frontier = next;
+                }
+                scores
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use go_ontology::TermId;
+    use ppi_graph::Graph;
+
+    #[test]
+    fn distance_properties() {
+        // Two proteins sharing all partners are close; strangers are far.
+        let g = Graph::from_edges(6, &[(0, 2), (0, 3), (1, 2), (1, 3), (4, 5)]);
+        let close = czekanowski_dice(&g, VertexId(0), VertexId(1));
+        let far = czekanowski_dice(&g, VertexId(0), VertexId(4));
+        assert!(close < far, "close {close} far {far}");
+        assert_eq!(czekanowski_dice(&g, VertexId(2), VertexId(2)), 0.0);
+        assert!(far <= 1.0);
+    }
+
+    #[test]
+    fn interacting_pairs_are_closer_than_strangers() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]);
+        let linked = czekanowski_dice(&g, VertexId(0), VertexId(1));
+        let strangers = czekanowski_dice(&g, VertexId(0), VertexId(2));
+        assert!(linked < strangers);
+    }
+
+    #[test]
+    fn clade_majority_predicts_cluster_function() {
+        // Two 4-cliques joined by one bridge edge; clique A = function 0,
+        // clique B = function 1. Protein 0's clade should vote 0.
+        let mut edges = Vec::new();
+        for i in 0..4u32 {
+            for j in i + 1..4 {
+                edges.push((i, j));
+            }
+        }
+        for i in 4..8u32 {
+            for j in i + 1..8 {
+                edges.push((i, j));
+            }
+        }
+        edges.push((3, 4));
+        let g = Graph::from_edges(8, &edges);
+        let functions: Vec<Vec<usize>> = (0..8).map(|i| vec![usize::from(i >= 4)]).collect();
+        let ctx = PredictionContext {
+            network: &g,
+            functions: &functions,
+            n_categories: 2,
+            category_terms: &[TermId(0), TermId(1)],
+        };
+        let scores = ProdistinPredictor::default().predict_all(&ctx);
+        assert!(scores[0][0] > scores[0][1], "scores[0] = {:?}", scores[0]);
+        assert!(scores[7][1] > scores[7][0], "scores[7] = {:?}", scores[7]);
+    }
+
+    #[test]
+    fn tiny_network_edge_case() {
+        let g = Graph::empty(1);
+        let functions = vec![vec![0]];
+        let ctx = PredictionContext {
+            network: &g,
+            functions: &functions,
+            n_categories: 1,
+            category_terms: &[TermId(0)],
+        };
+        let scores = ProdistinPredictor::default().predict_all(&ctx);
+        assert_eq!(scores, vec![vec![0.0]]);
+    }
+}

@@ -1,0 +1,261 @@
+//! Informative functional classes and the border informative FC.
+//!
+//! Following Zhou et al. (cited in Section 2), a GO term is an
+//! *informative functional class* (FC) when at least `min_direct`
+//! proteins are directly annotated with it (30 in the paper). The
+//! *border informative FC* are the informative FC with no informative
+//! ancestors — the most general labels LaMoFinder is allowed to emit
+//! ("border informative FC are used to avoid the generation of labels
+//! that would be too general"). The label vocabulary `T` of the problem
+//! definition is the border set plus all descendants of border terms.
+//!
+//! The paper's prose about the Figure 1 example contradicts its own
+//! definition (see DESIGN.md §6); [`BorderRule`] exposes both readings.
+
+use crate::annotations::Annotations;
+use crate::ontology::Ontology;
+use crate::term::TermId;
+
+/// Which reading of the border definition to apply.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum BorderRule {
+    /// The formal definition: informative FC with no informative strict
+    /// ancestor. This is the default.
+    #[default]
+    NoInformativeAncestor,
+    /// The alternative reading of the paper's example sentence: every
+    /// informative FC is a border term.
+    AllInformative,
+}
+
+/// Configuration for [`InformativeClasses`].
+#[derive(Clone, Copy, Debug)]
+pub struct InformativeConfig {
+    /// Minimum number of directly annotated proteins (paper: 30).
+    pub min_direct: usize,
+    /// Border definition variant.
+    pub border_rule: BorderRule,
+}
+
+impl Default for InformativeConfig {
+    fn default() -> Self {
+        InformativeConfig {
+            min_direct: 30,
+            border_rule: BorderRule::NoInformativeAncestor,
+        }
+    }
+}
+
+/// The informative / border classification of every term, plus the
+/// induced label vocabulary.
+#[derive(Clone, Debug)]
+pub struct InformativeClasses {
+    informative: Vec<bool>,
+    border: Vec<bool>,
+    in_vocabulary: Vec<bool>,
+}
+
+impl InformativeClasses {
+    /// Classify all terms of `ontology` under `config`.
+    pub fn compute(
+        ontology: &Ontology,
+        annotations: &Annotations,
+        config: InformativeConfig,
+    ) -> Self {
+        let n = ontology.term_count();
+        let informative: Vec<bool> = (0..n)
+            .map(|i| annotations.direct_count(TermId(i as u32)) >= config.min_direct)
+            .collect();
+
+        let border: Vec<bool> = (0..n)
+            .map(|i| {
+                let t = TermId(i as u32);
+                if !informative[i] {
+                    return false;
+                }
+                match config.border_rule {
+                    BorderRule::AllInformative => true,
+                    BorderRule::NoInformativeAncestor => ontology
+                        .ancestors(t)
+                        .iter()
+                        .all(|a| !informative[a.index()]),
+                }
+            })
+            .collect();
+
+        // Vocabulary: border terms and their descendants.
+        let mut in_vocabulary = vec![false; n];
+        // Walk the topological order; a term is in the vocabulary if it is
+        // border or has a parent in the vocabulary.
+        for &t in ontology.topological_order() {
+            if border[t.index()]
+                || ontology
+                    .parents(t)
+                    .iter()
+                    .any(|&(p, _)| in_vocabulary[p.index()])
+            {
+                in_vocabulary[t.index()] = true;
+            }
+        }
+
+        InformativeClasses {
+            informative,
+            border,
+            in_vocabulary,
+        }
+    }
+
+    /// Whether `t` is an informative FC.
+    pub fn is_informative(&self, t: TermId) -> bool {
+        self.informative[t.index()]
+    }
+
+    /// Whether `t` is a border informative FC.
+    pub fn is_border(&self, t: TermId) -> bool {
+        self.border[t.index()]
+    }
+
+    /// Whether `t` belongs to the label vocabulary `T` (border term or
+    /// descendant of one).
+    pub fn in_vocabulary(&self, t: TermId) -> bool {
+        self.in_vocabulary[t.index()]
+    }
+
+    /// Whether `t` is "at or above the border frontier": `t` is a border
+    /// term or an ancestor of one. Labels that generalize past this
+    /// frontier would be "too general"; the clustering stop rule counts
+    /// vertices whose labels have reached it.
+    pub fn at_or_above_border(&self, ontology: &Ontology, t: TermId) -> bool {
+        if self.border[t.index()] {
+            return true;
+        }
+        ontology
+            .descendants_or_self(t)
+            .iter()
+            .any(|d| self.border[d.index()])
+    }
+
+    /// Sorted list of border terms.
+    pub fn border_terms(&self) -> Vec<TermId> {
+        self.border
+            .iter()
+            .enumerate()
+            .filter(|&(_, &b)| b)
+            .map(|(i, _)| TermId(i as u32))
+            .collect()
+    }
+
+    /// Sorted list of informative terms.
+    pub fn informative_terms(&self) -> Vec<TermId> {
+        self.informative
+            .iter()
+            .enumerate()
+            .filter(|&(_, &b)| b)
+            .map(|(i, _)| TermId(i as u32))
+            .collect()
+    }
+
+    /// Sorted label vocabulary.
+    pub fn vocabulary(&self) -> Vec<TermId> {
+        self.in_vocabulary
+            .iter()
+            .enumerate()
+            .filter(|&(_, &b)| b)
+            .map(|(i, _)| TermId(i as u32))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::annotations::ProteinId;
+    use crate::ontology::OntologyBuilder;
+    use crate::term::{Namespace, Relation};
+
+    /// root -> mid -> leaf; annotate: mid 30, leaf 40, root 0.
+    fn fixture() -> (Ontology, Annotations) {
+        let mut ob = OntologyBuilder::new();
+        let root = ob.add_term("GO:0", "root", Namespace::BiologicalProcess);
+        let mid = ob.add_term("GO:1", "mid", Namespace::BiologicalProcess);
+        let leaf = ob.add_term("GO:2", "leaf", Namespace::BiologicalProcess);
+        ob.add_edge(mid, root, Relation::IsA);
+        ob.add_edge(leaf, mid, Relation::IsA);
+        let o = ob.build().unwrap();
+        let mut ann = Annotations::new(100, o.term_count());
+        for p in 0..30 {
+            ann.annotate(ProteinId(p), mid);
+        }
+        for p in 30..70 {
+            ann.annotate(ProteinId(p), leaf);
+        }
+        (o, ann)
+    }
+
+    #[test]
+    fn informative_threshold_is_inclusive() {
+        let (o, ann) = fixture();
+        let ic = InformativeClasses::compute(&o, &ann, InformativeConfig::default());
+        assert!(!ic.is_informative(TermId(0)));
+        assert!(ic.is_informative(TermId(1)), "30 directs is informative");
+        assert!(ic.is_informative(TermId(2)));
+    }
+
+    #[test]
+    fn border_excludes_terms_with_informative_ancestors() {
+        let (o, ann) = fixture();
+        let ic = InformativeClasses::compute(&o, &ann, InformativeConfig::default());
+        assert!(ic.is_border(TermId(1)));
+        assert!(!ic.is_border(TermId(2)), "leaf has informative ancestor mid");
+        assert_eq!(ic.border_terms(), vec![TermId(1)]);
+    }
+
+    #[test]
+    fn all_informative_rule_keeps_descendants() {
+        let (o, ann) = fixture();
+        let ic = InformativeClasses::compute(
+            &o,
+            &ann,
+            InformativeConfig {
+                border_rule: BorderRule::AllInformative,
+                ..Default::default()
+            },
+        );
+        assert_eq!(ic.border_terms(), vec![TermId(1), TermId(2)]);
+    }
+
+    #[test]
+    fn vocabulary_is_border_plus_descendants() {
+        let (o, ann) = fixture();
+        let ic = InformativeClasses::compute(&o, &ann, InformativeConfig::default());
+        assert!(!ic.in_vocabulary(TermId(0)), "root is above the border");
+        assert!(ic.in_vocabulary(TermId(1)));
+        assert!(ic.in_vocabulary(TermId(2)));
+        assert_eq!(ic.vocabulary(), vec![TermId(1), TermId(2)]);
+    }
+
+    #[test]
+    fn at_or_above_border_frontier() {
+        let (o, ann) = fixture();
+        let ic = InformativeClasses::compute(&o, &ann, InformativeConfig::default());
+        assert!(ic.at_or_above_border(&o, TermId(0)), "root is above border");
+        assert!(ic.at_or_above_border(&o, TermId(1)), "border itself");
+        assert!(!ic.at_or_above_border(&o, TermId(2)), "below border");
+    }
+
+    #[test]
+    fn custom_threshold() {
+        let (o, ann) = fixture();
+        let ic = InformativeClasses::compute(
+            &o,
+            &ann,
+            InformativeConfig {
+                min_direct: 35,
+                ..Default::default()
+            },
+        );
+        assert!(!ic.is_informative(TermId(1)));
+        assert!(ic.is_informative(TermId(2)));
+        assert_eq!(ic.border_terms(), vec![TermId(2)]);
+    }
+}

@@ -1,0 +1,29 @@
+//! Gene Ontology substrate for the LaMoFinder reproduction.
+//!
+//! Implements everything Section 2 of the paper needs from GO:
+//!
+//! * the term DAG with is-a / part-of edges and multi-parent terms
+//!   ([`ontology`]);
+//! * protein annotation tables ([`annotations`]);
+//! * genome-specific term weights `w(t)` à la Lord et al. ([`weights`]);
+//! * informative functional classes and the border informative FC
+//!   ([`informative`]);
+//! * Lin term similarity `ST` (Eq. 1) and term-set similarity `SV`
+//!   (Eq. 2) ([`similarity`]);
+//! * an OBO-subset parser/writer ([`obo`]).
+
+pub mod annotations;
+pub mod informative;
+pub mod obo;
+pub mod ontology;
+pub mod similarity;
+pub mod term;
+pub mod weights;
+
+pub use annotations::{AnnotationParseError, Annotations, ProteinId};
+pub use informative::{BorderRule, InformativeClasses, InformativeConfig};
+pub use obo::{parse_obo, write_obo, OboError};
+pub use ontology::{Ontology, OntologyBuilder, OntologyError};
+pub use similarity::TermSimilarity;
+pub use term::{Namespace, Relation, Term, TermId};
+pub use weights::TermWeights;

@@ -1,0 +1,244 @@
+//! Parser and writer for a pragmatic subset of the OBO 1.2 flat-file
+//! format — the format the Gene Ontology is distributed in.
+//!
+//! Supported stanza fields: `id`, `name`, `namespace`, `is_a`, and
+//! `relationship: part_of`. Everything else (synonyms, defs, xrefs,
+//! obsolete flags) is skipped, matching what the algorithms actually
+//! consume. `is_obsolete: true` stanzas are dropped entirely.
+
+use crate::ontology::{Ontology, OntologyBuilder, OntologyError};
+use crate::term::{Namespace, Relation};
+use std::fmt;
+
+/// Errors from [`parse_obo`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum OboError {
+    /// A `[Term]` stanza is missing its `id:`.
+    MissingId { stanza_no: usize },
+    /// A stanza has an unknown or missing `namespace:`.
+    BadNamespace { id: String },
+    /// The assembled DAG failed validation.
+    Ontology(OntologyError),
+}
+
+impl fmt::Display for OboError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OboError::MissingId { stanza_no } => {
+                write!(f, "term stanza #{stanza_no} has no id")
+            }
+            OboError::BadNamespace { id } => {
+                write!(f, "term {id} has a missing or unknown namespace")
+            }
+            OboError::Ontology(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for OboError {}
+
+impl From<OntologyError> for OboError {
+    fn from(e: OntologyError) -> Self {
+        OboError::Ontology(e)
+    }
+}
+
+#[derive(Default)]
+struct Stanza {
+    id: Option<String>,
+    name: String,
+    namespace: Option<Namespace>,
+    parents: Vec<(String, Relation)>,
+    obsolete: bool,
+}
+
+/// Parse an OBO document into an [`Ontology`].
+pub fn parse_obo(text: &str) -> Result<Ontology, OboError> {
+    let mut stanzas: Vec<Stanza> = Vec::new();
+    let mut current: Option<Stanza> = None;
+    let mut in_term = false;
+
+    for line in text.lines() {
+        let line = line.trim();
+        if line.starts_with('!') || line.is_empty() {
+            continue;
+        }
+        if line.starts_with('[') {
+            if let Some(s) = current.take() {
+                stanzas.push(s);
+            }
+            in_term = line == "[Term]";
+            if in_term {
+                current = Some(Stanza::default());
+            }
+            continue;
+        }
+        if !in_term {
+            continue;
+        }
+        let Some(stanza) = current.as_mut() else { continue };
+        let Some((key, value)) = line.split_once(':') else { continue };
+        let value = strip_comment(value.trim());
+        match key {
+            "id" => stanza.id = Some(value.to_string()),
+            "name" => stanza.name = value.to_string(),
+            "namespace" => stanza.namespace = Namespace::from_obo_name(value),
+            "is_a" => stanza.parents.push((value.to_string(), Relation::IsA)),
+            "relationship" => {
+                if let Some(rest) = value.strip_prefix("part_of") {
+                    stanza
+                        .parents
+                        .push((rest.trim().to_string(), Relation::PartOf));
+                }
+            }
+            "is_obsolete" => stanza.obsolete = value == "true",
+            _ => {}
+        }
+    }
+    if let Some(s) = current.take() {
+        stanzas.push(s);
+    }
+
+    let mut builder = OntologyBuilder::new();
+    let mut edges: Vec<(String, String, Relation)> = Vec::new();
+    for (i, s) in stanzas.iter().enumerate() {
+        if s.obsolete {
+            continue;
+        }
+        let id = s
+            .id
+            .clone()
+            .ok_or(OboError::MissingId { stanza_no: i + 1 })?;
+        let ns = s.namespace.ok_or_else(|| OboError::BadNamespace {
+            id: id.clone(),
+        })?;
+        builder.add_term(id.clone(), s.name.clone(), ns);
+        for (parent, rel) in &s.parents {
+            edges.push((id.clone(), parent.clone(), *rel));
+        }
+    }
+    for (child, parent, rel) in edges {
+        builder
+            .add_edge_by_accession(&child, &parent, rel)
+            .map_err(OboError::Ontology)?;
+    }
+    Ok(builder.build()?)
+}
+
+/// Drop an OBO trailing comment (`GO:0001 ! some name`).
+fn strip_comment(value: &str) -> &str {
+    match value.split_once('!') {
+        Some((v, _)) => v.trim(),
+        None => value,
+    }
+}
+
+/// Serialize an [`Ontology`] to OBO, readable by [`parse_obo`].
+pub fn write_obo(ontology: &Ontology) -> String {
+    let mut out = String::from("format-version: 1.2\n");
+    for t in ontology.term_ids() {
+        let term = ontology.term(t);
+        out.push_str("\n[Term]\n");
+        out.push_str(&format!("id: {}\n", term.accession));
+        out.push_str(&format!("name: {}\n", term.name));
+        out.push_str(&format!("namespace: {}\n", term.namespace.obo_name()));
+        for &(p, rel) in ontology.parents(t) {
+            let pacc = &ontology.term(p).accession;
+            match rel {
+                Relation::IsA => out.push_str(&format!("is_a: {pacc}\n")),
+                Relation::PartOf => out.push_str(&format!("relationship: part_of {pacc}\n")),
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::TermId;
+
+    const SAMPLE: &str = "\
+format-version: 1.2
+! a comment line
+
+[Term]
+id: GO:0008150
+name: biological_process
+namespace: biological_process
+
+[Term]
+id: GO:0009987
+name: cellular process
+namespace: biological_process
+is_a: GO:0008150 ! biological_process
+
+[Term]
+id: GO:0016043
+name: cellular component organization
+namespace: biological_process
+is_a: GO:0009987
+relationship: part_of GO:0008150
+
+[Term]
+id: GO:9999999
+name: gone
+namespace: biological_process
+is_obsolete: true
+
+[Typedef]
+id: part_of
+name: part of
+";
+
+    #[test]
+    fn parses_terms_edges_and_skips_obsolete() {
+        let o = parse_obo(SAMPLE).unwrap();
+        assert_eq!(o.term_count(), 3);
+        let org = o.by_accession("GO:0016043").unwrap();
+        assert_eq!(o.parents(org).len(), 2);
+        assert!(o.by_accession("GO:9999999").is_none());
+    }
+
+    #[test]
+    fn trailing_comments_stripped() {
+        let o = parse_obo(SAMPLE).unwrap();
+        let cp = o.by_accession("GO:0009987").unwrap();
+        assert_eq!(o.parents(cp), &[(TermId(0), Relation::IsA)]);
+    }
+
+    #[test]
+    fn missing_namespace_is_error() {
+        let bad = "[Term]\nid: GO:1\nname: x\n";
+        assert_eq!(
+            parse_obo(bad).unwrap_err(),
+            OboError::BadNamespace { id: "GO:1".into() }
+        );
+    }
+
+    #[test]
+    fn missing_id_is_error() {
+        let bad = "[Term]\nname: x\nnamespace: biological_process\n";
+        assert!(matches!(parse_obo(bad).unwrap_err(), OboError::MissingId { .. }));
+    }
+
+    #[test]
+    fn unknown_parent_is_error() {
+        let bad = "[Term]\nid: GO:1\nname: x\nnamespace: biological_process\nis_a: GO:2\n";
+        assert!(matches!(parse_obo(bad).unwrap_err(), OboError::Ontology(_)));
+    }
+
+    #[test]
+    fn write_parse_roundtrip() {
+        let o = parse_obo(SAMPLE).unwrap();
+        let text = write_obo(&o);
+        let o2 = parse_obo(&text).unwrap();
+        assert_eq!(o2.term_count(), o.term_count());
+        for t in o.term_ids() {
+            let acc = &o.term(t).accession;
+            let t2 = o2.by_accession(acc).unwrap();
+            assert_eq!(o2.term(t2).name, o.term(t).name);
+            assert_eq!(o2.parents(t2).len(), o.parents(t).len());
+        }
+    }
+}

@@ -1,0 +1,428 @@
+//! The GO directed acyclic graph.
+//!
+//! An [`Ontology`] stores terms and their generalization edges (is-a and
+//! part-of, both treated as "more general than" by every algorithm, per
+//! the paper). Construction goes through [`OntologyBuilder`], which
+//! validates acyclicity; ancestor sets are precomputed so that the hot
+//! queries of the labeling pipeline — `is_ancestor`, ancestor
+//! enumeration, lowest common parents — are cheap.
+
+use crate::term::{Namespace, Relation, Term, TermId};
+use std::collections::HashMap;
+
+/// A validated GO DAG.
+#[derive(Clone, Debug)]
+pub struct Ontology {
+    terms: Vec<Term>,
+    accession_index: HashMap<String, TermId>,
+    /// parents[t] = (parent, relation), sorted by parent id.
+    parents: Vec<Vec<(TermId, Relation)>>,
+    /// children[t] = (child, relation), sorted by child id.
+    children: Vec<Vec<(TermId, Relation)>>,
+    /// Strict ancestors of each term (excluding the term), sorted.
+    ancestors: Vec<Box<[TermId]>>,
+    /// Topological order: every parent appears before its children.
+    topo_order: Vec<TermId>,
+    /// Root terms (no parents) per namespace.
+    roots: Vec<TermId>,
+}
+
+/// Errors detected while building an ontology.
+#[derive(Debug, PartialEq, Eq)]
+pub enum OntologyError {
+    /// Two terms share an accession string.
+    DuplicateAccession(String),
+    /// An edge references an unknown accession.
+    UnknownTerm(String),
+    /// The is-a / part-of edges contain a cycle through this term.
+    Cycle(String),
+    /// Parent and child live in different namespaces.
+    CrossNamespaceEdge { child: String, parent: String },
+}
+
+impl std::fmt::Display for OntologyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OntologyError::DuplicateAccession(a) => write!(f, "duplicate accession {a}"),
+            OntologyError::UnknownTerm(a) => write!(f, "edge references unknown term {a}"),
+            OntologyError::Cycle(a) => write!(f, "cycle through term {a}"),
+            OntologyError::CrossNamespaceEdge { child, parent } => {
+                write!(f, "edge {child} -> {parent} crosses namespaces")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OntologyError {}
+
+impl Ontology {
+    /// Number of terms.
+    pub fn term_count(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Iterator over all term ids.
+    pub fn term_ids(&self) -> impl Iterator<Item = TermId> + '_ {
+        (0..self.terms.len() as u32).map(TermId)
+    }
+
+    /// The term record for `t`.
+    pub fn term(&self, t: TermId) -> &Term {
+        &self.terms[t.index()]
+    }
+
+    /// Look up a term by accession.
+    pub fn by_accession(&self, accession: &str) -> Option<TermId> {
+        self.accession_index.get(accession).copied()
+    }
+
+    /// Direct parents of `t` with their relation kinds.
+    pub fn parents(&self, t: TermId) -> &[(TermId, Relation)] {
+        &self.parents[t.index()]
+    }
+
+    /// Direct children of `t` with their relation kinds.
+    pub fn children(&self, t: TermId) -> &[(TermId, Relation)] {
+        &self.children[t.index()]
+    }
+
+    /// Strict ancestors of `t` (excluding `t`), sorted by id.
+    pub fn ancestors(&self, t: TermId) -> &[TermId] {
+        &self.ancestors[t.index()]
+    }
+
+    /// Whether `a` is a strict ancestor of `b`.
+    pub fn is_ancestor(&self, a: TermId, b: TermId) -> bool {
+        self.ancestors[b.index()].binary_search(&a).is_ok()
+    }
+
+    /// Whether `a` equals `b` or is an ancestor of `b` — the paper's
+    /// "same or more general than" test used for labeling conformance.
+    pub fn is_same_or_ancestor(&self, a: TermId, b: TermId) -> bool {
+        a == b || self.is_ancestor(a, b)
+    }
+
+    /// All common ancestors-or-self of `a` and `b`, sorted by id.
+    /// Empty when the terms live in unrelated namespaces.
+    pub fn common_ancestors(&self, a: TermId, b: TermId) -> Vec<TermId> {
+        let mut set_a: Vec<TermId> = self.ancestors(a).to_vec();
+        set_a.push(a);
+        set_a.sort_unstable();
+        let mut set_b: Vec<TermId> = self.ancestors(b).to_vec();
+        set_b.push(b);
+        set_b.sort_unstable();
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < set_a.len() && j < set_b.len() {
+            match set_a[i].cmp(&set_b[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    out.push(set_a[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out
+    }
+
+    /// Topological order (parents before children).
+    pub fn topological_order(&self) -> &[TermId] {
+        &self.topo_order
+    }
+
+    /// Terms with no parents, one or more per namespace.
+    pub fn roots(&self) -> &[TermId] {
+        &self.roots
+    }
+
+    /// The namespace of term `t`.
+    pub fn namespace(&self, t: TermId) -> Namespace {
+        self.terms[t.index()].namespace
+    }
+
+    /// Term ids belonging to `ns`.
+    pub fn terms_in_namespace(&self, ns: Namespace) -> Vec<TermId> {
+        self.term_ids().filter(|&t| self.namespace(t) == ns).collect()
+    }
+
+    /// Descendants-or-self of `t` (computed on demand; used by reporting,
+    /// not by the hot paths, which run over the topological order).
+    pub fn descendants_or_self(&self, t: TermId) -> Vec<TermId> {
+        let mut seen = vec![false; self.terms.len()];
+        let mut stack = vec![t];
+        let mut out = Vec::new();
+        seen[t.index()] = true;
+        while let Some(x) = stack.pop() {
+            out.push(x);
+            for &(c, _) in self.children(x) {
+                if !seen[c.index()] {
+                    seen[c.index()] = true;
+                    stack.push(c);
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+}
+
+/// Builder for [`Ontology`]: add terms, then edges, then `build()`.
+#[derive(Default, Debug)]
+pub struct OntologyBuilder {
+    terms: Vec<Term>,
+    accession_index: HashMap<String, TermId>,
+    edges: Vec<(TermId, TermId, Relation)>, // (child, parent, rel)
+    duplicate: Option<String>,
+}
+
+impl OntologyBuilder {
+    /// Empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a term; returns its id. Duplicate accessions are reported at
+    /// `build()` time.
+    pub fn add_term(
+        &mut self,
+        accession: impl Into<String>,
+        name: impl Into<String>,
+        namespace: Namespace,
+    ) -> TermId {
+        let accession = accession.into();
+        let id = TermId(self.terms.len() as u32);
+        if self
+            .accession_index
+            .insert(accession.clone(), id)
+            .is_some()
+            && self.duplicate.is_none()
+        {
+            self.duplicate = Some(accession.clone());
+        }
+        self.terms.push(Term {
+            accession,
+            name: name.into(),
+            namespace,
+        });
+        id
+    }
+
+    /// Record that `child` is-a / part-of `parent`.
+    pub fn add_edge(&mut self, child: TermId, parent: TermId, rel: Relation) {
+        self.edges.push((child, parent, rel));
+    }
+
+    /// Convenience: add an edge by accession strings.
+    pub fn add_edge_by_accession(
+        &mut self,
+        child: &str,
+        parent: &str,
+        rel: Relation,
+    ) -> Result<(), OntologyError> {
+        let c = self
+            .accession_index
+            .get(child)
+            .copied()
+            .ok_or_else(|| OntologyError::UnknownTerm(child.to_string()))?;
+        let p = self
+            .accession_index
+            .get(parent)
+            .copied()
+            .ok_or_else(|| OntologyError::UnknownTerm(parent.to_string()))?;
+        self.add_edge(c, p, rel);
+        Ok(())
+    }
+
+    /// Validate and finalize the DAG.
+    pub fn build(self) -> Result<Ontology, OntologyError> {
+        if let Some(acc) = self.duplicate {
+            return Err(OntologyError::DuplicateAccession(acc));
+        }
+        let n = self.terms.len();
+        let mut parents: Vec<Vec<(TermId, Relation)>> = vec![Vec::new(); n];
+        let mut children: Vec<Vec<(TermId, Relation)>> = vec![Vec::new(); n];
+        for &(c, p, rel) in &self.edges {
+            if self.terms[c.index()].namespace != self.terms[p.index()].namespace {
+                return Err(OntologyError::CrossNamespaceEdge {
+                    child: self.terms[c.index()].accession.clone(),
+                    parent: self.terms[p.index()].accession.clone(),
+                });
+            }
+            parents[c.index()].push((p, rel));
+            children[p.index()].push((c, rel));
+        }
+        for list in parents.iter_mut().chain(children.iter_mut()) {
+            list.sort_unstable_by_key(|&(t, _)| t);
+            list.dedup_by_key(|&mut (t, _)| t);
+        }
+
+        // Kahn's algorithm for topological order + cycle detection.
+        let mut in_deg: Vec<usize> = parents.iter().map(|p| p.len()).collect();
+        let mut queue: Vec<TermId> = (0..n as u32)
+            .map(TermId)
+            .filter(|t| in_deg[t.index()] == 0)
+            .collect();
+        let roots = queue.clone();
+        let mut topo = Vec::with_capacity(n);
+        let mut head = 0;
+        while head < queue.len() {
+            let t = queue[head];
+            head += 1;
+            topo.push(t);
+            for &(c, _) in &children[t.index()] {
+                in_deg[c.index()] -= 1;
+                if in_deg[c.index()] == 0 {
+                    queue.push(c);
+                }
+            }
+        }
+        if topo.len() != n {
+            let stuck = (0..n).find(|&i| in_deg[i] > 0).expect("cycle member");
+            return Err(OntologyError::Cycle(self.terms[stuck].accession.clone()));
+        }
+
+        // Ancestor sets in topological order: anc(t) = ∪ parents ∪ anc(parents).
+        let mut ancestors: Vec<Vec<TermId>> = vec![Vec::new(); n];
+        for &t in &topo {
+            let mut anc: Vec<TermId> = Vec::new();
+            for &(p, _) in &parents[t.index()] {
+                anc.push(p);
+                anc.extend_from_slice(&ancestors[p.index()]);
+            }
+            anc.sort_unstable();
+            anc.dedup();
+            ancestors[t.index()] = anc;
+        }
+
+        Ok(Ontology {
+            terms: self.terms,
+            accession_index: self.accession_index,
+            parents,
+            children,
+            ancestors: ancestors.into_iter().map(Vec::into_boxed_slice).collect(),
+            topo_order: topo,
+            roots,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Ontology {
+        // root -> a, b; a -> leaf; b -> leaf.
+        let mut b = OntologyBuilder::new();
+        let root = b.add_term("GO:0", "root", Namespace::BiologicalProcess);
+        let ta = b.add_term("GO:1", "a", Namespace::BiologicalProcess);
+        let tb = b.add_term("GO:2", "b", Namespace::BiologicalProcess);
+        let leaf = b.add_term("GO:3", "leaf", Namespace::BiologicalProcess);
+        b.add_edge(ta, root, Relation::IsA);
+        b.add_edge(tb, root, Relation::IsA);
+        b.add_edge(leaf, ta, Relation::IsA);
+        b.add_edge(leaf, tb, Relation::PartOf);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn ancestors_of_diamond_leaf() {
+        let o = diamond();
+        let leaf = o.by_accession("GO:3").unwrap();
+        assert_eq!(
+            o.ancestors(leaf),
+            &[TermId(0), TermId(1), TermId(2)],
+            "leaf's ancestors are root, a, b"
+        );
+        assert!(o.is_ancestor(TermId(0), leaf));
+        assert!(!o.is_ancestor(leaf, TermId(0)));
+        assert!(o.is_same_or_ancestor(leaf, leaf));
+    }
+
+    #[test]
+    fn common_ancestors_include_self_when_related() {
+        let o = diamond();
+        let (ta, leaf) = (TermId(1), TermId(3));
+        assert_eq!(o.common_ancestors(ta, leaf), vec![TermId(0), TermId(1)]);
+        // Unrelated siblings share only the root.
+        assert_eq!(o.common_ancestors(TermId(1), TermId(2)), vec![TermId(0)]);
+    }
+
+    #[test]
+    fn topological_order_respects_edges() {
+        let o = diamond();
+        let pos: Vec<usize> = (0..4)
+            .map(|i| {
+                o.topological_order()
+                    .iter()
+                    .position(|&t| t == TermId(i))
+                    .unwrap()
+            })
+            .collect();
+        assert!(pos[0] < pos[1] && pos[0] < pos[2]);
+        assert!(pos[1] < pos[3] && pos[2] < pos[3]);
+    }
+
+    #[test]
+    fn roots_detected() {
+        let o = diamond();
+        assert_eq!(o.roots(), &[TermId(0)]);
+    }
+
+    #[test]
+    fn cycle_is_rejected() {
+        let mut b = OntologyBuilder::new();
+        let x = b.add_term("GO:0", "x", Namespace::MolecularFunction);
+        let y = b.add_term("GO:1", "y", Namespace::MolecularFunction);
+        b.add_edge(x, y, Relation::IsA);
+        b.add_edge(y, x, Relation::IsA);
+        assert_eq!(b.build().unwrap_err(), OntologyError::Cycle("GO:0".into()));
+    }
+
+    #[test]
+    fn duplicate_accession_rejected() {
+        let mut b = OntologyBuilder::new();
+        b.add_term("GO:0", "x", Namespace::MolecularFunction);
+        b.add_term("GO:0", "y", Namespace::MolecularFunction);
+        assert_eq!(
+            b.build().unwrap_err(),
+            OntologyError::DuplicateAccession("GO:0".into())
+        );
+    }
+
+    #[test]
+    fn cross_namespace_edge_rejected() {
+        let mut b = OntologyBuilder::new();
+        let x = b.add_term("GO:0", "x", Namespace::MolecularFunction);
+        let y = b.add_term("GO:1", "y", Namespace::CellularComponent);
+        b.add_edge(x, y, Relation::IsA);
+        assert!(matches!(
+            b.build().unwrap_err(),
+            OntologyError::CrossNamespaceEdge { .. }
+        ));
+    }
+
+    #[test]
+    fn descendants_or_self_closure() {
+        let o = diamond();
+        assert_eq!(
+            o.descendants_or_self(TermId(0)),
+            vec![TermId(0), TermId(1), TermId(2), TermId(3)]
+        );
+        assert_eq!(o.descendants_or_self(TermId(3)), vec![TermId(3)]);
+        assert_eq!(o.descendants_or_self(TermId(1)), vec![TermId(1), TermId(3)]);
+    }
+
+    #[test]
+    fn duplicate_edges_are_deduped() {
+        let mut b = OntologyBuilder::new();
+        let x = b.add_term("GO:0", "x", Namespace::MolecularFunction);
+        let y = b.add_term("GO:1", "y", Namespace::MolecularFunction);
+        b.add_edge(y, x, Relation::IsA);
+        b.add_edge(y, x, Relation::PartOf);
+        let o = b.build().unwrap();
+        assert_eq!(o.parents(y).len(), 1);
+        assert_eq!(o.children(x).len(), 1);
+    }
+}

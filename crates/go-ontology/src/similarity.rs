@@ -1,0 +1,277 @@
+//! GO term and term-set similarity (Equations 1 and 2 of the paper).
+//!
+//! Term similarity is Lin's information-theoretic measure instantiated
+//! with the genome-specific weights of Section 2:
+//!
+//! ```text
+//! ST(ta, tb) = 2 · ln w(tab) / (ln w(ta) + ln w(tb))          (Eq. 1)
+//! ```
+//!
+//! where `tab` is the *lowest common parent*: the common ancestor-or-self
+//! with the smallest weight (= highest information content; the paper's
+//! example picks G05 over G01 for exactly this reason).
+//!
+//! Vertex (term-set) similarity combines the cross product of two
+//! annotation sets:
+//!
+//! ```text
+//! SV(vi, vj) = 1 − Π (1 − ST(ta, tb))                          (Eq. 2)
+//! ```
+//!
+//! so two proteins are similar as soon as *one* good term match exists.
+
+use crate::ontology::Ontology;
+use crate::term::TermId;
+use crate::weights::TermWeights;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+
+/// Pairwise GO term similarity with memoization.
+///
+/// The labeling pipeline computes `ST` for the same term pairs over and
+/// over (every occurrence pair crosses the same annotation sets), so
+/// results are cached behind an [`RwLock`] — reads dominate writes once
+/// the cache warms up, and the struct stays `Sync` for the parallel
+/// uniqueness tests.
+pub struct TermSimilarity<'a> {
+    ontology: &'a Ontology,
+    weights: &'a TermWeights,
+    cache: RwLock<HashMap<(TermId, TermId), f64>>,
+}
+
+impl<'a> TermSimilarity<'a> {
+    /// New similarity oracle over `ontology` with `weights`.
+    pub fn new(ontology: &'a Ontology, weights: &'a TermWeights) -> Self {
+        TermSimilarity {
+            ontology,
+            weights,
+            cache: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// The ontology this oracle reads.
+    pub fn ontology(&self) -> &'a Ontology {
+        self.ontology
+    }
+
+    /// The weights this oracle reads.
+    pub fn weights(&self) -> &'a TermWeights {
+        self.weights
+    }
+
+    /// The lowest common parent `tab`: the common ancestor-or-self of
+    /// `a` and `b` with minimum weight (ties broken by term id for
+    /// determinism). `None` when the terms share no ancestor (different
+    /// namespaces).
+    pub fn lowest_common_parent(&self, a: TermId, b: TermId) -> Option<TermId> {
+        self.ontology
+            .common_ancestors(a, b)
+            .into_iter()
+            .min_by(|&x, &y| {
+                self.weights
+                    .weight(x)
+                    .partial_cmp(&self.weights.weight(y))
+                    .expect("weights are finite")
+                    .then(x.cmp(&y))
+            })
+    }
+
+    /// Lin similarity `ST(ta, tb)` per Equation 1. Ranges over `[0, 1]`.
+    ///
+    /// Edge cases (all continuous limits of the formula):
+    /// * `a == b` → 1;
+    /// * no common ancestor (cross-namespace) → 0;
+    /// * lowest common parent is a root (`w = 1`) → 0;
+    /// * either term has weight 0 (never annotated) → 0.
+    pub fn st(&self, a: TermId, b: TermId) -> f64 {
+        if a == b {
+            return 1.0;
+        }
+        let key = if a < b { (a, b) } else { (b, a) };
+        if let Some(&v) = self.cache.read().get(&key) {
+            return v;
+        }
+        let v = self.st_uncached(key.0, key.1);
+        self.cache.write().insert(key, v);
+        v
+    }
+
+    fn st_uncached(&self, a: TermId, b: TermId) -> f64 {
+        let (wa, wb) = (self.weights.weight(a), self.weights.weight(b));
+        if wa <= 0.0 || wb <= 0.0 {
+            return 0.0;
+        }
+        let Some(tab) = self.lowest_common_parent(a, b) else {
+            return 0.0;
+        };
+        let wab = self.weights.weight(tab);
+        let num = 2.0 * wab.ln();
+        let den = wa.ln() + wb.ln();
+        if den == 0.0 {
+            // Both terms are roots (weight 1): distinct roots are maximally
+            // dissimilar.
+            return 0.0;
+        }
+        (num / den).clamp(0.0, 1.0)
+    }
+
+    /// Vertex similarity `SV` per Equation 2 over two annotation sets.
+    ///
+    /// Close to 1 as soon as one pair of terms matches well ("two
+    /// vertices are considered similar if they share at least one
+    /// biological feature"). Returns 0 when either set is empty (an
+    /// unannotated protein offers no evidence).
+    pub fn sv(&self, terms_a: &[TermId], terms_b: &[TermId]) -> f64 {
+        if terms_a.is_empty() || terms_b.is_empty() {
+            return 0.0;
+        }
+        let mut product = 1.0f64;
+        for &ta in terms_a {
+            for &tb in terms_b {
+                product *= 1.0 - self.st(ta, tb);
+                if product == 0.0 {
+                    return 1.0;
+                }
+            }
+        }
+        1.0 - product
+    }
+
+    /// Number of memoized term pairs (diagnostics).
+    pub fn cached_pairs(&self) -> usize {
+        self.cache.read().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::annotations::{Annotations, ProteinId};
+    use crate::ontology::OntologyBuilder;
+    use crate::term::{Namespace, Relation};
+
+    /// root(1.0) -> a(0.6) -> leaf_x(0.3); a -> leaf_y(0.3); root -> b(0.4).
+    fn fixture() -> (Ontology, Annotations) {
+        let mut ob = OntologyBuilder::new();
+        let root = ob.add_term("GO:0", "root", Namespace::BiologicalProcess);
+        let a = ob.add_term("GO:1", "a", Namespace::BiologicalProcess);
+        let b = ob.add_term("GO:2", "b", Namespace::BiologicalProcess);
+        let x = ob.add_term("GO:3", "x", Namespace::BiologicalProcess);
+        let y = ob.add_term("GO:4", "y", Namespace::BiologicalProcess);
+        let other = ob.add_term("GO:5", "mf", Namespace::MolecularFunction);
+        ob.add_edge(a, root, Relation::IsA);
+        ob.add_edge(b, root, Relation::IsA);
+        ob.add_edge(x, a, Relation::IsA);
+        ob.add_edge(y, a, Relation::IsA);
+        let _ = other;
+        let o = ob.build().unwrap();
+        // 10 BP annotations: x:3, y:3, a:0, b:4 → w(x)=w(y)=0.3, w(a)=0.6, w(b)=0.4.
+        let mut ann = Annotations::new(10, o.term_count());
+        for p in 0..3 {
+            ann.annotate(ProteinId(p), x);
+        }
+        for p in 3..6 {
+            ann.annotate(ProteinId(p), y);
+        }
+        for p in 6..10 {
+            ann.annotate(ProteinId(p), b);
+        }
+        (o, ann)
+    }
+
+    #[test]
+    fn identical_terms_have_similarity_one() {
+        let (o, ann) = fixture();
+        let w = TermWeights::compute(&o, &ann);
+        let s = TermSimilarity::new(&o, &w);
+        for t in o.term_ids() {
+            assert_eq!(s.st(t, t), 1.0);
+        }
+    }
+
+    #[test]
+    fn siblings_under_specific_parent() {
+        let (o, ann) = fixture();
+        let w = TermWeights::compute(&o, &ann);
+        let s = TermSimilarity::new(&o, &w);
+        let (x, y) = (TermId(3), TermId(4));
+        assert_eq!(s.lowest_common_parent(x, y), Some(TermId(1)));
+        // ST = 2 ln 0.6 / (ln 0.3 + ln 0.3).
+        let expected = 2.0 * 0.6f64.ln() / (2.0 * 0.3f64.ln());
+        assert!((s.st(x, y) - expected).abs() < 1e-12);
+        assert!(s.st(x, y) > 0.0 && s.st(x, y) < 1.0);
+    }
+
+    #[test]
+    fn lca_through_root_gives_zero() {
+        let (o, ann) = fixture();
+        let w = TermWeights::compute(&o, &ann);
+        let s = TermSimilarity::new(&o, &w);
+        // x (under a) vs b: only common ancestor is the root.
+        assert_eq!(s.lowest_common_parent(TermId(3), TermId(2)), Some(TermId(0)));
+        assert_eq!(s.st(TermId(3), TermId(2)), 0.0);
+    }
+
+    #[test]
+    fn ancestor_descendant_similarity() {
+        let (o, ann) = fixture();
+        let w = TermWeights::compute(&o, &ann);
+        let s = TermSimilarity::new(&o, &w);
+        // a vs x: lowest common parent is a itself.
+        assert_eq!(s.lowest_common_parent(TermId(1), TermId(3)), Some(TermId(1)));
+        let expected = 2.0 * 0.6f64.ln() / (0.6f64.ln() + 0.3f64.ln());
+        assert!((s.st(TermId(1), TermId(3)) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cross_namespace_is_zero() {
+        let (o, ann) = fixture();
+        let w = TermWeights::compute(&o, &ann);
+        let s = TermSimilarity::new(&o, &w);
+        assert_eq!(s.lowest_common_parent(TermId(3), TermId(5)), None);
+        assert_eq!(s.st(TermId(3), TermId(5)), 0.0);
+    }
+
+    #[test]
+    fn st_is_symmetric_and_cached() {
+        let (o, ann) = fixture();
+        let w = TermWeights::compute(&o, &ann);
+        let s = TermSimilarity::new(&o, &w);
+        let v1 = s.st(TermId(3), TermId(4));
+        let v2 = s.st(TermId(4), TermId(3));
+        assert_eq!(v1, v2);
+        assert_eq!(s.cached_pairs(), 1);
+    }
+
+    #[test]
+    fn sv_shared_term_is_one() {
+        let (o, ann) = fixture();
+        let w = TermWeights::compute(&o, &ann);
+        let s = TermSimilarity::new(&o, &w);
+        // Sharing term x: ST(x,x)=1 forces SV = 1 regardless of the rest.
+        let sv = s.sv(&[TermId(3), TermId(2)], &[TermId(3)]);
+        assert_eq!(sv, 1.0);
+    }
+
+    #[test]
+    fn sv_combines_evidence() {
+        let (o, ann) = fixture();
+        let w = TermWeights::compute(&o, &ann);
+        let s = TermSimilarity::new(&o, &w);
+        let st_xy = s.st(TermId(3), TermId(4));
+        // {x} vs {y}: single pair.
+        assert!((s.sv(&[TermId(3)], &[TermId(4)]) - st_xy).abs() < 1e-12);
+        // {x, b} vs {y}: extra pair with ST 0 leaves SV unchanged.
+        assert!((s.sv(&[TermId(3), TermId(2)], &[TermId(4)]) - st_xy).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sv_empty_sets_are_zero() {
+        let (o, ann) = fixture();
+        let w = TermWeights::compute(&o, &ann);
+        let s = TermSimilarity::new(&o, &w);
+        assert_eq!(s.sv(&[], &[TermId(3)]), 0.0);
+        assert_eq!(s.sv(&[TermId(3)], &[]), 0.0);
+        assert_eq!(s.sv(&[], &[]), 0.0);
+    }
+}

@@ -1,0 +1,130 @@
+//! GO term identifiers, namespaces and relations.
+
+use std::fmt;
+
+/// Dense identifier of a GO term within an [`crate::Ontology`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TermId(pub u32);
+
+impl TermId {
+    /// The term id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for TermId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl fmt::Display for TermId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// The three GO ontology branches ("domains" in the paper's Section 2).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Namespace {
+    /// Molecular function ("function" labels in the paper).
+    MolecularFunction,
+    /// Biological process ("process").
+    BiologicalProcess,
+    /// Cellular component ("location").
+    CellularComponent,
+}
+
+impl Namespace {
+    /// All three namespaces, in the order the paper enumerates them.
+    pub const ALL: [Namespace; 3] = [
+        Namespace::MolecularFunction,
+        Namespace::BiologicalProcess,
+        Namespace::CellularComponent,
+    ];
+
+    /// The `namespace:` value used in OBO files.
+    pub fn obo_name(self) -> &'static str {
+        match self {
+            Namespace::MolecularFunction => "molecular_function",
+            Namespace::BiologicalProcess => "biological_process",
+            Namespace::CellularComponent => "cellular_component",
+        }
+    }
+
+    /// Parse an OBO `namespace:` value.
+    pub fn from_obo_name(s: &str) -> Option<Self> {
+        match s {
+            "molecular_function" => Some(Namespace::MolecularFunction),
+            "biological_process" => Some(Namespace::BiologicalProcess),
+            "cellular_component" => Some(Namespace::CellularComponent),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Namespace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.obo_name())
+    }
+}
+
+/// Parent–child relation kind. The GO DAG mixes subsumption ("is-a")
+/// and meronymy ("part-of"); the paper treats both as generalization
+/// edges, and so do all algorithms here — the kind is kept for
+/// round-tripping and reporting.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Relation {
+    /// `ti` is an instance of `tj`.
+    IsA,
+    /// `ti` is a component of `tj`.
+    PartOf,
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Relation::IsA => "is_a",
+            Relation::PartOf => "part_of",
+        })
+    }
+}
+
+/// A GO term: accession (e.g. `GO:0008150`), human-readable name, and
+/// namespace.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Term {
+    /// Accession string, unique within the ontology.
+    pub accession: String,
+    /// Human-readable name.
+    pub name: String,
+    /// Which of the three GO branches the term belongs to.
+    pub namespace: Namespace,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn namespace_obo_roundtrip() {
+        for ns in Namespace::ALL {
+            assert_eq!(Namespace::from_obo_name(ns.obo_name()), Some(ns));
+        }
+        assert_eq!(Namespace::from_obo_name("bogus"), None);
+    }
+
+    #[test]
+    fn term_id_ordering_matches_u32() {
+        assert!(TermId(1) < TermId(2));
+        assert_eq!(TermId(7).index(), 7);
+    }
+
+    #[test]
+    fn relation_display() {
+        assert_eq!(Relation::IsA.to_string(), "is_a");
+        assert_eq!(Relation::PartOf.to_string(), "part_of");
+    }
+}

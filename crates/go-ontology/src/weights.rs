@@ -1,0 +1,212 @@
+//! Genome-specific GO term weights (Lord et al., as used in Section 2).
+//!
+//! The weight of a term is *"the ratio of the number of occurrences of
+//! the GO term and any of its descendants' terms in the genome to the
+//! total number of term occurrences in the genome"*. Totals are taken
+//! per namespace, so each branch root has weight 1 (the paper: "the root
+//! node has a weight of 1"). Table 1 of the paper is reproduced exactly
+//! by this computation (see `synthetic-data`'s `paper_example` and the
+//! `table1_weights` bench binary).
+
+use crate::annotations::Annotations;
+use crate::ontology::Ontology;
+use crate::term::TermId;
+
+/// Precomputed per-term weights and subtree occurrence counts.
+#[derive(Clone, Debug)]
+pub struct TermWeights {
+    /// `w(t)` per term.
+    weights: Vec<f64>,
+    /// Occurrences of `t` or any descendant (Table 1, column 3).
+    subtree_occurrences: Vec<usize>,
+    /// Per-namespace totals, indexed like `Namespace::ALL`.
+    totals: [usize; 3],
+}
+
+impl TermWeights {
+    /// Compute weights for every term from direct annotation counts.
+    ///
+    /// Descendant sets are materialized as term bitsets in reverse
+    /// topological order so that diamonds (a descendant reachable via
+    /// several paths) are counted once.
+    pub fn compute(ontology: &Ontology, annotations: &Annotations) -> Self {
+        let n = ontology.term_count();
+        assert_eq!(
+            annotations.term_count(),
+            n,
+            "annotation table and ontology disagree on term count"
+        );
+        let words = n.div_ceil(64).max(1);
+        let mut desc: Vec<Vec<u64>> = vec![vec![0u64; words]; n];
+        for &t in ontology.topological_order().iter().rev() {
+            let i = t.index();
+            desc[i][i / 64] |= 1 << (i % 64);
+            // OR in each child's set. Split borrows via direct indexing.
+            let children: Vec<usize> =
+                ontology.children(t).iter().map(|&(c, _)| c.index()).collect();
+            for c in children {
+                let (a, b) = if c < i {
+                    let (lo, hi) = desc.split_at_mut(i);
+                    (&mut hi[0], &lo[c])
+                } else {
+                    let (lo, hi) = desc.split_at_mut(c);
+                    (&mut lo[i], &hi[0])
+                };
+                for (w, &cw) in a.iter_mut().zip(b.iter()) {
+                    *w |= cw;
+                }
+            }
+        }
+
+        let direct: Vec<usize> = (0..n)
+            .map(|i| annotations.direct_count(TermId(i as u32)))
+            .collect();
+        let mut subtree = vec![0usize; n];
+        for (i, set) in desc.iter().enumerate() {
+            let mut sum = 0usize;
+            for (w, &word) in set.iter().enumerate() {
+                let mut bits = word;
+                while bits != 0 {
+                    let b = bits.trailing_zeros() as usize;
+                    sum += direct[w * 64 + b];
+                    bits &= bits - 1;
+                }
+            }
+            subtree[i] = sum;
+        }
+
+        let mut totals = [0usize; 3];
+        for t in ontology.term_ids() {
+            let ns = ontology.namespace(t) as usize;
+            totals[ns] += direct[t.index()];
+        }
+
+        let weights = (0..n)
+            .map(|i| {
+                let ns = ontology.namespace(TermId(i as u32)) as usize;
+                if totals[ns] == 0 {
+                    0.0
+                } else {
+                    subtree[i] as f64 / totals[ns] as f64
+                }
+            })
+            .collect();
+
+        TermWeights {
+            weights,
+            subtree_occurrences: subtree,
+            totals,
+        }
+    }
+
+    /// `w(t)`.
+    #[inline]
+    pub fn weight(&self, t: TermId) -> f64 {
+        self.weights[t.index()]
+    }
+
+    /// Occurrences of `t` or any descendant (Table 1, column 3).
+    pub fn subtree_occurrences(&self, t: TermId) -> usize {
+        self.subtree_occurrences[t.index()]
+    }
+
+    /// Total annotation occurrences in `t`'s namespace.
+    pub fn namespace_total(&self, ns: crate::term::Namespace) -> usize {
+        self.totals[ns as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::annotations::ProteinId;
+    use crate::ontology::OntologyBuilder;
+    use crate::term::{Namespace, Relation};
+
+    /// root -> a -> leaf, root -> b; diamond d under both a and b.
+    fn fixture() -> (Ontology, Annotations) {
+        let mut ob = OntologyBuilder::new();
+        let root = ob.add_term("GO:0", "root", Namespace::BiologicalProcess);
+        let a = ob.add_term("GO:1", "a", Namespace::BiologicalProcess);
+        let b = ob.add_term("GO:2", "b", Namespace::BiologicalProcess);
+        let d = ob.add_term("GO:3", "d", Namespace::BiologicalProcess);
+        ob.add_edge(a, root, Relation::IsA);
+        ob.add_edge(b, root, Relation::IsA);
+        ob.add_edge(d, a, Relation::IsA);
+        ob.add_edge(d, b, Relation::IsA);
+        let o = ob.build().unwrap();
+
+        // 10 proteins: 2 on a, 3 on b, 5 on d.
+        let mut ann = Annotations::new(10, o.term_count());
+        for p in 0..2 {
+            ann.annotate(ProteinId(p), a);
+        }
+        for p in 2..5 {
+            ann.annotate(ProteinId(p), b);
+        }
+        for p in 5..10 {
+            ann.annotate(ProteinId(p), d);
+        }
+        (o, ann)
+    }
+
+    #[test]
+    fn root_weight_is_one() {
+        let (o, ann) = fixture();
+        let w = TermWeights::compute(&o, &ann);
+        assert!((w.weight(TermId(0)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diamond_descendant_counted_once() {
+        let (o, ann) = fixture();
+        let w = TermWeights::compute(&o, &ann);
+        // a's subtree: a(2) + d(5) = 7; b's: b(3) + d(5) = 8; root: 10.
+        assert_eq!(w.subtree_occurrences(TermId(1)), 7);
+        assert_eq!(w.subtree_occurrences(TermId(2)), 8);
+        assert_eq!(w.subtree_occurrences(TermId(0)), 10);
+        assert!((w.weight(TermId(1)) - 0.7).abs() < 1e-12);
+        assert!((w.weight(TermId(3)) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weights_monotone_up_the_dag() {
+        let (o, ann) = fixture();
+        let w = TermWeights::compute(&o, &ann);
+        for t in o.term_ids() {
+            for &anc in o.ancestors(t) {
+                assert!(
+                    w.weight(anc) >= w.weight(t) - 1e-12,
+                    "ancestor weight must dominate"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn namespaces_normalized_independently() {
+        let mut ob = OntologyBuilder::new();
+        let bp = ob.add_term("GO:0", "bp-root", Namespace::BiologicalProcess);
+        let mf = ob.add_term("GO:1", "mf-root", Namespace::MolecularFunction);
+        let o = ob.build().unwrap();
+        let mut ann = Annotations::new(4, o.term_count());
+        ann.annotate(ProteinId(0), bp);
+        ann.annotate(ProteinId(1), mf);
+        ann.annotate(ProteinId(2), mf);
+        let w = TermWeights::compute(&o, &ann);
+        assert!((w.weight(bp) - 1.0).abs() < 1e-12);
+        assert!((w.weight(mf) - 1.0).abs() < 1e-12);
+        assert_eq!(w.namespace_total(Namespace::BiologicalProcess), 1);
+        assert_eq!(w.namespace_total(Namespace::MolecularFunction), 2);
+    }
+
+    #[test]
+    fn unannotated_namespace_gets_zero_weights() {
+        let mut ob = OntologyBuilder::new();
+        let cc = ob.add_term("GO:0", "cc-root", Namespace::CellularComponent);
+        let o = ob.build().unwrap();
+        let ann = Annotations::new(2, o.term_count());
+        let w = TermWeights::compute(&o, &ann);
+        assert_eq!(w.weight(cc), 0.0);
+    }
+}

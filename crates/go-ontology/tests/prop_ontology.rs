@@ -1,0 +1,179 @@
+//! Property-based tests for the GO substrate: DAG closure properties,
+//! weight monotonicity, similarity bounds and informative-class
+//! monotonicity on randomly generated ontologies.
+
+use go_ontology::{
+    Annotations, InformativeClasses, InformativeConfig, Namespace, Ontology, OntologyBuilder,
+    ProteinId, Relation, TermId, TermSimilarity, TermWeights,
+};
+use proptest::prelude::*;
+
+/// Strategy: a random DAG of `n` terms where term `i > 0` gets 1–2
+/// parents among earlier terms (guarantees acyclicity), plus a random
+/// annotation table.
+fn world_strategy() -> impl Strategy<Value = (Ontology, Annotations)> {
+    (4usize..20, proptest::collection::vec(any::<u32>(), 64), 10usize..80).prop_map(
+        |(n, randomness, n_proteins)| {
+            let mut rb = randomness.into_iter().cycle();
+            let mut take = move || rb.next().unwrap() as usize;
+            let mut b = OntologyBuilder::new();
+            for i in 0..n {
+                b.add_term(format!("GO:{i}"), format!("t{i}"), Namespace::BiologicalProcess);
+            }
+            for i in 1..n {
+                let p1 = take() % i;
+                b.add_edge(TermId(i as u32), TermId(p1 as u32), Relation::IsA);
+                if take() % 3 == 0 {
+                    let p2 = take() % i;
+                    if p2 != p1 {
+                        b.add_edge(TermId(i as u32), TermId(p2 as u32), Relation::PartOf);
+                    }
+                }
+            }
+            let ontology = b.build().expect("construction is acyclic");
+            let mut ann = Annotations::new(n_proteins, n);
+            for p in 0..n_proteins {
+                let count = take() % 4;
+                for _ in 0..=count {
+                    ann.annotate(ProteinId(p as u32), TermId((take() % n) as u32));
+                }
+            }
+            (ontology, ann)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn ancestor_relation_is_transitive_and_irreflexive((o, _) in world_strategy()) {
+        for t in o.term_ids() {
+            prop_assert!(!o.is_ancestor(t, t));
+            for &a in o.ancestors(t) {
+                // Every ancestor's ancestor is an ancestor.
+                for &aa in o.ancestors(a) {
+                    prop_assert!(o.is_ancestor(aa, t), "transitivity");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ancestors_match_parent_closure((o, _) in world_strategy()) {
+        for t in o.term_ids() {
+            // Recompute by BFS over parents.
+            let mut seen = std::collections::BTreeSet::new();
+            let mut stack: Vec<TermId> = o.parents(t).iter().map(|&(p, _)| p).collect();
+            while let Some(x) = stack.pop() {
+                if seen.insert(x) {
+                    stack.extend(o.parents(x).iter().map(|&(p, _)| p));
+                }
+            }
+            let expect: Vec<TermId> = seen.into_iter().collect();
+            prop_assert_eq!(o.ancestors(t).to_vec(), expect);
+        }
+    }
+
+    #[test]
+    fn descendants_and_ancestors_are_inverse((o, _) in world_strategy()) {
+        for t in o.term_ids() {
+            for d in o.descendants_or_self(t) {
+                prop_assert!(o.is_same_or_ancestor(t, d));
+            }
+        }
+    }
+
+    #[test]
+    fn weights_monotone_and_root_is_one((o, ann) in world_strategy()) {
+        let w = TermWeights::compute(&o, &ann);
+        for t in o.term_ids() {
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&w.weight(t)));
+            for &a in o.ancestors(t) {
+                prop_assert!(w.weight(a) >= w.weight(t) - 1e-12);
+            }
+        }
+        if ann.total_occurrences() > 0 {
+            prop_assert!((w.weight(TermId(0)) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn lowest_common_parent_is_a_common_cover((o, ann) in world_strategy()) {
+        let w = TermWeights::compute(&o, &ann);
+        let sim = TermSimilarity::new(&o, &w);
+        let n = o.term_count() as u32;
+        for a in 0..n.min(8) {
+            for b in 0..n.min(8) {
+                let (ta, tb) = (TermId(a), TermId(b));
+                if let Some(lcp) = sim.lowest_common_parent(ta, tb) {
+                    prop_assert!(o.is_same_or_ancestor(lcp, ta));
+                    prop_assert!(o.is_same_or_ancestor(lcp, tb));
+                    // No common cover has a strictly smaller weight.
+                    for c in o.common_ancestors(ta, tb) {
+                        prop_assert!(w.weight(c) >= w.weight(lcp) - 1e-12);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn st_bounds_and_identity((o, ann) in world_strategy()) {
+        let w = TermWeights::compute(&o, &ann);
+        let sim = TermSimilarity::new(&o, &w);
+        let n = o.term_count() as u32;
+        for a in 0..n.min(10) {
+            prop_assert_eq!(sim.st(TermId(a), TermId(a)), 1.0);
+            for b in 0..n.min(10) {
+                let v = sim.st(TermId(a), TermId(b));
+                prop_assert!((0.0..=1.0).contains(&v), "ST = {}", v);
+                prop_assert!((v - sim.st(TermId(b), TermId(a))).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn informative_classes_shrink_with_threshold((o, ann) in world_strategy()) {
+        let low = InformativeClasses::compute(&o, &ann, InformativeConfig {
+            min_direct: 1, ..Default::default()
+        });
+        let high = InformativeClasses::compute(&o, &ann, InformativeConfig {
+            min_direct: 5, ..Default::default()
+        });
+        for t in o.term_ids() {
+            if high.is_informative(t) {
+                prop_assert!(low.is_informative(t), "informative sets are nested");
+            }
+        }
+        // Border terms are informative and have no informative ancestor.
+        for t in low.border_terms() {
+            prop_assert!(low.is_informative(t));
+            for &a in o.ancestors(t) {
+                prop_assert!(!low.is_informative(a));
+            }
+        }
+        // Vocabulary terms descend from a border term.
+        for t in low.vocabulary() {
+            let covered = low.is_border(t)
+                || o.ancestors(t).iter().any(|&a| low.is_border(a));
+            prop_assert!(covered);
+        }
+    }
+
+    #[test]
+    fn obo_roundtrip_preserves_structure((o, _) in world_strategy()) {
+        let text = go_ontology::write_obo(&o);
+        let o2 = go_ontology::parse_obo(&text).unwrap();
+        prop_assert_eq!(o2.term_count(), o.term_count());
+        for t in o.term_ids() {
+            let acc = &o.term(t).accession;
+            let t2 = o2.by_accession(acc).unwrap();
+            let p1: Vec<String> = o.parents(t).iter()
+                .map(|&(p, r)| format!("{}-{r}", o.term(p).accession)).collect();
+            let p2: Vec<String> = o2.parents(t2).iter()
+                .map(|&(p, r)| format!("{}-{r}", o2.term(p).accession)).collect();
+            prop_assert_eq!(p1, p2);
+        }
+    }
+}

@@ -1,0 +1,276 @@
+//! Grouping subgraph occurrences into isomorphism classes.
+//!
+//! Every enumerated vertex set is bucketed by a cheap isomorphism
+//! invariant, then matched by VF2 against the representative patterns of
+//! its bucket. This avoids computing full canonical forms for meso-scale
+//! subgraphs while staying exact. Each class keeps its occurrences
+//! position-aligned to the class pattern (the alignment LaMoFinder's
+//! labeling needs).
+//!
+//! This is the hottest loop of the growth phase (millions of candidate
+//! sets), so the equitable refinement of each candidate is computed once
+//! and shared between the bucket key and the VF2 matching, and the
+//! induced-subgraph extraction works over a sorted vertex slice instead
+//! of a hash map.
+
+use crate::motif::Occurrence;
+use ppi_graph::isomorphism::find_isomorphism_prepared;
+use ppi_graph::refinement::refine_colors;
+use ppi_graph::{Graph, VertexId};
+use std::collections::HashMap;
+
+/// One isomorphism class of subgraph occurrences.
+#[derive(Clone, Debug)]
+pub struct SubgraphClass {
+    /// Representative pattern over vertices `0..k`.
+    pub pattern: Graph,
+    /// Occurrences aligned to `pattern` (may be truncated at the cap).
+    pub occurrences: Vec<Occurrence>,
+    /// Total occurrences seen (≥ `occurrences.len()`).
+    pub frequency: usize,
+}
+
+/// Accumulates vertex sets into isomorphism classes.
+pub struct ClassCollector<'a> {
+    network: &'a Graph,
+    /// Cap on stored occurrences per class (`usize::MAX` = unlimited);
+    /// frequency keeps counting past it.
+    max_stored: usize,
+    buckets: HashMap<InvariantKey, Vec<usize>>,
+    classes: Vec<SubgraphClass>,
+    /// Refined colors of each class pattern (index-aligned to classes).
+    class_colors: Vec<Vec<u32>>,
+}
+
+/// Cheap isomorphism-invariant bucket key: (n, m, sorted degree
+/// sequence, sorted refinement color histogram).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+struct InvariantKey {
+    n: u32,
+    m: u32,
+    degrees: Vec<u16>,
+    color_sizes: Vec<u16>,
+}
+
+fn invariant_key(g: &Graph, colors: &[u32]) -> InvariantKey {
+    let mut degrees: Vec<u16> = g.vertices().map(|v| g.degree(v) as u16).collect();
+    degrees.sort_unstable();
+    let k = colors.iter().map(|&c| c as usize + 1).max().unwrap_or(0);
+    let mut color_sizes = vec![0u16; k];
+    for &c in colors {
+        color_sizes[c as usize] += 1;
+    }
+    color_sizes.sort_unstable();
+    InvariantKey {
+        n: g.vertex_count() as u32,
+        m: g.edge_count() as u32,
+        degrees,
+        color_sizes,
+    }
+}
+
+/// Induced subgraph over a *small* vertex set, relabeled to `0..k` in
+/// ascending vertex order. Returns the subgraph and the sorted vertex
+/// list (`sub` vertex `i` = `sorted[i]`).
+fn induced_small(network: &Graph, verts: &[VertexId]) -> (Graph, Vec<VertexId>) {
+    let mut sorted: Vec<VertexId> = verts.to_vec();
+    sorted.sort_unstable();
+    let mut sub = Graph::empty(sorted.len());
+    for (i, &v) in sorted.iter().enumerate() {
+        // Walk v's neighbors that are inside the (sorted) set.
+        for &u in network.neighbors(v) {
+            if u <= v.0 {
+                continue;
+            }
+            if let Ok(j) = sorted.binary_search(&VertexId(u)) {
+                sub.add_edge(VertexId(i as u32), VertexId(j as u32));
+            }
+        }
+    }
+    (sub, sorted)
+}
+
+impl<'a> ClassCollector<'a> {
+    /// New collector over `network`, storing at most `max_stored`
+    /// occurrences per class.
+    pub fn new(network: &'a Graph, max_stored: usize) -> Self {
+        ClassCollector {
+            network,
+            max_stored,
+            buckets: HashMap::new(),
+            classes: Vec::new(),
+            class_colors: Vec::new(),
+        }
+    }
+
+    /// Add one connected vertex set. Returns the class index it joined.
+    pub fn add(&mut self, verts: &[VertexId]) -> usize {
+        let (sub, map) = induced_small(self.network, verts);
+        let colors = refine_colors(&sub, None);
+        let key = invariant_key(&sub, &colors);
+        if let Some(bucket) = self.buckets.get(&key) {
+            for &idx in bucket {
+                let class_colors = &self.class_colors[idx];
+                let class = &mut self.classes[idx];
+                if let Some(iso) =
+                    find_isomorphism_prepared(&class.pattern, class_colors, &sub, &colors)
+                {
+                    class.frequency += 1;
+                    if class.occurrences.len() < self.max_stored {
+                        // pattern vertex i plays network vertex map[iso[i]].
+                        let aligned: Vec<VertexId> =
+                            iso.iter().map(|t| map[t.index()]).collect();
+                        class.occurrences.push(Occurrence::new(aligned));
+                    }
+                    return idx;
+                }
+            }
+        }
+        // New class: the induced subgraph itself is the pattern; the
+        // identity alignment maps pattern vertex i to map[i].
+        let idx = self.classes.len();
+        self.buckets.entry(key).or_default().push(idx);
+        self.classes.push(SubgraphClass {
+            pattern: sub,
+            occurrences: vec![Occurrence::new(map)],
+            frequency: 1,
+        });
+        self.class_colors.push(colors);
+        idx
+    }
+
+    /// Finish, returning the classes sorted by descending frequency.
+    pub fn into_classes(self) -> Vec<SubgraphClass> {
+        let mut classes = self.classes;
+        classes.sort_by(|a, b| b.frequency.cmp(&a.frequency));
+        classes
+    }
+
+    /// Number of classes so far.
+    pub fn class_count(&self) -> usize {
+        self.classes.len()
+    }
+}
+
+/// Enumerate all connected size-`k` subgraphs of `g` and group them into
+/// isomorphism classes (unlimited occurrence storage).
+pub fn classify_size_k(g: &Graph, k: usize) -> Vec<SubgraphClass> {
+    let mut collector = ClassCollector::new(g, usize::MAX);
+    crate::esu::enumerate_connected_subgraphs(g, k, &mut |verts| {
+        collector.add(verts);
+        true
+    });
+    collector.into_classes()
+}
+
+/// Count size-`k` class frequencies keyed by the class patterns of
+/// `reference` (used by uniqueness testing: how often does each real
+/// motif appear in a randomized network?). Classes of the randomized
+/// network that match no reference pattern are ignored.
+pub fn count_against_reference(g: &Graph, k: usize, reference: &[&Graph]) -> Vec<usize> {
+    let classes = classify_size_k(g, k);
+    reference
+        .iter()
+        .map(|pat| {
+            classes
+                .iter()
+                .find(|c| ppi_graph::are_isomorphic(&c.pattern, pat))
+                .map_or(0, |c| c.frequency)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triangles_and_paths_separate() {
+        // Network: triangle 0-1-2 and path 3-4-5-6.
+        let g = Graph::from_edges(7, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (5, 6)]);
+        let classes = classify_size_k(&g, 3);
+        assert_eq!(classes.len(), 2);
+        // Paths (2 of them: 3-4-5, 4-5-6) outnumber triangles (1).
+        assert_eq!(classes[0].frequency, 2);
+        assert_eq!(classes[0].pattern.edge_count(), 2);
+        assert_eq!(classes[1].frequency, 1);
+        assert_eq!(classes[1].pattern.edge_count(), 3);
+    }
+
+    #[test]
+    fn occurrences_are_aligned_to_pattern() {
+        let g = Graph::from_edges(7, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (5, 6)]);
+        for class in classify_size_k(&g, 3) {
+            let motif = crate::motif::Motif {
+                pattern: class.pattern.clone(),
+                occurrences: class.occurrences.clone(),
+                frequency: class.frequency,
+                uniqueness: None,
+            };
+            assert!(motif.validate_against(&g));
+        }
+    }
+
+    #[test]
+    fn unsorted_vertex_sets_are_handled() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let mut collector = ClassCollector::new(&g, usize::MAX);
+        let a = collector.add(&[VertexId(2), VertexId(0), VertexId(1)]);
+        let b = collector.add(&[VertexId(4), VertexId(2), VertexId(3)]);
+        assert_eq!(a, b, "same path class regardless of input order");
+        let classes = collector.into_classes();
+        assert_eq!(classes.len(), 1);
+        assert_eq!(classes[0].frequency, 2);
+        let motif = crate::motif::Motif {
+            pattern: classes[0].pattern.clone(),
+            occurrences: classes[0].occurrences.clone(),
+            frequency: 2,
+            uniqueness: None,
+        };
+        assert!(motif.validate_against(&g));
+    }
+
+    #[test]
+    fn cap_truncates_storage_but_not_frequency() {
+        // Star with 6 leaves: C(6,2)=15 path-of-3 occurrences.
+        let g = Graph::from_edges(7, &[(0, 1), (0, 2), (0, 3), (0, 4), (0, 5), (0, 6)]);
+        let mut collector = ClassCollector::new(&g, 4);
+        crate::esu::enumerate_connected_subgraphs(&g, 3, &mut |verts| {
+            collector.add(verts);
+            true
+        });
+        let classes = collector.into_classes();
+        assert_eq!(classes.len(), 1);
+        assert_eq!(classes[0].frequency, 15);
+        assert_eq!(classes[0].occurrences.len(), 4);
+    }
+
+    #[test]
+    fn same_degree_sequence_different_classes() {
+        // C6 vs two triangles: same degree sequence; must split.
+        let g = Graph::from_edges(
+            12,
+            &[
+                (0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), // C6
+                (6, 7), (7, 8), (8, 6), (9, 10), (10, 11), (11, 9), // 2 x C3
+            ],
+        );
+        let classes = classify_size_k(&g, 6);
+        // Size-6 connected sets: the C6 itself (two triangles are
+        // disconnected from each other).
+        assert_eq!(classes.len(), 1);
+        assert_eq!(classes[0].frequency, 1);
+    }
+
+    #[test]
+    fn count_against_reference_finds_matches() {
+        let g = Graph::from_edges(7, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (5, 6)]);
+        let triangle = Graph::from_edges(3, &[(0, 1), (1, 2), (0, 2)]);
+        let path = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        let star4 = Graph::from_edges(4, &[(0, 1), (0, 2), (0, 3)]);
+        let counts = count_against_reference(&g, 3, &[&triangle, &path]);
+        assert_eq!(counts, vec![1, 2]);
+        let counts4 = count_against_reference(&g, 4, &[&star4]);
+        assert_eq!(counts4, vec![0]);
+    }
+}

@@ -1,0 +1,265 @@
+//! ESU enumeration of connected induced subgraphs (Wernicke's algorithm,
+//! the core of FANMOD).
+//!
+//! ESU enumerates every connected vertex set of size `k` exactly once:
+//! for each root `v`, it grows an extension set restricted to vertices
+//! with id greater than `v` that are *exclusive* neighbors of the newest
+//! subgraph vertex (not adjacent to any earlier subgraph vertex), which
+//! yields each set via a unique derivation. This is the exact (Task 1)
+//! enumerator used for small motif sizes and for counting subgraph
+//! classes in randomized networks.
+
+use ppi_graph::{Graph, VertexId};
+
+/// Enumerate all connected induced size-`k` vertex sets of `g`, invoking
+/// `visit` on each (vertices in discovery order, root first). Return
+/// `false` from `visit` to abort the enumeration early.
+pub fn enumerate_connected_subgraphs(
+    g: &Graph,
+    k: usize,
+    visit: &mut dyn FnMut(&[VertexId]) -> bool,
+) {
+    if k == 0 || k > g.vertex_count() {
+        return;
+    }
+    let n = g.vertex_count();
+    let mut state = EsuState {
+        g,
+        k,
+        root: 0,
+        subgraph: Vec::with_capacity(k),
+        // blocked[u]: u is in V_sub, or has been placed in an extension
+        // set somewhere on the active path (u ∈ N(V_sub) with u > root).
+        // A blocked vertex is cleared by the stack frame that blocked it.
+        blocked: vec![false; n],
+    };
+
+    for v in 0..n as u32 {
+        state.root = v;
+        state.subgraph.push(VertexId(v));
+        state.blocked[v as usize] = true;
+        let ext: Vec<u32> = g
+            .neighbors(VertexId(v))
+            .iter()
+            .copied()
+            .filter(|&u| u > v)
+            .collect();
+        for &u in &ext {
+            state.blocked[u as usize] = true;
+        }
+        let keep_going = state.extend(ext, visit);
+        for &u in g.neighbors(VertexId(v)) {
+            if u > v {
+                state.blocked[u as usize] = false;
+            }
+        }
+        state.blocked[v as usize] = false;
+        state.subgraph.pop();
+        if !keep_going {
+            return;
+        }
+    }
+}
+
+struct EsuState<'a> {
+    g: &'a Graph,
+    k: usize,
+    root: u32,
+    subgraph: Vec<VertexId>,
+    blocked: Vec<bool>,
+}
+
+impl EsuState<'_> {
+    /// Process one extension set. All vertices of `ext` are already
+    /// blocked by the caller, which is also responsible for unblocking
+    /// them after this call returns.
+    fn extend(&mut self, ext: Vec<u32>, visit: &mut dyn FnMut(&[VertexId]) -> bool) -> bool {
+        if self.subgraph.len() == self.k {
+            return visit(&self.subgraph);
+        }
+        let mut remaining = ext;
+        while let Some(w) = remaining.pop() {
+            // w stays blocked for the rest of this level: later branches
+            // must not re-admit it (it is a neighbor of V_sub).
+            let mut new_ext = remaining.clone();
+            let mut added: Vec<u32> = Vec::new();
+            for &u in self.g.neighbors(VertexId(w)) {
+                if u > self.root && !self.blocked[u as usize] {
+                    // u is an exclusive neighbor of w: not in V_sub and
+                    // not adjacent to V_sub (otherwise it would be
+                    // blocked), per the ESU invariant.
+                    new_ext.push(u);
+                    added.push(u);
+                    self.blocked[u as usize] = true;
+                }
+            }
+            self.subgraph.push(VertexId(w));
+            let keep_going = self.extend(new_ext, visit);
+            self.subgraph.pop();
+            for &u in &added {
+                self.blocked[u as usize] = false;
+            }
+            if !keep_going {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Count connected induced size-`k` subgraphs.
+pub fn count_connected_subgraphs(g: &Graph, k: usize) -> usize {
+    let mut count = 0usize;
+    enumerate_connected_subgraphs(g, k, &mut |_| {
+        count += 1;
+        true
+    });
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppi_graph::algo::induces_connected;
+
+    fn complete(n: u32) -> Graph {
+        let mut edges = Vec::new();
+        for i in 0..n {
+            for j in i + 1..n {
+                edges.push((i, j));
+            }
+        }
+        Graph::from_edges(n as usize, &edges)
+    }
+
+    fn collect_sets(g: &Graph, k: usize) -> Vec<Vec<VertexId>> {
+        let mut sets = Vec::new();
+        enumerate_connected_subgraphs(g, k, &mut |s| {
+            let mut v = s.to_vec();
+            v.sort_unstable();
+            sets.push(v);
+            true
+        });
+        sets
+    }
+
+    /// Brute-force reference: all k-subsets that induce a connected graph.
+    fn brute_force_count(g: &Graph, k: usize) -> usize {
+        let n = g.vertex_count();
+        let mut count = 0;
+        let mut subset: Vec<usize> = (0..k).collect();
+        if k > n {
+            return 0;
+        }
+        loop {
+            let verts: Vec<VertexId> = subset.iter().map(|&i| VertexId(i as u32)).collect();
+            if induces_connected(g, &verts) {
+                count += 1;
+            }
+            // next k-combination
+            let mut i = k;
+            loop {
+                if i == 0 {
+                    return count;
+                }
+                i -= 1;
+                if subset[i] != i + n - k {
+                    break;
+                }
+                if i == 0 {
+                    return count;
+                }
+            }
+            subset[i] += 1;
+            for j in i + 1..k {
+                subset[j] = subset[j - 1] + 1;
+            }
+        }
+    }
+
+    #[test]
+    fn complete_graph_counts_match_binomial() {
+        let k5 = complete(5);
+        assert_eq!(count_connected_subgraphs(&k5, 1), 5);
+        assert_eq!(count_connected_subgraphs(&k5, 2), 10);
+        assert_eq!(count_connected_subgraphs(&k5, 3), 10);
+        assert_eq!(count_connected_subgraphs(&k5, 4), 5);
+        assert_eq!(count_connected_subgraphs(&k5, 5), 1);
+    }
+
+    #[test]
+    fn path_counts() {
+        let p6 = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
+        for k in 1..=6 {
+            assert_eq!(count_connected_subgraphs(&p6, k), 6 - k + 1, "k={k}");
+        }
+    }
+
+    #[test]
+    fn sets_are_distinct_connected_and_match_brute_force() {
+        let g = Graph::from_edges(
+            7,
+            &[(0, 1), (1, 2), (2, 3), (3, 0), (2, 4), (4, 5), (5, 6), (6, 4)],
+        );
+        for k in 2..=6 {
+            let sets = collect_sets(&g, k);
+            let mut seen = std::collections::HashSet::new();
+            for s in &sets {
+                assert_eq!(s.len(), k);
+                assert!(seen.insert(s.clone()), "duplicate set {s:?}");
+                assert!(induces_connected(&g, s), "disconnected set {s:?}");
+            }
+            assert_eq!(sets.len(), brute_force_count(&g, k), "k={k}");
+        }
+    }
+
+    #[test]
+    fn random_graphs_match_brute_force() {
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        for seed in 0..5u64 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let g = ppi_graph::random::erdos_renyi_gnm(12, 18, &mut rng);
+            for k in 3..=5 {
+                assert_eq!(
+                    count_connected_subgraphs(&g, k),
+                    brute_force_count(&g, k),
+                    "seed={seed} k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn star_counts() {
+        let star = Graph::from_edges(6, &[(0, 1), (0, 2), (0, 3), (0, 4), (0, 5)]);
+        assert_eq!(count_connected_subgraphs(&star, 2), 5);
+        assert_eq!(count_connected_subgraphs(&star, 3), 10);
+        assert_eq!(count_connected_subgraphs(&star, 4), 10);
+    }
+
+    #[test]
+    fn early_abort_stops_enumeration() {
+        let k5 = complete(5);
+        let mut seen = 0;
+        enumerate_connected_subgraphs(&k5, 3, &mut |_| {
+            seen += 1;
+            seen < 4
+        });
+        assert_eq!(seen, 4);
+    }
+
+    #[test]
+    fn oversized_or_zero_k_yields_nothing() {
+        let g = complete(3);
+        assert_eq!(count_connected_subgraphs(&g, 4), 0);
+        assert_eq!(count_connected_subgraphs(&g, 0), 0);
+    }
+
+    #[test]
+    fn disconnected_graph_components_enumerated_separately() {
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (3, 4), (4, 5)]);
+        assert_eq!(count_connected_subgraphs(&g, 3), 2);
+        assert_eq!(count_connected_subgraphs(&g, 4), 0);
+    }
+}

@@ -1,0 +1,33 @@
+//! Network-motif discovery substrate (Tasks 1 and 2 of the paper).
+//!
+//! * [`esu`] — exact ESU/FANMOD enumeration of connected subgraphs;
+//! * [`sampling`] — RAND-ESU probabilistic sampling and count estimation;
+//! * [`classes`] — grouping occurrences into isomorphism classes;
+//! * [`nemo`] — NeMoFinder-style level-wise frequent-subgraph growth up
+//!   to meso-scale sizes;
+//! * [`subgraph_match`] — capped induced-pattern counting in large
+//!   networks;
+//! * [`uniqueness`] — frequency comparison against degree-matched
+//!   randomized networks (parallelized);
+//! * [`directed`] — directed motif mining for regulatory networks (the
+//!   paper's future-work extension);
+//! * [`finder`] — the end-to-end [`MotifFinder`].
+
+pub mod classes;
+pub mod directed;
+pub mod esu;
+pub mod finder;
+pub mod motif;
+pub mod nemo;
+pub mod sampling;
+pub mod subgraph_match;
+pub mod uniqueness;
+
+pub use classes::{classify_size_k, ClassCollector, SubgraphClass};
+pub use directed::{classify_directed_size_k, find_directed_motifs, DirectedClass, DirectedMotif};
+pub use esu::{count_connected_subgraphs, enumerate_connected_subgraphs};
+pub use finder::{FinderReport, MotifFinder, MotifFinderConfig};
+pub use motif::{Motif, Occurrence};
+pub use nemo::{grow_frequent_subgraphs, GrowthConfig, GrowthReport};
+pub use subgraph_match::{count_occurrences, count_occurrences_capped, CountResult};
+pub use uniqueness::{uniqueness_scores, UniquenessConfig};

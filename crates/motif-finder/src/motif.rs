@@ -1,0 +1,136 @@
+//! Motif and occurrence types.
+//!
+//! A network motif is an isomorphism class of connected subgraphs that is
+//! *repeated* (frequency ≥ threshold in the input network) and *unique*
+//! (frequency at least as high as in most degree-matched random
+//! networks). Each occurrence is stored position-aligned to the pattern:
+//! `occurrence.vertices[i]` is the image of pattern vertex `i`, which is
+//! exactly the correspondence LaMoFinder's labeling step consumes.
+
+use ppi_graph::{Graph, VertexId};
+
+/// One occurrence of a motif: images of pattern vertices, in pattern
+/// order.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Occurrence {
+    /// `vertices[i]` = network vertex playing pattern vertex `i`.
+    pub vertices: Vec<VertexId>,
+}
+
+impl Occurrence {
+    /// Construct from the position-aligned image list.
+    pub fn new(vertices: Vec<VertexId>) -> Self {
+        Occurrence { vertices }
+    }
+
+    /// Number of vertices (= motif size).
+    pub fn len(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Whether the occurrence is empty (size-0 motif; never produced by
+    /// the finders but kept for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.vertices.is_empty()
+    }
+
+    /// The underlying vertex set, sorted — identity of the occurrence
+    /// regardless of pattern alignment.
+    pub fn vertex_set(&self) -> Vec<VertexId> {
+        let mut s = self.vertices.clone();
+        s.sort_unstable();
+        s
+    }
+}
+
+/// A repeated (and possibly unique) subgraph pattern with its
+/// occurrence set `Dg`.
+#[derive(Clone, Debug)]
+pub struct Motif {
+    /// The pattern graph over vertices `0..k`.
+    pub pattern: Graph,
+    /// Position-aligned occurrences (possibly truncated at the finder's
+    /// occurrence cap; see [`Motif::occurrences_capped`]).
+    pub occurrences: Vec<Occurrence>,
+    /// Total number of occurrences found (≥ `occurrences.len()` when the
+    /// cap was hit).
+    pub frequency: usize,
+    /// Fraction of randomized networks in which this pattern is at most
+    /// as frequent as in the input network; `None` before uniqueness
+    /// testing.
+    pub uniqueness: Option<f64>,
+}
+
+impl Motif {
+    /// Motif size (number of pattern vertices).
+    pub fn size(&self) -> usize {
+        self.pattern.vertex_count()
+    }
+
+    /// Whether the stored occurrence list was truncated.
+    pub fn occurrences_capped(&self) -> bool {
+        self.occurrences.len() < self.frequency
+    }
+
+    /// Check the structural invariant: every stored occurrence induces a
+    /// subgraph matching the pattern edge-for-edge under its alignment.
+    /// Used by tests and debug assertions.
+    pub fn validate_against(&self, network: &Graph) -> bool {
+        let k = self.size();
+        self.occurrences.iter().all(|occ| {
+            occ.len() == k
+                && (0..k).all(|i| {
+                    (i + 1..k).all(|j| {
+                        self.pattern.has_edge(VertexId(i as u32), VertexId(j as u32))
+                            == network.has_edge(occ.vertices[i], occ.vertices[j])
+                    })
+                })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn occurrence_vertex_set_is_sorted() {
+        let o = Occurrence::new(vec![VertexId(5), VertexId(1), VertexId(3)]);
+        assert_eq!(o.vertex_set(), vec![VertexId(1), VertexId(3), VertexId(5)]);
+        assert_eq!(o.len(), 3);
+        assert!(!o.is_empty());
+    }
+
+    #[test]
+    fn validate_against_catches_misalignment() {
+        // Pattern: path 0-1-2. Network: triangle 0-1-2 plus path 3-4-5.
+        let pattern = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        let network = Graph::from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5)]);
+        let good = Motif {
+            pattern: pattern.clone(),
+            occurrences: vec![Occurrence::new(vec![VertexId(3), VertexId(4), VertexId(5)])],
+            frequency: 1,
+            uniqueness: None,
+        };
+        assert!(good.validate_against(&network));
+        // Misaligned: 3-5-4 puts the path's middle at a non-adjacent pair.
+        let bad = Motif {
+            pattern,
+            occurrences: vec![Occurrence::new(vec![VertexId(3), VertexId(5), VertexId(4)])],
+            frequency: 1,
+            uniqueness: None,
+        };
+        assert!(!bad.validate_against(&network));
+    }
+
+    #[test]
+    fn capped_flag() {
+        let m = Motif {
+            pattern: Graph::from_edges(2, &[(0, 1)]),
+            occurrences: vec![Occurrence::new(vec![VertexId(0), VertexId(1)])],
+            frequency: 10,
+            uniqueness: None,
+        };
+        assert!(m.occurrences_capped());
+    }
+}

@@ -1,0 +1,407 @@
+//! Induced subgraph matching of a small pattern inside a large network.
+//!
+//! Used by uniqueness testing: "how often does this motif occur in a
+//! randomized network?". Occurrences are distinct vertex *sets*, so raw
+//! embedding counts must be divided by the pattern's symmetry. Naively
+//! that factor is `|Aut(pattern)|`, which is astronomically large for the
+//! patterns PPI networks actually produce (cliques from protein
+//! complexes, bipartite hub–target structures): `|Aut(K12)| = 12!`.
+//!
+//! We instead break symmetry over *interchangeable vertex classes*:
+//! pattern vertices with identical neighborhoods (clique members, star
+//! leaves, bipartite sides) are forced to map to ascending target ids.
+//! Each occurrence set is then counted exactly `D` times, where `D` is
+//! the number of automorphisms respecting the same ordering constraint —
+//! computed by running the constrained matcher pattern-against-pattern.
+//! For cliques and complete bipartite patterns `D = 1`; for cycles
+//! `D = |Aut|/1` stays tiny. Orbit–stabilizer guarantees uniformity: the
+//! intra-class permutations act freely on every embedding, and exactly
+//! one member of each coset is ascending.
+
+use ppi_graph::{Graph, VertexId};
+
+/// Result of a capped counting run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CountResult {
+    /// Number of distinct occurrence sets found (saturates at the cap).
+    pub count: usize,
+    /// The count reached the requested cap (so the true count is ≥ it).
+    pub capped: bool,
+    /// The search exhausted its node budget; `count` is a lower bound.
+    pub budget_exhausted: bool,
+}
+
+/// Count distinct vertex sets of `target` that induce a subgraph
+/// isomorphic to `pattern`, stopping once `cap` sets are confirmed or
+/// `node_budget` search steps are spent.
+pub fn count_occurrences_capped(
+    target: &Graph,
+    pattern: &Graph,
+    cap: usize,
+    node_budget: usize,
+) -> CountResult {
+    let k = pattern.vertex_count();
+    if k == 0 || k > target.vertex_count() || cap == 0 {
+        return CountResult {
+            count: 0,
+            capped: cap == 0,
+            budget_exhausted: false,
+        };
+    }
+    let classes = interchangeable_classes(pattern);
+
+    // Duplication factor: constrained automorphism count. Bounded search;
+    // if even this exhausts (pathological symmetric pattern beyond the
+    // interchangeable model), report budget exhaustion conservatively.
+    let (dup, dup_exhausted) = {
+        let mut st = MatchState::new(pattern, pattern, &classes, usize::MAX / 2, node_budget);
+        st.search(0);
+        (st.embeddings.max(1), st.budget == 0)
+    };
+
+    let embedding_cap = cap.saturating_mul(dup);
+    let mut st = MatchState::new(target, pattern, &classes, embedding_cap, node_budget);
+    st.search(0);
+    CountResult {
+        count: (st.embeddings / dup).min(cap),
+        capped: st.embeddings >= embedding_cap,
+        budget_exhausted: st.budget == 0 || dup_exhausted,
+    }
+}
+
+/// Exact occurrence-set count (no cap; budget still applies).
+pub fn count_occurrences(target: &Graph, pattern: &Graph, node_budget: usize) -> CountResult {
+    count_occurrences_capped(target, pattern, usize::MAX / 2, node_budget)
+}
+
+/// Group pattern vertices into interchangeable classes: `u ~ v` iff
+/// `N(u) \ {v} == N(v) \ {u}` (swapping them is an automorphism
+/// regardless of the rest of the graph). Returns `class_of[v]`.
+pub fn interchangeable_classes(pattern: &Graph) -> Vec<u32> {
+    let k = pattern.vertex_count();
+    let mut class_of: Vec<u32> = (0..k as u32).collect();
+    // Pairwise interchangeability is not transitive in general, and the
+    // counting argument needs every transposition inside a class to be an
+    // automorphism — so membership requires interchangeability with
+    // every existing member.
+    for v in 1..k as u32 {
+        for c in 0..v {
+            if class_of[c as usize] != c {
+                continue; // not a class representative
+            }
+            let all_ok = (0..v)
+                .filter(|&m| class_of[m as usize] == c)
+                .all(|m| interchangeable(pattern, VertexId(m), VertexId(v)));
+            if all_ok {
+                class_of[v as usize] = c;
+                break;
+            }
+        }
+    }
+    class_of
+}
+
+fn interchangeable(g: &Graph, u: VertexId, v: VertexId) -> bool {
+    if g.degree(u) != g.degree(v) {
+        return false;
+    }
+    let nu: Vec<u32> = g.neighbors(u).iter().copied().filter(|&x| x != v.0).collect();
+    let nv: Vec<u32> = g.neighbors(v).iter().copied().filter(|&x| x != u.0).collect();
+    nu == nv
+}
+
+/// Matching order: highest-degree pattern vertex first, then maximize
+/// connections to already placed vertices.
+fn matching_order(pattern: &Graph) -> Vec<VertexId> {
+    let k = pattern.vertex_count();
+    let mut placed = vec![false; k];
+    let mut order = Vec::with_capacity(k);
+    for _ in 0..k {
+        let mut best: Option<(usize, usize, u32)> = None;
+        for v in 0..k as u32 {
+            if placed[v as usize] {
+                continue;
+            }
+            let vid = VertexId(v);
+            let pn = pattern
+                .neighbors(vid)
+                .iter()
+                .filter(|&&u| placed[u as usize])
+                .count();
+            let cand = (pn, pattern.degree(vid), v);
+            let better = match best {
+                None => true,
+                Some((bpn, bd, bv)) => {
+                    (pn, pattern.degree(vid)) > (bpn, bd)
+                        || ((pn, pattern.degree(vid)) == (bpn, bd) && v < bv)
+                }
+            };
+            if better {
+                best = Some(cand);
+            }
+        }
+        let (_, _, v) = best.expect("unplaced vertex exists");
+        placed[v as usize] = true;
+        order.push(VertexId(v));
+    }
+    order
+}
+
+struct MatchState<'a> {
+    target: &'a Graph,
+    pattern: &'a Graph,
+    class_of: &'a [u32],
+    order: Vec<VertexId>,
+    mapping: Vec<u32>,
+    used: Vec<bool>,
+    embeddings: usize,
+    embedding_cap: usize,
+    budget: usize,
+}
+
+impl<'a> MatchState<'a> {
+    fn new(
+        target: &'a Graph,
+        pattern: &'a Graph,
+        class_of: &'a [u32],
+        embedding_cap: usize,
+        budget: usize,
+    ) -> Self {
+        MatchState {
+            target,
+            pattern,
+            class_of,
+            order: matching_order(pattern),
+            mapping: vec![u32::MAX; pattern.vertex_count()],
+            used: vec![false; target.vertex_count()],
+            embeddings: 0,
+            embedding_cap,
+            budget,
+        }
+    }
+
+    fn search(&mut self, depth: usize) {
+        if self.embeddings >= self.embedding_cap || self.budget == 0 {
+            return;
+        }
+        self.budget -= 1;
+        if depth == self.order.len() {
+            self.embeddings += 1;
+            return;
+        }
+        let p = self.order[depth];
+        let anchor = self
+            .pattern
+            .neighbors(p)
+            .iter()
+            .find(|&&u| self.mapping[u as usize] != u32::MAX)
+            .map(|&u| self.mapping[u as usize]);
+        match anchor {
+            Some(a) => {
+                let candidates = self.target.neighbors(VertexId(a)).to_vec();
+                for t in candidates {
+                    self.try_candidate(p, t, depth);
+                    if self.embeddings >= self.embedding_cap || self.budget == 0 {
+                        return;
+                    }
+                }
+            }
+            None => {
+                for t in 0..self.target.vertex_count() as u32 {
+                    self.try_candidate(p, t, depth);
+                    if self.embeddings >= self.embedding_cap || self.budget == 0 {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    fn try_candidate(&mut self, p: VertexId, t: u32, depth: usize) {
+        if self.used[t as usize] {
+            return;
+        }
+        let tv = VertexId(t);
+        if self.target.degree(tv) < self.pattern.degree(p) {
+            return;
+        }
+        // Symmetry breaking: within an interchangeable class, pattern ids
+        // must map to ascending target ids.
+        let pc = self.class_of[p.index()];
+        for (q, &tq) in self.mapping.iter().enumerate() {
+            if tq == u32::MAX || self.class_of[q] != pc {
+                continue;
+            }
+            let ok = if (q as u32) < p.0 { tq < t } else { tq > t };
+            if !ok {
+                return;
+            }
+        }
+        // Induced feasibility against every mapped pattern vertex.
+        for (q, &tq) in self.mapping.iter().enumerate() {
+            if tq == u32::MAX {
+                continue;
+            }
+            let pat_adj = self.pattern.has_edge(p, VertexId(q as u32));
+            let tgt_adj = self.target.has_edge(tv, VertexId(tq));
+            if pat_adj != tgt_adj {
+                return;
+            }
+        }
+        self.mapping[p.index()] = t;
+        self.used[t as usize] = true;
+        self.search(depth + 1);
+        self.mapping[p.index()] = u32::MAX;
+        self.used[t as usize] = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn complete(n: u32) -> Graph {
+        let mut edges = Vec::new();
+        for i in 0..n {
+            for j in i + 1..n {
+                edges.push((i, j));
+            }
+        }
+        Graph::from_edges(n as usize, &edges)
+    }
+
+    fn triangle() -> Graph {
+        complete(3)
+    }
+
+    fn path3() -> Graph {
+        Graph::from_edges(3, &[(0, 1), (1, 2)])
+    }
+
+    /// Complete bipartite K_{a,b}: hubs 0..a, targets a..a+b.
+    fn bipartite(a: u32, b: u32) -> Graph {
+        let mut edges = Vec::new();
+        for i in 0..a {
+            for j in a..a + b {
+                edges.push((i, j));
+            }
+        }
+        Graph::from_edges((a + b) as usize, &edges)
+    }
+
+    #[test]
+    fn counts_triangles_in_k4() {
+        let k4 = complete(4);
+        let r = count_occurrences(&k4, &triangle(), 1_000_000);
+        assert_eq!(r.count, 4);
+        assert!(!r.budget_exhausted);
+    }
+
+    #[test]
+    fn induced_semantics_exclude_supersets() {
+        let k4 = complete(4);
+        let r = count_occurrences(&k4, &path3(), 1_000_000);
+        assert_eq!(r.count, 0);
+    }
+
+    #[test]
+    fn counts_match_esu_classification() {
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let mut rng = SmallRng::seed_from_u64(11);
+        let g = ppi_graph::random::erdos_renyi_gnm(30, 60, &mut rng);
+        for k in 3..=4 {
+            let classes = crate::classes::classify_size_k(&g, k);
+            for class in classes {
+                let r = count_occurrences(&g, &class.pattern, 10_000_000);
+                assert_eq!(
+                    r.count, class.frequency,
+                    "pattern {:?} freq mismatch",
+                    class.pattern
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn interchangeable_classes_of_standard_graphs() {
+        // Clique: one class. Star: center alone, leaves together.
+        // Path3: endpoints are interchangeable (both neighbor the middle).
+        assert_eq!(interchangeable_classes(&complete(5)), vec![0, 0, 0, 0, 0]);
+        let star = Graph::from_edges(4, &[(0, 1), (0, 2), (0, 3)]);
+        assert_eq!(interchangeable_classes(&star), vec![0, 1, 1, 1]);
+        assert_eq!(interchangeable_classes(&path3()), vec![0, 1, 0]);
+        // C5: no two vertices share neighborhoods.
+        let c5 = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        assert_eq!(interchangeable_classes(&c5), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn large_clique_counts_without_factorial_blowup() {
+        // K12 inside K13: C(13,12) = 13 sets. |Aut(K12)| = 12! would be
+        // hopeless to enumerate; symmetry breaking makes D = 1.
+        let k13 = complete(13);
+        let k12 = complete(12);
+        let r = count_occurrences(&k13, &k12, 2_000_000);
+        assert_eq!(r.count, 13);
+        assert!(!r.budget_exhausted);
+    }
+
+    #[test]
+    fn large_bipartite_counts_without_factorial_blowup() {
+        // K_{2,10} inside K_{2,12}: choose 10 of 12 targets = 66 sets
+        // (the hub pair is forced: targets have degree 2, hubs 12).
+        let big = bipartite(2, 12);
+        let pat = bipartite(2, 10);
+        let r = count_occurrences(&big, &pat, 5_000_000);
+        assert_eq!(r.count, 66);
+        assert!(!r.budget_exhausted);
+    }
+
+    #[test]
+    fn cap_stops_early() {
+        let star = Graph::from_edges(8, &[(0, 1), (0, 2), (0, 3), (0, 4), (0, 5), (0, 6), (0, 7)]);
+        let r = count_occurrences_capped(&star, &path3(), 2, 1_000_000);
+        assert_eq!(r.count, 2);
+        assert!(r.capped);
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_lower_bound() {
+        let star = Graph::from_edges(8, &[(0, 1), (0, 2), (0, 3), (0, 4), (0, 5), (0, 6), (0, 7)]);
+        let r = count_occurrences_capped(&star, &path3(), 1000, 5);
+        assert!(r.budget_exhausted);
+        assert!(r.count < 21);
+    }
+
+    #[test]
+    fn zero_cap_and_oversized_pattern() {
+        let g = triangle();
+        let r = count_occurrences_capped(&g, &path3(), 0, 100);
+        assert_eq!(r.count, 0);
+        let big = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let r2 = count_occurrences(&g, &big, 100);
+        assert_eq!(r2.count, 0);
+    }
+
+    #[test]
+    fn symmetric_pattern_counts_sets_not_embeddings() {
+        let c4 = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let r = count_occurrences(&c4, &c4, 1_000_000);
+        assert_eq!(r.count, 1);
+        // Cycle symmetry is NOT interchangeable-class symmetry: the
+        // duplication factor path still yields exact set counts.
+        let c6 = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
+        let r6 = count_occurrences(&c6, &c6, 1_000_000);
+        assert_eq!(r6.count, 1);
+    }
+
+    #[test]
+    fn paths_in_cycle() {
+        // C6 contains 6 induced paths of 4 vertices.
+        let c6 = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
+        let p4 = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let r = count_occurrences(&c6, &p4, 1_000_000);
+        assert_eq!(r.count, 6);
+    }
+}

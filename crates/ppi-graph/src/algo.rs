@@ -1,0 +1,326 @@
+//! Classic graph algorithms: BFS, connectivity, components, shortest
+//! paths, and clustering-coefficient style statistics used by the
+//! synthetic-data generators and the PRODISTIN baseline.
+
+use crate::graph::{Graph, VertexId};
+use std::collections::VecDeque;
+
+/// Breadth-first distances from `source`. Unreachable vertices get
+/// `usize::MAX`.
+pub fn bfs_distances(g: &Graph, source: VertexId) -> Vec<usize> {
+    let mut dist = vec![usize::MAX; g.vertex_count()];
+    let mut queue = VecDeque::new();
+    dist[source.index()] = 0;
+    queue.push_back(source);
+    while let Some(v) = queue.pop_front() {
+        let d = dist[v.index()];
+        for &u in g.neighbors(v) {
+            let u = u as usize;
+            if dist[u] == usize::MAX {
+                dist[u] = d + 1;
+                queue.push_back(VertexId(u as u32));
+            }
+        }
+    }
+    dist
+}
+
+/// Vertices reachable from `source` (including `source` itself), in BFS
+/// order.
+pub fn bfs_reachable(g: &Graph, source: VertexId) -> Vec<VertexId> {
+    let mut seen = vec![false; g.vertex_count()];
+    let mut order = Vec::new();
+    let mut queue = VecDeque::new();
+    seen[source.index()] = true;
+    queue.push_back(source);
+    while let Some(v) = queue.pop_front() {
+        order.push(v);
+        for &u in g.neighbors(v) {
+            if !seen[u as usize] {
+                seen[u as usize] = true;
+                queue.push_back(VertexId(u));
+            }
+        }
+    }
+    order
+}
+
+/// Whether the graph is connected. The empty graph and single-vertex
+/// graphs count as connected.
+pub fn is_connected(g: &Graph) -> bool {
+    let n = g.vertex_count();
+    if n <= 1 {
+        return true;
+    }
+    bfs_reachable(g, VertexId(0)).len() == n
+}
+
+/// Connected components; each component is a sorted list of vertices.
+/// Components are ordered by their smallest vertex.
+pub fn connected_components(g: &Graph) -> Vec<Vec<VertexId>> {
+    let n = g.vertex_count();
+    let mut comp = vec![usize::MAX; n];
+    let mut components = Vec::new();
+    for s in 0..n {
+        if comp[s] != usize::MAX {
+            continue;
+        }
+        let id = components.len();
+        let mut members = Vec::new();
+        let mut queue = VecDeque::new();
+        comp[s] = id;
+        queue.push_back(s);
+        while let Some(v) = queue.pop_front() {
+            members.push(VertexId(v as u32));
+            for &u in g.neighbors(VertexId(v as u32)) {
+                if comp[u as usize] == usize::MAX {
+                    comp[u as usize] = id;
+                    queue.push_back(u as usize);
+                }
+            }
+        }
+        members.sort_unstable();
+        components.push(members);
+    }
+    components
+}
+
+/// The largest connected component (ties broken by smallest vertex).
+pub fn largest_component(g: &Graph) -> Vec<VertexId> {
+    connected_components(g)
+        .into_iter()
+        .max_by_key(|c| c.len())
+        .unwrap_or_default()
+}
+
+/// Whether the set `verts` induces a connected subgraph of `g`.
+pub fn induces_connected(g: &Graph, verts: &[VertexId]) -> bool {
+    if verts.is_empty() {
+        return true;
+    }
+    let set: std::collections::HashSet<u32> = verts.iter().map(|v| v.0).collect();
+    let mut seen = std::collections::HashSet::new();
+    let mut queue = VecDeque::new();
+    seen.insert(verts[0].0);
+    queue.push_back(verts[0]);
+    while let Some(v) = queue.pop_front() {
+        for &u in g.neighbors(v) {
+            if set.contains(&u) && seen.insert(u) {
+                queue.push_back(VertexId(u));
+            }
+        }
+    }
+    seen.len() == verts.len()
+}
+
+/// Bridges of the graph: edges whose removal disconnects their
+/// component. Iterative Tarjan low-link computation, `O(V + E)`.
+pub fn bridges(g: &Graph) -> Vec<crate::graph::Edge> {
+    let n = g.vertex_count();
+    let mut disc = vec![usize::MAX; n];
+    let mut low = vec![usize::MAX; n];
+    let mut timer = 0usize;
+    let mut out = Vec::new();
+
+    // Iterative DFS frame: (vertex, parent, neighbor cursor, parent-edge skipped flag).
+    for root in 0..n {
+        if disc[root] != usize::MAX {
+            continue;
+        }
+        let mut stack: Vec<(usize, usize, usize, bool)> = vec![(root, usize::MAX, 0, false)];
+        disc[root] = timer;
+        low[root] = timer;
+        timer += 1;
+        while !stack.is_empty() {
+            let top = stack.len() - 1;
+            let (v, parent) = (stack[top].0, stack[top].1);
+            let nbrs = g.neighbors(VertexId(v as u32));
+            if stack[top].2 < nbrs.len() {
+                let u = nbrs[stack[top].2] as usize;
+                stack[top].2 += 1;
+                if u == parent && !stack[top].3 {
+                    // Skip the tree edge back to the parent exactly once
+                    // (parallel edges cannot exist in a simple graph).
+                    stack[top].3 = true;
+                    continue;
+                }
+                if disc[u] == usize::MAX {
+                    disc[u] = timer;
+                    low[u] = timer;
+                    timer += 1;
+                    stack.push((u, v, 0, false));
+                } else {
+                    low[v] = low[v].min(disc[u]);
+                }
+            } else {
+                stack.pop();
+                if let Some(&(p, _, _, _)) = stack.last() {
+                    low[p] = low[p].min(low[v]);
+                    if low[v] > disc[p] {
+                        out.push(crate::graph::Edge::new(
+                            VertexId(p as u32),
+                            VertexId(v as u32),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// Number of edges among the neighbors of `v`, and `v`'s local
+/// clustering coefficient (0 for degree < 2).
+pub fn local_clustering(g: &Graph, v: VertexId) -> f64 {
+    let nbrs = g.neighbors(v);
+    let d = nbrs.len();
+    if d < 2 {
+        return 0.0;
+    }
+    let mut links = 0usize;
+    for (i, &a) in nbrs.iter().enumerate() {
+        for &b in &nbrs[i + 1..] {
+            if g.has_edge(VertexId(a), VertexId(b)) {
+                links += 1;
+            }
+        }
+    }
+    2.0 * links as f64 / (d * (d - 1)) as f64
+}
+
+/// Mean local clustering coefficient over all vertices.
+pub fn average_clustering(g: &Graph) -> f64 {
+    let n = g.vertex_count();
+    if n == 0 {
+        return 0.0;
+    }
+    g.vertices().map(|v| local_clustering(g, v)).sum::<f64>() / n as f64
+}
+
+/// Number of triangles in the graph.
+pub fn triangle_count(g: &Graph) -> usize {
+    let mut count = 0usize;
+    for v in g.vertices() {
+        let nbrs = g.neighbors(v);
+        for (i, &a) in nbrs.iter().enumerate() {
+            if a <= v.0 {
+                continue;
+            }
+            for &b in &nbrs[i + 1..] {
+                if b > a && g.has_edge(VertexId(a), VertexId(b)) {
+                    count += 1;
+                }
+            }
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_triangles() -> Graph {
+        // 0-1-2 triangle, 3-4-5 triangle, disconnected.
+        Graph::from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)])
+    }
+
+    #[test]
+    fn bfs_distances_on_path() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(bfs_distances(&g, VertexId(0)), vec![0, 1, 2, 3]);
+        assert_eq!(bfs_distances(&g, VertexId(2)), vec![2, 1, 0, 1]);
+    }
+
+    #[test]
+    fn bfs_distances_unreachable_is_max() {
+        let g = two_triangles();
+        let d = bfs_distances(&g, VertexId(0));
+        assert_eq!(d[3], usize::MAX);
+        assert_eq!(d[2], 1);
+    }
+
+    #[test]
+    fn connectivity_checks() {
+        assert!(is_connected(&Graph::empty(0)));
+        assert!(is_connected(&Graph::empty(1)));
+        assert!(!is_connected(&Graph::empty(2)));
+        assert!(is_connected(&Graph::from_edges(3, &[(0, 1), (1, 2)])));
+        assert!(!is_connected(&two_triangles()));
+    }
+
+    #[test]
+    fn components_of_two_triangles() {
+        let comps = connected_components(&two_triangles());
+        assert_eq!(comps.len(), 2);
+        assert_eq!(comps[0], vec![VertexId(0), VertexId(1), VertexId(2)]);
+        assert_eq!(comps[1], vec![VertexId(3), VertexId(4), VertexId(5)]);
+        assert_eq!(largest_component(&two_triangles()).len(), 3);
+    }
+
+    #[test]
+    fn induces_connected_detects_disconnection() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]);
+        assert!(induces_connected(&g, &[VertexId(0), VertexId(1)]));
+        assert!(!induces_connected(&g, &[VertexId(0), VertexId(2)]));
+        assert!(induces_connected(&g, &[]));
+    }
+
+    #[test]
+    fn clustering_of_triangle_is_one() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2), (0, 2)]);
+        assert!((local_clustering(&g, VertexId(0)) - 1.0).abs() < 1e-12);
+        assert!((average_clustering(&g) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clustering_of_star_is_zero() {
+        let g = Graph::from_edges(4, &[(0, 1), (0, 2), (0, 3)]);
+        assert_eq!(average_clustering(&g), 0.0);
+    }
+
+    #[test]
+    fn bridges_of_barbell() {
+        // Two triangles joined by one edge: only the joining edge is a
+        // bridge.
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)]);
+        assert_eq!(bridges(&g), vec![crate::graph::Edge::new(VertexId(2), VertexId(3))]);
+    }
+
+    #[test]
+    fn bridges_of_tree_are_all_edges() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (1, 3), (3, 4)]);
+        assert_eq!(bridges(&g).len(), 4);
+    }
+
+    #[test]
+    fn cycle_has_no_bridges() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        assert!(bridges(&g).is_empty());
+        // Disconnected graph: per-component computation.
+        let g2 = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5)]);
+        assert_eq!(bridges(&g2).len(), 2);
+    }
+
+    #[test]
+    fn removing_non_bridge_preserves_connectivity() {
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3)]);
+        let bridge_set: std::collections::HashSet<_> = bridges(&g).into_iter().collect();
+        for e in g.edges() {
+            let mut h = g.clone();
+            h.remove_edge(e.0, e.1);
+            let still_connected = is_connected(&h);
+            assert_eq!(still_connected, !bridge_set.contains(&e), "edge {e:?}");
+        }
+    }
+
+    #[test]
+    fn triangle_counting() {
+        assert_eq!(triangle_count(&two_triangles()), 2);
+        let k4 = Graph::from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+        assert_eq!(triangle_count(&k4), 4);
+        let path = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        assert_eq!(triangle_count(&path), 0);
+    }
+}

@@ -1,0 +1,261 @@
+//! Canonical forms for small graphs via individualization–refinement.
+//!
+//! Two graphs are isomorphic iff their canonical keys are equal, which
+//! turns isomorphism-class bookkeeping (grouping subgraph occurrences
+//! into motif candidates) into hash-map lookups.
+//!
+//! The search individualizes one vertex of the first non-singleton
+//! refinement cell at a time, re-refines, and takes the minimum adjacency
+//! bit-matrix over all discrete leaves. This is exact. Highly symmetric
+//! families that defeat refinement entirely (complete graphs, cycles,
+//! edgeless graphs) are special-cased to avoid factorial search; they are
+//! also the families that actually occur as motifs in PPI networks
+//! (cliques = protein complexes).
+
+use crate::graph::{Graph, VertexId};
+use crate::refinement::{color_cells, refine_colors};
+
+/// A canonical key: equal keys ⇔ isomorphic graphs.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct CanonicalKey {
+    /// Vertex count.
+    pub n: u32,
+    /// Adjacency bit-matrix (row-major, n×n) of the canonically
+    /// relabeled graph.
+    pub bits: Vec<u64>,
+}
+
+/// Compute the canonical key of `g`.
+pub fn canonical_form(g: &Graph) -> CanonicalKey {
+    let labeling = canonical_labeling(g);
+    key_under(g, &labeling)
+}
+
+/// A canonical labeling: `labeling[i]` is the original vertex placed at
+/// canonical position `i`. Applying it to `g` yields the canonical
+/// representative of `g`'s isomorphism class.
+pub fn canonical_labeling(g: &Graph) -> Vec<VertexId> {
+    let n = g.vertex_count();
+    if n == 0 {
+        return Vec::new();
+    }
+
+    // Special cases that defeat color refinement.
+    if let Some(lab) = special_case_labeling(g) {
+        return lab;
+    }
+
+    let colors = refine_colors(g, None);
+    let mut best: Option<(Vec<u64>, Vec<VertexId>)> = None;
+    search(g, &colors, &mut best);
+    best.expect("search visits at least one leaf").1
+}
+
+/// The canonical representative graph of `g`'s isomorphism class.
+pub fn canonical_graph(g: &Graph) -> Graph {
+    let labeling = canonical_labeling(g);
+    apply_labeling(g, &labeling)
+}
+
+/// Relabel `g` so that original vertex `labeling[i]` becomes vertex `i`.
+pub fn apply_labeling(g: &Graph, labeling: &[VertexId]) -> Graph {
+    let n = g.vertex_count();
+    assert_eq!(labeling.len(), n);
+    let mut pos = vec![u32::MAX; n];
+    for (i, &v) in labeling.iter().enumerate() {
+        pos[v.index()] = i as u32;
+    }
+    let mut out = Graph::empty(n);
+    for e in g.edges() {
+        out.add_edge(VertexId(pos[e.0.index()]), VertexId(pos[e.1.index()]));
+    }
+    out
+}
+
+fn key_under(g: &Graph, labeling: &[VertexId]) -> CanonicalKey {
+    let n = g.vertex_count();
+    let mut pos = vec![u32::MAX; n];
+    for (i, &v) in labeling.iter().enumerate() {
+        pos[v.index()] = i as u32;
+    }
+    CanonicalKey {
+        n: n as u32,
+        bits: bits_under(g, &pos),
+    }
+}
+
+fn bits_under(g: &Graph, pos: &[u32]) -> Vec<u64> {
+    let n = g.vertex_count();
+    let mut bits = vec![0u64; (n * n).div_ceil(64)];
+    for e in g.edges() {
+        let (i, j) = (pos[e.0.index()] as usize, pos[e.1.index()] as usize);
+        for (a, b) in [(i, j), (j, i)] {
+            let bit = a * n + b;
+            bits[bit / 64] |= 1 << (bit % 64);
+        }
+    }
+    bits
+}
+
+/// Recognize families where refinement yields one big cell but the
+/// canonical labeling is obvious: edgeless, complete, and cycles.
+fn special_case_labeling(g: &Graph) -> Option<Vec<VertexId>> {
+    let n = g.vertex_count();
+    let m = g.edge_count();
+    if m == 0 || m == n * (n - 1) / 2 {
+        // Edgeless or complete: every labeling is canonical.
+        return Some(g.vertices().collect());
+    }
+    if n >= 3 && m == n && g.vertices().all(|v| g.degree(v) == 2) && crate::algo::is_connected(g) {
+        // A single cycle: walk it from vertex 0.
+        let mut lab = Vec::with_capacity(n);
+        let mut prev = VertexId(0);
+        let mut cur = VertexId(g.neighbors(prev)[0]);
+        lab.push(prev);
+        while cur != VertexId(0) {
+            lab.push(cur);
+            let next = g
+                .neighbor_ids(cur)
+                .find(|&u| u != prev)
+                .expect("cycle vertex has two neighbors");
+            prev = cur;
+            cur = next;
+        }
+        return Some(lab);
+    }
+    None
+}
+
+/// Individualization–refinement search for the minimum-bit labeling.
+fn search(g: &Graph, colors: &[u32], best: &mut Option<(Vec<u64>, Vec<VertexId>)>) {
+    let cells = color_cells(colors);
+    // Find the first non-singleton cell.
+    match cells.iter().find(|c| c.len() > 1) {
+        None => {
+            // Discrete: vertex with color i goes to position i.
+            let n = g.vertex_count();
+            let mut labeling = vec![VertexId(0); n];
+            let mut pos = vec![0u32; n];
+            for (v, &c) in colors.iter().enumerate() {
+                labeling[c as usize] = VertexId(v as u32);
+                pos[v] = c;
+            }
+            let bits = bits_under(g, &pos);
+            let better = match best {
+                None => true,
+                Some((b, _)) => bits < *b,
+            };
+            if better {
+                *best = Some((bits, labeling));
+            }
+        }
+        Some(cell) => {
+            for &v in cell {
+                // Individualize v: split it off in front of its cell.
+                let mut init: Vec<u32> = colors.iter().map(|&c| c * 2 + 1).collect();
+                init[v.index()] -= 1;
+                let refined = refine_colors(g, Some(&init));
+                search(g, &refined, best);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isomorphism::are_isomorphic;
+
+    fn relabel(g: &Graph, perm: &[u32]) -> Graph {
+        let mut edges = Vec::new();
+        for e in g.edges() {
+            edges.push((perm[e.0.index()], perm[e.1.index()]));
+        }
+        Graph::from_edges(g.vertex_count(), &edges)
+    }
+
+    #[test]
+    fn isomorphic_graphs_share_keys() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (0, 2)]);
+        let h = relabel(&g, &[3, 0, 4, 1, 2]);
+        assert_eq!(canonical_form(&g), canonical_form(&h));
+    }
+
+    #[test]
+    fn non_isomorphic_graphs_differ() {
+        let c4 = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let star_plus = Graph::from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2)]);
+        assert_ne!(canonical_form(&c4), canonical_form(&star_plus));
+    }
+
+    #[test]
+    fn canonical_graph_is_isomorphic_to_input() {
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (1, 4)]);
+        let cg = canonical_graph(&g);
+        assert!(are_isomorphic(&g, &cg));
+        // Canonicalizing twice is a fixpoint on the key.
+        assert_eq!(canonical_form(&g), canonical_form(&cg));
+    }
+
+    #[test]
+    fn complete_graph_fast_path() {
+        let mut edges = Vec::new();
+        for i in 0..10u32 {
+            for j in i + 1..10 {
+                edges.push((i, j));
+            }
+        }
+        let k10 = Graph::from_edges(10, &edges);
+        let key = canonical_form(&k10);
+        assert_eq!(key.n, 10);
+        let k10b = relabel(&k10, &[9, 8, 7, 6, 5, 4, 3, 2, 1, 0]);
+        assert_eq!(key, canonical_form(&k10b));
+    }
+
+    #[test]
+    fn long_cycle_fast_path() {
+        let n = 20u32;
+        let edges: Vec<(u32, u32)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+        let c = Graph::from_edges(n as usize, &edges);
+        // A rotated relabeling of the cycle.
+        let perm: Vec<u32> = (0..n).map(|i| (i + 7) % n).collect();
+        let c2 = relabel(&c, &perm);
+        assert_eq!(canonical_form(&c), canonical_form(&c2));
+    }
+
+    #[test]
+    fn cycle_vs_two_triangles_same_degree_sequence() {
+        let c6 = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
+        let tt = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]);
+        assert_eq!(c6.degree_sequence(), tt.degree_sequence());
+        assert_ne!(canonical_form(&c6), canonical_form(&tt));
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert_eq!(canonical_form(&Graph::empty(0)).n, 0);
+        assert_eq!(canonical_form(&Graph::empty(1)).n, 1);
+        assert_ne!(
+            canonical_form(&Graph::empty(2)),
+            canonical_form(&Graph::from_edges(2, &[(0, 1)]))
+        );
+    }
+
+    #[test]
+    fn all_size4_graphs_classified() {
+        // There are exactly 11 isomorphism classes of simple graphs on 4
+        // vertices. Enumerate all 2^6 labelled graphs and count classes.
+        let pairs = [(0u32, 1u32), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)];
+        let mut keys = std::collections::HashSet::new();
+        for mask in 0u32..64 {
+            let edges: Vec<(u32, u32)> = pairs
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| mask >> i & 1 == 1)
+                .map(|(_, &e)| e)
+                .collect();
+            keys.insert(canonical_form(&Graph::from_edges(4, &edges)));
+        }
+        assert_eq!(keys.len(), 11);
+    }
+}

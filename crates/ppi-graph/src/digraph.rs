@@ -1,0 +1,601 @@
+//! Directed graphs — the substrate for the paper's stated future work
+//! ("mining labeled and directed network motifs, as many real-world
+//! networks can also be modelled with directed graphs", Section 6).
+//! Gene regulatory networks, the paper's second motivating network
+//! class, are directed.
+//!
+//! A [`DiGraph`] is a simple directed graph (no self-loops, at most one
+//! arc per ordered pair; antiparallel arc pairs allowed — they model
+//! mutual regulation). Directed motif mining enumerates *weakly*
+//! connected vertex sets over the underlying skeleton and classifies
+//! them by directed isomorphism.
+
+use crate::graph::{Graph, VertexId};
+use std::fmt;
+
+/// A simple directed graph with sorted out- and in-adjacency lists.
+#[derive(Clone, PartialEq, Eq)]
+pub struct DiGraph {
+    out_adj: Vec<Vec<u32>>,
+    in_adj: Vec<Vec<u32>>,
+    arc_count: usize,
+}
+
+impl DiGraph {
+    /// Empty digraph with `n` vertices.
+    pub fn empty(n: usize) -> Self {
+        DiGraph {
+            out_adj: vec![Vec::new(); n],
+            in_adj: vec![Vec::new(); n],
+            arc_count: 0,
+        }
+    }
+
+    /// Build from an arc list `(source, target)`. Self-loops and
+    /// duplicate arcs are dropped.
+    pub fn from_arcs(n: usize, arcs: &[(u32, u32)]) -> Self {
+        let mut g = DiGraph::empty(n);
+        for &(s, t) in arcs {
+            g.add_arc(VertexId(s), VertexId(t));
+        }
+        g
+    }
+
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.out_adj.len()
+    }
+
+    /// Number of arcs.
+    pub fn arc_count(&self) -> usize {
+        self.arc_count
+    }
+
+    /// Iterator over all vertices.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        (0..self.out_adj.len() as u32).map(VertexId)
+    }
+
+    /// Sorted out-neighbors (successors) of `v`.
+    pub fn successors(&self, v: VertexId) -> &[u32] {
+        &self.out_adj[v.index()]
+    }
+
+    /// Sorted in-neighbors (predecessors) of `v`.
+    pub fn predecessors(&self, v: VertexId) -> &[u32] {
+        &self.in_adj[v.index()]
+    }
+
+    /// Out-degree of `v`.
+    pub fn out_degree(&self, v: VertexId) -> usize {
+        self.out_adj[v.index()].len()
+    }
+
+    /// In-degree of `v`.
+    pub fn in_degree(&self, v: VertexId) -> usize {
+        self.in_adj[v.index()].len()
+    }
+
+    /// Whether the arc `s → t` exists.
+    pub fn has_arc(&self, s: VertexId, t: VertexId) -> bool {
+        self.out_adj[s.index()].binary_search(&t.0).is_ok()
+    }
+
+    /// Insert arc `s → t`; returns whether it was new. Self-loops are
+    /// rejected.
+    pub fn add_arc(&mut self, s: VertexId, t: VertexId) -> bool {
+        if s == t {
+            return false;
+        }
+        match self.out_adj[s.index()].binary_search(&t.0) {
+            Ok(_) => false,
+            Err(pos) => {
+                self.out_adj[s.index()].insert(pos, t.0);
+                let ipos = self.in_adj[t.index()]
+                    .binary_search(&s.0)
+                    .expect_err("in/out adjacency out of sync");
+                self.in_adj[t.index()].insert(ipos, s.0);
+                self.arc_count += 1;
+                true
+            }
+        }
+    }
+
+    /// Remove arc `s → t`; returns whether it existed.
+    pub fn remove_arc(&mut self, s: VertexId, t: VertexId) -> bool {
+        match self.out_adj[s.index()].binary_search(&t.0) {
+            Err(_) => false,
+            Ok(pos) => {
+                self.out_adj[s.index()].remove(pos);
+                let ipos = self.in_adj[t.index()]
+                    .binary_search(&s.0)
+                    .expect("in/out adjacency out of sync");
+                self.in_adj[t.index()].remove(ipos);
+                self.arc_count -= 1;
+                true
+            }
+        }
+    }
+
+    /// All arcs `(source, target)`.
+    pub fn arcs(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        self.out_adj.iter().enumerate().flat_map(|(s, outs)| {
+            outs.iter()
+                .map(move |&t| (VertexId(s as u32), VertexId(t)))
+        })
+    }
+
+    /// The underlying undirected skeleton (arc direction erased,
+    /// antiparallel pairs collapsed). Weak connectivity of a directed
+    /// motif is connectivity of its skeleton.
+    pub fn skeleton(&self) -> Graph {
+        let mut g = Graph::empty(self.vertex_count());
+        for (s, t) in self.arcs() {
+            g.add_edge(s, t);
+        }
+        g
+    }
+
+    /// The induced sub-digraph on `verts` (relabeled to `0..k` in the
+    /// given order) plus the vertex mapping.
+    pub fn induced_subdigraph(&self, verts: &[VertexId]) -> (DiGraph, Vec<VertexId>) {
+        let mut index = std::collections::HashMap::with_capacity(verts.len());
+        for (i, &v) in verts.iter().enumerate() {
+            let prev = index.insert(v.0, i as u32);
+            assert!(prev.is_none(), "duplicate vertex");
+        }
+        let mut sub = DiGraph::empty(verts.len());
+        for (i, &v) in verts.iter().enumerate() {
+            for &t in self.successors(v) {
+                if let Some(&j) = index.get(&t) {
+                    sub.add_arc(VertexId(i as u32), VertexId(j));
+                }
+            }
+        }
+        (sub, verts.to_vec())
+    }
+
+    /// Sorted pair of degree signatures `(in, out)` per vertex — a cheap
+    /// directed-isomorphism invariant.
+    pub fn degree_signature(&self) -> Vec<(u16, u16)> {
+        let mut sig: Vec<(u16, u16)> = self
+            .vertices()
+            .map(|v| (self.in_degree(v) as u16, self.out_degree(v) as u16))
+            .collect();
+        sig.sort_unstable();
+        sig
+    }
+}
+
+impl fmt::Debug for DiGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "DiGraph(n={}, m={}, arcs=[",
+            self.vertex_count(),
+            self.arc_count()
+        )?;
+        for (i, (s, t)) in self.arcs().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{s}->{t}")?;
+        }
+        write!(f, "])")
+    }
+}
+
+/// Whether `g1` and `g2` are isomorphic as directed graphs.
+pub fn are_digraphs_isomorphic(g1: &DiGraph, g2: &DiGraph) -> bool {
+    if g1.vertex_count() != g2.vertex_count() || g1.arc_count() != g2.arc_count() {
+        return false;
+    }
+    if g1.degree_signature() != g2.degree_signature() {
+        return false;
+    }
+    find_digraph_isomorphism(g1, g2).is_some()
+}
+
+/// Find one directed isomorphism `pattern → target` between equal-sized
+/// digraphs, if any. Backtracking search with (in, out)-degree and
+/// incremental arc-consistency pruning.
+pub fn find_digraph_isomorphism(pattern: &DiGraph, target: &DiGraph) -> Option<Vec<VertexId>> {
+    let n = pattern.vertex_count();
+    if n != target.vertex_count() || pattern.arc_count() != target.arc_count() {
+        return None;
+    }
+    if n == 0 {
+        return Some(Vec::new());
+    }
+    // Order pattern vertices by weak connectivity to previous choices.
+    let skeleton = pattern.skeleton();
+    let mut order: Vec<VertexId> = Vec::with_capacity(n);
+    let mut placed = vec![false; n];
+    for _ in 0..n {
+        let next = (0..n as u32)
+            .filter(|&v| !placed[v as usize])
+            .max_by_key(|&v| {
+                let vid = VertexId(v);
+                let connected = skeleton
+                    .neighbors(vid)
+                    .iter()
+                    .filter(|&&u| placed[u as usize])
+                    .count();
+                (connected, skeleton.degree(vid))
+            })
+            .expect("unplaced vertex");
+        placed[next as usize] = true;
+        order.push(VertexId(next));
+    }
+
+    let mut mapping = vec![u32::MAX; n];
+    let mut used = vec![false; n];
+    let mut found: Option<Vec<VertexId>> = None;
+    enumerate_search(
+        pattern,
+        target,
+        &order,
+        0,
+        &mut mapping,
+        &mut used,
+        None,
+        &mut |m| {
+            found = Some(m.iter().map(|&t| VertexId(t)).collect());
+            false
+        },
+    );
+    found
+}
+
+/// Enumerate directed isomorphisms `pattern → target` (equal sizes),
+/// optionally pinning `pin.0 → pin.1`. Return `false` from `visit` to
+/// stop early.
+pub fn enumerate_digraph_isomorphisms(
+    pattern: &DiGraph,
+    target: &DiGraph,
+    pin: Option<(VertexId, VertexId)>,
+    visit: &mut dyn FnMut(&[u32]) -> bool,
+) {
+    let n = pattern.vertex_count();
+    if n != target.vertex_count() || pattern.arc_count() != target.arc_count() {
+        return;
+    }
+    if n == 0 {
+        visit(&[]);
+        return;
+    }
+    let skeleton = pattern.skeleton();
+    let mut order: Vec<VertexId> = Vec::with_capacity(n);
+    let mut placed = vec![false; n];
+    if let Some((pp, _)) = pin {
+        placed[pp.index()] = true;
+        order.push(pp);
+    }
+    while order.len() < n {
+        let next = (0..n as u32)
+            .filter(|&v| !placed[v as usize])
+            .max_by_key(|&v| {
+                let vid = VertexId(v);
+                let connected = skeleton
+                    .neighbors(vid)
+                    .iter()
+                    .filter(|&&u| placed[u as usize])
+                    .count();
+                (connected, skeleton.degree(vid))
+            })
+            .expect("unplaced vertex");
+        placed[next as usize] = true;
+        order.push(VertexId(next));
+    }
+    let mut mapping = vec![u32::MAX; n];
+    let mut used = vec![false; n];
+    enumerate_search(pattern, target, &order, 0, &mut mapping, &mut used, pin, visit);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn enumerate_search(
+    pattern: &DiGraph,
+    target: &DiGraph,
+    order: &[VertexId],
+    depth: usize,
+    mapping: &mut Vec<u32>,
+    used: &mut Vec<bool>,
+    pin: Option<(VertexId, VertexId)>,
+    visit: &mut dyn FnMut(&[u32]) -> bool,
+) -> bool {
+    if depth == order.len() {
+        return visit(mapping);
+    }
+    let p = order[depth];
+    let candidates: Vec<u32> = match pin {
+        Some((pp, pt)) if pp == p => vec![pt.0],
+        _ => (0..target.vertex_count() as u32).collect(),
+    };
+    for t in candidates {
+        if used[t as usize] {
+            continue;
+        }
+        let tv = VertexId(t);
+        if target.in_degree(tv) != pattern.in_degree(p)
+            || target.out_degree(tv) != pattern.out_degree(p)
+        {
+            continue;
+        }
+        // Directed induced consistency with all mapped vertices.
+        let ok = (0..mapping.len()).all(|q| {
+            let tq = mapping[q];
+            if tq == u32::MAX {
+                return true;
+            }
+            let qv = VertexId(q as u32);
+            pattern.has_arc(p, qv) == target.has_arc(tv, VertexId(tq))
+                && pattern.has_arc(qv, p) == target.has_arc(VertexId(tq), tv)
+        });
+        if !ok {
+            continue;
+        }
+        mapping[p.index()] = t;
+        used[t as usize] = true;
+        let keep_going =
+            enumerate_search(pattern, target, order, depth + 1, mapping, used, pin, visit);
+        mapping[p.index()] = u32::MAX;
+        used[t as usize] = false;
+        if !keep_going {
+            return false;
+        }
+    }
+    true
+}
+
+/// Automorphism orbits of a digraph — the symmetric vertex sets for
+/// *directed* labeled motifs. Directed symmetry is finer than skeleton
+/// symmetry: the feed-forward loop's skeleton is a triangle (one orbit),
+/// but its regulator, intermediate and target roles are all distinct.
+pub fn directed_automorphism_orbits(g: &DiGraph) -> Vec<Vec<VertexId>> {
+    let n = g.vertex_count();
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+        if parent[x] != x {
+            let r = find(parent, parent[x]);
+            parent[x] = r;
+        }
+        parent[x]
+    }
+    for v in 1..n {
+        for r in 0..v {
+            if find(&mut parent, r) != r {
+                continue; // test only against representatives
+            }
+            if find(&mut parent, v) == find(&mut parent, r) {
+                break;
+            }
+            if g.in_degree(VertexId(v as u32)) != g.in_degree(VertexId(r as u32))
+                || g.out_degree(VertexId(v as u32)) != g.out_degree(VertexId(r as u32))
+            {
+                continue;
+            }
+            let mut found = false;
+            enumerate_digraph_isomorphisms(
+                g,
+                g,
+                Some((VertexId(v as u32), VertexId(r as u32))),
+                &mut |m| {
+                    // Fold the whole automorphism into the orbits.
+                    for (u, &mu) in m.iter().enumerate() {
+                        let (a, b) = (find(&mut parent, u), find(&mut parent, mu as usize));
+                        if a != b {
+                            parent[a] = b;
+                        }
+                    }
+                    found = true;
+                    false
+                },
+            );
+            if found {
+                break;
+            }
+        }
+    }
+    let mut orbit_of: std::collections::HashMap<usize, Vec<VertexId>> =
+        std::collections::HashMap::new();
+    for v in 0..n {
+        let r = find(&mut parent, v);
+        orbit_of.entry(r).or_default().push(VertexId(v as u32));
+    }
+    let mut orbits: Vec<Vec<VertexId>> = orbit_of.into_values().collect();
+    for o in &mut orbits {
+        o.sort_unstable();
+    }
+    orbits.sort_unstable_by_key(|o| o[0]);
+    orbits
+}
+
+/// Interchangeable vertex classes of a digraph: `u ~ v` iff swapping
+/// them is an automorphism regardless of the rest (identical in- and
+/// out-neighborhoods away from each other, and a symmetric relation
+/// between them). Used for symmetry-broken counting and alignment.
+pub fn directed_interchangeable_classes(g: &DiGraph) -> Vec<u32> {
+    let n = g.vertex_count();
+    let mut class_of: Vec<u32> = (0..n as u32).collect();
+    let swap_ok = |u: VertexId, v: VertexId| -> bool {
+        if g.has_arc(u, v) != g.has_arc(v, u) {
+            return false;
+        }
+        let strip = |list: &[u32], skip: VertexId| -> Vec<u32> {
+            list.iter().copied().filter(|&x| x != skip.0).collect()
+        };
+        strip(g.successors(u), v) == strip(g.successors(v), u)
+            && strip(g.predecessors(u), v) == strip(g.predecessors(v), u)
+    };
+    for v in 1..n as u32 {
+        for c in 0..v {
+            if class_of[c as usize] != c {
+                continue;
+            }
+            let all_ok = (0..v)
+                .filter(|&m| class_of[m as usize] == c)
+                .all(|m| swap_ok(VertexId(m), VertexId(v)));
+            if all_ok {
+                class_of[v as usize] = c;
+                break;
+            }
+        }
+    }
+    class_of
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The feed-forward loop: a → b, a → c, b → c.
+    fn ffl() -> DiGraph {
+        DiGraph::from_arcs(3, &[(0, 1), (0, 2), (1, 2)])
+    }
+
+    /// The 3-cycle: a → b → c → a.
+    fn cycle3() -> DiGraph {
+        DiGraph::from_arcs(3, &[(0, 1), (1, 2), (2, 0)])
+    }
+
+    #[test]
+    fn arc_bookkeeping() {
+        let mut g = DiGraph::empty(3);
+        assert!(g.add_arc(VertexId(0), VertexId(1)));
+        assert!(!g.add_arc(VertexId(0), VertexId(1)));
+        assert!(g.add_arc(VertexId(1), VertexId(0)), "antiparallel allowed");
+        assert!(!g.add_arc(VertexId(1), VertexId(1)), "no self-loops");
+        assert_eq!(g.arc_count(), 2);
+        assert!(g.has_arc(VertexId(0), VertexId(1)));
+        assert!(g.remove_arc(VertexId(0), VertexId(1)));
+        assert!(!g.has_arc(VertexId(0), VertexId(1)));
+        assert!(g.has_arc(VertexId(1), VertexId(0)));
+    }
+
+    #[test]
+    fn degrees_and_skeleton() {
+        let g = ffl();
+        assert_eq!(g.out_degree(VertexId(0)), 2);
+        assert_eq!(g.in_degree(VertexId(2)), 2);
+        let sk = g.skeleton();
+        assert_eq!(sk.edge_count(), 3);
+        // Antiparallel arcs collapse to one skeleton edge.
+        let mut g2 = DiGraph::from_arcs(2, &[(0, 1), (1, 0)]);
+        assert_eq!(g2.skeleton().edge_count(), 1);
+        assert!(g2.remove_arc(VertexId(0), VertexId(1)));
+        assert_eq!(g2.skeleton().edge_count(), 1);
+    }
+
+    #[test]
+    fn ffl_and_cycle_are_not_isomorphic() {
+        // Same size, same arc count, same skeleton (triangle) — only the
+        // orientation differs.
+        assert_eq!(ffl().arc_count(), cycle3().arc_count());
+        assert!(ppi_graph_skeletons_match(&ffl(), &cycle3()));
+        assert!(!are_digraphs_isomorphic(&ffl(), &cycle3()));
+    }
+
+    fn ppi_graph_skeletons_match(a: &DiGraph, b: &DiGraph) -> bool {
+        crate::isomorphism::are_isomorphic(&a.skeleton(), &b.skeleton())
+    }
+
+    #[test]
+    fn relabeled_ffl_is_isomorphic() {
+        let other = DiGraph::from_arcs(3, &[(2, 0), (2, 1), (0, 1)]);
+        assert!(are_digraphs_isomorphic(&ffl(), &other));
+        let m = find_digraph_isomorphism(&ffl(), &other).unwrap();
+        // Verify the mapping preserves arcs both ways.
+        for s in 0..3u32 {
+            for t in 0..3u32 {
+                assert_eq!(
+                    ffl().has_arc(VertexId(s), VertexId(t)),
+                    other.has_arc(m[s as usize], m[t as usize])
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cycle_directions_distinguished() {
+        let cw = cycle3();
+        let ccw = DiGraph::from_arcs(3, &[(1, 0), (2, 1), (0, 2)]);
+        // Reversing a directed 3-cycle is still a directed 3-cycle.
+        assert!(are_digraphs_isomorphic(&cw, &ccw));
+    }
+
+    #[test]
+    fn induced_subdigraph_keeps_internal_arcs() {
+        let g = DiGraph::from_arcs(4, &[(0, 1), (1, 2), (2, 0), (3, 0)]);
+        let (sub, map) = g.induced_subdigraph(&[VertexId(0), VertexId(1), VertexId(2)]);
+        assert_eq!(sub.arc_count(), 3);
+        assert!(are_digraphs_isomorphic(&sub, &cycle3()));
+        assert_eq!(map.len(), 3);
+    }
+
+    #[test]
+    fn ffl_orbits_are_all_singletons() {
+        // Skeleton symmetry (triangle: one orbit) vs directed symmetry
+        // (three distinct roles).
+        let orbits = directed_automorphism_orbits(&ffl());
+        assert_eq!(orbits.len(), 3, "{orbits:?}");
+        let skeleton_orbits = crate::automorphism::automorphism_orbits(&ffl().skeleton());
+        assert_eq!(skeleton_orbits.len(), 1);
+    }
+
+    #[test]
+    fn cycle_orbit_is_single() {
+        let orbits = directed_automorphism_orbits(&cycle3());
+        assert_eq!(orbits.len(), 1);
+        assert_eq!(orbits[0].len(), 3);
+    }
+
+    #[test]
+    fn bifan_orbits() {
+        // Bi-fan: two regulators {0,1} each pointing at two targets {2,3}.
+        let bifan = DiGraph::from_arcs(4, &[(0, 2), (0, 3), (1, 2), (1, 3)]);
+        let orbits = directed_automorphism_orbits(&bifan);
+        assert_eq!(
+            orbits,
+            vec![
+                vec![VertexId(0), VertexId(1)],
+                vec![VertexId(2), VertexId(3)],
+            ]
+        );
+        // And both pairs are interchangeable classes.
+        assert_eq!(directed_interchangeable_classes(&bifan), vec![0, 0, 2, 2]);
+    }
+
+    #[test]
+    fn interchangeable_respects_direction() {
+        // out-star: leaves share the in-neighborhood {0} → one class.
+        let out_star = DiGraph::from_arcs(4, &[(0, 1), (0, 2), (0, 3)]);
+        assert_eq!(directed_interchangeable_classes(&out_star), vec![0, 1, 1, 1]);
+        // Chain: nothing interchangeable.
+        let chain = DiGraph::from_arcs(3, &[(0, 1), (1, 2)]);
+        assert_eq!(directed_interchangeable_classes(&chain), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn enumerate_counts_automorphisms() {
+        let mut count = 0;
+        enumerate_digraph_isomorphisms(&cycle3(), &cycle3(), None, &mut |_| {
+            count += 1;
+            true
+        });
+        assert_eq!(count, 3, "rotations of the directed 3-cycle");
+        let mut ffl_count = 0;
+        enumerate_digraph_isomorphisms(&ffl(), &ffl(), None, &mut |_| {
+            ffl_count += 1;
+            true
+        });
+        assert_eq!(ffl_count, 1, "the FFL is rigid");
+    }
+
+    #[test]
+    fn degree_signature_separates_star_directions() {
+        let out_star = DiGraph::from_arcs(4, &[(0, 1), (0, 2), (0, 3)]);
+        let in_star = DiGraph::from_arcs(4, &[(1, 0), (2, 0), (3, 0)]);
+        assert_ne!(out_star.degree_signature(), in_star.degree_signature());
+        assert!(!are_digraphs_isomorphic(&out_star, &in_star));
+    }
+}

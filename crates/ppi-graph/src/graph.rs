@@ -1,0 +1,456 @@
+//! The core undirected graph type used throughout the workspace.
+//!
+//! A [`Graph`] is a simple undirected graph (no self-loops, no parallel
+//! edges) over densely numbered vertices `0..n`. Adjacency lists are kept
+//! sorted so that edge queries are `O(log d)` and neighbor iteration is
+//! deterministic, which matters for reproducible motif mining.
+
+use std::fmt;
+
+/// Identifier of a vertex in a [`Graph`].
+///
+/// Vertices are densely numbered `0..n`. The newtype prevents accidental
+/// mixing of vertex ids with other integer quantities (GO term ids,
+/// cluster ids, ...).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VertexId(pub u32);
+
+impl VertexId {
+    /// The vertex id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u32> for VertexId {
+    fn from(v: u32) -> Self {
+        VertexId(v)
+    }
+}
+
+impl From<usize> for VertexId {
+    fn from(v: usize) -> Self {
+        VertexId(v as u32)
+    }
+}
+
+/// An undirected edge between two vertices, stored with the smaller
+/// endpoint first so that edges compare and hash canonically.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Edge(pub VertexId, pub VertexId);
+
+impl Edge {
+    /// Create a canonical edge: endpoints are reordered so `self.0 <= self.1`.
+    pub fn new(a: VertexId, b: VertexId) -> Self {
+        if a <= b {
+            Edge(a, b)
+        } else {
+            Edge(b, a)
+        }
+    }
+}
+
+/// A simple undirected graph with sorted adjacency lists.
+///
+/// # Invariants
+///
+/// * no self-loops, no parallel edges;
+/// * each adjacency list is strictly sorted;
+/// * `u ∈ adj[v] ⇔ v ∈ adj[u]`.
+///
+/// These invariants are maintained by [`GraphBuilder`] and the mutating
+/// methods, and are relied upon by the isomorphism and canonical-form
+/// machinery.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Graph {
+    adj: Vec<Vec<u32>>,
+    edge_count: usize,
+}
+
+impl Graph {
+    /// An empty graph with `n` isolated vertices.
+    pub fn empty(n: usize) -> Self {
+        Graph {
+            adj: vec![Vec::new(); n],
+            edge_count: 0,
+        }
+    }
+
+    /// Build a graph from an edge list over vertices `0..n`.
+    ///
+    /// Self-loops and duplicate edges are silently dropped, mirroring the
+    /// cleaning step the paper applies to the BIND interactome ("after
+    /// removing redundant links and self-links").
+    pub fn from_edges(n: usize, edges: &[(u32, u32)]) -> Self {
+        let mut b = GraphBuilder::new(n);
+        for &(u, v) in edges {
+            b.add_edge(VertexId(u), VertexId(v));
+        }
+        b.build()
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn vertex_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of (undirected) edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Iterator over all vertex ids `0..n`.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        (0..self.adj.len() as u32).map(VertexId)
+    }
+
+    /// Degree of vertex `v`.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.adj[v.index()].len()
+    }
+
+    /// Sorted slice of neighbors of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[u32] {
+        &self.adj[v.index()]
+    }
+
+    /// Iterator over the neighbors of `v` as [`VertexId`]s.
+    pub fn neighbor_ids(&self, v: VertexId) -> impl Iterator<Item = VertexId> + '_ {
+        self.adj[v.index()].iter().map(|&u| VertexId(u))
+    }
+
+    /// Whether the edge `{u, v}` is present. `O(log d)`.
+    #[inline]
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        if u == v {
+            return false;
+        }
+        // Search the shorter list.
+        let (a, b) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        self.adj[a.index()].binary_search(&b.0).is_ok()
+    }
+
+    /// Iterator over all edges, each reported once with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        self.adj.iter().enumerate().flat_map(|(u, nbrs)| {
+            let u = u as u32;
+            nbrs.iter()
+                .take_while(move |&&v| v < u)
+                .map(move |&v| Edge(VertexId(v), VertexId(u)))
+        })
+    }
+
+    /// The degree sequence, sorted descending. Two isomorphic graphs have
+    /// equal degree sequences (the converse does not hold).
+    pub fn degree_sequence(&self) -> Vec<usize> {
+        let mut ds: Vec<usize> = self.adj.iter().map(|n| n.len()).collect();
+        ds.sort_unstable_by(|a, b| b.cmp(a));
+        ds
+    }
+
+    /// Insert the edge `{u, v}`. Returns `true` if the edge was newly
+    /// inserted, `false` if it already existed or is a self-loop.
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId) -> bool {
+        if u == v {
+            return false;
+        }
+        let ui = u.index();
+        let vi = v.index();
+        assert!(
+            ui < self.adj.len() && vi < self.adj.len(),
+            "vertex out of bounds"
+        );
+        match self.adj[ui].binary_search(&v.0) {
+            Ok(_) => false,
+            Err(pos_u) => {
+                self.adj[ui].insert(pos_u, v.0);
+                let pos_v = self.adj[vi]
+                    .binary_search(&u.0)
+                    .expect_err("adjacency symmetry violated");
+                self.adj[vi].insert(pos_v, u.0);
+                self.edge_count += 1;
+                true
+            }
+        }
+    }
+
+    /// Remove the edge `{u, v}`. Returns `true` if the edge existed.
+    pub fn remove_edge(&mut self, u: VertexId, v: VertexId) -> bool {
+        if u == v {
+            return false;
+        }
+        let ui = u.index();
+        let vi = v.index();
+        match self.adj[ui].binary_search(&v.0) {
+            Err(_) => false,
+            Ok(pos_u) => {
+                self.adj[ui].remove(pos_u);
+                let pos_v = self.adj[vi]
+                    .binary_search(&u.0)
+                    .expect("adjacency symmetry violated");
+                self.adj[vi].remove(pos_v);
+                self.edge_count -= 1;
+                true
+            }
+        }
+    }
+
+    /// The induced subgraph on `verts`, plus the mapping from new vertex
+    /// ids (positions in `verts`) back to the original ids.
+    ///
+    /// Vertex `i` of the returned graph corresponds to `verts[i]`.
+    pub fn induced_subgraph(&self, verts: &[VertexId]) -> (Graph, Vec<VertexId>) {
+        let mut index_of = std::collections::HashMap::with_capacity(verts.len());
+        for (i, &v) in verts.iter().enumerate() {
+            let prev = index_of.insert(v, i as u32);
+            assert!(prev.is_none(), "duplicate vertex in induced_subgraph");
+        }
+        let mut sub = Graph::empty(verts.len());
+        for (i, &v) in verts.iter().enumerate() {
+            for &w in self.neighbors(v) {
+                if let Some(&j) = index_of.get(&VertexId(w)) {
+                    if (i as u32) < j {
+                        sub.add_edge(VertexId(i as u32), VertexId(j));
+                    }
+                }
+            }
+        }
+        (sub, verts.to_vec())
+    }
+
+    /// Adjacency-matrix bit representation, row-major over the upper
+    /// triangle. Used by the canonical-form code. Panics for graphs with
+    /// more than 64 vertices worth of rows packed per `u64` word count —
+    /// callers handle arbitrary sizes via `Vec<u64>`.
+    pub fn adjacency_bits(&self) -> Vec<u64> {
+        let n = self.vertex_count();
+        let nbits = n * n;
+        let mut bits = vec![0u64; nbits.div_ceil(64)];
+        for e in self.edges() {
+            let (u, v) = (e.0.index(), e.1.index());
+            for (a, b) in [(u, v), (v, u)] {
+                let bit = a * n + b;
+                bits[bit / 64] |= 1 << (bit % 64);
+            }
+        }
+        bits
+    }
+}
+
+impl fmt::Debug for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Graph(n={}, m={}, edges=[",
+            self.vertex_count(),
+            self.edge_count()
+        )?;
+        for (i, e) in self.edges().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}-{}", e.0, e.1)?;
+        }
+        write!(f, "])")
+    }
+}
+
+/// Incremental builder for [`Graph`].
+///
+/// Collects edges (dropping self-loops and duplicates) and produces a
+/// graph with sorted adjacency lists in one pass — cheaper than repeated
+/// sorted insertion when loading large networks.
+#[derive(Clone, Debug, Default)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: Vec<(u32, u32)>,
+}
+
+impl GraphBuilder {
+    /// Builder for a graph over `n` vertices.
+    pub fn new(n: usize) -> Self {
+        GraphBuilder {
+            n,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Number of vertices the built graph will have.
+    pub fn vertex_count(&self) -> usize {
+        self.n
+    }
+
+    /// Ensure the graph has at least `n` vertices.
+    pub fn grow_to(&mut self, n: usize) {
+        self.n = self.n.max(n);
+    }
+
+    /// Record an edge. Self-loops are dropped. Duplicates are dropped at
+    /// `build` time. Grows the vertex set if an endpoint is out of range.
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId) {
+        if u == v {
+            return;
+        }
+        self.grow_to(u.index().max(v.index()) + 1);
+        let (a, b) = if u.0 < v.0 { (u.0, v.0) } else { (v.0, u.0) };
+        self.edges.push((a, b));
+    }
+
+    /// Finalize into a [`Graph`].
+    pub fn build(mut self) -> Graph {
+        self.edges.sort_unstable();
+        self.edges.dedup();
+        let mut adj = vec![Vec::new(); self.n];
+        for &(a, b) in &self.edges {
+            adj[a as usize].push(b);
+            adj[b as usize].push(a);
+        }
+        for list in &mut adj {
+            list.sort_unstable();
+        }
+        Graph {
+            adj,
+            edge_count: self.edges.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path3() -> Graph {
+        Graph::from_edges(3, &[(0, 1), (1, 2)])
+    }
+
+    #[test]
+    fn empty_graph_has_no_edges() {
+        let g = Graph::empty(5);
+        assert_eq!(g.vertex_count(), 5);
+        assert_eq!(g.edge_count(), 0);
+        assert!(g.edges().next().is_none());
+    }
+
+    #[test]
+    fn from_edges_drops_self_loops_and_duplicates() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 0), (1, 1), (1, 2), (1, 2)]);
+        assert_eq!(g.edge_count(), 2);
+        assert!(g.has_edge(VertexId(0), VertexId(1)));
+        assert!(g.has_edge(VertexId(1), VertexId(2)));
+        assert!(!g.has_edge(VertexId(0), VertexId(2)));
+        assert!(!g.has_edge(VertexId(1), VertexId(1)));
+    }
+
+    #[test]
+    fn adjacency_is_sorted_and_symmetric() {
+        let g = Graph::from_edges(4, &[(3, 0), (2, 0), (1, 0), (3, 1)]);
+        assert_eq!(g.neighbors(VertexId(0)), &[1, 2, 3]);
+        for v in g.vertices() {
+            for &u in g.neighbors(v) {
+                assert!(g.has_edge(VertexId(u), v));
+            }
+        }
+    }
+
+    #[test]
+    fn degree_and_degree_sequence() {
+        let g = path3();
+        assert_eq!(g.degree(VertexId(0)), 1);
+        assert_eq!(g.degree(VertexId(1)), 2);
+        assert_eq!(g.degree_sequence(), vec![2, 1, 1]);
+    }
+
+    #[test]
+    fn add_remove_edge_roundtrip() {
+        let mut g = Graph::empty(3);
+        assert!(g.add_edge(VertexId(0), VertexId(2)));
+        assert!(!g.add_edge(VertexId(2), VertexId(0)));
+        assert!(!g.add_edge(VertexId(1), VertexId(1)));
+        assert_eq!(g.edge_count(), 1);
+        assert!(g.remove_edge(VertexId(0), VertexId(2)));
+        assert!(!g.remove_edge(VertexId(0), VertexId(2)));
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn edges_iterator_reports_each_edge_once() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]);
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges.len(), g.edge_count());
+        let mut set = std::collections::HashSet::new();
+        for e in &edges {
+            assert!(e.0 < e.1);
+            assert!(set.insert(*e));
+        }
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_internal_edges_only() {
+        // Square with one diagonal; take the triangle 0-1-2.
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]);
+        let (sub, map) = g.induced_subgraph(&[VertexId(0), VertexId(1), VertexId(2)]);
+        assert_eq!(sub.vertex_count(), 3);
+        assert_eq!(sub.edge_count(), 3);
+        assert_eq!(map, vec![VertexId(0), VertexId(1), VertexId(2)]);
+    }
+
+    #[test]
+    fn induced_subgraph_relabels_vertices() {
+        let g = path3();
+        let (sub, map) = g.induced_subgraph(&[VertexId(2), VertexId(1)]);
+        assert_eq!(sub.vertex_count(), 2);
+        assert_eq!(sub.edge_count(), 1);
+        assert!(sub.has_edge(VertexId(0), VertexId(1)));
+        assert_eq!(map, vec![VertexId(2), VertexId(1)]);
+    }
+
+    #[test]
+    fn edge_new_is_canonical() {
+        assert_eq!(
+            Edge::new(VertexId(5), VertexId(2)),
+            Edge::new(VertexId(2), VertexId(5))
+        );
+    }
+
+    #[test]
+    fn builder_grows_vertex_set() {
+        let mut b = GraphBuilder::new(0);
+        b.add_edge(VertexId(7), VertexId(3));
+        let g = b.build();
+        assert_eq!(g.vertex_count(), 8);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn adjacency_bits_symmetric() {
+        let g = path3();
+        let bits = g.adjacency_bits();
+        let n = 3;
+        let get = |i: usize, j: usize| bits[(i * n + j) / 64] >> ((i * n + j) % 64) & 1 == 1;
+        assert!(get(0, 1) && get(1, 0));
+        assert!(get(1, 2) && get(2, 1));
+        assert!(!get(0, 2) && !get(2, 0));
+        assert!(!get(0, 0));
+    }
+}

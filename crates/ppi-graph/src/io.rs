@@ -1,0 +1,227 @@
+//! Named networks and a tab-separated edge-list interchange format.
+//!
+//! Interaction databases (BIND, MIPS) distribute PPI data as pairs of
+//! protein identifiers. [`PpiNetwork`] couples a [`Graph`] with the
+//! protein-name ↔ vertex-id mapping, and the `parse`/`serialize`
+//! functions handle the simple `nameA \t nameB` format, applying the
+//! same cleaning the paper applies (self-interactions and redundant
+//! links removed).
+
+use crate::graph::{Graph, GraphBuilder, VertexId};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A PPI network: graph topology plus protein names.
+#[derive(Clone, Debug)]
+pub struct PpiNetwork {
+    graph: Graph,
+    names: Vec<String>,
+    index: HashMap<String, VertexId>,
+}
+
+/// Errors arising while parsing an edge list.
+#[derive(Debug, PartialEq, Eq)]
+pub enum ParseError {
+    /// A non-empty, non-comment line did not contain two fields.
+    MalformedLine { line_no: usize, content: String },
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::MalformedLine { line_no, content } => {
+                write!(f, "line {line_no}: expected two fields, got {content:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl PpiNetwork {
+    /// Build a network from `(protein A, protein B)` interaction pairs.
+    /// Proteins are numbered in first-appearance order. Self-interactions
+    /// and duplicate pairs are dropped.
+    pub fn from_pairs<S: AsRef<str>>(pairs: &[(S, S)]) -> Self {
+        let mut names: Vec<String> = Vec::new();
+        let mut index: HashMap<String, VertexId> = HashMap::new();
+        let intern = |name: &str, names: &mut Vec<String>, index: &mut HashMap<String, VertexId>| {
+            if let Some(&v) = index.get(name) {
+                return v;
+            }
+            let v = VertexId(names.len() as u32);
+            names.push(name.to_string());
+            index.insert(name.to_string(), v);
+            v
+        };
+        let mut builder = GraphBuilder::new(0);
+        for (a, b) in pairs {
+            let va = intern(a.as_ref(), &mut names, &mut index);
+            let vb = intern(b.as_ref(), &mut names, &mut index);
+            builder.add_edge(va, vb);
+        }
+        builder.grow_to(names.len());
+        PpiNetwork {
+            graph: builder.build(),
+            names,
+            index,
+        }
+    }
+
+    /// Wrap an existing graph with generated names `P0, P1, ...`.
+    pub fn from_graph(graph: Graph) -> Self {
+        let names: Vec<String> = (0..graph.vertex_count()).map(|i| format!("P{i}")).collect();
+        let index = names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), VertexId(i as u32)))
+            .collect();
+        PpiNetwork {
+            graph,
+            names,
+            index,
+        }
+    }
+
+    /// Wrap an existing graph with caller-provided names (one per vertex).
+    pub fn with_names(graph: Graph, names: Vec<String>) -> Self {
+        assert_eq!(graph.vertex_count(), names.len(), "one name per vertex");
+        let index = names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), VertexId(i as u32)))
+            .collect();
+        PpiNetwork {
+            graph,
+            names,
+            index,
+        }
+    }
+
+    /// The underlying topology.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Protein name of vertex `v`.
+    pub fn name(&self, v: VertexId) -> &str {
+        &self.names[v.index()]
+    }
+
+    /// Vertex id of the protein called `name`, if present.
+    pub fn vertex(&self, name: &str) -> Option<VertexId> {
+        self.index.get(name).copied()
+    }
+
+    /// Number of proteins.
+    pub fn protein_count(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Number of (cleaned) interactions.
+    pub fn interaction_count(&self) -> usize {
+        self.graph.edge_count()
+    }
+
+    /// Parse the tab/whitespace-separated edge-list format. Lines starting
+    /// with `#` and blank lines are skipped.
+    pub fn parse(text: &str) -> Result<Self, ParseError> {
+        let mut pairs = Vec::new();
+        for (i, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut fields = line.split_whitespace();
+            match (fields.next(), fields.next()) {
+                (Some(a), Some(b)) => pairs.push((a.to_string(), b.to_string())),
+                _ => {
+                    return Err(ParseError::MalformedLine {
+                        line_no: i + 1,
+                        content: line.to_string(),
+                    })
+                }
+            }
+        }
+        Ok(PpiNetwork::from_pairs(&pairs))
+    }
+
+    /// Serialize to the edge-list format parsed by [`PpiNetwork::parse`].
+    pub fn serialize(&self) -> String {
+        let mut out = String::new();
+        out.push_str("# PPI edge list: proteinA\tproteinB\n");
+        for e in self.graph.edges() {
+            out.push_str(self.name(e.0));
+            out.push('\t');
+            out.push_str(self.name(e.1));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_pairs_cleans_input() {
+        let net = PpiNetwork::from_pairs(&[
+            ("YAL001C", "YBR100W"),
+            ("YBR100W", "YAL001C"), // redundant link
+            ("YAL001C", "YAL001C"), // self-link
+            ("YBR100W", "YCL050C"),
+        ]);
+        assert_eq!(net.protein_count(), 3);
+        assert_eq!(net.interaction_count(), 2);
+    }
+
+    #[test]
+    fn name_lookup_roundtrip() {
+        let net = PpiNetwork::from_pairs(&[("A", "B"), ("B", "C")]);
+        let b = net.vertex("B").unwrap();
+        assert_eq!(net.name(b), "B");
+        assert!(net.vertex("Z").is_none());
+    }
+
+    #[test]
+    fn parse_skips_comments_and_blanks() {
+        let text = "# header\n\nA\tB\nB  C\n  \n# trailing\n";
+        let net = PpiNetwork::parse(text).unwrap();
+        assert_eq!(net.protein_count(), 3);
+        assert_eq!(net.interaction_count(), 2);
+    }
+
+    #[test]
+    fn parse_reports_malformed_line() {
+        let err = PpiNetwork::parse("A\tB\nlonely\n").unwrap_err();
+        assert_eq!(
+            err,
+            ParseError::MalformedLine {
+                line_no: 2,
+                content: "lonely".to_string()
+            }
+        );
+    }
+
+    #[test]
+    fn serialize_parse_roundtrip() {
+        let net = PpiNetwork::from_pairs(&[("A", "B"), ("B", "C"), ("C", "A")]);
+        let text = net.serialize();
+        let back = PpiNetwork::parse(&text).unwrap();
+        assert_eq!(back.protein_count(), 3);
+        assert_eq!(back.interaction_count(), 3);
+        for e in net.graph().edges() {
+            let a = back.vertex(net.name(e.0)).unwrap();
+            let b = back.vertex(net.name(e.1)).unwrap();
+            assert!(back.graph().has_edge(a, b));
+        }
+    }
+
+    #[test]
+    fn with_names_checks_length() {
+        let g = Graph::from_edges(2, &[(0, 1)]);
+        let net = PpiNetwork::with_names(g, vec!["X".into(), "Y".into()]);
+        assert_eq!(net.name(VertexId(1)), "Y");
+    }
+}

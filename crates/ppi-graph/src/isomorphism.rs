@@ -1,0 +1,412 @@
+//! VF2-style (sub)graph isomorphism.
+//!
+//! Three entry points are provided:
+//!
+//! * [`are_isomorphic`] — graph isomorphism between equal-sized graphs;
+//! * [`find_isomorphism`] / [`find_isomorphism_pinned`] — return one
+//!   mapping (optionally with a forced `u → v` pin, used by the
+//!   automorphism-orbit computation);
+//! * [`enumerate_isomorphisms`] — visit every isomorphism, with early
+//!   termination through the visitor's return value.
+//!
+//! All matching here is *induced*: a mapping `m` is accepted iff
+//! `{u,v} ∈ E(pattern) ⇔ {m(u),m(v)} ∈ E(target)` for all pattern pairs.
+//! That is the semantics network-motif occurrences use (an occurrence is
+//! an induced subgraph of the interactome isomorphic to the motif).
+
+use crate::graph::{Graph, VertexId};
+use crate::refinement::refine_colors;
+
+/// Maps pattern vertex `i` to target vertex `mapping[i]`.
+pub type Mapping = Vec<VertexId>;
+
+/// Whether `g1` and `g2` are isomorphic.
+///
+/// Uses cheap invariants (sizes, degree sequences, refined color
+/// histograms) to reject quickly, then a VF2 search.
+pub fn are_isomorphic(g1: &Graph, g2: &Graph) -> bool {
+    if g1.vertex_count() != g2.vertex_count() || g1.edge_count() != g2.edge_count() {
+        return false;
+    }
+    if g1.degree_sequence() != g2.degree_sequence() {
+        return false;
+    }
+    if color_histogram(g1) != color_histogram(g2) {
+        return false;
+    }
+    find_isomorphism(g1, g2).is_some()
+}
+
+/// Sorted histogram of equitable-refinement color class sizes — an
+/// isomorphism invariant strictly finer than the degree sequence.
+fn color_histogram(g: &Graph) -> Vec<(usize, usize)> {
+    let colors = refine_colors(g, None);
+    let k = colors.iter().map(|&c| c as usize + 1).max().unwrap_or(0);
+    let mut sizes = vec![0usize; k];
+    for &c in &colors {
+        sizes[c as usize] += 1;
+    }
+    let mut hist: Vec<(usize, usize)> = sizes
+        .into_iter()
+        .enumerate()
+        .filter(|&(_, s)| s > 0)
+        .map(|(c, s)| (c, s))
+        .collect();
+    // Color ids themselves are canonical across graphs because
+    // refinement normalizes by (signature) sort order; keep (color, size).
+    hist.sort_unstable();
+    hist
+}
+
+/// Find one isomorphism `pattern → target`, if any.
+pub fn find_isomorphism(pattern: &Graph, target: &Graph) -> Option<Mapping> {
+    let mut found = None;
+    enumerate_isomorphisms(pattern, target, None, &mut |m| {
+        found = Some(m.to_vec());
+        false // stop at the first
+    });
+    found
+}
+
+/// [`find_isomorphism`] with caller-supplied refined colors (as produced
+/// by [`refine_colors`] with no initial coloring) for both graphs —
+/// avoids recomputing the refinement in hot classification loops where
+/// the same graphs are matched repeatedly.
+pub fn find_isomorphism_prepared(
+    pattern: &Graph,
+    pat_colors: &[u32],
+    target: &Graph,
+    tgt_colors: &[u32],
+) -> Option<Mapping> {
+    let n = pattern.vertex_count();
+    if n != target.vertex_count() || pattern.edge_count() != target.edge_count() {
+        return None;
+    }
+    if n == 0 {
+        return Some(Vec::new());
+    }
+    let order = matching_order(pattern, None);
+    let mut found = None;
+    let mut state = Vf2State {
+        pattern,
+        target,
+        pat_colors,
+        tgt_colors,
+        mapping: vec![u32::MAX; n],
+        used: vec![false; n],
+        order: &order,
+        pin: None,
+    };
+    state.search(0, &mut |m| {
+        found = Some(m.to_vec());
+        false
+    });
+    found
+}
+
+/// Find one isomorphism that maps `pin.0` (in `pattern`) to `pin.1`
+/// (in `target`). Used to answer "is there an automorphism sending
+/// u to v?" when `pattern` and `target` are the same graph.
+pub fn find_isomorphism_pinned(
+    pattern: &Graph,
+    target: &Graph,
+    pin: (VertexId, VertexId),
+) -> Option<Mapping> {
+    let mut found = None;
+    enumerate_isomorphisms(pattern, target, Some(pin), &mut |m| {
+        found = Some(m.to_vec());
+        false
+    });
+    found
+}
+
+/// Enumerate isomorphisms `pattern → target`, invoking `visit` for each.
+/// Return `false` from `visit` to stop the search. An optional pin
+/// forces `pin.0 → pin.1`.
+///
+/// `pattern` and `target` must have the same vertex count; otherwise no
+/// mapping is reported.
+pub fn enumerate_isomorphisms(
+    pattern: &Graph,
+    target: &Graph,
+    pin: Option<(VertexId, VertexId)>,
+    visit: &mut dyn FnMut(&[VertexId]) -> bool,
+) {
+    let n = pattern.vertex_count();
+    if n != target.vertex_count() || pattern.edge_count() != target.edge_count() {
+        return;
+    }
+    if n == 0 {
+        visit(&[]);
+        return;
+    }
+
+    // Joint color refinement: colors computed on each graph separately are
+    // comparable because refinement normalizes signatures identically.
+    let pat_colors = refine_colors(pattern, None);
+    let tgt_colors = refine_colors(target, None);
+
+    // Matching order: put the pinned vertex first, then grow by
+    // connectivity (each subsequent vertex adjacent to an earlier one when
+    // possible) preferring high degree — the usual VF2 ordering heuristic.
+    let order = matching_order(pattern, pin.map(|p| p.0));
+
+    let mut state = Vf2State {
+        pattern,
+        target,
+        pat_colors: &pat_colors,
+        tgt_colors: &tgt_colors,
+        mapping: vec![u32::MAX; n],
+        used: vec![false; n],
+        order: &order,
+        pin,
+    };
+    state.search(0, visit);
+}
+
+/// BFS-flavored matching order over the pattern, optionally starting at
+/// `start`. Falls back to covering every component.
+fn matching_order(pattern: &Graph, start: Option<VertexId>) -> Vec<VertexId> {
+    let n = pattern.vertex_count();
+    let mut order = Vec::with_capacity(n);
+    let mut placed = vec![false; n];
+
+    let seed = |order: &mut Vec<VertexId>, placed: &mut Vec<bool>, v: VertexId| {
+        if !placed[v.index()] {
+            placed[v.index()] = true;
+            order.push(v);
+        }
+    };
+
+    if let Some(s) = start {
+        seed(&mut order, &mut placed, s);
+    }
+
+    while order.len() < n {
+        // Next: an unplaced vertex with the most placed neighbors, ties by
+        // degree, then id. If none has a placed neighbor (new component),
+        // take the highest-degree unplaced vertex.
+        let mut best: Option<(usize, usize, u32)> = None; // (placed_nbrs, degree, id)
+        for v in 0..n as u32 {
+            if placed[v as usize] {
+                continue;
+            }
+            let vid = VertexId(v);
+            let pn = pattern
+                .neighbors(vid)
+                .iter()
+                .filter(|&&u| placed[u as usize])
+                .count();
+            let key = (pn, pattern.degree(vid), v);
+            let better = match best {
+                None => true,
+                Some((bpn, bd, bid)) => {
+                    (pn, pattern.degree(vid), std::cmp::Reverse(v))
+                        > (bpn, bd, std::cmp::Reverse(bid))
+                }
+            };
+            if better {
+                best = Some(key);
+            }
+        }
+        let (_, _, id) = best.expect("unplaced vertex must exist");
+        seed(&mut order, &mut placed, VertexId(id));
+    }
+    order
+}
+
+struct Vf2State<'a> {
+    pattern: &'a Graph,
+    target: &'a Graph,
+    pat_colors: &'a [u32],
+    tgt_colors: &'a [u32],
+    /// mapping[p] = t or u32::MAX when unmapped.
+    mapping: Vec<u32>,
+    /// used[t] = target vertex already in the image.
+    used: Vec<bool>,
+    order: &'a [VertexId],
+    pin: Option<(VertexId, VertexId)>,
+}
+
+impl Vf2State<'_> {
+    /// Depth-first extension; returns `false` if the visitor aborted.
+    fn search(&mut self, depth: usize, visit: &mut dyn FnMut(&[VertexId]) -> bool) -> bool {
+        if depth == self.order.len() {
+            let m: Vec<VertexId> = self.mapping.iter().map(|&t| VertexId(t)).collect();
+            return visit(&m);
+        }
+        let p = self.order[depth];
+        let candidates: Vec<u32> = match self.pin {
+            Some((pp, pt)) if pp == p => vec![pt.0],
+            _ => {
+                // Prefer candidates adjacent to the image of an already
+                // mapped pattern neighbor; otherwise all unused vertices.
+                let anchor = self
+                    .pattern
+                    .neighbors(p)
+                    .iter()
+                    .find(|&&u| self.mapping[u as usize] != u32::MAX)
+                    .map(|&u| self.mapping[u as usize]);
+                match anchor {
+                    Some(t_anchor) => self.target.neighbors(VertexId(t_anchor)).to_vec(),
+                    None => (0..self.target.vertex_count() as u32).collect(),
+                }
+            }
+        };
+        for t in candidates {
+            if self.used[t as usize] {
+                continue;
+            }
+            if !self.feasible(p, VertexId(t)) {
+                continue;
+            }
+            self.mapping[p.index()] = t;
+            self.used[t as usize] = true;
+            let keep_going = self.search(depth + 1, visit);
+            self.mapping[p.index()] = u32::MAX;
+            self.used[t as usize] = false;
+            if !keep_going {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Induced-subgraph feasibility of extending with `p → t`.
+    fn feasible(&self, p: VertexId, t: VertexId) -> bool {
+        if self.pattern.degree(p) != self.target.degree(t) {
+            return false;
+        }
+        if self.pat_colors[p.index()] != self.tgt_colors[t.index()] {
+            return false;
+        }
+        // Adjacency to all mapped vertices must agree in both directions.
+        for (q, &tq) in self.mapping.iter().enumerate() {
+            if tq == u32::MAX {
+                continue;
+            }
+            let q = VertexId(q as u32);
+            let pat_adj = self.pattern.has_edge(p, q);
+            let tgt_adj = self.target.has_edge(t, VertexId(tq));
+            if pat_adj != tgt_adj {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Count all isomorphisms between two graphs (e.g. |Aut(G)| when called
+/// with the same graph twice).
+pub fn count_isomorphisms(pattern: &Graph, target: &Graph) -> usize {
+    let mut count = 0usize;
+    enumerate_isomorphisms(pattern, target, None, &mut |_| {
+        count += 1;
+        true
+    });
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cycle(n: u32) -> Graph {
+        let edges: Vec<(u32, u32)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+        Graph::from_edges(n as usize, &edges)
+    }
+
+    fn path(n: u32) -> Graph {
+        let edges: Vec<(u32, u32)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        Graph::from_edges(n as usize, &edges)
+    }
+
+    fn complete(n: u32) -> Graph {
+        let mut edges = Vec::new();
+        for i in 0..n {
+            for j in i + 1..n {
+                edges.push((i, j));
+            }
+        }
+        Graph::from_edges(n as usize, &edges)
+    }
+
+    #[test]
+    fn isomorphic_relabeled_cycle() {
+        let c4 = cycle(4);
+        // Same C4 with vertices permuted: 0-2-1-3-0.
+        let c4b = Graph::from_edges(4, &[(0, 2), (2, 1), (1, 3), (3, 0)]);
+        assert!(are_isomorphic(&c4, &c4b));
+    }
+
+    #[test]
+    fn cycle_not_isomorphic_to_path_plus_edge_elsewhere() {
+        // C4 vs K3 plus isolated-ish structure of same size/edges: star+edge.
+        let c4 = cycle(4);
+        let other = Graph::from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2)]);
+        assert_eq!(c4.edge_count(), other.edge_count());
+        assert!(!are_isomorphic(&c4, &other));
+    }
+
+    #[test]
+    fn different_sizes_never_isomorphic() {
+        assert!(!are_isomorphic(&cycle(4), &cycle(5)));
+        assert!(!are_isomorphic(&path(4), &cycle(4)));
+    }
+
+    #[test]
+    fn mapping_is_a_real_isomorphism() {
+        let g1 = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (0, 2)]);
+        let g2 = Graph::from_edges(5, &[(4, 3), (3, 2), (2, 1), (1, 0), (0, 4), (4, 2)]);
+        let m = find_isomorphism(&g1, &g2).expect("isomorphic");
+        for u in g1.vertices() {
+            for v in g1.vertices() {
+                if u < v {
+                    assert_eq!(g1.has_edge(u, v), g2.has_edge(m[u.index()], m[v.index()]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn automorphism_counts_of_standard_graphs() {
+        // |Aut(C4)| = 8 (dihedral), |Aut(P3)| = 2, |Aut(K4)| = 24.
+        assert_eq!(count_isomorphisms(&cycle(4), &cycle(4)), 8);
+        assert_eq!(count_isomorphisms(&path(3), &path(3)), 2);
+        assert_eq!(count_isomorphisms(&complete(4), &complete(4)), 24);
+    }
+
+    #[test]
+    fn pinned_search_respects_pin() {
+        let p4 = path(4);
+        // An automorphism of the path 0-1-2-3 mapping 0 -> 3 exists (reversal).
+        let m = find_isomorphism_pinned(&p4, &p4, (VertexId(0), VertexId(3))).unwrap();
+        assert_eq!(m[0], VertexId(3));
+        assert_eq!(m[3], VertexId(0));
+        // No automorphism maps an endpoint to the middle.
+        assert!(find_isomorphism_pinned(&p4, &p4, (VertexId(0), VertexId(1))).is_none());
+    }
+
+    #[test]
+    fn empty_graphs_are_isomorphic() {
+        assert!(are_isomorphic(&Graph::empty(0), &Graph::empty(0)));
+        assert!(are_isomorphic(&Graph::empty(3), &Graph::empty(3)));
+        assert!(!are_isomorphic(&Graph::empty(3), &Graph::empty(2)));
+    }
+
+    #[test]
+    fn petersen_like_regular_graphs_distinguished() {
+        // Two 3-regular graphs on 6 vertices: K_{3,3} and the prism (C3 x K2).
+        let k33 = Graph::from_edges(
+            6,
+            &[(0, 3), (0, 4), (0, 5), (1, 3), (1, 4), (1, 5), (2, 3), (2, 4), (2, 5)],
+        );
+        let prism = Graph::from_edges(
+            6,
+            &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (0, 3), (1, 4), (2, 5)],
+        );
+        assert_eq!(k33.degree_sequence(), prism.degree_sequence());
+        assert!(!are_isomorphic(&k33, &prism));
+        assert!(are_isomorphic(&k33, &k33.clone()));
+    }
+}

@@ -1,0 +1,192 @@
+//! Equitable color refinement (1-dimensional Weisfeiler–Leman).
+//!
+//! Starting from an initial coloring (by default, vertex degree), each
+//! round recolors every vertex by the pair *(its color, the multiset of
+//! its neighbors' colors)* until the partition stabilizes. The resulting
+//! coloring is an isomorphism invariant: isomorphic graphs produce the
+//! same multiset of colors, and corresponding vertices receive the same
+//! color. It is used to prune the VF2 search, to seed the canonical-form
+//! search, and as the first cut for automorphism orbits.
+
+use crate::graph::{Graph, VertexId};
+
+/// Refine vertex colors to the coarsest stable (equitable) partition.
+///
+/// `initial` supplies a starting coloring (values need not be dense); if
+/// `None`, vertices start colored by degree. Returned colors are dense in
+/// `0..k` and numbered canonically (by sorted signature), so two
+/// isomorphic graphs — refined independently with equivalent initial
+/// colorings — assign equal colors to corresponding vertices.
+pub fn refine_colors(g: &Graph, initial: Option<&[u32]>) -> Vec<u32> {
+    let n = g.vertex_count();
+    if n == 0 {
+        return Vec::new();
+    }
+
+    // Initial coloring, normalized to dense ranks.
+    let raw: Vec<u64> = match initial {
+        Some(init) => {
+            assert_eq!(init.len(), n, "initial coloring length mismatch");
+            init.iter().map(|&c| c as u64).collect()
+        }
+        None => g.vertices().map(|v| g.degree(v) as u64).collect(),
+    };
+    let mut colors = normalize(&raw);
+    let mut class_count = count_classes(&colors);
+
+    // Flat signature buffer reused across rounds: vertex v's signature is
+    // `flat[start[v]..start[v+1]]` = [own color, sorted neighbor colors].
+    let total: usize = n + g.vertices().map(|v| g.degree(v)).sum::<usize>();
+    let mut flat: Vec<u32> = Vec::with_capacity(total);
+    let mut start: Vec<usize> = Vec::with_capacity(n + 1);
+
+    loop {
+        flat.clear();
+        start.clear();
+        for v in 0..n {
+            start.push(flat.len());
+            flat.push(colors[v]);
+            let base = flat.len();
+            flat.extend(
+                g.neighbors(VertexId(v as u32))
+                    .iter()
+                    .map(|&u| colors[u as usize]),
+            );
+            flat[base..].sort_unstable();
+        }
+        start.push(flat.len());
+
+        let sig = |v: usize| &flat[start[v]..start[v + 1]];
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        order.sort_unstable_by(|&a, &b| sig(a as usize).cmp(sig(b as usize)));
+
+        // Assign dense new colors by scanning the sorted signatures.
+        let mut new_colors = vec![0u32; n];
+        let mut next_color = 0u32;
+        for (i, &v) in order.iter().enumerate() {
+            if i > 0 && sig(order[i - 1] as usize) != sig(v as usize) {
+                next_color += 1;
+            }
+            new_colors[v as usize] = next_color;
+        }
+        let new_count = next_color as usize + 1;
+        if new_count == class_count {
+            // Partition stable (refinement is monotone, so equal class
+            // counts means the partition did not change).
+            return new_colors;
+        }
+        class_count = new_count;
+        colors = new_colors;
+    }
+}
+
+/// Number of distinct colors in a dense coloring.
+fn count_classes(colors: &[u32]) -> usize {
+    let mut seen = vec![false; colors.len()];
+    let mut k = 0;
+    for &c in colors {
+        if !seen[c as usize] {
+            seen[c as usize] = true;
+            k += 1;
+        }
+    }
+    k
+}
+
+/// Map arbitrary color values to dense ranks `0..k` by sorted value.
+fn normalize(raw: &[u64]) -> Vec<u32> {
+    let mut values: Vec<u64> = raw.to_vec();
+    values.sort_unstable();
+    values.dedup();
+    raw.iter()
+        .map(|v| values.binary_search(v).expect("value present") as u32)
+        .collect()
+}
+
+/// Group vertices by color; cells are sorted internally and ordered by
+/// color id.
+pub fn color_cells(colors: &[u32]) -> Vec<Vec<VertexId>> {
+    let k = colors.iter().map(|&c| c as usize + 1).max().unwrap_or(0);
+    let mut cells = vec![Vec::new(); k];
+    for (v, &c) in colors.iter().enumerate() {
+        cells[c as usize].push(VertexId(v as u32));
+    }
+    cells.retain(|c| !c.is_empty());
+    cells
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_endpoints_vs_middle() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        let c = refine_colors(&g, None);
+        assert_eq!(c[0], c[2]);
+        assert_ne!(c[0], c[1]);
+    }
+
+    #[test]
+    fn regular_graph_stays_monochromatic() {
+        // C5 is vertex-transitive: refinement cannot split it.
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        let c = refine_colors(&g, None);
+        assert!(c.iter().all(|&x| x == c[0]));
+    }
+
+    #[test]
+    fn refinement_splits_beyond_degree() {
+        // Path of 5: degrees are [1,2,2,2,1] but the middle vertex differs
+        // from the degree-2 vertices adjacent to endpoints.
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let c = refine_colors(&g, None);
+        assert_eq!(c[0], c[4]);
+        assert_eq!(c[1], c[3]);
+        assert_ne!(c[1], c[2]);
+        assert_ne!(c[0], c[1]);
+    }
+
+    #[test]
+    fn initial_coloring_is_respected() {
+        let g = Graph::from_edges(2, &[(0, 1)]);
+        let c = refine_colors(&g, Some(&[5, 9]));
+        assert_ne!(c[0], c[1]);
+        // Normalization keeps relative order of initial colors.
+        assert!(c[0] < c[1]);
+    }
+
+    #[test]
+    fn colors_are_dense() {
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (0, 3)]);
+        let c = refine_colors(&g, None);
+        let k = *c.iter().max().unwrap() as usize + 1;
+        for color in 0..k as u32 {
+            assert!(c.contains(&color), "color {color} missing");
+        }
+    }
+
+    #[test]
+    fn isomorphic_graphs_get_equal_color_multisets() {
+        let g1 = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let g2 = Graph::from_edges(4, &[(3, 2), (2, 0), (0, 1)]); // relabeled path
+        let mut c1 = refine_colors(&g1, None);
+        let mut c2 = refine_colors(&g2, None);
+        c1.sort_unstable();
+        c2.sort_unstable();
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn cells_partition_the_vertices() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let cells = color_cells(&refine_colors(&g, None));
+        let total: usize = cells.iter().map(|c| c.len()).sum();
+        assert_eq!(total, 4);
+    }
+
+    #[test]
+    fn empty_graph() {
+        assert!(refine_colors(&Graph::empty(0), None).is_empty());
+    }
+}

@@ -1,0 +1,157 @@
+//! Property-based tests for the graph substrate.
+
+use ppi_graph::{
+    algo, automorphism_orbits, canonical_form, canonical_graph, random, Graph, GraphBuilder,
+    PpiNetwork, VertexId,
+};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{seq::SliceRandom, SeedableRng};
+
+fn graph_strategy(max_n: usize, max_edges: usize) -> impl Strategy<Value = Graph> {
+    (2..=max_n).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..=max_edges)
+            .prop_map(move |edges| Graph::from_edges(n, &edges))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn builder_and_incremental_insertion_agree(
+        n in 2usize..15,
+        edges in proptest::collection::vec((0u32..15, 0u32..15), 0..40),
+    ) {
+        let edges: Vec<(u32, u32)> = edges
+            .into_iter()
+            .map(|(a, b)| (a % n as u32, b % n as u32))
+            .collect();
+        let built = Graph::from_edges(n, &edges);
+        let mut incremental = Graph::empty(n);
+        for &(a, b) in &edges {
+            incremental.add_edge(VertexId(a), VertexId(b));
+        }
+        prop_assert_eq!(built, incremental);
+    }
+
+    #[test]
+    fn remove_undoes_add(g in graph_strategy(12, 30)) {
+        let mut h = g.clone();
+        let edges: Vec<_> = g.edges().collect();
+        for e in &edges {
+            prop_assert!(h.remove_edge(e.0, e.1));
+        }
+        prop_assert_eq!(h.edge_count(), 0);
+        for e in &edges {
+            prop_assert!(h.add_edge(e.0, e.1));
+        }
+        prop_assert_eq!(h, g);
+    }
+
+    #[test]
+    fn components_partition_vertices(g in graph_strategy(20, 40)) {
+        let comps = algo::connected_components(&g);
+        let total: usize = comps.iter().map(|c| c.len()).sum();
+        prop_assert_eq!(total, g.vertex_count());
+        // No edges between different components.
+        for (i, ci) in comps.iter().enumerate() {
+            for cj in comps.iter().skip(i + 1) {
+                for &u in ci {
+                    for &v in cj {
+                        prop_assert!(!g.has_edge(u, v));
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(algo::is_connected(&g), comps.len() <= 1);
+    }
+
+    #[test]
+    fn bfs_distances_satisfy_triangle_step(g in graph_strategy(15, 35), s in 0u32..15) {
+        let s = VertexId(s % g.vertex_count() as u32);
+        let dist = algo::bfs_distances(&g, s);
+        prop_assert_eq!(dist[s.index()], 0);
+        for e in g.edges() {
+            let (du, dv) = (dist[e.0.index()], dist[e.1.index()]);
+            if du != usize::MAX && dv != usize::MAX {
+                prop_assert!(du.abs_diff(dv) <= 1, "adjacent distances differ by <= 1");
+            } else {
+                prop_assert_eq!(du, dv, "reachability is shared across an edge");
+            }
+        }
+    }
+
+    #[test]
+    fn canonical_graph_is_deterministic_representative(
+        g in graph_strategy(7, 12),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut perm: Vec<u32> = (0..g.vertex_count() as u32).collect();
+        perm.shuffle(&mut rng);
+        let edges: Vec<(u32, u32)> = g
+            .edges()
+            .map(|e| (perm[e.0.index()], perm[e.1.index()]))
+            .collect();
+        let h = Graph::from_edges(g.vertex_count(), &edges);
+        prop_assert_eq!(canonical_graph(&g), canonical_graph(&h));
+        prop_assert_eq!(canonical_form(&g), canonical_form(&h));
+    }
+
+    #[test]
+    fn orbit_members_are_truly_symmetric(g in graph_strategy(7, 12)) {
+        for orbit in automorphism_orbits(&g) {
+            for &v in &orbit[1..] {
+                prop_assert!(
+                    ppi_graph::automorphism::are_symmetric(&g, orbit[0], v),
+                    "claimed orbit members must be exchangeable"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gnm_generates_exact_sizes(n in 4usize..30, seed in any::<u64>()) {
+        let m = n; // sparse
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = random::erdos_renyi_gnm(n, m, &mut rng);
+        prop_assert_eq!(g.vertex_count(), n);
+        prop_assert_eq!(g.edge_count(), m);
+    }
+
+    #[test]
+    fn edge_list_roundtrip(g in graph_strategy(15, 30)) {
+        let net = PpiNetwork::from_graph(g.clone());
+        let text = net.serialize();
+        let back = PpiNetwork::parse(&text).unwrap();
+        prop_assert_eq!(back.interaction_count(), g.edge_count());
+        for e in g.edges() {
+            let a = back.vertex(net.name(e.0));
+            let b = back.vertex(net.name(e.1));
+            match (a, b) {
+                (Some(a), Some(b)) => prop_assert!(back.graph().has_edge(a, b)),
+                _ => prop_assert!(false, "names must survive the roundtrip"),
+            }
+        }
+    }
+
+    #[test]
+    fn builder_growth_is_monotone(pairs in proptest::collection::vec((0u32..50, 0u32..50), 1..30)) {
+        let mut b = GraphBuilder::new(0);
+        for &(u, v) in &pairs {
+            b.add_edge(VertexId(u), VertexId(v));
+        }
+        // Self-loop pairs are dropped entirely (they grow nothing).
+        let max = pairs
+            .iter()
+            .filter(|&&(u, v)| u != v)
+            .flat_map(|&(u, v)| [u, v])
+            .max();
+        let g = b.build();
+        match max {
+            Some(m) => prop_assert_eq!(g.vertex_count(), m as usize + 1),
+            None => prop_assert_eq!(g.vertex_count(), 0),
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! Synthetic Gene Ontology generator — the substitute for a real GO
+//! release (see DESIGN.md §5).
+//!
+//! Produces a three-namespace DAG with is-a and part-of edges,
+//! multi-parent terms and controllable depth/width. Every GO-side
+//! algorithm in the pipeline (weights, informative classes, Lin
+//! similarity, LCA search) depends only on DAG shape and annotation
+//! counts, both of which this generator matches to the real ontology's
+//! regime.
+
+use go_ontology::{Namespace, Ontology, OntologyBuilder, Relation, TermId};
+use rand::Rng;
+
+/// Generator parameters.
+#[derive(Clone, Debug)]
+pub struct GoGenConfig {
+    /// Terms per namespace (including the root).
+    pub terms_per_namespace: usize,
+    /// Number of children directly under each namespace root. For the
+    /// MIPS-style dataset this doubles as the number of top functional
+    /// categories (13 in the paper).
+    pub root_fanout: usize,
+    /// Maximum DAG depth (root = depth 0).
+    pub max_depth: usize,
+    /// Probability that a term receives a second parent.
+    pub multi_parent_prob: f64,
+    /// Probability that an edge is part-of rather than is-a.
+    pub part_of_prob: f64,
+}
+
+impl Default for GoGenConfig {
+    fn default() -> Self {
+        GoGenConfig {
+            terms_per_namespace: 400,
+            root_fanout: 13,
+            max_depth: 7,
+            multi_parent_prob: 0.15,
+            part_of_prob: 0.2,
+        }
+    }
+}
+
+/// Generate a synthetic three-namespace ontology.
+pub fn generate_ontology<R: Rng>(config: &GoGenConfig, rng: &mut R) -> Ontology {
+    assert!(config.terms_per_namespace >= 1 + config.root_fanout);
+    assert!(config.max_depth >= 2);
+    let mut builder = OntologyBuilder::new();
+    for (ns_idx, ns) in Namespace::ALL.into_iter().enumerate() {
+        generate_namespace(&mut builder, ns, ns_idx, config, rng);
+    }
+    builder.build().expect("generated DAG is valid by construction")
+}
+
+fn generate_namespace<R: Rng>(
+    builder: &mut OntologyBuilder,
+    ns: Namespace,
+    ns_idx: usize,
+    config: &GoGenConfig,
+    rng: &mut R,
+) {
+    let n = config.terms_per_namespace;
+    let acc = |i: usize| format!("GO:{ns_idx}{i:06}");
+    let root = builder.add_term(acc(0), format!("{ns} root"), ns);
+    // depth[i] for terms of this namespace, in creation order.
+    let mut terms: Vec<(TermId, usize)> = vec![(root, 0)];
+
+    for i in 1..n {
+        let t = builder.add_term(acc(i), format!("{ns} term {i}"), ns);
+        let depth = if i <= config.root_fanout {
+            // Fixed top layer under the root.
+            builder.add_edge(t, root, Relation::IsA);
+            1
+        } else {
+            // Primary parent: uniform among non-root terms shallower than
+            // max_depth (biasing away from the root keeps the DAG deep).
+            let candidates: Vec<(TermId, usize)> = terms
+                .iter()
+                .copied()
+                .filter(|&(_, d)| d >= 1 && d < config.max_depth)
+                .collect();
+            let &(parent, pd) = &candidates[rng.gen_range(0..candidates.len())];
+            let rel = if rng.gen_bool(config.part_of_prob) {
+                Relation::PartOf
+            } else {
+                Relation::IsA
+            };
+            builder.add_edge(t, parent, rel);
+            let mut depth = pd + 1;
+            // Optional second parent from the already-created terms
+            // (creation order keeps the DAG acyclic). Depths are longest
+            // ancestor chains, so the bound holds through either parent.
+            if rng.gen_bool(config.multi_parent_prob) {
+                let &(extra, ed) = &candidates[rng.gen_range(0..candidates.len())];
+                if extra != parent {
+                    builder.add_edge(t, extra, Relation::IsA);
+                    depth = depth.max(ed + 1);
+                }
+            }
+            depth
+        };
+        terms.push((t, depth));
+    }
+}
+
+/// Terms of a namespace with no children — the most specific annotation
+/// targets.
+pub fn leaf_terms(ontology: &Ontology, ns: Namespace) -> Vec<TermId> {
+    ontology
+        .terms_in_namespace(ns)
+        .into_iter()
+        .filter(|&t| ontology.children(t).is_empty())
+        .collect()
+}
+
+/// The direct children of a namespace's root — the "top categories"
+/// (e.g. the 13 key yeast functions of Section 5.2).
+pub fn top_categories(ontology: &Ontology, ns: Namespace) -> Vec<TermId> {
+    let root = ontology
+        .roots()
+        .iter()
+        .copied()
+        .find(|&t| ontology.namespace(t) == ns)
+        .expect("each namespace has a root");
+    let mut cats: Vec<TermId> = ontology.children(root).iter().map(|&(c, _)| c).collect();
+    cats.sort_unstable();
+    cats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn generate(seed: u64) -> Ontology {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        generate_ontology(&GoGenConfig::default(), &mut rng)
+    }
+
+    #[test]
+    fn three_namespaces_with_requested_sizes() {
+        let o = generate(1);
+        assert_eq!(o.term_count(), 3 * 400);
+        for ns in Namespace::ALL {
+            assert_eq!(o.terms_in_namespace(ns).len(), 400);
+        }
+        assert_eq!(o.roots().len(), 3);
+    }
+
+    #[test]
+    fn root_fanout_is_respected() {
+        let o = generate(2);
+        for ns in Namespace::ALL {
+            assert_eq!(top_categories(&o, ns).len(), 13, "{ns}");
+        }
+    }
+
+    #[test]
+    fn depth_is_bounded_and_nontrivial() {
+        let o = generate(3);
+        let mut max_depth = 0;
+        for t in o.term_ids() {
+            // Depth = longest ancestor chain; approximate with ancestor
+            // count lower bound and explicit path walk.
+            let d = depth_of(&o, t);
+            max_depth = max_depth.max(d);
+            assert!(d <= 7, "term {t} depth {d}");
+        }
+        assert!(max_depth >= 4, "expected a deep DAG, got {max_depth}");
+    }
+
+    fn depth_of(o: &Ontology, t: TermId) -> usize {
+        o.parents(t)
+            .iter()
+            .map(|&(p, _)| depth_of(o, p) + 1)
+            .max()
+            .unwrap_or(0)
+    }
+
+    #[test]
+    fn multi_parent_terms_exist() {
+        let o = generate(4);
+        let multi = o.term_ids().filter(|&t| o.parents(t).len() >= 2).count();
+        assert!(multi > 20, "only {multi} multi-parent terms");
+    }
+
+    #[test]
+    fn part_of_edges_exist() {
+        let o = generate(5);
+        let part_of = o
+            .term_ids()
+            .flat_map(|t| o.parents(t).to_vec())
+            .filter(|&(_, r)| r == Relation::PartOf)
+            .count();
+        assert!(part_of > 30);
+    }
+
+    #[test]
+    fn leaf_terms_are_leaves() {
+        let o = generate(6);
+        let leaves = leaf_terms(&o, Namespace::BiologicalProcess);
+        assert!(leaves.len() > 100);
+        for t in leaves {
+            assert!(o.children(t).is_empty());
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = generate(7);
+        let b = generate(7);
+        assert_eq!(a.term_count(), b.term_count());
+        for t in a.term_ids() {
+            assert_eq!(a.term(t).accession, b.term(t).accession);
+            assert_eq!(a.parents(t), b.parents(t));
+        }
+    }
+}

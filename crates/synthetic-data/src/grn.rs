@@ -1,0 +1,283 @@
+//! Synthetic gene regulatory network — the directed-network testbed for
+//! the paper's future-work extension (Section 6: "many real-world
+//! networks can also be modelled with directed graphs"). Gene
+//! regulatory networks are the canonical source of directed motifs:
+//! feed-forward loops, bi-fans and regulator cascades [Milo et al.].
+
+use crate::annotate::ModuleTheme;
+use crate::go_gen::{generate_ontology, top_categories, GoGenConfig};
+use go_ontology::{Annotations, Namespace, Ontology, ProteinId, TermId};
+use ppi_graph::{DiGraph, VertexId};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Planted directed module kinds.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DirectedModuleKind {
+    /// Feed-forward loop: regulator → intermediate → target, plus the
+    /// shortcut regulator → target.
+    FeedForwardLoop,
+    /// Bi-fan: two regulators each driving the same two targets.
+    BiFan,
+    /// A regulator driving `targets` genes directly.
+    FanOut(usize),
+}
+
+impl DirectedModuleKind {
+    /// Genes consumed by one instance.
+    pub fn vertex_count(&self) -> usize {
+        match *self {
+            DirectedModuleKind::FeedForwardLoop => 3,
+            DirectedModuleKind::BiFan => 4,
+            DirectedModuleKind::FanOut(t) => t + 1,
+        }
+    }
+}
+
+/// One planted directed module.
+#[derive(Clone, Debug)]
+pub struct DirectedModule {
+    /// What was planted.
+    pub kind: DirectedModuleKind,
+    /// Members: regulators first, then downstream genes.
+    pub members: Vec<VertexId>,
+}
+
+/// Generation parameters.
+#[derive(Clone, Debug)]
+pub struct GrnConfig {
+    /// Number of genes.
+    pub n_genes: usize,
+    /// Number of regulatory arcs.
+    pub n_arcs: usize,
+    /// Feed-forward loops to plant.
+    pub n_ffl: usize,
+    /// Bi-fans to plant.
+    pub n_bifan: usize,
+    /// Fan-outs to plant (each 1 regulator + 5 targets).
+    pub n_fanout: usize,
+    /// Ontology shape.
+    pub go: GoGenConfig,
+    /// Annotation coverage.
+    pub coverage: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for GrnConfig {
+    fn default() -> Self {
+        GrnConfig {
+            n_genes: 600,
+            n_arcs: 1100,
+            n_ffl: 30,
+            n_bifan: 15,
+            n_fanout: 10,
+            go: GoGenConfig {
+                terms_per_namespace: 150,
+                ..GoGenConfig::default()
+            },
+            coverage: 0.85,
+            seed: 77,
+        }
+    }
+}
+
+/// The generated regulatory network.
+pub struct GrnDataset {
+    /// The directed network (arcs point regulator → regulated).
+    pub network: DiGraph,
+    /// The synthetic GO DAG.
+    pub ontology: Ontology,
+    /// Gene annotations. Regulator roles draw from one theme per module,
+    /// downstream roles from another — so directed motif positions carry
+    /// functional signal.
+    pub annotations: Annotations,
+    /// Ground-truth planted modules.
+    pub modules: Vec<DirectedModule>,
+    /// Role themes per module: `terms[0]` = regulator theme,
+    /// `terms[1]` = downstream theme.
+    pub themes: Vec<ModuleTheme>,
+}
+
+impl GrnDataset {
+    /// Generate the dataset.
+    pub fn generate(config: &GrnConfig) -> Self {
+        let mut rng = SmallRng::seed_from_u64(config.seed);
+        let ontology = generate_ontology(&config.go, &mut rng);
+
+        let mut network = DiGraph::empty(config.n_genes);
+        let mut modules = Vec::new();
+        let mut next = 0u32;
+        let mut alloc = |k: usize, next: &mut u32| -> Vec<VertexId> {
+            let members: Vec<VertexId> = (*next..*next + k as u32).map(VertexId).collect();
+            *next += k as u32;
+            members
+        };
+        for _ in 0..config.n_ffl {
+            let m = alloc(3, &mut next);
+            network.add_arc(m[0], m[1]);
+            network.add_arc(m[0], m[2]);
+            network.add_arc(m[1], m[2]);
+            modules.push(DirectedModule {
+                kind: DirectedModuleKind::FeedForwardLoop,
+                members: m,
+            });
+        }
+        for _ in 0..config.n_bifan {
+            let m = alloc(4, &mut next);
+            for r in 0..2 {
+                for t in 2..4 {
+                    network.add_arc(m[r], m[t]);
+                }
+            }
+            modules.push(DirectedModule {
+                kind: DirectedModuleKind::BiFan,
+                members: m,
+            });
+        }
+        for _ in 0..config.n_fanout {
+            let m = alloc(6, &mut next);
+            for t in 1..6 {
+                network.add_arc(m[0], m[t]);
+            }
+            modules.push(DirectedModule {
+                kind: DirectedModuleKind::FanOut(5),
+                members: m,
+            });
+        }
+        assert!(
+            (next as usize) <= config.n_genes,
+            "module plan exceeds gene budget"
+        );
+
+        // Background regulation: out-hub-biased random arcs.
+        let n = config.n_genes as u32;
+        let mut guard = 0;
+        while network.arc_count() < config.n_arcs && guard < 100 * config.n_arcs {
+            guard += 1;
+            // Bias sources toward low ids (planted regulators + a few
+            // global TFs), targets uniform.
+            let s = if rng.gen_bool(0.3) {
+                rng.gen_range(0..(next.max(1)))
+            } else {
+                rng.gen_range(0..n)
+            };
+            let t = rng.gen_range(0..n);
+            network.add_arc(VertexId(s), VertexId(t));
+        }
+
+        // Role-correlated annotations.
+        let bp_terms: Vec<TermId> = ontology
+            .terms_in_namespace(Namespace::BiologicalProcess)
+            .into_iter()
+            .filter(|&t| !ontology.parents(t).is_empty())
+            .collect();
+        let categories = top_categories(&ontology, Namespace::BiologicalProcess);
+        let mut annotations = Annotations::new(config.n_genes, ontology.term_count());
+        let mut themes = Vec::with_capacity(modules.len());
+        // A handful of recurring "regulatory programs": real regulons
+        // reuse the same regulator/target function pairs across many
+        // module instances, which is what lets labeled motifs accumulate
+        // support. Program i pairs category 2i with category 2i+1.
+        let n_programs = (categories.len() / 2).min(3).max(1);
+        for (mi, module) in modules.iter().enumerate() {
+            let program = mi % n_programs;
+            let reg_theme = categories[2 * program];
+            let tgt_theme = categories[2 * program + 1];
+            themes.push(ModuleTheme {
+                terms: [reg_theme, tgt_theme, reg_theme],
+            });
+            let regulators = match module.kind {
+                DirectedModuleKind::FeedForwardLoop => 1,
+                DirectedModuleKind::BiFan => 2,
+                DirectedModuleKind::FanOut(_) => 1,
+            };
+            for (i, &v) in module.members.iter().enumerate() {
+                if !rng.gen_bool(config.coverage) {
+                    continue;
+                }
+                let theme = if i < regulators { reg_theme } else { tgt_theme };
+                // Concentrate annotations on the category's direct
+                // children so role terms accumulate enough direct
+                // annotations to become informative functional classes.
+                let term = random_role_term(&ontology, theme, &mut rng);
+                annotations.annotate(ProteinId(v.0), term);
+            }
+        }
+        // Background genes: one random term.
+        for g in next as usize..config.n_genes {
+            if rng.gen_bool(config.coverage) {
+                let t = *bp_terms.choose(&mut rng).expect("terms");
+                annotations.annotate(ProteinId(g as u32), t);
+            }
+        }
+
+        GrnDataset {
+            network,
+            ontology,
+            annotations,
+            modules,
+            themes,
+        }
+    }
+}
+
+/// A role term under category `t`: one of its direct children (or `t`
+/// itself when it has none). Keeping the pool small concentrates direct
+/// annotation counts, as real curated annotations do.
+fn random_role_term<R: Rng>(ontology: &Ontology, t: TermId, rng: &mut R) -> TermId {
+    let children: Vec<TermId> = ontology.children(t).iter().map(|&(c, _)| c).collect();
+    if children.is_empty() {
+        t
+    } else {
+        *children.choose(rng).expect("non-empty")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_determinism() {
+        let d = GrnDataset::generate(&GrnConfig::default());
+        assert_eq!(d.network.vertex_count(), 600);
+        assert!(d.network.arc_count() >= 1100);
+        let d2 = GrnDataset::generate(&GrnConfig::default());
+        let a1: Vec<_> = d.network.arcs().collect();
+        let a2: Vec<_> = d2.network.arcs().collect();
+        assert_eq!(a1, a2);
+    }
+
+    #[test]
+    fn planted_ffls_are_intact() {
+        let d = GrnDataset::generate(&GrnConfig::default());
+        let mut ffls = 0;
+        for m in &d.modules {
+            if m.kind == DirectedModuleKind::FeedForwardLoop {
+                ffls += 1;
+                let v = &m.members;
+                assert!(d.network.has_arc(v[0], v[1]));
+                assert!(d.network.has_arc(v[0], v[2]));
+                assert!(d.network.has_arc(v[1], v[2]));
+            }
+        }
+        assert_eq!(ffls, 30);
+    }
+
+    #[test]
+    fn regulator_and_target_themes_differ() {
+        let d = GrnDataset::generate(&GrnConfig::default());
+        for theme in &d.themes {
+            assert_ne!(theme.terms[0], theme.terms[1]);
+        }
+    }
+
+    #[test]
+    fn annotations_cover_most_genes() {
+        let d = GrnDataset::generate(&GrnConfig::default());
+        let covered = d.annotations.annotated_protein_count() as f64 / 600.0;
+        assert!((0.7..1.0).contains(&covered), "coverage {covered}");
+    }
+}

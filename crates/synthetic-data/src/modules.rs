@@ -1,0 +1,299 @@
+//! Planted network modules — the recurring structures that make the
+//! synthetic interactomes motif-rich.
+//!
+//! Real Y2H networks owe their motifs to protein complexes (cliques),
+//! regulator–target fan-outs (complete bipartite cores) and signaling
+//! chains (rings/paths). Planting many instances of such modules and
+//! wiring the rest of the network with preferential attachment yields a
+//! degree-heterogeneous network whose subgraph statistics exercise the
+//! frequency and uniqueness machinery the way BIND/MIPS data does
+//! (DESIGN.md §5).
+
+use ppi_graph::{Graph, GraphBuilder, VertexId};
+use rand::Rng;
+
+/// Kinds of planted module.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ModuleKind {
+    /// A protein complex: a clique of the given size.
+    Clique(usize),
+    /// Regulators fanning out to shared targets: `K_{hubs,targets}` plus
+    /// a clique among the hubs.
+    Regulon {
+        /// Number of regulator proteins.
+        hubs: usize,
+        /// Number of shared target proteins.
+        targets: usize,
+    },
+    /// A signaling ring of the given length.
+    Ring(usize),
+}
+
+impl ModuleKind {
+    /// Number of vertices the module consumes.
+    pub fn vertex_count(&self) -> usize {
+        match *self {
+            ModuleKind::Clique(n) => n,
+            ModuleKind::Regulon { hubs, targets } => hubs + targets,
+            ModuleKind::Ring(n) => n,
+        }
+    }
+
+    /// Number of edges the module contributes.
+    pub fn edge_count(&self) -> usize {
+        match *self {
+            ModuleKind::Clique(n) => n * (n - 1) / 2,
+            ModuleKind::Regulon { hubs, targets } => hubs * (hubs - 1) / 2 + hubs * targets,
+            ModuleKind::Ring(n) => n,
+        }
+    }
+}
+
+/// One planted module instance.
+#[derive(Clone, Debug)]
+pub struct PlantedModule {
+    /// What was planted.
+    pub kind: ModuleKind,
+    /// The vertices it occupies (for regulons: hubs first).
+    pub members: Vec<VertexId>,
+}
+
+/// Plant `plan` into a fresh builder over `n_vertices`, assigning module
+/// members from consecutive vertex ids starting at 0. Panics if the plan
+/// needs more vertices than available.
+pub fn plant_modules(n_vertices: usize, plan: &[ModuleKind]) -> (GraphBuilder, Vec<PlantedModule>) {
+    let needed: usize = plan.iter().map(ModuleKind::vertex_count).sum();
+    assert!(
+        needed <= n_vertices,
+        "plan needs {needed} vertices, only {n_vertices} available"
+    );
+    let mut builder = GraphBuilder::new(n_vertices);
+    let mut next = 0u32;
+    let mut planted = Vec::with_capacity(plan.len());
+    for &kind in plan {
+        let k = kind.vertex_count();
+        let members: Vec<VertexId> = (next..next + k as u32).map(VertexId).collect();
+        next += k as u32;
+        match kind {
+            ModuleKind::Clique(_) => {
+                for i in 0..k {
+                    for j in i + 1..k {
+                        builder.add_edge(members[i], members[j]);
+                    }
+                }
+            }
+            ModuleKind::Regulon { hubs, targets } => {
+                for i in 0..hubs {
+                    for j in i + 1..hubs {
+                        builder.add_edge(members[i], members[j]);
+                    }
+                    for j in 0..targets {
+                        builder.add_edge(members[i], members[hubs + j]);
+                    }
+                }
+            }
+            ModuleKind::Ring(_) => {
+                for i in 0..k {
+                    builder.add_edge(members[i], members[(i + 1) % k]);
+                }
+            }
+        }
+        planted.push(PlantedModule { kind, members });
+    }
+    (builder, planted)
+}
+
+/// Add preferential-attachment background edges until the graph has
+/// `target_edges` edges. With `stitch = true`, disconnected components
+/// are then joined and the surplus trimmed back to the exact target by
+/// removing non-bridge background edges (edges with both endpoints below
+/// `protected_vertices` — the planted-module prefix — are never
+/// trimmed). With `stitch = false` the graph may stay disconnected (like
+/// real sparse interactomes) and the edge count is exact by
+/// construction.
+pub fn add_background<R: Rng>(
+    builder: GraphBuilder,
+    target_edges: usize,
+    protected_vertices: usize,
+    stitch: bool,
+    rng: &mut R,
+) -> Graph {
+    let n = builder.vertex_count();
+    let mut g = builder.build();
+    // Endpoint list for degree-proportional sampling, seeded with a +1
+    // smoothing so isolated vertices can be drawn.
+    let mut endpoints: Vec<u32> = Vec::with_capacity(4 * target_edges);
+    for v in g.vertices() {
+        endpoints.push(v.0); // smoothing
+        for _ in 0..g.degree(v) {
+            endpoints.push(v.0);
+        }
+    }
+    let mut guard = 0usize;
+    while g.edge_count() < target_edges && guard < 100 * target_edges {
+        guard += 1;
+        let a = endpoints[rng.gen_range(0..endpoints.len())];
+        // Mix preferential and uniform choice to keep the tail heavy but
+        // the graph connected-ish.
+        let b = if rng.gen_bool(0.5) {
+            endpoints[rng.gen_range(0..endpoints.len())]
+        } else {
+            rng.gen_range(0..n as u32)
+        };
+        if g.add_edge(VertexId(a), VertexId(b)) {
+            endpoints.push(a);
+            endpoints.push(b);
+        }
+    }
+    if !stitch {
+        return g;
+    }
+    // Stitch components: connect every component's representative to the
+    // largest component.
+    let comps = ppi_graph::algo::connected_components(&g);
+    if comps.len() > 1 {
+        let main = comps
+            .iter()
+            .max_by_key(|c| c.len())
+            .expect("non-empty")
+            .clone();
+        for comp in &comps {
+            if comp[0] == main[0] {
+                continue;
+            }
+            let a = comp[rng.gen_range(0..comp.len())];
+            let b = main[rng.gen_range(0..main.len())];
+            g.add_edge(a, b);
+        }
+    }
+    // Stitching overshoots the edge budget; trim back by removing random
+    // non-bridge edges so connectivity is preserved and the final count
+    // matches the paper's exactly.
+    let mut guard = 0usize;
+    while g.edge_count() > target_edges && guard < 100 {
+        guard += 1;
+        let bridges: std::collections::HashSet<_> =
+            ppi_graph::algo::bridges(&g).into_iter().collect();
+        let candidates: Vec<_> = g
+            .edges()
+            .filter(|e| {
+                !bridges.contains(e)
+                    && (e.0.index() >= protected_vertices || e.1.index() >= protected_vertices)
+            })
+            .collect();
+        if candidates.is_empty() {
+            break;
+        }
+        let surplus = g.edge_count() - target_edges;
+        // Removing one non-bridge can turn another edge into a bridge,
+        // so remove in small batches and repair any (rare) split.
+        let batch = surplus.min(candidates.len()).min(64);
+        for _ in 0..batch {
+            let e = candidates[rng.gen_range(0..candidates.len())];
+            g.remove_edge(e.0, e.1);
+        }
+        if !ppi_graph::algo::is_connected(&g) {
+            let comps = ppi_graph::algo::connected_components(&g);
+            let main = comps
+                .iter()
+                .max_by_key(|c| c.len())
+                .expect("non-empty")
+                .clone();
+            for comp in &comps {
+                if comp[0] != main[0] {
+                    g.add_edge(comp[0], main[rng.gen_range(0..main.len())]);
+                }
+            }
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn module_sizes_add_up() {
+        let plan = [
+            ModuleKind::Clique(5),
+            ModuleKind::Regulon { hubs: 2, targets: 6 },
+            ModuleKind::Ring(7),
+        ];
+        assert_eq!(plan.iter().map(ModuleKind::vertex_count).sum::<usize>(), 20);
+        let (b, planted) = plant_modules(30, &plan);
+        let g = b.build();
+        assert_eq!(planted.len(), 3);
+        let expected_edges: usize = plan.iter().map(ModuleKind::edge_count).sum();
+        assert_eq!(g.edge_count(), expected_edges);
+    }
+
+    #[test]
+    fn clique_is_complete() {
+        let (b, planted) = plant_modules(10, &[ModuleKind::Clique(4)]);
+        let g = b.build();
+        let m = &planted[0].members;
+        for i in 0..4 {
+            for j in i + 1..4 {
+                assert!(g.has_edge(m[i], m[j]));
+            }
+        }
+    }
+
+    #[test]
+    fn regulon_structure() {
+        let (b, planted) =
+            plant_modules(10, &[ModuleKind::Regulon { hubs: 2, targets: 5 }]);
+        let g = b.build();
+        let m = &planted[0].members;
+        assert!(g.has_edge(m[0], m[1]), "hubs interconnected");
+        for t in 2..7 {
+            assert!(g.has_edge(m[0], m[t]));
+            assert!(g.has_edge(m[1], m[t]));
+        }
+        // Targets are mutually unconnected.
+        assert!(!g.has_edge(m[2], m[3]));
+    }
+
+    #[test]
+    fn ring_has_cycle_degrees() {
+        let (b, planted) = plant_modules(8, &[ModuleKind::Ring(6)]);
+        let g = b.build();
+        for &v in &planted[0].members {
+            assert_eq!(g.degree(v), 2);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "vertices")]
+    fn oversized_plan_panics() {
+        plant_modules(3, &[ModuleKind::Clique(5)]);
+    }
+
+    #[test]
+    fn background_reaches_target_and_connects() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let (b, _) = plant_modules(500, &[ModuleKind::Clique(6), ModuleKind::Ring(10)]);
+        let g = add_background(b, 1200, 16, true, &mut rng);
+        assert_eq!(g.edge_count(), 1200);
+        assert!(
+            ppi_graph::algo::is_connected(&g),
+            "stitching must connect the graph"
+        );
+    }
+
+    #[test]
+    fn background_preserves_planted_edges() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let (b, planted) = plant_modules(200, &[ModuleKind::Clique(5)]);
+        let g = add_background(b, 400, 5, true, &mut rng);
+        let m = &planted[0].members;
+        for i in 0..5 {
+            for j in i + 1..5 {
+                assert!(g.has_edge(m[i], m[j]));
+            }
+        }
+    }
+}

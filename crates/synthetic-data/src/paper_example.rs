@@ -1,0 +1,346 @@
+//! The paper's worked example: Figure 1 (GO subset), Table 1 (genome
+//! annotation counts), Figure 2 (motif g), Figure 3 (occurrences in the
+//! PPI network G) and Table 2 (protein annotations).
+//!
+//! The paper never lists the example DAG's edges and its prose is
+//! partially inconsistent with Table 1 (see DESIGN.md §6). The edge set
+//! below is the unique reconstruction that reproduces **every** count in
+//! Table 1 and the prose statements about G04, G05 and G06:
+//!
+//! ```text
+//! G01 → {G02, G03}
+//! G02 → {G04, G05}            G03 → {G05, G06, G08}
+//! G04 → {G07, G08}            G05 → {G09, G10, G11}
+//! G06 → G09 (part-of)         G07 → G10
+//! G08 → {G10, G11}
+//! ```
+
+use go_ontology::{Annotations, Namespace, Ontology, OntologyBuilder, ProteinId, Relation, TermId};
+use motif_finder::{Motif, Occurrence};
+use ppi_graph::{Graph, VertexId};
+
+/// All fixtures of the worked example.
+pub struct PaperExample {
+    /// The Figure 1 GO subset (terms `G01..G11` as ids `0..11`).
+    pub ontology: Ontology,
+    /// The 585-protein genome annotation table behind Table 1's counts
+    /// (each genome protein carries exactly one term, matching the
+    /// table's arithmetic).
+    pub genome: Annotations,
+    /// Table 2's annotations for the network proteins `p1..p22`
+    /// (protein `pK` is id `K-1`; `p17..p22` are unannotated).
+    pub proteins: Annotations,
+    /// The Figure 3 PPI network over `p1..p22`.
+    pub network: Graph,
+    /// The Figure 2 motif (square `v1-v2-v3-v4` plus diagonal `v1-v3`)
+    /// with its four occurrences `o1..o4`.
+    pub motif: Motif,
+}
+
+impl PaperExample {
+    /// Build the example. Deterministic; no RNG involved.
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        let ontology = build_ontology();
+        let genome = build_genome(&ontology);
+        let proteins = build_proteins(&ontology);
+        let (network, motif) = build_network();
+        PaperExample {
+            ontology,
+            genome,
+            proteins,
+            network,
+            motif,
+        }
+    }
+
+    /// Term id of `G01..G11` (1-based, as in the paper).
+    pub fn g(&self, i: u32) -> TermId {
+        assert!((1..=11).contains(&i), "terms are G01..G11");
+        TermId(i - 1)
+    }
+
+    /// Protein id of `p1..p22` (1-based, as in the paper).
+    pub fn p(&self, i: u32) -> ProteinId {
+        assert!((1..=22).contains(&i), "proteins are p1..p22");
+        ProteinId(i - 1)
+    }
+
+    /// The four occurrences `o1..o4` (1-based).
+    pub fn occurrence(&self, i: usize) -> &Occurrence {
+        &self.motif.occurrences[i - 1]
+    }
+}
+
+fn build_ontology() -> Ontology {
+    let mut b = OntologyBuilder::new();
+    for i in 1..=11 {
+        b.add_term(format!("G{i:02}"), format!("term G{i:02}"), Namespace::BiologicalProcess);
+    }
+    let edges: &[(u32, u32, Relation)] = &[
+        (2, 1, Relation::IsA),
+        (3, 1, Relation::IsA),
+        (4, 2, Relation::IsA),
+        (5, 2, Relation::IsA),
+        (5, 3, Relation::IsA),
+        (6, 3, Relation::PartOf),
+        (8, 3, Relation::IsA),
+        (7, 4, Relation::IsA),
+        (8, 4, Relation::IsA),
+        (9, 5, Relation::IsA),
+        (10, 5, Relation::IsA),
+        (11, 5, Relation::IsA),
+        (9, 6, Relation::PartOf),
+        (10, 7, Relation::IsA),
+        (10, 8, Relation::IsA),
+        (11, 8, Relation::IsA),
+    ];
+    for &(c, p, rel) in edges {
+        b.add_edge(TermId(c - 1), TermId(p - 1), rel);
+    }
+    b.build().expect("example DAG is valid")
+}
+
+/// Table 1, column 2: direct annotation counts per term.
+const DIRECT_COUNTS: [(u32, usize); 11] = [
+    (1, 0),
+    (2, 0),
+    (3, 20),
+    (4, 100),
+    (5, 70),
+    (6, 150),
+    (7, 10),
+    (8, 25),
+    (9, 100),
+    (10, 90),
+    (11, 20),
+];
+
+fn build_genome(ontology: &Ontology) -> Annotations {
+    let total: usize = DIRECT_COUNTS.iter().map(|&(_, c)| c).sum();
+    debug_assert_eq!(total, 585, "Table 1 SUM");
+    let mut ann = Annotations::new(total, ontology.term_count());
+    let mut next = 0u32;
+    for &(term, count) in &DIRECT_COUNTS {
+        for _ in 0..count {
+            ann.annotate(ProteinId(next), TermId(term - 1));
+            next += 1;
+        }
+    }
+    ann
+}
+
+/// Table 2: GO annotations of `p1..p16`.
+const PROTEIN_ANNOTATIONS: [(u32, &[u32]); 16] = [
+    (1, &[4, 9, 10]),
+    (2, &[10, 3]),
+    (3, &[8]),
+    (4, &[9, 7]),
+    (5, &[3]),
+    (6, &[10]),
+    (7, &[3]),
+    (8, &[5]),
+    (9, &[11, 10]),
+    (10, &[3, 5, 7]),
+    (11, &[5]),
+    (12, &[9]),
+    (13, &[11]),
+    (14, &[4, 5]),
+    (15, &[4]),
+    (16, &[4, 9]),
+];
+
+fn build_proteins(ontology: &Ontology) -> Annotations {
+    let mut ann = Annotations::new(22, ontology.term_count());
+    for &(p, terms) in &PROTEIN_ANNOTATIONS {
+        for &t in terms {
+            ann.annotate(ProteinId(p - 1), TermId(t - 1));
+        }
+    }
+    ann
+}
+
+fn build_network() -> (Graph, Motif) {
+    // Motif g: square v1-v2-v3-v4 with diagonal v1-v3 (vertices 0..3).
+    let pattern = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]);
+
+    // Occurrences (pattern position -> protein), matching the paper's
+    // worked alignment: o2 pairs {p1,p2,p3,p4} with {p12,p9,p10,p11}.
+    let occ_proteins: [[u32; 4]; 4] = [
+        [1, 2, 3, 4],
+        [12, 9, 10, 11],
+        [5, 6, 7, 8],
+        [13, 14, 15, 16],
+    ];
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    let mut occurrences = Vec::new();
+    for occ in &occ_proteins {
+        let v: Vec<u32> = occ.iter().map(|&p| p - 1).collect();
+        edges.extend_from_slice(&[
+            (v[0], v[1]),
+            (v[1], v[2]),
+            (v[2], v[3]),
+            (v[3], v[0]),
+            (v[0], v[2]),
+        ]);
+        occurrences.push(Occurrence::new(v.into_iter().map(VertexId).collect()));
+    }
+    // p17..p22 (ids 16..21): a separate path component so no extra
+    // occurrences of g arise.
+    for i in 16..21 {
+        edges.push((i, i + 1));
+    }
+    let network = Graph::from_edges(22, &edges);
+    let frequency = occurrences.len();
+    (
+        network,
+        Motif {
+            pattern,
+            occurrences,
+            frequency,
+            uniqueness: Some(1.0),
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use go_ontology::TermWeights;
+
+    #[test]
+    fn table1_weights_reproduce_exactly() {
+        let ex = PaperExample::new();
+        let w = TermWeights::compute(&ex.ontology, &ex.genome);
+        // (term, subtree occurrences, weight rounded to 2 decimals).
+        let expected = [
+            (1, 585, 1.00),
+            (2, 415, 0.71),
+            (3, 475, 0.81),
+            (4, 245, 0.42),
+            (5, 280, 0.48),
+            (6, 250, 0.43),
+            (7, 100, 0.17),
+            (8, 135, 0.23),
+            (9, 100, 0.17),
+            (10, 90, 0.15),
+            (11, 20, 0.03),
+        ];
+        for (g, subtree, weight) in expected {
+            let t = ex.g(g);
+            assert_eq!(
+                w.subtree_occurrences(t),
+                subtree,
+                "G{g:02} subtree occurrences"
+            );
+            assert!(
+                ((w.weight(t) * 100.0).round() / 100.0 - weight).abs() < 1e-9,
+                "G{g:02} weight: got {}",
+                w.weight(t)
+            );
+        }
+    }
+
+    #[test]
+    fn prose_statements_hold() {
+        let ex = PaperExample::new();
+        let o = &ex.ontology;
+        // "G04 is a child of G02 following the is-a relationship."
+        assert!(o.parents(ex.g(4)).contains(&(ex.g(2), Relation::IsA)));
+        // "G06 is a child of G03 following the part-of relationship."
+        assert!(o.parents(ex.g(6)).contains(&(ex.g(3), Relation::PartOf)));
+        // "G05 has G02 and G03 as its parents."
+        let parents: Vec<TermId> = o.parents(ex.g(5)).iter().map(|&(t, _)| t).collect();
+        assert_eq!(parents, vec![ex.g(2), ex.g(3)]);
+    }
+
+    #[test]
+    fn informative_classes_match_paper() {
+        use go_ontology::{InformativeClasses, InformativeConfig};
+        let ex = PaperExample::new();
+        let ic = InformativeClasses::compute(&ex.ontology, &ex.genome, InformativeConfig::default());
+        // "G04, G05, G06, G09, and G10 are informative FC."
+        let informative: Vec<TermId> = ic.informative_terms();
+        assert_eq!(
+            informative,
+            vec![ex.g(4), ex.g(5), ex.g(6), ex.g(9), ex.g(10)]
+        );
+        // Border (formal definition): G04, G05, G06 — G09 and G10 are
+        // excluded since G05 is an informative ancestor of both.
+        assert_eq!(ic.border_terms(), vec![ex.g(4), ex.g(5), ex.g(6)]);
+    }
+
+    #[test]
+    fn motif_occurrences_are_valid() {
+        let ex = PaperExample::new();
+        assert!(ex.motif.validate_against(&ex.network));
+        assert_eq!(ex.motif.frequency, 4);
+        assert_eq!(ex.network.vertex_count(), 22);
+    }
+
+    #[test]
+    fn motif_symmetric_sets_match_section2() {
+        let ex = PaperExample::new();
+        // "{v1, v3} and {v2, v4}" — positions {0,2} and {1,3}.
+        let orbits = ppi_graph::symmetric_vertex_sets(&ex.motif.pattern);
+        assert_eq!(
+            orbits,
+            vec![
+                vec![VertexId(0), VertexId(2)],
+                vec![VertexId(1), VertexId(3)],
+            ]
+        );
+    }
+
+    #[test]
+    fn table2_annotations_loaded() {
+        let ex = PaperExample::new();
+        assert_eq!(
+            ex.proteins.terms_of(ex.p(1)),
+            &[ex.g(4), ex.g(9), ex.g(10)]
+        );
+        assert_eq!(ex.proteins.terms_of(ex.p(3)), &[ex.g(8)]);
+        assert!(ex.proteins.terms_of(ex.p(17)).is_empty());
+        assert_eq!(ex.proteins.total_occurrences(), 25);
+    }
+
+    #[test]
+    fn section3_conformance_example() {
+        use lamofinder_check::check_conformance;
+        let ex = PaperExample::new();
+        // "{G04, G08, G04, G05} is consistent with the occurrence o1."
+        assert!(check_conformance(
+            &ex,
+            &[&[4], &[8], &[4], &[5]],
+            ex.occurrence(1)
+        ));
+        // A wrong scheme: the leaf G11 covers none of p1's annotations.
+        assert!(!check_conformance(
+            &ex,
+            &[&[11], &[8], &[4], &[5]],
+            ex.occurrence(1)
+        ));
+    }
+
+    /// Minimal conformance checker local to the tests (the full
+    /// implementation lives in the `lamofinder` crate; this avoids a
+    /// dev-dependency cycle).
+    mod lamofinder_check {
+        use super::*;
+
+        pub fn check_conformance(
+            ex: &PaperExample,
+            labels: &[&[u32]],
+            occ: &Occurrence,
+        ) -> bool {
+            labels.iter().zip(&occ.vertices).all(|(ls, &v)| {
+                let protein_terms = ex.proteins.terms_of(ProteinId(v.0));
+                ls.iter().all(|&l| {
+                    protein_terms
+                        .iter()
+                        .any(|&a| ex.ontology.is_same_or_ancestor(TermId(l - 1), a))
+                })
+            })
+        }
+    }
+}

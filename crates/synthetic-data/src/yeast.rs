@@ -1,0 +1,214 @@
+//! Yeast-scale synthetic interactome — the substitute for the BIND Y2H
+//! dataset of Section 4 (7903 raw interactions → cleaned network of
+//! 7095 edges over 4141 proteins).
+//!
+//! Planted complexes (cliques), regulons (hub–target bipartite cores,
+//! including meso-scale ones whose sub-bipartites recur >100 times) and
+//! signaling rings provide genuinely repeated, above-random subgraph
+//! structure; preferential-attachment background wiring provides the
+//! heavy-tailed degree distribution. Annotations are theme-correlated
+//! with module membership (≈86% coverage, matching 3554/4141).
+
+use crate::annotate::{annotate_network, pick_themes, AnnotateConfig, ModuleTheme};
+use crate::go_gen::{generate_ontology, GoGenConfig};
+use crate::modules::{add_background, plant_modules, ModuleKind, PlantedModule};
+use go_ontology::{Annotations, Ontology};
+use ppi_graph::Graph;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Generation parameters.
+#[derive(Clone, Debug)]
+pub struct YeastConfig {
+    /// Number of proteins (paper: 4141).
+    pub n_proteins: usize,
+    /// Number of interactions (paper: 7095).
+    pub n_interactions: usize,
+    /// Ontology shape.
+    pub go: GoGenConfig,
+    /// Annotation statistics.
+    pub annotate: AnnotateConfig,
+    /// RNG seed (whole dataset is deterministic given the config).
+    pub seed: u64,
+}
+
+impl Default for YeastConfig {
+    fn default() -> Self {
+        YeastConfig {
+            n_proteins: 4141,
+            n_interactions: 7095,
+            go: GoGenConfig::default(),
+            annotate: AnnotateConfig::default(),
+            seed: 2007,
+        }
+    }
+}
+
+impl YeastConfig {
+    /// A down-scaled configuration for unit tests and quick examples
+    /// (~10% of the paper's scale).
+    pub fn small() -> Self {
+        YeastConfig {
+            n_proteins: 420,
+            n_interactions: 720,
+            go: GoGenConfig {
+                terms_per_namespace: 120,
+                ..GoGenConfig::default()
+            },
+            ..Default::default()
+        }
+    }
+}
+
+/// The generated dataset.
+pub struct YeastDataset {
+    /// The interactome.
+    pub network: Graph,
+    /// The synthetic GO DAG.
+    pub ontology: Ontology,
+    /// Protein annotations.
+    pub annotations: Annotations,
+    /// The planted modules (ground truth for tests and sanity checks).
+    pub modules: Vec<PlantedModule>,
+    /// The functional theme of each module.
+    pub themes: Vec<ModuleTheme>,
+}
+
+impl YeastDataset {
+    /// Generate the dataset.
+    pub fn generate(config: &YeastConfig) -> Self {
+        let mut rng = SmallRng::seed_from_u64(config.seed);
+        let ontology = generate_ontology(&config.go, &mut rng);
+
+        let plan = module_plan(config.n_proteins);
+        let (builder, modules) = plant_modules(config.n_proteins, &plan);
+        let protected: usize = plan.iter().map(|m| m.vertex_count()).sum();
+        let network = add_background(builder, config.n_interactions, protected, true, &mut rng);
+
+        let themes = pick_themes(&ontology, modules.len(), &mut rng);
+        let annotations = annotate_network(
+            &ontology,
+            config.n_proteins,
+            &modules,
+            &themes,
+            &config.annotate,
+            &mut rng,
+        );
+
+        YeastDataset {
+            network,
+            ontology,
+            annotations,
+            modules,
+            themes,
+        }
+    }
+}
+
+/// Module plan scaled to the protein budget. At full scale (4141
+/// proteins) this plants ~800 vertices and ~1450 edges of structured
+/// modules; background wiring supplies the rest.
+fn module_plan(n_proteins: usize) -> Vec<ModuleKind> {
+    let f = n_proteins as f64 / 4141.0;
+    let count = |base: usize| ((base as f64 * f).round() as usize).max(1);
+    let mut plan = Vec::new();
+    for _ in 0..count(20) {
+        plan.push(ModuleKind::Clique(6));
+    }
+    for _ in 0..count(10) {
+        plan.push(ModuleKind::Clique(7));
+    }
+    for _ in 0..count(6) {
+        plan.push(ModuleKind::Clique(8));
+    }
+    for _ in 0..count(20) {
+        plan.push(ModuleKind::Regulon { hubs: 2, targets: 6 });
+    }
+    for _ in 0..count(12) {
+        plan.push(ModuleKind::Regulon { hubs: 1, targets: 9 });
+    }
+    // Meso-scale fan-outs: size-16 sub-bipartites of K_{2,16} recur
+    // C(16,14) = 120 ≥ 100 times, feeding the Fig. 6 meso-scale peak.
+    for _ in 0..count(8) {
+        plan.push(ModuleKind::Regulon { hubs: 2, targets: 16 });
+    }
+    for _ in 0..count(12) {
+        plan.push(ModuleKind::Ring(12));
+    }
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_dataset_matches_budget() {
+        let config = YeastConfig::small();
+        let d = YeastDataset::generate(&config);
+        assert_eq!(d.network.vertex_count(), 420);
+        assert_eq!(d.network.edge_count(), 720, "exact interaction budget");
+        assert!(ppi_graph::algo::is_connected(&d.network));
+    }
+
+    #[test]
+    fn full_scale_counts() {
+        let d = YeastDataset::generate(&YeastConfig::default());
+        assert_eq!(d.network.vertex_count(), 4141);
+        assert_eq!(d.network.edge_count(), 7095, "paper's interaction count");
+        // Coverage close to 3554/4141.
+        let covered = d.annotations.annotated_protein_count() as f64 / 4141.0;
+        assert!((0.82..0.90).contains(&covered), "coverage {covered}");
+    }
+
+    #[test]
+    fn degree_distribution_is_heavy_tailed() {
+        let d = YeastDataset::generate(&YeastConfig::small());
+        let ds = d.network.degree_sequence();
+        let mean = 2.0 * d.network.edge_count() as f64 / d.network.vertex_count() as f64;
+        assert!(ds[0] as f64 > 4.0 * mean, "max degree {} vs mean {mean}", ds[0]);
+    }
+
+    #[test]
+    fn planted_cliques_survive_background() {
+        let d = YeastDataset::generate(&YeastConfig::small());
+        for module in &d.modules {
+            if let ModuleKind::Clique(k) = module.kind {
+                for i in 0..k {
+                    for j in i + 1..k {
+                        assert!(d
+                            .network
+                            .has_edge(module.members[i], module.members[j]));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = YeastDataset::generate(&YeastConfig::small());
+        let b = YeastDataset::generate(&YeastConfig::small());
+        assert_eq!(a.network.edge_count(), b.network.edge_count());
+        let ea: Vec<_> = a.network.edges().collect();
+        let eb: Vec<_> = b.network.edges().collect();
+        assert_eq!(ea, eb);
+    }
+
+    #[test]
+    fn triangle_count_is_above_random() {
+        // Planted cliques push triangle counts far above a degree-matched
+        // random network — the motif premise.
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let d = YeastDataset::generate(&YeastConfig::small());
+        let real = ppi_graph::algo::triangle_count(&d.network);
+        let mut rng = SmallRng::seed_from_u64(77);
+        let shuffled = ppi_graph::random::degree_preserving_shuffle(&d.network, 10, &mut rng);
+        let random = ppi_graph::algo::triangle_count(&shuffled);
+        assert!(
+            real > 3 * random.max(1),
+            "real {real} vs randomized {random}"
+        );
+    }
+}

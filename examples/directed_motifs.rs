@@ -1,0 +1,69 @@
+//! The paper's future-work extension, end to end: **labeled directed
+//! network motifs** in a gene regulatory network.
+//!
+//! Mines directed motifs (feed-forward loops, bi-fans) from a synthetic
+//! GRN, tests uniqueness against in/out-degree-preserving arc swaps, and
+//! labels the motif vertices with GO terms — distinguishing regulator
+//! from target roles that undirected skeleton symmetry would merge.
+//!
+//! ```bash
+//! cargo run --release --example directed_motifs
+//! ```
+
+use go_ontology::{InformativeConfig, Namespace};
+use lamofinder::{ClusteringConfig, LaMoFinder, LaMoFinderConfig};
+use motif_finder::find_directed_motifs;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use synthetic_data::{GrnConfig, GrnDataset};
+
+fn main() {
+    let data = GrnDataset::generate(&GrnConfig::default());
+    println!(
+        "gene regulatory network: {} genes, {} regulatory arcs",
+        data.network.vertex_count(),
+        data.network.arc_count()
+    );
+
+    // Directed motif mining at size 3 (FFLs, cascades, fan pairs).
+    let mut rng = SmallRng::seed_from_u64(9);
+    let motifs = find_directed_motifs(&data.network, 3, 20, 10, 0.9, 500, &mut rng);
+    println!("\ndirected motifs of size 3 (freq ≥ 20, uniqueness ≥ 0.9):");
+    for m in &motifs {
+        let arcs: Vec<String> = m.pattern.arcs().map(|(s, t)| format!("{s}->{t}")).collect();
+        println!(
+            "  [{}] frequency {}, uniqueness {:.2}",
+            arcs.join(" "),
+            m.frequency,
+            m.uniqueness
+        );
+    }
+
+    // Label the directed motifs with GO terms.
+    let labeler = LaMoFinder::new(
+        &data.ontology,
+        &data.annotations,
+        LaMoFinderConfig {
+            namespace: Namespace::BiologicalProcess,
+            informative: InformativeConfig {
+                min_direct: 4,
+                ..Default::default()
+            },
+            clustering: ClusteringConfig {
+                sigma: 4,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
+    let labeled = labeler.label_directed_motifs(&motifs);
+    println!("\nlabeled directed motifs: {}\n", labeled.len());
+    for lm in labeled.iter().take(4) {
+        print!("{}", lm.render(&data.ontology));
+    }
+    println!(
+        "(directed orbits keep regulator and target labels apart — the\n\
+         feed-forward loop's three roles stay distinct even though its\n\
+         undirected skeleton is a fully symmetric triangle)"
+    );
+}

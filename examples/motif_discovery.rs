@@ -1,0 +1,109 @@
+//! Network motif discovery in depth: exact enumeration, sampling
+//! estimates, frequent-subgraph growth and uniqueness testing on a
+//! synthetic interactome.
+//!
+//! ```bash
+//! cargo run --release --example motif_discovery
+//! ```
+
+use motif_finder::{
+    classify_size_k, count_connected_subgraphs, grow_frequent_subgraphs, uniqueness_scores,
+    GrowthConfig, UniquenessConfig,
+};
+use ppi_graph::Graph;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use synthetic_data::{YeastConfig, YeastDataset};
+
+fn main() {
+    let data = YeastDataset::generate(&YeastConfig::small());
+    let g: &Graph = &data.network;
+    println!(
+        "network: {} vertices, {} edges, average clustering {:.3}",
+        g.vertex_count(),
+        g.edge_count(),
+        ppi_graph::algo::average_clustering(g)
+    );
+
+    // Exact subgraph census for small sizes (ESU).
+    println!("\nexact connected-subgraph census:");
+    for k in 3..=5 {
+        println!("  size {k}: {} sets", count_connected_subgraphs(g, k));
+    }
+
+    // RAND-ESU estimate vs exact (the FANMOD trick for larger sizes).
+    let mut rng = SmallRng::seed_from_u64(7);
+    let probs = motif_finder::sampling::uniform_depth_probs(4, 0.2);
+    let estimate = motif_finder::sampling::estimate_subgraph_count(g, 4, &probs, &mut rng);
+    println!(
+        "\nRAND-ESU size-4 estimate at 20% inclusion: {:.0} (exact {})",
+        estimate,
+        count_connected_subgraphs(g, 4)
+    );
+
+    // Isomorphism classes at size 3 and 4.
+    println!("\nisomorphism classes:");
+    for k in 3..=4 {
+        let classes = classify_size_k(g, k);
+        println!("  size {k}: {} classes; top frequencies:", classes.len());
+        for c in classes.iter().take(3) {
+            println!(
+                "    pattern with {} edges: {} occurrences",
+                c.pattern.edge_count(),
+                c.frequency
+            );
+        }
+    }
+
+    // Frequent-subgraph growth to meso-scale.
+    let report = grow_frequent_subgraphs(
+        g,
+        &GrowthConfig {
+            min_size: 3,
+            max_size: 8,
+            frequency_threshold: 20,
+            ..Default::default()
+        },
+    );
+    println!("\nfrequent classes by size (threshold 20):");
+    for k in 3..=8 {
+        let n = report
+            .classes
+            .iter()
+            .filter(|c| c.pattern.vertex_count() == k)
+            .count();
+        if n > 0 {
+            println!("  size {k}: {n} classes");
+        }
+    }
+
+    // Uniqueness of the two most frequent size-3 classes.
+    let size3: Vec<_> = report
+        .classes
+        .iter()
+        .filter(|c| c.pattern.vertex_count() == 3)
+        .take(2)
+        .collect();
+    let patterns: Vec<(&Graph, usize)> =
+        size3.iter().map(|c| (&c.pattern, c.frequency)).collect();
+    let mut rng = SmallRng::seed_from_u64(99);
+    let scores = uniqueness_scores(
+        g,
+        &patterns,
+        &UniquenessConfig {
+            n_random: 10,
+            ..Default::default()
+        },
+        &mut rng,
+    );
+    println!("\nuniqueness against 10 degree-matched randomizations:");
+    for (c, s) in size3.iter().zip(scores) {
+        println!(
+            "  {}-edge size-3 pattern (freq {}): uniqueness {:.2}",
+            c.pattern.edge_count(),
+            c.frequency,
+            s
+        );
+    }
+    println!("\n(triangles from planted complexes score high; open paths do not)");
+}

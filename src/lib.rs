@@ -1,0 +1,27 @@
+//! Meta-crate for the LaMoFinder reproduction workspace.
+//!
+//! This crate exists so that the repository root can host the
+//! cross-crate integration tests (`tests/`) and runnable examples
+//! (`examples/`). It re-exports the public API of every member crate
+//! so examples can write `use lamofinder_suite::prelude::*;`.
+
+pub use function_prediction;
+pub use go_ontology;
+pub use lamofinder;
+pub use motif_finder;
+pub use ppi_graph;
+pub use synthetic_data;
+
+/// Convenience re-exports covering the common end-to-end pipeline:
+/// build a network, mine motifs, label them, and predict functions.
+pub mod prelude {
+    pub use function_prediction::{
+        Chi2Predictor, FunctionPredictor, LabeledMotifPredictor, LeaveOneOut, MrfPredictor,
+        NeighborCountingPredictor, ProdistinPredictor,
+    };
+    pub use go_ontology::{Annotations, Ontology, TermId, TermSimilarity};
+    pub use lamofinder::{LaMoFinder, LaMoFinderConfig, LabeledMotif, LabelingScheme};
+    pub use motif_finder::{Motif, MotifFinder, MotifFinderConfig};
+    pub use ppi_graph::{Graph, GraphBuilder, VertexId};
+    pub use synthetic_data::{MipsDataset, PaperExample, YeastDataset};
+}

@@ -1,0 +1,121 @@
+//! Integration test: the full Task 1 → Task 2 → Task 3 pipeline on a
+//! small synthetic interactome (motif discovery, uniqueness testing,
+//! GO labeling).
+
+use go_ontology::Namespace;
+use lamofinder::{ClusteringConfig, LaMoFinder, LaMoFinderConfig};
+use motif_finder::{GrowthConfig, MotifFinder, MotifFinderConfig, UniquenessConfig};
+use synthetic_data::{YeastConfig, YeastDataset};
+
+fn dataset() -> YeastDataset {
+    YeastDataset::generate(&YeastConfig::small())
+}
+
+fn finder() -> MotifFinder {
+    MotifFinder::new(MotifFinderConfig {
+        growth: GrowthConfig {
+            min_size: 3,
+            max_size: 4,
+            frequency_threshold: 20,
+            ..Default::default()
+        },
+        uniqueness: UniquenessConfig {
+            n_random: 6,
+            threads: 2,
+            ..Default::default()
+        },
+        uniqueness_threshold: 0.8,
+        seed: 11,
+    })
+}
+
+#[test]
+fn motifs_are_found_and_valid() {
+    let d = dataset();
+    let (motifs, report) = finder().find(&d.network);
+    assert!(report.frequent_classes >= 2, "report: {report:?}");
+    assert!(!motifs.is_empty(), "expected unique motifs");
+    for m in &motifs {
+        assert!(m.frequency >= 20);
+        assert!(m.uniqueness.unwrap() >= 0.8);
+        assert!(m.validate_against(&d.network));
+    }
+    // The planted clique structure makes the triangle a motif.
+    assert!(
+        motifs.iter().any(|m| m.size() == 3 && m.pattern.edge_count() == 3),
+        "triangle motif expected among {:?}",
+        motifs.iter().map(|m| (m.size(), m.pattern.edge_count())).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn labeling_produces_conforming_supported_schemes() {
+    let d = dataset();
+    let (motifs, _) = finder().find(&d.network);
+    let config = LaMoFinderConfig {
+        namespace: Namespace::BiologicalProcess,
+        clustering: ClusteringConfig {
+            sigma: 5,
+            ..Default::default()
+        },
+        informative: go_ontology::InformativeConfig {
+            min_direct: 5,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let labeler = LaMoFinder::new(&d.ontology, &d.annotations, config);
+    let labeled = labeler.label_motifs(&motifs);
+    assert!(!labeled.is_empty(), "expected labeled motifs");
+    for lm in &labeled {
+        assert!(lm.support() >= 5, "support {}", lm.support());
+        assert!(!lm.scheme.is_all_unknown());
+        for o in &lm.occurrences {
+            assert!(
+                lm.scheme.conforms_to(o, &d.ontology, &d.annotations),
+                "scheme must conform to every supporting occurrence"
+            );
+        }
+        // Every emitted label is in the informative vocabulary.
+        for label in &lm.scheme.labels {
+            for &t in &label.terms {
+                assert!(labeler.informative().in_vocabulary(t));
+            }
+        }
+    }
+}
+
+#[test]
+fn labeling_all_three_namespaces() {
+    let d = dataset();
+    let (motifs, _) = finder().find_frequent(&d.network);
+    let motifs: Vec<_> = motifs.into_iter().take(4).collect();
+    let mut any = 0;
+    for ns in Namespace::ALL {
+        let config = LaMoFinderConfig {
+            namespace: ns,
+            clustering: ClusteringConfig {
+                sigma: 4,
+                ..Default::default()
+            },
+            informative: go_ontology::InformativeConfig {
+                min_direct: 5,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let labeler = LaMoFinder::new(&d.ontology, &d.annotations, config);
+        let labeled = labeler.label_motifs(&motifs);
+        for lm in &labeled {
+            assert_eq!(lm.namespace, ns);
+            // Labels must live in the right namespace.
+            for label in &lm.scheme.labels {
+                for &t in &label.terms {
+                    assert_eq!(d.ontology.namespace(t), ns);
+                }
+            }
+        }
+        any += labeled.len();
+    }
+    assert!(any > 0, "at least one namespace must label something");
+}

@@ -1,0 +1,224 @@
+//! Property-based tests over the core invariants, spanning crates.
+
+use go_ontology::{Annotations, Namespace, OntologyBuilder, ProteinId, Relation, TermId,
+    TermSimilarity, TermWeights};
+use ppi_graph::{canonical_form, Graph, VertexId};
+use proptest::prelude::*;
+
+/// Strategy: a random simple graph over `n` vertices as an edge list.
+fn graph_strategy(max_n: usize, max_edges: usize) -> impl Strategy<Value = Graph> {
+    (2..=max_n).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..=max_edges)
+            .prop_map(move |edges| Graph::from_edges(n, &edges))
+    })
+}
+
+/// Strategy: a permutation of `0..n`.
+fn permutation(n: usize) -> impl Strategy<Value = Vec<u32>> {
+    Just((0..n as u32).collect::<Vec<u32>>()).prop_shuffle()
+}
+
+fn relabel(g: &Graph, perm: &[u32]) -> Graph {
+    let edges: Vec<(u32, u32)> = g
+        .edges()
+        .map(|e| (perm[e.0.index()], perm[e.1.index()]))
+        .collect();
+    Graph::from_edges(g.vertex_count(), &edges)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn adjacency_is_always_symmetric(g in graph_strategy(12, 30)) {
+        for v in g.vertices() {
+            for &u in g.neighbors(v) {
+                prop_assert!(g.has_edge(VertexId(u), v));
+                prop_assert_ne!(u, v.0, "no self-loops");
+            }
+        }
+        let handshake: usize = g.vertices().map(|v| g.degree(v)).sum();
+        prop_assert_eq!(handshake, 2 * g.edge_count());
+    }
+
+    #[test]
+    fn canonical_form_is_relabeling_invariant(
+        g in graph_strategy(8, 16),
+        seed in any::<u64>(),
+    ) {
+        use rand::{seq::SliceRandom, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let mut perm: Vec<u32> = (0..g.vertex_count() as u32).collect();
+        perm.shuffle(&mut rng);
+        let h = relabel(&g, &perm);
+        prop_assert_eq!(canonical_form(&g), canonical_form(&h));
+        prop_assert!(ppi_graph::are_isomorphic(&g, &h));
+    }
+
+    #[test]
+    fn degree_preserving_shuffle_preserves_degrees(
+        g in graph_strategy(20, 60),
+        seed in any::<u64>(),
+    ) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let s = ppi_graph::random::degree_preserving_shuffle(&g, 5, &mut rng);
+        let before: Vec<usize> = g.vertices().map(|v| g.degree(v)).collect();
+        let after: Vec<usize> = s.vertices().map(|v| s.degree(v)).collect();
+        prop_assert_eq!(before, after);
+    }
+
+    #[test]
+    fn esu_agrees_with_bruteforce(g in graph_strategy(9, 14), k in 2usize..5) {
+        let esu = motif_finder::count_connected_subgraphs(&g, k);
+        // Brute force over all k-subsets.
+        let n = g.vertex_count();
+        let mut brute = 0usize;
+        let mut idx: Vec<usize> = (0..k).collect();
+        if k <= n {
+            loop {
+                let verts: Vec<VertexId> = idx.iter().map(|&i| VertexId(i as u32)).collect();
+                if ppi_graph::algo::induces_connected(&g, &verts) {
+                    brute += 1;
+                }
+                // next combination
+                let mut i = k;
+                loop {
+                    if i == 0 { break; }
+                    i -= 1;
+                    if idx[i] != i + n - k { break; }
+                    if i == 0 { break; }
+                }
+                if idx[i] == i + n - k { break; }
+                idx[i] += 1;
+                for j in i + 1..k { idx[j] = idx[j - 1] + 1; }
+            }
+        }
+        prop_assert_eq!(esu, brute);
+    }
+
+    #[test]
+    fn subgraph_match_count_equals_classification(
+        g in graph_strategy(10, 18),
+        k in 3usize..5,
+    ) {
+        for class in motif_finder::classify_size_k(&g, k) {
+            let r = motif_finder::count_occurrences(&g, &class.pattern, 10_000_000);
+            prop_assert_eq!(r.count, class.frequency);
+        }
+    }
+
+    #[test]
+    fn orbits_partition_and_respect_degree(g in graph_strategy(8, 14)) {
+        let orbits = ppi_graph::automorphism_orbits(&g);
+        let total: usize = orbits.iter().map(|o| o.len()).sum();
+        prop_assert_eq!(total, g.vertex_count());
+        for orbit in &orbits {
+            let d0 = g.degree(orbit[0]);
+            for &v in orbit {
+                prop_assert_eq!(g.degree(v), d0, "orbit members share degree");
+            }
+        }
+    }
+
+    #[test]
+    fn hungarian_matches_bruteforce(
+        w in proptest::collection::vec(
+            proptest::collection::vec(0.0f64..1.0, 4), 4
+        )
+    ) {
+        let (assign, total) = lamofinder::assignment::max_assignment(&w);
+        // permutation check
+        let mut seen = [false; 4];
+        for &j in &assign { prop_assert!(!seen[j]); seen[j] = true; }
+        // brute force
+        let mut best = f64::NEG_INFINITY;
+        let perms = [
+            [0,1,2,3],[0,1,3,2],[0,2,1,3],[0,2,3,1],[0,3,1,2],[0,3,2,1],
+            [1,0,2,3],[1,0,3,2],[1,2,0,3],[1,2,3,0],[1,3,0,2],[1,3,2,0],
+            [2,0,1,3],[2,0,3,1],[2,1,0,3],[2,1,3,0],[2,3,0,1],[2,3,1,0],
+            [3,0,1,2],[3,0,2,1],[3,1,0,2],[3,1,2,0],[3,2,0,1],[3,2,1,0],
+        ];
+        for p in perms {
+            let s: f64 = p.iter().enumerate().map(|(i, &j)| w[i][j]).sum();
+            if s > best { best = s; }
+        }
+        prop_assert!((total - best).abs() < 1e-9);
+    }
+}
+
+/// Random chain ontology + annotations for similarity properties.
+fn ontology_fixture(weights_seed: &[u8]) -> (go_ontology::Ontology, Annotations) {
+    let mut ob = OntologyBuilder::new();
+    let n = 12;
+    for i in 0..n {
+        ob.add_term(format!("GO:{i}"), format!("t{i}"), Namespace::BiologicalProcess);
+    }
+    // Parents: term i (>0) gets parent from weights_seed to form a DAG.
+    for i in 1..n {
+        let p = (weights_seed[i % weights_seed.len()] as usize) % i;
+        ob.add_edge(TermId(i as u32), TermId(p as u32), Relation::IsA);
+    }
+    let ontology = ob.build().unwrap();
+    let mut ann = Annotations::new(60, ontology.term_count());
+    for p in 0..60usize {
+        let t = (weights_seed[p % weights_seed.len()] as usize + p) % (n - 1) + 1;
+        ann.annotate(ProteinId(p as u32), TermId(t as u32));
+    }
+    (ontology, ann)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn term_similarity_is_symmetric_and_bounded(
+        seed in proptest::collection::vec(0u8..255, 4..16),
+        a in 0u32..12,
+        b in 0u32..12,
+    ) {
+        let (ontology, ann) = ontology_fixture(&seed);
+        let w = TermWeights::compute(&ontology, &ann);
+        let sim = TermSimilarity::new(&ontology, &w);
+        let st_ab = sim.st(TermId(a), TermId(b));
+        let st_ba = sim.st(TermId(b), TermId(a));
+        prop_assert!((st_ab - st_ba).abs() < 1e-12);
+        prop_assert!((0.0..=1.0).contains(&st_ab), "ST = {}", st_ab);
+        prop_assert_eq!(sim.st(TermId(a), TermId(a)), 1.0);
+    }
+
+    #[test]
+    fn sv_is_bounded_and_monotone_in_evidence(
+        seed in proptest::collection::vec(0u8..255, 4..16),
+        terms_a in proptest::collection::vec(0u32..12, 1..4),
+        terms_b in proptest::collection::vec(0u32..12, 1..4),
+        extra in 0u32..12,
+    ) {
+        let (ontology, ann) = ontology_fixture(&seed);
+        let w = TermWeights::compute(&ontology, &ann);
+        let sim = TermSimilarity::new(&ontology, &w);
+        let ta: Vec<TermId> = terms_a.iter().map(|&t| TermId(t)).collect();
+        let tb: Vec<TermId> = terms_b.iter().map(|&t| TermId(t)).collect();
+        let sv = sim.sv(&ta, &tb);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&sv));
+        // Adding a term can only increase SV (more chances to match).
+        let mut ta2 = ta.clone();
+        ta2.push(TermId(extra));
+        prop_assert!(sim.sv(&ta2, &tb) >= sv - 1e-12);
+    }
+
+    #[test]
+    fn weights_are_monotone_up_the_dag(
+        seed in proptest::collection::vec(0u8..255, 4..16),
+    ) {
+        let (ontology, ann) = ontology_fixture(&seed);
+        let w = TermWeights::compute(&ontology, &ann);
+        for t in ontology.term_ids() {
+            for &anc in ontology.ancestors(t) {
+                prop_assert!(w.weight(anc) >= w.weight(t) - 1e-12);
+            }
+        }
+        // Root weight is 1 (all annotations live under it).
+        prop_assert!((w.weight(TermId(0)) - 1.0).abs() < 1e-12);
+    }
+}
