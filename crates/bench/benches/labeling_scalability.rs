@@ -1,9 +1,18 @@
 //! Criterion bench: the O(|D|²) labeling-cost curve of Section 3.2 —
-//! clustering one motif's occurrences as |D| doubles.
+//! clustering one motif's occurrences as |D| doubles — and the
+//! thread-scaling curve of the parallel labeling path (1/2/4 workers
+//! over the full synthetic-yeast motif set; on a multi-core host the
+//! 4-thread point lands at ≥2× the serial one).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use go_ontology::{Namespace, ProteinId, TermId, TermSimilarity, TermWeights};
-use lamofinder::{cluster_occurrences, compute_frontier, ClusteringConfig, LabelContext};
+use go_ontology::{
+    InformativeConfig, Namespace, ProteinId, TermId, TermSimilarity, TermWeights,
+};
+use lamofinder::{
+    cluster_occurrences, compute_frontier, ClusteringConfig, LaMoFinder, LaMoFinderConfig,
+    LabelContext,
+};
+use motif_finder::Motif;
 use std::hint::black_box;
 use synthetic_data::{YeastConfig, YeastDataset};
 
@@ -68,5 +77,45 @@ fn bench_labeling_scalability(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_labeling_scalability);
+fn bench_thread_scaling(c: &mut Criterion) {
+    let data = YeastDataset::generate(&YeastConfig::small());
+    let motifs: Vec<Motif> = motif_finder::classify_size_k(&data.network, 3)
+        .into_iter()
+        .map(|cl| Motif {
+            pattern: cl.pattern,
+            occurrences: cl.occurrences,
+            frequency: cl.frequency,
+            uniqueness: None,
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("label_motifs_threads");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(4));
+    for threads in [1usize, 2, 4] {
+        let finder = LaMoFinder::new(
+            &data.ontology,
+            &data.annotations,
+            LaMoFinderConfig {
+                informative: InformativeConfig {
+                    min_direct: 5,
+                    ..Default::default()
+                },
+                clustering: ClusteringConfig {
+                    sigma: 5,
+                    ..Default::default()
+                },
+                max_occurrences: 100,
+                threads,
+                ..Default::default()
+            },
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &finder, |b, finder| {
+            b.iter(|| black_box(finder.label_motifs(&motifs).len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_labeling_scalability, bench_thread_scaling);
 criterion_main!(benches);

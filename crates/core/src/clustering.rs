@@ -49,6 +49,12 @@ pub struct ClusteringConfig {
     pub max_automorphisms: usize,
     /// Linkage rule.
     pub linkage: Linkage,
+    /// Worker threads for the pairwise SO matrix (`0` = one per
+    /// available core). Only the matrix build parallelizes — every entry
+    /// is a pure function of the occurrence pair, so the output is
+    /// byte-identical for any thread count. [`crate::LaMoFinder`] sets
+    /// this to `1` when it is already parallel across motifs.
+    pub threads: usize,
 }
 
 impl Default for ClusteringConfig {
@@ -58,8 +64,31 @@ impl Default for ClusteringConfig {
             stop_fraction: 0.5,
             max_automorphisms: 64,
             linkage: Linkage::Average,
+            threads: 0,
         }
     }
+}
+
+/// Resolve a `threads` knob: `0` means one worker per available core.
+pub(crate) fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism().map_or(1, |p| p.get())
+    } else {
+        threads
+    }
+}
+
+/// Round-robin split of `items` into at most `parts` non-empty chunks
+/// (the uniqueness-test chunking pattern). Round-robin balances workloads
+/// that vary monotonically with the item index — SO matrix row `i` has
+/// `n − i − 1` entries.
+pub(crate) fn split_chunks<T: Copy>(items: &[T], parts: usize) -> Vec<Vec<T>> {
+    let mut chunks: Vec<Vec<T>> = vec![Vec::new(); parts.max(1)];
+    for (i, &item) in items.iter().enumerate() {
+        chunks[i % parts.max(1)].push(item);
+    }
+    chunks.retain(|c| !c.is_empty());
+    chunks
 }
 
 /// One emitted cluster: a labeling scheme with its supporting
@@ -242,14 +271,7 @@ pub fn cluster_occurrences_sym(
     let aligner = Aligner::from_symmetry(symmetry);
 
     // Pairwise occurrence similarities (SO, Eq. 3).
-    let mut sim = vec![vec![0.0f64; n]; n];
-    for i in 0..n {
-        for j in i + 1..n {
-            let s = scorer.so(&occurrences[i], &occurrences[j]);
-            sim[i][j] = s;
-            sim[j][i] = s;
-        }
-    }
+    let mut sim = so_matrix(&scorer, occurrences, resolve_threads(config.threads));
 
     // Singleton clusters.
     let mut clusters: Vec<Cluster> = occurrences
@@ -272,27 +294,25 @@ pub fn cluster_occurrences_sym(
     let mut sizes: Vec<usize> = vec![1; n];
     let mut emitted: Vec<LabeledCluster> = Vec::new();
 
+    // Per-row best eligible partner (`row_best[i]` = best `j > i`),
+    // maintained incrementally instead of rescanning all O(n²) pairs per
+    // merge. Tie-breaking matches the naive double loop exactly — the
+    // smallest `(i, j)` among maximal pairs wins — so the merge sequence
+    // (and therefore the output) is unchanged.
+    let mut row_best: Vec<Option<(usize, f64)>> = (0..n)
+        .map(|i| best_partner(&clusters, &sim, i))
+        .collect();
+
     loop {
         // Most similar eligible pair. A stopped cluster may still absorb
         // a cluster with the *same* labels (no generalization happens);
         // pairs where either side is stopped and the labels differ are
         // frozen, per the paper's stop rule.
         let mut best: Option<(usize, usize, f64)> = None;
-        for i in 0..n {
-            if !clusters[i].alive {
-                continue;
-            }
-            for j in i + 1..n {
-                if !clusters[j].alive {
-                    continue;
-                }
-                if (clusters[i].stopped || clusters[j].stopped)
-                    && clusters[i].multiset != clusters[j].multiset
-                {
-                    continue;
-                }
-                if best.map_or(true, |(_, _, s)| sim[i][j] > s) {
-                    best = Some((i, j, sim[i][j]));
+        for (i, rb) in row_best.iter().enumerate() {
+            if let Some((j, s)) = *rb {
+                if best.is_none_or(|(_, _, bs)| s > bs) {
+                    best = Some((i, j, s));
                 }
             }
         }
@@ -330,6 +350,39 @@ pub fn cluster_occurrences_sym(
             sim[k][i] = new;
         }
         sizes[i] += sizes[j];
+
+        // Repair `row_best`. Only cluster `i` changed (labels, stop
+        // state, similarities) and cluster `j` died, so:
+        //  * row `j` is gone;
+        //  * row `i` is rescanned in full (all its pairs changed);
+        //  * any row whose cached best pointed at `i` or `j` is
+        //    rescanned (its candidate changed value or died);
+        //  * every other row `k < i` gets an incremental check of the
+        //    one changed pair `(k, i)` — value and eligibility both
+        //    shifted. Rows `k > i` not pointing at `i`/`j` hold pairs
+        //    untouched by the merge.
+        row_best[j] = None;
+        for k in 0..n {
+            if k == i || !clusters[k].alive {
+                continue;
+            }
+            let points_at_merge = matches!(row_best[k], Some((b, _)) if b == i || b == j);
+            if points_at_merge {
+                row_best[k] = best_partner(&clusters, &sim, k);
+            } else if k < i && pair_eligible(&clusters[k], &clusters[i]) {
+                let v = sim[k][i];
+                let better = match row_best[k] {
+                    None => true,
+                    // Equal scores keep the smaller column index,
+                    // matching the ascending-`j` scan order.
+                    Some((bj, bv)) => v > bv || (v == bv && i < bj),
+                };
+                if better {
+                    row_best[k] = Some((i, v));
+                }
+            }
+        }
+        row_best[i] = best_partner(&clusters, &sim, i);
     }
 
     for c in clusters.iter().filter(|c| c.alive) {
@@ -344,7 +397,7 @@ pub fn cluster_occurrences_sym(
         }
     }
     // Deduplicate identical schemes, keeping the best-supported cluster.
-    emitted.sort_by(|a, b| b.occurrences.len().cmp(&a.occurrences.len()));
+    emitted.sort_by_key(|c| std::cmp::Reverse(c.occurrences.len()));
     let mut unique: Vec<LabeledCluster> = Vec::new();
     for c in emitted {
         if !unique.iter().any(|u| u.scheme == c.scheme) {
@@ -352,6 +405,92 @@ pub fn cluster_occurrences_sym(
         }
     }
     unique
+}
+
+/// The full pairwise SO matrix, built by `threads` workers over
+/// round-robin row chunks. Every entry is a pure function of the
+/// occurrence pair (the SV/ST memo tables are insert-once and
+/// value-deterministic), so the matrix is identical for any thread
+/// count.
+fn so_matrix(
+    scorer: &OccurrenceScorer<'_>,
+    occurrences: &[Occurrence],
+    threads: usize,
+) -> Vec<Vec<f64>> {
+    let n = occurrences.len();
+    let mut sim = vec![vec![0.0f64; n]; n];
+    let threads = threads.clamp(1, n.max(1));
+    if threads == 1 {
+        for i in 0..n {
+            for j in i + 1..n {
+                let s = scorer.so(&occurrences[i], &occurrences[j]);
+                sim[i][j] = s;
+                sim[j][i] = s;
+            }
+        }
+        return sim;
+    }
+    let rows: Vec<usize> = (0..n).collect();
+    let chunks = split_chunks(&rows, threads);
+    let parts: Vec<Vec<(usize, Vec<f64>)>> = crossbeam::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .iter()
+            .map(|chunk| {
+                scope.spawn(move |_| {
+                    chunk
+                        .iter()
+                        .map(|&i| {
+                            let row: Vec<f64> = (i + 1..n)
+                                .map(|j| scorer.so(&occurrences[i], &occurrences[j]))
+                                .collect();
+                            (i, row)
+                        })
+                        .collect()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("SO matrix worker panicked"))
+            .collect()
+    })
+    .expect("crossbeam scope");
+    for part in parts {
+        for (i, row) in part {
+            for (off, s) in row.into_iter().enumerate() {
+                let j = i + 1 + off;
+                sim[i][j] = s;
+                sim[j][i] = s;
+            }
+        }
+    }
+    sim
+}
+
+/// Whether two clusters may merge under the stop rule: a stopped side
+/// freezes the pair unless the labels are identical (absorbing an
+/// identical cluster generalizes nothing).
+fn pair_eligible(a: &Cluster, b: &Cluster) -> bool {
+    !((a.stopped || b.stopped) && a.multiset != b.multiset)
+}
+
+/// Best eligible partner of row `i` among alive clusters `j > i`,
+/// scanning in ascending `j` with strict `>` so equal scores keep the
+/// smallest column — the naive double loop's tie-breaking.
+fn best_partner(clusters: &[Cluster], sim: &[Vec<f64>], i: usize) -> Option<(usize, f64)> {
+    if !clusters[i].alive {
+        return None;
+    }
+    let mut best: Option<(usize, f64)> = None;
+    for j in i + 1..clusters.len() {
+        if !clusters[j].alive || !pair_eligible(&clusters[i], &clusters[j]) {
+            continue;
+        }
+        if best.is_none_or(|(_, s)| sim[i][j] > s) {
+            best = Some((j, sim[i][j]));
+        }
+    }
+    best
 }
 
 /// Order-insensitive view of a scheme's labels, used to let identical

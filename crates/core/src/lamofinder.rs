@@ -1,7 +1,10 @@
 //! The LaMoFinder driver: builds the per-namespace labeling context and
 //! runs the clustering over every motif's occurrence set (Algorithm 1).
 
-use crate::clustering::{cluster_occurrences, compute_frontier, ClusteringConfig, LabelContext};
+use crate::clustering::{
+    cluster_occurrences, compute_frontier, resolve_threads, split_chunks, ClusteringConfig,
+    LabelContext,
+};
 use crate::labeled::LabeledMotif;
 use go_ontology::{
     Annotations, InformativeClasses, InformativeConfig, Namespace, Ontology, ProteinId, TermId,
@@ -22,6 +25,12 @@ pub struct LaMoFinderConfig {
     /// stage is `O(|D|²)` (Section 3.2), so very frequent motifs are
     /// deterministically subsampled (evenly strided) to this many.
     pub max_occurrences: usize,
+    /// Worker-thread budget for labeling (`0` = one per available core,
+    /// mirroring `UniquenessConfig`). Motifs are labeled in parallel;
+    /// with a single motif the budget moves to the pairwise-similarity
+    /// rows inside the clustering instead. Output is byte-identical for
+    /// any thread count.
+    pub threads: usize,
 }
 
 impl Default for LaMoFinderConfig {
@@ -31,6 +40,7 @@ impl Default for LaMoFinderConfig {
             informative: InformativeConfig::default(),
             clustering: ClusteringConfig::default(),
             max_occurrences: 200,
+            threads: 0,
         }
     }
 }
@@ -101,6 +111,53 @@ impl<'a> LaMoFinder<'a> {
         self.annotations
     }
 
+    /// Split the thread budget between the motif level and the pairwise
+    /// similarity rows inside each clustering: with several motifs the
+    /// coarse (motif) level takes every worker and the clustering runs
+    /// serially inside each; a single motif moves the whole budget to
+    /// the row level. Either way no more than `threads` workers run.
+    fn thread_plan(&self, n_motifs: usize) -> (usize, ClusteringConfig) {
+        let budget = resolve_threads(self.config.threads);
+        let motif_threads = budget.min(n_motifs).max(1);
+        let mut clustering = self.config.clustering.clone();
+        clustering.threads = if motif_threads > 1 { 1 } else { budget };
+        (motif_threads, clustering)
+    }
+
+    /// Fan `label` out over `motifs` with `motif_threads` scoped
+    /// workers, concatenating the per-motif outputs in motif order — the
+    /// same output the serial loop produces, for any thread count.
+    fn label_parallel<T, F>(motif_threads: usize, n_motifs: usize, label: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> Vec<T> + Sync,
+    {
+        if motif_threads <= 1 {
+            return (0..n_motifs).flat_map(&label).collect();
+        }
+        let indices: Vec<usize> = (0..n_motifs).collect();
+        let chunks = split_chunks(&indices, motif_threads);
+        let parts: Vec<Vec<(usize, Vec<T>)>> = crossbeam::scope(|scope| {
+            let label = &label;
+            let handles: Vec<_> = chunks
+                .iter()
+                .map(|chunk| {
+                    scope.spawn(move |_| {
+                        chunk.iter().map(|&mi| (mi, label(mi))).collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("labeling worker panicked"))
+                .collect()
+        })
+        .expect("crossbeam scope");
+        let mut keyed: Vec<(usize, Vec<T>)> = parts.into_iter().flatten().collect();
+        keyed.sort_by_key(|&(mi, _)| mi);
+        keyed.into_iter().flat_map(|(_, v)| v).collect()
+    }
+
     /// Label every motif; returns all labeled motifs found.
     pub fn label_motifs(&self, motifs: &[Motif]) -> Vec<LabeledMotif> {
         let sim = TermSimilarity::new(self.ontology, &self.weights);
@@ -111,11 +168,10 @@ impl<'a> LaMoFinder<'a> {
             terms_by_protein: &self.terms_by_protein,
             frontier: &self.frontier,
         };
-        let mut out = Vec::new();
-        for motif in motifs {
-            self.label_one(motif, &ctx, &mut out);
-        }
-        out
+        let (motif_threads, clustering) = self.thread_plan(motifs.len());
+        Self::label_parallel(motif_threads, motifs.len(), |mi| {
+            self.label_one(&motifs[mi], &ctx, &clustering)
+        })
     }
 
     /// Label a single motif.
@@ -139,61 +195,79 @@ impl<'a> LaMoFinder<'a> {
             terms_by_protein: &self.terms_by_protein,
             frontier: &self.frontier,
         };
-        let mut out = Vec::new();
-        for motif in motifs {
-            let symmetry = crate::clustering::MotifSymmetry::directed(
-                &motif.pattern,
-                self.config.clustering.max_automorphisms,
-            );
-            let occurrences = subsample(&motif.occurrences, self.config.max_occurrences);
-            let clusters = crate::clustering::cluster_occurrences_sym(
-                &symmetry,
-                &occurrences,
-                &ctx,
-                &self.config.clustering,
-            );
-            for cluster in clusters {
-                out.push(crate::labeled::LabeledDirectedMotif {
+        let (motif_threads, clustering) = self.thread_plan(motifs.len());
+        Self::label_parallel(motif_threads, motifs.len(), |mi| {
+            self.label_directed_one(&motifs[mi], &ctx, &clustering)
+        })
+    }
+
+    fn label_one(
+        &self,
+        motif: &Motif,
+        ctx: &LabelContext<'_>,
+        clustering: &ClusteringConfig,
+    ) -> Vec<LabeledMotif> {
+        let occurrences = subsample(&motif.occurrences, self.config.max_occurrences);
+        let clusters = cluster_occurrences(&motif.pattern, &occurrences, ctx, clustering);
+        clusters
+            .into_iter()
+            .map(|cluster| {
+                debug_assert!(cluster.occurrences.iter().all(|o| cluster
+                    .scheme
+                    .conforms_to(o, self.ontology, self.annotations)));
+                LabeledMotif {
                     pattern: motif.pattern.clone(),
                     namespace: self.config.namespace,
                     scheme: cluster.scheme,
                     occurrences: cluster.occurrences,
                     motif_frequency: motif.frequency,
-                    uniqueness: Some(motif.uniqueness),
-                });
-            }
-        }
-        out
+                    uniqueness: motif.uniqueness,
+                }
+            })
+            .collect()
     }
 
-    fn label_one(&self, motif: &Motif, ctx: &LabelContext<'_>, out: &mut Vec<LabeledMotif>) {
+    fn label_directed_one(
+        &self,
+        motif: &motif_finder::DirectedMotif,
+        ctx: &LabelContext<'_>,
+        clustering: &ClusteringConfig,
+    ) -> Vec<crate::labeled::LabeledDirectedMotif> {
+        let symmetry = crate::clustering::MotifSymmetry::directed(
+            &motif.pattern,
+            clustering.max_automorphisms,
+        );
         let occurrences = subsample(&motif.occurrences, self.config.max_occurrences);
         let clusters =
-            cluster_occurrences(&motif.pattern, &occurrences, ctx, &self.config.clustering);
-        for cluster in clusters {
-            debug_assert!(cluster.occurrences.iter().all(|o| cluster
-                .scheme
-                .conforms_to(o, self.ontology, self.annotations)));
-            out.push(LabeledMotif {
+            crate::clustering::cluster_occurrences_sym(&symmetry, &occurrences, ctx, clustering);
+        clusters
+            .into_iter()
+            .map(|cluster| crate::labeled::LabeledDirectedMotif {
                 pattern: motif.pattern.clone(),
                 namespace: self.config.namespace,
                 scheme: cluster.scheme,
                 occurrences: cluster.occurrences,
                 motif_frequency: motif.frequency,
-                uniqueness: motif.uniqueness,
-            });
-        }
+                uniqueness: Some(motif.uniqueness),
+            })
+            .collect()
     }
 }
 
 /// Deterministic, evenly strided subsample of at most `cap` occurrences.
+///
+/// Indices are `⌊i·len/cap⌋` in exact integer arithmetic: strictly
+/// increasing whenever `len > cap` (consecutive values differ by at
+/// least `⌊len/cap⌋ ≥ 1`), always in bounds (`i ≤ cap−1` gives an index
+/// `< len`). The previous float-stride version could collide or drift
+/// under rounding on large inputs.
 fn subsample(occurrences: &[Occurrence], cap: usize) -> Vec<Occurrence> {
     if occurrences.len() <= cap {
         return occurrences.to_vec();
     }
-    let stride = occurrences.len() as f64 / cap as f64;
+    let len = occurrences.len() as u128;
     (0..cap)
-        .map(|i| occurrences[(i as f64 * stride) as usize].clone())
+        .map(|i| occurrences[(i as u128 * len / cap as u128) as usize].clone())
         .collect()
 }
 
@@ -293,6 +367,63 @@ mod tests {
         assert!(s[9].vertices[0].0 >= 80);
         let all = subsample(&occs, 200);
         assert_eq!(all.len(), 100);
+    }
+
+    #[test]
+    fn subsample_indices_are_strictly_increasing_and_collision_free() {
+        // Sweep of (len, cap) pairs, including near-equal sizes and
+        // large non-divisible ratios where float strides misbehave.
+        for (len, cap) in [
+            (3usize, 2usize),
+            (7, 3),
+            (100, 99),
+            (101, 100),
+            (1000, 7),
+            (1 << 20, 999),
+            ((1 << 20) + 3, (1 << 20) - 1),
+        ] {
+            let occs: Vec<Occurrence> = (0..len)
+                .map(|i| Occurrence::new(vec![VertexId(i as u32)]))
+                .collect();
+            let s = subsample(&occs, cap);
+            assert_eq!(s.len(), cap, "len {len} cap {cap}");
+            let ids: Vec<u32> = s.iter().map(|o| o.vertices[0].0).collect();
+            for w in ids.windows(2) {
+                assert!(
+                    w[0] < w[1],
+                    "duplicate or out-of-order index for len {len} cap {cap}: {:?}",
+                    &ids[..ids.len().min(20)]
+                );
+            }
+            assert_eq!(ids[0], 0, "subsample keeps the first occurrence");
+            assert!((ids[cap - 1] as usize) < len, "index in bounds");
+        }
+    }
+
+    #[test]
+    fn label_motifs_output_is_thread_count_invariant() {
+        let (ontology, annotations, _network, motif) = world();
+        // Two motifs so the motif-level fan-out actually engages.
+        let motifs = vec![motif.clone(), motif];
+        let label_with = |threads: usize| {
+            let finder = LaMoFinder::new(
+                &ontology,
+                &annotations,
+                LaMoFinderConfig {
+                    threads,
+                    ..config()
+                },
+            );
+            finder.label_motifs(&motifs)
+        };
+        let serial = label_with(1);
+        let parallel = label_with(4);
+        assert_eq!(serial.len(), parallel.len());
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.scheme, b.scheme);
+            assert_eq!(a.occurrences, b.occurrences);
+            assert_eq!(a.motif_frequency, b.motif_frequency);
+        }
     }
 
     #[test]

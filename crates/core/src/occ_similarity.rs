@@ -14,13 +14,15 @@
 //! `O(t!)` — see DESIGN.md §5 on the PIGALE substitution).
 
 use crate::assignment::max_assignment;
-use go_ontology::{TermId, TermSimilarity};
+use go_ontology::{ShardedCache, TermId, TermSimilarity};
 use motif_finder::Occurrence;
 use ppi_graph::{automorphism_orbits, Graph};
-use std::cell::RefCell;
-use std::collections::HashMap;
 
 /// Precomputed context for scoring occurrence pairs of one motif.
+///
+/// `Sync`: the SO matrix rows are computed by parallel workers sharing
+/// one scorer, so the SV memo is a [`ShardedCache`] rather than a
+/// `RefCell`.
 pub struct OccurrenceScorer<'a> {
     sim: &'a TermSimilarity<'a>,
     /// Namespace-filtered annotation lists, indexed by network vertex id.
@@ -31,7 +33,7 @@ pub struct OccurrenceScorer<'a> {
     /// Protein-pair SV memo — occurrences of one motif overlap heavily
     /// (clique subsets, bipartite subsets), so the same protein pairs
     /// recur across thousands of occurrence pairs.
-    sv_cache: RefCell<HashMap<(u32, u32), f64>>,
+    sv_cache: ShardedCache<(u32, u32), f64>,
 }
 
 impl<'a> OccurrenceScorer<'a> {
@@ -65,7 +67,7 @@ impl<'a> OccurrenceScorer<'a> {
             terms_by_protein,
             orbits,
             size,
-            sv_cache: RefCell::new(HashMap::new()),
+            sv_cache: ShardedCache::new(),
         }
     }
 
@@ -84,12 +86,8 @@ impl<'a> OccurrenceScorer<'a> {
     pub fn sv(&self, a: &Occurrence, pa: usize, b: &Occurrence, pb: usize) -> f64 {
         let (va, vb) = (a.vertices[pa].0, b.vertices[pb].0);
         let key = if va <= vb { (va, vb) } else { (vb, va) };
-        if let Some(&v) = self.sv_cache.borrow().get(&key) {
-            return v;
-        }
-        let v = self.sim.sv(self.terms_at(a, pa), self.terms_at(b, pb));
-        self.sv_cache.borrow_mut().insert(key, v);
-        v
+        self.sv_cache
+            .get_or_insert_with(key, || self.sim.sv(self.terms_at(a, pa), self.terms_at(b, pb)))
     }
 
     /// Occurrence similarity `SO(a, b)` per Equation 3.
@@ -270,6 +268,13 @@ mod tests {
         assert_eq!(scorer.orbits().len(), 3);
         let occ = Occurrence::new(vec![VertexId(0), VertexId(1), VertexId(2), VertexId(5)]);
         assert!((scorer.so(&occ, &occ) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scorer_is_sync() {
+        fn assert_sync<T: Sync>() {}
+        assert_sync::<OccurrenceScorer<'_>>();
+        assert_sync::<TermSimilarity<'_>>();
     }
 
     #[test]

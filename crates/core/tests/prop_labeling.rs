@@ -6,10 +6,10 @@ use go_ontology::{
     ProteinId, Relation, TermId, TermSimilarity, TermWeights,
 };
 use lamofinder::{
-    cluster_occurrences, compute_frontier, ClusteringConfig, LabelContext, LabelingScheme,
-    VertexLabel,
+    cluster_occurrences, compute_frontier, ClusteringConfig, LaMoFinder, LaMoFinderConfig,
+    LabelContext, LabelingScheme, VertexLabel,
 };
-use motif_finder::Occurrence;
+use motif_finder::{Motif, Occurrence};
 use ppi_graph::{Graph, VertexId};
 use proptest::prelude::*;
 
@@ -117,6 +117,55 @@ proptest! {
                     prop_assert!(informative.in_vocabulary(t));
                 }
             }
+        }
+    }
+
+    #[test]
+    fn label_motifs_is_thread_count_invariant(w in world_strategy()) {
+        let (ontology, ann, occs) = build(&w);
+        if occs.is_empty() {
+            return Ok(());
+        }
+        let pattern = Graph::from_edges(2, &[(0, 1)]);
+        // Two motifs over the same occurrences (one reversed) so the
+        // motif-level fan-out engages alongside the row-level one.
+        let motifs = vec![
+            Motif {
+                pattern: pattern.clone(),
+                occurrences: occs.clone(),
+                frequency: occs.len(),
+                uniqueness: None,
+            },
+            Motif {
+                pattern,
+                occurrences: occs.iter().rev().cloned().collect(),
+                frequency: occs.len(),
+                uniqueness: None,
+            },
+        ];
+        let label = |threads: usize| {
+            let finder = LaMoFinder::new(&ontology, &ann, LaMoFinderConfig {
+                informative: InformativeConfig {
+                    min_direct: 1,
+                    ..Default::default()
+                },
+                clustering: ClusteringConfig {
+                    sigma: 2,
+                    ..Default::default()
+                },
+                threads,
+                ..Default::default()
+            });
+            finder.label_motifs(&motifs)
+        };
+        let serial = label(1);
+        let threaded = label(4);
+        prop_assert_eq!(serial.len(), threaded.len());
+        for (a, b) in serial.iter().zip(&threaded) {
+            prop_assert_eq!(&a.scheme, &b.scheme);
+            prop_assert_eq!(&a.occurrences, &b.occurrences);
+            prop_assert_eq!(a.motif_frequency, b.motif_frequency);
+            prop_assert_eq!(a.namespace, b.namespace);
         }
     }
 

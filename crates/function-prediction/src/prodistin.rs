@@ -72,6 +72,8 @@ impl FunctionPredictor for ProdistinPredictor {
         }
         // Full distance matrix (label-free).
         let mut dist = vec![vec![0.0f64; n]; n];
+        // Symmetric fill writes both (i, j) and (j, i), so indices stay.
+        #[allow(clippy::needless_range_loop)]
         for i in 0..n {
             for j in i + 1..n {
                 let d = czekanowski_dice(ctx.network, VertexId(i as u32), VertexId(j as u32));

@@ -16,6 +16,7 @@ pub mod annotations;
 pub mod informative;
 pub mod obo;
 pub mod ontology;
+pub mod sharded;
 pub mod similarity;
 pub mod term;
 pub mod weights;
@@ -23,6 +24,7 @@ pub mod weights;
 pub use annotations::{AnnotationParseError, Annotations, ProteinId};
 pub use informative::{BorderRule, InformativeClasses, InformativeConfig};
 pub use obo::{parse_obo, write_obo, OboError};
+pub use sharded::ShardedCache;
 pub use ontology::{Ontology, OntologyBuilder, OntologyError};
 pub use similarity::TermSimilarity;
 pub use term::{Namespace, Relation, Term, TermId};

@@ -1,0 +1,128 @@
+//! A sharded, insert-once concurrent memo table.
+//!
+//! The labeling pipeline memoizes pure functions (`ST`, lowest common
+//! parents, `SV`) whose results are recomputed identically by every
+//! thread. One global `RwLock<HashMap>` serializes all writers during
+//! cache warm-up — the hottest phase of a parallel run — so the map is
+//! split into shards, each behind its own lock, selected by key hash.
+//! Values are computed *outside* any lock and inserted with first-writer
+//! wins (`entry().or_insert`): concurrent computes waste a little work
+//! but, being pure, always agree, so reads are deterministic regardless
+//! of thread interleaving.
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::hash::{BuildHasher, BuildHasherDefault, DefaultHasher, Hash};
+
+/// Number of shards; a power of two so shard selection is a mask.
+const SHARDS: usize = 16;
+
+/// Sharded concurrent memo table for a pure function of `K`.
+pub struct ShardedCache<K, V> {
+    shards: Vec<RwLock<HashMap<K, V>>>,
+    hasher: BuildHasherDefault<DefaultHasher>,
+}
+
+impl<K: Hash + Eq, V: Copy> Default for ShardedCache<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Hash + Eq, V: Copy> ShardedCache<K, V> {
+    /// Empty cache.
+    pub fn new() -> Self {
+        ShardedCache {
+            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            hasher: BuildHasherDefault::default(),
+        }
+    }
+
+    fn shard(&self, key: &K) -> &RwLock<HashMap<K, V>> {
+        let h = self.hasher.hash_one(key) as usize;
+        &self.shards[h & (SHARDS - 1)]
+    }
+
+    /// Cached value for `key`, if present.
+    pub fn get(&self, key: &K) -> Option<V> {
+        self.shard(key).read().get(key).copied()
+    }
+
+    /// The memoized value of `compute(key)`: a cache hit returns the
+    /// stored value; a miss runs `compute` outside the lock and inserts
+    /// the result unless another thread got there first (whose value is
+    /// then returned — identical for a pure `compute`).
+    pub fn get_or_insert_with(&self, key: K, compute: impl FnOnce() -> V) -> V {
+        let shard = self.shard(&key);
+        if let Some(&v) = shard.read().get(&key) {
+            return v;
+        }
+        let v = compute();
+        *shard.write().entry(key).or_insert(v)
+    }
+
+    /// Total number of cached entries (diagnostics).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memoizes_and_counts() {
+        let cache: ShardedCache<(u32, u32), f64> = ShardedCache::new();
+        assert!(cache.is_empty());
+        assert_eq!(cache.get(&(1, 2)), None);
+        let mut calls = 0;
+        let v = cache.get_or_insert_with((1, 2), || {
+            calls += 1;
+            0.5
+        });
+        assert_eq!(v, 0.5);
+        let v = cache.get_or_insert_with((1, 2), || {
+            calls += 1;
+            0.9
+        });
+        assert_eq!(v, 0.5, "first insert wins");
+        assert_eq!(calls, 1, "hit takes the read fast path");
+        assert_eq!(cache.get(&(1, 2)), Some(0.5));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn keys_spread_over_shards() {
+        let cache: ShardedCache<u64, u64> = ShardedCache::new();
+        for k in 0..1000 {
+            cache.get_or_insert_with(k, || k * 2);
+        }
+        assert_eq!(cache.len(), 1000);
+        for k in 0..1000 {
+            assert_eq!(cache.get(&k), Some(k * 2));
+        }
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let cache: ShardedCache<u32, u32> = ShardedCache::new();
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let cache = &cache;
+                s.spawn(move || {
+                    for k in 0..256 {
+                        assert_eq!(cache.get_or_insert_with(k, || k + 1), k + 1);
+                        let _ = t;
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.len(), 256);
+    }
+}

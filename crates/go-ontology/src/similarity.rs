@@ -21,22 +21,24 @@
 //! so two proteins are similar as soon as *one* good term match exists.
 
 use crate::ontology::Ontology;
+use crate::sharded::ShardedCache;
 use crate::term::TermId;
 use crate::weights::TermWeights;
-use parking_lot::RwLock;
-use std::collections::HashMap;
 
 /// Pairwise GO term similarity with memoization.
 ///
 /// The labeling pipeline computes `ST` for the same term pairs over and
 /// over (every occurrence pair crosses the same annotation sets), so
-/// results are cached behind an [`RwLock`] — reads dominate writes once
-/// the cache warms up, and the struct stays `Sync` for the parallel
-/// uniqueness tests.
+/// results are cached. The caches are [`ShardedCache`]s: the parallel
+/// labeling path hammers them from every worker thread, and a single
+/// global lock would serialize cache warm-up. Lowest common parents are
+/// memoized separately — each `ST` miss needs one, and `merge_labels`
+/// queries them directly per merge.
 pub struct TermSimilarity<'a> {
     ontology: &'a Ontology,
     weights: &'a TermWeights,
-    cache: RwLock<HashMap<(TermId, TermId), f64>>,
+    st_cache: ShardedCache<(TermId, TermId), f64>,
+    lcp_cache: ShardedCache<(TermId, TermId), Option<TermId>>,
 }
 
 impl<'a> TermSimilarity<'a> {
@@ -45,7 +47,8 @@ impl<'a> TermSimilarity<'a> {
         TermSimilarity {
             ontology,
             weights,
-            cache: RwLock::new(HashMap::new()),
+            st_cache: ShardedCache::new(),
+            lcp_cache: ShardedCache::new(),
         }
     }
 
@@ -62,8 +65,15 @@ impl<'a> TermSimilarity<'a> {
     /// The lowest common parent `tab`: the common ancestor-or-self of
     /// `a` and `b` with minimum weight (ties broken by term id for
     /// determinism). `None` when the terms share no ancestor (different
-    /// namespaces).
+    /// namespaces). Memoized — `common_ancestors` allocates and walks
+    /// the DAG, and the same pairs recur across every scheme merge.
     pub fn lowest_common_parent(&self, a: TermId, b: TermId) -> Option<TermId> {
+        let key = if a < b { (a, b) } else { (b, a) };
+        self.lcp_cache
+            .get_or_insert_with(key, || self.lcp_uncached(key.0, key.1))
+    }
+
+    fn lcp_uncached(&self, a: TermId, b: TermId) -> Option<TermId> {
         self.ontology
             .common_ancestors(a, b)
             .into_iter()
@@ -88,12 +98,8 @@ impl<'a> TermSimilarity<'a> {
             return 1.0;
         }
         let key = if a < b { (a, b) } else { (b, a) };
-        if let Some(&v) = self.cache.read().get(&key) {
-            return v;
-        }
-        let v = self.st_uncached(key.0, key.1);
-        self.cache.write().insert(key, v);
-        v
+        self.st_cache
+            .get_or_insert_with(key, || self.st_uncached(key.0, key.1))
     }
 
     fn st_uncached(&self, a: TermId, b: TermId) -> f64 {
@@ -137,9 +143,9 @@ impl<'a> TermSimilarity<'a> {
         1.0 - product
     }
 
-    /// Number of memoized term pairs (diagnostics).
+    /// Number of memoized `ST` term pairs (diagnostics).
     pub fn cached_pairs(&self) -> usize {
-        self.cache.read().len()
+        self.st_cache.len()
     }
 }
 

@@ -142,7 +142,7 @@ impl<'a> ClassCollector<'a> {
     /// Finish, returning the classes sorted by descending frequency.
     pub fn into_classes(self) -> Vec<SubgraphClass> {
         let mut classes = self.classes;
-        classes.sort_by(|a, b| b.frequency.cmp(&a.frequency));
+        classes.sort_by_key(|c| std::cmp::Reverse(c.frequency));
         classes
     }
 

@@ -99,7 +99,7 @@ pub fn classify_directed_size_k(g: &DiGraph, k: usize, max_stored: usize) -> Vec
         }
         true
     });
-    classes.sort_by(|a, b| b.frequency.cmp(&a.frequency));
+    classes.sort_by_key(|c| std::cmp::Reverse(c.frequency));
     classes
 }
 

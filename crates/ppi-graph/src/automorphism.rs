@@ -30,8 +30,7 @@ pub fn automorphism_orbits(g: &Graph) -> Vec<Vec<VertexId>> {
     // against the representatives of existing orbits in its color class.
     let mut reps_by_color: std::collections::HashMap<u32, Vec<usize>> =
         std::collections::HashMap::new();
-    for v in 0..n {
-        let color = colors[v];
+    for (v, &color) in colors.iter().enumerate() {
         let reps = reps_by_color.entry(color).or_default();
         let mut joined = false;
         for &r in reps.iter() {

@@ -50,7 +50,6 @@ fn color_histogram(g: &Graph) -> Vec<(usize, usize)> {
         .into_iter()
         .enumerate()
         .filter(|&(_, s)| s > 0)
-        .map(|(c, s)| (c, s))
         .collect();
     // Color ids themselves are canonical across graphs because
     // refinement normalizes by (signature) sort order; keep (color, size).

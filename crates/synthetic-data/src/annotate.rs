@@ -114,8 +114,8 @@ pub fn annotate_network<R: Rng>(
         .filter(|&t| !ontology.parents(t).is_empty()) // skip roots
         .collect();
     let p_stop = 1.0 / (1.0 + config.background_mean);
-    for v in 0..n_proteins {
-        if !annotated[v] {
+    for (v, &is_annotated) in annotated.iter().enumerate() {
+        if !is_annotated {
             continue;
         }
         loop {

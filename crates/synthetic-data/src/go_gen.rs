@@ -42,7 +42,7 @@ impl Default for GoGenConfig {
 
 /// Generate a synthetic three-namespace ontology.
 pub fn generate_ontology<R: Rng>(config: &GoGenConfig, rng: &mut R) -> Ontology {
-    assert!(config.terms_per_namespace >= 1 + config.root_fanout);
+    assert!(config.terms_per_namespace > config.root_fanout);
     assert!(config.max_depth >= 2);
     let mut builder = OntologyBuilder::new();
     for (ns_idx, ns) in Namespace::ALL.into_iter().enumerate() {

@@ -109,7 +109,7 @@ impl GrnDataset {
         let mut network = DiGraph::empty(config.n_genes);
         let mut modules = Vec::new();
         let mut next = 0u32;
-        let mut alloc = |k: usize, next: &mut u32| -> Vec<VertexId> {
+        let alloc = |k: usize, next: &mut u32| -> Vec<VertexId> {
             let members: Vec<VertexId> = (*next..*next + k as u32).map(VertexId).collect();
             *next += k as u32;
             members
@@ -180,7 +180,20 @@ impl GrnDataset {
         // reuse the same regulator/target function pairs across many
         // module instances, which is what lets labeled motifs accumulate
         // support. Program i pairs category 2i with category 2i+1.
-        let n_programs = (categories.len() / 2).min(3).max(1);
+        let n_programs = (categories.len() / 2).clamp(1, 3);
+        // Each program fixes one concrete regulator role term and one
+        // target role term (a child of its category), drawn once and
+        // reused by every module instance of that program. Per-gene
+        // draws would spread direct annotations across sibling terms,
+        // leaving each role term with too little support to anchor a
+        // labeled motif.
+        let program_roles: Vec<(TermId, TermId)> = (0..n_programs)
+            .map(|p| {
+                let reg = random_role_term(&ontology, categories[2 * p], &mut rng);
+                let tgt = random_role_term(&ontology, categories[2 * p + 1], &mut rng);
+                (reg, tgt)
+            })
+            .collect();
         for (mi, module) in modules.iter().enumerate() {
             let program = mi % n_programs;
             let reg_theme = categories[2 * program];
@@ -193,15 +206,12 @@ impl GrnDataset {
                 DirectedModuleKind::BiFan => 2,
                 DirectedModuleKind::FanOut(_) => 1,
             };
+            let (reg_term, tgt_term) = program_roles[program];
             for (i, &v) in module.members.iter().enumerate() {
                 if !rng.gen_bool(config.coverage) {
                     continue;
                 }
-                let theme = if i < regulators { reg_theme } else { tgt_theme };
-                // Concentrate annotations on the category's direct
-                // children so role terms accumulate enough direct
-                // annotations to become informative functional classes.
-                let term = random_role_term(&ontology, theme, &mut rng);
+                let term = if i < regulators { reg_term } else { tgt_term };
                 annotations.annotate(ProteinId(v.0), term);
             }
         }

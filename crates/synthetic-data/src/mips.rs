@@ -222,8 +222,8 @@ fn annotate<R: Rng>(
     // Background proteins: one random category term; everyone annotated
     // gets geometric noise terms.
     let p_stop = 1.0 / (1.0 + config.noise_mean);
-    for v in 0..n {
-        if !annotated[v] {
+    for (v, &is_annotated) in annotated.iter().enumerate() {
+        if !is_annotated {
             continue;
         }
         if ann.terms_of(ProteinId(v as u32)).is_empty() {

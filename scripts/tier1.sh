@@ -1,0 +1,8 @@
+#!/usr/bin/env bash
+# Tier-1 verification (ROADMAP.md): release build + the full test suite.
+# Run from anywhere; CI and EXPERIMENTS.md both invoke this script.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q --workspace --no-fail-fast

@@ -13,9 +13,25 @@ fn graph_strategy(max_n: usize, max_edges: usize) -> impl Strategy<Value = Graph
     })
 }
 
-/// Strategy: a permutation of `0..n`.
-fn permutation(n: usize) -> impl Strategy<Value = Vec<u32>> {
-    Just((0..n as u32).collect::<Vec<u32>>()).prop_shuffle()
+/// All permutations of `0..n` (Heap's algorithm), for brute-force checks.
+fn permutations(n: usize) -> Vec<Vec<usize>> {
+    fn heap(k: usize, a: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if k <= 1 {
+            out.push(a.clone());
+            return;
+        }
+        for i in 0..k {
+            heap(k - 1, a, out);
+            if k.is_multiple_of(2) {
+                a.swap(i, k - 1);
+            } else {
+                a.swap(0, k - 1);
+            }
+        }
+    }
+    let mut out = Vec::new();
+    heap(n, &mut (0..n).collect(), &mut out);
+    out
 }
 
 fn relabel(g: &Graph, perm: &[u32]) -> Graph {
@@ -123,27 +139,27 @@ proptest! {
 
     #[test]
     fn hungarian_matches_bruteforce(
-        w in proptest::collection::vec(
-            proptest::collection::vec(0.0f64..1.0, 4), 4
-        )
+        (n, flat) in (1usize..=5).prop_flat_map(|n| {
+            (Just(n), proptest::collection::vec(0.0f64..1.0, n * n))
+        })
     ) {
+        let w: Vec<Vec<f64>> = flat.chunks(n).map(|r| r.to_vec()).collect();
         let (assign, total) = lamofinder::assignment::max_assignment(&w);
-        // permutation check
-        let mut seen = [false; 4];
-        for &j in &assign { prop_assert!(!seen[j]); seen[j] = true; }
-        // brute force
+        // The result is a permutation whose reported total matches it.
+        let mut seen = vec![false; n];
+        for &j in &assign {
+            prop_assert!(j < n && !seen[j]);
+            seen[j] = true;
+        }
+        let reported: f64 = assign.iter().enumerate().map(|(i, &j)| w[i][j]).sum();
+        prop_assert!((total - reported).abs() < 1e-9);
+        // Brute force over all n! permutations.
         let mut best = f64::NEG_INFINITY;
-        let perms = [
-            [0,1,2,3],[0,1,3,2],[0,2,1,3],[0,2,3,1],[0,3,1,2],[0,3,2,1],
-            [1,0,2,3],[1,0,3,2],[1,2,0,3],[1,2,3,0],[1,3,0,2],[1,3,2,0],
-            [2,0,1,3],[2,0,3,1],[2,1,0,3],[2,1,3,0],[2,3,0,1],[2,3,1,0],
-            [3,0,1,2],[3,0,2,1],[3,1,0,2],[3,1,2,0],[3,2,0,1],[3,2,1,0],
-        ];
-        for p in perms {
+        for p in permutations(n) {
             let s: f64 = p.iter().enumerate().map(|(i, &j)| w[i][j]).sum();
             if s > best { best = s; }
         }
-        prop_assert!((total - best).abs() < 1e-9);
+        prop_assert!((total - best).abs() < 1e-9, "hungarian {} vs brute {}", total, best);
     }
 }
 
