@@ -52,6 +52,25 @@ fn bench_motif_enumeration(c: &mut Criterion) {
             black_box(report.classes.len())
         })
     });
+    // Parallel discovery sweep: same workload, explicit worker counts
+    // (output is byte-identical across them; only wall-clock differs).
+    for threads in [1usize, 2, 4] {
+        group.bench_function(format!("grow_to_size5_threads{threads}"), |b| {
+            b.iter(|| {
+                let report = grow_frequent_subgraphs(
+                    g,
+                    &GrowthConfig {
+                        min_size: 3,
+                        max_size: 5,
+                        frequency_threshold: 20,
+                        threads,
+                        ..Default::default()
+                    },
+                );
+                black_box(report.classes.len())
+            })
+        });
+    }
     group.finish();
 
     // Capped pattern counting in a randomized network (the uniqueness

@@ -1,5 +1,10 @@
+//! Profile the motif-finding front-end: discovery (frequent-subgraph
+//! growth) swept over 1/2/4 worker threads, then uniqueness testing.
+//! Writes the discovery timings to `BENCH_discovery.json`.
+
+use lamofinder_bench::report::{json_array, JsonObject};
 use lamofinder_bench::{finder_config, yeast, Scale};
-use motif_finder::{grow_frequent_subgraphs, uniqueness_scores, MotifFinder};
+use motif_finder::{grow_frequent_subgraphs, uniqueness_scores, GrowthReport, MotifFinder};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::time::Instant;
@@ -8,16 +13,75 @@ fn main() {
     let scale = Scale::from_args();
     let data = yeast(scale);
     let config = finder_config(scale);
+
+    // Discovery sweep: identical output for every thread count (the
+    // front-end is deterministic by construction), so only time varies.
+    let mut rows: Vec<String> = Vec::new();
+    let mut growth: Option<GrowthReport> = None;
+    let mut base_secs = 0.0f64;
+    for threads in [1usize, 2, 4] {
+        let mut growth_config = config.growth.clone();
+        growth_config.threads = threads;
+        let t = Instant::now();
+        let report = grow_frequent_subgraphs(&data.network, &growth_config);
+        let secs = t.elapsed().as_secs_f64();
+        if threads == 1 {
+            base_secs = secs;
+        }
+        let speedup = if secs > 0.0 { base_secs / secs } else { 0.0 };
+        println!(
+            "growth[threads={threads}]: {} classes in {secs:.2}s (speedup {speedup:.2}x, \
+             truncated {:?}, capped {:?})",
+            report.classes.len(),
+            report.truncated_levels,
+            report.capped_levels
+        );
+        rows.push(
+            JsonObject::new()
+                .int("threads", threads)
+                .num("secs", secs)
+                .num("speedup", speedup)
+                .int("classes", report.classes.len())
+                .render(),
+        );
+        growth = Some(report);
+    }
+    let growth = growth.expect("sweep ran");
+
+    let doc = JsonObject::new()
+        .str("benchmark", "motif_discovery")
+        .str(
+            "scale",
+            if scale == Scale::Full { "full" } else { "small" },
+        )
+        .int("vertices", data.network.vertex_count())
+        .int("edges", data.network.edge_count())
+        .int(
+            "available_parallelism",
+            std::thread::available_parallelism().map_or(1, |p| p.get()),
+        )
+        .raw("discovery", json_array(&rows))
+        .render();
+    std::fs::write("BENCH_discovery.json", format!("{doc}\n")).expect("write BENCH_discovery.json");
+    println!("wrote BENCH_discovery.json");
+
     let t = Instant::now();
-    let growth = grow_frequent_subgraphs(&data.network, &config.growth);
-    println!("growth: {} classes in {:.1?} (truncated {:?}, capped {:?})",
-        growth.classes.len(), t.elapsed(), growth.truncated_levels, growth.capped_levels);
-    let t = Instant::now();
-    let patterns: Vec<(&ppi_graph::Graph, usize)> =
-        growth.classes.iter().map(|c| (&c.pattern, c.frequency)).collect();
+    let patterns: Vec<(&ppi_graph::Graph, usize)> = growth
+        .classes
+        .iter()
+        .map(|c| (&c.pattern, c.frequency))
+        .collect();
     let mut rng = SmallRng::seed_from_u64(config.seed);
     let scores = uniqueness_scores(&data.network, &patterns, &config.uniqueness, &mut rng);
-    let unique = scores.iter().filter(|&&s| s >= config.uniqueness_threshold).count();
-    println!("uniqueness: {} unique of {} in {:.1?}", unique, patterns.len(), t.elapsed());
+    let unique = scores
+        .iter()
+        .filter(|&&s| s >= config.uniqueness_threshold)
+        .count();
+    println!(
+        "uniqueness: {} unique of {} in {:.1?}",
+        unique,
+        patterns.len(),
+        t.elapsed()
+    );
     let _ = MotifFinder::default();
 }

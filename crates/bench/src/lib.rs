@@ -63,6 +63,7 @@ pub fn finder_config(scale: Scale) -> MotifFinderConfig {
                 max_stored_occurrences: 800,
                 max_candidates_per_level: 800_000,
                 max_classes_per_level: 200,
+                threads: 0,
             },
             uniqueness: UniquenessConfig {
                 // 12 randomizations with threshold 0.95 ⇒ a motif must

@@ -69,27 +69,10 @@ impl Default for ClusteringConfig {
     }
 }
 
-/// Resolve a `threads` knob: `0` means one worker per available core.
-pub(crate) fn resolve_threads(threads: usize) -> usize {
-    if threads == 0 {
-        std::thread::available_parallelism().map_or(1, |p| p.get())
-    } else {
-        threads
-    }
-}
-
-/// Round-robin split of `items` into at most `parts` non-empty chunks
-/// (the uniqueness-test chunking pattern). Round-robin balances workloads
-/// that vary monotonically with the item index — SO matrix row `i` has
-/// `n − i − 1` entries.
-pub(crate) fn split_chunks<T: Copy>(items: &[T], parts: usize) -> Vec<Vec<T>> {
-    let mut chunks: Vec<Vec<T>> = vec![Vec::new(); parts.max(1)];
-    for (i, &item) in items.iter().enumerate() {
-        chunks[i % parts.max(1)].push(item);
-    }
-    chunks.retain(|c| !c.is_empty());
-    chunks
-}
+// Thread-budget resolution and deterministic chunking now live in
+// `par-util` (shared with the uniqueness null model and the discovery
+// front-end); re-exported for the crate-internal callers.
+pub(crate) use par_util::{resolve_threads, split_chunks};
 
 /// One emitted cluster: a labeling scheme with its supporting
 /// occurrences (aligned copies).

@@ -16,7 +16,12 @@ pub mod annotations;
 pub mod informative;
 pub mod obo;
 pub mod ontology;
-pub mod sharded;
+/// Sharded insert-once memo table, now shared workspace-wide from
+/// `par-util`; re-exported here so existing `go_ontology::sharded`
+/// import paths keep working.
+pub mod sharded {
+    pub use par_util::sharded::ShardedCache;
+}
 pub mod similarity;
 pub mod term;
 pub mod weights;

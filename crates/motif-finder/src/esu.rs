@@ -22,65 +22,122 @@ pub fn enumerate_connected_subgraphs(
     if k == 0 || k > g.vertex_count() {
         return;
     }
-    let n = g.vertex_count();
-    let mut state = EsuState {
-        g,
-        k,
-        root: 0,
-        subgraph: Vec::with_capacity(k),
-        // blocked[u]: u is in V_sub, or has been placed in an extension
-        // set somewhere on the active path (u ∈ N(V_sub) with u > root).
-        // A blocked vertex is cleared by the stack frame that blocked it.
-        blocked: vec![false; n],
-    };
+    let mut walker = EsuWalker::new(g, k);
+    for v in 0..g.vertex_count() as u32 {
+        if !walker.enumerate_root(v, &mut |_| true, visit) {
+            return;
+        }
+    }
+}
 
-    for v in 0..n as u32 {
-        state.root = v;
-        state.subgraph.push(VertexId(v));
-        state.blocked[v as usize] = true;
-        let ext: Vec<u32> = g
+/// Enumerate the connected induced size-`k` vertex sets rooted at `root`
+/// only — the ESU partition cell containing the sets whose minimum
+/// vertex is `root`. The union over all roots is exactly
+/// [`enumerate_connected_subgraphs`]; the partition is what the parallel
+/// discovery front-end shards across workers.
+pub fn enumerate_connected_subgraphs_rooted(
+    g: &Graph,
+    k: usize,
+    root: u32,
+    visit: &mut dyn FnMut(&[VertexId]) -> bool,
+) {
+    if k == 0 || k > g.vertex_count() || root as usize >= g.vertex_count() {
+        return;
+    }
+    EsuWalker::new(g, k).enumerate_root(root, &mut |_| true, visit);
+}
+
+/// The ESU tree walker shared by exact enumeration, rooted (sharded)
+/// enumeration and RAND-ESU sampling.
+///
+/// `gate(depth)` is consulted once for the root (depth 0) and once per
+/// candidate vertex before it is admitted at `depth` (the subgraph size
+/// it would join at); returning `false` prunes that branch. Exact
+/// enumeration gates with `|_| true`, RAND-ESU with a per-depth coin
+/// flip — the one walker keeps the two traversals structurally
+/// identical (`probability_one_reduces_to_exact_esu` pins this).
+///
+/// The walker is reusable across roots so callers iterating many roots
+/// (the parallel seed level) pay for the `blocked` scratch vector once.
+pub(crate) struct EsuWalker<'a> {
+    g: &'a Graph,
+    k: usize,
+    root: u32,
+    subgraph: Vec<VertexId>,
+    /// blocked[u]: u is in V_sub, or has been placed in an extension
+    /// set somewhere on the active path (u ∈ N(V_sub) with u > root).
+    /// A blocked vertex is cleared by the stack frame that blocked it.
+    blocked: Vec<bool>,
+}
+
+impl<'a> EsuWalker<'a> {
+    /// Walker over `g` for size-`k` sets. `k` must be positive and at
+    /// most the vertex count.
+    pub(crate) fn new(g: &'a Graph, k: usize) -> Self {
+        EsuWalker {
+            g,
+            k,
+            root: 0,
+            subgraph: Vec::with_capacity(k),
+            blocked: vec![false; g.vertex_count()],
+        }
+    }
+
+    /// Enumerate the sets rooted at `v`. Returns `false` iff `visit`
+    /// aborted the enumeration.
+    pub(crate) fn enumerate_root(
+        &mut self,
+        v: u32,
+        gate: &mut dyn FnMut(usize) -> bool,
+        visit: &mut dyn FnMut(&[VertexId]) -> bool,
+    ) -> bool {
+        if !gate(0) {
+            return true;
+        }
+        self.root = v;
+        self.subgraph.push(VertexId(v));
+        self.blocked[v as usize] = true;
+        let ext: Vec<u32> = self
+            .g
             .neighbors(VertexId(v))
             .iter()
             .copied()
             .filter(|&u| u > v)
             .collect();
         for &u in &ext {
-            state.blocked[u as usize] = true;
+            self.blocked[u as usize] = true;
         }
-        let keep_going = state.extend(ext, visit);
-        for &u in g.neighbors(VertexId(v)) {
+        let keep_going = self.extend(ext, gate, visit);
+        for &u in self.g.neighbors(VertexId(v)) {
             if u > v {
-                state.blocked[u as usize] = false;
+                self.blocked[u as usize] = false;
             }
         }
-        state.blocked[v as usize] = false;
-        state.subgraph.pop();
-        if !keep_going {
-            return;
-        }
+        self.blocked[v as usize] = false;
+        self.subgraph.pop();
+        keep_going
     }
-}
 
-struct EsuState<'a> {
-    g: &'a Graph,
-    k: usize,
-    root: u32,
-    subgraph: Vec<VertexId>,
-    blocked: Vec<bool>,
-}
-
-impl EsuState<'_> {
     /// Process one extension set. All vertices of `ext` are already
     /// blocked by the caller, which is also responsible for unblocking
     /// them after this call returns.
-    fn extend(&mut self, ext: Vec<u32>, visit: &mut dyn FnMut(&[VertexId]) -> bool) -> bool {
+    fn extend(
+        &mut self,
+        ext: Vec<u32>,
+        gate: &mut dyn FnMut(usize) -> bool,
+        visit: &mut dyn FnMut(&[VertexId]) -> bool,
+    ) -> bool {
         if self.subgraph.len() == self.k {
             return visit(&self.subgraph);
         }
+        let depth = self.subgraph.len(); // next vertex placed at this depth
         let mut remaining = ext;
         while let Some(w) = remaining.pop() {
             // w stays blocked for the rest of this level: later branches
             // must not re-admit it (it is a neighbor of V_sub).
+            if !gate(depth) {
+                continue;
+            }
             let mut new_ext = remaining.clone();
             let mut added: Vec<u32> = Vec::new();
             for &u in self.g.neighbors(VertexId(w)) {
@@ -94,7 +151,7 @@ impl EsuState<'_> {
                 }
             }
             self.subgraph.push(VertexId(w));
-            let keep_going = self.extend(new_ext, visit);
+            let keep_going = self.extend(new_ext, gate, visit);
             self.subgraph.pop();
             for &u in &added {
                 self.blocked[u as usize] = false;
@@ -236,6 +293,31 @@ mod tests {
         assert_eq!(count_connected_subgraphs(&star, 2), 5);
         assert_eq!(count_connected_subgraphs(&star, 3), 10);
         assert_eq!(count_connected_subgraphs(&star, 4), 10);
+    }
+
+    #[test]
+    fn rooted_enumeration_partitions_the_census() {
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let mut rng = SmallRng::seed_from_u64(11);
+        let g = ppi_graph::random::erdos_renyi_gnm(16, 30, &mut rng);
+        for k in 2..=5 {
+            let whole = collect_sets(&g, k);
+            let mut sharded = Vec::new();
+            for root in 0..g.vertex_count() as u32 {
+                enumerate_connected_subgraphs_rooted(&g, k, root, &mut |s| {
+                    assert_eq!(s[0], VertexId(root), "root is reported first");
+                    let mut v = s.to_vec();
+                    v.sort_unstable();
+                    sharded.push(v);
+                    true
+                });
+            }
+            let mut whole_sorted = whole.clone();
+            whole_sorted.sort();
+            sharded.sort();
+            assert_eq!(sharded, whole_sorted, "k={k}");
+        }
     }
 
     #[test]

@@ -23,9 +23,11 @@ pub mod sampling;
 pub mod subgraph_match;
 pub mod uniqueness;
 
-pub use classes::{classify_size_k, ClassCollector, SubgraphClass};
+pub use classes::{classify_size_k, CanonCodeCache, ClassCollector, SubgraphClass};
 pub use directed::{classify_directed_size_k, find_directed_motifs, DirectedClass, DirectedMotif};
-pub use esu::{count_connected_subgraphs, enumerate_connected_subgraphs};
+pub use esu::{
+    count_connected_subgraphs, enumerate_connected_subgraphs, enumerate_connected_subgraphs_rooted,
+};
 pub use finder::{FinderReport, MotifFinder, MotifFinderConfig};
 pub use motif::{Motif, Occurrence};
 pub use nemo::{grow_frequent_subgraphs, GrowthConfig, GrowthReport};

@@ -11,10 +11,53 @@
 //! occurrence storage is not truncated. Truncation (the caps below)
 //! trades completeness for bounded memory exactly like NeMoFinder's own
 //! partition-based pruning; hit caps are reported.
+//!
+//! # Parallel discovery
+//!
+//! Both phases shard work across [`GrowthConfig::threads`] scoped
+//! workers and produce **byte-identical output for any thread count**:
+//!
+//! * the **seed level** shards ESU enumeration by root vertex (each root
+//!   owns the candidate sets whose minimum vertex it is — a disjoint
+//!   partition of the census). Every candidate carries a
+//!   `(root, sequence)` tag, its position in the serial enumeration
+//!   order; per-worker [`ClassCollector`]s are merged deterministically
+//!   on those tags ([`merge_tagged_classes`]). The candidate budget is
+//!   honored exactly: workers stop pulling roots once the running
+//!   candidate count passes the budget, and if the budget truly binds, a
+//!   second sharded pass re-classifies precisely the first
+//!   `max_candidates_per_level` candidates of the serial order (the
+//!   optimistic pass is kept whenever the budget did not bind, which is
+//!   the common case);
+//! * **extension levels** run in two phases. Phase A shards the stored
+//!   occurrences across workers, each generating its one-vertex
+//!   extensions into a sharded dedup map keyed by the sorted vertex set,
+//!   keeping the smallest `(occurrence item, derivation)` tag per set —
+//!   first-seen semantics identical to the serial `HashSet` walk,
+//!   independent of worker interleaving. The surviving sets are sorted
+//!   by tag, truncated to the budget, and phase B classifies contiguous
+//!   tag ranges on per-worker collectors, merged as above.
+//!
+//! All workers share one canonical-code memo ([`CanonCodeCache`]) across
+//! levels, so each distinct labeled candidate shape pays for exactly one
+//! canonicalization per growth run.
+//!
+//! A level is reported in [`GrowthReport::truncated_levels`] iff
+//! candidates beyond the budget actually exist — an exactly-exhausted
+//! budget is not truncation.
 
-use crate::classes::{ClassCollector, SubgraphClass};
+use crate::classes::{
+    finalize_classes, merge_tagged_classes, CanonCodeCache, ClassCollector, SubgraphClass,
+};
+use crate::esu::EsuWalker;
+use crate::motif::Occurrence;
+use par_util::resolve_threads;
+use parking_lot::Mutex;
 use ppi_graph::{Graph, VertexId};
-use std::collections::HashSet;
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasher, BuildHasherDefault, DefaultHasher};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
 
 /// Growth parameters.
 #[derive(Clone, Debug)]
@@ -35,6 +78,10 @@ pub struct GrowthConfig {
     /// at meso-scale sizes; they are pruned here and the pruning is
     /// reported in [`GrowthReport::capped_levels`].
     pub max_classes_per_level: usize,
+    /// Worker threads for discovery; `0` = one per available core (the
+    /// same convention as `LaMoFinderConfig::threads`). Output is
+    /// byte-identical for every value.
+    pub threads: usize,
 }
 
 impl Default for GrowthConfig {
@@ -46,6 +93,7 @@ impl Default for GrowthConfig {
             max_stored_occurrences: 2_000,
             max_candidates_per_level: 2_000_000,
             max_classes_per_level: 300,
+            threads: 0,
         }
     }
 }
@@ -56,7 +104,8 @@ pub struct GrowthReport {
     /// Frequent classes of every size in `[min_size, max_size]`, ordered
     /// by size then descending frequency.
     pub classes: Vec<SubgraphClass>,
-    /// Sizes at which the candidate cap truncated the search.
+    /// Sizes at which the candidate cap truncated the search (candidates
+    /// beyond the cap existed).
     pub truncated_levels: Vec<usize>,
     /// Sizes at which the class cap pruned frequent classes.
     pub capped_levels: Vec<usize>,
@@ -66,21 +115,17 @@ pub struct GrowthReport {
 pub fn grow_frequent_subgraphs(g: &Graph, config: &GrowthConfig) -> GrowthReport {
     assert!(config.min_size >= 2, "motifs need at least 2 vertices");
     assert!(config.min_size <= config.max_size);
+    let threads = resolve_threads(config.threads);
+    let budget = config.max_candidates_per_level.max(1);
+    let cache = CanonCodeCache::default();
     let mut report = GrowthReport::default();
 
-    // Seed level: enumerate min_size exhaustively (capped).
-    let mut collector = ClassCollector::new(g, config.max_stored_occurrences);
-    let mut candidates_left = config.max_candidates_per_level;
-    crate::esu::enumerate_connected_subgraphs(g, config.min_size, &mut |verts| {
-        collector.add(verts);
-        candidates_left -= 1;
-        candidates_left > 0
-    });
-    if candidates_left == 0 {
+    // Seed level: enumerate min_size exhaustively (budget-capped).
+    let (classes, truncated) = seed_level(g, config, threads, budget, &cache);
+    if truncated {
         report.truncated_levels.push(config.min_size);
     }
-    let mut frequent: Vec<SubgraphClass> = collector
-        .into_classes()
+    let mut frequent: Vec<SubgraphClass> = classes
         .into_iter()
         .filter(|c| c.frequency >= config.frequency_threshold)
         .collect();
@@ -95,39 +140,11 @@ pub fn grow_frequent_subgraphs(g: &Graph, config: &GrowthConfig) -> GrowthReport
             break;
         }
 
-        // Extend every stored occurrence by one neighboring vertex.
-        let mut seen: HashSet<Vec<u32>> = HashSet::new();
-        let mut collector = ClassCollector::new(g, config.max_stored_occurrences);
-        let mut budget = config.max_candidates_per_level;
-        'level: for class in &frequent {
-            for occ in &class.occurrences {
-                let set: HashSet<u32> = occ.vertices.iter().map(|v| v.0).collect();
-                for &v in &occ.vertices {
-                    for &u in g.neighbors(v) {
-                        if set.contains(&u) {
-                            continue;
-                        }
-                        let mut key: Vec<u32> =
-                            occ.vertices.iter().map(|x| x.0).collect();
-                        key.push(u);
-                        key.sort_unstable();
-                        if !seen.insert(key.clone()) {
-                            continue;
-                        }
-                        let verts: Vec<VertexId> =
-                            key.iter().map(|&x| VertexId(x)).collect();
-                        collector.add(&verts);
-                        budget -= 1;
-                        if budget == 0 {
-                            report.truncated_levels.push(size + 1);
-                            break 'level;
-                        }
-                    }
-                }
-            }
+        let (classes, truncated) = extension_level(g, &frequent, config, threads, budget, &cache);
+        if truncated {
+            report.truncated_levels.push(size + 1);
         }
-        frequent = collector
-            .into_classes()
+        frequent = classes
             .into_iter()
             .filter(|c| c.frequency >= config.frequency_threshold)
             .collect();
@@ -135,6 +152,328 @@ pub fn grow_frequent_subgraphs(g: &Graph, config: &GrowthConfig) -> GrowthReport
     }
 
     report
+}
+
+/// Seed level: classify the size-`min_size` ESU census, sharded by root
+/// vertex, honoring the candidate budget exactly.
+///
+/// The optimistic pass lets workers pull roots from an atomic counter
+/// and classify them; each completed root adds its candidate count to a
+/// shared total, and a worker that observes the total at or above the
+/// budget stops classifying pulled roots (it still probes them for a
+/// single candidate, so that "do candidates beyond the budget exist?"
+/// is answered exactly). If the census fits the budget the optimistic
+/// collectors are merged and returned. Otherwise truncation binds:
+/// candidate counts are completed serially in root order with early
+/// abort (at most `budget` visits), locating the exact cut — the root
+/// and in-root offset where the serial budget exhausts — and a second
+/// sharded pass classifies exactly the candidates before the cut.
+fn seed_level(
+    g: &Graph,
+    config: &GrowthConfig,
+    threads: usize,
+    budget: usize,
+    cache: &CanonCodeCache,
+) -> (Vec<SubgraphClass>, bool) {
+    let k = config.min_size;
+    let n = g.vertex_count() as u32;
+    let next = AtomicU32::new(0);
+    let emitted = AtomicUsize::new(0);
+    let overflow = AtomicBool::new(false);
+
+    type SeedPart = (Vec<crate::classes::TaggedClass>, Vec<(u32, u32)>);
+    let parts: Vec<SeedPart> = run_workers(threads, || {
+        let mut collector = ClassCollector::with_cache(g, config.max_stored_occurrences, cache);
+        let mut counts: Vec<(u32, u32)> = Vec::new();
+        let mut walker = EsuWalker::new(g, k);
+        loop {
+            let root = next.fetch_add(1, Ordering::Relaxed);
+            if root >= n {
+                break;
+            }
+            if emitted.load(Ordering::Relaxed) >= budget {
+                // The budget is spent; enumerating this root can only
+                // feed the (discarded) optimistic collectors. Probe it
+                // for one candidate so the truncation report stays
+                // exact, then move on.
+                if !overflow.load(Ordering::Relaxed) {
+                    let mut any = false;
+                    walker.enumerate_root(root, &mut |_| true, &mut |_| {
+                        any = true;
+                        false
+                    });
+                    if any {
+                        overflow.store(true, Ordering::Relaxed);
+                    }
+                }
+                continue;
+            }
+            let mut seq = 0u32;
+            walker.enumerate_root(root, &mut |_| true, &mut |verts| {
+                collector.add_tagged(verts, (root, seq));
+                seq += 1;
+                true
+            });
+            counts.push((root, seq));
+            emitted.fetch_add(seq as usize, Ordering::Relaxed);
+        }
+        (collector.into_tagged_classes(), counts)
+    });
+
+    let mut root_counts: Vec<Option<u32>> = vec![None; n as usize];
+    let mut collected: Vec<Vec<crate::classes::TaggedClass>> = Vec::with_capacity(parts.len());
+    let mut total: usize = 0;
+    for (classes, counts) in parts {
+        collected.push(classes);
+        for (root, count) in counts {
+            total += count as usize;
+            root_counts[root as usize] = Some(count);
+        }
+    }
+
+    let truncated = total > budget || overflow.load(Ordering::Relaxed);
+    if !truncated {
+        // Every candidate was classified (skipped roots, if any, were
+        // all probed empty): the optimistic pass is the full census.
+        let merged = merge_tagged_classes(g, collected, config.max_stored_occurrences);
+        return (finalize_classes(merged), false);
+    }
+    drop(collected);
+
+    // Truncation binds. Locate the serial cut: the first `budget`
+    // candidates in root order. Unknown counts (skipped roots) are
+    // filled by a counting walk with early abort — at most `budget`
+    // candidates are visited in total before the cut is found.
+    let mut walker = EsuWalker::new(g, k);
+    let mut remaining = budget;
+    let mut cut_root = 0u32;
+    let mut cut_len = 0u32; // candidates kept from cut_root
+    for root in 0..n {
+        let count = root_counts[root as usize].unwrap_or_else(|| {
+            let mut c = 0u32;
+            let cap = remaining as u32;
+            walker.enumerate_root(root, &mut |_| true, &mut |_| {
+                c += 1;
+                c < cap
+            });
+            c
+        }) as usize;
+        if count >= remaining {
+            cut_root = root;
+            cut_len = remaining as u32;
+            break;
+        }
+        remaining -= count;
+    }
+
+    // Second pass: classify exactly the candidates before the cut,
+    // sharded by root again (the canonical-code cache is already warm).
+    let next = AtomicU32::new(0);
+    let parts: Vec<Vec<crate::classes::TaggedClass>> = run_workers(threads, || {
+        let mut collector = ClassCollector::with_cache(g, config.max_stored_occurrences, cache);
+        let mut walker = EsuWalker::new(g, k);
+        loop {
+            let root = next.fetch_add(1, Ordering::Relaxed);
+            if root > cut_root {
+                break;
+            }
+            let mut seq = 0u32;
+            walker.enumerate_root(root, &mut |_| true, &mut |verts| {
+                collector.add_tagged(verts, (root, seq));
+                seq += 1;
+                root != cut_root || seq < cut_len
+            });
+        }
+        collector.into_tagged_classes()
+    });
+    let merged = merge_tagged_classes(g, parts, config.max_stored_occurrences);
+    (finalize_classes(merged), true)
+}
+
+/// Number of dedup shards at extension levels (power of two).
+const DEDUP_SHARDS: usize = 64;
+
+/// A deduplicated extension candidate: first-seen tag + sorted vertex
+/// set.
+type Candidate = ((u32, u32), Vec<u32>);
+
+/// One shard of the extension-level first-seen map.
+type DedupShard = Mutex<HashMap<Vec<u32>, (u32, u32)>>;
+
+/// Generate the one-vertex extensions of `occ` in serial derivation
+/// order, invoking `emit(key, tag)` with the sorted extended vertex set
+/// and its `(item, derivation)` tag. Returns `false` iff `emit`
+/// aborted. Shared by the parallel phase-A workers and the bounded
+/// serial rebuild, so both walk candidates in the identical order.
+fn each_extension(
+    g: &Graph,
+    occ: &Occurrence,
+    item: u32,
+    emit: &mut dyn FnMut(Vec<u32>, (u32, u32)) -> bool,
+) -> bool {
+    let mut base: Vec<u32> = occ.vertices.iter().map(|v| v.0).collect();
+    base.sort_unstable();
+    let mut seq = 0u32;
+    for &v in &occ.vertices {
+        for &u in g.neighbors(v) {
+            if base.binary_search(&u).is_ok() {
+                continue;
+            }
+            let mut key = base.clone();
+            let pos = key.partition_point(|&x| x < u);
+            key.insert(pos, u);
+            let tag = (item, seq);
+            seq += 1;
+            if !emit(key, tag) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// One extension level: grow every stored occurrence of `frequent` by
+/// one neighboring vertex, deduplicate, classify.
+fn extension_level(
+    g: &Graph,
+    frequent: &[SubgraphClass],
+    config: &GrowthConfig,
+    threads: usize,
+    budget: usize,
+    cache: &CanonCodeCache,
+) -> (Vec<SubgraphClass>, bool) {
+    // Occurrence items in serial order; the item index is the major tag.
+    let items: Vec<&Occurrence> = frequent.iter().flat_map(|c| &c.occurrences).collect();
+
+    // Phase A: generate candidate sets into a sharded first-seen map.
+    // Each candidate's tag is (item, derivation index within the item) —
+    // its position in the serial generation order — and the map keeps
+    // the smallest tag per set, so the surviving (set, tag) pairs are
+    // independent of worker scheduling. A worker that observes the
+    // unique-set count at or past the budget stops pulling items (the
+    // budget certainly binds); the exact first-`budget` prefix is then
+    // rebuilt by the bounded serial walk below.
+    let hasher = BuildHasherDefault::<DefaultHasher>::default();
+    let dedup: Vec<DedupShard> =
+        (0..DEDUP_SHARDS).map(|_| Mutex::new(HashMap::new())).collect();
+    let next = AtomicUsize::new(0);
+    let unique_count = AtomicUsize::new(0);
+    let skipped = AtomicBool::new(false);
+    run_workers(threads, || {
+        loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= items.len() {
+                break;
+            }
+            if unique_count.load(Ordering::Relaxed) >= budget {
+                skipped.store(true, Ordering::Relaxed);
+                continue;
+            }
+            each_extension(g, items[i], i as u32, &mut |key, tag| {
+                let shard = hasher.hash_one(&key) as usize & (DEDUP_SHARDS - 1);
+                match dedup[shard].lock().entry(key) {
+                    Entry::Occupied(mut e) => {
+                        if tag < *e.get() {
+                            e.insert(tag);
+                        }
+                    }
+                    Entry::Vacant(e) => {
+                        e.insert(tag);
+                        unique_count.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                true
+            });
+        }
+    });
+
+    let (candidates, truncated) = if skipped.load(Ordering::Relaxed) {
+        // Items were skipped, so the map may miss candidates belonging
+        // to the kept prefix. Regenerate serially in item order with
+        // early abort: stop at the first unique set beyond the budget
+        // (whose existence is exactly what the truncation flag
+        // reports). Work is bounded by the generation up to that point
+        // — the same walk the serial algorithm performs.
+        drop(dedup);
+        let mut seen: HashSet<Vec<u32>> = HashSet::new();
+        let mut kept: Vec<Candidate> = Vec::new();
+        let mut truncated = false;
+        for (i, occ) in items.iter().enumerate() {
+            let keep_going = each_extension(g, occ, i as u32, &mut |key, tag| {
+                if seen.contains(&key) {
+                    return true;
+                }
+                if kept.len() == budget {
+                    truncated = true;
+                    return false;
+                }
+                seen.insert(key.clone());
+                kept.push((tag, key));
+                true
+            });
+            if !keep_going {
+                break;
+            }
+        }
+        (kept, truncated)
+    } else {
+        // No item skipped: the map is the complete unique-set census.
+        // Order by tag (= serial first-seen order), apply the budget.
+        let mut candidates: Vec<Candidate> = dedup
+            .into_iter()
+            .flat_map(|shard| shard.into_inner().into_iter().map(|(set, tag)| (tag, set)))
+            .collect();
+        let truncated = candidates.len() > budget;
+        candidates.sort_unstable_by_key(|&(tag, _)| tag);
+        candidates.truncate(budget);
+        (candidates, truncated)
+    };
+
+    // Phase B: classify contiguous tag ranges on per-worker collectors.
+    let chunk = candidates.len().div_ceil(threads.max(1)).max(1);
+    let ranges: Vec<&[Candidate]> = candidates.chunks(chunk).collect();
+    let next = AtomicUsize::new(0);
+    let parts: Vec<Vec<crate::classes::TaggedClass>> = run_workers(ranges.len().max(1), || {
+        let mut collector = ClassCollector::with_cache(g, config.max_stored_occurrences, cache);
+        loop {
+            let r = next.fetch_add(1, Ordering::Relaxed);
+            if r >= ranges.len() {
+                break;
+            }
+            for (tag, set) in ranges[r] {
+                let verts: Vec<VertexId> = set.iter().map(|&x| VertexId(x)).collect();
+                collector.add_tagged(&verts, *tag);
+            }
+        }
+        collector.into_tagged_classes()
+    });
+    let merged = merge_tagged_classes(g, parts, config.max_stored_occurrences);
+    (finalize_classes(merged), truncated)
+}
+
+/// Run `worker` on `threads` scoped threads and collect the results
+/// (order is irrelevant to callers — everything is tag-merged). With one
+/// thread the closure runs inline, so single-threaded growth pays no
+/// spawn cost and the parallel machinery is exercised identically.
+fn run_workers<T, F>(threads: usize, worker: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn() -> T + Sync,
+{
+    if threads <= 1 {
+        return vec![worker()];
+    }
+    crossbeam::scope(|scope| {
+        let worker = &worker;
+        let handles: Vec<_> = (0..threads)
+            .map(|_| scope.spawn(move |_| worker()))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("growth worker panicked"))
+            .collect()
+    })
+    .expect("crossbeam scope")
 }
 
 /// Keep at most `max_classes_per_level` classes (already sorted by
@@ -275,5 +614,137 @@ mod tests {
         };
         let report = grow_frequent_subgraphs(&g, &config);
         assert_eq!(report.truncated_levels, vec![3]);
+    }
+
+    #[test]
+    fn exactly_exhausted_seed_budget_is_not_truncation() {
+        // planted() has exactly 13 size-3 candidates (5 triangles + 2
+        // paths-of-3 per path-of-4). A budget of exactly 13 examines all
+        // of them — no candidate exists beyond the budget, so reporting
+        // truncation would be the historical off-by-one.
+        let g = planted();
+        let base = GrowthConfig {
+            min_size: 3,
+            max_size: 3,
+            frequency_threshold: 1,
+            ..Default::default()
+        };
+        let exact = grow_frequent_subgraphs(
+            &g,
+            &GrowthConfig {
+                max_candidates_per_level: 13,
+                ..base.clone()
+            },
+        );
+        assert!(exact.truncated_levels.is_empty(), "budget == census");
+        assert_eq!(exact.classes.len(), 2);
+        let under = grow_frequent_subgraphs(
+            &g,
+            &GrowthConfig {
+                max_candidates_per_level: 12,
+                ..base
+            },
+        );
+        assert_eq!(under.truncated_levels, vec![3]);
+    }
+
+    #[test]
+    fn exactly_exhausted_extension_budget_is_not_truncation() {
+        // Star with 6 leaves: 15 size-3 candidates, C(6,3) = 20 unique
+        // size-4 extension candidates — the extension level exceeds the
+        // seed level, so a budget of 20 isolates the boundary there.
+        let g = Graph::from_edges(7, &[(0, 1), (0, 2), (0, 3), (0, 4), (0, 5), (0, 6)]);
+        let base = GrowthConfig {
+            min_size: 3,
+            max_size: 4,
+            frequency_threshold: 2,
+            ..Default::default()
+        };
+        let exact = grow_frequent_subgraphs(
+            &g,
+            &GrowthConfig {
+                max_candidates_per_level: 20,
+                ..base.clone()
+            },
+        );
+        assert!(exact.truncated_levels.is_empty(), "budget == unique sets");
+        let star4 = exact
+            .classes
+            .iter()
+            .find(|c| c.pattern.vertex_count() == 4)
+            .expect("star-4 class");
+        assert_eq!(star4.frequency, 20);
+        let under = grow_frequent_subgraphs(
+            &g,
+            &GrowthConfig {
+                max_candidates_per_level: 19,
+                ..base
+            },
+        );
+        assert_eq!(under.truncated_levels, vec![4]);
+    }
+
+    /// Full byte-level equality of two growth reports.
+    fn assert_reports_identical(a: &GrowthReport, b: &GrowthReport, what: &str) {
+        assert_eq!(a.truncated_levels, b.truncated_levels, "{what}: truncated");
+        assert_eq!(a.capped_levels, b.capped_levels, "{what}: capped");
+        assert_eq!(a.classes.len(), b.classes.len(), "{what}: class count");
+        for (i, (ca, cb)) in a.classes.iter().zip(&b.classes).enumerate() {
+            assert_eq!(ca.pattern, cb.pattern, "{what}: class {i} pattern");
+            assert_eq!(ca.frequency, cb.frequency, "{what}: class {i} frequency");
+            assert_eq!(ca.occurrences, cb.occurrences, "{what}: class {i} occurrences");
+        }
+    }
+
+    #[test]
+    fn output_is_identical_across_thread_counts() {
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let mut rng = SmallRng::seed_from_u64(17);
+        let g = ppi_graph::random::barabasi_albert(60, 2, &mut rng);
+        let base = GrowthConfig {
+            min_size: 3,
+            max_size: 5,
+            frequency_threshold: 3,
+            max_stored_occurrences: 7,
+            ..Default::default()
+        };
+        let reference = grow_frequent_subgraphs(&g, &GrowthConfig { threads: 1, ..base.clone() });
+        assert!(!reference.classes.is_empty());
+        for threads in [2, 4] {
+            let report = grow_frequent_subgraphs(&g, &GrowthConfig { threads, ..base.clone() });
+            assert_reports_identical(&reference, &report, &format!("threads={threads}"));
+        }
+    }
+
+    #[test]
+    fn truncated_output_is_identical_across_thread_counts() {
+        // Budgets that bind at both levels exercise the exact-cut second
+        // pass and the extension budget under parallel dedup.
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let mut rng = SmallRng::seed_from_u64(23);
+        let g = ppi_graph::random::erdos_renyi_gnm(50, 120, &mut rng);
+        for budget in [10, 37, 100] {
+            let base = GrowthConfig {
+                min_size: 3,
+                max_size: 4,
+                frequency_threshold: 2,
+                max_stored_occurrences: 5,
+                max_candidates_per_level: budget,
+                ..Default::default()
+            };
+            let reference =
+                grow_frequent_subgraphs(&g, &GrowthConfig { threads: 1, ..base.clone() });
+            for threads in [2, 4] {
+                let report =
+                    grow_frequent_subgraphs(&g, &GrowthConfig { threads, ..base.clone() });
+                assert_reports_identical(
+                    &reference,
+                    &report,
+                    &format!("budget={budget} threads={threads}"),
+                );
+            }
+        }
     }
 }

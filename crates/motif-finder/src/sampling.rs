@@ -29,90 +29,15 @@ pub fn sample_connected_subgraphs<R: Rng>(
     if k == 0 || k > g.vertex_count() {
         return;
     }
-    // Implemented over the exact enumerator with rejection at each depth
-    // via an acceptance transcript: for the exactness-critical uses we
-    // keep full ESU; here we re-run a randomized ESU directly.
-    let n = g.vertex_count();
-    let mut state = SampleState {
-        g,
-        k,
-        probs,
-        root: 0,
-        subgraph: Vec::with_capacity(k),
-        blocked: vec![false; n],
-        rng,
-    };
-    for v in 0..n as u32 {
-        if !state.rng.gen_bool(probs[0]) {
-            continue;
-        }
-        state.root = v;
-        state.subgraph.push(VertexId(v));
-        state.blocked[v as usize] = true;
-        let ext: Vec<u32> = g
-            .neighbors(VertexId(v))
-            .iter()
-            .copied()
-            .filter(|&u| u > v)
-            .collect();
-        for &u in &ext {
-            state.blocked[u as usize] = true;
-        }
-        let keep_going = state.extend(ext, visit);
-        for &u in g.neighbors(VertexId(v)) {
-            if u > v {
-                state.blocked[u as usize] = false;
-            }
-        }
-        state.blocked[v as usize] = false;
-        state.subgraph.pop();
-        if !keep_going {
+    // One walker, one gate: RAND-ESU is exact ESU with a per-depth coin
+    // flip, so the traversal is the shared `EsuWalker` and only the gate
+    // differs (a rejected vertex stays blocked, keeping the tree
+    // skeleton identical to the exact enumeration).
+    let mut walker = crate::esu::EsuWalker::new(g, k);
+    for v in 0..g.vertex_count() as u32 {
+        if !walker.enumerate_root(v, &mut |depth| rng.gen_bool(probs[depth]), visit) {
             return;
         }
-    }
-}
-
-struct SampleState<'a, R: Rng> {
-    g: &'a Graph,
-    k: usize,
-    probs: &'a [f64],
-    root: u32,
-    subgraph: Vec<VertexId>,
-    blocked: Vec<bool>,
-    rng: &'a mut R,
-}
-
-impl<R: Rng> SampleState<'_, R> {
-    fn extend(&mut self, ext: Vec<u32>, visit: &mut dyn FnMut(&[VertexId]) -> bool) -> bool {
-        if self.subgraph.len() == self.k {
-            return visit(&self.subgraph);
-        }
-        let depth = self.subgraph.len(); // next vertex placed at this depth
-        let mut remaining = ext;
-        while let Some(w) = remaining.pop() {
-            if !self.rng.gen_bool(self.probs[depth]) {
-                continue; // w stays blocked: same skeleton as exact ESU
-            }
-            let mut new_ext = remaining.clone();
-            let mut added: Vec<u32> = Vec::new();
-            for &u in self.g.neighbors(VertexId(w)) {
-                if u > self.root && !self.blocked[u as usize] {
-                    new_ext.push(u);
-                    added.push(u);
-                    self.blocked[u as usize] = true;
-                }
-            }
-            self.subgraph.push(VertexId(w));
-            let keep_going = self.extend(new_ext, visit);
-            self.subgraph.pop();
-            for &u in &added {
-                self.blocked[u as usize] = false;
-            }
-            if !keep_going {
-                return false;
-            }
-        }
-        true
     }
 }
 

@@ -9,6 +9,7 @@
 //! parallel with crossbeam scoped threads.
 
 use crate::subgraph_match::count_occurrences_capped;
+use par_util::{resolve_threads, split_chunks};
 use ppi_graph::random::degree_preserving_shuffle;
 use ppi_graph::Graph;
 use rand::rngs::SmallRng;
@@ -59,13 +60,7 @@ pub fn uniqueness_scores<R: Rng>(
         return vec![1.0; patterns.len()];
     }
     let seeds: Vec<u64> = (0..config.n_random).map(|_| rng.gen()).collect();
-    let threads = if config.threads == 0 {
-        std::thread::available_parallelism().map_or(1, |p| p.get())
-    } else {
-        config.threads
-    }
-    .min(config.n_random)
-    .max(1);
+    let threads = resolve_threads(config.threads).min(config.n_random).max(1);
 
     // wins[i] = number of randomized networks where pattern i stayed at
     // or below its real frequency.
@@ -121,15 +116,6 @@ pub fn uniqueness_scores<R: Rng>(
     wins.iter()
         .map(|&w| w as f64 / config.n_random as f64)
         .collect()
-}
-
-fn split_chunks(seeds: &[u64], parts: usize) -> Vec<Vec<u64>> {
-    let mut chunks: Vec<Vec<u64>> = vec![Vec::new(); parts];
-    for (i, &s) in seeds.iter().enumerate() {
-        chunks[i % parts].push(s);
-    }
-    chunks.retain(|c| !c.is_empty());
-    chunks
 }
 
 #[cfg(test)]

@@ -79,6 +79,40 @@ proptest! {
     }
 
     #[test]
+    fn growth_is_identical_across_thread_counts(g in graph_strategy(14, 30)) {
+        // The parallel discovery front-end must be byte-identical for
+        // any GrowthConfig::threads value: same class patterns, same
+        // occurrence lists in the same order, same frequencies, same
+        // truncation/capping reports. Exercised both with an unbounded
+        // candidate budget and with a small one that forces the
+        // exact-cut truncation machinery.
+        for budget in [usize::MAX, 25] {
+            let base = GrowthConfig {
+                min_size: 3,
+                max_size: 5,
+                frequency_threshold: 2,
+                max_stored_occurrences: 6,
+                max_candidates_per_level: budget,
+                ..Default::default()
+            };
+            let reference =
+                grow_frequent_subgraphs(&g, &GrowthConfig { threads: 1, ..base.clone() });
+            for threads in [2usize, 4] {
+                let report =
+                    grow_frequent_subgraphs(&g, &GrowthConfig { threads, ..base.clone() });
+                prop_assert_eq!(&reference.truncated_levels, &report.truncated_levels);
+                prop_assert_eq!(&reference.capped_levels, &report.capped_levels);
+                prop_assert_eq!(reference.classes.len(), report.classes.len());
+                for (a, b) in reference.classes.iter().zip(&report.classes) {
+                    prop_assert_eq!(&a.pattern, &b.pattern);
+                    prop_assert_eq!(a.frequency, b.frequency);
+                    prop_assert_eq!(&a.occurrences, &b.occurrences);
+                }
+            }
+        }
+    }
+
+    #[test]
     fn self_count_is_one(g in graph_strategy(8, 14)) {
         // Any connected graph occurs in itself exactly once as a vertex
         // set (when pattern == target).

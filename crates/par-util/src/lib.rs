@@ -1,0 +1,15 @@
+//! Shared parallelism utilities.
+//!
+//! Every parallel stage in the workspace follows the same conventions:
+//! a `threads` knob where `0` means one worker per available core, work
+//! split deterministically so output is byte-identical for any thread
+//! count, and pure-function memo tables shared between workers. The
+//! pieces implementing those conventions live here so the labeling
+//! pipeline (`lamofinder`), the uniqueness null model and the discovery
+//! front-end (`motif-finder`) do not each carry a private copy.
+
+pub mod sharded;
+pub mod threads;
+
+pub use sharded::ShardedCache;
+pub use threads::{resolve_threads, split_chunks};

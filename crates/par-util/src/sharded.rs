@@ -1,10 +1,12 @@
 //! A sharded, insert-once concurrent memo table.
 //!
 //! The labeling pipeline memoizes pure functions (`ST`, lowest common
-//! parents, `SV`) whose results are recomputed identically by every
-//! thread. One global `RwLock<HashMap>` serializes all writers during
-//! cache warm-up — the hottest phase of a parallel run — so the map is
-//! split into shards, each behind its own lock, selected by key hash.
+//! parents, `SV`) and the discovery front-end memoizes canonical codes
+//! of bit-packed candidate subgraphs; in both cases the results are
+//! recomputed identically by every thread. One global `RwLock<HashMap>`
+//! serializes all writers during cache warm-up — the hottest phase of a
+//! parallel run — so the map is split into shards, each behind its own
+//! lock, selected by key hash.
 //! Values are computed *outside* any lock and inserted with first-writer
 //! wins (`entry().or_insert`): concurrent computes waste a little work
 //! but, being pure, always agree, so reads are deterministic regardless

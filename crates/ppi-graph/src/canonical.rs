@@ -97,6 +97,71 @@ fn bits_under(g: &Graph, pos: &[u32]) -> Vec<u64> {
     bits
 }
 
+/// Largest vertex count for which [`small_canonical_code`] applies: the
+/// full row-major n×n adjacency bit-matrix must fit one `u64` word.
+pub const SMALL_CANON_MAX: usize = 8;
+
+/// Pack the adjacency matrix of a graph with at most
+/// [`SMALL_CANON_MAX`] vertices into a single word (row-major n×n
+/// bits). Together with the vertex count this determines the labeled
+/// graph exactly, which makes the word a perfect memo key for
+/// per-candidate canonical codes in the discovery hot loop.
+pub fn small_adjacency_bits(g: &Graph) -> u64 {
+    let n = g.vertex_count();
+    assert!(n <= SMALL_CANON_MAX, "graph too large for one-word packing");
+    let mut bits = 0u64;
+    for e in g.edges() {
+        let (i, j) = (e.0.index(), e.1.index());
+        bits |= 1 << (i * n + j);
+        bits |= 1 << (j * n + i);
+    }
+    bits
+}
+
+/// Exact canonical code of a graph with at most [`SMALL_CANON_MAX`]
+/// vertices: `(code, labeling)` where `code` is the packed canonical
+/// adjacency matrix (equal codes ⇔ isomorphic graphs) and `labeling`
+/// packs the canonical labeling 4 bits per position — the original
+/// vertex at canonical position `i` is `(labeling >> (4 * i)) & 0xF`.
+///
+/// The labeling lets a caller align data attached to the original
+/// vertices onto the canonical representative (see
+/// [`small_graph_from_bits`]) without running a separate isomorphism
+/// search per candidate.
+pub fn small_canonical_code(g: &Graph) -> (u64, u64) {
+    let n = g.vertex_count();
+    assert!(n <= SMALL_CANON_MAX, "graph too large for one-word packing");
+    let lab = canonical_labeling(g);
+    let mut pos = vec![u32::MAX; n];
+    let mut packed_lab = 0u64;
+    for (i, &v) in lab.iter().enumerate() {
+        pos[v.index()] = i as u32;
+        packed_lab |= (v.0 as u64) << (4 * i);
+    }
+    let mut code = 0u64;
+    for e in g.edges() {
+        let (i, j) = (pos[e.0.index()] as usize, pos[e.1.index()] as usize);
+        code |= 1 << (i * n + j);
+        code |= 1 << (j * n + i);
+    }
+    (code, packed_lab)
+}
+
+/// Rebuild a graph from its one-word packed adjacency matrix (the
+/// inverse of [`small_adjacency_bits`] for fixed `n`).
+pub fn small_graph_from_bits(n: usize, bits: u64) -> Graph {
+    assert!(n <= SMALL_CANON_MAX, "graph too large for one-word packing");
+    let mut g = Graph::empty(n);
+    for i in 0..n {
+        for j in i + 1..n {
+            if bits >> (i * n + j) & 1 == 1 {
+                g.add_edge(VertexId(i as u32), VertexId(j as u32));
+            }
+        }
+    }
+    g
+}
+
 /// Recognize families where refinement yields one big cell but the
 /// canonical labeling is obvious: edgeless, complete, and cycles.
 fn special_case_labeling(g: &Graph) -> Option<Vec<VertexId>> {
@@ -239,6 +304,51 @@ mod tests {
             canonical_form(&Graph::empty(2)),
             canonical_form(&Graph::from_edges(2, &[(0, 1)]))
         );
+    }
+
+    #[test]
+    fn small_code_matches_canonical_form() {
+        // Across every labeled 4-vertex graph, the packed code must
+        // agree with the Vec-based canonical form (same partition into
+        // the 11 classes) and the packed labeling must reproduce the
+        // canonical representative.
+        let pairs = [(0u32, 1u32), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)];
+        let mut by_key = std::collections::HashMap::new();
+        for mask in 0u32..64 {
+            let edges: Vec<(u32, u32)> = pairs
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| mask >> i & 1 == 1)
+                .map(|(_, &e)| e)
+                .collect();
+            let g = Graph::from_edges(4, &edges);
+            let (code, packed_lab) = small_canonical_code(&g);
+            let prev = by_key.insert(canonical_form(&g), code);
+            if let Some(prev_code) = prev {
+                assert_eq!(prev_code, code, "same class, same code");
+            }
+            // Unpack the labeling and check it rebuilds the code graph.
+            let lab: Vec<VertexId> = (0..4)
+                .map(|i| VertexId((packed_lab >> (4 * i) & 0xF) as u32))
+                .collect();
+            assert_eq!(
+                apply_labeling(&g, &lab),
+                small_graph_from_bits(4, code),
+                "labeling reproduces the canonical representative"
+            );
+        }
+        let codes: std::collections::HashSet<u64> = by_key.values().copied().collect();
+        assert_eq!(codes.len(), 11, "codes separate the 11 classes");
+    }
+
+    #[test]
+    fn small_bits_roundtrip() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (0, 2)]);
+        let bits = small_adjacency_bits(&g);
+        assert_eq!(small_graph_from_bits(5, bits), g);
+        // The canonical code graph is isomorphic to the input.
+        let (code, _) = small_canonical_code(&g);
+        assert!(are_isomorphic(&g, &small_graph_from_bits(5, code)));
     }
 
     #[test]

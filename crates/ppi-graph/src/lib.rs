@@ -35,7 +35,10 @@ pub use digraph::{
     are_digraphs_isomorphic, directed_automorphism_orbits, directed_interchangeable_classes,
     find_digraph_isomorphism, DiGraph,
 };
-pub use canonical::{canonical_form, canonical_graph, canonical_labeling, CanonicalKey};
+pub use canonical::{
+    canonical_form, canonical_graph, canonical_labeling, small_adjacency_bits,
+    small_canonical_code, small_graph_from_bits, CanonicalKey, SMALL_CANON_MAX,
+};
 pub use graph::{Edge, Graph, GraphBuilder, VertexId};
 pub use io::{ParseError, PpiNetwork};
 pub use isomorphism::{are_isomorphic, enumerate_isomorphisms, find_isomorphism, Mapping};
