@@ -1,0 +1,43 @@
+//! Profile the lamolint static-analysis pass over the workspace: files
+//! scanned, findings, suppressions, and wall time. Writes
+//! `BENCH_lint.json` so lint cost is tracked next to the pipeline
+//! benchmarks as the tree grows.
+
+use lamofinder_bench::report::JsonObject;
+use std::time::Instant;
+
+fn main() {
+    let cwd = std::env::current_dir().expect("current dir is readable");
+    let root = lamolint::find_workspace_root(&cwd)
+        .expect("profile_lint runs from inside the workspace");
+
+    // Warm the page cache so the timed pass measures analysis, not I/O.
+    lamolint::run_check(&root).expect("workspace sources are readable");
+
+    let t = Instant::now();
+    let report = lamolint::run_check(&root).expect("workspace sources are readable");
+    let secs = t.elapsed().as_secs_f64();
+
+    let files = report.files.len();
+    let findings = report.diagnostics.len();
+    println!(
+        "lint: {files} files, {findings} finding(s), {} suppressed in {secs:.3}s \
+         ({:.0} files/s)",
+        report.suppressed,
+        files as f64 / secs.max(1e-9)
+    );
+
+    let mut doc = JsonObject::new()
+        .str("benchmark", "lamolint_check")
+        .int("files_scanned", files)
+        .int("findings", findings)
+        .int("suppressed", report.suppressed)
+        .num("secs", secs)
+        .num("files_per_sec", files as f64 / secs.max(1e-9));
+    for (rule, count) in report.rule_counts() {
+        doc = doc.int(rule, count);
+    }
+    std::fs::write("BENCH_lint.json", format!("{}\n", doc.render()))
+        .expect("write BENCH_lint.json");
+    println!("wrote BENCH_lint.json");
+}

@@ -437,7 +437,7 @@ fn so_matrix(
             .map(|h| h.join().expect("SO matrix worker panicked"))
             .collect()
     })
-    .expect("crossbeam scope");
+    .expect("crossbeam scope fails only when a worker panicked");
     for part in parts {
         for (i, row) in part {
             for (off, s) in row.into_iter().enumerate() {

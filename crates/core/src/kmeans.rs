@@ -56,7 +56,7 @@ pub fn kmedoids_label(
                 .iter()
                 .enumerate()
                 .max_by(|(_, &a), (_, &b)| {
-                    sim[i][a].partial_cmp(&sim[i][b]).expect("finite sims")
+                    sim[i][a].partial_cmp(&sim[i][b]).expect("similarities are finite by construction, so partial_cmp succeeds")
                 })
                 .map(|(c, _)| c)
                 .expect("k >= 1");
@@ -75,9 +75,9 @@ pub fn kmedoids_label(
                 .max_by(|&&a, &&b| {
                     let sa: f64 = members.iter().map(|&m| sim[a][m]).sum();
                     let sb: f64 = members.iter().map(|&m| sim[b][m]).sum();
-                    sa.partial_cmp(&sb).expect("finite sims")
+                    sa.partial_cmp(&sb).expect("similarities are finite by construction, so partial_cmp succeeds")
                 })
-                .expect("non-empty cluster");
+                .expect("every cluster retains at least its medoid");
             if best != *medoid {
                 *medoid = best;
                 changed = true;
@@ -116,7 +116,7 @@ pub fn kmedoids_label(
                 }
             }
         }
-        let scheme = vocabulary_filter(&scheme.expect("members non-empty"), ctx.informative);
+        let scheme = vocabulary_filter(&scheme.expect("loop above assigns a scheme whenever members exist"), ctx.informative);
         if !scheme.is_all_unknown() {
             out.push(LabeledCluster {
                 scheme,

@@ -152,7 +152,7 @@ impl<'a> LaMoFinder<'a> {
                 .map(|h| h.join().expect("labeling worker panicked"))
                 .collect()
         })
-        .expect("crossbeam scope");
+        .expect("crossbeam scope fails only when a worker panicked");
         let mut keyed: Vec<(usize, Vec<T>)> = parts.into_iter().flatten().collect();
         keyed.sort_by_key(|&(mi, _)| mi);
         keyed.into_iter().flat_map(|(_, v)| v).collect()

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! **LaMoFinder** — Labeled Motif Finder (Chen, Hsu, Lee, Ng; ICDE 2007).
 //!
 //! The paper's contribution: given the network motifs of a PPI network

@@ -91,7 +91,7 @@ impl LeaveOneOut {
                 order.sort_by(|&a, &b| {
                     scores[p][b]
                         .partial_cmp(&scores[p][a])
-                        .expect("finite scores")
+                        .expect("prediction scores are finite by construction, so partial_cmp succeeds")
                         .then(a.cmp(&b))
                 });
                 order

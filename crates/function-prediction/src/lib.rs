@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Protein function prediction (Section 5 of the paper).
 //!
 //! The labeled-network-motif predictor (Eqs. 4–5) and the four

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Gene Ontology substrate for the LaMoFinder reproduction.
 //!
 //! Implements everything Section 2 of the paper needs from GO:

@@ -279,7 +279,7 @@ impl OntologyBuilder {
             }
         }
         if topo.len() != n {
-            let stuck = (0..n).find(|&i| in_deg[i] > 0).expect("cycle member");
+            let stuck = (0..n).find(|&i| in_deg[i] > 0).expect("topo sort stalled, so some vertex kept positive in-degree");
             return Err(OntologyError::Cycle(self.terms[stuck].accession.clone()));
         }
 

@@ -1,0 +1,148 @@
+//! Diagnostic types and the rule catalog.
+
+use std::fmt;
+
+/// The rules lamolint enforces. See DESIGN.md §12 for the catalog with
+/// rationale and examples.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// Iteration over a `HashMap`/`HashSet` whose items flow into a
+    /// returned/collected/extended collection without a sort.
+    NondetIteration,
+    /// `Instant`/`SystemTime`/thread-id use outside `crates/bench`.
+    WallClock,
+    /// RNG construction that is not from an explicit seed.
+    UnseededRng,
+    /// A `Mutex`/`RwLock` guard binding held across `spawn`, a channel
+    /// `send`, or a call into a `ShardedCache` shard.
+    GuardAcrossSpawn,
+    /// `unwrap`/`expect`/`panic!` in non-test library code (documented
+    /// `expect("<invariant>")` messages are allowed).
+    LibUnwrap,
+    /// A library crate root missing `#![forbid(unsafe_code)]`.
+    ForbidUnsafe,
+    /// A `lamolint::allow(...)` suppression without a justification.
+    BadSuppression,
+}
+
+/// Every rule, in report order.
+pub const ALL_RULES: [Rule; 7] = [
+    Rule::NondetIteration,
+    Rule::WallClock,
+    Rule::UnseededRng,
+    Rule::GuardAcrossSpawn,
+    Rule::LibUnwrap,
+    Rule::ForbidUnsafe,
+    Rule::BadSuppression,
+];
+
+impl Rule {
+    /// Stable kebab-case name used in output and suppression comments.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::NondetIteration => "nondet-iteration",
+            Rule::WallClock => "wall-clock",
+            Rule::UnseededRng => "unseeded-rng",
+            Rule::GuardAcrossSpawn => "guard-across-spawn",
+            Rule::LibUnwrap => "lib-unwrap",
+            Rule::ForbidUnsafe => "forbid-unsafe",
+            Rule::BadSuppression => "bad-suppression",
+        }
+    }
+
+    /// Parse a rule name as written in a suppression comment.
+    pub fn from_name(name: &str) -> Option<Rule> {
+        ALL_RULES.iter().copied().find(|r| r.name() == name)
+    }
+
+    /// One-line description for `lamolint rules` and the docs.
+    pub fn describe(self) -> &'static str {
+        match self {
+            Rule::NondetIteration => {
+                "HashMap/HashSet iteration order must not reach returned or \
+                 collected output without an intervening sort (or a BTree \
+                 collection)"
+            }
+            Rule::WallClock => {
+                "Instant/SystemTime/thread-id reads are confined to \
+                 crates/bench; pipeline code must be time-independent"
+            }
+            Rule::UnseededRng => {
+                "every RNG must be constructed from an explicit seed \
+                 (seed_from_u64/from_seed); entropy sources break replay"
+            }
+            Rule::GuardAcrossSpawn => {
+                "a Mutex/RwLock guard may not stay live across scope.spawn, \
+                 a channel send, or a ShardedCache shard call (deadlock shape)"
+            }
+            Rule::LibUnwrap => {
+                "library code may not unwrap/expect/panic! outside tests \
+                 unless the expect message documents the invariant"
+            }
+            Rule::ForbidUnsafe => {
+                "every crate root (src/lib.rs) must carry \
+                 #![forbid(unsafe_code)]"
+            }
+            Rule::BadSuppression => {
+                "lamolint::allow(rule) comments must carry a written \
+                 justification after a colon"
+            }
+        }
+    }
+}
+
+/// One finding, anchored to a file position.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Diagnostic {
+    /// Workspace-relative path with forward slashes.
+    pub path: String,
+    pub line: u32,
+    pub col: u32,
+    pub rule: Rule,
+    pub message: String,
+}
+
+impl Diagnostic {
+    pub fn new(path: &str, line: u32, col: u32, rule: Rule, message: impl Into<String>) -> Self {
+        Diagnostic {
+            path: path.to_string(),
+            line,
+            col,
+            rule,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: [{}] {}",
+            self.path,
+            self.line,
+            self.col,
+            self.rule.name(),
+            self.message
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_names_round_trip() {
+        for rule in ALL_RULES {
+            assert_eq!(Rule::from_name(rule.name()), Some(rule));
+        }
+        assert_eq!(Rule::from_name("no-such-rule"), None);
+    }
+
+    #[test]
+    fn display_format() {
+        let d = Diagnostic::new("crates/x/src/a.rs", 3, 7, Rule::LibUnwrap, "msg");
+        assert_eq!(d.to_string(), "crates/x/src/a.rs:3:7: [lib-unwrap] msg");
+    }
+}

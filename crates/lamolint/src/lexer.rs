@@ -1,0 +1,482 @@
+//! A hand-rolled Rust lexer.
+//!
+//! The build environment is offline, so `lamolint` cannot lean on `syn`
+//! or `proc-macro2`; instead this module tokenizes Rust source directly.
+//! It recognizes exactly enough of the language for syntactic linting:
+//! identifiers, lifetimes, the three literal families (string/char,
+//! numeric), line/block/doc comments, and single-character punctuation.
+//! It never fails: malformed input (unterminated strings, stray quotes,
+//! lone backslashes) degrades to best-effort tokens that simply consume
+//! to end of input, a property pinned by a proptest over arbitrary byte
+//! soup (`tests/prop_lexer.rs`).
+//!
+//! Correct string/comment handling is the whole point: a lint that greps
+//! raw text would flag `unwrap` inside doc examples or string literals.
+//! All rule logic therefore runs on this token stream, never on raw text.
+
+/// Token classification; just fine-grained enough for the rules.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (also raw identifiers, without the `r#`).
+    Ident,
+    /// Lifetime such as `'a` (quote included in text).
+    Lifetime,
+    /// String literal of any flavor: `"…"`, `r#"…"#`, `b"…"`, `c"…"`.
+    Str,
+    /// Character or byte literal: `'x'`, `b'\n'`.
+    Char,
+    /// Numeric literal, including suffixes: `0xff_u32`, `1.5e-3`.
+    Num,
+    /// `// …` comment (doc `///` and `//!` included), without newline.
+    LineComment,
+    /// `/* … */` comment, possibly nested, possibly unterminated.
+    BlockComment,
+    /// Any other single character: `{`, `.`, `;`, `#`, `!`, …
+    Punct,
+}
+
+/// One lexed token with its 1-based source position.
+#[derive(Clone, Debug)]
+pub struct Token {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+    pub col: u32,
+}
+
+impl Token {
+    /// Whether this token is a comment of either flavor.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+
+    /// Whether this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+
+    /// Whether this token is the identifier/keyword `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == name
+    }
+}
+
+/// Tokenize `src` into a complete token stream (comments included).
+///
+/// Total: every input produces a token vector; no input panics. Column
+/// positions are in characters, not bytes, so diagnostics line up with
+/// what editors display.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    chars: Vec<(usize, char)>,
+    src: &'a str,
+    pos: usize,
+    line: u32,
+    col: u32,
+    out: Vec<Token>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            chars: src.char_indices().collect(),
+            src,
+            pos: 0,
+            line: 1,
+            col: 1,
+            out: Vec::new(),
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).map(|&(_, c)| c)
+    }
+
+    /// Advance one char, maintaining line/col.
+    fn bump(&mut self) -> Option<char> {
+        let &(_, c) = self.chars.get(self.pos)?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn byte_at(&self, tok_pos: usize) -> usize {
+        self.chars
+            .get(tok_pos)
+            .map(|&(b, _)| b)
+            .unwrap_or(self.src.len())
+    }
+
+    fn text_between(&self, start: usize, end: usize) -> String {
+        self.src[self.byte_at(start)..self.byte_at(end)].to_string()
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek(0) {
+            let (line, col, start) = (self.line, self.col, self.pos);
+            let kind = self.next_kind(c);
+            let kind = match kind {
+                Some(k) => k,
+                None => continue, // whitespace
+            };
+            let text = self.text_between(start, self.pos);
+            self.out.push(Token {
+                kind,
+                text,
+                line,
+                col,
+            });
+        }
+        self.out
+    }
+
+    /// Consume one token starting at `c`; `None` means whitespace was skipped.
+    fn next_kind(&mut self, c: char) -> Option<TokKind> {
+        if c.is_whitespace() {
+            self.bump();
+            return None;
+        }
+        if c == '/' {
+            match self.peek(1) {
+                Some('/') => return Some(self.line_comment()),
+                Some('*') => return Some(self.block_comment()),
+                _ => {}
+            }
+        }
+        if c == 'r' || c == 'b' || c == 'c' {
+            if let Some(kind) = self.maybe_prefixed_literal() {
+                return Some(kind);
+            }
+        }
+        if c == '_' || c.is_alphabetic() {
+            self.ident();
+            return Some(TokKind::Ident);
+        }
+        if c.is_ascii_digit() {
+            self.number();
+            return Some(TokKind::Num);
+        }
+        match c {
+            '"' => Some(self.string()),
+            '\'' => Some(self.char_or_lifetime()),
+            _ => {
+                self.bump();
+                Some(TokKind::Punct)
+            }
+        }
+    }
+
+    fn line_comment(&mut self) -> TokKind {
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            self.bump();
+        }
+        TokKind::LineComment
+    }
+
+    fn block_comment(&mut self) -> TokKind {
+        self.bump(); // '/'
+        self.bump(); // '*'
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    self.bump();
+                    self.bump();
+                    depth += 1;
+                }
+                (Some('*'), Some('/')) => {
+                    self.bump();
+                    self.bump();
+                    depth -= 1;
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break, // unterminated: consume to EOF
+            }
+        }
+        TokKind::BlockComment
+    }
+
+    /// `r"…"`, `r#"…"#`, `b"…"`, `br##"…"##`, `b'x'`, `c"…"`, or a plain
+    /// identifier starting with r/b/c (including raw idents `r#name`).
+    fn maybe_prefixed_literal(&mut self) -> Option<TokKind> {
+        let mut ahead: usize = 1;
+        // Optional second prefix letter: br / cr (raw byte / raw C string).
+        if matches!(self.peek(0), Some('b') | Some('c')) && self.peek(1) == Some('r') {
+            ahead = 2;
+        }
+        let raw = self.peek(ahead.saturating_sub(1)) == Some('r') || self.peek(0) == Some('r');
+        // Count '#' marks after an 'r' prefix.
+        let mut hashes = 0usize;
+        if raw {
+            while self.peek(ahead + hashes) == Some('#') {
+                hashes += 1;
+            }
+        }
+        match self.peek(ahead + hashes) {
+            Some('"') => {
+                for _ in 0..(ahead + hashes + 1) {
+                    self.bump();
+                }
+                self.raw_or_plain_string_body(if raw { hashes } else { 0 }, raw);
+                Some(TokKind::Str)
+            }
+            Some('\'') if !raw && ahead == 1 && self.peek(0) == Some('b') => {
+                self.bump(); // 'b'
+                Some(self.char_or_lifetime())
+            }
+            Some(c) if raw && hashes == 1 && (c == '_' || c.is_alphabetic()) => {
+                // Raw identifier r#name.
+                for _ in 0..(ahead + hashes) {
+                    self.bump();
+                }
+                self.ident();
+                Some(TokKind::Ident)
+            }
+            _ => {
+                if self.peek(0).map(|c| c == '_' || c.is_alphabetic()) == Some(true) {
+                    self.ident();
+                    Some(TokKind::Ident)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Body of a string already opened: raw (match `"#…#`) or escaped.
+    fn raw_or_plain_string_body(&mut self, hashes: usize, raw: bool) {
+        loop {
+            match self.peek(0) {
+                None => break, // unterminated
+                Some('\\') if !raw => {
+                    self.bump();
+                    self.bump(); // escaped char (or EOF)
+                }
+                Some('"') => {
+                    self.bump();
+                    if !raw || (0..hashes).all(|i| self.peek(i) == Some('#')) {
+                        for _ in 0..hashes {
+                            self.bump();
+                        }
+                        break;
+                    }
+                }
+                Some(_) => {
+                    self.bump();
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> TokKind {
+        self.bump(); // opening quote
+        self.raw_or_plain_string_body(0, false);
+        TokKind::Str
+    }
+
+    /// Disambiguate `'a` (lifetime) from `'a'` / `'\n'` (char literal).
+    fn char_or_lifetime(&mut self) -> TokKind {
+        self.bump(); // opening quote
+        match self.peek(0) {
+            Some(c) if (c == '_' || c.is_alphanumeric()) && c != '\'' => {
+                if self.peek(1) == Some('\'') {
+                    // 'x' — a one-character char literal.
+                    self.bump();
+                    self.bump();
+                    TokKind::Char
+                } else {
+                    // 'ident — a lifetime (consume the identifier part).
+                    self.ident();
+                    TokKind::Lifetime
+                }
+            }
+            Some('\\') => {
+                // Escaped char literal: consume until closing quote or EOL.
+                self.bump();
+                self.bump();
+                while let Some(c) = self.peek(0) {
+                    self.bump();
+                    if c == '\'' || c == '\n' {
+                        break;
+                    }
+                }
+                TokKind::Char
+            }
+            Some('\'') => {
+                // '' — malformed; treat as an empty char literal.
+                self.bump();
+                TokKind::Char
+            }
+            Some(_) => {
+                // Non-alphanumeric like '+' — char literal if closed.
+                self.bump();
+                if self.peek(0) == Some('\'') {
+                    self.bump();
+                }
+                TokKind::Char
+            }
+            None => TokKind::Char, // lone quote at EOF
+        }
+    }
+
+    fn ident(&mut self) {
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_alphanumeric() {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn number(&mut self) {
+        // Integer / prefix part (0x, 0b, 0o digits, underscores, suffixes).
+        while let Some(c) = self.peek(0) {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        // Fractional part: only if followed by a digit (so `0..n` ranges
+        // and `x.1` tuple access stay punctuation).
+        if self.peek(0) == Some('.') && self.peek(1).map(|c| c.is_ascii_digit()) == Some(true) {
+            self.bump();
+            while let Some(c) = self.peek(0) {
+                if c.is_ascii_alphanumeric() || c == '_' {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        // Exponent sign: `1.5e-3` — the alnum loop above eats `e`, the
+        // sign and exponent digits still follow. Only continue when the
+        // previous consumed char really was an exponent marker.
+        if matches!(self.peek(0), Some('+') | Some('-')) {
+            let prev = self.chars.get(self.pos.wrapping_sub(1)).map(|&(_, c)| c);
+            if matches!(prev, Some('e') | Some('E')) {
+                self.bump();
+                while let Some(c) = self.peek(0) {
+                    if c.is_ascii_digit() || c == '_' {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_keywords_punct() {
+        let toks = kinds("let mut x = y.unwrap();");
+        let texts: Vec<&str> = toks.iter().map(|(_, t)| t.as_str()).collect();
+        assert_eq!(texts, ["let", "mut", "x", "=", "y", ".", "unwrap", "(", ")", ";"]);
+        assert_eq!(toks[0].0, TokKind::Ident);
+        assert_eq!(toks[3].0, TokKind::Punct);
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let toks = kinds(r#"let s = "a.unwrap() /* no */";"#);
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::Str).count(), 1);
+        assert!(!toks.iter().any(|(_, t)| t == "unwrap"));
+    }
+
+    #[test]
+    fn raw_and_byte_strings() {
+        let toks = kinds(r###"let s = r#"quote " inside"#; let b = b"bytes"; let c = br##"x"##;"###);
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::Str).count(), 3);
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokKind::Lifetime).count(),
+            2
+        );
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::Char).count(), 2);
+    }
+
+    #[test]
+    fn comments_and_nesting() {
+        let toks = kinds("code() // line\n/* outer /* inner */ still */ more");
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokKind::LineComment).count(),
+            1
+        );
+        let block: Vec<&String> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::BlockComment)
+            .map(|(_, t)| t)
+            .collect();
+        assert_eq!(block.len(), 1);
+        assert!(block[0].contains("inner"));
+        assert!(toks.iter().any(|(_, t)| t == "more"));
+    }
+
+    #[test]
+    fn numbers_with_suffixes_and_ranges() {
+        let toks = kinds("0xff_u32 1.5e-3 0..n x.0");
+        let nums: Vec<&String> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Num)
+            .map(|(_, t)| t)
+            .collect();
+        assert_eq!(nums, ["0xff_u32", "1.5e-3", "0", "0"]);
+    }
+
+    #[test]
+    fn positions_are_one_based_lines_and_cols() {
+        let toks = lex("a\n  bb\n");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn malformed_input_terminates() {
+        for src in [
+            "\"unterminated",
+            "r#\"never closed",
+            "/* no end",
+            "'",
+            "b'",
+            "r#",
+            "'\\",
+            "1e+",
+            "\\",
+        ] {
+            let _ = lex(src); // must not panic or loop
+        }
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        let toks = kinds("r#type r#match plain");
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::Ident).count(), 3);
+    }
+}

@@ -1,0 +1,263 @@
+#![forbid(unsafe_code)]
+//! **lamolint** — the workspace's own static-analysis pass.
+//!
+//! PRs 1–2 bought two guarantees the proptests alone cannot keep safe
+//! against future edits: byte-identical parallel output (DESIGN §10–§11)
+//! and deadlock-free sharded caching. lamolint turns those into
+//! CI-enforced law with a hand-rolled lexer (the build is offline; no
+//! `syn`) and a lightweight syntactic analyzer over every `.rs` file in
+//! `crates/` and `src/`:
+//!
+//! * **determinism** — `nondet-iteration`, `wall-clock`, `unseeded-rng`;
+//! * **lock-safety** — `guard-across-spawn`;
+//! * **panic-surface** — `lib-unwrap`, `forbid-unsafe`;
+//! * plus `bad-suppression` for `lamolint::allow` comments that carry no
+//!   written justification.
+//!
+//! Run `cargo run -p lamolint --release -- check` from anywhere in the
+//! workspace; see DESIGN.md §12 for the rule catalog and suppression
+//! syntax.
+
+pub mod diag;
+pub mod lexer;
+pub mod model;
+pub mod rules;
+pub mod suppress;
+
+use diag::{Diagnostic, ALL_RULES};
+#[cfg(test)]
+use diag::Rule;
+use rules::FileScope;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Aggregated result of linting a tree.
+pub struct Report {
+    /// Files actually analyzed (post scope filtering), sorted.
+    pub files: Vec<String>,
+    /// All surviving findings, sorted by (path, line, col, rule).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Findings silenced by justified suppressions.
+    pub suppressed: usize,
+}
+
+impl Report {
+    /// Number of findings per rule, in catalog order (zeroes included so
+    /// report diffs across PRs line up).
+    pub fn rule_counts(&self) -> Vec<(&'static str, usize)> {
+        ALL_RULES
+            .iter()
+            .map(|&r| {
+                (
+                    r.name(),
+                    self.diagnostics.iter().filter(|d| d.rule == r).count(),
+                )
+            })
+            .collect()
+    }
+
+    /// Process exit code: 0 clean, 1 findings.
+    pub fn exit_code(&self) -> i32 {
+        i32::from(!self.diagnostics.is_empty())
+    }
+
+    /// Human-readable rendering: one line per finding plus a summary.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&d.to_string());
+            out.push('\n');
+        }
+        if self.diagnostics.is_empty() {
+            out.push_str(&format!(
+                "lamolint: clean — {} files scanned, {} finding(s) suppressed \
+                 with justification\n",
+                self.files.len(),
+                self.suppressed
+            ));
+        } else {
+            out.push_str(&format!(
+                "lamolint: {} finding(s) in {} files scanned ({} suppressed)\n",
+                self.diagnostics.len(),
+                self.files.len(),
+                self.suppressed
+            ));
+        }
+        out
+    }
+
+    /// Deterministic JSON rendering (same content as the human form;
+    /// `target/lamolint-report.json` diffs track rule counts across PRs).
+    pub fn to_json(&self) -> String {
+        let diags: Vec<String> = self
+            .diagnostics
+            .iter()
+            .map(|d| {
+                format!(
+                    "{{\"path\": {}, \"line\": {}, \"col\": {}, \"rule\": {}, \
+                     \"message\": {}}}",
+                    json_str(&d.path),
+                    d.line,
+                    d.col,
+                    json_str(d.rule.name()),
+                    json_str(&d.message)
+                )
+            })
+            .collect();
+        let counts: Vec<String> = self
+            .rule_counts()
+            .iter()
+            .map(|(name, n)| format!("{}: {n}", json_str(name)))
+            .collect();
+        format!(
+            "{{\"files_scanned\": {}, \"findings\": {}, \"suppressed\": {}, \
+             \"rule_counts\": {{{}}}, \"diagnostics\": [{}]}}",
+            self.files.len(),
+            self.diagnostics.len(),
+            self.suppressed,
+            counts.join(", "),
+            diags.join(", ")
+        )
+    }
+}
+
+/// JSON string literal with escaping.
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Lint every `.rs` file under `<root>/crates` and `<root>/src`.
+pub fn run_check(root: &Path) -> io::Result<Report> {
+    let mut files = Vec::new();
+    for sub in ["crates", "src"] {
+        let dir = root.join(sub);
+        if dir.is_dir() {
+            collect_rs_files(&dir, &mut files)?;
+        }
+    }
+    files.sort();
+
+    let mut report = Report {
+        files: Vec::new(),
+        diagnostics: Vec::new(),
+        suppressed: 0,
+    };
+    for path in files {
+        let rel = relative_slash_path(root, &path);
+        let Some(scope) = FileScope::classify(&rel) else {
+            continue;
+        };
+        let src = fs::read_to_string(&path)?;
+        let outcome = rules::check_source(&rel, &src, scope);
+        report.files.push(rel);
+        report.suppressed += outcome.suppressed;
+        report.diagnostics.extend(outcome.diagnostics);
+    }
+    report.diagnostics.sort();
+    Ok(report)
+}
+
+/// Recursive, sorted `.rs` collection; skips vendored/generated trees.
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .collect::<io::Result<Vec<_>>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or_default();
+        if path.is_dir() {
+            if matches!(name, "target" | "vendor" | ".git" | "fixtures") {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Workspace-relative path with forward slashes (stable across OSes and
+/// in golden files).
+fn relative_slash_path(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Find the workspace root: the nearest ancestor of `start` whose
+/// `Cargo.toml` declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_json_shape() {
+        let report = Report {
+            files: vec!["a.rs".into()],
+            diagnostics: vec![Diagnostic::new(
+                "a.rs",
+                2,
+                5,
+                Rule::LibUnwrap,
+                "msg with \"quote\"",
+            )],
+            suppressed: 3,
+        };
+        let json = report.to_json();
+        assert!(json.starts_with("{\"files_scanned\": 1"));
+        assert!(json.contains("\"findings\": 1"));
+        assert!(json.contains("\"suppressed\": 3"));
+        assert!(json.contains("\"lib-unwrap\": 1"));
+        assert!(json.contains("\"nondet-iteration\": 0"));
+        assert!(json.contains("msg with \\\"quote\\\""));
+        assert_eq!(report.exit_code(), 1);
+    }
+
+    #[test]
+    fn clean_report_exit_zero() {
+        let report = Report {
+            files: vec![],
+            diagnostics: vec![],
+            suppressed: 0,
+        };
+        assert_eq!(report.exit_code(), 0);
+        assert!(report.render_human().contains("clean"));
+    }
+}

@@ -1,0 +1,325 @@
+//! Lightweight syntactic model over the token stream.
+//!
+//! Rules do not see raw tokens: they see [`FileModel`] — the comment-free
+//! token sequence with a bracket-depth annotation per token, the matching
+//! close position for every open bracket, and the spans of `#[cfg(test)]`
+//! / `#[test]` items (so test code is exempt from the panic-surface rule).
+//! Everything here is position-preserving: each model token remembers its
+//! index-independent line/col from the lexer.
+
+use crate::lexer::{lex, Token};
+
+/// One code token: the lexer token plus its bracket depth (counting all
+/// of `()[]{}`) *before* the token is applied.
+pub struct CodeTok {
+    pub tok: Token,
+    pub depth: u32,
+}
+
+/// Analyzed view of one source file.
+pub struct FileModel {
+    /// Comment-free tokens with depth annotations.
+    pub code: Vec<CodeTok>,
+    /// All comment tokens (for the suppression parser).
+    pub comments: Vec<Token>,
+    /// For each index in `code` holding an open bracket, the index of its
+    /// matching close bracket (or `code.len()` when unbalanced).
+    close_of: Vec<usize>,
+    /// Half-open index ranges of `code` that are test-only items.
+    test_spans: Vec<(usize, usize)>,
+}
+
+impl FileModel {
+    /// Lex and model `src`.
+    pub fn build(src: &str) -> FileModel {
+        let tokens = lex(src);
+        let mut code = Vec::with_capacity(tokens.len());
+        let mut comments = Vec::new();
+        for tok in tokens {
+            if tok.is_comment() {
+                comments.push(tok);
+            } else {
+                code.push(CodeTok { tok, depth: 0 });
+            }
+        }
+        let mut close_of = vec![code.len(); code.len()];
+        let mut stack: Vec<usize> = Vec::new();
+        let mut depth = 0u32;
+        for (i, ct) in code.iter_mut().enumerate() {
+            let open = ct.tok.is_punct('(') || ct.tok.is_punct('[') || ct.tok.is_punct('{');
+            let close = ct.tok.is_punct(')') || ct.tok.is_punct(']') || ct.tok.is_punct('}');
+            ct.depth = depth;
+            if open {
+                stack.push(i);
+                depth += 1;
+            } else if close {
+                depth = depth.saturating_sub(1);
+                ct.depth = depth;
+                if let Some(j) = stack.pop() {
+                    close_of[j] = i;
+                }
+            }
+        }
+        let mut model = FileModel {
+            code,
+            comments,
+            close_of,
+            test_spans: Vec::new(),
+        };
+        model.test_spans = model.find_test_spans();
+        model
+    }
+
+    /// Token at `i`, or a reference panic-free accessor for scans.
+    pub fn tok(&self, i: usize) -> Option<&Token> {
+        self.code.get(i).map(|c| &c.tok)
+    }
+
+    /// Whether `code[i]` is the identifier `name`.
+    pub fn is_ident(&self, i: usize, name: &str) -> bool {
+        self.tok(i).map(|t| t.is_ident(name)) == Some(true)
+    }
+
+    /// Whether `code[i]` is the punctuation `c`.
+    pub fn is_punct(&self, i: usize, c: char) -> bool {
+        self.tok(i).map(|t| t.is_punct(c)) == Some(true)
+    }
+
+    /// Matching close-bracket index for the open bracket at `i`.
+    pub fn close_of(&self, i: usize) -> usize {
+        self.close_of.get(i).copied().unwrap_or(self.code.len())
+    }
+
+    /// Whether code index `i` falls inside a `#[cfg(test)]` module /
+    /// `#[test]` function span.
+    pub fn in_test_code(&self, i: usize) -> bool {
+        self.test_spans.iter().any(|&(s, e)| s <= i && i < e)
+    }
+
+    /// Index of the `}` closing the innermost `{` that encloses `i`
+    /// (`code.len()` when `i` is at module level).
+    pub fn enclosing_block_end(&self, i: usize) -> usize {
+        let depth = match self.code.get(i) {
+            Some(c) => c.depth,
+            None => return self.code.len(),
+        };
+        if depth == 0 {
+            return self.code.len();
+        }
+        for j in i..self.code.len() {
+            if self.code[j].depth < depth
+                || (self.code[j].depth == depth - 1 && self.is_close(j))
+            {
+                return j;
+            }
+        }
+        self.code.len()
+    }
+
+    fn is_close(&self, i: usize) -> bool {
+        self.is_punct(i, ')') || self.is_punct(i, ']') || self.is_punct(i, '}')
+    }
+
+    /// End of the statement beginning at/containing token `i`: the index
+    /// of the first `;` at the same depth, the `{` opening a trailing
+    /// block (for/if/while headers), or the token that closes the
+    /// enclosing bracket — whichever comes first.
+    pub fn statement_end(&self, i: usize) -> usize {
+        let depth = match self.code.get(i) {
+            Some(c) => c.depth,
+            None => return self.code.len(),
+        };
+        for j in i..self.code.len() {
+            let d = self.code[j].depth;
+            if d < depth {
+                return j; // close bracket of the enclosing scope
+            }
+            if d == depth && (self.is_punct(j, ';') || self.is_punct(j, '{')) {
+                return j;
+            }
+        }
+        self.code.len()
+    }
+
+    /// `#[cfg(test)]` / `#[cfg(any(...test...))]` / `#[test]` item spans.
+    ///
+    /// An attribute applies to the next item; the span runs from the `#`
+    /// to the matching `}` of the item's first block (or to the `;` for
+    /// bodyless items such as `use`).
+    fn find_test_spans(&self) -> Vec<(usize, usize)> {
+        let mut spans = Vec::new();
+        let mut i = 0;
+        while i < self.code.len() {
+            if self.is_punct(i, '#') && self.is_punct(i + 1, '[') {
+                let attr_end = self.close_of(i + 1);
+                if self.attr_is_test(i + 2, attr_end) {
+                    let item_end = self.item_end_after(attr_end);
+                    spans.push((i, item_end));
+                    i = attr_end + 1;
+                    continue;
+                }
+                i = attr_end + 1;
+                continue;
+            }
+            i += 1;
+        }
+        spans
+    }
+
+    /// Attribute tokens in `(start..end)` denote test-only code: either a
+    /// bare `test` / `proptest`-wrapped test, or `cfg(...)` whose
+    /// predicate mentions `test`.
+    fn attr_is_test(&self, start: usize, end: usize) -> bool {
+        let mut saw_cfg = false;
+        let mut saw_test = false;
+        let mut saw_not = false;
+        for j in start..end.min(self.code.len()) {
+            if self.is_ident(j, "cfg") {
+                saw_cfg = true;
+            }
+            if self.is_ident(j, "test") {
+                saw_test = true;
+            }
+            if self.is_ident(j, "not") {
+                saw_not = true;
+            }
+        }
+        // `#[test]` exactly, or a cfg(...) predicate naming `test` without
+        // a negation (`#[cfg(not(test))]` gates *non*-test code).
+        (end == start + 1 && saw_test) || (saw_cfg && saw_test && !saw_not)
+    }
+
+    /// Span end for the item following an attribute at `attr_end`: the
+    /// matching `}` of the first brace at the item's depth, or the first
+    /// `;` if one comes before any brace.
+    fn item_end_after(&self, attr_end: usize) -> usize {
+        let start = attr_end + 1;
+        let depth = match self.code.get(start) {
+            Some(c) => c.depth,
+            None => return self.code.len(),
+        };
+        let mut j = start;
+        while j < self.code.len() {
+            let d = self.code[j].depth;
+            if d < depth {
+                return j; // ran out of the enclosing scope
+            }
+            if d == depth {
+                if self.is_punct(j, ';') {
+                    return j + 1;
+                }
+                if self.is_punct(j, '{') {
+                    return self.close_of(j) + 1;
+                }
+            }
+            j += 1;
+        }
+        self.code.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn depths_and_matching() {
+        let m = FileModel::build("fn f() { g(vec![1, 2]); }");
+        let open_brace = m
+            .code
+            .iter()
+            .position(|c| c.tok.is_punct('{'))
+            .expect("source has a brace");
+        assert_eq!(m.close_of(open_brace), m.code.len() - 1);
+        assert_eq!(m.code[open_brace].depth, 0); // f()'s parens closed already
+        let vec_open = m
+            .code
+            .iter()
+            .position(|c| c.tok.is_punct('['))
+            .expect("source has a bracket");
+        assert_eq!(m.code[vec_open].depth, 2); // inside { and g(
+    }
+
+    #[test]
+    fn cfg_test_module_span() {
+        let src = "pub fn lib() {}\n#[cfg(test)]\nmod tests { fn t() { x.unwrap(); } }\nfn after() {}";
+        let m = FileModel::build(src);
+        let unwrap_idx = m
+            .code
+            .iter()
+            .position(|c| c.tok.is_ident("unwrap"))
+            .expect("unwrap token present");
+        assert!(m.in_test_code(unwrap_idx));
+        let lib_idx = m
+            .code
+            .iter()
+            .position(|c| c.tok.is_ident("lib"))
+            .expect("lib token present");
+        assert!(!m.in_test_code(lib_idx));
+        let after_idx = m
+            .code
+            .iter()
+            .position(|c| c.tok.is_ident("after"))
+            .expect("after token present");
+        assert!(!m.in_test_code(after_idx));
+    }
+
+    #[test]
+    fn test_fn_attr_span() {
+        let src = "#[test]\nfn check() { a.unwrap(); }\nfn lib_code() { b(); }";
+        let m = FileModel::build(src);
+        let unwrap_idx = m
+            .code
+            .iter()
+            .position(|c| c.tok.is_ident("unwrap"))
+            .expect("unwrap token present");
+        assert!(m.in_test_code(unwrap_idx));
+        let b_idx = m
+            .code
+            .iter()
+            .position(|c| c.tok.is_ident("b"))
+            .expect("b token present");
+        assert!(!m.in_test_code(b_idx));
+    }
+
+    #[test]
+    fn cfg_attr_on_use_item_spans_to_semicolon() {
+        let src = "#[cfg(test)]\nuse helper::thing;\nfn real() { x(); }";
+        let m = FileModel::build(src);
+        let x_idx = m
+            .code
+            .iter()
+            .position(|c| c.tok.is_ident("x"))
+            .expect("x token present");
+        assert!(!m.in_test_code(x_idx));
+    }
+
+    #[test]
+    fn statement_end_semicolon_and_block() {
+        let m = FileModel::build("fn f() { let x = a.b(c); for y in z { w(); } }");
+        let let_idx = m
+            .code
+            .iter()
+            .position(|c| c.tok.is_ident("let"))
+            .expect("let present");
+        assert!(m.is_punct(m.statement_end(let_idx), ';'));
+        let for_idx = m
+            .code
+            .iter()
+            .position(|c| c.tok.is_ident("for"))
+            .expect("for present");
+        assert!(m.is_punct(m.statement_end(for_idx), '{'));
+    }
+
+    #[test]
+    fn non_test_cfg_attr_ignored() {
+        let src = "#[cfg(feature = \"x\")]\nmod gated { fn g() { y.unwrap(); } }";
+        let m = FileModel::build(src);
+        let unwrap_idx = m
+            .code
+            .iter()
+            .position(|c| c.tok.is_ident("unwrap"))
+            .expect("unwrap present");
+        assert!(!m.in_test_code(unwrap_idx));
+    }
+}

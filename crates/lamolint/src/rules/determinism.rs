@@ -1,0 +1,670 @@
+//! Determinism rules: `nondet-iteration`, `wall-clock`, `unseeded-rng`.
+//!
+//! The byte-identical-output guarantee of the parallel pipelines (DESIGN
+//! §10–§11) dies the moment `HashMap` iteration order, the wall clock, or
+//! an entropy-seeded RNG can reach an output. These rules are syntactic
+//! over-approximations — they track names bound to hash types within one
+//! file and flag iteration that feeds a collected/extended/pushed sink
+//! with no intervening sort — so a justified
+//! `// lamolint::allow(nondet-iteration): …` is the escape hatch where
+//! order provably cannot matter.
+
+use crate::diag::{Diagnostic, Rule};
+use crate::model::FileModel;
+use std::collections::BTreeMap;
+
+const HASH_TYPES: [&str; 2] = ["HashMap", "HashSet"];
+const ITER_METHODS: [&str; 10] = [
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "drain",
+    "par_iter",
+];
+/// Collection targets whose element order is not observable (or is
+/// re-established): collecting hash iteration into these is fine.
+const ORDER_FREE_TARGETS: [&str; 6] = [
+    "HashMap",
+    "HashSet",
+    "BTreeMap",
+    "BTreeSet",
+    "BinaryHeap",
+    "HashBag",
+];
+
+fn is_hash_type(name: &str) -> bool {
+    HASH_TYPES.contains(&name)
+}
+
+/// `sort`, `sort_by_key`, `sort_unstable`, `sorted_keys`, … — any name
+/// that starts with `sort` re-establishes a deterministic order.
+fn is_sortish(name: &str) -> bool {
+    name.starts_with("sort")
+}
+
+/// `wall-clock`: `Instant` / `SystemTime` / thread-id reads.
+pub fn wall_clock(path: &str, model: &FileModel, out: &mut Vec<Diagnostic>) {
+    for i in 0..model.code.len() {
+        let t = &model.code[i].tok;
+        if t.kind != crate::lexer::TokKind::Ident {
+            continue;
+        }
+        let flagged = match t.text.as_str() {
+            "Instant" | "SystemTime" | "ThreadId" => true,
+            "current" => {
+                // std::thread::current()
+                i >= 3
+                    && model.is_ident(i - 3, "thread")
+                    && model.is_punct(i - 2, ':')
+                    && model.is_punct(i - 1, ':')
+            }
+            _ => false,
+        };
+        if flagged {
+            out.push(Diagnostic::new(
+                path,
+                t.line,
+                t.col,
+                Rule::WallClock,
+                format!(
+                    "`{}` reads wall-clock/thread state; time-dependent values \
+                     are confined to crates/bench",
+                    t.text
+                ),
+            ));
+        }
+    }
+}
+
+/// `unseeded-rng`: RNG construction from entropy instead of a seed.
+pub fn unseeded_rng(path: &str, model: &FileModel, out: &mut Vec<Diagnostic>) {
+    for i in 0..model.code.len() {
+        let t = &model.code[i].tok;
+        let flagged = match t.text.as_str() {
+            "from_entropy" | "thread_rng" | "OsRng" | "from_os_rng" => true,
+            "random" | "rng" => {
+                // The free functions rand::random() / rand::rng().
+                i >= 3
+                    && model.is_ident(i - 3, "rand")
+                    && model.is_punct(i - 2, ':')
+                    && model.is_punct(i - 1, ':')
+                    && model.is_punct(i + 1, '(')
+            }
+            _ => false,
+        };
+        if flagged {
+            out.push(Diagnostic::new(
+                path,
+                t.line,
+                t.col,
+                Rule::UnseededRng,
+                format!(
+                    "`{}` draws entropy; construct RNGs from an explicit seed \
+                     (e.g. SmallRng::seed_from_u64) so runs replay",
+                    t.text
+                ),
+            ));
+        }
+    }
+}
+
+/// `nondet-iteration`: hash-order iteration feeding an ordered sink.
+pub fn nondet_iteration(path: &str, model: &FileModel, out: &mut Vec<Diagnostic>) {
+    let bindings = collect_hash_bindings(model);
+    if !bindings.values().flatten().any(|b| b.hash) {
+        return;
+    }
+    check_for_loops(path, model, &bindings, out);
+    check_chains(path, model, &bindings, out);
+}
+
+/// One `let` / type-ascription event for a name: `hash` says whether the
+/// binding ties the name to a `HashMap`/`HashSet` at token index `idx`.
+struct Binding {
+    idx: usize,
+    hash: bool,
+}
+
+/// Binding events per name, token-index ascending. Negative (`hash:
+/// false`) events matter: the same name re-bound to a non-hash type
+/// later in the file (another function's parameter, say) must not
+/// inherit an earlier hash binding.
+type Bindings = BTreeMap<String, Vec<Binding>>;
+
+/// Resolve `name` at a use site: the latest binding at or before
+/// `use_idx` wins; with none (struct fields are often declared after the
+/// methods that use them), the earliest later binding does.
+fn is_hash_at(bindings: &Bindings, name: &str, use_idx: usize) -> bool {
+    let Some(events) = bindings.get(name) else {
+        return false;
+    };
+    match events.iter().rev().find(|b| b.idx <= use_idx) {
+        Some(b) => b.hash,
+        None => events.first().is_some_and(|b| b.hash),
+    }
+}
+
+/// Binding events for every name in the file: from `let` initializers
+/// (hash iff the RHS mentions a hash constructor) and from
+/// `name: HashMap…` type ascriptions (params, struct fields, let
+/// annotations — hash iff the ascribed type is directly a hash
+/// container).
+fn collect_hash_bindings(model: &FileModel) -> Bindings {
+    let mut bindings = Bindings::new();
+    let mut record = |name: &str, idx: usize, hash: bool| {
+        bindings
+            .entry(name.to_string())
+            .or_default()
+            .push(Binding { idx, hash });
+    };
+    for i in 0..model.code.len() {
+        // `let [mut] NAME = <rhs> ;` — hash iff the RHS mentions a hash type.
+        if model.is_ident(i, "let") {
+            let mut j = i + 1;
+            if model.is_ident(j, "mut") {
+                j += 1;
+            }
+            let Some(name_tok) = model.tok(j) else { continue };
+            if name_tok.kind != crate::lexer::TokKind::Ident {
+                continue;
+            }
+            let end = model.statement_end(i);
+            let rhs_has_hash = (j + 1..end).any(|k| {
+                model
+                    .tok(k)
+                    .map(|t| is_hash_type(&t.text))
+                    .unwrap_or(false)
+            });
+            record(&name_tok.text, j, rhs_has_hash);
+        }
+        // `NAME : [&][mut][path::]Type…` — params, fields, annotations.
+        if model.is_punct(i + 1, ':') && !model.is_punct(i + 2, ':') && (i == 0 || !model.is_punct(i - 1, ':'))
+        {
+            let Some(name_tok) = model.tok(i) else { continue };
+            if name_tok.kind != crate::lexer::TokKind::Ident {
+                continue;
+            }
+            if direct_type_is_hash(model, i + 2) {
+                record(&name_tok.text, i, true);
+            } else if looks_like_type(model, i + 2) {
+                // A definite non-hash re-binding. Ascriptions that do not
+                // look like a type (struct-literal fields, match arms)
+                // are ignored rather than recorded as negative.
+                record(&name_tok.text, i, false);
+            }
+        }
+    }
+    bindings
+}
+
+/// Whether the tokens at `p` look like a type, for negative re-binding:
+/// after `&` / `mut` / lifetimes, an uppercase-initial ident or a `::`
+/// path. Struct-literal values (`Foo { x: y.len() }`) fail this test so
+/// they never erase a real binding.
+fn looks_like_type(model: &FileModel, mut p: usize) -> bool {
+    for _ in 0..12 {
+        let Some(t) = model.tok(p) else { return false };
+        match t.kind {
+            crate::lexer::TokKind::Ident if t.text == "mut" => p += 1,
+            crate::lexer::TokKind::Ident => {
+                return t.text.chars().next().is_some_and(|c| c.is_ascii_uppercase())
+                    || (model.is_punct(p + 1, ':') && model.is_punct(p + 2, ':'));
+            }
+            crate::lexer::TokKind::Lifetime => p += 1,
+            crate::lexer::TokKind::Punct if t.is_punct('&') => p += 1,
+            _ => return false,
+        }
+    }
+    false
+}
+
+/// Whether the type starting at `p` is directly a hash container (after
+/// skipping `&`, `mut`, lifetimes, and path qualifiers). `Vec<HashMap…>`
+/// is *not* direct — iterating the Vec is ordered.
+fn direct_type_is_hash(model: &FileModel, mut p: usize) -> bool {
+    for _ in 0..12 {
+        let Some(t) = model.tok(p) else { return false };
+        match t.kind {
+            crate::lexer::TokKind::Ident if is_hash_type(&t.text) => return true,
+            crate::lexer::TokKind::Ident if t.text == "mut" => p += 1,
+            // A path segment only if `::` follows.
+            crate::lexer::TokKind::Ident
+                if model.is_punct(p + 1, ':') && model.is_punct(p + 2, ':') =>
+            {
+                p += 3;
+            }
+            crate::lexer::TokKind::Lifetime => p += 1,
+            crate::lexer::TokKind::Punct if t.is_punct('&') => p += 1,
+            _ => return false,
+        }
+    }
+    false
+}
+
+/// Case A: `for pat in <expr over hash name> { body }` where the body
+/// pushes/extends into a collection that is never subsequently sorted.
+fn check_for_loops(
+    path: &str,
+    model: &FileModel,
+    bindings: &Bindings,
+    out: &mut Vec<Diagnostic>,
+) {
+    for i in 0..model.code.len() {
+        if !model.is_ident(i, "for") {
+            continue;
+        }
+        let header_end = model.statement_end(i);
+        if !model.is_punct(header_end, '{') {
+            continue; // `for` in a generic bound or malformed
+        }
+        // The iterated expression: tokens after `in`.
+        let Some(in_idx) = (i..header_end).find(|&k| model.is_ident(k, "in")) else {
+            continue;
+        };
+        let src_name = (in_idx + 1..header_end).find_map(|k| {
+            let t = model.tok(k)?;
+            (t.kind == crate::lexer::TokKind::Ident && is_hash_at(bindings, &t.text, k))
+                .then(|| (k, t.text.clone()))
+        });
+        let Some((name_idx, name)) = src_name else {
+            continue;
+        };
+        // Iterating a *field access* like `occ.vertices` where `vertices`
+        // merely shadows a hash-bound name elsewhere is common; require
+        // the hash name to be the expression head or a direct `self.`
+        // field to cut false positives.
+        if name_idx > in_idx + 1 {
+            let prev_dot = model.is_punct(name_idx - 1, '.');
+            let self_field = prev_dot && model.is_ident(name_idx - 2, "self");
+            if prev_dot && !self_field {
+                continue;
+            }
+        }
+        // A sortish call anywhere in the header re-orders: fine.
+        if (in_idx..header_end).any(|k| {
+            model
+                .tok(k)
+                .map(|t| is_sortish(&t.text))
+                .unwrap_or(false)
+        }) {
+            continue;
+        }
+        let body_end = model.close_of(header_end);
+        scan_sinks_for_unsorted_push(path, model, header_end + 1, body_end, &name, i, out);
+    }
+}
+
+/// Inside `body_start..body_end`, find `recv.push(…)` / `recv.extend(…)`
+/// sinks; flag each whose receiver is not sorted before the enclosing
+/// scope ends.
+fn scan_sinks_for_unsorted_push(
+    path: &str,
+    model: &FileModel,
+    body_start: usize,
+    body_end: usize,
+    hash_name: &str,
+    loop_idx: usize,
+    out: &mut Vec<Diagnostic>,
+) {
+    let scope_end = model.enclosing_block_end(loop_idx);
+    for k in body_start..body_end.min(model.code.len()) {
+        let is_sink = (model.is_ident(k, "push") || model.is_ident(k, "extend"))
+            && k >= 1
+            && model.is_punct(k - 1, '.')
+            && model.is_punct(k + 1, '(');
+        if !is_sink {
+            continue;
+        }
+        let Some(recv) = model.tok(k.wrapping_sub(2)) else {
+            continue;
+        };
+        if recv.kind != crate::lexer::TokKind::Ident {
+            continue;
+        }
+        let recv_name = recv.text.clone();
+        if sorted_later(model, body_end, scope_end, &recv_name)
+            || sorted_later(model, k, body_end, &recv_name)
+        {
+            continue;
+        }
+        let t = model.tok(k).expect("sink index is in range by the loop bound");
+        out.push(Diagnostic::new(
+            path,
+            t.line,
+            t.col,
+            Rule::NondetIteration,
+            format!(
+                "`{recv_name}.{}` collects items in `{hash_name}` hash-iteration \
+                 order; sort `{recv_name}` afterwards or iterate a BTree \
+                 collection",
+                t.text
+            ),
+        ));
+    }
+}
+
+/// Whether `name.sort…(` appears in `(from..to)`.
+fn sorted_later(model: &FileModel, from: usize, to: usize, name: &str) -> bool {
+    (from..to.min(model.code.len())).any(|k| {
+        model.is_ident(k, name)
+            && model.is_punct(k + 1, '.')
+            && model
+                .tok(k + 2)
+                .map(|t| is_sortish(&t.text))
+                .unwrap_or(false)
+    })
+}
+
+/// Case B: method chains `name.iter()…collect()/extend(…)` in a single
+/// statement.
+fn check_chains(
+    path: &str,
+    model: &FileModel,
+    bindings: &Bindings,
+    out: &mut Vec<Diagnostic>,
+) {
+    for i in 0..model.code.len() {
+        let Some(t) = model.tok(i) else { continue };
+        if t.kind != crate::lexer::TokKind::Ident || !is_hash_at(bindings, &t.text, i) {
+            continue;
+        }
+        if !(model.is_punct(i + 1, '.')
+            && model
+                .tok(i + 2)
+                .map(|m| ITER_METHODS.contains(&m.text.as_str()))
+                .unwrap_or(false))
+        {
+            continue;
+        }
+        let stmt_start = statement_start(model, i);
+        // `for` headers are handled by case A.
+        if model.is_ident(stmt_start, "for") || model.is_ident(stmt_start, "while") {
+            continue;
+        }
+        let stmt_end = model.statement_end(stmt_start);
+        let span = stmt_start..stmt_end.min(model.code.len());
+        // Any sort in the statement re-establishes order.
+        if span.clone().any(|k| {
+            model
+                .tok(k)
+                .map(|m| is_sortish(&m.text))
+                .unwrap_or(false)
+        }) {
+            continue;
+        }
+        analyze_chain_sinks(path, model, span.start, span.end, i, &t.text.clone(), out);
+    }
+}
+
+/// Walk back to the start of the statement containing `i`.
+fn statement_start(model: &FileModel, i: usize) -> usize {
+    let base = model.code[i].depth;
+    let mut j = i;
+    while j > 0 {
+        let k = j - 1;
+        let t = &model.code[k];
+        if (t.tok.is_punct(';') || t.tok.is_punct('{') || t.tok.is_punct('}')) && t.depth <= base {
+            return j;
+        }
+        j = k;
+    }
+    0
+}
+
+/// Sinks within one statement: `collect` (to an order-observable target)
+/// and `extend`/`push` receivers.
+#[allow(clippy::too_many_arguments)]
+fn analyze_chain_sinks(
+    path: &str,
+    model: &FileModel,
+    start: usize,
+    end: usize,
+    src_idx: usize,
+    hash_name: &str,
+    out: &mut Vec<Diagnostic>,
+) {
+    let scope_end = model.enclosing_block_end(start);
+    // Bound name of `let NAME = …` for the sorted-later check.
+    let bound = bound_name(model, start);
+    for k in start..end {
+        if model.is_ident(k, "collect") && k > src_idx {
+            if collect_target_order_free(model, k, start) {
+                continue;
+            }
+            if let Some(name) = &bound {
+                if sorted_later(model, end, scope_end, name) {
+                    continue;
+                }
+            }
+            let t = model.tok(k).expect("collect index is in range by the loop bound");
+            out.push(Diagnostic::new(
+                path,
+                t.line,
+                t.col,
+                Rule::NondetIteration,
+                format!(
+                    "collects `{hash_name}` hash-iteration order into an \
+                     ordered collection; sort the result or collect into a \
+                     BTreeMap/BTreeSet"
+                ),
+            ));
+            return;
+        }
+        let is_recv_sink = (model.is_ident(k, "extend") || model.is_ident(k, "push"))
+            && model.is_punct(k + 1, '(')
+            && k >= 2
+            && model.is_punct(k - 1, '.')
+            && k < src_idx; // source must sit inside the call's arguments
+        if is_recv_sink {
+            let Some(recv) = model.tok(k - 2) else { continue };
+            if recv.kind != crate::lexer::TokKind::Ident {
+                continue;
+            }
+            if sorted_later(model, end, scope_end, &recv.text) {
+                continue;
+            }
+            let recv_name = recv.text.clone();
+            let t = model.tok(k).expect("sink index is in range by the loop bound");
+            out.push(Diagnostic::new(
+                path,
+                t.line,
+                t.col,
+                Rule::NondetIteration,
+                format!(
+                    "`{recv_name}.{}` feeds on `{hash_name}` hash-iteration \
+                     order; sort `{recv_name}` afterwards or iterate an \
+                     ordered source",
+                    t.text
+                ),
+            ));
+            return;
+        }
+    }
+}
+
+/// The `NAME` of `let [mut] NAME [: …] = …` at statement start.
+fn bound_name(model: &FileModel, start: usize) -> Option<String> {
+    if !model.is_ident(start, "let") {
+        return None;
+    }
+    let mut j = start + 1;
+    if model.is_ident(j, "mut") {
+        j += 1;
+    }
+    let t = model.tok(j)?;
+    (t.kind == crate::lexer::TokKind::Ident).then(|| t.text.clone())
+}
+
+/// Whether the `collect` at `k` targets an order-free collection, via
+/// turbofish `collect::<T>()` or the statement's `let … : T =` annotation.
+fn collect_target_order_free(model: &FileModel, k: usize, stmt_start: usize) -> bool {
+    // Turbofish.
+    if model.is_punct(k + 1, ':') && model.is_punct(k + 2, ':') && model.is_punct(k + 3, '<') {
+        let close = (k + 4..model.code.len())
+            .find(|&j| model.code[j].depth <= model.code[k].depth && model.is_punct(j, '>'))
+            .unwrap_or(model.code.len());
+        return (k + 4..close).any(|j| {
+            model
+                .tok(j)
+                .map(|t| ORDER_FREE_TARGETS.contains(&t.text.as_str()))
+                .unwrap_or(false)
+        });
+    }
+    // `let name: T = …` annotation.
+    if model.is_ident(stmt_start, "let") {
+        let eq = (stmt_start..k).find(|&j| {
+            model.is_punct(j, '=')
+                && model.code[j].depth == model.code[stmt_start].depth
+        });
+        if let Some(eq) = eq {
+            return (stmt_start..eq).any(|j| {
+                model
+                    .tok(j)
+                    .map(|t| ORDER_FREE_TARGETS.contains(&t.text.as_str()))
+                    .unwrap_or(false)
+            });
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::FileModel;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let model = FileModel::build(src);
+        let mut out = Vec::new();
+        nondet_iteration("f.rs", &model, &mut out);
+        wall_clock("f.rs", &model, &mut out);
+        unseeded_rng("f.rs", &model, &mut out);
+        out
+    }
+
+    fn rules_of(src: &str) -> Vec<Rule> {
+        run(src).into_iter().map(|d| d.rule).collect()
+    }
+
+    #[test]
+    fn flags_keys_collect_to_vec() {
+        let src = "fn f(map: &HashMap<u32, u32>) -> Vec<u32> { map.keys().copied().collect() }";
+        assert_eq!(rules_of(src), vec![Rule::NondetIteration]);
+    }
+
+    #[test]
+    fn collect_into_btreemap_is_clean() {
+        let src = "fn f(map: &HashMap<u32, u32>) -> BTreeMap<u32, u32> {\
+                   map.iter().map(|(k, v)| (*k, *v)).collect::<BTreeMap<_, _>>() }";
+        assert!(rules_of(src).is_empty());
+    }
+
+    #[test]
+    fn sorted_after_collect_is_clean() {
+        let src = "fn f(map: &HashMap<u32, u32>) -> Vec<u32> {\
+                   let mut v: Vec<u32> = map.keys().copied().collect(); v.sort(); v }";
+        assert!(rules_of(src).is_empty());
+    }
+
+    #[test]
+    fn for_loop_push_without_sort_is_flagged() {
+        let src = "fn f(set: HashSet<u32>) -> Vec<u32> {\
+                   let mut out = Vec::new(); for x in &set { out.push(x); } out }";
+        assert_eq!(rules_of(src), vec![Rule::NondetIteration]);
+    }
+
+    #[test]
+    fn for_loop_push_with_sort_is_clean() {
+        let src = "fn f(set: HashSet<u32>) -> Vec<u32> {\
+                   let mut out = Vec::new(); for x in &set { out.push(x); } out.sort(); out }";
+        assert!(rules_of(src).is_empty());
+    }
+
+    #[test]
+    fn aggregation_without_sink_is_clean() {
+        let src = "fn f(map: &HashMap<u32, u32>) -> usize { map.values().count() }";
+        assert!(rules_of(src).is_empty());
+    }
+
+    #[test]
+    fn extend_from_keys_is_flagged() {
+        let src = "fn f(map: &HashMap<u32, u32>, out: &mut Vec<u32>) {\
+                   out.extend(map.keys().copied()); }";
+        assert_eq!(rules_of(src), vec![Rule::NondetIteration]);
+    }
+
+    #[test]
+    fn vec_of_hashmaps_not_direct() {
+        let src = "fn f(shards: Vec<HashMap<u32, u32>>) -> Vec<usize> {\
+                   shards.iter().map(|s| s.len()).collect() }";
+        // `shards` is a Vec — ordered iteration; the field-ascription
+        // matcher must not mark it hash-typed.
+        assert!(rules_of(src).is_empty());
+    }
+
+    #[test]
+    fn later_non_hash_binding_shadows_earlier_hash_binding() {
+        // `set` is a HashSet in `a` but a BTreeSet in `b`; only the
+        // first loop is hash-ordered.
+        let src = "fn a(set: &HashSet<u32>, out: &mut Vec<u32>) {\
+                   for x in set { out.push(*x); } }\
+                   fn b(set: &BTreeSet<u32>, out: &mut Vec<u32>) {\
+                   for x in set { out.push(*x); } }";
+        assert_eq!(rules_of(src), vec![Rule::NondetIteration]);
+    }
+
+    #[test]
+    fn struct_field_declared_after_use_still_tracked() {
+        let src = "impl S { fn f(&self, out: &mut Vec<u32>) {\
+                   for x in &self.items { out.push(*x); } } }\
+                   struct S { items: HashSet<u32> }";
+        assert_eq!(rules_of(src), vec![Rule::NondetIteration]);
+    }
+
+    #[test]
+    fn struct_literal_field_does_not_erase_binding() {
+        // `Foo { set: probe.len() }` is a struct-literal field, not a
+        // type ascription — it must not re-bind `set` to non-hash.
+        let src = "fn f(set: &HashSet<u32>, probe: &[u32], out: &mut Vec<u32>) {\
+                   let _foo = Foo { set: probe.len() };\
+                   for x in set { out.push(*x); } }";
+        assert_eq!(rules_of(src), vec![Rule::NondetIteration]);
+    }
+
+    #[test]
+    fn wall_clock_tokens() {
+        assert_eq!(
+            rules_of("fn f() { let t = Instant::now(); }"),
+            vec![Rule::WallClock]
+        );
+        assert_eq!(
+            rules_of("fn f() { let id = std::thread::current().id(); }"),
+            vec![Rule::WallClock]
+        );
+        assert!(rules_of("fn f() { let d = Duration::from_secs(1); }").is_empty());
+    }
+
+    #[test]
+    fn unseeded_rng_tokens() {
+        assert_eq!(
+            rules_of("fn f() { let rng = SmallRng::from_entropy(); }"),
+            vec![Rule::UnseededRng]
+        );
+        assert_eq!(
+            rules_of("fn f() { let rng = rand::thread_rng(); }"),
+            vec![Rule::UnseededRng]
+        );
+        assert!(rules_of("fn f() { let rng = SmallRng::seed_from_u64(7); }").is_empty());
+    }
+
+    #[test]
+    fn strings_and_comments_do_not_flag() {
+        let src = "fn f() { let s = \"Instant::now() thread_rng()\"; // Instant\n }";
+        assert!(rules_of(src).is_empty());
+    }
+}

@@ -1,0 +1,223 @@
+//! Lock-safety rule: `guard-across-spawn`.
+//!
+//! The sharded memo caches (par-util's `ShardedCache`) hand out RAII
+//! guards from per-shard `RwLock`s. The deadlock shape they invite: hold
+//! a shard guard, then block — on `scope.spawn` joining, on a channel
+//! `send` against a bounded peer, or on *another* shard's lock via a
+//! nested `get_or_insert_with`. This rule finds `let g = ….lock()/.read()
+//! /.write()` bindings and flags any blocking operation while the guard
+//! is live (until `drop(g)` or end of scope).
+//!
+//! Guards consumed as temporaries (`m.read().get(..)`) never cross a
+//! statement and are not flagged.
+
+use crate::diag::{Diagnostic, Rule};
+use crate::lexer::TokKind;
+use crate::model::FileModel;
+
+const ACQUIRE: [&str; 3] = ["lock", "read", "write"];
+/// Methods that may follow an acquisition in the same chain without
+/// changing what is bound (std poisoning unwraps).
+const PASSTHROUGH: [&str; 2] = ["unwrap", "expect"];
+
+pub fn guard_across_spawn(path: &str, model: &FileModel, out: &mut Vec<Diagnostic>) {
+    for i in 0..model.code.len() {
+        if !model.is_ident(i, "let") {
+            continue;
+        }
+        let Some((name, name_idx)) = binding_name(model, i) else {
+            continue;
+        };
+        let stmt_end = model.statement_end(i);
+        if !model.is_punct(stmt_end, ';') {
+            continue; // let-else or malformed; skip
+        }
+        let Some(eq) = (name_idx..stmt_end)
+            .find(|&j| model.is_punct(j, '=') && model.code[j].depth == model.code[i].depth)
+        else {
+            continue;
+        };
+        if !rhs_acquires_guard(model, eq + 1, stmt_end) {
+            continue;
+        }
+        let live_end = liveness_end(model, i, stmt_end, &name);
+        for k in stmt_end..live_end {
+            if let Some(hazard) = hazard_at(model, k) {
+                let t = &model.code[k].tok;
+                out.push(Diagnostic::new(
+                    path,
+                    t.line,
+                    t.col,
+                    Rule::GuardAcrossSpawn,
+                    format!(
+                        "lock guard `{name}` is still live across `{hazard}`; \
+                         drop it first (narrow the scope or call drop({name}))"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// `let [mut] NAME` or `let PAT(NAME)` — returns the bound display name.
+fn binding_name(model: &FileModel, let_idx: usize) -> Option<(String, usize)> {
+    let mut j = let_idx + 1;
+    if model.is_ident(j, "mut") {
+        j += 1;
+    }
+    let t = model.tok(j)?;
+    if t.kind != TokKind::Ident {
+        return None;
+    }
+    // Pattern binding like `Some(g)` / `Ok(g)`: use the inner name.
+    if model.is_punct(j + 1, '(') {
+        let close = model.close_of(j + 1);
+        let inner = (j + 2..close).find_map(|k| {
+            let t = model.tok(k)?;
+            (t.kind == TokKind::Ident && t.text != "mut").then(|| (t.text.clone(), k))
+        });
+        return inner;
+    }
+    Some((t.text.clone(), j))
+}
+
+/// Whether the chain in `(start..end)` ends by acquiring a lock guard:
+/// its last top-level method call is `lock`/`read`/`write`, optionally
+/// followed by `unwrap`/`expect`.
+fn rhs_acquires_guard(model: &FileModel, start: usize, end: usize) -> bool {
+    let base = model.code.get(start).map(|c| c.depth);
+    let Some(base) = base else { return false };
+    let mut calls: Vec<String> = Vec::new();
+    for j in start..end.min(model.code.len()) {
+        if model.code[j].depth != base {
+            continue;
+        }
+        if model.is_punct(j, '.') {
+            if let Some(t) = model.tok(j + 1) {
+                if t.kind == TokKind::Ident && model.is_punct(j + 2, '(') {
+                    calls.push(t.text.clone());
+                }
+            }
+        }
+    }
+    match calls.last() {
+        Some(last) if ACQUIRE.contains(&last.as_str()) => true,
+        Some(last) if PASSTHROUGH.contains(&last.as_str()) => calls
+            .len()
+            .checked_sub(2)
+            .map(|i| ACQUIRE.contains(&calls[i].as_str()))
+            .unwrap_or(false),
+        _ => false,
+    }
+}
+
+/// Guard liveness: from the end of the `let` statement to `drop(name)`
+/// or the end of the enclosing block.
+fn liveness_end(model: &FileModel, let_idx: usize, stmt_end: usize, name: &str) -> usize {
+    let scope_end = model.enclosing_block_end(let_idx);
+    for k in stmt_end..scope_end.min(model.code.len()) {
+        if model.is_ident(k, "drop")
+            && model.is_punct(k + 1, '(')
+            && model.is_ident(k + 2, name)
+            && model.is_punct(k + 3, ')')
+        {
+            return k;
+        }
+    }
+    scope_end
+}
+
+/// A blocking operation at `k`: `spawn(…)`, `.send(…)`, or a
+/// `ShardedCache` shard call `.get_or_insert_with(…)`.
+fn hazard_at(model: &FileModel, k: usize) -> Option<&'static str> {
+    if model.is_ident(k, "spawn") && model.is_punct(k + 1, '(') {
+        return Some("spawn");
+    }
+    if k >= 1 && model.is_punct(k - 1, '.') && model.is_punct(k + 1, '(') {
+        if model.is_ident(k, "send") {
+            return Some("send");
+        }
+        if model.is_ident(k, "get_or_insert_with") {
+            return Some("get_or_insert_with (another shard's lock)");
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::FileModel;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let model = FileModel::build(src);
+        let mut out = Vec::new();
+        guard_across_spawn("f.rs", &model, &mut out);
+        out
+    }
+
+    #[test]
+    fn guard_across_spawn_is_flagged() {
+        let src = "fn f() { let g = m.lock();\n\
+                   scope.spawn(|| work(&g)); }";
+        let diags = run(src);
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("`g`"));
+        assert!(diags[0].message.contains("spawn"));
+    }
+
+    #[test]
+    fn guard_across_send_and_shard_call() {
+        let src = "fn f() { let stats = shared.write();\n\
+                   tx.send(1);\n\
+                   cache.get_or_insert_with(k, || 0); }";
+        let diags = run(src);
+        assert_eq!(diags.len(), 2);
+    }
+
+    #[test]
+    fn dropped_guard_is_clean() {
+        let src = "fn f() { let g = m.lock(); use_it(&g); drop(g);\n\
+                   scope.spawn(|| work()); }";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn scoped_guard_is_clean() {
+        let src = "fn f() { { let g = m.lock(); use_it(&g); }\n\
+                   scope.spawn(|| work()); }";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn temporary_guard_is_clean() {
+        let src = "fn f() { let v = m.read().get(&k).copied();\n\
+                   scope.spawn(|| work()); }";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn std_poisoning_unwrap_still_a_guard() {
+        let src = "fn f() { let g = m.lock().unwrap();\n\
+                   scope.spawn(|| work(&g)); }";
+        assert_eq!(run(src).len(), 1);
+    }
+
+    #[test]
+    fn pattern_binding_uses_inner_name() {
+        let src = "fn f() { let Ok(g) = m.lock();\n\
+                   tx.send(g.x); }";
+        let diags = run(src);
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("`g`"));
+    }
+
+    #[test]
+    fn unrelated_read_method_not_a_guard() {
+        // `.read()` on a file-like object then fully consumed: the RHS's
+        // last call is `to_vec`, not an acquisition.
+        let src = "fn f() { let data = file.read().to_vec();\n\
+                   scope.spawn(|| work()); }";
+        assert!(run(src).is_empty());
+    }
+}

@@ -1,0 +1,141 @@
+//! Rule dispatch: which rules run where, and suppression filtering.
+
+pub mod determinism;
+pub mod locks;
+pub mod panics;
+
+use crate::diag::Diagnostic;
+use crate::model::FileModel;
+use crate::suppress;
+
+/// Which rule families apply to a file, derived from its workspace path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FileScope {
+    /// `wall-clock` applies (everywhere except crates/bench, whose whole
+    /// purpose is timing).
+    pub wall_clock: bool,
+    /// `lib-unwrap` applies (library code: src/** minus bin targets,
+    /// tests, benches, and the bench harness crate).
+    pub lib_unwrap: bool,
+    /// `forbid-unsafe` applies (crate roots: src/lib.rs).
+    pub forbid_unsafe: bool,
+}
+
+impl FileScope {
+    /// Scope for a workspace-relative path (forward slashes), or `None`
+    /// when the file is not lintable (vendored code, fixtures, target).
+    pub fn classify(rel_path: &str) -> Option<FileScope> {
+        let comps: Vec<&str> = rel_path.split('/').collect();
+        if comps
+            .iter()
+            .any(|c| matches!(*c, "vendor" | "target" | "fixtures" | ".git"))
+        {
+            return None;
+        }
+        let is_bench_crate = rel_path.starts_with("crates/bench/");
+        let in_tests = comps
+            .iter()
+            .any(|c| matches!(*c, "tests" | "benches" | "examples"));
+        let is_bin = comps.windows(2).any(|w| w == ["src", "bin"]);
+        Some(FileScope {
+            wall_clock: !is_bench_crate,
+            lib_unwrap: !is_bench_crate && !in_tests && !is_bin,
+            forbid_unsafe: rel_path.ends_with("src/lib.rs") && !in_tests,
+        })
+    }
+}
+
+/// Result of linting one file.
+pub struct FileOutcome {
+    pub diagnostics: Vec<Diagnostic>,
+    /// Findings silenced by a justified `lamolint::allow`.
+    pub suppressed: usize,
+}
+
+/// Run every applicable rule over one source file.
+pub fn check_source(rel_path: &str, src: &str, scope: FileScope) -> FileOutcome {
+    let model = FileModel::build(src);
+    let (allows, mut diags) = suppress::parse_allows(rel_path, &model.comments);
+
+    let mut found = Vec::new();
+    determinism::nondet_iteration(rel_path, &model, &mut found);
+    determinism::unseeded_rng(rel_path, &model, &mut found);
+    if scope.wall_clock {
+        determinism::wall_clock(rel_path, &model, &mut found);
+    }
+    locks::guard_across_spawn(rel_path, &model, &mut found);
+    if scope.lib_unwrap {
+        panics::lib_unwrap(rel_path, &model, &mut found);
+    }
+    if scope.forbid_unsafe {
+        panics::forbid_unsafe(rel_path, &model, &mut found);
+    }
+
+    let before = found.len();
+    found.retain(|d| !allows.iter().any(|a| a.covers(d.rule, d.line)));
+    let suppressed = before - found.len();
+
+    diags.extend(found);
+    diags.sort();
+    diags.dedup();
+    FileOutcome {
+        diagnostics: diags,
+        suppressed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Rule;
+
+    #[test]
+    fn classify_scopes() {
+        let lib = FileScope::classify("crates/core/src/labeling.rs").expect("lintable");
+        assert!(lib.wall_clock && lib.lib_unwrap && !lib.forbid_unsafe);
+
+        let root = FileScope::classify("crates/core/src/lib.rs").expect("lintable");
+        assert!(root.forbid_unsafe);
+
+        let bench = FileScope::classify("crates/bench/src/lib.rs").expect("lintable");
+        assert!(!bench.wall_clock && !bench.lib_unwrap);
+
+        let bin = FileScope::classify("crates/bench/src/bin/profile_find.rs").expect("lintable");
+        assert!(!bin.lib_unwrap);
+
+        let test = FileScope::classify("crates/core/tests/prop_labeling.rs").expect("lintable");
+        assert!(!test.lib_unwrap && test.wall_clock);
+
+        assert_eq!(FileScope::classify("vendor/rand/src/lib.rs"), None);
+        assert_eq!(
+            FileScope::classify("crates/lamolint/tests/fixtures/clean.rs"),
+            None
+        );
+    }
+
+    #[test]
+    fn suppression_silences_and_counts() {
+        let scope = FileScope::classify("crates/core/src/x.rs").expect("lintable");
+        let src = "fn f() {\n\
+                   // lamolint::allow(lib-unwrap): value inserted two lines up\n\
+                   a.unwrap();\n\
+                   b.unwrap();\n\
+                   }";
+        let out = check_source("crates/core/src/x.rs", src, scope);
+        assert_eq!(out.suppressed, 1);
+        assert_eq!(out.diagnostics.len(), 1);
+        assert_eq!(out.diagnostics[0].line, 4);
+    }
+
+    #[test]
+    fn bare_allow_reported_even_when_nothing_to_silence() {
+        let scope = FileScope::classify("crates/core/src/x.rs").expect("lintable");
+        let out = check_source(
+            "crates/core/src/x.rs",
+            "// lamolint::allow(lib-unwrap)\nfn f() {}",
+            scope,
+        );
+        assert_eq!(out.diagnostics.len(), 1);
+        assert_eq!(out.diagnostics[0].rule, Rule::BadSuppression);
+    }
+}

@@ -1,0 +1,164 @@
+//! Panic-surface rules: `lib-unwrap` and `forbid-unsafe`.
+//!
+//! Library code serves the pipeline; a panic in it takes down a worker
+//! thread mid-scope and poisons the whole parallel run. `unwrap()` and
+//! `panic!` are therefore banned outside test code. `expect` survives
+//! when its message actually documents the invariant being relied on
+//! (three words or more) — that message is the crash report a future
+//! debugger reads, so "checked above" does not qualify.
+
+use crate::diag::{Diagnostic, Rule};
+use crate::lexer::TokKind;
+use crate::model::FileModel;
+
+/// Minimum number of words for an `expect` message to count as an
+/// invariant statement.
+const MIN_EXPECT_WORDS: usize = 3;
+
+pub fn lib_unwrap(path: &str, model: &FileModel, out: &mut Vec<Diagnostic>) {
+    for i in 0..model.code.len() {
+        if model.in_test_code(i) {
+            continue;
+        }
+        let Some(t) = model.tok(i) else { continue };
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        match t.text.as_str() {
+            "unwrap" if i >= 1 && model.is_punct(i - 1, '.') && model.is_punct(i + 1, '(') => {
+                out.push(Diagnostic::new(
+                    path,
+                    t.line,
+                    t.col,
+                    Rule::LibUnwrap,
+                    "`unwrap()` in library code: state the invariant with \
+                     `expect(\"…\")` or return an error",
+                ));
+            }
+            "expect"
+                if i >= 1
+                    && model.is_punct(i - 1, '.')
+                    && model.is_punct(i + 1, '(')
+                    && !expect_is_documented(model, i + 1) =>
+            {
+                out.push(Diagnostic::new(
+                    path,
+                    t.line,
+                    t.col,
+                    Rule::LibUnwrap,
+                    format!(
+                        "`expect` message does not document an invariant \
+                         (≥ {MIN_EXPECT_WORDS} words); say *why* the value \
+                         must be present"
+                    ),
+                ));
+            }
+            "panic" if model.is_punct(i + 1, '!') => {
+                out.push(Diagnostic::new(
+                    path,
+                    t.line,
+                    t.col,
+                    Rule::LibUnwrap,
+                    "`panic!` in library code: return an error or make the \
+                     state unrepresentable",
+                ));
+            }
+            _ => {}
+        }
+    }
+}
+
+/// `expect("a real invariant sentence")`: a single string-literal
+/// argument with at least [`MIN_EXPECT_WORDS`] words.
+fn expect_is_documented(model: &FileModel, open_paren: usize) -> bool {
+    let Some(arg) = model.tok(open_paren + 1) else {
+        return false;
+    };
+    if arg.kind != TokKind::Str || !model.is_punct(open_paren + 2, ')') {
+        return false;
+    }
+    let msg = arg.text.trim_matches(|c| c == '"' || c == '#' || c == 'r' || c == 'b');
+    msg.split_whitespace().count() >= MIN_EXPECT_WORDS
+}
+
+/// `forbid-unsafe`: a crate root must open with `#![forbid(unsafe_code)]`.
+pub fn forbid_unsafe(path: &str, model: &FileModel, out: &mut Vec<Diagnostic>) {
+    let has = (0..model.code.len()).any(|i| {
+        model.is_punct(i, '#')
+            && model.is_punct(i + 1, '!')
+            && model.is_punct(i + 2, '[')
+            && model.is_ident(i + 3, "forbid")
+            && model.is_punct(i + 4, '(')
+            && model.is_ident(i + 5, "unsafe_code")
+            && model.is_punct(i + 6, ')')
+            && model.is_punct(i + 7, ']')
+    });
+    if !has {
+        out.push(Diagnostic::new(
+            path,
+            1,
+            1,
+            Rule::ForbidUnsafe,
+            "crate root is missing `#![forbid(unsafe_code)]`",
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::FileModel;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let model = FileModel::build(src);
+        let mut out = Vec::new();
+        lib_unwrap("f.rs", &model, &mut out);
+        out
+    }
+
+    #[test]
+    fn unwrap_flagged_expect_documented_allowed() {
+        let src = "fn f() { a.unwrap(); b.expect(\"x\"); \
+                   c.expect(\"shard index fits the mask by construction\"); }";
+        let diags = run(src);
+        assert_eq!(diags.len(), 2);
+        assert!(diags[0].message.contains("unwrap"));
+        assert!(diags[1].message.contains("invariant"));
+    }
+
+    #[test]
+    fn panic_flagged() {
+        let diags = run("fn f() { panic!(\"boom\"); }");
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("panic!"));
+    }
+
+    #[test]
+    fn test_module_exempt() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n\
+                   #[test]\nfn t() { x.unwrap(); panic!(); }\n}";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_or_variants_not_flagged() {
+        let src = "fn f() { a.unwrap_or(0); b.unwrap_or_else(|| 1); c.unwrap_or_default(); }";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn expect_in_macro_arg_still_checked() {
+        let diags = run("fn f() { g(h.expect(\"ok\")); }");
+        assert_eq!(diags.len(), 1);
+    }
+
+    #[test]
+    fn forbid_unsafe_detection() {
+        let mut out = Vec::new();
+        forbid_unsafe("lib.rs", &FileModel::build("#![forbid(unsafe_code)]\npub fn f() {}"), &mut out);
+        assert!(out.is_empty());
+        forbid_unsafe("lib.rs", &FileModel::build("pub fn f() {}"), &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, Rule::ForbidUnsafe);
+    }
+}

@@ -1,0 +1,220 @@
+//! Inline suppression comments.
+//!
+//! Syntax: `// lamolint::allow(rule[, rule…]): <justification>` — the
+//! justification is mandatory; an allow without one is itself reported
+//! (`bad-suppression`), so every silenced finding carries a written
+//! rationale in the tree. An allow applies to diagnostics on its own
+//! line and on the line directly below (so it can trail the offending
+//! expression or sit on its own line above it).
+
+use crate::diag::{Diagnostic, Rule};
+use crate::lexer::Token;
+
+/// One parsed, well-formed suppression.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Allow {
+    /// Line the comment sits on.
+    pub line: u32,
+    /// Rules it silences.
+    pub rules: Vec<Rule>,
+    /// The written justification (non-empty by construction).
+    pub justification: String,
+}
+
+impl Allow {
+    /// Whether this allow covers `rule` at `line`.
+    pub fn covers(&self, rule: Rule, line: u32) -> bool {
+        (self.line == line || self.line + 1 == line) && self.rules.contains(&rule)
+    }
+}
+
+/// Scan comment tokens for suppression directives.
+///
+/// Returns the well-formed allows plus diagnostics for malformed ones
+/// (unknown rule names, missing/empty justification). `bad-suppression`
+/// findings cannot themselves be suppressed.
+pub fn parse_allows(path: &str, comments: &[Token]) -> (Vec<Allow>, Vec<Diagnostic>) {
+    let mut allows = Vec::new();
+    let mut diags = Vec::new();
+    for tok in comments {
+        // Doc comments are rendered documentation (and routinely *describe*
+        // the directive syntax); only plain `//` / `/* */` comments carry
+        // live suppressions.
+        if is_doc_comment(&tok.text) {
+            continue;
+        }
+        let body = comment_body(&tok.text);
+        let Some(rest) = find_directive(body) else {
+            continue;
+        };
+        match parse_directive(rest) {
+            Ok((rules, justification)) => allows.push(Allow {
+                line: tok.line,
+                rules,
+                justification,
+            }),
+            Err(why) => diags.push(Diagnostic::new(
+                path,
+                tok.line,
+                tok.col,
+                Rule::BadSuppression,
+                why,
+            )),
+        }
+    }
+    (allows, diags)
+}
+
+/// `///`, `//!`, `/** … */`, `/*! … */` — but not the `////…` rule-off
+/// separator, which rustdoc ignores too.
+fn is_doc_comment(text: &str) -> bool {
+    (text.starts_with("///") && !text.starts_with("////"))
+        || text.starts_with("//!")
+        || (text.starts_with("/**") && !text.starts_with("/***") && text != "/**/")
+        || text.starts_with("/*!")
+}
+
+/// Strip comment markers: `//`, `/* … */`.
+fn comment_body(text: &str) -> &str {
+    let t = text.trim();
+    let t = t.strip_prefix("//").unwrap_or(t);
+    let t = t.strip_prefix('/').unwrap_or(t); // third slash of `///`
+    let t = t.strip_prefix('!').unwrap_or(t);
+    let t = t.strip_prefix("/*").unwrap_or(t);
+    let t = t.strip_suffix("*/").unwrap_or(t);
+    t.trim()
+}
+
+/// Locate `lamolint::allow` in a comment body; returns the text after it.
+fn find_directive(body: &str) -> Option<&str> {
+    let idx = body.find("lamolint::allow")?;
+    Some(body[idx + "lamolint::allow".len()..].trim_start())
+}
+
+/// Parse `(rule[, rule…]): justification`.
+fn parse_directive(rest: &str) -> Result<(Vec<Rule>, String), String> {
+    let Some(rest) = rest.strip_prefix('(') else {
+        return Err("malformed suppression: expected `(rule[, rule])` after \
+                    `lamolint::allow`"
+            .to_string());
+    };
+    let Some(close) = rest.find(')') else {
+        return Err("malformed suppression: unclosed rule list".to_string());
+    };
+    let mut rules = Vec::new();
+    for name in rest[..close].split(',') {
+        let name = name.trim();
+        match Rule::from_name(name) {
+            Some(Rule::BadSuppression) => {
+                return Err("bad-suppression cannot be suppressed".to_string())
+            }
+            Some(rule) => rules.push(rule),
+            None => return Err(format!("unknown rule `{name}` in suppression")),
+        }
+    }
+    if rules.is_empty() {
+        return Err("empty rule list in suppression".to_string());
+    }
+    let after = rest[close + 1..].trim_start();
+    let Some(justification) = after.strip_prefix(':') else {
+        return Err("bare suppression: add `: <justification>` explaining why \
+                    the finding is safe"
+            .to_string());
+    };
+    let justification = justification.trim();
+    if justification.is_empty() {
+        return Err("bare suppression: the justification after `:` is empty".to_string());
+    }
+    Ok((rules, justification.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn allows_of(src: &str) -> (Vec<Allow>, Vec<Diagnostic>) {
+        let comments: Vec<Token> = lex(src).into_iter().filter(|t| t.is_comment()).collect();
+        parse_allows("f.rs", &comments)
+    }
+
+    #[test]
+    fn well_formed_single_rule() {
+        let (allows, diags) = allows_of(
+            "// lamolint::allow(lib-unwrap): index is in range by the loop bound\nx.unwrap();",
+        );
+        assert!(diags.is_empty());
+        assert_eq!(allows.len(), 1);
+        assert_eq!(allows[0].rules, vec![Rule::LibUnwrap]);
+        assert_eq!(allows[0].justification, "index is in range by the loop bound");
+        assert!(allows[0].covers(Rule::LibUnwrap, 1));
+        assert!(allows[0].covers(Rule::LibUnwrap, 2)); // line below
+        assert!(!allows[0].covers(Rule::LibUnwrap, 3));
+        assert!(!allows[0].covers(Rule::WallClock, 1));
+    }
+
+    #[test]
+    fn multiple_rules_one_comment() {
+        let (allows, diags) =
+            allows_of("// lamolint::allow(wall-clock, lib-unwrap): harness-only diagnostics path");
+        assert!(diags.is_empty());
+        assert_eq!(allows[0].rules, vec![Rule::WallClock, Rule::LibUnwrap]);
+    }
+
+    #[test]
+    fn bare_allow_is_reported() {
+        let (allows, diags) = allows_of("// lamolint::allow(lib-unwrap)");
+        assert!(allows.is_empty());
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, Rule::BadSuppression);
+        assert!(diags[0].message.contains("bare suppression"));
+    }
+
+    #[test]
+    fn empty_justification_is_reported() {
+        let (allows, diags) = allows_of("// lamolint::allow(lib-unwrap):   ");
+        assert!(allows.is_empty());
+        assert_eq!(diags.len(), 1);
+    }
+
+    #[test]
+    fn unknown_rule_is_reported() {
+        let (_, diags) = allows_of("// lamolint::allow(made-up-rule): because");
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("unknown rule"));
+    }
+
+    #[test]
+    fn bad_suppression_is_not_suppressible() {
+        let (_, diags) = allows_of("// lamolint::allow(bad-suppression): nope");
+        assert_eq!(diags.len(), 1);
+    }
+
+    #[test]
+    fn block_comment_form() {
+        let (allows, diags) =
+            allows_of("/* lamolint::allow(unseeded-rng): fixture exercises the rule */");
+        assert!(diags.is_empty());
+        assert_eq!(allows.len(), 1);
+    }
+
+    #[test]
+    fn doc_comments_never_carry_directives() {
+        // Docs legitimately *describe* the syntax; neither a well-formed
+        // nor a malformed directive in a doc comment does anything.
+        let (allows, diags) = allows_of(
+            "/// Syntax: `lamolint::allow(rule): why`\n\
+             //! e.g. lamolint::allow(lib-unwrap): some reason\n\
+             /** lamolint::allow(rule[, rule…]): <justification> */",
+        );
+        assert!(allows.is_empty());
+        assert!(diags.is_empty());
+    }
+
+    #[test]
+    fn ordinary_comments_ignored() {
+        let (allows, diags) = allows_of("// plain comment mentioning allow() and rules");
+        assert!(allows.is_empty());
+        assert!(diags.is_empty());
+    }
+}

@@ -1,0 +1,114 @@
+//! End-to-end CLI tests: build small fake workspaces under the cargo
+//! test tmpdir and drive the compiled `lamolint` binary against them,
+//! asserting the 0/1/2 exit-code contract and the report file.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_lamolint")
+}
+
+fn tmp_tree(name: &str) -> PathBuf {
+    let dir = Path::new(env!("CARGO_TARGET_TMPDIR")).join(name);
+    if dir.exists() {
+        fs::remove_dir_all(&dir).expect("stale tmp tree from a prior run is removable");
+    }
+    fs::create_dir_all(&dir).expect("tmpdir is writable during tests");
+    fs::write(dir.join("Cargo.toml"), "[workspace]\nmembers = []\n")
+        .expect("tmpdir is writable during tests");
+    dir
+}
+
+fn write_src(root: &Path, rel: &str, body: &str) {
+    let path = root.join(rel);
+    fs::create_dir_all(path.parent().expect("rel paths have parents"))
+        .expect("tmpdir is writable during tests");
+    fs::write(path, body).expect("tmpdir is writable during tests");
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(bin())
+        .args(args)
+        .output()
+        .expect("the lamolint binary built by cargo test is runnable")
+}
+
+const CLEAN_LIB: &str = "#![forbid(unsafe_code)]\n\npub fn id(x: u32) -> u32 {\n    x\n}\n";
+const DIRTY_LIB: &str = "#![forbid(unsafe_code)]\n\npub fn boom(v: Option<u32>) -> u32 {\n    v.unwrap()\n}\n";
+
+#[test]
+fn clean_tree_exits_zero_and_writes_report() {
+    let root = tmp_tree("lamolint-clean");
+    write_src(&root, "crates/demo/src/lib.rs", CLEAN_LIB);
+
+    let out = run(&["check", "--root", root.to_str().expect("tmp paths are UTF-8")]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(0), "stdout: {stdout}");
+    assert!(stdout.contains("clean"), "human output announces a clean tree: {stdout}");
+
+    let report = fs::read_to_string(root.join("target/lamolint-report.json"))
+        .expect("check writes target/lamolint-report.json by default");
+    assert!(report.contains("\"findings\": 0"), "report: {report}");
+    assert!(report.contains("\"files_scanned\": 1"), "report: {report}");
+}
+
+#[test]
+fn violating_tree_exits_one_with_diagnostic() {
+    let root = tmp_tree("lamolint-dirty");
+    write_src(&root, "crates/demo/src/lib.rs", DIRTY_LIB);
+
+    let out = run(&["check", "--root", root.to_str().expect("tmp paths are UTF-8")]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(1), "stdout: {stdout}");
+    assert!(stdout.contains("lib-unwrap"), "diagnostic names the rule: {stdout}");
+    assert!(
+        stdout.contains("crates/demo/src/lib.rs:4"),
+        "diagnostic carries path and line: {stdout}"
+    );
+}
+
+#[test]
+fn json_mode_prints_machine_readable_report() {
+    let root = tmp_tree("lamolint-json");
+    write_src(&root, "crates/demo/src/lib.rs", DIRTY_LIB);
+
+    let out = run(&[
+        "check",
+        "--json",
+        "--no-report",
+        "--root",
+        root.to_str().expect("tmp paths are UTF-8"),
+    ]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stdout.trim_start().starts_with('{'), "json on stdout: {stdout}");
+    assert!(stdout.contains("\"rule\": \"lib-unwrap\""), "json: {stdout}");
+    assert!(
+        !root.join("target/lamolint-report.json").exists(),
+        "--no-report must skip the report file"
+    );
+}
+
+#[test]
+fn usage_errors_exit_two() {
+    let out = run(&["frobnicate"]);
+    assert_eq!(out.status.code(), Some(2), "unknown subcommand is a usage error");
+
+    let out = run(&["check", "--root"]);
+    assert_eq!(out.status.code(), Some(2), "--root without a directory is a usage error");
+
+    let out = run(&["check", "--bogus-flag"]);
+    assert_eq!(out.status.code(), Some(2), "unknown flag is a usage error");
+}
+
+#[test]
+fn rules_subcommand_lists_every_rule() {
+    let out = run(&["rules"]);
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for rule in lamolint::diag::ALL_RULES {
+        assert!(stdout.contains(rule.name()), "rules output misses {}", rule.name());
+    }
+}

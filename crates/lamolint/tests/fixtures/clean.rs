@@ -1,0 +1,29 @@
+//@ path: crates/demo/src/clean.rs
+// Fixture: idiomatic code that must produce zero findings.
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::collections::{BTreeMap, HashMap};
+
+pub fn deterministic_summary(map: &HashMap<String, u32>) -> Vec<(String, u32)> {
+    let ordered: BTreeMap<&String, &u32> = map.iter().collect();
+    let mut out = Vec::with_capacity(ordered.len());
+    for (k, v) in ordered {
+        out.push((k.clone(), *v));
+    }
+    out
+}
+
+pub fn seeded_walk(seed: u64, steps: usize) -> u64 {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut acc = 0u64;
+    for _ in 0..steps {
+        acc = acc.wrapping_add(rng.gen());
+    }
+    acc
+}
+
+pub fn checked_access(slots: &[u32], idx: usize) -> u32 {
+    *slots
+        .get(idx)
+        .expect("index was validated against slots.len() by the caller")
+}

@@ -1,0 +1,7 @@
+//@ path: crates/demo2/src/lib.rs
+#![forbid(unsafe_code)]
+// Fixture: a crate root that carries the attribute.
+
+pub fn harmless() -> u32 {
+    7
+}

@@ -1,0 +1,48 @@
+//@ path: crates/demo/src/guard_spawn.rs
+// Fixture: lock guards held across blocking operations.
+use parking_lot::Mutex;
+
+pub fn bad_guard_across_spawn(m: &Mutex<Vec<u32>>) {
+    crossbeam::scope(|scope| {
+        let guard = m.lock();
+        scope.spawn(|_| work());
+        guard.len();
+    })
+    .expect("crossbeam scope fails only when a worker panicked");
+}
+
+pub fn bad_guard_across_send(m: &Mutex<u32>, tx: &Sender<u32>) {
+    let held = m.lock();
+    tx.send(*held).ok();
+}
+
+pub fn bad_guard_across_shard_call(m: &Mutex<u32>, cache: &Cache) {
+    let held = m.lock();
+    cache.get_or_insert_with(*held, || 1);
+}
+
+pub fn ok_dropped_before_spawn(m: &Mutex<Vec<u32>>) {
+    crossbeam::scope(|scope| {
+        let guard = m.lock();
+        let len = guard.len();
+        drop(guard);
+        scope.spawn(move |_| consume(len));
+    })
+    .expect("crossbeam scope fails only when a worker panicked");
+}
+
+pub fn ok_scoped_guard(m: &Mutex<Vec<u32>>, tx: &Sender<usize>) {
+    let len = {
+        let guard = m.lock();
+        guard.len()
+    };
+    tx.send(len).ok();
+}
+
+pub fn ok_temporary_guard(m: &Mutex<Vec<u32>>, tx: &Sender<usize>) {
+    let len = m.lock().len();
+    tx.send(len).ok();
+}
+
+fn work() {}
+fn consume(_n: usize) {}

@@ -1,0 +1,40 @@
+//@ path: crates/demo/src/lib_unwrap.rs
+// Fixture: panic surface in library code.
+
+pub fn bad_unwrap(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+pub fn bad_short_expect(v: Option<u32>) -> u32 {
+    v.expect("present")
+}
+
+pub fn bad_panic(flag: bool) {
+    if flag {
+        panic!("invalid state");
+    }
+}
+
+pub fn ok_documented_expect(v: Option<u32>) -> u32 {
+    v.expect("caller guarantees the slot was filled during construction")
+}
+
+pub fn ok_error_return(v: Option<u32>) -> Result<u32, String> {
+    v.ok_or_else(|| "empty slot".to_string())
+}
+
+pub fn ok_unwrap_or(v: Option<u32>) -> u32 {
+    v.unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_unwrap() {
+        let v: Option<u32> = Some(3);
+        assert_eq!(v.unwrap(), 3);
+        if false {
+            panic!("test-only panic is fine");
+        }
+    }
+}

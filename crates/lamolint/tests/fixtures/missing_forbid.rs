@@ -1,0 +1,6 @@
+//@ path: crates/demo/src/lib.rs
+// Fixture: a crate root without #![forbid(unsafe_code)].
+
+pub fn harmless() -> u32 {
+    7
+}

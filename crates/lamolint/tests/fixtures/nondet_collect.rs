@@ -1,0 +1,25 @@
+//@ path: crates/demo/src/nondet_collect.rs
+// Fixture: hash-iteration order reaching collected output.
+use std::collections::{BTreeMap, HashMap};
+
+pub fn bad_keys_to_vec(map: &HashMap<u32, u32>) -> Vec<u32> {
+    map.keys().copied().collect()
+}
+
+pub fn bad_values_into_extend(map: &HashMap<u32, u32>, out: &mut Vec<u32>) {
+    out.extend(map.values().copied());
+}
+
+pub fn ok_collect_into_btreemap(map: &HashMap<u32, u32>) -> BTreeMap<u32, u32> {
+    map.iter().map(|(k, v)| (*k, *v)).collect::<BTreeMap<_, _>>()
+}
+
+pub fn ok_sorted_after_collect(map: &HashMap<u32, u32>) -> Vec<u32> {
+    let mut v: Vec<u32> = map.keys().copied().collect();
+    v.sort_unstable();
+    v
+}
+
+pub fn ok_order_free_aggregate(map: &HashMap<u32, u32>) -> usize {
+    map.values().filter(|v| **v > 3).count()
+}

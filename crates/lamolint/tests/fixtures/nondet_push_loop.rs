@@ -1,0 +1,37 @@
+//@ path: crates/demo/src/nondet_push_loop.rs
+// Fixture: for-loop over hash collections pushing into output vectors.
+use std::collections::{BTreeSet, HashSet};
+
+pub fn bad_push_loop(set: &HashSet<u32>) -> Vec<u32> {
+    let mut out = Vec::new();
+    for x in set {
+        out.push(*x);
+    }
+    out
+}
+
+pub fn ok_push_then_sort(set: &HashSet<u32>) -> Vec<u32> {
+    let mut out = Vec::new();
+    for x in set {
+        out.push(*x);
+    }
+    out.sort_unstable();
+    out
+}
+
+pub fn ok_btree_source(set: &BTreeSet<u32>) -> Vec<u32> {
+    let mut out = Vec::new();
+    for x in set {
+        out.push(*x);
+    }
+    out
+}
+
+pub fn ok_membership_only(set: &HashSet<u32>, probe: u32) -> bool {
+    for x in set {
+        if *x == probe {
+            return true;
+        }
+    }
+    false
+}

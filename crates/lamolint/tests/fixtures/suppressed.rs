@@ -1,0 +1,21 @@
+//@ path: crates/demo/src/suppressed.rs
+// Fixture: the suppression mechanism itself.
+
+pub fn silenced_with_justification(v: Option<u32>) -> u32 {
+    // lamolint::allow(lib-unwrap): fixture demonstrates a justified allow
+    v.unwrap()
+}
+
+pub fn silenced_trailing(v: Option<u32>) -> u32 {
+    v.unwrap() // lamolint::allow(lib-unwrap): same-line trailing form
+}
+
+pub fn bare_allow_is_an_error(v: Option<u32>) -> u32 {
+    // lamolint::allow(lib-unwrap)
+    v.unwrap()
+}
+
+pub fn wrong_rule_does_not_silence(v: Option<u32>) -> u32 {
+    // lamolint::allow(wall-clock): this names the wrong rule
+    v.unwrap()
+}

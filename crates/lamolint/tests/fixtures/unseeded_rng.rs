@@ -1,0 +1,17 @@
+//@ path: crates/demo/src/unseeded_rng.rs
+// Fixture: RNG construction from entropy instead of an explicit seed.
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+pub fn bad_entropy_rng() -> SmallRng {
+    SmallRng::from_entropy()
+}
+
+pub fn bad_thread_rng() -> u32 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}
+
+pub fn ok_seeded(seed: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed)
+}

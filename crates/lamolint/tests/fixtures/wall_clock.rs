@@ -1,0 +1,23 @@
+//@ path: crates/demo/src/wall_clock.rs
+// Fixture: wall-clock and thread-identity reads in pipeline code.
+use std::time::{Duration, Instant, SystemTime};
+
+pub fn bad_timing() -> u64 {
+    let start = Instant::now();
+    work();
+    start.elapsed().as_nanos() as u64
+}
+
+pub fn bad_epoch() -> u64 {
+    SystemTime::now().elapsed().map(|d| d.as_secs()).unwrap_or(0)
+}
+
+pub fn bad_thread_identity() -> String {
+    format!("{:?}", std::thread::current().id())
+}
+
+pub fn ok_duration_arithmetic(budget: Duration) -> Duration {
+    budget / 2
+}
+
+fn work() {}

@@ -1,0 +1,59 @@
+//! Property tests: the lexer and the full per-file analysis are total —
+//! they must never panic, whatever bytes arrive, because lamolint runs
+//! over every source tree state including mid-edit garbage.
+
+use lamolint::lexer::lex;
+use lamolint::rules::{check_source, FileScope};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Characters chosen to stress the tricky lexer states: literal prefixes,
+/// raw-string hashes, unclosed delimiters, lifetimes vs chars, comments.
+const TRICKY: &[char] = &[
+    'r', 'b', 'c', '#', '"', '\'', '\\', '/', '*', '_', 'e', 'E', '.', '0', '9', 'x', '{', '}',
+    '(', ')', '[', ']', ';', ':', '<', '>', '=', '!', ' ', '\n', '\t', 'λ', '🧬',
+];
+
+fn tricky_string() -> impl Strategy<Value = String> {
+    vec(any::<u8>(), 0..64)
+        .prop_map(|picks| picks.iter().map(|&b| TRICKY[b as usize % TRICKY.len()]).collect())
+}
+
+fn arbitrary_utf8() -> impl Strategy<Value = String> {
+    vec(any::<u8>(), 0..96).prop_map(|bytes| String::from_utf8_lossy(&bytes).into_owned())
+}
+
+proptest! {
+    #[test]
+    fn lexer_is_total_on_tricky_input(src in tricky_string()) {
+        let toks = lex(&src);
+        // Every token must carry a 1-based position inside the source.
+        for t in &toks {
+            prop_assert!(t.line >= 1);
+            prop_assert!(t.col >= 1);
+            prop_assert!(!t.text.is_empty());
+        }
+    }
+
+    #[test]
+    fn lexer_is_total_on_arbitrary_utf8(src in arbitrary_utf8()) {
+        let _ = lex(&src);
+    }
+
+    #[test]
+    fn lexer_consumes_every_non_whitespace_char(src in tricky_string()) {
+        // Token texts, concatenated, must cover the non-whitespace input:
+        // the lexer may split differently than rustc but must not drop code.
+        let toks = lex(&src);
+        let covered: usize = toks.iter().map(|t| t.text.chars().count()).sum();
+        let non_ws = src.chars().filter(|c| !c.is_whitespace()).count();
+        prop_assert!(covered >= non_ws, "covered {covered} < non-ws {non_ws}");
+    }
+
+    #[test]
+    fn full_analysis_is_total(src in tricky_string()) {
+        let scope = FileScope::classify("crates/demo/src/fuzzed.rs")
+            .expect("demo path is lintable");
+        let _ = check_source("crates/demo/src/fuzzed.rs", &src, scope);
+    }
+}

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Network-motif discovery substrate (Tasks 1 and 2 of the paper).
 //!
 //! * [`esu`] — exact ESU/FANMOD enumeration of connected subgraphs;

@@ -473,7 +473,7 @@ where
             .map(|h| h.join().expect("growth worker panicked"))
             .collect()
     })
-    .expect("crossbeam scope")
+    .expect("crossbeam scope fails only when a worker panicked")
 }
 
 /// Keep at most `max_classes_per_level` classes (already sorted by

@@ -103,7 +103,7 @@ pub fn uniqueness_scores<R: Rng>(
                 partials.push(h.join().expect("uniqueness worker panicked"));
             }
         })
-        .expect("crossbeam scope");
+        .expect("crossbeam scope fails only when a worker panicked");
         let mut totals = vec![0usize; patterns.len()];
         for p in partials {
             for (t, v) in totals.iter_mut().zip(p) {

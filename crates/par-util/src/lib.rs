@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Shared parallelism utilities.
 //!
 //! Every parallel stage in the workspace follows the same conventions:

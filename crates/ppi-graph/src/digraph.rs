@@ -223,7 +223,7 @@ pub fn find_digraph_isomorphism(pattern: &DiGraph, target: &DiGraph) -> Option<V
                     .count();
                 (connected, skeleton.degree(vid))
             })
-            .expect("unplaced vertex");
+            .expect("loop runs only while unplaced vertices remain");
         placed[next as usize] = true;
         order.push(VertexId(next));
     }
@@ -283,7 +283,7 @@ pub fn enumerate_digraph_isomorphisms(
                     .count();
                 (connected, skeleton.degree(vid))
             })
-            .expect("unplaced vertex");
+            .expect("loop runs only while unplaced vertices remain");
         placed[next as usize] = true;
         order.push(VertexId(next));
     }

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Graph substrate for the LaMoFinder reproduction.
 //!
 //! This crate provides everything the motif-mining pipeline needs from a

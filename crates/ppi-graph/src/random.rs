@@ -51,7 +51,10 @@ pub fn barabasi_albert<R: Rng>(n: usize, m_per_step: usize, rng: &mut R) -> Grap
 
     for v in (m0 + 1)..n {
         let v = v as u32;
-        let mut chosen = std::collections::HashSet::new();
+        // BTreeSet, not HashSet: `chosen` is iterated below, and its order
+        // flows into `endpoints` and the edge list — HashSet order would
+        // make the generated graph differ across runs despite the seed.
+        let mut chosen = std::collections::BTreeSet::new();
         // Rejection-sample m distinct degree-proportional targets.
         while chosen.len() < m_per_step {
             let t = endpoints[rng.gen_range(0..endpoints.len())];

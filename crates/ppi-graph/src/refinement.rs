@@ -99,7 +99,7 @@ fn normalize(raw: &[u64]) -> Vec<u32> {
     values.sort_unstable();
     values.dedup();
     raw.iter()
-        .map(|v| values.binary_search(v).expect("value present") as u32)
+        .map(|v| values.binary_search(v).expect("values was built from raw, so every raw entry is found") as u32)
         .collect()
 }
 

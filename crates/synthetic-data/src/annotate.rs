@@ -65,9 +65,9 @@ pub fn pick_themes<R: Rng>(
     (0..n_modules)
         .map(|_| ModuleTheme {
             terms: [
-                *pools[0].choose(rng).expect("non-empty"),
-                *pools[1].choose(rng).expect("non-empty"),
-                *pools[2].choose(rng).expect("non-empty"),
+                *pools[0].choose(rng).expect("theme pools are non-empty by generator construction"),
+                *pools[1].choose(rng).expect("theme pools are non-empty by generator construction"),
+                *pools[2].choose(rng).expect("theme pools are non-empty by generator construction"),
             ],
         })
         .collect()
@@ -127,7 +127,7 @@ pub fn annotate_network<R: Rng>(
         }
         // Guarantee at least one term so coverage is exact.
         if ann.terms_of(ProteinId(v as u32)).is_empty() {
-            let term = *all_terms.choose(rng).expect("non-empty");
+            let term = *all_terms.choose(rng).expect("theme pools are non-empty by generator construction");
             ann.annotate(ProteinId(v as u32), term);
         }
     }

@@ -218,7 +218,7 @@ impl GrnDataset {
         // Background genes: one random term.
         for g in next as usize..config.n_genes {
             if rng.gen_bool(config.coverage) {
-                let t = *bp_terms.choose(&mut rng).expect("terms");
+                let t = *bp_terms.choose(&mut rng).expect("the BP term pool is non-empty by generator construction");
                 annotations.annotate(ProteinId(g as u32), t);
             }
         }
@@ -241,7 +241,7 @@ fn random_role_term<R: Rng>(ontology: &Ontology, t: TermId, rng: &mut R) -> Term
     if children.is_empty() {
         t
     } else {
-        *children.choose(rng).expect("non-empty")
+        *children.choose(rng).expect("child terms exist because the parent is non-leaf")
     }
 }
 

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Synthetic substitutes for the paper's datasets (DESIGN.md §5).
 //!
 //! * [`paper_example`] — the worked example of Figures 1–4 and Tables

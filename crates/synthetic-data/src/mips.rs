@@ -228,12 +228,12 @@ fn annotate<R: Rng>(
         }
         if ann.terms_of(ProteinId(v as u32)).is_empty() {
             let cat = rng.gen_range(0..categories.len());
-            let term = *pools[cat].choose(rng).expect("non-empty");
+            let term = *pools[cat].choose(rng).expect("category pools are non-empty by generator construction");
             ann.annotate(ProteinId(v as u32), term);
         }
         while !rng.gen_bool(p_stop) {
             let cat = rng.gen_range(0..categories.len());
-            let term = *pools[cat].choose(rng).expect("non-empty");
+            let term = *pools[cat].choose(rng).expect("category pools are non-empty by generator construction");
             ann.annotate(ProteinId(v as u32), term);
         }
     }

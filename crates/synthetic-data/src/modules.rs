@@ -155,7 +155,7 @@ pub fn add_background<R: Rng>(
         let main = comps
             .iter()
             .max_by_key(|c| c.len())
-            .expect("non-empty")
+            .expect("a non-empty graph has at least one component")
             .clone();
         for comp in &comps {
             if comp[0] == main[0] {
@@ -197,7 +197,7 @@ pub fn add_background<R: Rng>(
             let main = comps
                 .iter()
                 .max_by_key(|c| c.len())
-                .expect("non-empty")
+                .expect("a non-empty graph has at least one component")
                 .clone();
             for comp in &comps {
                 if comp[0] != main[0] {

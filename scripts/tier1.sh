@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
-# Tier-1 verification (ROADMAP.md): release build + the full test suite.
+# Tier-1 verification (ROADMAP.md): release build + the full test suite +
+# the lamolint static-analysis pass (DESIGN.md §12).
 # Run from anywhere; CI and EXPERIMENTS.md both invoke this script.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release
 cargo test -q --workspace --no-fail-fast
+cargo run -p lamolint --release -- check

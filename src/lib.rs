@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Meta-crate for the LaMoFinder reproduction workspace.
 //!
 //! This crate exists so that the repository root can host the
