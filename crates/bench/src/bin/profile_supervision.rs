@@ -1,0 +1,127 @@
+//! Profile the supervision layer's work-tick accounting: the discovery
+//! and labeling pipelines run under a passive context (no metering) and
+//! a metered one (every tick counted), repeated with the minimum taken,
+//! and the relative overhead reported. Writes `BENCH_robustness.json`;
+//! the budget is < 3% overhead (DESIGN.md §13).
+
+use lamofinder_bench::report::{check, json_array, JsonObject};
+use lamofinder_bench::{finder_config, yeast, Scale};
+use lamofinder::{LaMoFinder, LaMoFinderConfig};
+use motif_finder::{resume_growth, GrowthCheckpoint, Motif};
+use par_util::RunContext;
+use std::time::Instant;
+
+const REPEATS: usize = 5;
+const OVERHEAD_BUDGET_PCT: f64 = 3.0;
+
+/// Minimum wall time of `run` over [`REPEATS`] repetitions.
+fn min_secs(mut run: impl FnMut()) -> f64 {
+    (0..REPEATS)
+        .map(|_| {
+            let t = Instant::now();
+            run();
+            t.elapsed().as_secs_f64()
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Time one workload under a passive and a metered context and render
+/// its row. `work` must run the pipeline to completion under the given
+/// context; the metered pass also reports the tick volume.
+fn profile(name: &str, work: impl Fn(&RunContext)) -> (f64, String) {
+    // Warm-up pass so neither timed variant pays first-touch costs.
+    work(&RunContext::unbounded());
+    let passive = min_secs(|| work(&RunContext::unbounded()));
+    let metered_ctx = RunContext::metered();
+    work(&metered_ctx);
+    let ticks = metered_ctx.ticks_spent();
+    let metered = min_secs(|| work(&RunContext::metered()));
+    let overhead_pct = if passive > 0.0 {
+        (metered - passive) / passive * 100.0
+    } else {
+        0.0
+    };
+    println!(
+        "{name}: passive {passive:.3}s, metered {metered:.3}s ({ticks} ticks) \
+         -> overhead {overhead_pct:+.2}% [{}]",
+        check(overhead_pct < OVERHEAD_BUDGET_PCT)
+    );
+    let row = JsonObject::new()
+        .str("workload", name)
+        .num("passive_secs", passive)
+        .num("metered_secs", metered)
+        .int("ticks", ticks as usize)
+        .num("overhead_pct", overhead_pct)
+        .render();
+    (overhead_pct, row)
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let data = yeast(scale);
+    let config = finder_config(scale);
+
+    let mut rows: Vec<String> = Vec::new();
+    let mut worst = f64::NEG_INFINITY;
+
+    // Discovery: the growth loop ticks per candidate scored.
+    let growth_config = config.growth.clone();
+    let (overhead, row) = profile("discovery", |ctx| {
+        resume_growth(&data.network, &growth_config, GrowthCheckpoint::default(), ctx)
+            .expect("a complete context never interrupts discovery");
+    });
+    rows.push(row);
+    worst = worst.max(overhead);
+
+    // Labeling: ticks per similarity row and per motif. The motifs come
+    // from one discovery pass over the same network.
+    let report = resume_growth(
+        &data.network,
+        &config.growth,
+        GrowthCheckpoint::default(),
+        &RunContext::unbounded(),
+    )
+    .expect("a passive context never interrupts discovery");
+    let motifs: Vec<Motif> = report
+        .classes
+        .into_iter()
+        .map(|c| Motif {
+            pattern: c.pattern,
+            occurrences: c.occurrences,
+            frequency: c.frequency,
+            uniqueness: None,
+        })
+        .collect();
+    let labeler = LaMoFinder::new(
+        &data.ontology,
+        &data.annotations,
+        LaMoFinderConfig::default(),
+    );
+    let (overhead, row) = profile("labeling", |ctx| {
+        labeler
+            .label_motifs_supervised(&motifs, ctx)
+            .expect("a complete context never interrupts labeling");
+    });
+    rows.push(row);
+    worst = worst.max(overhead);
+
+    let doc = JsonObject::new()
+        .str("benchmark", "supervision_overhead")
+        .str(
+            "scale",
+            if scale == Scale::Full { "full" } else { "small" },
+        )
+        .int("vertices", data.network.vertex_count())
+        .int("edges", data.network.edge_count())
+        .int("motifs_labeled", motifs.len())
+        .int("repeats", REPEATS)
+        .num("overhead_budget_pct", OVERHEAD_BUDGET_PCT)
+        .num("worst_overhead_pct", worst)
+        .raw("workloads", json_array(&rows))
+        .render();
+    std::fs::write("BENCH_robustness.json", format!("{doc}\n"))
+        .expect("write BENCH_robustness.json");
+    println!(
+        "wrote BENCH_robustness.json (worst overhead {worst:+.2}%, budget {OVERHEAD_BUDGET_PCT}%)"
+    );
+}

@@ -21,6 +21,7 @@ use crate::labeling::{
 use crate::occ_similarity::OccurrenceScorer;
 use go_ontology::{InformativeClasses, Ontology, ProteinId, TermSimilarity};
 use motif_finder::Occurrence;
+use par_util::{faultpoint, run_supervised, PoolOutcome, RunContext, WorkQueue, WorkerPanic};
 use ppi_graph::{enumerate_isomorphisms, DiGraph, Graph};
 
 /// Linkage rule for cluster-to-cluster similarity.
@@ -241,9 +242,40 @@ pub fn cluster_occurrences_sym(
     ctx: &LabelContext<'_>,
     config: &ClusteringConfig,
 ) -> Vec<LabeledCluster> {
+    cluster_occurrences_sym_supervised(symmetry, occurrences, ctx, config, &RunContext::unbounded())
+        .expect("a passive context without injected faults never panics a worker")
+}
+
+/// [`cluster_occurrences`] under a supervising [`RunContext`]: one SO
+/// cell scored costs one work tick, the agglomerative loop drains at
+/// merge boundaries once the context trips, and a panicking matrix
+/// worker surfaces as a typed [`WorkerPanic`]. A cancelled call returns
+/// `Ok` with a partial (possibly empty) result the caller must discard
+/// after checking [`RunContext::should_stop`] — clustering is
+/// all-or-nothing per motif, so the checkpointable unit is the whole
+/// motif (see `LaMoFinder::resume_label_motifs`).
+pub fn cluster_occurrences_supervised(
+    pattern: &Graph,
+    occurrences: &[Occurrence],
+    ctx: &LabelContext<'_>,
+    config: &ClusteringConfig,
+    run: &RunContext,
+) -> Result<Vec<LabeledCluster>, WorkerPanic> {
+    let symmetry = MotifSymmetry::undirected(pattern, config.max_automorphisms);
+    cluster_occurrences_sym_supervised(&symmetry, occurrences, ctx, config, run)
+}
+
+/// [`cluster_occurrences_supervised`] with explicit pattern symmetry.
+pub fn cluster_occurrences_sym_supervised(
+    symmetry: &MotifSymmetry,
+    occurrences: &[Occurrence],
+    ctx: &LabelContext<'_>,
+    config: &ClusteringConfig,
+    run: &RunContext,
+) -> Result<Vec<LabeledCluster>, WorkerPanic> {
     let n = occurrences.len();
     if n == 0 {
-        return Vec::new();
+        return Ok(Vec::new());
     }
     let scorer = OccurrenceScorer::from_orbits(
         symmetry.orbits.clone(),
@@ -254,7 +286,10 @@ pub fn cluster_occurrences_sym(
     let aligner = Aligner::from_symmetry(symmetry);
 
     // Pairwise occurrence similarities (SO, Eq. 3).
-    let mut sim = so_matrix(&scorer, occurrences, resolve_threads(config.threads));
+    let mut sim = so_matrix(&scorer, occurrences, resolve_threads(config.threads), run)?;
+    if run.should_stop() {
+        return Ok(Vec::new());
+    }
 
     // Singleton clusters.
     let mut clusters: Vec<Cluster> = occurrences
@@ -287,6 +322,11 @@ pub fn cluster_occurrences_sym(
         .collect();
 
     loop {
+        // Merge boundaries are the drain points of the agglomerative
+        // phase: a tripped context abandons the (whole-motif) unit.
+        if run.should_stop() {
+            return Ok(Vec::new());
+        }
         // Most similar eligible pair. A stopped cluster may still absorb
         // a cluster with the *same* labels (no generalization happens);
         // pairs where either side is stopped and the labels differ are
@@ -387,57 +427,52 @@ pub fn cluster_occurrences_sym(
             unique.push(c);
         }
     }
-    unique
+    Ok(unique)
 }
 
-/// The full pairwise SO matrix, built by `threads` workers over
-/// round-robin row chunks. Every entry is a pure function of the
+/// The full pairwise SO matrix, built by `threads` supervised workers
+/// over round-robin row chunks. Every entry is a pure function of the
 /// occurrence pair (the SV/ST memo tables are insert-once and
 /// value-deterministic), so the matrix is identical for any thread
-/// count.
+/// count. Every scored cell costs one work tick; a tripped context
+/// leaves unvisited rows zeroed (the caller discards the partial
+/// matrix), and a panicking worker surfaces as `Err`.
 fn so_matrix(
     scorer: &OccurrenceScorer<'_>,
     occurrences: &[Occurrence],
     threads: usize,
-) -> Vec<Vec<f64>> {
+    run: &RunContext,
+) -> Result<Vec<Vec<f64>>, WorkerPanic> {
     let n = occurrences.len();
     let mut sim = vec![vec![0.0f64; n]; n];
     let threads = threads.clamp(1, n.max(1));
-    if threads == 1 {
-        for i in 0..n {
-            for j in i + 1..n {
-                let s = scorer.so(&occurrences[i], &occurrences[j]);
-                sim[i][j] = s;
-                sim[j][i] = s;
-            }
-        }
-        return sim;
-    }
     let rows: Vec<usize> = (0..n).collect();
     let chunks = split_chunks(&rows, threads);
-    let parts: Vec<Vec<(usize, Vec<f64>)>> = crossbeam::scope(|scope| {
-        let handles: Vec<_> = chunks
-            .iter()
-            .map(|chunk| {
-                scope.spawn(move |_| {
-                    chunk
-                        .iter()
-                        .map(|&i| {
-                            let row: Vec<f64> = (i + 1..n)
-                                .map(|j| scorer.so(&occurrences[i], &occurrences[j]))
-                                .collect();
-                            (i, row)
-                        })
-                        .collect()
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("SO matrix worker panicked"))
-            .collect()
-    })
-    .expect("crossbeam scope fails only when a worker panicked");
+    let queue = WorkQueue::new(chunks.len());
+    let PoolOutcome {
+        results: parts,
+        panic,
+    }: PoolOutcome<Vec<(usize, Vec<f64>)>> =
+        run_supervised(chunks.len().max(1), "core.so_matrix", run, || {
+            let mut part: Vec<(usize, Vec<f64>)> = Vec::new();
+            while let Some(c) = queue.pull() {
+                for &i in &chunks[c] {
+                    if run.should_stop() {
+                        return part;
+                    }
+                    faultpoint!(run, "core.so_row");
+                    let row: Vec<f64> = (i + 1..n)
+                        .map(|j| scorer.so(&occurrences[i], &occurrences[j]))
+                        .collect();
+                    run.tick((n - i - 1) as u64);
+                    part.push((i, row));
+                }
+            }
+            part
+        });
+    if let Some(panic) = panic {
+        return Err(panic);
+    }
     for part in parts {
         for (i, row) in part {
             for (off, s) in row.into_iter().enumerate() {
@@ -447,7 +482,7 @@ fn so_matrix(
             }
         }
     }
-    sim
+    Ok(sim)
 }
 
 /// Whether two clusters may merge under the stop rule: a stopped side

@@ -2,8 +2,8 @@
 //! runs the clustering over every motif's occurrence set (Algorithm 1).
 
 use crate::clustering::{
-    cluster_occurrences, compute_frontier, resolve_threads, split_chunks, ClusteringConfig,
-    LabelContext,
+    cluster_occurrences_supervised, compute_frontier, resolve_threads, split_chunks,
+    ClusteringConfig, LabelContext,
 };
 use crate::labeled::LabeledMotif;
 use go_ontology::{
@@ -11,6 +11,8 @@ use go_ontology::{
     TermSimilarity, TermWeights,
 };
 use motif_finder::{Motif, Occurrence};
+use par_util::{faultpoint, run_supervised, Interrupted, RunContext, WorkQueue, WorkerPanic};
+use parking_lot::Mutex;
 
 /// LaMoFinder configuration.
 #[derive(Clone, Debug)]
@@ -43,6 +45,21 @@ impl Default for LaMoFinderConfig {
             threads: 0,
         }
     }
+}
+
+/// A resumable labeling checkpoint: the labeled output of every motif
+/// completed before the interruption, keyed by its index in the input
+/// slice.
+///
+/// `Default` is the fresh-start checkpoint. Each motif is labeled as a
+/// pure function of the finder's context and the motif itself, so
+/// [`LaMoFinder::resume_label_motifs`] recomputes exactly the missing
+/// indices and splices the results back in input order.
+#[derive(Clone, Debug, Default)]
+pub struct LabelCheckpoint {
+    /// `(motif index, its labeled output)` for completed motifs, sorted
+    /// by index.
+    pub done: Vec<(usize, Vec<LabeledMotif>)>,
 }
 
 /// Labeled Motif Finder (the paper's contribution, Section 3).
@@ -159,7 +176,37 @@ impl<'a> LaMoFinder<'a> {
     }
 
     /// Label every motif; returns all labeled motifs found.
+    ///
+    /// Legacy uninterruptible entry point: runs the supervised engine
+    /// under a passive [`RunContext`].
     pub fn label_motifs(&self, motifs: &[Motif]) -> Vec<LabeledMotif> {
+        self.label_motifs_supervised(motifs, &RunContext::unbounded())
+            .expect("a passive context without injected faults never interrupts labeling")
+    }
+
+    /// Label every motif under `run`: cancellation or a worker panic
+    /// returns [`Interrupted`] with a [`LabelCheckpoint`] of the motifs
+    /// labeled so far.
+    pub fn label_motifs_supervised(
+        &self,
+        motifs: &[Motif],
+        run: &RunContext,
+    ) -> Result<Vec<LabeledMotif>, Interrupted<LabelCheckpoint>> {
+        self.resume_label_motifs(motifs, LabelCheckpoint::default(), run)
+    }
+
+    /// Resume labeling from `checkpoint` (use
+    /// [`LabelCheckpoint::default`] for a fresh run). The checkpointable
+    /// unit is one whole motif — each is a pure function of
+    /// `(self, motif)` — so for any checkpoint produced by an
+    /// interrupted run over the same inputs, the resumed output is
+    /// byte-identical to an uninterrupted run at any thread count.
+    pub fn resume_label_motifs(
+        &self,
+        motifs: &[Motif],
+        checkpoint: LabelCheckpoint,
+        run: &RunContext,
+    ) -> Result<Vec<LabeledMotif>, Interrupted<LabelCheckpoint>> {
         let sim = TermSimilarity::new(self.ontology, &self.weights);
         let ctx = LabelContext {
             ontology: self.ontology,
@@ -168,10 +215,60 @@ impl<'a> LaMoFinder<'a> {
             terms_by_protein: &self.terms_by_protein,
             frontier: &self.frontier,
         };
+        // The plan is derived from the *full* motif count, so a resumed
+        // run splits the thread budget exactly as the original did.
         let (motif_threads, clustering) = self.thread_plan(motifs.len());
-        Self::label_parallel(motif_threads, motifs.len(), |mi| {
-            self.label_one(&motifs[mi], &ctx, &clustering)
-        })
+        let already: std::collections::HashSet<usize> =
+            checkpoint.done.iter().map(|&(mi, _)| mi).collect();
+        let todo: Vec<usize> = (0..motifs.len()).filter(|mi| !already.contains(mi)).collect();
+        let chunks = split_chunks(&todo, motif_threads.min(todo.len()).max(1));
+        let queue = WorkQueue::new(chunks.len());
+        let completed: Mutex<Vec<(usize, Vec<LabeledMotif>)>> = Mutex::new(Vec::new());
+        // A panic inside a nested clustering pool is already typed by
+        // that pool; it is parked here and re-raised as this stage's
+        // interruption (the outer pool only sees clean worker exits).
+        let nested: Mutex<Option<WorkerPanic>> = Mutex::new(None);
+        let outcome = run_supervised(chunks.len().max(1), "core.label_motifs", run, || {
+            'chunks: while let Some(c) = queue.pull() {
+                for &mi in &chunks[c] {
+                    if run.should_stop() {
+                        break 'chunks;
+                    }
+                    faultpoint!(run, "core.label_motif");
+                    match self.label_one(&motifs[mi], &ctx, &clustering, run) {
+                        Ok(out) => {
+                            if run.should_stop() {
+                                // The context tripped somewhere inside
+                                // this motif: `out` may be partial, so
+                                // it is conservatively discarded.
+                                break 'chunks;
+                            }
+                            completed.lock().push((mi, out));
+                        }
+                        Err(panic) => {
+                            let mut slot = nested.lock();
+                            if slot.is_none() {
+                                *slot = Some(panic);
+                            }
+                            drop(slot);
+                            run.cancel();
+                            break 'chunks;
+                        }
+                    }
+                }
+            }
+        });
+        let mut done = checkpoint.done;
+        done.extend(completed.into_inner());
+        done.sort_by_key(|&(mi, _)| mi);
+        let checkpoint = LabelCheckpoint { done };
+        if let Some(panic) = nested.into_inner().or(outcome.panic) {
+            return Err(Interrupted::WorkerPanicked { panic, checkpoint });
+        }
+        if run.should_stop() {
+            return Err(Interrupted::Cancelled { checkpoint });
+        }
+        Ok(checkpoint.done.into_iter().flat_map(|(_, v)| v).collect())
     }
 
     /// Label a single motif.
@@ -206,10 +303,12 @@ impl<'a> LaMoFinder<'a> {
         motif: &Motif,
         ctx: &LabelContext<'_>,
         clustering: &ClusteringConfig,
-    ) -> Vec<LabeledMotif> {
+        run: &RunContext,
+    ) -> Result<Vec<LabeledMotif>, WorkerPanic> {
         let occurrences = subsample(&motif.occurrences, self.config.max_occurrences);
-        let clusters = cluster_occurrences(&motif.pattern, &occurrences, ctx, clustering);
-        clusters
+        let clusters =
+            cluster_occurrences_supervised(&motif.pattern, &occurrences, ctx, clustering, run)?;
+        Ok(clusters
             .into_iter()
             .map(|cluster| {
                 debug_assert!(cluster.occurrences.iter().all(|o| cluster
@@ -224,7 +323,7 @@ impl<'a> LaMoFinder<'a> {
                     uniqueness: motif.uniqueness,
                 }
             })
-            .collect()
+            .collect())
     }
 
     fn label_directed_one(

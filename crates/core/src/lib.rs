@@ -35,13 +35,14 @@ pub mod naive;
 pub mod occ_similarity;
 
 pub use clustering::{
-    cluster_occurrences, cluster_occurrences_sym, compute_frontier, ClusteringConfig,
-    LabelContext, LabeledCluster, Linkage, MotifSymmetry,
+    cluster_occurrences, cluster_occurrences_supervised, cluster_occurrences_sym,
+    cluster_occurrences_sym_supervised, compute_frontier, ClusteringConfig, LabelContext,
+    LabeledCluster, Linkage, MotifSymmetry,
 };
 pub use kmeans::kmedoids_label;
 pub use dictionary::{parse_dictionary, write_dictionary, DictionaryError};
 pub use labeled::{LabeledDirectedMotif, LabeledMotif};
 pub use labeling::{LabelingScheme, VertexLabel};
-pub use lamofinder::{LaMoFinder, LaMoFinderConfig};
+pub use lamofinder::{LaMoFinder, LaMoFinderConfig, LabelCheckpoint};
 pub use naive::{naive_label, NaiveOutcome};
 pub use occ_similarity::OccurrenceScorer;

@@ -1,0 +1,229 @@
+//! Interruption determinism for supervised labeling: a labeling run
+//! cancelled at any work-tick budget and resumed from its
+//! `LabelCheckpoint` must produce byte-identical output to an
+//! uninterrupted run, at every thread count; injected worker panics (at
+//! the motif level and inside the similarity rows) surface as typed
+//! errors whose checkpoints resume just as cleanly.
+
+use go_ontology::{
+    Annotations, InformativeConfig, Namespace, Ontology, OntologyBuilder, ProteinId, Relation,
+};
+use lamofinder::{ClusteringConfig, LaMoFinder, LaMoFinderConfig, LabelCheckpoint, LabeledMotif};
+use motif_finder::{Motif, Occurrence};
+use par_util::{FaultAction, FaultPlan, Interrupted, RunContext};
+use ppi_graph::{Graph, VertexId};
+
+/// Tiny world: ontology root -> F -> {f1, f2}; 12 triangle occurrences
+/// whose corners are annotated (f1, f1, f2) — the `lamofinder` unit-test
+/// fixture, rebuilt here for the integration surface.
+fn world() -> (Ontology, Annotations, Motif) {
+    let mut ob = OntologyBuilder::new();
+    let root = ob.add_term("GO:0", "root", Namespace::BiologicalProcess);
+    let f = ob.add_term("GO:1", "F", Namespace::BiologicalProcess);
+    let f1 = ob.add_term("GO:2", "f1", Namespace::BiologicalProcess);
+    let f2 = ob.add_term("GO:3", "f2", Namespace::BiologicalProcess);
+    ob.add_edge(f, root, Relation::IsA);
+    ob.add_edge(f1, f, Relation::IsA);
+    ob.add_edge(f2, f, Relation::IsA);
+    let ontology = ob.build().expect("the fixture ontology is well-formed");
+
+    let n_tri = 12u32;
+    let mut annotations = Annotations::new(3 * n_tri as usize + 4, ontology.term_count());
+    let mut occs = Vec::new();
+    for t in 0..n_tri {
+        let b = t * 3;
+        annotations.annotate(ProteinId(b), f1);
+        annotations.annotate(ProteinId(b + 1), f1);
+        annotations.annotate(ProteinId(b + 2), f2);
+        occs.push(Occurrence::new(vec![
+            VertexId(b),
+            VertexId(b + 1),
+            VertexId(b + 2),
+        ]));
+    }
+    // Padding proteins so F itself is informative (threshold 3).
+    for p in 0..4 {
+        annotations.annotate(ProteinId(3 * n_tri + p), f);
+    }
+    let motif = Motif {
+        pattern: Graph::from_edges(3, &[(0, 1), (1, 2), (0, 2)]),
+        occurrences: occs,
+        frequency: n_tri as usize,
+        uniqueness: Some(1.0),
+    };
+    (ontology, annotations, motif)
+}
+
+fn config(threads: usize) -> LaMoFinderConfig {
+    LaMoFinderConfig {
+        informative: InformativeConfig {
+            min_direct: 3,
+            ..Default::default()
+        },
+        clustering: ClusteringConfig {
+            sigma: 5,
+            ..Default::default()
+        },
+        threads,
+        ..Default::default()
+    }
+}
+
+/// Several motifs so the motif-level fan-out and the per-motif
+/// checkpoint both engage (occurrence order varies per motif).
+fn workload_motifs(base: &Motif) -> Vec<Motif> {
+    let reversed = Motif {
+        occurrences: base.occurrences.iter().rev().cloned().collect(),
+        ..base.clone()
+    };
+    vec![base.clone(), reversed, base.clone()]
+}
+
+/// Full byte-level equality of two labeled-motif lists.
+fn assert_labels_identical(a: &[LabeledMotif], b: &[LabeledMotif], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: labeled count");
+    for (i, (la, lb)) in a.iter().zip(b).enumerate() {
+        assert_eq!(la.pattern, lb.pattern, "{what}: motif {i} pattern");
+        assert_eq!(la.namespace, lb.namespace, "{what}: motif {i} namespace");
+        assert_eq!(la.scheme, lb.scheme, "{what}: motif {i} scheme");
+        assert_eq!(la.occurrences, lb.occurrences, "{what}: motif {i} occurrences");
+        assert_eq!(
+            la.motif_frequency, lb.motif_frequency,
+            "{what}: motif {i} frequency"
+        );
+        assert_eq!(
+            la.uniqueness.map(f64::to_bits),
+            lb.uniqueness.map(f64::to_bits),
+            "{what}: motif {i} uniqueness"
+        );
+    }
+}
+
+#[test]
+fn cancel_sweep_and_resume_is_byte_identical_across_threads() {
+    let (ontology, annotations, motif) = world();
+    let motifs = workload_motifs(&motif);
+    let reference =
+        LaMoFinder::new(&ontology, &annotations, config(1)).label_motifs(&motifs);
+    assert!(!reference.is_empty(), "workload must label motifs");
+
+    // Total tick volume of an uninterrupted run sizes the sweep.
+    let metered = RunContext::metered();
+    LaMoFinder::new(&ontology, &annotations, config(1))
+        .label_motifs_supervised(&motifs, &metered)
+        .expect("a metered context never trips, so labeling completes");
+    let total = metered.ticks_spent();
+    assert!(total > 0, "labeling must spend work ticks");
+
+    let step = (total / 16).max(1);
+    for threads in [1usize, 2, 4] {
+        let finder = LaMoFinder::new(&ontology, &annotations, config(threads));
+        let mut interrupted_runs = 0;
+        let mut t = 0;
+        while t <= total + step {
+            let what = format!("threads={threads} budget={t}");
+            let labeled = match finder
+                .label_motifs_supervised(&motifs, &RunContext::with_tick_budget(t))
+            {
+                Ok(labeled) => labeled,
+                Err(Interrupted::Cancelled { checkpoint }) => {
+                    interrupted_runs += 1;
+                    finder
+                        .resume_label_motifs(&motifs, checkpoint, &RunContext::unbounded())
+                        .unwrap_or_else(|_| {
+                            panic!("{what}: unbounded resume must complete")
+                        })
+                }
+                Err(Interrupted::WorkerPanicked { panic, .. }) => {
+                    panic!("{what}: no fault was injected, yet a worker panicked: {panic}")
+                }
+            };
+            assert_labels_identical(&reference, &labeled, &what);
+            t += step;
+        }
+        assert!(
+            interrupted_runs > 0,
+            "threads={threads}: the sweep must actually interrupt some runs"
+        );
+    }
+}
+
+#[test]
+fn budget_zero_interrupts_before_any_motif() {
+    let (ontology, annotations, motif) = world();
+    let motifs = workload_motifs(&motif);
+    let finder = LaMoFinder::new(&ontology, &annotations, config(2));
+    let err = finder
+        .label_motifs_supervised(&motifs, &RunContext::with_tick_budget(0))
+        .expect_err("a zero budget trips at the first tick");
+    match err {
+        Interrupted::Cancelled { checkpoint } => {
+            assert!(checkpoint.done.is_empty(), "no motif completed");
+        }
+        Interrupted::WorkerPanicked { panic, .. } => {
+            panic!("no fault injected, yet a worker panicked: {panic}")
+        }
+    }
+}
+
+#[test]
+fn injected_worker_panic_is_typed_and_checkpoint_resumes() {
+    let (ontology, annotations, motif) = world();
+    let motifs = workload_motifs(&motif);
+    let reference =
+        LaMoFinder::new(&ontology, &annotations, config(1)).label_motifs(&motifs);
+
+    // Hits are 0-based: arm 0 fires at the site's first execution.
+    for (site, hit, threads) in [
+        ("core.label_motif", 0u64, 1usize),
+        ("core.label_motif", 2, 4),
+        ("core.so_row", 3, 1),
+        ("core.so_row", 1, 2),
+    ] {
+        let plan = FaultPlan::new().inject(site, hit, FaultAction::Panic);
+        let ctx = RunContext::unbounded().with_faults(plan);
+        let finder = LaMoFinder::new(&ontology, &annotations, config(threads));
+        let err = finder
+            .label_motifs_supervised(&motifs, &ctx)
+            .expect_err("the injected panic must interrupt the run");
+        let checkpoint = match err {
+            Interrupted::WorkerPanicked { panic, checkpoint } => {
+                assert!(
+                    panic.detail.contains(site),
+                    "panic detail names the site: {panic}"
+                );
+                checkpoint
+            }
+            Interrupted::Cancelled { .. } => {
+                panic!("site {site}: expected a typed worker panic, got plain cancellation")
+            }
+        };
+        let labeled = finder
+            .resume_label_motifs(&motifs, checkpoint, &RunContext::unbounded())
+            .expect("resume after a contained panic completes");
+        assert_labels_identical(&reference, &labeled, &format!("panic at {site} hit {hit}"));
+    }
+}
+
+#[test]
+fn checkpoint_resume_recomputes_only_missing_motifs() {
+    let (ontology, annotations, motif) = world();
+    let motifs = workload_motifs(&motif);
+    let finder = LaMoFinder::new(&ontology, &annotations, config(1));
+    let reference = finder.label_motifs(&motifs);
+
+    // A checkpoint holding motif 1 only: the resume must splice it back
+    // untouched while recomputing motifs 0 and 2 in input order.
+    let full = finder
+        .label_motifs_supervised(&motifs, &RunContext::unbounded())
+        .expect("passive labeling completes");
+    assert_labels_identical(&reference, &full, "passive run");
+    let per_motif: Vec<LabeledMotif> = finder.label_motifs(&motifs[1..2]);
+    let checkpoint = LabelCheckpoint {
+        done: vec![(1, per_motif)],
+    };
+    let resumed = finder
+        .resume_label_motifs(&motifs, checkpoint, &RunContext::unbounded())
+        .expect("resume from a partial checkpoint completes");
+    assert_labels_identical(&reference, &resumed, "resume from partial checkpoint");
+}

@@ -8,6 +8,7 @@
 //! assigned as the k most likely functions").
 
 use crate::context::{FunctionPredictor, PredictionContext};
+use par_util::{faultpoint, run_supervised, Interrupted, RunContext};
 use ppi_graph::VertexId;
 
 /// One point of a precision–recall curve.
@@ -55,6 +56,15 @@ impl PrCurve {
     }
 }
 
+/// A resumable evaluation checkpoint: the curve points completed so
+/// far (point `i` is always `k = i + 1`, so the prefix length alone
+/// determines where to resume).
+#[derive(Clone, Debug, Default)]
+pub struct EvalCheckpoint {
+    /// Completed prefix of the precision–recall curve.
+    pub points: Vec<PrPoint>,
+}
+
 /// Leave-one-out evaluation harness.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct LeaveOneOut;
@@ -62,6 +72,9 @@ pub struct LeaveOneOut;
 impl LeaveOneOut {
     /// Run `predictor` over every annotated protein of `ctx` and return
     /// its precision–recall curve.
+    ///
+    /// Legacy uninterruptible entry point: runs the supervised engine
+    /// under a passive [`RunContext`].
     pub fn evaluate(
         &self,
         ctx: &PredictionContext<'_>,
@@ -71,6 +84,23 @@ impl LeaveOneOut {
         self.curve_from_scores(ctx, predictor.name(), &scores)
     }
 
+    /// [`LeaveOneOut::evaluate`] under a supervising [`RunContext`].
+    pub fn evaluate_supervised(
+        &self,
+        ctx: &PredictionContext<'_>,
+        predictor: &dyn FunctionPredictor,
+        run: &RunContext,
+    ) -> Result<PrCurve, Interrupted<EvalCheckpoint>> {
+        let scores = predictor.predict_all(ctx);
+        self.resume_curve_from_scores(
+            ctx,
+            predictor.name(),
+            &scores,
+            EvalCheckpoint::default(),
+            run,
+        )
+    }
+
     /// Build the curve from a precomputed score matrix.
     pub fn curve_from_scores(
         &self,
@@ -78,6 +108,29 @@ impl LeaveOneOut {
         name: &str,
         scores: &[Vec<f64>],
     ) -> PrCurve {
+        self.resume_curve_from_scores(
+            ctx,
+            name,
+            scores,
+            EvalCheckpoint::default(),
+            &RunContext::unbounded(),
+        )
+        .expect("a passive context without injected faults never interrupts evaluation")
+    }
+
+    /// Resume the curve sweep from `checkpoint` (completed `k` prefix)
+    /// under `run`. One `k` is the checkpointable unit: scoring it
+    /// costs `|eligible|` work ticks (charged up front), and every
+    /// point is a pure function of `(ctx, scores, k)`, so resumption is
+    /// bit-identical to an uninterrupted sweep.
+    pub fn resume_curve_from_scores(
+        &self,
+        ctx: &PredictionContext<'_>,
+        name: &str,
+        scores: &[Vec<f64>],
+        checkpoint: EvalCheckpoint,
+        run: &RunContext,
+    ) -> Result<PrCurve, Interrupted<EvalCheckpoint>> {
         let eligible: Vec<usize> = (0..ctx.protein_count())
             .filter(|&p| ctx.has_functions(VertexId(p as u32)))
             .collect();
@@ -98,44 +151,76 @@ impl LeaveOneOut {
             })
             .collect();
 
-        let mut points = Vec::with_capacity(ctx.n_categories);
-        for k in 1..=ctx.n_categories {
-            let mut correct = 0usize;
-            let mut predicted = 0usize;
-            for (idx, &p) in eligible.iter().enumerate() {
-                // Only predict categories with positive evidence; this
-                // keeps precision meaningful at large k.
-                let picks = rankings[idx]
-                    .iter()
-                    .take(k)
-                    .filter(|&&c| scores[p][c] > 0.0);
-                for &c in picks {
-                    predicted += 1;
-                    if ctx.functions[p].contains(&c) {
-                        correct += 1;
+        let mut points = checkpoint.points;
+        points.truncate(ctx.n_categories);
+        for k in points.len() + 1..=ctx.n_categories {
+            // Charge the whole point up front: the sweep stops *between*
+            // points, never inside one, so the completed prefix is
+            // always a clean checkpoint.
+            if !run.tick(eligible.len() as u64) {
+                return Err(Interrupted::Cancelled {
+                    checkpoint: EvalCheckpoint { points },
+                });
+            }
+            // The point is computed inside an inline supervised worker
+            // so an injected (or real) panic surfaces as a typed error
+            // carrying the completed prefix instead of unwinding.
+            let outcome = run_supervised(1, "prediction.eval", run, || {
+                faultpoint!(run, "prediction.eval_k");
+                let mut correct = 0usize;
+                let mut predicted = 0usize;
+                for (idx, &p) in eligible.iter().enumerate() {
+                    // Only predict categories with positive evidence;
+                    // this keeps precision meaningful at large k.
+                    let picks = rankings[idx]
+                        .iter()
+                        .take(k)
+                        .filter(|&&c| scores[p][c] > 0.0);
+                    for &c in picks {
+                        predicted += 1;
+                        if ctx.functions[p].contains(&c) {
+                            correct += 1;
+                        }
                     }
                 }
-            }
-            let precision = if predicted == 0 {
-                0.0
-            } else {
-                correct as f64 / predicted as f64
-            };
-            let recall = if total_truth == 0 {
-                0.0
-            } else {
-                correct as f64 / total_truth as f64
-            };
-            points.push(PrPoint {
-                k,
-                precision,
-                recall,
+                let precision = if predicted == 0 {
+                    0.0
+                } else {
+                    correct as f64 / predicted as f64
+                };
+                let recall = if total_truth == 0 {
+                    0.0
+                } else {
+                    correct as f64 / total_truth as f64
+                };
+                PrPoint {
+                    k,
+                    precision,
+                    recall,
+                }
             });
+            if let Some(panic) = outcome.panic {
+                return Err(Interrupted::WorkerPanicked {
+                    panic,
+                    checkpoint: EvalCheckpoint { points },
+                });
+            }
+            if run.should_stop() {
+                return Err(Interrupted::Cancelled {
+                    checkpoint: EvalCheckpoint { points },
+                });
+            }
+            let point = outcome
+                .results
+                .into_iter()
+                .next()
+                .expect("the single inline eval worker always returns one point");
+            points.push(point);
         }
-        PrCurve {
+        Ok(PrCurve {
             method: name.to_string(),
             points,
-        }
+        })
     }
 }
 

@@ -26,7 +26,7 @@ pub mod prodistin;
 pub use categories::CategoryView;
 pub use chi2::Chi2Predictor;
 pub use context::{FunctionPredictor, PredictionContext};
-pub use eval::{LeaveOneOut, PrCurve, PrPoint};
+pub use eval::{EvalCheckpoint, LeaveOneOut, PrCurve, PrPoint};
 pub use lms::lms_scores;
 pub use motif_predictor::LabeledMotifPredictor;
 pub use mrf::MrfPredictor;

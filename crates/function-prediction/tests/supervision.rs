@@ -1,0 +1,187 @@
+//! Interruption determinism for the supervised precision–recall sweep:
+//! a sweep cancelled at any work-tick budget and resumed from its
+//! `EvalCheckpoint` must produce a bit-identical curve (f64 compared by
+//! bits), and an injected panic inside a point computation surfaces as
+//! a typed error whose completed prefix resumes just as cleanly.
+
+use function_prediction::{EvalCheckpoint, LeaveOneOut, PrCurve, PredictionContext};
+use go_ontology::TermId;
+use par_util::{FaultAction, FaultPlan, Interrupted, RunContext};
+use ppi_graph::Graph;
+
+const N_PROTEINS: usize = 20;
+const N_CATEGORIES: usize = 8;
+
+/// Deterministic synthetic workload: protein `p` holds functions
+/// `{p mod 8, (p*3) mod 8}` and its scores ramp away from `p` so the
+/// rankings differ per protein and the sweep has real work at every k.
+fn workload() -> (Vec<Vec<usize>>, Vec<TermId>, Vec<Vec<f64>>) {
+    let functions: Vec<Vec<usize>> = (0..N_PROTEINS)
+        .map(|p| {
+            let mut f = vec![p % N_CATEGORIES];
+            let second = (p * 3) % N_CATEGORIES;
+            if second != f[0] {
+                f.push(second);
+            }
+            f.sort_unstable();
+            f
+        })
+        .collect();
+    let terms: Vec<TermId> = (0..N_CATEGORIES).map(|c| TermId(c as u32)).collect();
+    let scores: Vec<Vec<f64>> = (0..N_PROTEINS)
+        .map(|p| {
+            (0..N_CATEGORIES)
+                .map(|c| 1.0 + ((p * 7 + c * 13) % 29) as f64 / 29.0)
+                .collect()
+        })
+        .collect();
+    (functions, terms, scores)
+}
+
+fn assert_curves_identical(a: &PrCurve, b: &PrCurve, what: &str) {
+    assert_eq!(a.method, b.method, "{what}: method");
+    assert_eq!(a.points.len(), b.points.len(), "{what}: point count");
+    for (pa, pb) in a.points.iter().zip(&b.points) {
+        assert_eq!(pa.k, pb.k, "{what}: k");
+        assert_eq!(
+            pa.precision.to_bits(),
+            pb.precision.to_bits(),
+            "{what}: precision at k={}",
+            pa.k
+        );
+        assert_eq!(
+            pa.recall.to_bits(),
+            pb.recall.to_bits(),
+            "{what}: recall at k={}",
+            pa.k
+        );
+    }
+}
+
+#[test]
+fn cancel_sweep_and_resume_is_bit_identical() {
+    let g = Graph::empty(N_PROTEINS);
+    let (functions, terms, scores) = workload();
+    let ctx = PredictionContext {
+        network: &g,
+        functions: &functions,
+        n_categories: N_CATEGORIES,
+        category_terms: &terms,
+    };
+    let reference = LeaveOneOut.curve_from_scores(&ctx, "sweep", &scores);
+    assert_eq!(reference.points.len(), N_CATEGORIES);
+
+    // Total tick volume of an uninterrupted sweep sizes the budget scan.
+    let metered = RunContext::metered();
+    LeaveOneOut
+        .resume_curve_from_scores(&ctx, "sweep", &scores, EvalCheckpoint::default(), &metered)
+        .expect("a metered context never trips, so the sweep completes");
+    let total = metered.ticks_spent();
+    assert!(total > 0, "the sweep must spend work ticks");
+
+    let mut interrupted_runs = 0;
+    for budget in 0..=total + 1 {
+        let what = format!("budget={budget}");
+        let run = RunContext::with_tick_budget(budget);
+        let curve = match LeaveOneOut.resume_curve_from_scores(
+            &ctx,
+            "sweep",
+            &scores,
+            EvalCheckpoint::default(),
+            &run,
+        ) {
+            Ok(curve) => curve,
+            Err(Interrupted::Cancelled { checkpoint }) => {
+                interrupted_runs += 1;
+                // The prefix is always clean: point i is k = i + 1.
+                for (i, p) in checkpoint.points.iter().enumerate() {
+                    assert_eq!(p.k, i + 1, "{what}: checkpoint prefix is dense");
+                }
+                LeaveOneOut
+                    .resume_curve_from_scores(
+                        &ctx,
+                        "sweep",
+                        &scores,
+                        checkpoint,
+                        &RunContext::unbounded(),
+                    )
+                    .unwrap_or_else(|_| panic!("{what}: unbounded resume must complete"))
+            }
+            Err(Interrupted::WorkerPanicked { panic, .. }) => {
+                panic!("{what}: no fault was injected, yet a worker panicked: {panic}")
+            }
+        };
+        assert_curves_identical(&reference, &curve, &what);
+    }
+    assert!(
+        interrupted_runs > 0,
+        "the budget scan must actually interrupt some sweeps"
+    );
+}
+
+#[test]
+fn injected_panic_in_a_point_is_typed_and_prefix_resumes() {
+    let g = Graph::empty(N_PROTEINS);
+    let (functions, terms, scores) = workload();
+    let ctx = PredictionContext {
+        network: &g,
+        functions: &functions,
+        n_categories: N_CATEGORIES,
+        category_terms: &terms,
+    };
+    let reference = LeaveOneOut.curve_from_scores(&ctx, "sweep", &scores);
+
+    // Hits are 0-based: arm `hit` fires while computing point k = hit+1,
+    // so exactly `hit` points survive in the checkpoint.
+    for hit in [0u64, 3, (N_CATEGORIES - 1) as u64] {
+        let plan = FaultPlan::new().inject("prediction.eval_k", hit, FaultAction::Panic);
+        let run = RunContext::unbounded().with_faults(plan);
+        let err = LeaveOneOut
+            .resume_curve_from_scores(&ctx, "sweep", &scores, EvalCheckpoint::default(), &run)
+            .expect_err("the injected panic must interrupt the sweep");
+        let checkpoint = match err {
+            Interrupted::WorkerPanicked { panic, checkpoint } => {
+                assert!(
+                    panic.detail.contains("prediction.eval_k"),
+                    "panic detail names the site: {panic}"
+                );
+                assert_eq!(
+                    checkpoint.points.len(),
+                    hit as usize,
+                    "the completed prefix stops just before the armed point"
+                );
+                checkpoint
+            }
+            Interrupted::Cancelled { .. } => {
+                panic!("hit {hit}: expected a typed worker panic, got plain cancellation")
+            }
+        };
+        let curve = LeaveOneOut
+            .resume_curve_from_scores(&ctx, "sweep", &scores, checkpoint, &RunContext::unbounded())
+            .expect("resume after a contained panic completes");
+        assert_curves_identical(&reference, &curve, &format!("panic at hit {hit}"));
+    }
+}
+
+#[test]
+fn stale_checkpoint_longer_than_the_sweep_is_truncated() {
+    let g = Graph::empty(N_PROTEINS);
+    let (functions, terms, scores) = workload();
+    let ctx = PredictionContext {
+        network: &g,
+        functions: &functions,
+        n_categories: N_CATEGORIES,
+        category_terms: &terms,
+    };
+    let reference = LeaveOneOut.curve_from_scores(&ctx, "sweep", &scores);
+    // A checkpoint with more points than the sweep produces (e.g. from a
+    // run over a larger category set) is clipped, not propagated.
+    let mut bloated = EvalCheckpoint {
+        points: reference.points.clone(),
+    };
+    bloated.points.extend_from_slice(&reference.points);
+    let curve = LeaveOneOut
+        .resume_curve_from_scores(&ctx, "sweep", &scores, bloated, &RunContext::unbounded())
+        .expect("a clipped checkpoint still completes");
+    assert_curves_identical(&reference, &curve, "bloated checkpoint");
+}

@@ -144,19 +144,24 @@ impl Annotations {
         mut resolve: impl FnMut(&str) -> Option<ProteinId>,
     ) -> Result<Self, AnnotationParseError> {
         let mut table = Annotations::new(protein_count, ontology.term_count());
-        for (i, line) in text.lines().enumerate() {
-            let line = line.trim();
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.trim();
             if line.is_empty() || line.starts_with('#') {
                 continue;
             }
+            let leading = raw.len() - raw.trim_start().len();
             let mut fields = line.split_whitespace();
             let (name, acc) = match (fields.next(), fields.next()) {
                 (Some(a), Some(b)) => (a, b),
                 _ => {
+                    // One field at most: the column points just past it,
+                    // where the accession was expected.
+                    let first_len = line.split_whitespace().next().map_or(0, str::len);
                     return Err(AnnotationParseError::MalformedLine {
                         line_no: i + 1,
+                        col: leading + first_len + 1,
                         content: line.to_string(),
-                    })
+                    });
                 }
             };
             let Some(p) = resolve(name) else { continue };
@@ -164,6 +169,13 @@ impl Annotations {
                 .by_accession(acc)
                 .ok_or_else(|| AnnotationParseError::UnknownTerm {
                     line_no: i + 1,
+                    // Column of the accession field itself (1-based,
+                    // bytes): leading blanks + name + inter-field gap.
+                    col: {
+                        let after_name = &line[name.len()..];
+                        let gap = after_name.len() - after_name.trim_start().len();
+                        leading + name.len() + gap + 1
+                    },
                     accession: acc.to_string(),
                 })?;
             table.annotate(p, t);
@@ -188,23 +200,48 @@ impl Annotations {
     }
 }
 
-/// Errors from [`Annotations::parse`].
+/// Errors from [`Annotations::parse`]. Every variant names the 1-based
+/// line and byte column where the problem sits.
 #[derive(Debug, PartialEq, Eq)]
 pub enum AnnotationParseError {
-    /// A data line did not contain two fields.
-    MalformedLine { line_no: usize, content: String },
-    /// The accession is not in the ontology.
-    UnknownTerm { line_no: usize, accession: String },
+    /// A data line did not contain two fields. `col` points just past
+    /// the lone field, where the accession was expected.
+    MalformedLine {
+        line_no: usize,
+        col: usize,
+        content: String,
+    },
+    /// The accession is not in the ontology. `col` is where the
+    /// accession field starts.
+    UnknownTerm {
+        line_no: usize,
+        col: usize,
+        accession: String,
+    },
 }
 
 impl fmt::Display for AnnotationParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            AnnotationParseError::MalformedLine { line_no, content } => {
-                write!(f, "line {line_no}: expected two fields, got {content:?}")
+            AnnotationParseError::MalformedLine {
+                line_no,
+                col,
+                content,
+            } => {
+                write!(
+                    f,
+                    "line {line_no}, column {col}: expected two fields, got {content:?}"
+                )
             }
-            AnnotationParseError::UnknownTerm { line_no, accession } => {
-                write!(f, "line {line_no}: unknown GO accession {accession}")
+            AnnotationParseError::UnknownTerm {
+                line_no,
+                col,
+                accession,
+            } => {
+                write!(
+                    f,
+                    "line {line_no}, column {col}: unknown GO accession {accession}"
+                )
             }
         }
     }
@@ -287,7 +324,24 @@ mod tests {
             err,
             AnnotationParseError::UnknownTerm {
                 line_no: 1,
+                col: 4,
                 accession: "GO:777".into()
+            }
+        );
+        assert!(err.to_string().contains("line 1, column 4"));
+    }
+
+    #[test]
+    fn parse_reports_malformed_line_with_column() {
+        let o = tiny_ontology();
+        let err = Annotations::parse("P0\tGO:1\n  lonely\n", &o, 1, |_| Some(ProteinId(0)))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            AnnotationParseError::MalformedLine {
+                line_no: 2,
+                col: 9,
+                content: "lonely".into()
             }
         );
     }

@@ -8,47 +8,53 @@
 
 use crate::ontology::{Ontology, OntologyBuilder, OntologyError};
 use crate::term::{Namespace, Relation};
+use std::collections::HashMap;
 use std::fmt;
 
-/// Errors from [`parse_obo`].
+/// Errors from [`parse_obo`]. Every variant carries the 1-based line
+/// of the declaration it blames, so malformed files can be fixed
+/// without a manual search.
 #[derive(Debug, PartialEq, Eq)]
 pub enum OboError {
-    /// A `[Term]` stanza is missing its `id:`.
-    MissingId { stanza_no: usize },
-    /// A stanza has an unknown or missing `namespace:`.
-    BadNamespace { id: String },
-    /// The assembled DAG failed validation.
-    Ontology(OntologyError),
+    /// A `[Term]` stanza is missing its `id:`. `line` is the stanza
+    /// header line.
+    MissingId { stanza_no: usize, line: usize },
+    /// A stanza has an unknown or missing `namespace:`. `line` is the
+    /// `namespace:` field when one was present (unrecognized value),
+    /// or the stanza header when the field is absent.
+    BadNamespace { id: String, line: usize },
+    /// The assembled DAG failed validation. `line` points at the edge
+    /// field or term declaration the underlying error blames.
+    Ontology { line: usize, source: OntologyError },
 }
 
 impl fmt::Display for OboError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            OboError::MissingId { stanza_no } => {
-                write!(f, "term stanza #{stanza_no} has no id")
+            OboError::MissingId { stanza_no, line } => {
+                write!(f, "line {line}: term stanza #{stanza_no} has no id")
             }
-            OboError::BadNamespace { id } => {
-                write!(f, "term {id} has a missing or unknown namespace")
+            OboError::BadNamespace { id, line } => {
+                write!(f, "line {line}: term {id} has a missing or unknown namespace")
             }
-            OboError::Ontology(e) => write!(f, "{e}"),
+            OboError::Ontology { line, source } => write!(f, "line {line}: {source}"),
         }
     }
 }
 
 impl std::error::Error for OboError {}
 
-impl From<OntologyError> for OboError {
-    fn from(e: OntologyError) -> Self {
-        OboError::Ontology(e)
-    }
-}
-
 #[derive(Default)]
 struct Stanza {
+    /// Line of the `[Term]` header (1-based).
+    header_line: usize,
     id: Option<String>,
     name: String,
     namespace: Option<Namespace>,
-    parents: Vec<(String, Relation)>,
+    /// Line of the `namespace:` field, if one was seen.
+    ns_line: Option<usize>,
+    /// Parent accession, relation, and the line declaring the edge.
+    parents: Vec<(String, Relation, usize)>,
     obsolete: bool,
 }
 
@@ -58,8 +64,9 @@ pub fn parse_obo(text: &str) -> Result<Ontology, OboError> {
     let mut current: Option<Stanza> = None;
     let mut in_term = false;
 
-    for line in text.lines() {
-        let line = line.trim();
+    for (line_idx, raw) in text.lines().enumerate() {
+        let line_no = line_idx + 1;
+        let line = raw.trim();
         if line.starts_with('!') || line.is_empty() {
             continue;
         }
@@ -69,7 +76,10 @@ pub fn parse_obo(text: &str) -> Result<Ontology, OboError> {
             }
             in_term = line == "[Term]";
             if in_term {
-                current = Some(Stanza::default());
+                current = Some(Stanza {
+                    header_line: line_no,
+                    ..Stanza::default()
+                });
             }
             continue;
         }
@@ -82,13 +92,18 @@ pub fn parse_obo(text: &str) -> Result<Ontology, OboError> {
         match key {
             "id" => stanza.id = Some(value.to_string()),
             "name" => stanza.name = value.to_string(),
-            "namespace" => stanza.namespace = Namespace::from_obo_name(value),
-            "is_a" => stanza.parents.push((value.to_string(), Relation::IsA)),
+            "namespace" => {
+                stanza.namespace = Namespace::from_obo_name(value);
+                stanza.ns_line = Some(line_no);
+            }
+            "is_a" => stanza
+                .parents
+                .push((value.to_string(), Relation::IsA, line_no)),
             "relationship" => {
                 if let Some(rest) = value.strip_prefix("part_of") {
                     stanza
                         .parents
-                        .push((rest.trim().to_string(), Relation::PartOf));
+                        .push((rest.trim().to_string(), Relation::PartOf, line_no));
                 }
             }
             "is_obsolete" => stanza.obsolete = value == "true",
@@ -100,29 +115,45 @@ pub fn parse_obo(text: &str) -> Result<Ontology, OboError> {
     }
 
     let mut builder = OntologyBuilder::new();
-    let mut edges: Vec<(String, String, Relation)> = Vec::new();
+    let mut edges: Vec<(String, String, Relation, usize)> = Vec::new();
+    // First declaration line per accession, for blaming build()-time
+    // failures (duplicates, cycles) on a concrete location.
+    let mut decl_line: HashMap<String, usize> = HashMap::new();
     for (i, s) in stanzas.iter().enumerate() {
         if s.obsolete {
             continue;
         }
-        let id = s
-            .id
-            .clone()
-            .ok_or(OboError::MissingId { stanza_no: i + 1 })?;
+        let id = s.id.clone().ok_or(OboError::MissingId {
+            stanza_no: i + 1,
+            line: s.header_line,
+        })?;
         let ns = s.namespace.ok_or_else(|| OboError::BadNamespace {
             id: id.clone(),
+            line: s.ns_line.unwrap_or(s.header_line),
         })?;
+        decl_line.entry(id.clone()).or_insert(s.header_line);
         builder.add_term(id.clone(), s.name.clone(), ns);
-        for (parent, rel) in &s.parents {
-            edges.push((id.clone(), parent.clone(), *rel));
+        for (parent, rel, field_line) in &s.parents {
+            edges.push((id.clone(), parent.clone(), *rel, *field_line));
         }
     }
-    for (child, parent, rel) in edges {
+    for (child, parent, rel, line) in edges {
         builder
             .add_edge_by_accession(&child, &parent, rel)
-            .map_err(OboError::Ontology)?;
+            .map_err(|source| OboError::Ontology { line, source })?;
     }
-    Ok(builder.build()?)
+    builder.build().map_err(|source| {
+        let blamed = match &source {
+            OntologyError::DuplicateAccession(a)
+            | OntologyError::UnknownTerm(a)
+            | OntologyError::Cycle(a) => a,
+            OntologyError::CrossNamespaceEdge { child, .. } => child,
+        };
+        OboError::Ontology {
+            line: decl_line.get(blamed).copied().unwrap_or(0),
+            source,
+        }
+    })
 }
 
 /// Drop an OBO trailing comment (`GO:0001 ! some name`).
@@ -209,23 +240,80 @@ name: part of
 
     #[test]
     fn missing_namespace_is_error() {
-        let bad = "[Term]\nid: GO:1\nname: x\n";
+        // No namespace field at all: blame the stanza header.
+        let bad = "! preamble\n[Term]\nid: GO:1\nname: x\n";
         assert_eq!(
             parse_obo(bad).unwrap_err(),
-            OboError::BadNamespace { id: "GO:1".into() }
+            OboError::BadNamespace {
+                id: "GO:1".into(),
+                line: 2
+            }
         );
+    }
+
+    #[test]
+    fn unknown_namespace_blames_the_field_line() {
+        let bad = "[Term]\nid: GO:1\nname: x\nnamespace: bogus_process\n";
+        let err = parse_obo(bad).unwrap_err();
+        assert_eq!(
+            err,
+            OboError::BadNamespace {
+                id: "GO:1".into(),
+                line: 4
+            }
+        );
+        assert!(err.to_string().contains("line 4"));
     }
 
     #[test]
     fn missing_id_is_error() {
         let bad = "[Term]\nname: x\nnamespace: biological_process\n";
-        assert!(matches!(parse_obo(bad).unwrap_err(), OboError::MissingId { .. }));
+        assert_eq!(
+            parse_obo(bad).unwrap_err(),
+            OboError::MissingId {
+                stanza_no: 1,
+                line: 1
+            }
+        );
     }
 
     #[test]
     fn unknown_parent_is_error() {
         let bad = "[Term]\nid: GO:1\nname: x\nnamespace: biological_process\nis_a: GO:2\n";
-        assert!(matches!(parse_obo(bad).unwrap_err(), OboError::Ontology(_)));
+        let err = parse_obo(bad).unwrap_err();
+        assert!(matches!(
+            err,
+            OboError::Ontology {
+                line: 5,
+                source: OntologyError::UnknownTerm(_)
+            }
+        ));
+        assert!(err.to_string().starts_with("line 5:"));
+    }
+
+    #[test]
+    fn cycle_blames_a_declaration_line() {
+        let bad = "\
+[Term]
+id: GO:1
+name: a
+namespace: biological_process
+is_a: GO:2
+
+[Term]
+id: GO:2
+name: b
+namespace: biological_process
+is_a: GO:1
+";
+        let err = parse_obo(bad).unwrap_err();
+        match err {
+            OboError::Ontology {
+                line,
+                source: OntologyError::Cycle(_),
+            } => assert!(line == 1 || line == 7, "blames a stanza header: {line}"),
+            other => panic!("expected a cycle error, got {other:?}"),
+        }
     }
 
     #[test]

@@ -1,0 +1,81 @@
+//! Malformed-input totality for the OBO and annotation parsers:
+//! arbitrary bytes must never panic, and every rejection must name the
+//! line it blames.
+
+use go_ontology::{parse_obo, Annotations, Namespace, OntologyBuilder, ProteinId, Relation, TermId};
+use proptest::prelude::*;
+
+fn tiny_ontology() -> go_ontology::Ontology {
+    let mut b = OntologyBuilder::new();
+    let root = b.add_term("GO:0", "root", Namespace::BiologicalProcess);
+    let a = b.add_term("GO:1", "a", Namespace::BiologicalProcess);
+    b.add_edge(a, root, Relation::IsA);
+    b.build().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn parse_obo_is_total_over_arbitrary_bytes(
+        bytes in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let text = String::from_utf8_lossy(&bytes);
+        if let Err(e) = parse_obo(&text) {
+            let msg = e.to_string();
+            prop_assert!(msg.starts_with("line "), "error names a line: {}", msg);
+        }
+    }
+
+    #[test]
+    fn parse_obo_is_total_over_stanza_shaped_text(
+        lines in proptest::collection::vec(any::<u8>(), 0..24),
+    ) {
+        // Field-shaped lines reach the assembly and DAG-validation
+        // error paths (missing ids, bad namespaces, unknown parents,
+        // duplicates, cycles) that raw bytes almost never hit.
+        const MENU: [&str; 11] = [
+            "[Term]",
+            "id: GO:1",
+            "id: GO:2",
+            "name: x",
+            "namespace: biological_process",
+            "namespace: bogus",
+            "is_a: GO:1",
+            "is_a: GO:2",
+            "relationship: part_of GO:2",
+            "is_obsolete: true",
+            "!junk",
+        ];
+        let text = lines
+            .iter()
+            .map(|&b| MENU[b as usize % MENU.len()])
+            .collect::<Vec<_>>()
+            .join("\n");
+        if let Err(e) = parse_obo(&text) {
+            let msg = e.to_string();
+            prop_assert!(msg.starts_with("line "), "error names a line: {}", msg);
+        }
+    }
+
+    #[test]
+    fn annotations_parse_is_total_over_arbitrary_bytes(
+        bytes in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let o = tiny_ontology();
+        let text = String::from_utf8_lossy(&bytes);
+        match Annotations::parse(&text, &o, 4, |_| Some(ProteinId(0))) {
+            Ok(ann) => {
+                // Anything accepted annotated only known terms.
+                for t in 0..ann.term_count() {
+                    prop_assert!(ann.direct_count(TermId(t as u32)) <= 4);
+                }
+            }
+            Err(e) => {
+                let msg = e.to_string();
+                prop_assert!(msg.starts_with("line "), "error names a line: {}", msg);
+                prop_assert!(msg.contains("column "), "error names a column: {}", msg);
+            }
+        }
+    }
+}

@@ -23,10 +23,13 @@ pub enum Rule {
     ForbidUnsafe,
     /// A `lamolint::allow(...)` suppression without a justification.
     BadSuppression,
+    /// A `faultpoint!` site outside library code, with a non-literal
+    /// name, or with a name another site already uses.
+    FaultpointHygiene,
 }
 
 /// Every rule, in report order.
-pub const ALL_RULES: [Rule; 7] = [
+pub const ALL_RULES: [Rule; 8] = [
     Rule::NondetIteration,
     Rule::WallClock,
     Rule::UnseededRng,
@@ -34,6 +37,7 @@ pub const ALL_RULES: [Rule; 7] = [
     Rule::LibUnwrap,
     Rule::ForbidUnsafe,
     Rule::BadSuppression,
+    Rule::FaultpointHygiene,
 ];
 
 impl Rule {
@@ -47,6 +51,7 @@ impl Rule {
             Rule::LibUnwrap => "lib-unwrap",
             Rule::ForbidUnsafe => "forbid-unsafe",
             Rule::BadSuppression => "bad-suppression",
+            Rule::FaultpointHygiene => "faultpoint-hygiene",
         }
     }
 
@@ -86,6 +91,11 @@ impl Rule {
             Rule::BadSuppression => {
                 "lamolint::allow(rule) comments must carry a written \
                  justification after a colon"
+            }
+            Rule::FaultpointHygiene => {
+                "faultpoint! sites live in library code only, take a \
+                 string-literal name, and each name is declared exactly \
+                 once across the workspace"
             }
         }
     }

@@ -10,24 +10,28 @@
 //!
 //! * **determinism** — `nondet-iteration`, `wall-clock`, `unseeded-rng`;
 //! * **lock-safety** — `guard-across-spawn`;
+//! * **fault-injection** — `faultpoint-hygiene`: sites live in library
+//!   code, carry literal names, and each name is unique workspace-wide;
 //! * **panic-surface** — `lib-unwrap`, `forbid-unsafe`;
 //! * plus `bad-suppression` for `lamolint::allow` comments that carry no
 //!   written justification.
 //!
 //! Run `cargo run -p lamolint --release -- check` from anywhere in the
-//! workspace; see DESIGN.md §12 for the rule catalog and suppression
-//! syntax.
+//! workspace; see DESIGN.md §12 for the rule catalog, the suppression
+//! syntax, and the `lamolint.toml` whole-file exemption list.
 
+pub mod config;
 pub mod diag;
 pub mod lexer;
 pub mod model;
 pub mod rules;
 pub mod suppress;
 
+use config::LintConfig;
 use diag::{Diagnostic, ALL_RULES};
 #[cfg(test)]
 use diag::Rule;
-use rules::FileScope;
+use rules::{FaultSite, FileScope};
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -141,8 +145,10 @@ pub fn json_str(s: &str) -> String {
     out
 }
 
-/// Lint every `.rs` file under `<root>/crates` and `<root>/src`.
+/// Lint every `.rs` file under `<root>/crates` and `<root>/src`,
+/// honoring `<root>/lamolint.toml` exemptions.
 pub fn run_check(root: &Path) -> io::Result<Report> {
+    let config = LintConfig::load(root);
     let mut files = Vec::new();
     for sub in ["crates", "src"] {
         let dir = root.join(sub);
@@ -157,16 +163,43 @@ pub fn run_check(root: &Path) -> io::Result<Report> {
         diagnostics: Vec::new(),
         suppressed: 0,
     };
+    // (site name, declaring file, site) in path order — the walk is
+    // sorted, so cross-file duplicate blame is deterministic.
+    let mut sites: Vec<(String, FaultSite)> = Vec::new();
     for path in files {
         let rel = relative_slash_path(root, &path);
-        let Some(scope) = FileScope::classify(&rel) else {
+        let Some(scope) = FileScope::classify_with(&rel, &config) else {
             continue;
         };
         let src = fs::read_to_string(&path)?;
         let outcome = rules::check_source(&rel, &src, scope);
+        for site in outcome.faultpoints {
+            sites.push((rel.clone(), site));
+        }
         report.files.push(rel);
         report.suppressed += outcome.suppressed;
         report.diagnostics.extend(outcome.diagnostics);
+    }
+    // Workspace-wide fault-site uniqueness: per-file duplicates were
+    // already flagged in check_source; here every reuse of a name first
+    // declared in an earlier file is a finding at the later site.
+    for (i, (path, site)) in sites.iter().enumerate() {
+        if let Some((first_path, first)) = sites[..i]
+            .iter()
+            .find(|(p, s)| s.name == site.name && p != path)
+        {
+            report.diagnostics.push(Diagnostic::new(
+                path,
+                site.line,
+                site.col,
+                diag::Rule::FaultpointHygiene,
+                format!(
+                    "fault-injection site name \"{}\" already declared at \
+                     {first_path}:{}; site names are unique workspace-wide",
+                    site.name, first.line
+                ),
+            ));
+        }
     }
     report.diagnostics.sort();
     Ok(report)

@@ -1,0 +1,212 @@
+//! `faultpoint-hygiene`: deterministic fault-injection sites must stay
+//! analyzable.
+//!
+//! The supervision layer (DESIGN §13) steers fault plans by site name:
+//! `FaultPlan::inject("nemo.seed_worker", …)` only ever fires if some
+//! `faultpoint!(ctx, "nemo.seed_worker")` executes. That contract decays
+//! silently — a renamed site, a copy-pasted name, or a site moved into a
+//! bin target turns a failure-injection test into a no-op that still
+//! passes. This rule pins the invariants:
+//!
+//! * sites live in library code only (not bins, benches, or tests —
+//!   tests *drive* fault plans, they do not declare sites);
+//! * the site name is a string literal (a computed name cannot be
+//!   cross-referenced statically);
+//! * each name is declared at most once per file here, and once per
+//!   workspace in the cross-file pass in [`crate::run_check`].
+//!
+//! Both the `faultpoint!(…)` macro form and the underlying
+//! `.faultpoint(…)` / `.faultpoint_cache(…)` method calls are matched.
+//! Occurrences whose arguments contain `$` metavariables are the macro's
+//! own definition and are skipped.
+
+use crate::diag::{Diagnostic, Rule};
+use crate::lexer::TokKind;
+use crate::model::FileModel;
+
+/// One well-formed fault-injection site found in library code.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultSite {
+    /// The site name, quotes stripped.
+    pub name: String,
+    pub line: u32,
+    pub col: u32,
+}
+
+/// Scan one file. `in_library` says whether the file's scope permits
+/// fault sites at all; well-formed sites are returned for the cross-file
+/// uniqueness pass.
+pub fn faultpoint_hygiene(
+    path: &str,
+    model: &FileModel,
+    in_library: bool,
+    out: &mut Vec<Diagnostic>,
+) -> Vec<FaultSite> {
+    let mut sites: Vec<FaultSite> = Vec::new();
+    for i in 0..model.code.len() {
+        let Some(open) = call_open_paren(model, i) else {
+            continue;
+        };
+        if model.in_test_code(i) {
+            continue;
+        }
+        let close = model.close_of(open);
+        // `$` metavariables mean this is the macro's own definition (or
+        // another macro body), not an instantiated site.
+        if (open + 1..close).any(|j| model.is_punct(j, '$')) {
+            continue;
+        }
+        let t = model.tok(i).expect("call_open_paren only matches real tokens");
+        let (line, col) = (t.line, t.col);
+        if !in_library {
+            out.push(Diagnostic::new(
+                path,
+                line,
+                col,
+                Rule::FaultpointHygiene,
+                "fault-injection site outside library code: bins, benches \
+                 and tests drive fault plans, they do not declare sites",
+            ));
+            continue;
+        }
+        let Some(name) = first_string_literal(model, open, close) else {
+            out.push(Diagnostic::new(
+                path,
+                line,
+                col,
+                Rule::FaultpointHygiene,
+                "fault-injection site name must be a string literal so \
+                 fault plans can be cross-referenced statically",
+            ));
+            continue;
+        };
+        if let Some(first) = sites.iter().find(|s| s.name == name) {
+            out.push(Diagnostic::new(
+                path,
+                line,
+                col,
+                Rule::FaultpointHygiene,
+                format!(
+                    "fault-injection site name \"{name}\" already declared \
+                     at line {}; site names are unique",
+                    first.line
+                ),
+            ));
+            continue;
+        }
+        sites.push(FaultSite { name, line, col });
+    }
+    sites
+}
+
+/// If `code[i]` heads a faultpoint occurrence, the index of its argument
+/// list's open paren: `faultpoint ! (` (macro form) or
+/// `. faultpoint (` / `. faultpoint_cache (` (method form).
+fn call_open_paren(model: &FileModel, i: usize) -> Option<usize> {
+    let t = model.tok(i)?;
+    if t.kind != TokKind::Ident {
+        return None;
+    }
+    match t.text.as_str() {
+        "faultpoint" if model.is_punct(i + 1, '!') && model.is_punct(i + 2, '(') => Some(i + 2),
+        "faultpoint" | "faultpoint_cache"
+            if i >= 1 && model.is_punct(i - 1, '.') && model.is_punct(i + 1, '(') =>
+        {
+            Some(i + 1)
+        }
+        _ => None,
+    }
+}
+
+/// First string literal strictly inside `(open..close)`, quotes and raw
+/// markers stripped.
+fn first_string_literal(model: &FileModel, open: usize, close: usize) -> Option<String> {
+    for j in open + 1..close.min(model.code.len()) {
+        let t = model.tok(j)?;
+        if t.kind == TokKind::Str {
+            let name = t
+                .text
+                .trim_matches(|c| c == '"' || c == '#' || c == 'r' || c == 'b');
+            return Some(name.to_string());
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::FileModel;
+
+    fn run(src: &str, in_library: bool) -> (Vec<Diagnostic>, Vec<FaultSite>) {
+        let model = FileModel::build(src);
+        let mut out = Vec::new();
+        let sites = faultpoint_hygiene("f.rs", &model, in_library, &mut out);
+        (out, sites)
+    }
+
+    #[test]
+    fn literal_sites_collected_without_findings() {
+        let src = "fn f(ctx: &C) { faultpoint!(ctx, \"a.one\"); \
+                   faultpoint!(ctx, \"a.two\", cache, &key); }";
+        let (diags, sites) = run(src, true);
+        assert!(diags.is_empty(), "{diags:?}");
+        assert_eq!(sites.len(), 2);
+        assert_eq!(sites[0].name, "a.one");
+        assert_eq!(sites[1].name, "a.two");
+    }
+
+    #[test]
+    fn method_forms_matched() {
+        let src = "fn f(ctx: &C) { ctx.faultpoint(\"m.site\"); \
+                   ctx.faultpoint_cache(\"m.cache\", c, &k); }";
+        let (diags, sites) = run(src, true);
+        assert!(diags.is_empty());
+        assert_eq!(sites.len(), 2);
+    }
+
+    #[test]
+    fn duplicate_name_flagged_once_per_repeat() {
+        let src = "fn f(ctx: &C) { faultpoint!(ctx, \"dup\"); \
+                   faultpoint!(ctx, \"dup\"); faultpoint!(ctx, \"dup\"); }";
+        let (diags, sites) = run(src, true);
+        assert_eq!(diags.len(), 2);
+        assert!(diags[0].message.contains("already declared"));
+        assert_eq!(sites.len(), 1);
+    }
+
+    #[test]
+    fn non_literal_name_flagged() {
+        let (diags, sites) = run("fn f(ctx: &C, s: &str) { faultpoint!(ctx, s); }", true);
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("string literal"));
+        assert!(sites.is_empty());
+    }
+
+    #[test]
+    fn non_library_placement_flagged() {
+        let (diags, sites) = run("fn main() { faultpoint!(ctx, \"x.y\"); }", false);
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("outside library code"));
+        assert!(sites.is_empty());
+    }
+
+    #[test]
+    fn macro_definition_and_tests_skipped() {
+        let src = "macro_rules! faultpoint {\n\
+                   ($ctx:expr, $site:expr) => { $ctx.faultpoint($site) };\n\
+                   }\n\
+                   #[cfg(test)]\nmod tests {\n\
+                   fn t(ctx: &C) { faultpoint!(ctx, \"t.site\"); }\n}";
+        let (diags, sites) = run(src, true);
+        assert!(diags.is_empty(), "{diags:?}");
+        assert!(sites.is_empty());
+    }
+
+    #[test]
+    fn plain_faultpoint_ident_ignored() {
+        let (diags, sites) = run("fn faultpoint() {} fn g() { faultpoint(); }", true);
+        assert!(diags.is_empty());
+        assert!(sites.is_empty());
+    }
+}

@@ -1,30 +1,43 @@
 //! Rule dispatch: which rules run where, and suppression filtering.
 
 pub mod determinism;
+pub mod faultpoints;
 pub mod locks;
 pub mod panics;
 
+use crate::config::LintConfig;
 use crate::diag::Diagnostic;
 use crate::model::FileModel;
 use crate::suppress;
+pub use faultpoints::FaultSite;
 
 /// Which rule families apply to a file, derived from its workspace path.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct FileScope {
     /// `wall-clock` applies (everywhere except crates/bench, whose whole
-    /// purpose is timing).
+    /// purpose is timing, and files exempted in `lamolint.toml`).
     pub wall_clock: bool,
     /// `lib-unwrap` applies (library code: src/** minus bin targets,
     /// tests, benches, and the bench harness crate).
     pub lib_unwrap: bool,
     /// `forbid-unsafe` applies (crate roots: src/lib.rs).
     pub forbid_unsafe: bool,
+    /// `faultpoint!` sites may be *declared* here (same footprint as
+    /// `lib_unwrap`: library code only). The hygiene rule itself runs
+    /// everywhere — outside this scope any site is a finding.
+    pub faultpoints: bool,
 }
 
 impl FileScope {
     /// Scope for a workspace-relative path (forward slashes), or `None`
     /// when the file is not lintable (vendored code, fixtures, target).
+    /// Uses the default (empty) workspace configuration.
     pub fn classify(rel_path: &str) -> Option<FileScope> {
+        FileScope::classify_with(rel_path, &LintConfig::default())
+    }
+
+    /// [`FileScope::classify`] honoring `lamolint.toml` exemptions.
+    pub fn classify_with(rel_path: &str, config: &LintConfig) -> Option<FileScope> {
         let comps: Vec<&str> = rel_path.split('/').collect();
         if comps
             .iter()
@@ -37,10 +50,12 @@ impl FileScope {
             .iter()
             .any(|c| matches!(*c, "tests" | "benches" | "examples"));
         let is_bin = comps.windows(2).any(|w| w == ["src", "bin"]);
+        let exempt_clock = config.wall_clock_exempt.iter().any(|e| e == rel_path);
         Some(FileScope {
-            wall_clock: !is_bench_crate,
+            wall_clock: !is_bench_crate && !exempt_clock,
             lib_unwrap: !is_bench_crate && !in_tests && !is_bin,
             forbid_unsafe: rel_path.ends_with("src/lib.rs") && !in_tests,
+            faultpoints: !is_bench_crate && !in_tests && !is_bin,
         })
     }
 }
@@ -50,6 +65,9 @@ pub struct FileOutcome {
     pub diagnostics: Vec<Diagnostic>,
     /// Findings silenced by a justified `lamolint::allow`.
     pub suppressed: usize,
+    /// Well-formed fault-injection sites declared by this file, for the
+    /// workspace-wide uniqueness pass in [`crate::run_check`].
+    pub faultpoints: Vec<FaultSite>,
 }
 
 /// Run every applicable rule over one source file.
@@ -70,6 +88,7 @@ pub fn check_source(rel_path: &str, src: &str, scope: FileScope) -> FileOutcome 
     if scope.forbid_unsafe {
         panics::forbid_unsafe(rel_path, &model, &mut found);
     }
+    let sites = faultpoints::faultpoint_hygiene(rel_path, &model, scope.faultpoints, &mut found);
 
     let before = found.len();
     found.retain(|d| !allows.iter().any(|a| a.covers(d.rule, d.line)));
@@ -81,6 +100,7 @@ pub fn check_source(rel_path: &str, src: &str, scope: FileScope) -> FileOutcome 
     FileOutcome {
         diagnostics: diags,
         suppressed,
+        faultpoints: sites,
     }
 }
 
@@ -93,24 +113,39 @@ mod tests {
     fn classify_scopes() {
         let lib = FileScope::classify("crates/core/src/labeling.rs").expect("lintable");
         assert!(lib.wall_clock && lib.lib_unwrap && !lib.forbid_unsafe);
+        assert!(lib.faultpoints);
 
         let root = FileScope::classify("crates/core/src/lib.rs").expect("lintable");
         assert!(root.forbid_unsafe);
 
         let bench = FileScope::classify("crates/bench/src/lib.rs").expect("lintable");
-        assert!(!bench.wall_clock && !bench.lib_unwrap);
+        assert!(!bench.wall_clock && !bench.lib_unwrap && !bench.faultpoints);
 
         let bin = FileScope::classify("crates/bench/src/bin/profile_find.rs").expect("lintable");
-        assert!(!bin.lib_unwrap);
+        assert!(!bin.lib_unwrap && !bin.faultpoints);
 
         let test = FileScope::classify("crates/core/tests/prop_labeling.rs").expect("lintable");
-        assert!(!test.lib_unwrap && test.wall_clock);
+        assert!(!test.lib_unwrap && test.wall_clock && !test.faultpoints);
 
         assert_eq!(FileScope::classify("vendor/rand/src/lib.rs"), None);
         assert_eq!(
             FileScope::classify("crates/lamolint/tests/fixtures/clean.rs"),
             None
         );
+    }
+
+    #[test]
+    fn wall_clock_exemption_is_file_scoped() {
+        let config = LintConfig {
+            wall_clock_exempt: vec!["crates/par-util/src/realtime.rs".into()],
+        };
+        let exempt =
+            FileScope::classify_with("crates/par-util/src/realtime.rs", &config).expect("lintable");
+        assert!(!exempt.wall_clock, "exempted file skips wall-clock");
+        assert!(exempt.lib_unwrap, "other rules still apply");
+        let sibling =
+            FileScope::classify_with("crates/par-util/src/supervise.rs", &config).expect("lintable");
+        assert!(sibling.wall_clock, "exemption does not leak to siblings");
     }
 
     #[test]

@@ -92,6 +92,50 @@ fn json_mode_prints_machine_readable_report() {
 }
 
 #[test]
+fn wall_clock_exemption_reads_lamolint_toml() {
+    let root = tmp_tree("lamolint-config");
+    let clock_lib = "#![forbid(unsafe_code)]\n\npub fn stamp() -> std::time::Instant {\n    std::time::Instant::now()\n}\n";
+    write_src(&root, "crates/demo/src/lib.rs", clock_lib);
+
+    let out = run(&["check", "--no-report", "--root", root.to_str().expect("tmp paths are UTF-8")]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(1), "unconfigured tree flags the clock: {stdout}");
+    assert!(stdout.contains("wall-clock"), "stdout: {stdout}");
+
+    fs::write(
+        root.join("lamolint.toml"),
+        "[wall-clock]\nexempt = [\"crates/demo/src/lib.rs\"]\n",
+    )
+    .expect("tmpdir is writable during tests");
+    let out = run(&["check", "--no-report", "--root", root.to_str().expect("tmp paths are UTF-8")]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(0), "exempted file is clean: {stdout}");
+}
+
+#[test]
+fn cross_file_faultpoint_duplicate_is_reported() {
+    let root = tmp_tree("lamolint-faultdup");
+    let a = "#![forbid(unsafe_code)]\n\npub fn f(ctx: &C) {\n    faultpoint!(ctx, \"shared.site\");\n}\n";
+    let b = "#![forbid(unsafe_code)]\n\npub fn g(ctx: &C) {\n    faultpoint!(ctx, \"shared.site\");\n}\n";
+    write_src(&root, "crates/alpha/src/lib.rs", a);
+    write_src(&root, "crates/beta/src/lib.rs", b);
+
+    let out = run(&["check", "--no-report", "--root", root.to_str().expect("tmp paths are UTF-8")]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(1), "stdout: {stdout}");
+    assert!(stdout.contains("faultpoint-hygiene"), "stdout: {stdout}");
+    // Blame lands on the later file (path order) and names the earlier one.
+    assert!(
+        stdout.contains("crates/beta/src/lib.rs:4"),
+        "duplicate flagged at the second declaration: {stdout}"
+    );
+    assert!(
+        stdout.contains("crates/alpha/src/lib.rs"),
+        "message names the first declaration: {stdout}"
+    );
+}
+
+#[test]
 fn usage_errors_exit_two() {
     let out = run(&["frobnicate"]);
     assert_eq!(out.status.code(), Some(2), "unknown subcommand is a usage error");

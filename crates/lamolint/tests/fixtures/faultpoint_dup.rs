@@ -1,0 +1,20 @@
+//@ path: crates/demo/src/faultpoint_dup.rs
+// Fixture: fault-injection site hygiene inside library code — duplicate
+// names and computed names are findings; distinct literal sites are not.
+
+pub fn ok_distinct_sites(ctx: &RunContext) {
+    faultpoint!(ctx, "demo.alpha");
+    faultpoint!(ctx, "demo.beta", cache, &key);
+}
+
+pub fn bad_duplicate_site(ctx: &RunContext) {
+    faultpoint!(ctx, "demo.alpha");
+}
+
+pub fn bad_computed_site(ctx: &RunContext, site: &'static str) {
+    faultpoint!(ctx, site);
+}
+
+pub fn ok_method_form(ctx: &RunContext) {
+    ctx.faultpoint("demo.gamma");
+}

@@ -1,0 +1,13 @@
+//@ path: crates/demo/src/bin/tool.rs
+// Fixture: fault-injection sites may not be declared in bin targets —
+// executables drive fault plans, libraries declare the sites.
+
+fn main() {
+    let ctx = RunContext::unbounded();
+    faultpoint!(ctx, "tool.start");
+    run(&ctx);
+}
+
+fn run(ctx: &RunContext) {
+    ctx.faultpoint_cache("tool.cache", &cache, &key);
+}

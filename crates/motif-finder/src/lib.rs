@@ -31,6 +31,9 @@ pub use esu::{
 };
 pub use finder::{FinderReport, MotifFinder, MotifFinderConfig};
 pub use motif::{Motif, Occurrence};
-pub use nemo::{grow_frequent_subgraphs, GrowthConfig, GrowthReport};
+pub use nemo::{
+    grow_frequent_subgraphs, grow_frequent_subgraphs_supervised, resume_growth, GrowthCheckpoint,
+    GrowthConfig, GrowthReport,
+};
 pub use subgraph_match::{count_occurrences, count_occurrences_capped, CountResult};
 pub use uniqueness::{uniqueness_scores, UniquenessConfig};

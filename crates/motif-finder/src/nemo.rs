@@ -45,13 +45,31 @@
 //! A level is reported in [`GrowthReport::truncated_levels`] iff
 //! candidates beyond the budget actually exist — an exactly-exhausted
 //! budget is not truncation.
+//!
+//! # Supervision (DESIGN.md §13)
+//!
+//! Growth runs under a [`RunContext`]: every candidate visited costs
+//! one work tick, workers drain cooperatively once the context trips,
+//! and worker panics are caught at the pool boundary. The supervised
+//! entry points ([`grow_frequent_subgraphs_supervised`],
+//! [`resume_growth`]) return `Interrupted` with a [`GrowthCheckpoint`]
+//! of the last *completed* level boundary; a level interrupted mid-way
+//! is conservatively discarded (a tick can trip on the level's final
+//! candidate, indistinguishable from mid-level), so each remaining
+//! level is recomputed as the pure function of (graph, config,
+//! checkpoint) it is — which is what makes `resume` byte-identical to
+//! an uninterrupted run at any thread count. The legacy
+//! [`grow_frequent_subgraphs`] wraps the supervised engine with a
+//! passive context whose per-tick cost is one relaxed load.
 
 use crate::classes::{
     finalize_classes, merge_tagged_classes, CanonCodeCache, ClassCollector, SubgraphClass,
 };
 use crate::esu::EsuWalker;
 use crate::motif::Occurrence;
-use par_util::resolve_threads;
+use par_util::{
+    faultpoint, resolve_threads, run_supervised, Interrupted, PoolOutcome, RunContext, WorkerPanic,
+};
 use parking_lot::Mutex;
 use ppi_graph::{Graph, VertexId};
 use std::collections::hash_map::Entry;
@@ -99,7 +117,7 @@ impl Default for GrowthConfig {
 }
 
 /// Output of [`grow_frequent_subgraphs`].
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct GrowthReport {
     /// Frequent classes of every size in `[min_size, max_size]`, ordered
     /// by size then descending frequency.
@@ -111,36 +129,153 @@ pub struct GrowthReport {
     pub capped_levels: Vec<usize>,
 }
 
+/// A resumable discovery checkpoint: the state at the last *completed*
+/// level boundary.
+///
+/// `Default` is the fresh-start checkpoint (nothing completed). The
+/// invariant at a boundary: `frequent` holds the frequent classes of
+/// `completed_size` (post filter + cap) and the report fields hold
+/// everything for strictly smaller sizes, so [`resume_growth`] replays
+/// the remaining levels exactly as an uninterrupted run would compute
+/// them.
+#[derive(Clone, Debug, Default)]
+pub struct GrowthCheckpoint {
+    /// Frequent classes already committed to the report (sizes below
+    /// `completed_size`).
+    pub classes: Vec<SubgraphClass>,
+    /// Truncation records accumulated so far.
+    pub truncated_levels: Vec<usize>,
+    /// Class-cap records accumulated so far.
+    pub capped_levels: Vec<usize>,
+    /// Frequent classes of the last completed level (`None` before the
+    /// seed level completes — the fresh-start state).
+    pub frequent: Option<Vec<SubgraphClass>>,
+    /// The size whose classes `frequent` holds.
+    pub completed_size: usize,
+}
+
 /// Run the level-wise growth over `g`.
+///
+/// Legacy uninterruptible entry point: runs the supervised engine under
+/// a passive [`RunContext`] (per-tick cost: one relaxed load).
 pub fn grow_frequent_subgraphs(g: &Graph, config: &GrowthConfig) -> GrowthReport {
+    grow_frequent_subgraphs_supervised(g, config, &RunContext::unbounded())
+        .expect("a passive context without injected faults never interrupts growth")
+}
+
+/// Run the level-wise growth under `ctx`: cancellation (tick budget,
+/// external token, injected fault) or a worker panic returns
+/// [`Interrupted`] with the last completed level boundary as a
+/// [`GrowthCheckpoint`].
+// The Err variant owns the whole checkpoint by design: interruption is
+// the cold path, and callers hand the value straight back to
+// `resume_growth`, so boxing would only add an allocation there.
+#[allow(clippy::result_large_err)]
+pub fn grow_frequent_subgraphs_supervised(
+    g: &Graph,
+    config: &GrowthConfig,
+    ctx: &RunContext,
+) -> Result<GrowthReport, Interrupted<GrowthCheckpoint>> {
+    resume_growth(g, config, GrowthCheckpoint::default(), ctx)
+}
+
+/// Resume growth from `checkpoint` (use [`GrowthCheckpoint::default`]
+/// for a fresh run). For any checkpoint produced by an interrupted run
+/// over the same `(g, config)`, the resumed output is byte-identical to
+/// an uninterrupted run at any thread count.
+// See `grow_frequent_subgraphs_supervised` for the large-Err rationale.
+#[allow(clippy::result_large_err)]
+pub fn resume_growth(
+    g: &Graph,
+    config: &GrowthConfig,
+    checkpoint: GrowthCheckpoint,
+    ctx: &RunContext,
+) -> Result<GrowthReport, Interrupted<GrowthCheckpoint>> {
     assert!(config.min_size >= 2, "motifs need at least 2 vertices");
     assert!(config.min_size <= config.max_size);
     let threads = resolve_threads(config.threads);
     let budget = config.max_candidates_per_level.max(1);
     let cache = CanonCodeCache::default();
-    let mut report = GrowthReport::default();
 
-    // Seed level: enumerate min_size exhaustively (budget-capped).
-    let (classes, truncated) = seed_level(g, config, threads, budget, &cache);
-    if truncated {
-        report.truncated_levels.push(config.min_size);
-    }
-    let mut frequent: Vec<SubgraphClass> = classes
-        .into_iter()
-        .filter(|c| c.frequency >= config.frequency_threshold)
-        .collect();
-    cap_classes(&mut frequent, config, config.min_size, &mut report);
+    let mut report = GrowthReport {
+        classes: checkpoint.classes,
+        truncated_levels: checkpoint.truncated_levels,
+        capped_levels: checkpoint.capped_levels,
+    };
 
-    for size in config.min_size..=config.max_size {
+    // Seed level (skipped when the checkpoint already completed it):
+    // enumerate min_size exhaustively (budget-capped). Nothing is
+    // committed before the first boundary, so interruption here resumes
+    // from scratch.
+    let (mut frequent, mut size) = match checkpoint.frequent {
+        Some(frequent) => (frequent, checkpoint.completed_size),
+        None => {
+            faultpoint!(ctx, "nemo.seed_level");
+            if ctx.should_stop() {
+                return Err(Interrupted::Cancelled {
+                    checkpoint: GrowthCheckpoint::default(),
+                });
+            }
+            let (classes, truncated, panic) = seed_level(g, config, threads, budget, &cache, ctx);
+            if let Some(panic) = panic {
+                return Err(Interrupted::WorkerPanicked {
+                    panic,
+                    checkpoint: GrowthCheckpoint::default(),
+                });
+            }
+            if ctx.should_stop() {
+                return Err(Interrupted::Cancelled {
+                    checkpoint: GrowthCheckpoint::default(),
+                });
+            }
+            if truncated {
+                report.truncated_levels.push(config.min_size);
+            }
+            let mut frequent: Vec<SubgraphClass> = classes
+                .into_iter()
+                .filter(|c| c.frequency >= config.frequency_threshold)
+                .collect();
+            cap_classes(&mut frequent, config, config.min_size, &mut report);
+            (frequent, config.min_size)
+        }
+    };
+
+    // Boundary invariant at the top of each iteration: `frequent` holds
+    // the completed size-`size` classes and `report.classes` everything
+    // below — exactly what a checkpoint captures. The commit of
+    // `frequent` into the report is deferred until the next level
+    // completes so an interruption can hand back a clean boundary.
+    loop {
         if frequent.is_empty() {
             break;
         }
-        report.classes.extend(frequent.iter().cloned());
         if size == config.max_size {
+            report.classes.extend(frequent.iter().cloned());
             break;
         }
+        faultpoint!(ctx, "nemo.extension_level");
+        if ctx.should_stop() {
+            return Err(Interrupted::Cancelled {
+                checkpoint: boundary(&report, &frequent, size),
+            });
+        }
 
-        let (classes, truncated) = extension_level(g, &frequent, config, threads, budget, &cache);
+        let (classes, truncated, panic) =
+            extension_level(g, &frequent, config, threads, budget, &cache, ctx);
+        if let Some(panic) = panic {
+            return Err(Interrupted::WorkerPanicked {
+                panic,
+                checkpoint: boundary(&report, &frequent, size),
+            });
+        }
+        if ctx.should_stop() {
+            return Err(Interrupted::Cancelled {
+                checkpoint: boundary(&report, &frequent, size),
+            });
+        }
+
+        // Level size+1 completed cleanly: commit and advance.
+        report.classes.extend(frequent.iter().cloned());
         if truncated {
             report.truncated_levels.push(size + 1);
         }
@@ -149,9 +284,23 @@ pub fn grow_frequent_subgraphs(g: &Graph, config: &GrowthConfig) -> GrowthReport
             .filter(|c| c.frequency >= config.frequency_threshold)
             .collect();
         cap_classes(&mut frequent, config, size + 1, &mut report);
+        size += 1;
     }
 
-    report
+    Ok(report)
+}
+
+/// Materialize the boundary checkpoint for the state entering the
+/// current loop iteration. Only called on interruption, so uninterrupted
+/// (and passive legacy) runs never pay for the clones.
+fn boundary(report: &GrowthReport, frequent: &[SubgraphClass], size: usize) -> GrowthCheckpoint {
+    GrowthCheckpoint {
+        classes: report.classes.clone(),
+        truncated_levels: report.truncated_levels.clone(),
+        capped_levels: report.capped_levels.clone(),
+        frequent: Some(frequent.to_vec()),
+        completed_size: size,
+    }
 }
 
 /// Seed level: classify the size-`min_size` ESU census, sharded by root
@@ -174,7 +323,8 @@ fn seed_level(
     threads: usize,
     budget: usize,
     cache: &CanonCodeCache,
-) -> (Vec<SubgraphClass>, bool) {
+    ctx: &RunContext,
+) -> (Vec<SubgraphClass>, bool, Option<WorkerPanic>) {
     let k = config.min_size;
     let n = g.vertex_count() as u32;
     let next = AtomicU32::new(0);
@@ -182,7 +332,10 @@ fn seed_level(
     let overflow = AtomicBool::new(false);
 
     type SeedPart = (Vec<crate::classes::TaggedClass>, Vec<(u32, u32)>);
-    let parts: Vec<SeedPart> = run_workers(threads, || {
+    let PoolOutcome {
+        results: parts,
+        panic,
+    }: PoolOutcome<SeedPart> = run_supervised(threads, "nemo.seed", ctx, || {
         let mut collector = ClassCollector::with_cache(g, config.max_stored_occurrences, cache);
         let mut counts: Vec<(u32, u32)> = Vec::new();
         let mut walker = EsuWalker::new(g, k);
@@ -191,6 +344,11 @@ fn seed_level(
             if root >= n {
                 break;
             }
+            if ctx.should_stop() {
+                break;
+            }
+            faultpoint!(ctx, "nemo.seed_worker");
+            faultpoint!(ctx, "nemo.canon_cache", cache, &(k as u8, 0u64));
             if emitted.load(Ordering::Relaxed) >= budget {
                 // The budget is spent; enumerating this root can only
                 // feed the (discarded) optimistic collectors. Probe it
@@ -212,13 +370,21 @@ fn seed_level(
             walker.enumerate_root(root, &mut |_| true, &mut |verts| {
                 collector.add_tagged(verts, (root, seq));
                 seq += 1;
-                true
+                ctx.tick(1)
             });
             counts.push((root, seq));
             emitted.fetch_add(seq as usize, Ordering::Relaxed);
         }
         (collector.into_tagged_classes(), counts)
     });
+    if let Some(panic) = panic {
+        return (Vec::new(), false, Some(panic));
+    }
+    if ctx.should_stop() {
+        // Partial census (tick budget or external cancel): the caller
+        // discards this level, so skip the cut analysis entirely.
+        return (Vec::new(), false, None);
+    }
 
     let mut root_counts: Vec<Option<u32>> = vec![None; n as usize];
     let mut collected: Vec<Vec<crate::classes::TaggedClass>> = Vec::with_capacity(parts.len());
@@ -236,7 +402,7 @@ fn seed_level(
         // Every candidate was classified (skipped roots, if any, were
         // all probed empty): the optimistic pass is the full census.
         let merged = merge_tagged_classes(g, collected, config.max_stored_occurrences);
-        return (finalize_classes(merged), false);
+        return (finalize_classes(merged), false, None);
     }
     drop(collected);
 
@@ -249,12 +415,15 @@ fn seed_level(
     let mut cut_root = 0u32;
     let mut cut_len = 0u32; // candidates kept from cut_root
     for root in 0..n {
+        if ctx.should_stop() {
+            return (Vec::new(), false, None);
+        }
         let count = root_counts[root as usize].unwrap_or_else(|| {
             let mut c = 0u32;
             let cap = remaining as u32;
             walker.enumerate_root(root, &mut |_| true, &mut |_| {
                 c += 1;
-                c < cap
+                c < cap && ctx.tick(1)
             });
             c
         }) as usize;
@@ -265,29 +434,46 @@ fn seed_level(
         }
         remaining -= count;
     }
+    if ctx.should_stop() {
+        return (Vec::new(), false, None);
+    }
 
     // Second pass: classify exactly the candidates before the cut,
     // sharded by root again (the canonical-code cache is already warm).
     let next = AtomicU32::new(0);
-    let parts: Vec<Vec<crate::classes::TaggedClass>> = run_workers(threads, || {
-        let mut collector = ClassCollector::with_cache(g, config.max_stored_occurrences, cache);
-        let mut walker = EsuWalker::new(g, k);
-        loop {
-            let root = next.fetch_add(1, Ordering::Relaxed);
-            if root > cut_root {
-                break;
+    let PoolOutcome {
+        results: parts,
+        panic,
+    }: PoolOutcome<Vec<crate::classes::TaggedClass>> =
+        run_supervised(threads, "nemo.seed_cut", ctx, || {
+            let mut collector =
+                ClassCollector::with_cache(g, config.max_stored_occurrences, cache);
+            let mut walker = EsuWalker::new(g, k);
+            loop {
+                let root = next.fetch_add(1, Ordering::Relaxed);
+                if root > cut_root {
+                    break;
+                }
+                if ctx.should_stop() {
+                    break;
+                }
+                let mut seq = 0u32;
+                walker.enumerate_root(root, &mut |_| true, &mut |verts| {
+                    collector.add_tagged(verts, (root, seq));
+                    seq += 1;
+                    (root != cut_root || seq < cut_len) && ctx.tick(1)
+                });
             }
-            let mut seq = 0u32;
-            walker.enumerate_root(root, &mut |_| true, &mut |verts| {
-                collector.add_tagged(verts, (root, seq));
-                seq += 1;
-                root != cut_root || seq < cut_len
-            });
-        }
-        collector.into_tagged_classes()
-    });
+            collector.into_tagged_classes()
+        });
+    if let Some(panic) = panic {
+        return (Vec::new(), false, Some(panic));
+    }
+    if ctx.should_stop() {
+        return (Vec::new(), false, None);
+    }
     let merged = merge_tagged_classes(g, parts, config.max_stored_occurrences);
-    (finalize_classes(merged), true)
+    (finalize_classes(merged), true, None)
 }
 
 /// Number of dedup shards at extension levels (power of two).
@@ -341,7 +527,8 @@ fn extension_level(
     threads: usize,
     budget: usize,
     cache: &CanonCodeCache,
-) -> (Vec<SubgraphClass>, bool) {
+    ctx: &RunContext,
+) -> (Vec<SubgraphClass>, bool, Option<WorkerPanic>) {
     // Occurrence items in serial order; the item index is the major tag.
     let items: Vec<&Occurrence> = frequent.iter().flat_map(|c| &c.occurrences).collect();
 
@@ -359,12 +546,16 @@ fn extension_level(
     let next = AtomicUsize::new(0);
     let unique_count = AtomicUsize::new(0);
     let skipped = AtomicBool::new(false);
-    run_workers(threads, || {
+    let PoolOutcome { results: _, panic } = run_supervised(threads, "nemo.extension", ctx, || {
         loop {
             let i = next.fetch_add(1, Ordering::Relaxed);
             if i >= items.len() {
                 break;
             }
+            if ctx.should_stop() {
+                break;
+            }
+            faultpoint!(ctx, "nemo.extension_worker");
             if unique_count.load(Ordering::Relaxed) >= budget {
                 skipped.store(true, Ordering::Relaxed);
                 continue;
@@ -382,10 +573,17 @@ fn extension_level(
                         unique_count.fetch_add(1, Ordering::Relaxed);
                     }
                 }
-                true
+                ctx.tick(1)
             });
         }
     });
+    if let Some(panic) = panic {
+        return (Vec::new(), false, Some(panic));
+    }
+    if ctx.should_stop() {
+        // Partial candidate map: the caller discards this level.
+        return (Vec::new(), false, None);
+    }
 
     let (candidates, truncated) = if skipped.load(Ordering::Relaxed) {
         // Items were skipped, so the map may miss candidates belonging
@@ -400,6 +598,9 @@ fn extension_level(
         let mut truncated = false;
         for (i, occ) in items.iter().enumerate() {
             let keep_going = each_extension(g, occ, i as u32, &mut |key, tag| {
+                if !ctx.tick(1) {
+                    return false;
+                }
                 if seen.contains(&key) {
                     return true;
                 }
@@ -414,6 +615,9 @@ fn extension_level(
             if !keep_going {
                 break;
             }
+        }
+        if ctx.should_stop() {
+            return (Vec::new(), false, None);
         }
         (kept, truncated)
     } else {
@@ -433,47 +637,36 @@ fn extension_level(
     let chunk = candidates.len().div_ceil(threads.max(1)).max(1);
     let ranges: Vec<&[Candidate]> = candidates.chunks(chunk).collect();
     let next = AtomicUsize::new(0);
-    let parts: Vec<Vec<crate::classes::TaggedClass>> = run_workers(ranges.len().max(1), || {
-        let mut collector = ClassCollector::with_cache(g, config.max_stored_occurrences, cache);
-        loop {
-            let r = next.fetch_add(1, Ordering::Relaxed);
-            if r >= ranges.len() {
-                break;
+    let PoolOutcome {
+        results: parts,
+        panic,
+    }: PoolOutcome<Vec<crate::classes::TaggedClass>> =
+        run_supervised(ranges.len().max(1), "nemo.extension_classify", ctx, || {
+            let mut collector =
+                ClassCollector::with_cache(g, config.max_stored_occurrences, cache);
+            loop {
+                let r = next.fetch_add(1, Ordering::Relaxed);
+                if r >= ranges.len() {
+                    break;
+                }
+                if ctx.should_stop() {
+                    break;
+                }
+                for (tag, set) in ranges[r] {
+                    let verts: Vec<VertexId> = set.iter().map(|&x| VertexId(x)).collect();
+                    collector.add_tagged(&verts, *tag);
+                }
             }
-            for (tag, set) in ranges[r] {
-                let verts: Vec<VertexId> = set.iter().map(|&x| VertexId(x)).collect();
-                collector.add_tagged(&verts, *tag);
-            }
-        }
-        collector.into_tagged_classes()
-    });
-    let merged = merge_tagged_classes(g, parts, config.max_stored_occurrences);
-    (finalize_classes(merged), truncated)
-}
-
-/// Run `worker` on `threads` scoped threads and collect the results
-/// (order is irrelevant to callers — everything is tag-merged). With one
-/// thread the closure runs inline, so single-threaded growth pays no
-/// spawn cost and the parallel machinery is exercised identically.
-fn run_workers<T, F>(threads: usize, worker: F) -> Vec<T>
-where
-    T: Send,
-    F: Fn() -> T + Sync,
-{
-    if threads <= 1 {
-        return vec![worker()];
+            collector.into_tagged_classes()
+        });
+    if let Some(panic) = panic {
+        return (Vec::new(), false, Some(panic));
     }
-    crossbeam::scope(|scope| {
-        let worker = &worker;
-        let handles: Vec<_> = (0..threads)
-            .map(|_| scope.spawn(move |_| worker()))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("growth worker panicked"))
-            .collect()
-    })
-    .expect("crossbeam scope fails only when a worker panicked")
+    if ctx.should_stop() {
+        return (Vec::new(), false, None);
+    }
+    let merged = merge_tagged_classes(g, parts, config.max_stored_occurrences);
+    (finalize_classes(merged), truncated, None)
 }
 
 /// Keep at most `max_classes_per_level` classes (already sorted by

@@ -8,9 +8,23 @@
 //! pieces implementing those conventions live here so the labeling
 //! pipeline (`lamofinder`), the uniqueness null model and the discovery
 //! front-end (`motif-finder`) do not each carry a private copy.
+//!
+//! PR 4 adds the supervision layer (DESIGN.md §13): [`RunContext`]
+//! carries a cooperative [`CancelToken`] plus a deterministic work-tick
+//! budget, [`run_supervised`] isolates worker panics behind
+//! `catch_unwind`, and [`FaultPlan`] + the [`faultpoint!`] macro inject
+//! deterministic faults for the containment test suites. The only
+//! wall-clock-aware piece is [`realtime::Deadline`], confined to the
+//! bench/CLI boundary.
 
+pub mod realtime;
 pub mod sharded;
+pub mod supervise;
 pub mod threads;
 
 pub use sharded::ShardedCache;
+pub use supervise::{
+    run_supervised, CancelToken, FaultAction, FaultArm, FaultPlan, InjectedFault, Interrupted,
+    PoolOutcome, RunContext, WorkQueue, WorkerPanic,
+};
 pub use threads::{resolve_threads, split_chunks};

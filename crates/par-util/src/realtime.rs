@@ -1,0 +1,98 @@
+//! Real-time deadline adapter — the *only* wall-clock-aware component
+//! of the supervision layer, exempted from the `wall-clock` lint via
+//! `lamolint.toml` (DESIGN.md §13).
+//!
+//! Pipeline deadlines are deterministic work-tick budgets; nothing in
+//! library code may read the clock. But at the bench/CLI boundary an
+//! operator legitimately wants "stop after N seconds". This adapter
+//! bridges the two worlds without contaminating the pipeline: a
+//! watchdog thread owns a clone of the run's [`CancelToken`] and trips
+//! it when the timeout elapses, after which the pipeline drains through
+//! the exact same cooperative-cancellation path a tick budget uses.
+//! The pipeline itself stays byte-deterministic — only *whether* it was
+//! interrupted depends on the clock, never what a completed or resumed
+//! run outputs.
+
+use crate::supervise::CancelToken;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Watchdog polling interval; disarming latency is bounded by this.
+const POLL: Duration = Duration::from_millis(10);
+
+/// A one-shot wall-clock deadline armed against a [`CancelToken`].
+///
+/// Dropping the guard disarms the watchdog (without cancelling) and
+/// joins its thread, so a `Deadline` can never outlive its scope.
+pub struct Deadline {
+    disarm: Arc<AtomicBool>,
+    watchdog: Option<JoinHandle<()>>,
+}
+
+impl Deadline {
+    /// Spawn a watchdog that trips `token` once `timeout` has elapsed,
+    /// unless disarmed first.
+    pub fn arm(token: CancelToken, timeout: Duration) -> Deadline {
+        let disarm = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&disarm);
+        let watchdog = std::thread::spawn(move || {
+            let start = Instant::now();
+            while !flag.load(Ordering::Relaxed) {
+                if start.elapsed() >= timeout {
+                    token.cancel();
+                    return;
+                }
+                std::thread::sleep(POLL.min(timeout));
+            }
+        });
+        Deadline {
+            disarm,
+            watchdog: Some(watchdog),
+        }
+    }
+
+    /// Stop the watchdog without cancelling the run. Idempotent; also
+    /// invoked by `Drop`.
+    pub fn disarm(&mut self) {
+        self.disarm.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.watchdog.take() {
+            // The watchdog only sleeps and polls; joining it cannot
+            // fail except if it panicked, which its body cannot do.
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Deadline {
+    fn drop(&mut self) {
+        self.disarm();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deadline_trips_the_token() {
+        let token = CancelToken::new();
+        let _deadline = Deadline::arm(token.clone(), Duration::from_millis(1));
+        // Cooperative wait: the watchdog must trip the shared flag.
+        while !token.is_cancelled() {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(token.is_cancelled());
+    }
+
+    #[test]
+    fn disarm_prevents_cancellation() {
+        let token = CancelToken::new();
+        let mut deadline = Deadline::arm(token.clone(), Duration::from_secs(3600));
+        deadline.disarm();
+        assert!(!token.is_cancelled(), "disarmed watchdog must not cancel");
+        drop(deadline);
+        assert!(!token.is_cancelled());
+    }
+}

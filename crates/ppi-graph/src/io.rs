@@ -19,18 +19,32 @@ pub struct PpiNetwork {
     index: HashMap<String, VertexId>,
 }
 
-/// Errors arising while parsing an edge list.
+/// Errors arising while parsing an edge list. Every variant names the
+/// 1-based line and column where the problem sits.
 #[derive(Debug, PartialEq, Eq)]
 pub enum ParseError {
-    /// A non-empty, non-comment line did not contain two fields.
-    MalformedLine { line_no: usize, content: String },
+    /// A non-empty, non-comment line did not contain two fields. `col`
+    /// points just past the lone field (where the second was expected),
+    /// or at the first non-blank character for an unsplittable line.
+    MalformedLine {
+        line_no: usize,
+        col: usize,
+        content: String,
+    },
 }
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ParseError::MalformedLine { line_no, content } => {
-                write!(f, "line {line_no}: expected two fields, got {content:?}")
+            ParseError::MalformedLine {
+                line_no,
+                col,
+                content,
+            } => {
+                write!(
+                    f,
+                    "line {line_no}, column {col}: expected two fields, got {content:?}"
+                )
             }
         }
     }
@@ -127,8 +141,8 @@ impl PpiNetwork {
     /// with `#` and blank lines are skipped.
     pub fn parse(text: &str) -> Result<Self, ParseError> {
         let mut pairs = Vec::new();
-        for (i, line) in text.lines().enumerate() {
-            let line = line.trim();
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.trim();
             if line.is_empty() || line.starts_with('#') {
                 continue;
             }
@@ -136,10 +150,16 @@ impl PpiNetwork {
             match (fields.next(), fields.next()) {
                 (Some(a), Some(b)) => pairs.push((a.to_string(), b.to_string())),
                 _ => {
+                    // A non-empty line holds exactly one field here; the
+                    // column (1-based, in bytes) points just past it —
+                    // where the second field was expected.
+                    let leading = raw.len() - raw.trim_start().len();
+                    let first_len = line.split_whitespace().next().map_or(0, str::len);
                     return Err(ParseError::MalformedLine {
                         line_no: i + 1,
+                        col: leading + first_len + 1,
                         content: line.to_string(),
-                    })
+                    });
                 }
             }
         }
@@ -199,9 +219,24 @@ mod tests {
             err,
             ParseError::MalformedLine {
                 line_no: 2,
+                col: 7,
                 content: "lonely".to_string()
             }
         );
+    }
+
+    #[test]
+    fn malformed_line_column_accounts_for_leading_whitespace() {
+        let err = PpiNetwork::parse("  lonely\n").unwrap_err();
+        assert_eq!(
+            err,
+            ParseError::MalformedLine {
+                line_no: 1,
+                col: 9,
+                content: "lonely".to_string()
+            }
+        );
+        assert!(err.to_string().contains("line 1, column 9"));
     }
 
     #[test]
