@@ -54,6 +54,7 @@ fn bench_labeling_scalability(c: &mut Criterion) {
         informative: &informative,
         terms_by_protein: &terms_by_protein,
         frontier: &frontier,
+        dense: None,
     };
     let config = ClusteringConfig {
         sigma: 5,

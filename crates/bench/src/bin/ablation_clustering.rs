@@ -50,6 +50,7 @@ fn main() {
         informative: &informative,
         terms_by_protein: &terms_by_protein,
         frontier: &frontier,
+        dense: None,
     };
     let sigma = if scale == Scale::Full { 10 } else { 5 };
     let config = ClusteringConfig {

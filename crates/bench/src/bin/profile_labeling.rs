@@ -1,0 +1,176 @@
+//! Profile the labeling hot path: memoized [`TermSimilarity`] oracle vs
+//! the precomputed dense ST/SV kernels (DESIGN.md §14), at 1/2/4 worker
+//! threads, over the motifs of one discovery pass. Also times the dense
+//! plane build alone so its amortization against the end-to-end win is
+//! visible. Writes `BENCH_labeling.json`; the acceptance bar is a ≥ 2×
+//! single-thread speedup at small scale.
+
+use go_ontology::DenseSimPlanes;
+use lamofinder_bench::report::{check, json_array, JsonObject};
+use lamofinder_bench::{finder_config, yeast, Scale};
+use lamofinder::{
+    ClusteringConfig, LaMoFinder, LaMoFinderConfig, SimilarityKernel,
+};
+use motif_finder::{resume_growth, GrowthCheckpoint, Motif};
+use par_util::RunContext;
+use std::time::Instant;
+
+const REPEATS: usize = 2;
+const SPEEDUP_BAR: f64 = 2.0;
+const THREADS: [usize; 3] = [1, 2, 4];
+
+/// Minimum wall time of `run` over [`REPEATS`] repetitions, after one
+/// untimed warm-up pass.
+fn min_secs(mut run: impl FnMut()) -> f64 {
+    run();
+    (0..REPEATS)
+        .map(|_| {
+            let t = Instant::now();
+            run();
+            t.elapsed().as_secs_f64()
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let data = yeast(scale);
+    let config = finder_config(scale);
+
+    let report = resume_growth(
+        &data.network,
+        &config.growth,
+        GrowthCheckpoint::default(),
+        &RunContext::unbounded(),
+    )
+    .expect("a passive context never interrupts discovery");
+    let motifs: Vec<Motif> = report
+        .classes
+        .into_iter()
+        .map(|c| Motif {
+            pattern: c.pattern,
+            occurrences: c.occurrences,
+            frequency: c.frequency,
+            uniqueness: None,
+        })
+        .collect();
+    println!(
+        "profiling labeling over {} motifs ({} vertices, {} edges)",
+        motifs.len(),
+        data.network.vertex_count(),
+        data.network.edge_count()
+    );
+
+    let (sigma, min_direct) = match scale {
+        Scale::Full => (10, 30),
+        Scale::Small => (5, 5),
+    };
+    let labeler_with = |kernel: SimilarityKernel, threads: usize| {
+        LaMoFinder::new(
+            &data.ontology,
+            &data.annotations,
+            LaMoFinderConfig {
+                clustering: ClusteringConfig {
+                    sigma,
+                    ..Default::default()
+                },
+                informative: go_ontology::InformativeConfig {
+                    min_direct,
+                    ..Default::default()
+                },
+                threads,
+                kernel,
+                ..Default::default()
+            },
+        )
+    };
+
+    // Dense plane build alone, for amortization: built once per
+    // namespace, it is paid once per labeling run regardless of how many
+    // motifs follow.
+    let probe = labeler_with(SimilarityKernel::Dense, 1);
+    let plane_build_secs = min_secs(|| {
+        DenseSimPlanes::build(
+            &data.ontology,
+            probe.weights(),
+            probe.terms_by_protein(),
+            1,
+            &RunContext::unbounded(),
+        )
+        .expect("no faults injected")
+        .expect("passive context never cancels");
+    });
+    println!("dense plane build: {plane_build_secs:.4}s (1 thread)");
+
+    let mut rows: Vec<String> = Vec::new();
+    let mut secs_1t = [0.0f64; 2];
+    let mut stats_row = String::new();
+    for (ki, kernel) in [SimilarityKernel::Memoized, SimilarityKernel::Dense]
+        .into_iter()
+        .enumerate()
+    {
+        for threads in THREADS {
+            let labeler = labeler_with(kernel, threads);
+            let mut labeled = 0usize;
+            let secs = min_secs(|| {
+                labeled = labeler.label_motifs(&motifs).len();
+            });
+            if threads == 1 {
+                secs_1t[ki] = secs;
+            }
+            let kernel_name = match kernel {
+                SimilarityKernel::Memoized => "memoized",
+                SimilarityKernel::Dense => "dense",
+            };
+            println!("{kernel_name} @ {threads} threads: {secs:.3}s ({labeled} labeled motifs)");
+            rows.push(
+                JsonObject::new()
+                    .str("kernel", kernel_name)
+                    .int("threads", threads)
+                    .num("secs", secs)
+                    .int("labeled_motifs", labeled)
+                    .render(),
+            );
+            if kernel == SimilarityKernel::Dense && threads == 1 {
+                let stats = labeler.kernel_stats();
+                stats_row = JsonObject::new()
+                    .int("st_plane_terms", stats.st_plane_terms)
+                    .int("st_plane_bytes", stats.st_plane_bytes)
+                    .int("st_plane_build_ticks", stats.st_plane_build_ticks as usize)
+                    .int("sv_planes", stats.sv_planes)
+                    .int("sv_plane_pairs", stats.sv_plane_pairs)
+                    .int("sv_plane_bytes", stats.sv_plane_bytes)
+                    .int("sv_oracle_calls", stats.sv_oracle_calls as usize)
+                    .render();
+            }
+        }
+    }
+
+    let speedup_1t = secs_1t[0] / secs_1t[1];
+    let amortization_pct = plane_build_secs / secs_1t[1] * 100.0;
+    println!(
+        "1-thread speedup: {speedup_1t:.2}x (bar {SPEEDUP_BAR}x) [{}]; \
+         plane build is {amortization_pct:.1}% of the dense run",
+        check(speedup_1t >= SPEEDUP_BAR)
+    );
+
+    let doc = JsonObject::new()
+        .str("benchmark", "labeling_kernels")
+        .str(
+            "scale",
+            if scale == Scale::Full { "full" } else { "small" },
+        )
+        .int("vertices", data.network.vertex_count())
+        .int("edges", data.network.edge_count())
+        .int("motifs", motifs.len())
+        .int("repeats", REPEATS)
+        .num("plane_build_secs", plane_build_secs)
+        .num("plane_build_pct_of_dense_run", amortization_pct)
+        .num("speedup_1t", speedup_1t)
+        .num("speedup_bar", SPEEDUP_BAR)
+        .raw("kernel_stats", stats_row)
+        .raw("runs", json_array(&rows))
+        .render();
+    std::fs::write("BENCH_labeling.json", format!("{doc}\n")).expect("write BENCH_labeling.json");
+    println!("wrote BENCH_labeling.json");
+}

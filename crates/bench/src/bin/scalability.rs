@@ -59,6 +59,7 @@ fn main() {
         informative: &informative,
         terms_by_protein: &terms_by_protein,
         frontier: &frontier,
+        dense: None,
     };
     let config = ClusteringConfig {
         sigma: 5,

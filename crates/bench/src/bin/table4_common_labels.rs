@@ -81,6 +81,7 @@ fn main() {
         informative: &informative,
         terms_by_protein: &terms_by_protein,
         frontier: &frontier,
+        dense: None,
     };
     let clusters = cluster_occurrences(
         &ex.motif.pattern,

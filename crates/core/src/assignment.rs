@@ -7,10 +7,34 @@
 //! enumeration is hopeless; the Jonker–Volgenant style shortest
 //! augmenting path formulation below is `O(n³)`.
 
+/// Reusable scratch for [`max_assignment_flat`]: the Hungarian solver's
+/// potentials, shortest-path state and the flattened fallback buffer.
+/// One scratch per worker kills the per-orbit allocations the old
+/// `Vec<Vec<f64>>` API paid on every occurrence pair.
+#[derive(Default)]
+pub struct AssignScratch {
+    u: Vec<f64>,
+    v: Vec<f64>,
+    p: Vec<usize>,
+    way: Vec<usize>,
+    minv: Vec<f64>,
+    used: Vec<bool>,
+    flat: Vec<f64>,
+}
+
+impl AssignScratch {
+    /// Empty scratch; buffers grow to the largest `n` seen and stay.
+    pub fn new() -> Self {
+        AssignScratch::default()
+    }
+}
+
 /// Solve the maximum-weight perfect assignment for a square weight
 /// matrix: returns `(assignment, total)` where `assignment[row] = col`.
 ///
 /// Weights may be any finite `f64` (similarities in `[0,1]` in our use).
+/// This is the allocating reference entry point; hot paths use
+/// [`max_assignment_flat`] with caller-owned scratch instead.
 ///
 /// # Panics
 ///
@@ -20,26 +44,135 @@ pub fn max_assignment(weights: &[Vec<f64>]) -> (Vec<usize>, f64) {
     if n == 0 {
         return (Vec::new(), 0.0);
     }
+    let mut scratch = AssignScratch::new();
+    scratch.flat.clear();
     for row in weights {
         assert_eq!(row.len(), n, "weight matrix must be square");
+        scratch.flat.extend_from_slice(row);
+    }
+    let flat = std::mem::take(&mut scratch.flat);
+    let mut assignment = Vec::new();
+    let total = hungarian_flat(&flat, n, n, &mut scratch, &mut assignment);
+    (assignment, total)
+}
+
+/// Flat row-major variant of [`max_assignment`] with caller-owned
+/// scratch: cell `(i, j)` lives at `weights[i * stride + j]`
+/// (`stride ≥ n`), `assignment` is resized to `n` with
+/// `assignment[row] = col`, and the total weight is returned.
+///
+/// `n == 2` short-circuits to a closed form whose chosen pairing and
+/// summed total are bitwise identical to the general solver's (the tie
+/// rule below is the general algorithm's, regression-tested against
+/// it); every other size runs the same shortest-augmenting-path code as
+/// [`max_assignment`].
+///
+/// # Panics
+///
+/// Panics if `stride < n`, `weights` has fewer than `n` strided rows,
+/// or any read cell is non-finite.
+pub fn max_assignment_flat(
+    weights: &[f64],
+    n: usize,
+    stride: usize,
+    scratch: &mut AssignScratch,
+    assignment: &mut Vec<usize>,
+) -> f64 {
+    assert!(stride >= n, "stride must cover a full row");
+    assert!(
+        n == 0 || weights.len() >= (n - 1) * stride + n,
+        "weight slice must hold n strided rows"
+    );
+    match n {
+        0 => {
+            assignment.clear();
+            0.0
+        }
+        1 => {
+            let w = weights[0];
+            assert!(w.is_finite(), "weights must be finite");
+            assignment.clear();
+            assignment.push(0);
+            // Identical fold to the general path's `0.0 + w`.
+            0.0 + w
+        }
+        2 => {
+            let (w00, w01) = (weights[0], weights[1]);
+            let (w10, w11) = (weights[stride], weights[stride + 1]);
+            assert!(
+                w00.is_finite() && w01.is_finite() && w10.is_finite() && w11.is_finite(),
+                "weights must be finite"
+            );
+            let keep = w00 + w11;
+            let swap = w10 + w01;
+            // The general solver's tie rule, derived from its shortest
+            // augmenting paths: when `keep == swap` exactly, the first
+            // phase has already matched row 0 to column 0 iff
+            // `w00 >= w01`, and the second phase keeps that matching.
+            let use_keep = if w00 >= w01 { keep >= swap } else { keep > swap };
+            assignment.clear();
+            if use_keep {
+                assignment.extend_from_slice(&[0, 1]);
+                // `0.0 + (a + b)` reproduces the general path's
+                // fold-from-zero bitwise (it maps a −0.0 sum to +0.0).
+                0.0 + keep
+            } else {
+                assignment.extend_from_slice(&[1, 0]);
+                0.0 + swap
+            }
+        }
+        _ => hungarian_flat(weights, n, stride, scratch, assignment),
+    }
+}
+
+/// The Jonker–Volgenant style shortest-augmenting-path solver over a
+/// flat row-major matrix — operation-for-operation the historical
+/// `max_assignment` body, with the per-call allocations replaced by
+/// `scratch` buffers.
+///
+/// # Panics
+///
+/// Panics when a read cell is non-finite (same contract as
+/// [`max_assignment`]).
+fn hungarian_flat(
+    weights: &[f64],
+    n: usize,
+    stride: usize,
+    scratch: &mut AssignScratch,
+    assignment: &mut Vec<usize>,
+) -> f64 {
+    for i in 0..n {
         assert!(
-            row.iter().all(|w| w.is_finite()),
+            weights[i * stride..i * stride + n].iter().all(|w| w.is_finite()),
             "weights must be finite"
         );
     }
     // Minimize cost = -weight with the classic 1-indexed potentials
     // formulation (shortest augmenting paths).
     let inf = f64::INFINITY;
-    let mut u = vec![0.0f64; n + 1]; // row potentials
-    let mut v = vec![0.0f64; n + 1]; // col potentials
-    let mut p = vec![0usize; n + 1]; // p[col] = row assigned to col (0 = none)
-    let mut way = vec![0usize; n + 1];
+    scratch.u.clear();
+    scratch.u.resize(n + 1, 0.0); // row potentials
+    scratch.v.clear();
+    scratch.v.resize(n + 1, 0.0); // col potentials
+    scratch.p.clear();
+    scratch.p.resize(n + 1, 0); // p[col] = row assigned to col (0 = none)
+    scratch.way.clear();
+    scratch.way.resize(n + 1, 0);
+    let (u, v, p, way) = (
+        &mut scratch.u,
+        &mut scratch.v,
+        &mut scratch.p,
+        &mut scratch.way,
+    );
 
     for i in 1..=n {
         p[0] = i;
         let mut j0 = 0usize;
-        let mut minv = vec![inf; n + 1];
-        let mut used = vec![false; n + 1];
+        scratch.minv.clear();
+        scratch.minv.resize(n + 1, inf);
+        scratch.used.clear();
+        scratch.used.resize(n + 1, false);
+        let (minv, used) = (&mut scratch.minv, &mut scratch.used);
         loop {
             used[j0] = true;
             let i0 = p[j0];
@@ -49,7 +182,7 @@ pub fn max_assignment(weights: &[Vec<f64>]) -> (Vec<usize>, f64) {
                 if used[j] {
                     continue;
                 }
-                let cost = -weights[i0 - 1][j - 1];
+                let cost = -weights[(i0 - 1) * stride + (j - 1)];
                 let cur = cost - u[i0] - v[j];
                 if cur < minv[j] {
                     minv[j] = cur;
@@ -83,15 +216,16 @@ pub fn max_assignment(weights: &[Vec<f64>]) -> (Vec<usize>, f64) {
         }
     }
 
-    let mut assignment = vec![usize::MAX; n];
+    assignment.clear();
+    assignment.resize(n, usize::MAX);
     let mut total = 0.0;
     for j in 1..=n {
         if p[j] != 0 {
             assignment[p[j] - 1] = j - 1;
-            total += weights[p[j] - 1][j - 1];
+            total += weights[(p[j] - 1) * stride + (j - 1)];
         }
     }
-    (assignment, total)
+    total
 }
 
 #[cfg(test)]
@@ -182,5 +316,84 @@ mod tests {
     #[should_panic(expected = "square")]
     fn rejects_ragged_matrix() {
         max_assignment(&[vec![1.0, 2.0], vec![3.0]]);
+    }
+
+    /// Exhaustive 2×2 grid over a small value set: the closed form must
+    /// reproduce the general solver's pairing *and* summed total
+    /// bitwise, including every exact `keep == swap` tie.
+    #[test]
+    fn closed_form_two_by_two_matches_reference_on_ties() {
+        let vals = [0.0, 0.25, 0.5, 0.75, 1.0];
+        let mut scratch = AssignScratch::new();
+        let mut assign = Vec::new();
+        let mut ties = 0;
+        for w00 in vals {
+            for w01 in vals {
+                for w10 in vals {
+                    for w11 in vals {
+                        let nested = vec![vec![w00, w01], vec![w10, w11]];
+                        let (ref_a, ref_t) = max_assignment(&nested);
+                        let flat = [w00, w01, w10, w11];
+                        let t = max_assignment_flat(&flat, 2, 2, &mut scratch, &mut assign);
+                        assert_eq!(assign, ref_a, "pairing for {flat:?}");
+                        assert_eq!(t.to_bits(), ref_t.to_bits(), "total for {flat:?}");
+                        if w00 + w11 == w10 + w01 {
+                            ties += 1;
+                        }
+                    }
+                }
+            }
+        }
+        assert!(ties > 50, "the grid must actually exercise ties ({ties})");
+    }
+
+    /// Random matrices (including a padded stride) through the flat
+    /// entry point match the nested reference bitwise at every size.
+    #[test]
+    fn flat_variant_matches_nested_reference() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(23);
+        let mut scratch = AssignScratch::new();
+        let mut assign = Vec::new();
+        for n in 1..=6 {
+            for pad in [0usize, 3] {
+                let stride = n + pad;
+                for _ in 0..20 {
+                    let nested: Vec<Vec<f64>> = (0..n)
+                        .map(|_| (0..n).map(|_| rng.gen_range(0.0..1.0)).collect())
+                        .collect();
+                    let mut flat = vec![f64::NAN; n * stride];
+                    for (i, row) in nested.iter().enumerate() {
+                        flat[i * stride..i * stride + n].copy_from_slice(row);
+                    }
+                    let (ref_a, ref_t) = max_assignment(&nested);
+                    let t = max_assignment_flat(&flat, n, stride, &mut scratch, &mut assign);
+                    assert_eq!(assign, ref_a, "n={n} stride={stride}");
+                    assert_eq!(t.to_bits(), ref_t.to_bits(), "n={n} stride={stride}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn flat_variant_handles_trivial_sizes() {
+        let mut scratch = AssignScratch::new();
+        let mut assign = vec![7usize; 3];
+        assert_eq!(max_assignment_flat(&[], 0, 0, &mut scratch, &mut assign), 0.0);
+        assert!(assign.is_empty());
+        assert_eq!(
+            max_assignment_flat(&[0.4], 1, 1, &mut scratch, &mut assign),
+            0.4
+        );
+        assert_eq!(assign, vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "stride")]
+    fn flat_variant_rejects_short_stride() {
+        let mut scratch = AssignScratch::new();
+        let mut assign = Vec::new();
+        max_assignment_flat(&[1.0, 2.0, 3.0, 4.0], 2, 1, &mut scratch, &mut assign);
     }
 }

@@ -108,6 +108,9 @@ pub struct LabelContext<'a> {
     /// `frontier[t]`: term `t` is a border term or an ancestor of one —
     /// a label that cannot usefully generalize further.
     pub frontier: &'a [bool],
+    /// Precomputed dense ST/SV kernels for the SO hot path. `None`
+    /// routes everything through the memoized oracle (`sim`).
+    pub dense: Option<&'a go_ontology::DenseSimPlanes>,
 }
 
 impl LabelContext<'_> {
@@ -277,12 +280,19 @@ pub fn cluster_occurrences_sym_supervised(
     if n == 0 {
         return Ok(Vec::new());
     }
-    let scorer = OccurrenceScorer::from_orbits(
+    let mut scorer = OccurrenceScorer::from_orbits(
         symmetry.orbits.clone(),
         symmetry.size,
         ctx.sim,
         ctx.terms_by_protein,
     );
+    if let Some(planes) = ctx.dense {
+        scorer = scorer.with_dense(planes);
+        scorer.precompute_sv_plane(occurrences, run);
+        if run.should_stop() {
+            return Ok(Vec::new());
+        }
+    }
     let aligner = Aligner::from_symmetry(symmetry);
 
     // Pairwise occurrence similarities (SO, Eq. 3).
@@ -437,7 +447,7 @@ pub fn cluster_occurrences_sym_supervised(
 /// count. Every scored cell costs one work tick; a tripped context
 /// leaves unvisited rows zeroed (the caller discards the partial
 /// matrix), and a panicking worker surfaces as `Err`.
-fn so_matrix(
+pub fn so_matrix(
     scorer: &OccurrenceScorer<'_>,
     occurrences: &[Occurrence],
     threads: usize,
@@ -455,6 +465,7 @@ fn so_matrix(
     }: PoolOutcome<Vec<(usize, Vec<f64>)>> =
         run_supervised(chunks.len().max(1), "core.so_matrix", run, || {
             let mut part: Vec<(usize, Vec<f64>)> = Vec::new();
+            let mut scratch = crate::occ_similarity::SoScratch::new();
             while let Some(c) = queue.pull() {
                 for &i in &chunks[c] {
                     if run.should_stop() {
@@ -462,7 +473,7 @@ fn so_matrix(
                     }
                     faultpoint!(run, "core.so_row");
                     let row: Vec<f64> = (i + 1..n)
-                        .map(|j| scorer.so(&occurrences[i], &occurrences[j]))
+                        .map(|j| scorer.so_scratch(&occurrences[i], &occurrences[j], &mut scratch))
                         .collect();
                     run.tick((n - i - 1) as u64);
                     part.push((i, row));
@@ -694,6 +705,7 @@ mod tests {
             informative: &informative,
             terms_by_protein: &terms_by_protein,
             frontier: &frontier,
+            dense: None,
         };
         let config = ClusteringConfig {
             sigma,
@@ -854,6 +866,7 @@ mod tests {
                 informative: &informative,
                 terms_by_protein: &terms_by_protein,
                 frontier: &frontier,
+                dense: None,
             };
             let config = ClusteringConfig {
                 sigma: 2,

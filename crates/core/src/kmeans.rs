@@ -192,6 +192,7 @@ mod tests {
             informative: &informative,
             terms_by_protein: &terms_by_protein,
             frontier: &frontier,
+            dense: None,
         };
         let pattern = Graph::from_edges(2, &[(0, 1)]);
         // 6 edge occurrences on f1 proteins, 6 on f2 proteins.
@@ -245,6 +246,7 @@ mod tests {
             informative: &informative,
             terms_by_protein: &terms_by_protein,
             frontier: &frontier,
+            dense: None,
         };
         let pattern = Graph::from_edges(2, &[(0, 1)]);
         let occs = vec![Occurrence::new(vec![VertexId(0), VertexId(1)])];

@@ -7,12 +7,28 @@ use crate::clustering::{
 };
 use crate::labeled::LabeledMotif;
 use go_ontology::{
-    Annotations, InformativeClasses, InformativeConfig, Namespace, Ontology, ProteinId, TermId,
-    TermSimilarity, TermWeights,
+    Annotations, DenseSimPlanes, InformativeClasses, InformativeConfig, KernelStats, Namespace,
+    Ontology, ProteinId, TermId, TermSimilarity, TermWeights,
 };
 use motif_finder::{Motif, Occurrence};
 use par_util::{faultpoint, run_supervised, Interrupted, RunContext, WorkQueue, WorkerPanic};
 use parking_lot::Mutex;
+
+/// Which similarity implementation drives the labeling hot path.
+///
+/// Both produce byte-identical output (the dense kernels replay the
+/// oracle's floating-point operations in the same order); the choice
+/// only trades plane-build time and memory against per-pair hashing.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum SimilarityKernel {
+    /// Precompute dense ST/SV planes once per namespace and read them
+    /// with flat index arithmetic (default).
+    #[default]
+    Dense,
+    /// Lock-and-hash memoization on first use, the original
+    /// [`TermSimilarity`] path. Kept as the reference oracle.
+    Memoized,
+}
 
 /// LaMoFinder configuration.
 #[derive(Clone, Debug)]
@@ -33,6 +49,9 @@ pub struct LaMoFinderConfig {
     /// rows inside the clustering instead. Output is byte-identical for
     /// any thread count.
     pub threads: usize,
+    /// Similarity implementation for the SO hot path (default: dense
+    /// precomputed planes). Output is identical either way.
+    pub kernel: SimilarityKernel,
 }
 
 impl Default for LaMoFinderConfig {
@@ -43,6 +62,7 @@ impl Default for LaMoFinderConfig {
             clustering: ClusteringConfig::default(),
             max_occurrences: 200,
             threads: 0,
+            kernel: SimilarityKernel::default(),
         }
     }
 }
@@ -75,6 +95,9 @@ pub struct LaMoFinder<'a> {
     informative: InformativeClasses,
     frontier: Vec<bool>,
     terms_by_protein: Vec<Vec<TermId>>,
+    /// Kernel diagnostics of the most recent labeling run (plane
+    /// dimensions and bytes, build ticks, oracle-fallback counts).
+    last_kernel_stats: Mutex<KernelStats>,
 }
 
 impl<'a> LaMoFinder<'a> {
@@ -105,12 +128,49 @@ impl<'a> LaMoFinder<'a> {
             informative,
             frontier,
             terms_by_protein,
+            last_kernel_stats: Mutex::new(KernelStats::default()),
         }
     }
 
     /// The active configuration.
     pub fn config(&self) -> &LaMoFinderConfig {
         &self.config
+    }
+
+    /// Kernel diagnostics of the most recent labeling run: dense-plane
+    /// dimensions, bytes and build ticks plus oracle-fallback and memo
+    /// counts. Zeroed until a labeling entry point has run.
+    pub fn kernel_stats(&self) -> KernelStats {
+        *self.last_kernel_stats.lock()
+    }
+
+    /// Build the dense ST/SV kernels when the config selects them.
+    /// `Ok(None)` means the run context tripped mid-build (or the config
+    /// selects the memoized oracle, where `None` is the non-cancelled
+    /// answer — callers distinguish via `run.should_stop()`).
+    fn build_dense(
+        &self,
+        run: &RunContext,
+    ) -> Result<Option<DenseSimPlanes>, WorkerPanic> {
+        if self.config.kernel != SimilarityKernel::Dense {
+            return Ok(None);
+        }
+        DenseSimPlanes::build(
+            self.ontology,
+            &self.weights,
+            &self.terms_by_protein,
+            resolve_threads(self.config.threads),
+            run,
+        )
+    }
+
+    /// Fold this run's kernel diagnostics into `last_kernel_stats`.
+    fn record_kernel_stats(&self, dense: Option<&DenseSimPlanes>, sim: &TermSimilarity<'_>) {
+        let mut stats = sim.kernel_stats();
+        if let Some(planes) = dense {
+            stats = stats.merged(&planes.stats());
+        }
+        *self.last_kernel_stats.lock() = stats;
     }
 
     /// The derived term weights.
@@ -121,6 +181,11 @@ impl<'a> LaMoFinder<'a> {
     /// The derived informative / border classification.
     pub fn informative(&self) -> &InformativeClasses {
         &self.informative
+    }
+
+    /// The namespace-filtered annotation lists, indexed by protein.
+    pub fn terms_by_protein(&self) -> &[Vec<TermId>] {
+        &self.terms_by_protein
     }
 
     /// The annotation table the finder labels against.
@@ -208,12 +273,26 @@ impl<'a> LaMoFinder<'a> {
         run: &RunContext,
     ) -> Result<Vec<LabeledMotif>, Interrupted<LabelCheckpoint>> {
         let sim = TermSimilarity::new(self.ontology, &self.weights);
+        // The dense planes are rebuilt on every (re)entry — they are a
+        // pure function of the finder, so resuming from a checkpoint
+        // reproduces them exactly. A context that trips mid-build
+        // surfaces as a cancellation carrying the incoming checkpoint.
+        let dense = match self.build_dense(run) {
+            Ok(planes) => planes,
+            Err(panic) => {
+                return Err(Interrupted::WorkerPanicked { panic, checkpoint });
+            }
+        };
+        if self.config.kernel == SimilarityKernel::Dense && dense.is_none() {
+            return Err(Interrupted::Cancelled { checkpoint });
+        }
         let ctx = LabelContext {
             ontology: self.ontology,
             sim: &sim,
             informative: &self.informative,
             terms_by_protein: &self.terms_by_protein,
             frontier: &self.frontier,
+            dense: dense.as_ref(),
         };
         // The plan is derived from the *full* motif count, so a resumed
         // run splits the thread budget exactly as the original did.
@@ -262,6 +341,7 @@ impl<'a> LaMoFinder<'a> {
         done.extend(completed.into_inner());
         done.sort_by_key(|&(mi, _)| mi);
         let checkpoint = LabelCheckpoint { done };
+        self.record_kernel_stats(dense.as_ref(), &sim);
         if let Some(panic) = nested.into_inner().or(outcome.panic) {
             return Err(Interrupted::WorkerPanicked { panic, checkpoint });
         }
@@ -285,17 +365,25 @@ impl<'a> LaMoFinder<'a> {
         motifs: &[motif_finder::DirectedMotif],
     ) -> Vec<crate::labeled::LabeledDirectedMotif> {
         let sim = TermSimilarity::new(self.ontology, &self.weights);
+        // Uninterruptible entry point: build under a passive context
+        // (never cancelled, so `Ok(None)` only means "memoized config").
+        let dense = self
+            .build_dense(&RunContext::unbounded())
+            .expect("a passive context without injected faults never interrupts the plane build");
         let ctx = LabelContext {
             ontology: self.ontology,
             sim: &sim,
             informative: &self.informative,
             terms_by_protein: &self.terms_by_protein,
             frontier: &self.frontier,
+            dense: dense.as_ref(),
         };
         let (motif_threads, clustering) = self.thread_plan(motifs.len());
-        Self::label_parallel(motif_threads, motifs.len(), |mi| {
+        let out = Self::label_parallel(motif_threads, motifs.len(), |mi| {
             self.label_directed_one(&motifs[mi], &ctx, &clustering)
-        })
+        });
+        self.record_kernel_stats(dense.as_ref(), &sim);
+        out
     }
 
     fn label_one(

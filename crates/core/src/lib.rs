@@ -34,15 +34,16 @@ pub mod lamofinder;
 pub mod naive;
 pub mod occ_similarity;
 
+pub use assignment::{max_assignment, max_assignment_flat, AssignScratch};
 pub use clustering::{
     cluster_occurrences, cluster_occurrences_supervised, cluster_occurrences_sym,
-    cluster_occurrences_sym_supervised, compute_frontier, ClusteringConfig, LabelContext,
-    LabeledCluster, Linkage, MotifSymmetry,
+    cluster_occurrences_sym_supervised, compute_frontier, so_matrix, ClusteringConfig,
+    LabelContext, LabeledCluster, Linkage, MotifSymmetry,
 };
 pub use kmeans::kmedoids_label;
 pub use dictionary::{parse_dictionary, write_dictionary, DictionaryError};
 pub use labeled::{LabeledDirectedMotif, LabeledMotif};
 pub use labeling::{LabelingScheme, VertexLabel};
-pub use lamofinder::{LaMoFinder, LaMoFinderConfig, LabelCheckpoint};
+pub use lamofinder::{LaMoFinder, LaMoFinderConfig, LabelCheckpoint, SimilarityKernel};
 pub use naive::{naive_label, NaiveOutcome};
-pub use occ_similarity::OccurrenceScorer;
+pub use occ_similarity::{OccurrenceScorer, SoScratch};

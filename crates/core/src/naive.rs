@@ -195,6 +195,7 @@ mod tests {
             informative: &informative,
             terms_by_protein: &terms_by_protein,
             frontier: &frontier,
+            dense: None,
         };
         run(&ctx)
     }

@@ -13,16 +13,74 @@
 //! exactly in `O(t³)` per orbit (the paper enumerates pairings, which is
 //! `O(t!)` — see DESIGN.md §5 on the PIGALE substitution).
 
-use crate::assignment::max_assignment;
-use go_ontology::{ShardedCache, TermId, TermSimilarity};
+use crate::assignment::{max_assignment_flat, AssignScratch};
+use go_ontology::{DenseSimPlanes, KernelStats, ShardedCache, TermId, TermSimilarity};
 use motif_finder::Occurrence;
+use par_util::RunContext;
 use ppi_graph::{automorphism_orbits, Graph};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Caller-owned scratch for [`OccurrenceScorer::so_scratch`] /
+/// [`OccurrenceScorer::so_with_pairing_scratch`]: the flat per-orbit
+/// weight buffer and the assignment solver's state. One scratch per
+/// worker replaces the `Vec<Vec<f64>>` the old path allocated for every
+/// orbit of every occurrence pair.
+#[derive(Default)]
+pub struct SoScratch {
+    w: Vec<f64>,
+    assign: Vec<usize>,
+    hungarian: AssignScratch,
+}
+
+impl SoScratch {
+    /// Empty scratch; buffers grow to the largest orbit seen and stay.
+    pub fn new() -> Self {
+        SoScratch::default()
+    }
+}
+
+/// Per-motif dense SV plane: the distinct proteins touched by the
+/// motif's occurrences get occurrence-local ids, and SV for every
+/// protein pair is computed exactly once from the namespace ST plane —
+/// the hot path then reads a flat triangle with no locks, no hashing
+/// and no `(u32, u32)` keys.
+struct SvPlane {
+    /// Network vertex id → occurrence-local id (`u32::MAX` = the motif
+    /// never touches this protein).
+    local_of: Vec<u32>,
+    /// Lower triangle incl. diagonal over local ids.
+    tri: Vec<f64>,
+    /// Distinct proteins covered.
+    proteins: usize,
+}
+
+impl SvPlane {
+    /// SV between network vertices `a` and `b`, if both are covered.
+    #[inline]
+    fn get(&self, a: u32, b: u32) -> Option<f64> {
+        let la = self.local_of[a as usize];
+        let lb = self.local_of[b as usize];
+        if la == u32::MAX || lb == u32::MAX {
+            return None;
+        }
+        let (i, j) = if la >= lb {
+            (la as usize, lb as usize)
+        } else {
+            (lb as usize, la as usize)
+        };
+        Some(self.tri[i * (i + 1) / 2 + j])
+    }
+}
 
 /// Precomputed context for scoring occurrence pairs of one motif.
 ///
 /// `Sync`: the SO matrix rows are computed by parallel workers sharing
 /// one scorer, so the SV memo is a [`ShardedCache`] rather than a
-/// `RefCell`.
+/// `RefCell`. With dense planes attached
+/// ([`OccurrenceScorer::with_dense`] +
+/// [`OccurrenceScorer::precompute_sv_plane`]) the hot path reads the
+/// per-motif SV triangle instead and the memo only serves proteins the
+/// plane does not cover.
 pub struct OccurrenceScorer<'a> {
     sim: &'a TermSimilarity<'a>,
     /// Namespace-filtered annotation lists, indexed by network vertex id.
@@ -34,6 +92,13 @@ pub struct OccurrenceScorer<'a> {
     /// (clique subsets, bipartite subsets), so the same protein pairs
     /// recur across thousands of occurrence pairs.
     sv_cache: ShardedCache<(u32, u32), f64>,
+    /// Namespace-wide dense kernels (DESIGN.md §14), when enabled.
+    dense: Option<&'a DenseSimPlanes>,
+    /// Motif-local SV plane over the occurrence set.
+    sv_plane: Option<SvPlane>,
+    /// SV queries answered by the memoized oracle (all of them in a
+    /// memoized run; plane misses in a dense run).
+    oracle_calls: AtomicU64,
 }
 
 impl<'a> OccurrenceScorer<'a> {
@@ -68,7 +133,67 @@ impl<'a> OccurrenceScorer<'a> {
             orbits,
             size,
             sv_cache: ShardedCache::new(),
+            dense: None,
+            sv_plane: None,
+            oracle_calls: AtomicU64::new(0),
         }
+    }
+
+    /// Attach the namespace-wide dense kernels (builder style). Call
+    /// [`OccurrenceScorer::precompute_sv_plane`] afterwards to build the
+    /// motif-local SV plane; until then queries still go to the oracle.
+    pub fn with_dense(mut self, planes: &'a DenseSimPlanes) -> Self {
+        self.dense = Some(planes);
+        self
+    }
+
+    /// Build the motif-local SV plane over the distinct proteins touched
+    /// by `occurrences`, reading the dense ST plane (a no-op without
+    /// [`OccurrenceScorer::with_dense`]). Each protein pair costs one
+    /// work tick; when `run` trips mid-build the partial plane is
+    /// discarded (the caller abandons the motif anyway) and queries
+    /// would fall back to the oracle.
+    ///
+    /// Cell values are byte-identical to the memoized path: both sides
+    /// canonicalize a pair to (min protein, max protein) before the SV
+    /// product, so orientation can never change the FP factor order.
+    pub fn precompute_sv_plane(&mut self, occurrences: &[Occurrence], run: &RunContext) {
+        let Some(planes) = self.dense else {
+            return;
+        };
+        let mut touched = vec![false; self.terms_by_protein.len()];
+        for occ in occurrences {
+            for v in &occ.vertices {
+                touched[v.index()] = true;
+            }
+        }
+        let mut local_of = vec![u32::MAX; self.terms_by_protein.len()];
+        let mut vertex_ids: Vec<u32> = Vec::new();
+        for (p, &hit) in touched.iter().enumerate() {
+            if hit {
+                local_of[p] = vertex_ids.len() as u32;
+                vertex_ids.push(p as u32);
+            }
+        }
+        let m = vertex_ids.len();
+        let mut tri = Vec::with_capacity(m * (m + 1) / 2);
+        for i in 0..m {
+            if run.should_stop() {
+                return;
+            }
+            for j in 0..=i {
+                // `vertex_ids` ascends, so (j, i) is already the
+                // canonical (min, max) protein orientation.
+                tri.push(planes.sv_proteins(vertex_ids[j] as usize, vertex_ids[i] as usize));
+            }
+            run.tick((i + 1) as u64);
+        }
+        planes.record_sv_plane(m, tri.len());
+        self.sv_plane = Some(SvPlane {
+            local_of,
+            tri,
+            proteins: m,
+        });
     }
 
     /// The symmetric vertex sets used for pairing (positions).
@@ -76,22 +201,58 @@ impl<'a> OccurrenceScorer<'a> {
         &self.orbits
     }
 
-    /// Annotation terms of the protein at `occ` position `pos`.
-    fn terms_at(&self, occ: &Occurrence, pos: usize) -> &[TermId] {
-        &self.terms_by_protein[occ.vertices[pos].index()]
-    }
-
     /// Vertex similarity `SV` between position `pa` of `a` and `pb` of
-    /// `b`, memoized per protein pair.
+    /// `b`: a flat plane read when the motif SV plane covers the pair,
+    /// else memoized per protein pair via the oracle. Both paths
+    /// canonicalize to (min protein, max protein) before computing, so
+    /// the value cannot depend on argument orientation or on which
+    /// worker computes it first.
     pub fn sv(&self, a: &Occurrence, pa: usize, b: &Occurrence, pb: usize) -> f64 {
         let (va, vb) = (a.vertices[pa].0, b.vertices[pb].0);
-        let key = if va <= vb { (va, vb) } else { (vb, va) };
-        self.sv_cache
-            .get_or_insert_with(key, || self.sim.sv(self.terms_at(a, pa), self.terms_at(b, pb)))
+        let (lo, hi) = if va <= vb { (va, vb) } else { (vb, va) };
+        if let Some(plane) = &self.sv_plane {
+            if let Some(v) = plane.get(lo, hi) {
+                return v;
+            }
+        }
+        match self.dense {
+            Some(planes) => planes.record_oracle_fallback(),
+            None => {
+                self.oracle_calls.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        self.sv_cache.get_or_insert_with((lo, hi), || {
+            self.sim
+                .sv(&self.terms_by_protein[lo as usize], &self.terms_by_protein[hi as usize])
+        })
+    }
+
+    /// Best pairing weight of one orbit: `SV` for a singleton, the
+    /// maximum-weight assignment over the flat `t × t` similarity block
+    /// otherwise (closed form for `t == 2`).
+    fn orbit_best(&self, a: &Occurrence, b: &Occurrence, orbit: &[usize], s: &mut SoScratch) -> f64 {
+        if orbit.len() == 1 {
+            return self.sv(a, orbit[0], b, orbit[0]);
+        }
+        let t = orbit.len();
+        s.w.clear();
+        for &x in orbit {
+            for &y in orbit {
+                s.w.push(self.sv(a, x, b, y));
+            }
+        }
+        max_assignment_flat(&s.w, t, t, &mut s.hungarian, &mut s.assign)
     }
 
     /// Occurrence similarity `SO(a, b)` per Equation 3.
     pub fn so(&self, a: &Occurrence, b: &Occurrence) -> f64 {
+        let mut scratch = SoScratch::new();
+        self.so_scratch(a, b, &mut scratch)
+    }
+
+    /// [`OccurrenceScorer::so`] with caller-owned scratch — the form the
+    /// SO-matrix workers use so no per-pair buffers are allocated.
+    pub fn so_scratch(&self, a: &Occurrence, b: &Occurrence, scratch: &mut SoScratch) -> f64 {
         debug_assert_eq!(a.len(), self.size);
         debug_assert_eq!(b.len(), self.size);
         if self.size == 0 {
@@ -99,16 +260,7 @@ impl<'a> OccurrenceScorer<'a> {
         }
         let mut total = 0.0;
         for orbit in &self.orbits {
-            if orbit.len() == 1 {
-                total += self.sv(a, orbit[0], b, orbit[0]);
-            } else {
-                let w: Vec<Vec<f64>> = orbit
-                    .iter()
-                    .map(|&x| orbit.iter().map(|&y| self.sv(a, x, b, y)).collect())
-                    .collect();
-                let (_, best) = max_assignment(&w);
-                total += best;
-            }
+            total += self.orbit_best(a, b, orbit, scratch);
         }
         total / self.size as f64
     }
@@ -117,27 +269,50 @@ impl<'a> OccurrenceScorer<'a> {
     /// position pairing `pairing[pos_in_a] = pos_in_b` (identity outside
     /// symmetric sets).
     pub fn so_with_pairing(&self, a: &Occurrence, b: &Occurrence) -> (f64, Vec<usize>) {
+        let mut scratch = SoScratch::new();
+        self.so_with_pairing_scratch(a, b, &mut scratch)
+    }
+
+    /// [`OccurrenceScorer::so_with_pairing`] with caller-owned scratch.
+    pub fn so_with_pairing_scratch(
+        &self,
+        a: &Occurrence,
+        b: &Occurrence,
+        scratch: &mut SoScratch,
+    ) -> (f64, Vec<usize>) {
         let mut pairing: Vec<usize> = (0..self.size).collect();
         if self.size == 0 {
             return (0.0, pairing);
         }
         let mut total = 0.0;
         for orbit in &self.orbits {
-            if orbit.len() == 1 {
-                total += self.sv(a, orbit[0], b, orbit[0]);
-            } else {
-                let w: Vec<Vec<f64>> = orbit
-                    .iter()
-                    .map(|&x| orbit.iter().map(|&y| self.sv(a, x, b, y)).collect())
-                    .collect();
-                let (assign, best) = max_assignment(&w);
-                for (xi, &yi) in assign.iter().enumerate() {
+            let best = self.orbit_best(a, b, orbit, scratch);
+            if orbit.len() > 1 {
+                for (xi, &yi) in scratch.assign.iter().enumerate() {
                     pairing[orbit[xi]] = orbit[yi];
                 }
-                total += best;
             }
+            total += best;
         }
         (total / self.size as f64, pairing)
+    }
+
+    /// Diagnostics for this scorer: its motif SV plane (if built) and
+    /// the oracle-call counter. When dense kernels are attached the same
+    /// numbers are also accumulated into the shared
+    /// [`DenseSimPlanes::stats`].
+    pub fn kernel_stats(&self) -> KernelStats {
+        let mut stats = KernelStats {
+            sv_oracle_calls: self.oracle_calls.load(Ordering::Relaxed),
+            ..KernelStats::default()
+        };
+        if let Some(plane) = &self.sv_plane {
+            stats.sv_planes = 1;
+            stats.sv_plane_proteins = plane.proteins;
+            stats.sv_plane_pairs = plane.tri.len();
+            stats.sv_plane_bytes = plane.tri.len() * std::mem::size_of::<f64>();
+        }
+        stats
     }
 }
 

@@ -94,6 +94,7 @@ proptest! {
             informative: &informative,
             terms_by_protein: &terms_by_protein,
             frontier: &frontier,
+            dense: None,
         };
         let pattern = Graph::from_edges(2, &[(0, 1)]);
         let config = ClusteringConfig {

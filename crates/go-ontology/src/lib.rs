@@ -10,10 +10,12 @@
 //! * informative functional classes and the border informative FC
 //!   ([`informative`]);
 //! * Lin term similarity `ST` (Eq. 1) and term-set similarity `SV`
-//!   (Eq. 2) ([`similarity`]);
+//!   (Eq. 2) ([`similarity`]), plus the precomputed dense ST/SV kernels
+//!   the labeling hot path reads ([`dense`]);
 //! * an OBO-subset parser/writer ([`obo`]).
 
 pub mod annotations;
+pub mod dense;
 pub mod informative;
 pub mod obo;
 pub mod ontology;
@@ -28,6 +30,7 @@ pub mod term;
 pub mod weights;
 
 pub use annotations::{AnnotationParseError, Annotations, ProteinId};
+pub use dense::{AncestorBitsets, DenseSimPlanes, KernelStats, StPlane, TermInterner};
 pub use informative::{BorderRule, InformativeClasses, InformativeConfig};
 pub use obo::{parse_obo, write_obo, OboError};
 pub use sharded::ShardedCache;

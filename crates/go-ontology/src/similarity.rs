@@ -20,10 +20,59 @@
 //!
 //! so two proteins are similar as soon as *one* good term match exists.
 
+use crate::dense::KernelStats;
 use crate::ontology::Ontology;
 use crate::sharded::ShardedCache;
 use crate::term::TermId;
 use crate::weights::TermWeights;
+
+/// The `ST` formula body shared by the memoized oracle and the dense
+/// plane build ([`crate::dense`]): given the two terms' weights and a
+/// lazily computed lowest common parent, evaluate Eq. 1 with one fixed
+/// FP operation order. Keeping both callers on this single function is
+/// what makes the dense kernels byte-identical to the oracle.
+///
+/// `lcp` is only invoked when both weights are positive (the oracle
+/// short-circuits the zero-weight cases before its LCP lookup, and the
+/// kernels must match).
+pub(crate) fn st_value(
+    weights: &TermWeights,
+    a: TermId,
+    b: TermId,
+    lcp: impl FnOnce() -> Option<TermId>,
+) -> f64 {
+    let (wa, wb) = (weights.weight(a), weights.weight(b));
+    if wa <= 0.0 || wb <= 0.0 {
+        return 0.0;
+    }
+    let Some(tab) = lcp() else {
+        return 0.0;
+    };
+    let wab = weights.weight(tab);
+    let num = 2.0 * wab.ln();
+    let den = wa.ln() + wb.ln();
+    if den == 0.0 {
+        // Both terms are roots (weight 1): distinct roots are maximally
+        // dissimilar.
+        return 0.0;
+    }
+    (num / den).clamp(0.0, 1.0)
+}
+
+/// Whether two ascending-sorted slices share an element (merge walk).
+/// Used by the `SV` fast path: a shared term means `ST = 1`, hence
+/// `SV = 1` with no cross product.
+pub(crate) fn sorted_intersect<T: Ord>(a: &[T], b: &[T]) -> bool {
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => return true,
+        }
+    }
+    false
+}
 
 /// Pairwise GO term similarity with memoization.
 ///
@@ -103,22 +152,7 @@ impl<'a> TermSimilarity<'a> {
     }
 
     fn st_uncached(&self, a: TermId, b: TermId) -> f64 {
-        let (wa, wb) = (self.weights.weight(a), self.weights.weight(b));
-        if wa <= 0.0 || wb <= 0.0 {
-            return 0.0;
-        }
-        let Some(tab) = self.lowest_common_parent(a, b) else {
-            return 0.0;
-        };
-        let wab = self.weights.weight(tab);
-        let num = 2.0 * wab.ln();
-        let den = wa.ln() + wb.ln();
-        if den == 0.0 {
-            // Both terms are roots (weight 1): distinct roots are maximally
-            // dissimilar.
-            return 0.0;
-        }
-        (num / den).clamp(0.0, 1.0)
+        st_value(self.weights, a, b, || self.lowest_common_parent(a, b))
     }
 
     /// Vertex similarity `SV` per Equation 2 over two annotation sets.
@@ -127,9 +161,19 @@ impl<'a> TermSimilarity<'a> {
     /// vertices are considered similar if they share at least one
     /// biological feature"). Returns 0 when either set is empty (an
     /// unannotated protein offers no evidence).
+    ///
+    /// Fast path: annotation lists are sorted (see
+    /// `Annotations::terms_of`), so a merge intersection finds any
+    /// shared term first — `ST(t, t) = 1` forces `SV = 1` without the
+    /// cross product. The full product returns exactly 1 in that case
+    /// too (the `1 − ST` factor is an exact zero), so the fast path is
+    /// value-identical; unsorted inputs merely skip it.
     pub fn sv(&self, terms_a: &[TermId], terms_b: &[TermId]) -> f64 {
         if terms_a.is_empty() || terms_b.is_empty() {
             return 0.0;
+        }
+        if sorted_intersect(terms_a, terms_b) {
+            return 1.0;
         }
         let mut product = 1.0f64;
         for &ta in terms_a {
@@ -143,9 +187,15 @@ impl<'a> TermSimilarity<'a> {
         1.0 - product
     }
 
-    /// Number of memoized `ST` term pairs (diagnostics).
-    pub fn cached_pairs(&self) -> usize {
-        self.st_cache.len()
+    /// Diagnostics: how many term pairs the memo tables hold. The plane
+    /// fields stay zero — merge with [`crate::dense::DenseSimPlanes::stats`]
+    /// for the full kernel picture of a labeling run.
+    pub fn kernel_stats(&self) -> KernelStats {
+        KernelStats {
+            st_memo_pairs: self.st_cache.len(),
+            lcp_memo_pairs: self.lcp_cache.len(),
+            ..KernelStats::default()
+        }
     }
 }
 
@@ -246,7 +296,33 @@ mod tests {
         let v1 = s.st(TermId(3), TermId(4));
         let v2 = s.st(TermId(4), TermId(3));
         assert_eq!(v1, v2);
-        assert_eq!(s.cached_pairs(), 1);
+        let stats = s.kernel_stats();
+        assert_eq!(stats.st_memo_pairs, 1);
+        assert_eq!(stats.lcp_memo_pairs, 1);
+        assert_eq!(stats.st_plane_terms, 0, "the oracle owns no plane");
+    }
+
+    #[test]
+    fn sorted_intersect_walks_correctly() {
+        assert!(sorted_intersect(&[1, 4, 9], &[2, 4]));
+        assert!(!sorted_intersect(&[1, 3], &[2, 4]));
+        assert!(!sorted_intersect::<u32>(&[], &[1]));
+        assert!(!sorted_intersect::<u32>(&[], &[]));
+        assert!(sorted_intersect(&[7], &[7]));
+    }
+
+    #[test]
+    fn sv_fast_path_equals_full_product() {
+        let (o, ann) = fixture();
+        let w = TermWeights::compute(&o, &ann);
+        let s = TermSimilarity::new(&o, &w);
+        // Overlapping sorted lists hit the merge-intersection fast path;
+        // the full product would hit the exact-zero early exit instead —
+        // both return exactly 1.
+        assert_eq!(s.sv(&[TermId(2), TermId(3)], &[TermId(3), TermId(4)]), 1.0);
+        // Disjoint lists fall through to the product.
+        let v = s.sv(&[TermId(3)], &[TermId(2)]);
+        assert!((0.0..1.0).contains(&v));
     }
 
     #[test]

@@ -1,0 +1,141 @@
+//! Property-based byte-identity tests: the dense kernels must reproduce
+//! the memoized [`TermSimilarity`] oracle bit for bit on random DAGs and
+//! random annotation tables — LCP term ids, every ST plane entry, and SV
+//! over arbitrary term lists. Random multi-parent DAGs (each term may
+//! attach to up to two earlier terms) exercise the common-ancestor scan
+//! far beyond the chain fixtures in the unit tests.
+
+use go_ontology::{
+    AncestorBitsets, Annotations, DenseSimPlanes, Namespace, Ontology, OntologyBuilder, ProteinId,
+    Relation, TermId, TermInterner, TermSimilarity, TermWeights,
+};
+use par_util::RunContext;
+use proptest::prelude::*;
+
+/// Random ontology world: a DAG where term `i > 0` gains one or two
+/// parents among earlier terms, plus random protein annotations.
+#[derive(Debug, Clone)]
+struct World {
+    terms: usize,
+    parent_seed: Vec<u32>,
+    second_parent: Vec<bool>,
+    protein_terms: Vec<Vec<u32>>,
+}
+
+fn world_strategy() -> impl Strategy<Value = World> {
+    (
+        4usize..20,
+        proptest::collection::vec(any::<u32>(), 24),
+        proptest::collection::vec(any::<bool>(), 24),
+        proptest::collection::vec(proptest::collection::vec(0u32..20, 0..5), 4..16),
+    )
+        .prop_map(|(terms, parent_seed, second_parent, protein_terms)| World {
+            terms,
+            parent_seed,
+            second_parent,
+            protein_terms,
+        })
+}
+
+fn build(w: &World) -> (Ontology, Annotations) {
+    let mut b = OntologyBuilder::new();
+    for i in 0..w.terms {
+        b.add_term(format!("GO:{i}"), format!("t{i}"), Namespace::BiologicalProcess);
+    }
+    for i in 1..w.terms {
+        let p = (w.parent_seed[i % w.parent_seed.len()] as usize) % i;
+        b.add_edge(TermId(i as u32), TermId(p as u32), Relation::IsA);
+        if w.second_parent[i % w.second_parent.len()] && i > 1 {
+            let q = (w.parent_seed[(i + 7) % w.parent_seed.len()] as usize) % i;
+            if q != p {
+                b.add_edge(TermId(i as u32), TermId(q as u32), Relation::PartOf);
+            }
+        }
+    }
+    let ontology = b.build().unwrap();
+    let mut ann = Annotations::new(w.protein_terms.len(), w.terms);
+    for (p, terms) in w.protein_terms.iter().enumerate() {
+        for &t in terms {
+            ann.annotate(ProteinId(p as u32), TermId(t % w.terms as u32));
+        }
+    }
+    (ontology, ann)
+}
+
+fn terms_by_protein(ann: &Annotations) -> Vec<Vec<TermId>> {
+    (0..ann.protein_count())
+        .map(|p| ann.terms_of(ProteinId(p as u32)).to_vec())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn bitset_lcp_matches_oracle_on_all_pairs(w in world_strategy()) {
+        let (ontology, ann) = build(&w);
+        let weights = TermWeights::compute(&ontology, &ann);
+        let sim = TermSimilarity::new(&ontology, &weights);
+        let bitsets = AncestorBitsets::build(&ontology);
+        for a in 0..w.terms as u32 {
+            for b in 0..w.terms as u32 {
+                let dense = bitsets.lowest_common_parent(&weights, TermId(a), TermId(b));
+                let oracle = sim.lowest_common_parent(TermId(a), TermId(b));
+                prop_assert_eq!(dense, oracle, "LCP({}, {})", a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn st_plane_matches_oracle_bitwise(w in world_strategy()) {
+        let (ontology, ann) = build(&w);
+        let weights = TermWeights::compute(&ontology, &ann);
+        let sim = TermSimilarity::new(&ontology, &weights);
+        let lists = terms_by_protein(&ann);
+        let interner = TermInterner::from_term_lists(ontology.term_count(), &lists);
+        for threads in [1usize, 2, 4] {
+            let planes = DenseSimPlanes::build(
+                &ontology, &weights, &lists, threads, &RunContext::unbounded(),
+            )
+            .expect("no faults injected")
+            .expect("passive context never cancels");
+            for i in 0..interner.len() as u32 {
+                for j in 0..interner.len() as u32 {
+                    let dense = planes.st_plane().get(i, j);
+                    let oracle = sim.st(interner.term(i), interner.term(j));
+                    prop_assert_eq!(
+                        dense.to_bits(),
+                        oracle.to_bits(),
+                        "ST({:?}, {:?}) at {} threads: {} vs {}",
+                        interner.term(i), interner.term(j), threads, dense, oracle
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dense_sv_matches_oracle_bitwise(w in world_strategy()) {
+        let (ontology, ann) = build(&w);
+        let weights = TermWeights::compute(&ontology, &ann);
+        let sim = TermSimilarity::new(&ontology, &weights);
+        let lists = terms_by_protein(&ann);
+        let planes = DenseSimPlanes::build(
+            &ontology, &weights, &lists, 1, &RunContext::unbounded(),
+        )
+        .expect("no faults injected")
+        .expect("passive context never cancels");
+        for p in 0..lists.len() {
+            for q in 0..lists.len() {
+                let dense = planes.sv_proteins(p, q);
+                let oracle = sim.sv(&lists[p], &lists[q]);
+                prop_assert_eq!(
+                    dense.to_bits(),
+                    oracle.to_bits(),
+                    "SV({}, {}): {} vs {}",
+                    p, q, dense, oracle
+                );
+            }
+        }
+    }
+}

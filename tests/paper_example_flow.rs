@@ -84,6 +84,7 @@ fn figure4_least_general_labels() {
         informative: &s.informative,
         terms_by_protein: &s.terms_by_protein,
         frontier: &s.frontier,
+        dense: None,
     };
     // Cluster only o1 and o2 with σ = 2: one merge, the Figure 4 case.
     let occs = vec![s.ex.occurrence(1).clone(), s.ex.occurrence(2).clone()];
@@ -124,6 +125,7 @@ fn full_clustering_emits_conforming_schemes() {
         informative: &s.informative,
         terms_by_protein: &s.terms_by_protein,
         frontier: &s.frontier,
+        dense: None,
     };
     let config = ClusteringConfig {
         sigma: 2,
