@@ -36,7 +36,7 @@ use ppi_graph::canonical::{
 };
 use ppi_graph::isomorphism::find_isomorphism_prepared;
 use ppi_graph::refinement::refine_colors;
-use ppi_graph::{Graph, VertexId};
+use ppi_graph::{AdjBits, Graph, VertexId};
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 
@@ -135,9 +135,28 @@ fn induced_small(network: &Graph, verts: &[VertexId]) -> (Graph, Vec<VertexId>) 
 }
 
 /// Packed adjacency bits of the induced subgraph over `sorted` (already
-/// ascending, at most [`SMALL_CANON_MAX`] vertices) — the induced
-/// subgraph itself is never materialized on the cache-hit fast path.
-fn packed_bits_of(network: &Graph, sorted: &[VertexId]) -> u64 {
+/// ascending, at most [`SMALL_CANON_MAX`] vertices), read off the
+/// bit-packed rows — one shift-and-mask per vertex pair, no binary
+/// search, and the induced subgraph itself is never materialized.
+fn packed_bits_of(bits: &AdjBits, sorted: &[VertexId]) -> u64 {
+    let n = sorted.len();
+    let mut packed = 0u64;
+    for i in 0..n {
+        for j in i + 1..n {
+            if bits.contains(sorted[i].0, sorted[j].0) {
+                packed |= 1 << (i * n + j);
+                packed |= 1 << (j * n + i);
+            }
+        }
+    }
+    packed
+}
+
+/// The historical packed-bits path: `O(k²)` `has_edge` binary searches
+/// against the sorted adjacency lists. Kept as the regression oracle
+/// for [`packed_bits_of`].
+#[cfg(test)]
+fn packed_bits_of_has_edge(network: &Graph, sorted: &[VertexId]) -> u64 {
     let n = sorted.len();
     let mut bits = 0u64;
     for i in 0..n {
@@ -167,15 +186,40 @@ impl CacheHandle<'_> {
     }
 }
 
+/// Packed-row handle: collectors either pack the network themselves or
+/// borrow the rows a discovery run packed once and shared.
+enum BitsHandle<'a> {
+    Owned(Box<AdjBits>),
+    Shared(&'a AdjBits),
+}
+
+impl BitsHandle<'_> {
+    fn get(&self) -> &AdjBits {
+        match self {
+            BitsHandle::Owned(b) => b,
+            BitsHandle::Shared(b) => b,
+        }
+    }
+}
+
 /// Accumulates vertex sets into isomorphism classes.
 pub struct ClassCollector<'a> {
     network: &'a Graph,
+    /// Bit-packed adjacency rows of `network` (owned or shared).
+    bits: BitsHandle<'a>,
     /// Cap on stored occurrences per class (`usize::MAX` = unlimited);
     /// the first occurrence is always stored, frequency keeps counting
     /// past the cap.
     max_stored: usize,
     cache: CacheHandle<'a>,
-    /// Canonical code → class index (k ≤ 8).
+    /// Collector-local packed-id fast path: packed adjacency bits →
+    /// (class index, canonical labeling). The dominant small-k
+    /// candidates repeat a handful of packed ids, so after the first
+    /// sighting of each id classification is one local hash lookup —
+    /// no shared-cache lock, no canonical machinery at all.
+    bits_memo: HashMap<(u8, u64), (usize, u64)>,
+    /// Canonical code → class index (k ≤ 8); consulted only on a
+    /// `bits_memo` miss (a packed id seen for the first time).
     code_buckets: HashMap<(u8, u64), usize>,
     /// Invariant key → class indices (k > 8).
     buckets: HashMap<InvariantKey, Vec<usize>>,
@@ -191,21 +235,56 @@ impl<'a> ClassCollector<'a> {
     /// New collector over `network` with a private canonical-code memo,
     /// storing at most `max_stored` occurrences per class.
     pub fn new(network: &'a Graph, max_stored: usize) -> Self {
-        Self::build(network, max_stored, CacheHandle::Owned(Box::default()))
+        Self::build(
+            network,
+            BitsHandle::Owned(Box::new(AdjBits::new(network))),
+            max_stored,
+            CacheHandle::Owned(Box::default()),
+        )
     }
 
-    /// New collector sharing `cache` — the configuration parallel
-    /// workers use so every worker benefits from every other worker's
-    /// canonical searches.
+    /// New collector sharing `cache` — every worker benefits from every
+    /// other worker's canonical searches. Packs its own adjacency rows;
+    /// workers of a discovery run use [`ClassCollector::with_kernel`]
+    /// to share the rows too.
     pub fn with_cache(network: &'a Graph, max_stored: usize, cache: &'a CanonCodeCache) -> Self {
-        Self::build(network, max_stored, CacheHandle::Shared(cache))
+        Self::build(
+            network,
+            BitsHandle::Owned(Box::new(AdjBits::new(network))),
+            max_stored,
+            CacheHandle::Shared(cache),
+        )
     }
 
-    fn build(network: &'a Graph, max_stored: usize, cache: CacheHandle<'a>) -> Self {
+    /// New collector sharing both the packed adjacency rows and the
+    /// canonical-code memo — the parallel discovery configuration: the
+    /// rows are packed once per run, never per worker.
+    pub fn with_kernel(
+        network: &'a Graph,
+        bits: &'a AdjBits,
+        max_stored: usize,
+        cache: &'a CanonCodeCache,
+    ) -> Self {
+        Self::build(
+            network,
+            BitsHandle::Shared(bits),
+            max_stored,
+            CacheHandle::Shared(cache),
+        )
+    }
+
+    fn build(
+        network: &'a Graph,
+        bits: BitsHandle<'a>,
+        max_stored: usize,
+        cache: CacheHandle<'a>,
+    ) -> Self {
         ClassCollector {
             network,
+            bits,
             max_stored,
             cache,
+            bits_memo: HashMap::new(),
             code_buckets: HashMap::new(),
             buckets: HashMap::new(),
             classes: Vec::new(),
@@ -231,32 +310,47 @@ impl<'a> ClassCollector<'a> {
         }
     }
 
-    /// k ≤ 8: canonical-code bucketing, no per-candidate refinement or
-    /// VF2.
+    /// k ≤ 8: packed-id fast path. The candidate's packed adjacency
+    /// bits (read off the bit-packed rows into a stack buffer — no heap
+    /// allocation) are looked up in the collector-local memo; only a
+    /// first-sighted packed id touches the shared canonical-code cache
+    /// and the canonical machinery. No per-candidate refinement or VF2.
     fn add_small(&mut self, verts: &[VertexId], tag: Tag) -> usize {
-        let mut sorted: Vec<VertexId> = verts.to_vec();
+        let n = verts.len();
+        let mut buf = [VertexId(0); SMALL_CANON_MAX];
+        let sorted = &mut buf[..n];
+        sorted.copy_from_slice(verts);
         sorted.sort_unstable();
-        let n = sorted.len();
-        let bits = packed_bits_of(self.network, &sorted);
-        let (code, lab) = self
-            .cache
-            .get()
-            .get_or_insert_with((n as u8, bits), || {
-                small_canonical_code(&small_graph_from_bits(n, bits))
-            });
-        let idx = match self.code_buckets.entry((n as u8, code)) {
+        let bits = packed_bits_of(self.bits.get(), sorted);
+        let (idx, lab) = match self.bits_memo.entry((n as u8, bits)) {
             Entry::Occupied(e) => *e.get(),
-            Entry::Vacant(e) => {
-                let idx = self.classes.len();
-                e.insert(idx);
-                self.classes.push(TaggedClass {
-                    pattern: small_graph_from_bits(n, code),
-                    first_seen: tag,
-                    frequency: 0,
-                    occurrences: Vec::new(),
-                });
-                self.class_colors.push(Vec::new());
-                idx
+            Entry::Vacant(memo) => {
+                // First sighting of this packed id: resolve it to the
+                // exact canonical code (shared memo — one canonical
+                // search per distinct labeled shape per run) and to its
+                // class bucket, then record the resolution locally.
+                let (code, lab) = self
+                    .cache
+                    .get()
+                    .get_or_insert_with((n as u8, bits), || {
+                        small_canonical_code(&small_graph_from_bits(n, bits))
+                    });
+                let idx = match self.code_buckets.entry((n as u8, code)) {
+                    Entry::Occupied(e) => *e.get(),
+                    Entry::Vacant(e) => {
+                        let idx = self.classes.len();
+                        e.insert(idx);
+                        self.classes.push(TaggedClass {
+                            pattern: small_graph_from_bits(n, code),
+                            first_seen: tag,
+                            frequency: 0,
+                            occurrences: Vec::new(),
+                        });
+                        self.class_colors.push(Vec::new());
+                        idx
+                    }
+                };
+                *memo.insert((idx, lab))
             }
         };
         let class = &mut self.classes[idx];
@@ -460,13 +554,23 @@ fn realign(network: &Graph, rep: &Graph, rep_colors: &[u32], occ: &Occurrence) -
 }
 
 /// Enumerate all connected size-`k` subgraphs of `g` and group them into
-/// isomorphism classes (unlimited occurrence storage).
+/// isomorphism classes (unlimited occurrence storage). Runs on the
+/// dense kernels: the adjacency rows are packed once and shared by the
+/// walker and the collector.
 pub fn classify_size_k(g: &Graph, k: usize) -> Vec<SubgraphClass> {
-    let mut collector = ClassCollector::new(g, usize::MAX);
-    crate::esu::enumerate_connected_subgraphs(g, k, &mut |verts| {
-        collector.add(verts);
-        true
-    });
+    if k == 0 || k > g.vertex_count() {
+        return Vec::new();
+    }
+    let bits = AdjBits::new(g);
+    let cache = CanonCodeCache::default();
+    let mut collector = ClassCollector::with_kernel(g, &bits, usize::MAX, &cache);
+    let mut walker = crate::esu::DenseEsuWalker::new(&bits, k);
+    for v in 0..g.vertex_count() as u32 {
+        walker.enumerate_root(v, &mut |verts| {
+            collector.add(verts);
+            true
+        });
+    }
     collector.into_classes()
 }
 
@@ -650,6 +754,37 @@ mod tests {
                 assert_eq!(a.pattern, b.pattern);
                 assert_eq!(a.frequency, b.frequency);
                 assert_eq!(a.occurrences, b.occurrences, "max_stored={max_stored}");
+            }
+        }
+    }
+
+    #[test]
+    fn packed_bits_match_has_edge_oracle_on_random_graphs() {
+        // The dense packed-id coding must agree bit-for-bit with the
+        // historical binary-search path for every candidate set.
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        for seed in 0..6u64 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let g = ppi_graph::random::erdos_renyi_gnm(40, 90, &mut rng);
+            let bits = AdjBits::new(&g);
+            for k in 2..=8 {
+                for _ in 0..50 {
+                    // k distinct ids via partial Fisher–Yates.
+                    let mut ids: Vec<u32> = (0..40).collect();
+                    for i in 0..k {
+                        let j = rng.gen_range(i..ids.len());
+                        ids.swap(i, j);
+                    }
+                    let mut sorted: Vec<VertexId> =
+                        ids[..k].iter().map(|&v| VertexId(v)).collect();
+                    sorted.sort_unstable();
+                    assert_eq!(
+                        packed_bits_of(&bits, &sorted),
+                        packed_bits_of_has_edge(&g, &sorted),
+                        "seed={seed} set={sorted:?}"
+                    );
+                }
             }
         }
     }

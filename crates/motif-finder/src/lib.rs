@@ -28,6 +28,7 @@ pub use classes::{classify_size_k, CanonCodeCache, ClassCollector, SubgraphClass
 pub use directed::{classify_directed_size_k, find_directed_motifs, DirectedClass, DirectedMotif};
 pub use esu::{
     count_connected_subgraphs, enumerate_connected_subgraphs, enumerate_connected_subgraphs_rooted,
+    DenseEsuWalker,
 };
 pub use finder::{FinderReport, MotifFinder, MotifFinderConfig};
 pub use motif::{Motif, Occurrence};

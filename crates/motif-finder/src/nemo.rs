@@ -15,27 +15,35 @@
 //! # Parallel discovery
 //!
 //! Both phases shard work across [`GrowthConfig::threads`] scoped
-//! workers and produce **byte-identical output for any thread count**:
+//! workers and produce **byte-identical output for any thread count**.
+//! Work is assigned by deterministic interleaving ([`strided`]): worker
+//! `w` of `T` owns items `w, w + T, 2T + w, …` of the serial order, so
+//! the sharding is a pure function of the thread count (no atomic pulls
+//! in the hot loop) and expensive early items — high-degree ESU roots —
+//! spread evenly instead of landing on one worker:
 //!
 //! * the **seed level** shards ESU enumeration by root vertex (each root
 //!   owns the candidate sets whose minimum vertex it is — a disjoint
-//!   partition of the census). Every candidate carries a
-//!   `(root, sequence)` tag, its position in the serial enumeration
-//!   order; per-worker [`ClassCollector`]s are merged deterministically
-//!   on those tags ([`merge_tagged_classes`]). The candidate budget is
-//!   honored exactly: workers stop pulling roots once the running
-//!   candidate count passes the budget, and if the budget truly binds, a
-//!   second sharded pass re-classifies precisely the first
-//!   `max_candidates_per_level` candidates of the serial order (the
-//!   optimistic pass is kept whenever the budget did not bind, which is
-//!   the common case);
+//!   partition of the census), walking each root with the dense
+//!   bit-packed kernel ([`DenseEsuWalker`], DESIGN.md §15). Every
+//!   candidate carries a `(root, sequence)` tag, its position in the
+//!   serial enumeration order; per-worker [`ClassCollector`]s are merged
+//!   deterministically on those tags ([`merge_tagged_classes`]). The
+//!   candidate budget is honored exactly: workers stop classifying roots
+//!   once the running candidate count passes the budget, and if the
+//!   budget truly binds, a second sharded pass re-classifies precisely
+//!   the first `max_candidates_per_level` candidates of the serial order
+//!   (the optimistic pass is kept whenever the budget did not bind,
+//!   which is the common case);
 //! * **extension levels** run in two phases. Phase A shards the stored
 //!   occurrences across workers, each generating its one-vertex
-//!   extensions into a sharded dedup map keyed by the sorted vertex set,
-//!   keeping the smallest `(occurrence item, derivation)` tag per set —
-//!   first-seen semantics identical to the serial `HashSet` walk,
-//!   independent of worker interleaving. The surviving sets are sorted
-//!   by tag, truncated to the budget, and phase B classifies contiguous
+//!   extensions — through a reused scratch buffer, no per-candidate
+//!   allocation — into a sharded dedup map keyed by the sorted vertex
+//!   set, keeping the smallest `(occurrence item, derivation)` tag per
+//!   set — first-seen semantics identical to the serial `HashSet` walk,
+//!   independent of worker interleaving (a set is copied to the heap
+//!   only the first time it is seen). The surviving sets are sorted by
+//!   tag, truncated to the budget, and phase B classifies contiguous
 //!   tag ranges on per-worker collectors, merged as above.
 //!
 //! All workers share one canonical-code memo ([`CanonCodeCache`]) across
@@ -65,17 +73,16 @@
 use crate::classes::{
     finalize_classes, merge_tagged_classes, CanonCodeCache, ClassCollector, SubgraphClass,
 };
-use crate::esu::EsuWalker;
+use crate::esu::DenseEsuWalker;
 use crate::motif::Occurrence;
 use par_util::{
-    faultpoint, resolve_threads, run_supervised, Interrupted, PoolOutcome, RunContext, WorkerPanic,
+    faultpoint, resolve_threads, run_supervised, strided, Interrupted, PoolOutcome, RunContext,
+    WorkerPanic,
 };
 use parking_lot::Mutex;
-use ppi_graph::{Graph, VertexId};
-use std::collections::hash_map::Entry;
-use std::collections::{HashMap, HashSet};
+use ppi_graph::{AdjBits, Graph, VertexId};
 use std::hash::{BuildHasher, BuildHasherDefault, DefaultHasher};
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 /// Growth parameters.
 #[derive(Clone, Debug)]
@@ -196,6 +203,9 @@ pub fn resume_growth(
     let threads = resolve_threads(config.threads);
     let budget = config.max_candidates_per_level.max(1);
     let cache = CanonCodeCache::default();
+    // One packed adjacency build per growth run, shared by every walker
+    // and collector across all levels (DESIGN.md §15).
+    let bits = AdjBits::new(g);
 
     let mut report = GrowthReport {
         classes: checkpoint.classes,
@@ -216,7 +226,8 @@ pub fn resume_growth(
                     checkpoint: GrowthCheckpoint::default(),
                 });
             }
-            let (classes, truncated, panic) = seed_level(g, config, threads, budget, &cache, ctx);
+            let (classes, truncated, panic) =
+                seed_level(g, &bits, config, threads, budget, &cache, ctx);
             if let Some(panic) = panic {
                 return Err(Interrupted::WorkerPanicked {
                     panic,
@@ -250,32 +261,32 @@ pub fn resume_growth(
             break;
         }
         if size == config.max_size {
-            report.classes.extend(frequent.iter().cloned());
+            report.classes.append(&mut frequent);
             break;
         }
         faultpoint!(ctx, "nemo.extension_level");
         if ctx.should_stop() {
             return Err(Interrupted::Cancelled {
-                checkpoint: boundary(&report, &frequent, size),
+                checkpoint: boundary(report, frequent, size),
             });
         }
 
         let (classes, truncated, panic) =
-            extension_level(g, &frequent, config, threads, budget, &cache, ctx);
+            extension_level(g, &bits, &frequent, config, threads, budget, &cache, ctx);
         if let Some(panic) = panic {
             return Err(Interrupted::WorkerPanicked {
                 panic,
-                checkpoint: boundary(&report, &frequent, size),
+                checkpoint: boundary(report, frequent, size),
             });
         }
         if ctx.should_stop() {
             return Err(Interrupted::Cancelled {
-                checkpoint: boundary(&report, &frequent, size),
+                checkpoint: boundary(report, frequent, size),
             });
         }
 
         // Level size+1 completed cleanly: commit and advance.
-        report.classes.extend(frequent.iter().cloned());
+        report.classes.append(&mut frequent);
         if truncated {
             report.truncated_levels.push(size + 1);
         }
@@ -291,14 +302,16 @@ pub fn resume_growth(
 }
 
 /// Materialize the boundary checkpoint for the state entering the
-/// current loop iteration. Only called on interruption, so uninterrupted
-/// (and passive legacy) runs never pay for the clones.
-fn boundary(report: &GrowthReport, frequent: &[SubgraphClass], size: usize) -> GrowthCheckpoint {
+/// current loop iteration. Takes ownership: interruption abandons the
+/// run, so the accumulated report and frequent set move into the
+/// checkpoint instead of being deep-cloned (classes at meso-scale sizes
+/// carry thousands of stored occurrences each).
+fn boundary(report: GrowthReport, frequent: Vec<SubgraphClass>, size: usize) -> GrowthCheckpoint {
     GrowthCheckpoint {
-        classes: report.classes.clone(),
-        truncated_levels: report.truncated_levels.clone(),
-        capped_levels: report.capped_levels.clone(),
-        frequent: Some(frequent.to_vec()),
+        classes: report.classes,
+        truncated_levels: report.truncated_levels,
+        capped_levels: report.capped_levels,
+        frequent: Some(frequent),
         completed_size: size,
     }
 }
@@ -306,19 +319,21 @@ fn boundary(report: &GrowthReport, frequent: &[SubgraphClass], size: usize) -> G
 /// Seed level: classify the size-`min_size` ESU census, sharded by root
 /// vertex, honoring the candidate budget exactly.
 ///
-/// The optimistic pass lets workers pull roots from an atomic counter
-/// and classify them; each completed root adds its candidate count to a
-/// shared total, and a worker that observes the total at or above the
-/// budget stops classifying pulled roots (it still probes them for a
-/// single candidate, so that "do candidates beyond the budget exist?"
-/// is answered exactly). If the census fits the budget the optimistic
-/// collectors are merged and returned. Otherwise truncation binds:
-/// candidate counts are completed serially in root order with early
-/// abort (at most `budget` visits), locating the exact cut — the root
-/// and in-root offset where the serial budget exhausts — and a second
-/// sharded pass classifies exactly the candidates before the cut.
+/// The optimistic pass walks each worker's interleaved root shard with
+/// the dense kernel and classifies it; each completed root adds its
+/// candidate count to a shared total, and a worker that observes the
+/// total at or above the budget stops classifying its remaining roots
+/// (it still probes them for a single candidate, so that "do candidates
+/// beyond the budget exist?" is answered exactly). If the census fits
+/// the budget the optimistic collectors are merged and returned.
+/// Otherwise truncation binds: candidate counts are completed serially
+/// in root order with early abort (at most `budget` visits), locating
+/// the exact cut — the root and in-root offset where the serial budget
+/// exhausts — and a second sharded pass classifies exactly the
+/// candidates before the cut.
 fn seed_level(
     g: &Graph,
+    bits: &AdjBits,
     config: &GrowthConfig,
     threads: usize,
     budget: usize,
@@ -326,8 +341,8 @@ fn seed_level(
     ctx: &RunContext,
 ) -> (Vec<SubgraphClass>, bool, Option<WorkerPanic>) {
     let k = config.min_size;
-    let n = g.vertex_count() as u32;
-    let next = AtomicU32::new(0);
+    let n = g.vertex_count();
+    let worker_ids = AtomicUsize::new(0);
     let emitted = AtomicUsize::new(0);
     let overflow = AtomicBool::new(false);
 
@@ -336,14 +351,13 @@ fn seed_level(
         results: parts,
         panic,
     }: PoolOutcome<SeedPart> = run_supervised(threads, "nemo.seed", ctx, || {
-        let mut collector = ClassCollector::with_cache(g, config.max_stored_occurrences, cache);
+        let wid = worker_ids.fetch_add(1, Ordering::Relaxed);
+        let mut collector =
+            ClassCollector::with_kernel(g, bits, config.max_stored_occurrences, cache);
         let mut counts: Vec<(u32, u32)> = Vec::new();
-        let mut walker = EsuWalker::new(g, k);
-        loop {
-            let root = next.fetch_add(1, Ordering::Relaxed);
-            if root >= n {
-                break;
-            }
+        let mut walker = DenseEsuWalker::new(bits, k);
+        for root in strided(n, threads, wid) {
+            let root = root as u32;
             if ctx.should_stop() {
                 break;
             }
@@ -356,7 +370,7 @@ fn seed_level(
                 // exact, then move on.
                 if !overflow.load(Ordering::Relaxed) {
                     let mut any = false;
-                    walker.enumerate_root(root, &mut |_| true, &mut |_| {
+                    walker.enumerate_root(root, &mut |_| {
                         any = true;
                         false
                     });
@@ -367,7 +381,7 @@ fn seed_level(
                 continue;
             }
             let mut seq = 0u32;
-            walker.enumerate_root(root, &mut |_| true, &mut |verts| {
+            walker.enumerate_root(root, &mut |verts| {
                 collector.add_tagged(verts, (root, seq));
                 seq += 1;
                 ctx.tick(1)
@@ -386,7 +400,7 @@ fn seed_level(
         return (Vec::new(), false, None);
     }
 
-    let mut root_counts: Vec<Option<u32>> = vec![None; n as usize];
+    let mut root_counts: Vec<Option<u32>> = vec![None; n];
     let mut collected: Vec<Vec<crate::classes::TaggedClass>> = Vec::with_capacity(parts.len());
     let mut total: usize = 0;
     for (classes, counts) in parts {
@@ -410,18 +424,18 @@ fn seed_level(
     // candidates in root order. Unknown counts (skipped roots) are
     // filled by a counting walk with early abort — at most `budget`
     // candidates are visited in total before the cut is found.
-    let mut walker = EsuWalker::new(g, k);
+    let mut walker = DenseEsuWalker::new(bits, k);
     let mut remaining = budget;
     let mut cut_root = 0u32;
     let mut cut_len = 0u32; // candidates kept from cut_root
-    for root in 0..n {
+    for root in 0..n as u32 {
         if ctx.should_stop() {
             return (Vec::new(), false, None);
         }
         let count = root_counts[root as usize].unwrap_or_else(|| {
             let mut c = 0u32;
             let cap = remaining as u32;
-            walker.enumerate_root(root, &mut |_| true, &mut |_| {
+            walker.enumerate_root(root, &mut |_| {
                 c += 1;
                 c < cap && ctx.tick(1)
             });
@@ -440,25 +454,23 @@ fn seed_level(
 
     // Second pass: classify exactly the candidates before the cut,
     // sharded by root again (the canonical-code cache is already warm).
-    let next = AtomicU32::new(0);
+    let worker_ids = AtomicUsize::new(0);
     let PoolOutcome {
         results: parts,
         panic,
     }: PoolOutcome<Vec<crate::classes::TaggedClass>> =
         run_supervised(threads, "nemo.seed_cut", ctx, || {
+            let wid = worker_ids.fetch_add(1, Ordering::Relaxed);
             let mut collector =
-                ClassCollector::with_cache(g, config.max_stored_occurrences, cache);
-            let mut walker = EsuWalker::new(g, k);
-            loop {
-                let root = next.fetch_add(1, Ordering::Relaxed);
-                if root > cut_root {
-                    break;
-                }
+                ClassCollector::with_kernel(g, bits, config.max_stored_occurrences, cache);
+            let mut walker = DenseEsuWalker::new(bits, k);
+            for root in strided(cut_root as usize + 1, threads, wid) {
+                let root = root as u32;
                 if ctx.should_stop() {
                     break;
                 }
                 let mut seq = 0u32;
-                walker.enumerate_root(root, &mut |_| true, &mut |verts| {
+                walker.enumerate_root(root, &mut |verts| {
                     collector.add_tagged(verts, (root, seq));
                     seq += 1;
                     (root != cut_root || seq < cut_len) && ctx.tick(1)
@@ -479,38 +491,177 @@ fn seed_level(
 /// Number of dedup shards at extension levels (power of two).
 const DEDUP_SHARDS: usize = 64;
 
-/// A deduplicated extension candidate: first-seen tag + sorted vertex
-/// set.
-type Candidate = ((u32, u32), Vec<u32>);
+/// A deduplicated extension candidate: first-seen tag plus the location
+/// of its vertex set in the level's flat dedup maps —
+/// `(tag, map index, key index)`.
+type Candidate = ((u32, u32), u32, u32);
 
 /// One shard of the extension-level first-seen map.
-type DedupShard = Mutex<HashMap<Vec<u32>, (u32, u32)>>;
+type DedupShard = Mutex<FlatSetMap>;
+
+/// Candidate consumer for [`each_extension`]: `(key, tag)` per emitted
+/// extension set; return `false` to abort the walk.
+type EmitCandidate<'e> = dyn FnMut(&[u32], (u32, u32)) -> bool + 'e;
+
+/// Empty open-addressing slot marker (key indices stay below the
+/// candidate budget, far under `u32::MAX`).
+const EMPTY_SLOT: u32 = u32::MAX;
+
+/// Flat-arena first-seen map for fixed-width sorted vertex sets: keys
+/// live back to back in one arena, an open-addressing index maps a key
+/// to its arena slot, and the minimum `(item, derivation)` tag is kept
+/// per key. An insert allocates only when the arena or index doubles
+/// (amortized), never per candidate, so extension-level dedup is
+/// allocation-free per emission and the kept sets sit contiguously in
+/// memory for phase B to stream over (DESIGN.md §15).
+struct FlatSetMap {
+    /// Vertices per key (level size + 1).
+    width: usize,
+    /// Keys back to back: key `i` occupies `arena[i*width..][..width]`.
+    arena: Vec<u32>,
+    /// Minimum tag per key, aligned with arena order.
+    tags: Vec<(u32, u32)>,
+    /// Open-addressing slots: [`EMPTY_SLOT`] or a key index.
+    table: Vec<u32>,
+    mask: usize,
+    hasher: BuildHasherDefault<DefaultHasher>,
+}
+
+impl FlatSetMap {
+    /// An empty map for `width`-vertex keys, pre-sized for about
+    /// `expected` distinct keys.
+    fn with_width(width: usize, expected: usize) -> FlatSetMap {
+        let slots = (expected.max(8) * 2).next_power_of_two();
+        FlatSetMap {
+            width,
+            arena: Vec::new(),
+            tags: Vec::new(),
+            table: vec![EMPTY_SLOT; slots],
+            mask: slots - 1,
+            hasher: BuildHasherDefault::default(),
+        }
+    }
+
+    /// Number of distinct keys inserted.
+    fn len(&self) -> usize {
+        self.tags.len()
+    }
+
+    /// The `i`-th inserted key.
+    fn key(&self, i: usize) -> &[u32] {
+        &self.arena[i * self.width..][..self.width]
+    }
+
+    /// The minimum tag recorded for the `i`-th key.
+    fn tag(&self, i: usize) -> (u32, u32) {
+        self.tags[i]
+    }
+
+    /// Home probe slot for `key` under the current table size. The low
+    /// hash bits are discarded: they picked the dedup shard, so all
+    /// keys within one shard agree on them.
+    fn home_slot(&self, key: &[u32]) -> usize {
+        (self.hasher.hash_one(key) >> 6) as usize & self.mask
+    }
+
+    /// Whether `key` is present.
+    fn contains(&self, key: &[u32]) -> bool {
+        let mut slot = self.home_slot(key);
+        loop {
+            match self.table[slot] {
+                EMPTY_SLOT => return false,
+                idx => {
+                    if self.key(idx as usize) == key {
+                        return true;
+                    }
+                }
+            }
+            slot = (slot + 1) & self.mask;
+        }
+    }
+
+    /// Insert `key`, keeping the minimum tag if it is already present.
+    /// Returns whether the key is new.
+    fn insert_min(&mut self, key: &[u32], tag: (u32, u32)) -> bool {
+        debug_assert_eq!(key.len(), self.width);
+        if (self.tags.len() + 1) * 4 > self.table.len() * 3 {
+            self.grow();
+        }
+        let mut slot = self.home_slot(key);
+        loop {
+            match self.table[slot] {
+                EMPTY_SLOT => {
+                    self.table[slot] = self.tags.len() as u32;
+                    self.arena.extend_from_slice(key);
+                    self.tags.push(tag);
+                    return true;
+                }
+                idx => {
+                    let idx = idx as usize;
+                    if self.key(idx) == key {
+                        if tag < self.tags[idx] {
+                            self.tags[idx] = tag;
+                        }
+                        return false;
+                    }
+                }
+            }
+            slot = (slot + 1) & self.mask;
+        }
+    }
+
+    /// Double the table and re-place every key index.
+    fn grow(&mut self) {
+        let slots = self.table.len() * 2;
+        self.mask = slots - 1;
+        self.table.clear();
+        self.table.resize(slots, EMPTY_SLOT);
+        for i in 0..self.tags.len() {
+            let mut slot = self.home_slot(self.key(i));
+            while self.table[slot] != EMPTY_SLOT {
+                slot = (slot + 1) & self.mask;
+            }
+            self.table[slot] = i as u32;
+        }
+    }
+}
 
 /// Generate the one-vertex extensions of `occ` in serial derivation
 /// order, invoking `emit(key, tag)` with the sorted extended vertex set
 /// and its `(item, derivation)` tag. Returns `false` iff `emit`
 /// aborted. Shared by the parallel phase-A workers and the bounded
-/// serial rebuild, so both walk candidates in the identical order.
+/// serial walk, so both generate candidates in the identical order.
+///
+/// `base` and `key_buf` are caller-owned scratch buffers reused across
+/// items: the emitted key is a borrowed view into `key_buf`, valid for
+/// the duration of the `emit` call, so generating a candidate allocates
+/// nothing — the consumer copies the slice into its flat arena only
+/// when the set is new.
 fn each_extension(
     g: &Graph,
     occ: &Occurrence,
     item: u32,
-    emit: &mut dyn FnMut(Vec<u32>, (u32, u32)) -> bool,
+    base: &mut Vec<u32>,
+    key_buf: &mut Vec<u32>,
+    emit: &mut EmitCandidate<'_>,
 ) -> bool {
-    let mut base: Vec<u32> = occ.vertices.iter().map(|v| v.0).collect();
+    base.clear();
+    base.extend(occ.vertices.iter().map(|v| v.0));
     base.sort_unstable();
     let mut seq = 0u32;
     for &v in &occ.vertices {
         for &u in g.neighbors(v) {
-            if base.binary_search(&u).is_ok() {
-                continue;
+            let pos = base.partition_point(|&x| x < u);
+            if pos < base.len() && base[pos] == u {
+                continue; // u is already a member of the occurrence
             }
-            let mut key = base.clone();
-            let pos = key.partition_point(|&x| x < u);
-            key.insert(pos, u);
+            key_buf.clear();
+            key_buf.extend_from_slice(&base[..pos]);
+            key_buf.push(u);
+            key_buf.extend_from_slice(&base[pos..]);
             let tag = (item, seq);
             seq += 1;
-            if !emit(key, tag) {
+            if !emit(key_buf, tag) {
                 return false;
             }
         }
@@ -520,8 +671,10 @@ fn each_extension(
 
 /// One extension level: grow every stored occurrence of `frequent` by
 /// one neighboring vertex, deduplicate, classify.
+#[allow(clippy::too_many_arguments)] // internal plumbing of the growth engine
 fn extension_level(
     g: &Graph,
+    bits: &AdjBits,
     frequent: &[SubgraphClass],
     config: &GrowthConfig,
     threads: usize,
@@ -531,87 +684,48 @@ fn extension_level(
 ) -> (Vec<SubgraphClass>, bool, Option<WorkerPanic>) {
     // Occurrence items in serial order; the item index is the major tag.
     let items: Vec<&Occurrence> = frequent.iter().flat_map(|c| &c.occurrences).collect();
+    let width = items.first().map_or(0, |occ| occ.vertices.len() + 1);
 
-    // Phase A: generate candidate sets into a sharded first-seen map.
-    // Each candidate's tag is (item, derivation index within the item) —
-    // its position in the serial generation order — and the map keeps
-    // the smallest tag per set, so the surviving (set, tag) pairs are
-    // independent of worker scheduling. A worker that observes the
-    // unique-set count at or past the budget stops pulling items (the
-    // budget certainly binds); the exact first-`budget` prefix is then
-    // rebuilt by the bounded serial walk below.
-    let hasher = BuildHasherDefault::<DefaultHasher>::default();
-    let dedup: Vec<DedupShard> =
-        (0..DEDUP_SHARDS).map(|_| Mutex::new(HashMap::new())).collect();
-    let next = AtomicUsize::new(0);
-    let unique_count = AtomicUsize::new(0);
-    let skipped = AtomicBool::new(false);
-    let PoolOutcome { results: _, panic } = run_supervised(threads, "nemo.extension", ctx, || {
-        loop {
-            let i = next.fetch_add(1, Ordering::Relaxed);
-            if i >= items.len() {
-                break;
-            }
-            if ctx.should_stop() {
-                break;
-            }
-            faultpoint!(ctx, "nemo.extension_worker");
-            if unique_count.load(Ordering::Relaxed) >= budget {
-                skipped.store(true, Ordering::Relaxed);
-                continue;
-            }
-            each_extension(g, items[i], i as u32, &mut |key, tag| {
-                let shard = hasher.hash_one(&key) as usize & (DEDUP_SHARDS - 1);
-                match dedup[shard].lock().entry(key) {
-                    Entry::Occupied(mut e) => {
-                        if tag < *e.get() {
-                            e.insert(tag);
-                        }
-                    }
-                    Entry::Vacant(e) => {
-                        e.insert(tag);
-                        unique_count.fetch_add(1, Ordering::Relaxed);
-                    }
-                }
-                ctx.tick(1)
-            });
-        }
-    });
-    if let Some(panic) = panic {
-        return (Vec::new(), false, Some(panic));
-    }
-    if ctx.should_stop() {
-        // Partial candidate map: the caller discards this level.
-        return (Vec::new(), false, None);
-    }
+    // Cheap emission bound: every occurrence vertex contributes at most
+    // its degree of one-vertex extensions, so `bound` caps the number
+    // of candidates (unique or not) this level can generate. It picks
+    // the generation strategy; both strategies produce the identical
+    // candidate prefix, so the choice never changes output.
+    let bound: usize = items
+        .iter()
+        .map(|occ| occ.vertices.iter().map(|&v| g.neighbors(v).len()).sum::<usize>())
+        .sum();
 
-    let (candidates, truncated) = if skipped.load(Ordering::Relaxed) {
-        // Items were skipped, so the map may miss candidates belonging
-        // to the kept prefix. Regenerate serially in item order with
-        // early abort: stop at the first unique set beyond the budget
-        // (whose existence is exactly what the truncation flag
-        // reports). Work is bounded by the generation up to that point
-        // — the same walk the serial algorithm performs.
-        drop(dedup);
-        let mut seen: HashSet<Vec<u32>> = HashSet::new();
-        let mut kept: Vec<Candidate> = Vec::new();
+    let (maps, candidates, truncated) = if bound > budget {
+        // The budget may bind, and honoring it exactly requires the
+        // serial first-seen prefix, so generate it directly: walk the
+        // items in serial order with early abort at the first unique
+        // set beyond the budget (whose existence is exactly what the
+        // truncation flag reports). Running the parallel phase first
+        // would generate the same candidates again only to discard
+        // them — binding levels dominate meso-scale growth, and this
+        // double generation (plus its per-candidate allocations) was
+        // the pre-dense engine's cost center.
+        let mut map = FlatSetMap::with_width(width, budget.min(bound));
+        let mut base: Vec<u32> = Vec::new();
+        let mut key_buf: Vec<u32> = Vec::new();
         let mut truncated = false;
         for (i, occ) in items.iter().enumerate() {
-            let keep_going = each_extension(g, occ, i as u32, &mut |key, tag| {
-                if !ctx.tick(1) {
-                    return false;
-                }
-                if seen.contains(&key) {
-                    return true;
-                }
-                if kept.len() == budget {
-                    truncated = true;
-                    return false;
-                }
-                seen.insert(key.clone());
-                kept.push((tag, key));
-                true
-            });
+            let keep_going =
+                each_extension(g, occ, i as u32, &mut base, &mut key_buf, &mut |key, tag| {
+                    if !ctx.tick(1) {
+                        return false;
+                    }
+                    if map.len() == budget {
+                        if map.contains(key) {
+                            return true;
+                        }
+                        truncated = true;
+                        return false;
+                    }
+                    map.insert_min(key, tag);
+                    true
+                });
             if !keep_going {
                 break;
             }
@@ -619,42 +733,90 @@ fn extension_level(
         if ctx.should_stop() {
             return (Vec::new(), false, None);
         }
-        (kept, truncated)
+        // Serial insertion order is first-seen order — already sorted
+        // by tag.
+        let candidates: Vec<Candidate> =
+            (0..map.len()).map(|ki| (map.tag(ki), 0u32, ki as u32)).collect();
+        (vec![map], candidates, truncated)
     } else {
-        // No item skipped: the map is the complete unique-set census.
-        // Order by tag (= serial first-seen order), apply the budget.
-        let mut candidates: Vec<Candidate> = dedup
-            .into_iter()
-            .flat_map(|shard| shard.into_inner().into_iter().map(|(set, tag)| (tag, set)))
+        // The budget cannot bind: phase A shards the items across
+        // workers with no budget bookkeeping at all, each generating
+        // into a sharded first-seen map. Each candidate's tag is its
+        // position in the serial generation order and the map keeps the
+        // smallest tag per set, so the surviving (set, tag) pairs are
+        // independent of worker scheduling.
+        let hasher = BuildHasherDefault::<DefaultHasher>::default();
+        let dedup: Vec<DedupShard> = (0..DEDUP_SHARDS)
+            .map(|_| Mutex::new(FlatSetMap::with_width(width, bound / DEDUP_SHARDS / 4)))
             .collect();
-        let truncated = candidates.len() > budget;
-        candidates.sort_unstable_by_key(|&(tag, _)| tag);
-        candidates.truncate(budget);
-        (candidates, truncated)
+        let worker_ids = AtomicUsize::new(0);
+        let PoolOutcome { results: _, panic } =
+            run_supervised(threads, "nemo.extension", ctx, || {
+                let wid = worker_ids.fetch_add(1, Ordering::Relaxed);
+                let mut base: Vec<u32> = Vec::new();
+                let mut key_buf: Vec<u32> = Vec::new();
+                for i in strided(items.len(), threads, wid) {
+                    if ctx.should_stop() {
+                        break;
+                    }
+                    faultpoint!(ctx, "nemo.extension_worker");
+                    each_extension(
+                        g,
+                        items[i],
+                        i as u32,
+                        &mut base,
+                        &mut key_buf,
+                        &mut |key, tag| {
+                            let shard = hasher.hash_one(key) as usize & (DEDUP_SHARDS - 1);
+                            dedup[shard].lock().insert_min(key, tag);
+                            ctx.tick(1)
+                        },
+                    );
+                }
+            });
+        if let Some(panic) = panic {
+            return (Vec::new(), false, Some(panic));
+        }
+        if ctx.should_stop() {
+            // Partial candidate map: the caller discards this level.
+            return (Vec::new(), false, None);
+        }
+        let maps: Vec<FlatSetMap> = dedup.into_iter().map(|s| s.into_inner()).collect();
+        let mut candidates: Vec<Candidate> = maps
+            .iter()
+            .enumerate()
+            .flat_map(|(mi, m)| (0..m.len()).map(move |ki| (m.tag(ki), mi as u32, ki as u32)))
+            .collect();
+        // Every emission has a distinct tag, so sorting on the (unique)
+        // minimum tags is a total order: the arena insertion order —
+        // the only scheduling-dependent state — cancels out here.
+        candidates.sort_unstable_by_key(|&(tag, ..)| tag);
+        (maps, candidates, false)
     };
 
-    // Phase B: classify contiguous tag ranges on per-worker collectors.
+    // Phase B: classify contiguous tag ranges on per-worker collectors,
+    // reading each vertex set straight out of the flat arenas.
     let chunk = candidates.len().div_ceil(threads.max(1)).max(1);
     let ranges: Vec<&[Candidate]> = candidates.chunks(chunk).collect();
-    let next = AtomicUsize::new(0);
+    let workers = ranges.len().max(1);
+    let worker_ids = AtomicUsize::new(0);
     let PoolOutcome {
         results: parts,
         panic,
     }: PoolOutcome<Vec<crate::classes::TaggedClass>> =
-        run_supervised(ranges.len().max(1), "nemo.extension_classify", ctx, || {
+        run_supervised(workers, "nemo.extension_classify", ctx, || {
+            let wid = worker_ids.fetch_add(1, Ordering::Relaxed);
             let mut collector =
-                ClassCollector::with_cache(g, config.max_stored_occurrences, cache);
-            loop {
-                let r = next.fetch_add(1, Ordering::Relaxed);
-                if r >= ranges.len() {
-                    break;
-                }
+                ClassCollector::with_kernel(g, bits, config.max_stored_occurrences, cache);
+            let mut verts: Vec<VertexId> = Vec::new();
+            for r in strided(ranges.len(), workers, wid) {
                 if ctx.should_stop() {
                     break;
                 }
-                for (tag, set) in ranges[r] {
-                    let verts: Vec<VertexId> = set.iter().map(|&x| VertexId(x)).collect();
-                    collector.add_tagged(&verts, *tag);
+                for &(tag, mi, ki) in ranges[r] {
+                    verts.clear();
+                    verts.extend(maps[mi as usize].key(ki as usize).iter().map(|&x| VertexId(x)));
+                    collector.add_tagged(&verts, tag);
                 }
             }
             collector.into_tagged_classes()

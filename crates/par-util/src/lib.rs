@@ -27,4 +27,4 @@ pub use supervise::{
     run_supervised, CancelToken, FaultAction, FaultArm, FaultPlan, InjectedFault, Interrupted,
     PoolOutcome, RunContext, WorkQueue, WorkerPanic,
 };
-pub use threads::{resolve_threads, split_chunks};
+pub use threads::{resolve_threads, split_chunks, strided};

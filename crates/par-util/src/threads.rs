@@ -15,6 +15,18 @@ pub fn resolve_threads(threads: usize) -> usize {
     }
 }
 
+/// Deterministic interleaved shard assignment: the indices of `0..total`
+/// that worker `worker` owns when `workers` workers each take every
+/// `workers`-th item. Contiguous range sharding concentrates expensive
+/// items (e.g. high-degree ESU roots, which come first in degree-skewed
+/// vertex numberings) on one worker; interleaving spreads them evenly
+/// while staying a pure function of `(total, workers, worker)` — no
+/// atomic pulls in the hot loop, and each worker's stream is an
+/// ascending (hence tag-ordered) subsequence of the serial order.
+pub fn strided(total: usize, workers: usize, worker: usize) -> impl Iterator<Item = usize> {
+    (worker..total).step_by(workers.max(1))
+}
+
 /// Round-robin split of `items` into at most `parts` non-empty chunks.
 /// Round-robin balances workloads that vary monotonically with the item
 /// index (e.g. SO matrix row `i` has `n − i − 1` entries); within each
@@ -67,5 +79,31 @@ mod tests {
     fn zero_parts_treated_as_one() {
         let chunks = split_chunks(&[1, 2, 3], 0);
         assert_eq!(chunks, vec![vec![1, 2, 3]]);
+    }
+
+    #[test]
+    fn strided_shards_partition_the_index_range() {
+        for total in [0usize, 1, 7, 10, 64] {
+            for workers in [1usize, 2, 3, 5, 8] {
+                let mut all: Vec<usize> = (0..workers)
+                    .flat_map(|w| strided(total, workers, w).collect::<Vec<_>>())
+                    .collect();
+                for w in 0..workers {
+                    let shard: Vec<usize> = strided(total, workers, w).collect();
+                    assert!(
+                        shard.windows(2).all(|p| p[0] < p[1]),
+                        "shard {w} not ascending"
+                    );
+                }
+                all.sort_unstable();
+                assert_eq!(all, (0..total).collect::<Vec<_>>(), "{total}/{workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn strided_zero_workers_treated_as_one() {
+        let shard: Vec<usize> = strided(4, 0, 0).collect();
+        assert_eq!(shard, vec![0, 1, 2, 3]);
     }
 }

@@ -23,6 +23,7 @@
 
 pub mod algo;
 pub mod automorphism;
+pub mod bits;
 pub mod canonical;
 pub mod digraph;
 pub mod graph;
@@ -36,6 +37,7 @@ pub use digraph::{
     are_digraphs_isomorphic, directed_automorphism_orbits, directed_interchangeable_classes,
     find_digraph_isomorphism, DiGraph,
 };
+pub use bits::AdjBits;
 pub use canonical::{
     canonical_form, canonical_graph, canonical_labeling, small_adjacency_bits,
     small_canonical_code, small_graph_from_bits, CanonicalKey, SMALL_CANON_MAX,
