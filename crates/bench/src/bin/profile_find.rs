@@ -1,52 +1,63 @@
 //! Profile the motif-finding front-end: discovery (frequent-subgraph
-//! growth) swept over requested worker counts 1/2/4, plus a yeast-scale
-//! discovery row and uniqueness testing. Writes the discovery timings
-//! to `BENCH_discovery.json`.
+//! growth) swept over requested worker counts 1/2/4 on the active
+//! fixture AND the yeast-scale network, plus uniqueness testing. Writes
+//! the discovery timings to `BENCH_discovery.json`.
 //!
 //! Requested worker counts are clamped to the host's available
 //! parallelism before measuring: running more workers than cores
 //! measures the scheduler, not the engine (the output is byte-identical
 //! either way), so collapsed requests share one measurement and report
-//! speedup 1.00 instead of timer noise.
+//! speedup 1.00 instead of timer noise. Both the fixture sweep and the
+//! yeast sweep emit the same row schema
+//! `{threads, effective_threads, secs, speedup, classes}` so dashboards
+//! can diff scales without special-casing.
 
 use lamofinder_bench::report::{json_array, JsonObject};
 use lamofinder_bench::{finder_config, yeast, Scale};
-use motif_finder::{grow_frequent_subgraphs, uniqueness_scores, GrowthReport, MotifFinder};
+use motif_finder::{
+    grow_frequent_subgraphs, uniqueness_scores, GrowthConfig, GrowthReport, MotifFinder,
+};
+use ppi_graph::Graph;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::time::Instant;
 
 /// Timing repetitions per distinct effective worker count on the small
 /// fixture (the minimum is reported): discovery runs for seconds, so a
-/// few reps absorb scheduler noise without stretching CI. Full scale
-/// runs once — the yeast network takes minutes per sweep entry.
+/// few reps absorb scheduler noise without stretching CI. Yeast-scale
+/// entries run once — that network takes minutes per sweep entry.
 const SMALL_REPS: usize = 3;
 
-fn main() {
-    let scale = Scale::from_args();
-    let data = yeast(scale);
-    let config = finder_config(scale);
-    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
-    let reps = if scale == Scale::Small { SMALL_REPS } else { 1 };
+/// One clamped discovery sweep over requested worker counts 1/2/4.
+struct Sweep {
+    /// JSON rows `{threads, effective_threads, secs, speedup, classes}`.
+    rows: Vec<String>,
+    /// The (identical-at-every-count) discovery output.
+    growth: GrowthReport,
+}
 
-    // Discovery sweep: identical output for every worker count (the
-    // front-end is deterministic by construction), so only time varies.
+/// Run the growth sweep on `network`: clamp each requested count to
+/// `cores`, measure each *effective* count once (best of `reps`), and
+/// assert the PR 6 regression tripwire — adding workers must never make
+/// discovery slower. Collapsed requests share the single-worker
+/// measurement, so on a single-core host the assertion checks exact
+/// equality; on a multicore host it guards the genuinely parallel path.
+fn sweep_growth(label: &str, network: &Graph, base: &GrowthConfig, cores: usize, reps: usize) -> Sweep {
     let mut rows: Vec<String> = Vec::new();
     let mut measured: Vec<(usize, f64)> = Vec::new();
     let mut growth: Option<GrowthReport> = None;
     let mut base_secs = 0.0f64;
-    let mut two_thread_secs = 0.0f64;
     for requested in [1usize, 2, 4] {
         let effective = requested.min(cores);
         let secs = match measured.iter().find(|&&(e, _)| e == effective) {
             Some(&(_, secs)) => secs,
             None => {
-                let mut growth_config = config.growth.clone();
+                let mut growth_config = base.clone();
                 growth_config.threads = effective;
                 let mut best = f64::INFINITY;
                 for _ in 0..reps {
                     let t = Instant::now();
-                    let report = grow_frequent_subgraphs(&data.network, &growth_config);
+                    let report = grow_frequent_subgraphs(network, &growth_config);
                     best = best.min(t.elapsed().as_secs_f64());
                     match &growth {
                         None => growth = Some(report),
@@ -64,25 +75,17 @@ fn main() {
         if requested == 1 {
             base_secs = secs;
         }
-        if requested == 2 {
-            two_thread_secs = secs;
-        }
         let speedup = if secs > 0.0 { base_secs / secs } else { 0.0 };
-        // Regression tripwire (the PR 6 bug class): adding workers must
-        // never make discovery slower. Collapsed requests share the
-        // single-worker measurement, so on a single-core host this
-        // asserts exact equality; on a multicore host it guards the
-        // genuinely parallel path.
         if requested > 1 {
             assert!(
                 speedup >= 1.0,
-                "parallel discovery regression: threads={requested} (effective {effective}) \
-                 took {secs:.2}s vs {base_secs:.2}s at threads=1"
+                "parallel discovery regression ({label}): threads={requested} \
+                 (effective {effective}) took {secs:.2}s vs {base_secs:.2}s at threads=1"
             );
         }
         let report = growth.as_ref().expect("first sweep entry measured");
         println!(
-            "growth[threads={requested} effective={effective}]: {} classes in {secs:.2}s \
+            "{label}[threads={requested} effective={effective}]: {} classes in {secs:.2}s \
              (speedup {speedup:.2}x, truncated {:?}, capped {:?})",
             report.classes.len(),
             report.truncated_levels,
@@ -98,43 +101,49 @@ fn main() {
                 .render(),
         );
     }
-    let growth = growth.expect("sweep ran");
+    Sweep {
+        rows,
+        growth: growth.expect("sweep ran"),
+    }
+}
 
-    // Yeast-scale row (the paper's 4141v/7095e network): meso-scale
+/// The yeast JSON object: fixture dimensions plus the same-schema sweep
+/// rows the fixture section uses.
+fn yeast_object(network: &Graph, cores: usize, sweep: &Sweep) -> String {
+    JsonObject::new()
+        .int("vertices", network.vertex_count())
+        .int("edges", network.edge_count())
+        .int("available_parallelism", cores)
+        .int("classes", sweep.growth.classes.len())
+        .int("truncated_levels", sweep.growth.truncated_levels.len())
+        .raw("rows", json_array(&sweep.rows))
+        .render()
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let data = yeast(scale);
+    let config = finder_config(scale);
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let reps = if scale == Scale::Small { SMALL_REPS } else { 1 };
+
+    // Discovery sweep on the active fixture: identical output for every
+    // worker count (the front-end is deterministic by construction), so
+    // only time varies.
+    let sweep = sweep_growth("growth", &data.network, &config.growth, cores, reps);
+
+    // Yeast-scale sweep (the paper's 4141v/7095e network): meso-scale
     // growth is budget-bound at nearly every level, so this tracks the
-    // serial-prefix and classification cost the fixture sweep cannot.
+    // serial-prefix and classification cost the small fixture cannot.
+    // At full scale the main sweep already measured it; at small scale
+    // run the same clamped sweep once per distinct effective count.
     let yeast_row = if scale == Scale::Small {
         let full = yeast(Scale::Full);
-        let mut growth_config = finder_config(Scale::Full).growth;
-        growth_config.threads = 2usize.min(cores);
-        let t = Instant::now();
-        let report = grow_frequent_subgraphs(&full.network, &growth_config);
-        let secs = t.elapsed().as_secs_f64();
-        println!(
-            "yeast growth[threads={}]: {} classes in {secs:.2}s (truncated at {} levels)",
-            growth_config.threads,
-            report.classes.len(),
-            report.truncated_levels.len()
-        );
-        JsonObject::new()
-            .int("vertices", full.network.vertex_count())
-            .int("edges", full.network.edge_count())
-            .int("threads", growth_config.threads)
-            .num("secs", secs)
-            .int("classes", report.classes.len())
-            .int("truncated_levels", report.truncated_levels.len())
-            .render()
+        let full_config = finder_config(Scale::Full).growth;
+        let full_sweep = sweep_growth("yeast growth", &full.network, &full_config, cores, 1);
+        yeast_object(&full.network, cores, &full_sweep)
     } else {
-        // The sweep already measured the yeast network; reuse its
-        // threads=2 measurement.
-        JsonObject::new()
-            .int("vertices", data.network.vertex_count())
-            .int("edges", data.network.edge_count())
-            .int("threads", 2usize.min(cores))
-            .num("secs", two_thread_secs)
-            .int("classes", growth.classes.len())
-            .int("truncated_levels", growth.truncated_levels.len())
-            .render()
+        yeast_object(&data.network, cores, &sweep)
     };
 
     let doc = JsonObject::new()
@@ -147,12 +156,13 @@ fn main() {
         .int("edges", data.network.edge_count())
         .int("available_parallelism", cores)
         .int("reps", reps)
-        .raw("discovery", json_array(&rows))
+        .raw("discovery", json_array(&sweep.rows))
         .raw("yeast", yeast_row)
         .render();
     std::fs::write("BENCH_discovery.json", format!("{doc}\n")).expect("write BENCH_discovery.json");
     println!("wrote BENCH_discovery.json");
 
+    let growth = &sweep.growth;
     let t = Instant::now();
     let patterns: Vec<(&ppi_graph::Graph, usize)> = growth
         .classes

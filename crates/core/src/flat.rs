@@ -1,0 +1,354 @@
+//! Flat-arena encoding of a labeled-motif dictionary.
+//!
+//! The serving layer (DESIGN.md §16) stores the pipeline's output as an
+//! immutable artifact whose every collection is a contiguous slab
+//! addressed by offsets — the PR 5/6 kernel discipline applied to the
+//! *product* instead of the hot loops. [`FlatMotifs`] is that encoding
+//! for `Vec<LabeledMotif>`: one arena per field family (edges, label
+//! terms, occurrence vertices) plus `motif_count + 1` offset tables, so
+//! a reader can slice any motif's data in O(1) without walking nested
+//! `Vec`s, and a binary serializer can dump each slab as one
+//! length-prefixed section.
+//!
+//! The conversion is exact and order-preserving in both directions:
+//! `to_motifs(from_motifs(m)) == m` field for field, which is what lets
+//! the serving artifact stand in for the live pipeline output.
+
+use crate::labeled::LabeledMotif;
+use crate::labeling::{LabelingScheme, VertexLabel};
+use go_ontology::{Namespace, TermId};
+use motif_finder::Occurrence;
+use ppi_graph::{Graph, VertexId};
+
+/// Namespace ⇄ stable byte tag (the artifact format's encoding).
+fn namespace_tag(ns: Namespace) -> u8 {
+    match ns {
+        Namespace::MolecularFunction => 0,
+        Namespace::BiologicalProcess => 1,
+        Namespace::CellularComponent => 2,
+    }
+}
+
+/// Inverse of [`namespace_tag`]; `None` for bytes no release has ever
+/// written (reachable only through a corrupted artifact).
+pub fn namespace_from_tag(tag: u8) -> Option<Namespace> {
+    match tag {
+        0 => Some(Namespace::MolecularFunction),
+        1 => Some(Namespace::BiologicalProcess),
+        2 => Some(Namespace::CellularComponent),
+        _ => None,
+    }
+}
+
+/// A labeled-motif dictionary flattened into shared slabs.
+///
+/// Invariants (checked by [`FlatMotifs::validate`], maintained by
+/// [`FlatMotifs::from_motifs`]):
+///
+/// * every offset table has `motif_count + 1` entries, starts at 0,
+///   is non-decreasing, and ends at the owning slab's length;
+/// * `label_offsets` has `vertex_offsets[motif_count] + 1` entries
+///   (one per pattern vertex, plus the terminator);
+/// * every edge endpoint is `< size`, every occurrence slab length is a
+///   multiple of the motif's size.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct FlatMotifs {
+    /// Pattern size `k` per motif.
+    pub sizes: Vec<u32>,
+    /// Namespace tag per motif (see [`namespace_from_tag`]).
+    pub namespaces: Vec<u8>,
+    /// Unlabeled parent-motif frequency per motif.
+    pub frequencies: Vec<u64>,
+    /// 1 when the motif carries a measured uniqueness.
+    pub has_uniqueness: Vec<u8>,
+    /// Uniqueness value per motif (ignored when the flag is 0; stored
+    /// as 0.0 there so re-serialization is canonical).
+    pub uniqueness: Vec<f64>,
+    /// Edge-pair offsets: motif `m` owns `edges[edge_offsets[m] .. edge_offsets[m+1]]`.
+    pub edge_offsets: Vec<u32>,
+    /// Edge endpoints, two entries per edge, pattern-local ids.
+    pub edges: Vec<u32>,
+    /// Pattern-vertex offsets: motif `m` owns vertices
+    /// `vertex_offsets[m] .. vertex_offsets[m+1]` of the label tables.
+    pub vertex_offsets: Vec<u32>,
+    /// Label-term offsets per pattern vertex (global vertex index).
+    pub label_offsets: Vec<u32>,
+    /// Label terms (GO term ids), sorted within each vertex slice.
+    pub label_terms: Vec<u32>,
+    /// Occurrence offsets counted in *occurrences*: motif `m` owns
+    /// occurrence rows `occ_offsets[m] .. occ_offsets[m+1]`, each row
+    /// `sizes[m]` vertex ids long.
+    pub occ_offsets: Vec<u32>,
+    /// Occurrence offsets counted in *vertex slots*: motif `m`'s rows
+    /// live at `occ_vertices[occ_vertex_offsets[m] .. occ_vertex_offsets[m+1]]`.
+    /// Derivable from `occ_offsets` × `sizes` but stored so row slicing
+    /// is O(1) for mixed-size dictionaries; `validate` cross-checks the
+    /// two tables.
+    pub occ_vertex_offsets: Vec<u32>,
+    /// Occurrence vertex ids, row-major.
+    pub occ_vertices: Vec<u32>,
+}
+
+impl FlatMotifs {
+    /// Flatten a labeled-motif dictionary.
+    pub fn from_motifs(motifs: &[LabeledMotif]) -> FlatMotifs {
+        let mut flat = FlatMotifs {
+            edge_offsets: vec![0],
+            vertex_offsets: vec![0],
+            label_offsets: vec![0],
+            occ_offsets: vec![0],
+            occ_vertex_offsets: vec![0],
+            ..FlatMotifs::default()
+        };
+        for m in motifs {
+            flat.sizes.push(m.size() as u32);
+            flat.namespaces.push(namespace_tag(m.namespace));
+            flat.frequencies.push(m.motif_frequency as u64);
+            flat.has_uniqueness.push(u8::from(m.uniqueness.is_some()));
+            flat.uniqueness.push(m.uniqueness.unwrap_or(0.0));
+            for e in m.pattern.edges() {
+                flat.edges.push(e.0 .0);
+                flat.edges.push(e.1 .0);
+            }
+            flat.edge_offsets.push((flat.edges.len() / 2) as u32);
+            for label in &m.scheme.labels {
+                flat.label_terms.extend(label.terms.iter().map(|t| t.0));
+                flat.label_offsets.push(flat.label_terms.len() as u32);
+            }
+            flat.vertex_offsets
+                .push(flat.label_offsets.len() as u32 - 1);
+            for occ in &m.occurrences {
+                flat.occ_vertices.extend(occ.vertices.iter().map(|v| v.0));
+            }
+            let prev = *flat.occ_offsets.last().unwrap_or(&0);
+            flat.occ_offsets.push(prev + m.occurrences.len() as u32);
+            flat.occ_vertex_offsets.push(flat.occ_vertices.len() as u32);
+        }
+        flat
+    }
+
+    /// Number of motifs.
+    pub fn motif_count(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Pattern size of motif `m`.
+    pub fn size(&self, m: usize) -> usize {
+        self.sizes[m] as usize
+    }
+
+    /// Number of occurrences of motif `m`.
+    pub fn occurrence_count(&self, m: usize) -> usize {
+        (self.occ_offsets[m + 1] - self.occ_offsets[m]) as usize
+    }
+
+    /// The vertex-id row of occurrence `o` of motif `m`.
+    pub fn occurrence(&self, m: usize, o: usize) -> &[u32] {
+        let k = self.size(m);
+        let base = self.occ_vertex_offsets[m] as usize + o * k;
+        &self.occ_vertices[base..base + k]
+    }
+
+    /// Structural consistency check; returns the violated invariant.
+    /// Deserialized artifacts run this before any slab is indexed, so a
+    /// corrupted file surfaces as a typed error, never a panic.
+    pub fn validate(&self) -> Result<(), &'static str> {
+        let n = self.motif_count();
+        if self.namespaces.len() != n
+            || self.frequencies.len() != n
+            || self.has_uniqueness.len() != n
+            || self.uniqueness.len() != n
+        {
+            return Err("per-motif column lengths disagree");
+        }
+        if !self.edges.len().is_multiple_of(2) {
+            return Err("edge slab length is odd");
+        }
+        check_offsets(&self.edge_offsets, n, self.edges.len() / 2)
+            .map_err(|_| "edge offsets malformed")?;
+        let occ_rows = self.occ_offsets.last().map_or(0, |&o| o as usize);
+        check_offsets(&self.occ_offsets, n, occ_rows)
+            .map_err(|_| "occurrence offsets malformed")?;
+        check_offsets(&self.occ_vertex_offsets, n, self.occ_vertices.len())
+            .map_err(|_| "occurrence vertex offsets malformed")?;
+        check_offsets(&self.vertex_offsets, n, self.label_offsets.len().saturating_sub(1))
+            .map_err(|_| "vertex offsets malformed")?;
+        let total_vertices = *self.vertex_offsets.last().unwrap_or(&0) as usize;
+        check_offsets(&self.label_offsets, total_vertices, self.label_terms.len())
+            .map_err(|_| "label offsets malformed")?;
+        for m in 0..n {
+            let k = self.size(m);
+            let slots =
+                (self.occ_vertex_offsets[m + 1] - self.occ_vertex_offsets[m]) as usize;
+            if slots != self.occurrence_count(m) * k {
+                return Err("occurrence row and vertex-slot tables disagree");
+            }
+            if (self.vertex_offsets[m + 1] - self.vertex_offsets[m]) as usize != k {
+                return Err("scheme length disagrees with motif size");
+            }
+            for &e in &self.edges
+                [self.edge_offsets[m] as usize * 2..self.edge_offsets[m + 1] as usize * 2]
+            {
+                if e as usize >= k {
+                    return Err("edge endpoint outside pattern");
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Rebuild the nested representation. Requires a validated value
+    /// (the conversion indexes by the offset tables).
+    pub fn to_motifs(&self) -> Vec<LabeledMotif> {
+        (0..self.motif_count())
+            .map(|m| {
+                let k = self.size(m);
+                let edge_pairs: Vec<(u32, u32)> = self.edges
+                    [self.edge_offsets[m] as usize * 2..self.edge_offsets[m + 1] as usize * 2]
+                    .chunks_exact(2)
+                    .map(|p| (p[0], p[1]))
+                    .collect();
+                let labels: Vec<VertexLabel> = (self.vertex_offsets[m]..self.vertex_offsets[m + 1])
+                    .map(|v| {
+                        let terms = self.label_terms
+                            [self.label_offsets[v as usize] as usize
+                                ..self.label_offsets[v as usize + 1] as usize]
+                            .iter()
+                            .map(|&t| TermId(t))
+                            .collect();
+                        VertexLabel::new(terms)
+                    })
+                    .collect();
+                let occurrences: Vec<Occurrence> = (0..self.occurrence_count(m))
+                    .map(|o| {
+                        Occurrence::new(
+                            self.occurrence(m, o).iter().map(|&v| VertexId(v)).collect(),
+                        )
+                    })
+                    .collect();
+                LabeledMotif {
+                    pattern: Graph::from_edges(k, &edge_pairs),
+                    namespace: namespace_from_tag(self.namespaces[m])
+                        .unwrap_or(Namespace::BiologicalProcess),
+                    scheme: LabelingScheme::new(labels),
+                    occurrences,
+                    motif_frequency: self.frequencies[m] as usize,
+                    uniqueness: (self.has_uniqueness[m] != 0).then(|| self.uniqueness[m]),
+                }
+            })
+            .collect()
+    }
+}
+
+/// Offset-table shape check: `n + 1` entries, 0-anchored,
+/// non-decreasing, terminated at `slab_len`.
+fn check_offsets(offsets: &[u32], n: usize, slab_len: usize) -> Result<(), ()> {
+    if offsets.len() != n + 1 || offsets.first() != Some(&0) {
+        return Err(());
+    }
+    if offsets.windows(2).any(|w| w[0] > w[1]) {
+        return Err(());
+    }
+    if offsets.last().copied().unwrap_or(0) as usize != slab_len {
+        return Err(());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<LabeledMotif> {
+        vec![
+            LabeledMotif {
+                pattern: Graph::from_edges(3, &[(0, 1), (1, 2)]),
+                namespace: Namespace::BiologicalProcess,
+                scheme: LabelingScheme::new(vec![
+                    VertexLabel::new(vec![TermId(4), TermId(2)]),
+                    VertexLabel::unknown(),
+                    VertexLabel::new(vec![TermId(7)]),
+                ]),
+                occurrences: vec![
+                    Occurrence::new(vec![VertexId(10), VertexId(11), VertexId(12)]),
+                    Occurrence::new(vec![VertexId(5), VertexId(6), VertexId(7)]),
+                ],
+                motif_frequency: 9,
+                uniqueness: Some(0.75),
+            },
+            LabeledMotif {
+                pattern: Graph::from_edges(2, &[(0, 1)]),
+                namespace: Namespace::CellularComponent,
+                scheme: LabelingScheme::all_unknown(2),
+                occurrences: vec![Occurrence::new(vec![VertexId(0), VertexId(3)])],
+                motif_frequency: 4,
+                uniqueness: None,
+            },
+        ]
+    }
+
+    #[test]
+    fn roundtrip_is_exact() {
+        let motifs = sample();
+        let flat = FlatMotifs::from_motifs(&motifs);
+        flat.validate().unwrap();
+        let back = flat.to_motifs();
+        assert_eq!(back.len(), motifs.len());
+        for (a, b) in motifs.iter().zip(&back) {
+            assert_eq!(a.pattern, b.pattern);
+            assert_eq!(a.namespace, b.namespace);
+            assert_eq!(a.scheme, b.scheme);
+            assert_eq!(a.occurrences, b.occurrences);
+            assert_eq!(a.motif_frequency, b.motif_frequency);
+            assert_eq!(a.uniqueness, b.uniqueness);
+        }
+        // Flattening the rebuilt dictionary is byte-identical too (the
+        // canonical-form property the binary roundtrip test leans on).
+        assert_eq!(flat, FlatMotifs::from_motifs(&back));
+    }
+
+    #[test]
+    fn accessors_slice_the_arenas() {
+        let flat = FlatMotifs::from_motifs(&sample());
+        assert_eq!(flat.motif_count(), 2);
+        assert_eq!(flat.size(0), 3);
+        assert_eq!(flat.occurrence_count(0), 2);
+        assert_eq!(flat.occurrence(0, 1), &[5, 6, 7]);
+        assert_eq!(flat.occurrence(1, 0), &[0, 3]);
+    }
+
+    #[test]
+    fn empty_dictionary_is_valid() {
+        let flat = FlatMotifs::from_motifs(&[]);
+        flat.validate().unwrap();
+        assert_eq!(flat.motif_count(), 0);
+        assert!(flat.to_motifs().is_empty());
+    }
+
+    #[test]
+    fn validate_rejects_corrupted_offsets() {
+        let mut flat = FlatMotifs::from_motifs(&sample());
+        flat.occ_offsets[1] = 99;
+        assert!(flat.validate().is_err());
+
+        let mut flat = FlatMotifs::from_motifs(&sample());
+        flat.edges[0] = 57; // endpoint outside the 3-vertex pattern
+        assert!(flat.validate().is_err());
+
+        let mut flat = FlatMotifs::from_motifs(&sample());
+        flat.sizes[1] = 3; // scheme length no longer matches
+        assert!(flat.validate().is_err());
+
+        let mut flat = FlatMotifs::from_motifs(&sample());
+        flat.uniqueness.pop();
+        assert!(flat.validate().is_err());
+    }
+
+    #[test]
+    fn namespace_tags_roundtrip() {
+        for ns in Namespace::ALL {
+            assert_eq!(namespace_from_tag(namespace_tag(ns)), Some(ns));
+        }
+        assert_eq!(namespace_from_tag(9), None);
+    }
+}

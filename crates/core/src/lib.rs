@@ -27,6 +27,7 @@
 pub mod assignment;
 pub mod clustering;
 pub mod dictionary;
+pub mod flat;
 pub mod kmeans;
 pub mod labeled;
 pub mod labeling;
@@ -42,6 +43,7 @@ pub use clustering::{
 };
 pub use kmeans::kmedoids_label;
 pub use dictionary::{parse_dictionary, write_dictionary, DictionaryError};
+pub use flat::{namespace_from_tag, FlatMotifs};
 pub use labeled::{LabeledDirectedMotif, LabeledMotif};
 pub use labeling::{LabelingScheme, VertexLabel};
 pub use lamofinder::{LaMoFinder, LaMoFinderConfig, LabelCheckpoint, SimilarityKernel};

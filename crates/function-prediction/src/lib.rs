@@ -21,6 +21,7 @@ pub mod motif_predictor;
 pub mod mrf;
 pub mod nc;
 pub mod nj;
+pub mod postings;
 pub mod prodistin;
 
 pub use categories::CategoryView;
@@ -32,4 +33,5 @@ pub use motif_predictor::LabeledMotifPredictor;
 pub use mrf::MrfPredictor;
 pub use nc::NeighborCountingPredictor;
 pub use nj::{neighbor_joining, NjTree};
+pub use postings::{rank_scores, Posting, PostingIndex, PredictScratch};
 pub use prodistin::{czekanowski_dice, ProdistinPredictor};

@@ -1,0 +1,652 @@
+//! Versioned, checksummed binary form of [`ModelArtifact`].
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic  "LAMOARTF"                    8 bytes
+//! version u32                          4 bytes
+//! section × 23, in fixed order:
+//!   tag      u32    identifies the column (see SECTIONS)
+//!   len      u64    payload bytes
+//!   payload  [u8]   raw element stream (u8 / u32 / u64 / f64)
+//!   checksum u64    FNV-1a 64 of the payload
+//! ```
+//!
+//! One section per artifact column keeps the writer a plain slab dump
+//! and the reader mmap-friendly: no nesting, every length known before
+//! its payload is touched. The reader is **total** (PR 4 parser
+//! discipline): every failure on arbitrary bytes is a typed
+//! [`ArtifactError`] carrying the byte offset and section name — never
+//! a panic, never an allocation larger than the input — and a
+//! successfully decoded artifact has passed full structural validation
+//! ([`ModelArtifact::validate`]) before it is returned, so the serving
+//! read path can index it unchecked.
+//!
+//! Re-serializing a decoded artifact reproduces the input byte for
+//! byte (`tests/prop_serve.rs` proves it): the format stores exactly
+//! the canonical columns `FlatMotifs::from_motifs` and
+//! `PostingIndex::build` emit, nothing derived.
+
+use crate::artifact::{ArtifactMeta, ModelArtifact};
+use function_prediction::{Posting, PostingIndex};
+use lamofinder::FlatMotifs;
+use std::fmt;
+
+/// File magic; changing the layout bumps [`FORMAT_VERSION`] instead.
+pub const MAGIC: &[u8; 8] = b"LAMOARTF";
+/// Current format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Where and how decoding failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ArtifactError {
+    /// Byte offset of the failure (section start for section-level
+    /// failures; input length for post-parse structural failures).
+    pub offset: usize,
+    /// What went wrong.
+    pub kind: ArtifactErrorKind,
+}
+
+/// Failure classes of [`read_artifact`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ArtifactErrorKind {
+    /// The first 8 bytes are not [`MAGIC`].
+    BadMagic,
+    /// A version this reader does not understand.
+    UnsupportedVersion { found: u32 },
+    /// Input ended inside the named section.
+    Truncated { section: &'static str },
+    /// A section arrived out of order / with an unknown tag.
+    WrongTag { section: &'static str, found: u32 },
+    /// The named section's payload does not hash to its checksum.
+    ChecksumMismatch {
+        section: &'static str,
+        stored: u64,
+        computed: u64,
+    },
+    /// Payload length is not a multiple of the element size.
+    Misaligned {
+        section: &'static str,
+        element_bytes: usize,
+    },
+    /// Bytes remain after the last section.
+    TrailingBytes,
+    /// Sections decoded but the artifact violates a structural
+    /// invariant (see [`ModelArtifact::validate`]).
+    Structural { reason: &'static str },
+}
+
+impl fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            ArtifactErrorKind::BadMagic => {
+                write!(f, "offset {}: not a lamo-serve artifact (bad magic)", self.offset)
+            }
+            ArtifactErrorKind::UnsupportedVersion { found } => write!(
+                f,
+                "offset {}: unsupported format version {found} (reader speaks {FORMAT_VERSION})",
+                self.offset
+            ),
+            ArtifactErrorKind::Truncated { section } => {
+                write!(f, "offset {}: input truncated in section `{section}`", self.offset)
+            }
+            ArtifactErrorKind::WrongTag { section, found } => write!(
+                f,
+                "offset {}: expected section `{section}`, found tag {found}",
+                self.offset
+            ),
+            ArtifactErrorKind::ChecksumMismatch {
+                section,
+                stored,
+                computed,
+            } => write!(
+                f,
+                "offset {}: checksum mismatch in section `{section}` \
+                 (stored {stored:#018x}, computed {computed:#018x})",
+                self.offset
+            ),
+            ArtifactErrorKind::Misaligned {
+                section,
+                element_bytes,
+            } => write!(
+                f,
+                "offset {}: section `{section}` length is not a multiple of {element_bytes}",
+                self.offset
+            ),
+            ArtifactErrorKind::TrailingBytes => {
+                write!(f, "offset {}: trailing bytes after the last section", self.offset)
+            }
+            ArtifactErrorKind::Structural { reason } => {
+                write!(f, "offset {}: artifact fails validation: {reason}", self.offset)
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArtifactError {}
+
+/// FNV-1a 64 — tiny, dependency-free, and plenty for corruption
+/// detection (this is an integrity check, not an authenticity one).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+// Section tags, in file order. Names appear in error messages.
+const SEC_META: (u32, &str) = (1, "meta");
+const SEC_CATEGORY_TERMS: (u32, &str) = (2, "category_terms");
+const SEC_SIZES: (u32, &str) = (3, "motif_sizes");
+const SEC_NAMESPACES: (u32, &str) = (4, "motif_namespaces");
+const SEC_FREQUENCIES: (u32, &str) = (5, "motif_frequencies");
+const SEC_HAS_UNIQUENESS: (u32, &str) = (6, "motif_has_uniqueness");
+const SEC_UNIQUENESS: (u32, &str) = (7, "motif_uniqueness");
+const SEC_EDGE_OFFSETS: (u32, &str) = (8, "edge_offsets");
+const SEC_EDGES: (u32, &str) = (9, "edges");
+const SEC_VERTEX_OFFSETS: (u32, &str) = (10, "vertex_offsets");
+const SEC_LABEL_OFFSETS: (u32, &str) = (11, "label_offsets");
+const SEC_LABEL_TERMS: (u32, &str) = (12, "label_terms");
+const SEC_OCC_OFFSETS: (u32, &str) = (13, "occ_offsets");
+const SEC_OCC_VERTEX_OFFSETS: (u32, &str) = (14, "occ_vertex_offsets");
+const SEC_OCC_VERTICES: (u32, &str) = (15, "occ_vertices");
+const SEC_LMS: (u32, &str) = (16, "lms");
+const SEC_POSTING_OFFSETS: (u32, &str) = (17, "posting_offsets");
+const SEC_POSTINGS: (u32, &str) = (18, "postings");
+const SEC_COUNT_OFFSETS: (u32, &str) = (19, "count_offsets");
+const SEC_COUNTS: (u32, &str) = (20, "counts");
+const SEC_FUNCTION_OFFSETS: (u32, &str) = (21, "function_offsets");
+const SEC_FUNCTIONS: (u32, &str) = (22, "functions");
+const SEC_END: (u32, &str) = (23, "end");
+
+fn push_section(out: &mut Vec<u8>, sec: (u32, &str), payload: &[u8]) {
+    out.extend_from_slice(&sec.0.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(payload);
+    out.extend_from_slice(&fnv1a(payload).to_le_bytes());
+}
+
+fn u32s(values: &[u32]) -> Vec<u8> {
+    values.iter().flat_map(|v| v.to_le_bytes()).collect()
+}
+
+fn u64s(values: &[u64]) -> Vec<u8> {
+    values.iter().flat_map(|v| v.to_le_bytes()).collect()
+}
+
+fn f64s(values: &[f64]) -> Vec<u8> {
+    values.iter().flat_map(|v| v.to_le_bytes()).collect()
+}
+
+/// Serialize an artifact to its canonical binary form.
+pub fn write_artifact(artifact: &ModelArtifact) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+
+    let mut meta = Vec::with_capacity(20);
+    meta.extend_from_slice(&artifact.meta.protein_count.to_le_bytes());
+    meta.extend_from_slice(&artifact.meta.network_edges.to_le_bytes());
+    meta.extend_from_slice(&artifact.meta.n_categories.to_le_bytes());
+    push_section(&mut out, SEC_META, &meta);
+    push_section(&mut out, SEC_CATEGORY_TERMS, &u32s(&artifact.category_terms));
+
+    let m = &artifact.motifs;
+    push_section(&mut out, SEC_SIZES, &u32s(&m.sizes));
+    push_section(&mut out, SEC_NAMESPACES, &m.namespaces);
+    push_section(&mut out, SEC_FREQUENCIES, &u64s(&m.frequencies));
+    push_section(&mut out, SEC_HAS_UNIQUENESS, &m.has_uniqueness);
+    push_section(&mut out, SEC_UNIQUENESS, &f64s(&m.uniqueness));
+    push_section(&mut out, SEC_EDGE_OFFSETS, &u32s(&m.edge_offsets));
+    push_section(&mut out, SEC_EDGES, &u32s(&m.edges));
+    push_section(&mut out, SEC_VERTEX_OFFSETS, &u32s(&m.vertex_offsets));
+    push_section(&mut out, SEC_LABEL_OFFSETS, &u32s(&m.label_offsets));
+    push_section(&mut out, SEC_LABEL_TERMS, &u32s(&m.label_terms));
+    push_section(&mut out, SEC_OCC_OFFSETS, &u32s(&m.occ_offsets));
+    push_section(&mut out, SEC_OCC_VERTEX_OFFSETS, &u32s(&m.occ_vertex_offsets));
+    push_section(&mut out, SEC_OCC_VERTICES, &u32s(&m.occ_vertices));
+
+    let x = &artifact.index;
+    push_section(&mut out, SEC_LMS, &f64s(&x.lms));
+    push_section(&mut out, SEC_POSTING_OFFSETS, &u32s(&x.posting_offsets));
+    let posting_words: Vec<u32> = x
+        .postings
+        .iter()
+        .flat_map(|p| [p.motif, p.occurrence, p.position, p.multiplicity])
+        .collect();
+    push_section(&mut out, SEC_POSTINGS, &u32s(&posting_words));
+    push_section(&mut out, SEC_COUNT_OFFSETS, &u32s(&x.count_offsets));
+    push_section(&mut out, SEC_COUNTS, &f64s(&x.counts));
+    push_section(&mut out, SEC_FUNCTION_OFFSETS, &u32s(&x.function_offsets));
+    push_section(&mut out, SEC_FUNCTIONS, &u32s(&x.functions));
+    push_section(&mut out, SEC_END, &[]);
+    out
+}
+
+/// Bounds-checked reader over the input bytes.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize, section: &'static str) -> Result<&'a [u8], ArtifactError> {
+        if self.bytes.len() - self.pos < n {
+            return Err(ArtifactError {
+                offset: self.pos,
+                kind: ArtifactErrorKind::Truncated { section },
+            });
+        }
+        let slice = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn u32(&mut self, section: &'static str) -> Result<u32, ArtifactError> {
+        let b = self.take(4, section)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self, section: &'static str) -> Result<u64, ArtifactError> {
+        let b = self.take(8, section)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Read one full section: tag check, length bound, checksum verify.
+    /// Returns the payload slice. The length is bounded by the
+    /// remaining input *before* anything is sliced, so a hostile length
+    /// can neither overflow nor trigger an oversized allocation.
+    fn section(&mut self, sec: (u32, &'static str)) -> Result<&'a [u8], ArtifactError> {
+        let start = self.pos;
+        let (tag, name) = sec;
+        let found = self.u32(name)?;
+        if found != tag {
+            return Err(ArtifactError {
+                offset: start,
+                kind: ArtifactErrorKind::WrongTag {
+                    section: name,
+                    found,
+                },
+            });
+        }
+        let len = self.u64(name)?;
+        let remaining = (self.bytes.len() - self.pos) as u64;
+        if len.saturating_add(8) > remaining {
+            return Err(ArtifactError {
+                offset: start,
+                kind: ArtifactErrorKind::Truncated { section: name },
+            });
+        }
+        let payload = self.take(len as usize, name)?;
+        let stored = self.u64(name)?;
+        let computed = fnv1a(payload);
+        if stored != computed {
+            return Err(ArtifactError {
+                offset: start,
+                kind: ArtifactErrorKind::ChecksumMismatch {
+                    section: name,
+                    stored,
+                    computed,
+                },
+            });
+        }
+        Ok(payload)
+    }
+}
+
+fn decode_u32s(payload: &[u8], sec: (u32, &'static str), offset: usize) -> Result<Vec<u32>, ArtifactError> {
+    if !payload.len().is_multiple_of(4) {
+        return Err(ArtifactError {
+            offset,
+            kind: ArtifactErrorKind::Misaligned {
+                section: sec.1,
+                element_bytes: 4,
+            },
+        });
+    }
+    Ok(payload
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect())
+}
+
+fn decode_u64s(payload: &[u8], sec: (u32, &'static str), offset: usize) -> Result<Vec<u64>, ArtifactError> {
+    if !payload.len().is_multiple_of(8) {
+        return Err(ArtifactError {
+            offset,
+            kind: ArtifactErrorKind::Misaligned {
+                section: sec.1,
+                element_bytes: 8,
+            },
+        });
+    }
+    Ok(payload
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]]))
+        .collect())
+}
+
+fn decode_f64s(payload: &[u8], sec: (u32, &'static str), offset: usize) -> Result<Vec<f64>, ArtifactError> {
+    Ok(decode_u64s(payload, sec, offset)?
+        .into_iter()
+        .map(f64::from_bits)
+        .collect())
+}
+
+/// Deserialize and fully validate an artifact. Total: any input yields
+/// `Ok` or a typed error, never a panic.
+pub fn read_artifact(bytes: &[u8]) -> Result<ModelArtifact, ArtifactError> {
+    let mut cur = Cursor { bytes, pos: 0 };
+    let magic = cur.take(MAGIC.len(), "magic")?;
+    if magic != MAGIC {
+        return Err(ArtifactError {
+            offset: 0,
+            kind: ArtifactErrorKind::BadMagic,
+        });
+    }
+    let version_at = cur.pos;
+    let version = cur.u32("version")?;
+    if version != FORMAT_VERSION {
+        return Err(ArtifactError {
+            offset: version_at,
+            kind: ArtifactErrorKind::UnsupportedVersion { found: version },
+        });
+    }
+
+    let meta_at = cur.pos;
+    let meta_payload = cur.section(SEC_META)?;
+    if meta_payload.len() != 20 {
+        return Err(ArtifactError {
+            offset: meta_at,
+            kind: ArtifactErrorKind::Misaligned {
+                section: SEC_META.1,
+                element_bytes: 20,
+            },
+        });
+    }
+    let meta = ArtifactMeta {
+        protein_count: u64::from_le_bytes([
+            meta_payload[0],
+            meta_payload[1],
+            meta_payload[2],
+            meta_payload[3],
+            meta_payload[4],
+            meta_payload[5],
+            meta_payload[6],
+            meta_payload[7],
+        ]),
+        network_edges: u64::from_le_bytes([
+            meta_payload[8],
+            meta_payload[9],
+            meta_payload[10],
+            meta_payload[11],
+            meta_payload[12],
+            meta_payload[13],
+            meta_payload[14],
+            meta_payload[15],
+        ]),
+        n_categories: u32::from_le_bytes([
+            meta_payload[16],
+            meta_payload[17],
+            meta_payload[18],
+            meta_payload[19],
+        ]),
+    };
+
+    // The repeated shape below is deliberate: one line per section, in
+    // file order, each bound-checked and checksummed independently so
+    // the error names exactly the column that went bad.
+    macro_rules! col {
+        ($sec:expr, $decoder:ident) => {{
+            let at = cur.pos;
+            let payload = cur.section($sec)?;
+            $decoder(payload, $sec, at)?
+        }};
+    }
+
+    let category_terms = col!(SEC_CATEGORY_TERMS, decode_u32s);
+    let sizes = col!(SEC_SIZES, decode_u32s);
+    let namespaces = cur.section(SEC_NAMESPACES)?.to_vec();
+    let frequencies = col!(SEC_FREQUENCIES, decode_u64s);
+    let has_uniqueness = cur.section(SEC_HAS_UNIQUENESS)?.to_vec();
+    let uniqueness = col!(SEC_UNIQUENESS, decode_f64s);
+    let edge_offsets = col!(SEC_EDGE_OFFSETS, decode_u32s);
+    let edges = col!(SEC_EDGES, decode_u32s);
+    let vertex_offsets = col!(SEC_VERTEX_OFFSETS, decode_u32s);
+    let label_offsets = col!(SEC_LABEL_OFFSETS, decode_u32s);
+    let label_terms = col!(SEC_LABEL_TERMS, decode_u32s);
+    let occ_offsets = col!(SEC_OCC_OFFSETS, decode_u32s);
+    let occ_vertex_offsets = col!(SEC_OCC_VERTEX_OFFSETS, decode_u32s);
+    let occ_vertices = col!(SEC_OCC_VERTICES, decode_u32s);
+    let lms = col!(SEC_LMS, decode_f64s);
+    let posting_offsets = col!(SEC_POSTING_OFFSETS, decode_u32s);
+    let postings_at = cur.pos;
+    let posting_words = col!(SEC_POSTINGS, decode_u32s);
+    if posting_words.len() % 4 != 0 {
+        return Err(ArtifactError {
+            offset: postings_at,
+            kind: ArtifactErrorKind::Misaligned {
+                section: SEC_POSTINGS.1,
+                element_bytes: 16,
+            },
+        });
+    }
+    let postings: Vec<Posting> = posting_words
+        .chunks_exact(4)
+        .map(|w| Posting {
+            motif: w[0],
+            occurrence: w[1],
+            position: w[2],
+            multiplicity: w[3],
+        })
+        .collect();
+    let count_offsets = col!(SEC_COUNT_OFFSETS, decode_u32s);
+    let counts = col!(SEC_COUNTS, decode_f64s);
+    let function_offsets = col!(SEC_FUNCTION_OFFSETS, decode_u32s);
+    let functions = col!(SEC_FUNCTIONS, decode_u32s);
+    let end_at = cur.pos;
+    let end = cur.section(SEC_END)?;
+    if !end.is_empty() {
+        return Err(ArtifactError {
+            offset: end_at,
+            kind: ArtifactErrorKind::Misaligned {
+                section: SEC_END.1,
+                element_bytes: 0,
+            },
+        });
+    }
+    if cur.pos != bytes.len() {
+        return Err(ArtifactError {
+            offset: cur.pos,
+            kind: ArtifactErrorKind::TrailingBytes,
+        });
+    }
+
+    let artifact = ModelArtifact {
+        meta,
+        category_terms,
+        motifs: FlatMotifs {
+            sizes,
+            namespaces,
+            frequencies,
+            has_uniqueness,
+            uniqueness,
+            edge_offsets,
+            edges,
+            vertex_offsets,
+            label_offsets,
+            label_terms,
+            occ_offsets,
+            occ_vertex_offsets,
+            occ_vertices,
+        },
+        index: PostingIndex {
+            n_categories: meta.n_categories,
+            lms,
+            posting_offsets,
+            postings,
+            count_offsets,
+            counts,
+            function_offsets,
+            functions,
+        },
+    };
+    artifact.validate().map_err(|reason| ArtifactError {
+        offset: bytes.len(),
+        kind: ArtifactErrorKind::Structural { reason },
+    })?;
+    Ok(artifact)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ModelArtifact {
+        use function_prediction::PredictionContext;
+        use go_ontology::{Namespace, TermId};
+        use lamofinder::{LabeledMotif, LabelingScheme, VertexLabel};
+        use motif_finder::Occurrence;
+        use ppi_graph::{Graph, VertexId};
+
+        let motifs = vec![LabeledMotif {
+            pattern: Graph::from_edges(3, &[(0, 1), (1, 2)]),
+            namespace: Namespace::MolecularFunction,
+            scheme: LabelingScheme::new(vec![
+                VertexLabel::new(vec![TermId(3)]),
+                VertexLabel::unknown(),
+                VertexLabel::new(vec![TermId(5), TermId(9)]),
+            ]),
+            occurrences: vec![
+                Occurrence::new(vec![VertexId(0), VertexId(1), VertexId(2)]),
+                Occurrence::new(vec![VertexId(3), VertexId(1), VertexId(4)]),
+            ],
+            motif_frequency: 2,
+            uniqueness: Some(0.5),
+        }];
+        let network = Graph::from_edges(5, &[(0, 1), (1, 2), (3, 1), (1, 4)]);
+        let functions = vec![vec![0], vec![1], vec![0, 1], vec![], vec![1]];
+        let terms = vec![TermId(100), TermId(200)];
+        ModelArtifact::build(
+            &motifs,
+            &PredictionContext {
+                network: &network,
+                functions: &functions,
+                n_categories: 2,
+                category_terms: &terms,
+            },
+        )
+    }
+
+    #[test]
+    fn roundtrip_bytes_and_value() {
+        let artifact = sample();
+        let bytes = write_artifact(&artifact);
+        let back = read_artifact(&bytes).expect("canonical bytes must decode");
+        assert_eq!(back, artifact);
+        assert_eq!(write_artifact(&back), bytes, "re-serialization is byte-identical");
+    }
+
+    #[test]
+    fn empty_artifact_roundtrips() {
+        let empty = ModelArtifact::default();
+        // An all-default artifact fails validation (offset tables must
+        // be 0-anchored), so build the smallest valid one instead.
+        assert!(empty.validate().is_err());
+        use function_prediction::PredictionContext;
+        use ppi_graph::Graph;
+        let network = Graph::empty(0);
+        let artifact = ModelArtifact::build(
+            &[],
+            &PredictionContext {
+                network: &network,
+                functions: &[],
+                n_categories: 0,
+                category_terms: &[],
+            },
+        );
+        let bytes = write_artifact(&artifact);
+        assert_eq!(read_artifact(&bytes).expect("minimal artifact must decode"), artifact);
+    }
+
+    #[test]
+    fn bad_magic_and_version() {
+        let mut bytes = write_artifact(&sample());
+        bytes[0] ^= 0xff;
+        assert_eq!(
+            read_artifact(&bytes).map_err(|e| e.kind),
+            Err(ArtifactErrorKind::BadMagic)
+        );
+        let mut bytes = write_artifact(&sample());
+        bytes[8] = 99;
+        assert_eq!(
+            read_artifact(&bytes).map_err(|e| e.kind),
+            Err(ArtifactErrorKind::UnsupportedVersion { found: 99 })
+        );
+    }
+
+    #[test]
+    fn truncation_names_the_section() {
+        let bytes = write_artifact(&sample());
+        let cut = &bytes[..bytes.len() - 9];
+        let err = read_artifact(cut).expect_err("truncated input must fail");
+        assert!(
+            matches!(err.kind, ArtifactErrorKind::Truncated { .. }),
+            "got {err:?}"
+        );
+        assert!(err.offset <= cut.len());
+    }
+
+    #[test]
+    fn bit_flip_fails_its_sections_checksum() {
+        let artifact = sample();
+        let bytes = write_artifact(&artifact);
+        // Flip one payload byte inside the category_terms section: its
+        // header starts right after meta (magic 8 + version 4 + meta
+        // section 4+8+20+8 = 52).
+        let mut corrupted = bytes.clone();
+        corrupted[52 + 12] ^= 0x01;
+        let err = read_artifact(&corrupted).expect_err("bit flip must fail");
+        match err.kind {
+            ArtifactErrorKind::ChecksumMismatch {
+                section,
+                stored,
+                computed,
+            } => {
+                assert_eq!(section, "category_terms");
+                assert_ne!(stored, computed);
+                assert_eq!(err.offset, 52);
+            }
+            other => panic!("expected checksum mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = write_artifact(&sample());
+        bytes.push(0);
+        let err = read_artifact(&bytes).expect_err("trailing byte must fail");
+        assert!(matches!(
+            err.kind,
+            ArtifactErrorKind::TrailingBytes | ArtifactErrorKind::Truncated { .. }
+        ));
+    }
+
+    #[test]
+    fn error_display_mentions_offset_and_section() {
+        let err = ArtifactError {
+            offset: 52,
+            kind: ArtifactErrorKind::ChecksumMismatch {
+                section: "category_terms",
+                stored: 1,
+                computed: 2,
+            },
+        };
+        let text = err.to_string();
+        assert!(text.contains("52") && text.contains("category_terms"));
+    }
+}

@@ -1,0 +1,31 @@
+#![forbid(unsafe_code)]
+//! **lamo-serve** — the online serving layer (DESIGN.md §16).
+//!
+//! Every other entry point in this workspace is a batch binary that
+//! re-walks the whole pipeline per question. This crate turns the
+//! pipeline's output into a product: a [`ModelArtifact`] precompiles
+//! the labeled motifs, the Eq. 4 LMS table and — the perf core —
+//! per-protein posting lists, so answering "which functions does
+//! protein `p` have?" (Eq. 5) is an O(|postings(p)|) merge instead of a
+//! full scan; [`format`] gives the artifact a versioned, checksummed
+//! binary form so a server loads once and answers from flat buffers;
+//! and [`Server`] fronts it with N worker threads sharing one
+//! `Arc<ModelArtifact>`.
+//!
+//! Determinism and safety rules, enforced by lamolint:
+//!
+//! * the read path acquires **no locks** (`serve-read-lock` rule) — all
+//!   coordination lives in `par_util::batch`, and the artifact itself
+//!   is immutable and `Sync`;
+//! * the query path touches **no wall clock** — batching is a pure
+//!   function of arrival order, and load limits are `RunContext` work
+//!   ticks, with only the `profile_serve` bench bin exempted to
+//!   measure latency.
+
+pub mod artifact;
+pub mod format;
+pub mod server;
+
+pub use artifact::{ArtifactMeta, ModelArtifact};
+pub use format::{read_artifact, write_artifact, ArtifactError, ArtifactErrorKind, FORMAT_VERSION};
+pub use server::{Prediction, ServeConfig, ServeError, Server};

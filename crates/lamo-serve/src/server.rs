@@ -1,0 +1,385 @@
+//! Multi-worker query front end over a shared [`ModelArtifact`].
+//!
+//! N worker threads drain a [`BatchQueue`] of requests; each worker
+//! owns one [`PredictScratch`] for its whole life, so the steady-state
+//! read path allocates only the response vectors it hands back.
+//! Everything the workers *read* — the artifact — sits behind a plain
+//! `Arc` with no locks (lamolint's `serve-read-lock` rule checks the
+//! crate); the only synchronization is the request queue and the
+//! per-request [`ResponseSlot`]s, both in `par_util::batch`.
+//!
+//! Determinism and shutdown:
+//!
+//! * batching is FIFO arrival order capped at
+//!   [`ServeConfig::max_batch`] — no timers, no wall clock anywhere in
+//!   the query path;
+//! * load is metered in [`RunContext`] work ticks (one per posting
+//!   consumed), so a tick budget bounds served work exactly the way it
+//!   bounds pipeline work, and tripping it (or the external
+//!   [`CancelToken`](par_util::CancelToken)) fails queries with
+//!   [`ServeError::Cancelled`] instead of hanging clients;
+//! * a panicking query is caught per request (`catch_unwind`): the
+//!   client gets [`ServeError::WorkerPanicked`], the worker and its
+//!   siblings keep serving;
+//! * [`Server::shutdown`] (and `Drop`) closes the queue, lets workers
+//!   drain what was already accepted, and joins them.
+
+use crate::artifact::ModelArtifact;
+use function_prediction::PredictScratch;
+use par_util::{BatchQueue, ResponseSlot, RunContext};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Server shape knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// Worker threads (0 ⇒ one per available core).
+    pub workers: usize,
+    /// Max requests a worker takes per queue drain.
+    pub max_batch: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 1,
+            max_batch: 32,
+        }
+    }
+}
+
+/// Why a query failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServeError {
+    /// Protein id outside the artifact's training network.
+    UnknownProtein { protein: usize, protein_count: usize },
+    /// The server is shutting down and no longer accepts work.
+    Closed,
+    /// The run was cancelled (tick budget spent or token tripped)
+    /// before this query was answered.
+    Cancelled,
+    /// The query panicked inside a worker; the worker survived.
+    WorkerPanicked,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::UnknownProtein {
+                protein,
+                protein_count,
+            } => write!(
+                f,
+                "protein {protein} outside the artifact's network (0..{protein_count})"
+            ),
+            ServeError::Closed => write!(f, "server is shut down"),
+            ServeError::Cancelled => write!(f, "run cancelled before the query was answered"),
+            ServeError::WorkerPanicked => write!(f, "query panicked in a worker"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// One answered query.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Prediction {
+    /// The protein asked about.
+    pub protein: usize,
+    /// Categories ranked by Eq. 5 score (descending, index ascending on
+    /// ties) — bitwise identical to the full-scan oracle's ranking.
+    pub ranked: Vec<(u32, f64)>,
+    /// Postings consumed answering this query (= work ticks charged).
+    pub postings: usize,
+}
+
+type Response = Result<Prediction, ServeError>;
+
+struct Request {
+    protein: usize,
+    slot: Arc<ResponseSlot<Response>>,
+}
+
+/// Handle to an in-flight query submitted with [`Server::submit`].
+pub struct PendingQuery {
+    slot: Arc<ResponseSlot<Response>>,
+}
+
+impl PendingQuery {
+    /// Block until the answer arrives.
+    pub fn wait(self) -> Response {
+        self.slot.wait()
+    }
+}
+
+/// The serving front end. Workers run until [`Server::shutdown`] or
+/// drop.
+pub struct Server {
+    queue: Arc<BatchQueue<Request>>,
+    ctx: Arc<RunContext>,
+    artifact: Arc<ModelArtifact>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Spawn the worker pool. The context meters served work: one tick
+    /// per posting consumed, so `RunContext::with_tick_budget` bounds
+    /// total service deterministically and `ctx.cancel()` (or the
+    /// realtime `Deadline` adapter at the CLI boundary) stops the pool
+    /// gracefully.
+    pub fn start(artifact: Arc<ModelArtifact>, config: ServeConfig, ctx: Arc<RunContext>) -> Server {
+        let worker_count = par_util::resolve_threads(config.workers);
+        let queue: Arc<BatchQueue<Request>> = Arc::new(BatchQueue::new());
+        let workers = (0..worker_count)
+            .map(|_| {
+                let queue = Arc::clone(&queue);
+                let artifact = Arc::clone(&artifact);
+                let ctx = Arc::clone(&ctx);
+                let max_batch = config.max_batch;
+                std::thread::spawn(move || worker_loop(&queue, &artifact, &ctx, max_batch))
+            })
+            .collect();
+        Server {
+            queue,
+            ctx,
+            artifact,
+            workers,
+        }
+    }
+
+    /// The artifact being served.
+    pub fn artifact(&self) -> &Arc<ModelArtifact> {
+        &self.artifact
+    }
+
+    /// Enqueue a query without blocking; errors that need no worker
+    /// (bounds, shutdown, cancellation) are returned immediately.
+    pub fn submit(&self, protein: usize) -> Result<PendingQuery, ServeError> {
+        let protein_count = self.artifact.protein_count();
+        if protein >= protein_count {
+            return Err(ServeError::UnknownProtein {
+                protein,
+                protein_count,
+            });
+        }
+        if self.ctx.should_stop() {
+            return Err(ServeError::Cancelled);
+        }
+        let slot = Arc::new(ResponseSlot::new());
+        let accepted = self.queue.push(Request {
+            protein,
+            slot: Arc::clone(&slot),
+        });
+        if accepted {
+            Ok(PendingQuery { slot })
+        } else {
+            Err(ServeError::Closed)
+        }
+    }
+
+    /// Answer one query, blocking until a worker serves it.
+    pub fn query(&self, protein: usize) -> Response {
+        self.submit(protein)?.wait()
+    }
+
+    /// Submit a whole batch, then collect every answer. Results line up
+    /// with `proteins` index for index; each is independent, so one bad
+    /// id fails only its own slot.
+    pub fn query_batch(&self, proteins: &[usize]) -> Vec<Response> {
+        let pending: Vec<Result<PendingQuery, ServeError>> =
+            proteins.iter().map(|&p| self.submit(p)).collect();
+        pending
+            .into_iter()
+            .map(|handle| handle.and_then(PendingQuery::wait))
+            .collect()
+    }
+
+    /// Stop accepting work, drain what was accepted, join the workers.
+    pub fn shutdown(mut self) {
+        self.shutdown_in_place();
+    }
+
+    fn shutdown_in_place(&mut self) {
+        self.queue.close();
+        for handle in self.workers.drain(..) {
+            // A worker that panicked outside catch_unwind (queue logic,
+            // not query logic) surfaces here instead of being lost.
+            if let Err(panic) = handle.join() {
+                std::panic::resume_unwind(panic);
+            }
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+fn worker_loop(
+    queue: &BatchQueue<Request>,
+    artifact: &ModelArtifact,
+    ctx: &RunContext,
+    max_batch: usize,
+) {
+    let mut scratch = PredictScratch::new();
+    let mut batch: Vec<Request> = Vec::new();
+    while queue.pop_batch(max_batch, &mut batch) {
+        for request in batch.drain(..) {
+            if ctx.should_stop() {
+                request.slot.fulfill(Err(ServeError::Cancelled));
+                continue;
+            }
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                let (ranked, postings) = artifact.predict_into(request.protein, &mut scratch);
+                Prediction {
+                    protein: request.protein,
+                    ranked: ranked.to_vec(),
+                    postings,
+                }
+            }));
+            match outcome {
+                Ok(prediction) => {
+                    // Charge the ticks *after* answering: a budget trip
+                    // fails the next query, never one already served.
+                    let ticks = prediction.postings as u64;
+                    request.slot.fulfill(Ok(prediction));
+                    ctx.tick(ticks);
+                }
+                Err(_) => {
+                    request.slot.fulfill(Err(ServeError::WorkerPanicked));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use function_prediction::PredictionContext;
+    use go_ontology::{Namespace, TermId};
+    use lamofinder::{LabeledMotif, LabelingScheme, VertexLabel};
+    use motif_finder::Occurrence;
+    use ppi_graph::{Graph, VertexId};
+
+    fn artifact() -> Arc<ModelArtifact> {
+        let motifs = vec![LabeledMotif {
+            pattern: Graph::from_edges(2, &[(0, 1)]),
+            namespace: Namespace::BiologicalProcess,
+            scheme: LabelingScheme::new(vec![VertexLabel::unknown(); 2]),
+            occurrences: vec![
+                Occurrence::new(vec![VertexId(0), VertexId(1)]),
+                Occurrence::new(vec![VertexId(2), VertexId(1)]),
+                Occurrence::new(vec![VertexId(2), VertexId(3)]),
+            ],
+            motif_frequency: 3,
+            uniqueness: Some(1.0),
+        }];
+        let network = Graph::from_edges(4, &[(0, 1), (2, 1), (2, 3)]);
+        let functions = vec![vec![0], vec![1], vec![0], vec![1]];
+        let terms = vec![TermId(10), TermId(20)];
+        Arc::new(ModelArtifact::build(
+            &motifs,
+            &PredictionContext {
+                network: &network,
+                functions: &functions,
+                n_categories: 2,
+                category_terms: &terms,
+            },
+        ))
+    }
+
+    fn expected(artifact: &ModelArtifact, p: usize) -> Prediction {
+        let mut scratch = PredictScratch::new();
+        let (ranked, postings) = artifact.predict_into(p, &mut scratch);
+        Prediction {
+            protein: p,
+            ranked: ranked.to_vec(),
+            postings,
+        }
+    }
+
+    #[test]
+    fn single_queries_match_direct_prediction() {
+        let artifact = artifact();
+        let server = Server::start(
+            Arc::clone(&artifact),
+            ServeConfig::default(),
+            Arc::new(RunContext::unbounded()),
+        );
+        for p in 0..artifact.protein_count() {
+            assert_eq!(server.query(p), Ok(expected(&artifact, p)));
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn batched_queries_match_and_align() {
+        let artifact = artifact();
+        let server = Server::start(
+            Arc::clone(&artifact),
+            ServeConfig {
+                workers: 2,
+                max_batch: 2,
+            },
+            Arc::new(RunContext::unbounded()),
+        );
+        let asked = [3, 0, 2, 0, 1];
+        let answers = server.query_batch(&asked);
+        for (&p, answer) in asked.iter().zip(&answers) {
+            assert_eq!(answer, &Ok(expected(&artifact, p)));
+        }
+    }
+
+    #[test]
+    fn unknown_protein_rejected_at_submit() {
+        let artifact = artifact();
+        let server = Server::start(
+            artifact,
+            ServeConfig::default(),
+            Arc::new(RunContext::unbounded()),
+        );
+        assert_eq!(
+            server.query(99),
+            Err(ServeError::UnknownProtein {
+                protein: 99,
+                protein_count: 4
+            })
+        );
+    }
+
+    #[test]
+    fn cancellation_fails_fast() {
+        let artifact = artifact();
+        let ctx = Arc::new(RunContext::unbounded());
+        let server = Server::start(artifact, ServeConfig::default(), Arc::clone(&ctx));
+        ctx.cancel();
+        assert_eq!(server.query(0), Err(ServeError::Cancelled));
+    }
+
+    #[test]
+    fn tick_budget_bounds_served_work() {
+        let artifact = artifact();
+        // Protein 1 has 2 postings; a 1-tick budget serves the first
+        // query and trips before the second.
+        let ctx = Arc::new(RunContext::with_tick_budget(1));
+        let server = Server::start(Arc::clone(&artifact), ServeConfig::default(), Arc::clone(&ctx));
+        assert_eq!(server.query(1), Ok(expected(&artifact, 1)));
+        assert_eq!(server.query(1), Err(ServeError::Cancelled));
+        assert_eq!(ctx.ticks_spent(), 2);
+    }
+
+    #[test]
+    fn shutdown_then_submit_is_closed() {
+        let artifact = artifact();
+        let ctx = Arc::new(RunContext::unbounded());
+        let server = Server::start(Arc::clone(&artifact), ServeConfig::default(), ctx);
+        server.shutdown();
+        let server = Server::start(artifact, ServeConfig::default(), Arc::new(RunContext::unbounded()));
+        server.queue.close();
+        assert_eq!(server.query(0), Err(ServeError::Closed));
+    }
+}

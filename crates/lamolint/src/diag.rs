@@ -26,10 +26,13 @@ pub enum Rule {
     /// A `faultpoint!` site outside library code, with a non-literal
     /// name, or with a name another site already uses.
     FaultpointHygiene,
+    /// A lock type or lock acquisition inside `crates/lamo-serve/src`
+    /// library code — the serving read path is lock-free by contract.
+    ServeReadLock,
 }
 
 /// Every rule, in report order.
-pub const ALL_RULES: [Rule; 8] = [
+pub const ALL_RULES: [Rule; 9] = [
     Rule::NondetIteration,
     Rule::WallClock,
     Rule::UnseededRng,
@@ -38,6 +41,7 @@ pub const ALL_RULES: [Rule; 8] = [
     Rule::ForbidUnsafe,
     Rule::BadSuppression,
     Rule::FaultpointHygiene,
+    Rule::ServeReadLock,
 ];
 
 impl Rule {
@@ -52,6 +56,7 @@ impl Rule {
             Rule::ForbidUnsafe => "forbid-unsafe",
             Rule::BadSuppression => "bad-suppression",
             Rule::FaultpointHygiene => "faultpoint-hygiene",
+            Rule::ServeReadLock => "serve-read-lock",
         }
     }
 
@@ -96,6 +101,11 @@ impl Rule {
                 "faultpoint! sites live in library code only, take a \
                  string-literal name, and each name is declared exactly \
                  once across the workspace"
+            }
+            Rule::ServeReadLock => {
+                "crates/lamo-serve library code may not name Mutex/RwLock/\
+                 Condvar or call .lock/.read/.write/.try_lock — the serve \
+                 read path is lock-free; coordinate via par_util::batch"
             }
         }
     }

@@ -1,4 +1,4 @@
-//! Lock-safety rule: `guard-across-spawn`.
+//! Lock-safety rules: `guard-across-spawn` and `serve-read-lock`.
 //!
 //! The sharded memo caches (par-util's `ShardedCache`) hand out RAII
 //! guards from per-shard `RwLock`s. The deadlock shape they invite: hold
@@ -127,6 +127,59 @@ fn liveness_end(model: &FileModel, let_idx: usize, stmt_end: usize, name: &str) 
     scope_end
 }
 
+/// Lock-acquisition method names the serving read path may not call.
+const SERVE_ACQUIRE: [&str; 4] = ["lock", "read", "write", "try_lock"];
+/// Lock type names the serving crate may not even mention.
+const SERVE_TYPES: [&str; 3] = ["Mutex", "RwLock", "Condvar"];
+
+/// `serve-read-lock`: `crates/lamo-serve` library code is the lock-free
+/// read path of the serving layer (DESIGN.md §16) — any lock *type*
+/// (`Mutex`/`RwLock`/`Condvar`) or acquisition call
+/// (`.lock()`/`.read()`/`.write()`/`.try_lock()`) there is a finding.
+/// Coordination that genuinely needs blocking lives in
+/// `par_util::batch`, where the guard rules above still police it. Test
+/// spans are exempt (tests may build adversarial states).
+pub fn serve_read_lock(path: &str, model: &FileModel, out: &mut Vec<Diagnostic>) {
+    for i in 0..model.code.len() {
+        if model.in_test_code(i) {
+            continue;
+        }
+        let Some(t) = model.tok(i) else { continue };
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        if SERVE_TYPES.contains(&t.text.as_str()) {
+            out.push(Diagnostic::new(
+                path,
+                t.line,
+                t.col,
+                Rule::ServeReadLock,
+                format!(
+                    "lock type `{}` in the lamo-serve read path; share immutable \
+                     state via Arc and put coordination in par_util::batch",
+                    t.text
+                ),
+            ));
+        } else if SERVE_ACQUIRE.contains(&t.text.as_str())
+            && i >= 1
+            && model.is_punct(i - 1, '.')
+            && model.is_punct(i + 1, '(')
+        {
+            out.push(Diagnostic::new(
+                path,
+                t.line,
+                t.col,
+                Rule::ServeReadLock,
+                format!(
+                    "`.{}()` acquisition in the lamo-serve read path; the serving \
+                     layer reads lock-free from an immutable artifact",
+                    t.text
+                ),
+            ));
+        }
+    }
+}
+
 /// A blocking operation at `k`: `spawn(…)`, `.send(…)`, or a
 /// `ShardedCache` shard call `.get_or_insert_with(…)`.
 fn hazard_at(model: &FileModel, k: usize) -> Option<&'static str> {
@@ -210,6 +263,36 @@ mod tests {
         let diags = run(src);
         assert_eq!(diags.len(), 1);
         assert!(diags[0].message.contains("`g`"));
+    }
+
+    fn run_serve(src: &str) -> Vec<Diagnostic> {
+        let model = FileModel::build(src);
+        let mut out = Vec::new();
+        serve_read_lock("crates/lamo-serve/src/x.rs", &model, &mut out);
+        out
+    }
+
+    #[test]
+    fn serve_rule_flags_lock_types_and_acquisitions() {
+        let src = "use parking_lot::Mutex;\n\
+                   pub fn f(m: &Mutex<u32>, l: &RwLock<u32>) {\n\
+                   let a = m.lock();\n\
+                   let b = l.read();\n\
+                   let c = l.write();\n\
+                   let d = m.try_lock();\n\
+                   }";
+        let diags = run_serve(src);
+        // 3 type mentions (Mutex ×2, RwLock — the use and the params)
+        // + 4 acquisitions.
+        assert_eq!(diags.len(), 7);
+        assert!(diags.iter().all(|d| d.rule == Rule::ServeReadLock));
+    }
+
+    #[test]
+    fn serve_rule_ignores_lookalikes_and_tests() {
+        let src = "pub fn f() { let data = std::fs::read(path); write!(out, \"x\"); }\n\
+                   #[cfg(test)]\nmod tests {\n#[test]\nfn t() { let g = m.lock(); g; }\n}";
+        assert!(run_serve(src).is_empty());
     }
 
     #[test]

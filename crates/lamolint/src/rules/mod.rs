@@ -26,6 +26,10 @@ pub struct FileScope {
     /// `lib_unwrap`: library code only). The hygiene rule itself runs
     /// everywhere — outside this scope any site is a finding.
     pub faultpoints: bool,
+    /// `serve-read-lock` applies: `crates/lamo-serve/src/**` minus bin
+    /// targets (the serving read path is lock-free by contract;
+    /// `profile_serve` is a CLI-boundary bench bin).
+    pub serve_lock_free: bool,
 }
 
 impl FileScope {
@@ -56,6 +60,7 @@ impl FileScope {
             lib_unwrap: !is_bench_crate && !in_tests && !is_bin,
             forbid_unsafe: rel_path.ends_with("src/lib.rs") && !in_tests,
             faultpoints: !is_bench_crate && !in_tests && !is_bin,
+            serve_lock_free: rel_path.starts_with("crates/lamo-serve/src/") && !is_bin,
         })
     }
 }
@@ -82,6 +87,9 @@ pub fn check_source(rel_path: &str, src: &str, scope: FileScope) -> FileOutcome 
         determinism::wall_clock(rel_path, &model, &mut found);
     }
     locks::guard_across_spawn(rel_path, &model, &mut found);
+    if scope.serve_lock_free {
+        locks::serve_read_lock(rel_path, &model, &mut found);
+    }
     if scope.lib_unwrap {
         panics::lib_unwrap(rel_path, &model, &mut found);
     }
@@ -126,6 +134,19 @@ mod tests {
 
         let test = FileScope::classify("crates/core/tests/prop_labeling.rs").expect("lintable");
         assert!(!test.lib_unwrap && test.wall_clock && !test.faultpoints);
+        assert!(!test.serve_lock_free && !lib.serve_lock_free);
+
+        let serve = FileScope::classify("crates/lamo-serve/src/server.rs").expect("lintable");
+        assert!(serve.serve_lock_free && serve.wall_clock && serve.lib_unwrap);
+        let serve_bin =
+            FileScope::classify("crates/lamo-serve/src/bin/profile_serve.rs").expect("lintable");
+        assert!(
+            !serve_bin.serve_lock_free,
+            "the bench bin sits at the CLI boundary, outside the read path"
+        );
+        let serve_test =
+            FileScope::classify("crates/lamo-serve/tests/prop_serve.rs").expect("lintable");
+        assert!(!serve_test.serve_lock_free);
 
         assert_eq!(FileScope::classify("vendor/rand/src/lib.rs"), None);
         assert_eq!(

@@ -1,0 +1,25 @@
+//@ path: crates/lamo-serve/src/read_path.rs
+// Fixture: a lock smuggled into the serving read path. The contract
+// (DESIGN.md §16) is that lamo-serve reads from an immutable
+// Arc<ModelArtifact> with zero locks; both naming a lock type and
+// acquiring one must be flagged — and the guard rules still apply on
+// top, so a guard held across a spawn is a second finding.
+use parking_lot::RwLock;
+
+pub struct CachedScores {
+    scores: RwLock<Vec<f64>>,
+}
+
+pub fn bad_locked_predict(cache: &CachedScores, p: usize) -> f64 {
+    let table = cache.scores.read();
+    table[p]
+}
+
+pub fn bad_guarded_fanout(cache: &CachedScores) {
+    crossbeam::scope(|scope| {
+        let table = cache.scores.write();
+        scope.spawn(|_| ());
+        table.len();
+    })
+    .expect("crossbeam scope fails only when a worker panicked");
+}

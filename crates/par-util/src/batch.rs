@@ -1,0 +1,290 @@
+//! Request batching for the serving layer (DESIGN.md §16).
+//!
+//! [`BatchQueue`] is a closeable MPMC queue whose consumers drain *runs*
+//! of pending items instead of single elements: a worker blocks until
+//! something is queued, then takes everything available up to its batch
+//! cap in FIFO order. Batch composition is therefore a pure function of
+//! arrival order and cap — no timers, no wall clock — which keeps the
+//! serving read path inside the workspace determinism rules.
+//!
+//! [`ResponseSlot`] is the matching one-shot reply cell. Producers park
+//! on [`ResponseSlot::wait`]; the serving worker fulfills every slot of
+//! a batch exactly once, even when a query panics (the server wraps
+//! batches in `catch_unwind` and fulfills survivors with an error).
+//!
+//! Both types synchronize *coordination*, not shared prediction state:
+//! the artifact itself is read lock-free behind an `Arc`, and lamolint's
+//! `serve-read-lock` rule keeps lock acquisitions out of `lamo-serve`
+//! entirely — which is why these primitives live here.
+
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::Condvar;
+
+struct QueueState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// Closeable FIFO queue with batched consumption.
+pub struct BatchQueue<T> {
+    state: Mutex<QueueState<T>>,
+    ready: Condvar,
+}
+
+impl<T> Default for BatchQueue<T> {
+    fn default() -> Self {
+        BatchQueue::new()
+    }
+}
+
+impl<T> BatchQueue<T> {
+    /// An open, empty queue.
+    pub fn new() -> BatchQueue<T> {
+        BatchQueue {
+            state: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Enqueue one item. Returns `false` (dropping the item) when the
+    /// queue is closed — producers racing a shutdown see the refusal
+    /// instead of a silently lost request.
+    pub fn push(&self, item: T) -> bool {
+        let mut state = self.state.lock();
+        if state.closed {
+            return false;
+        }
+        state.items.push_back(item);
+        drop(state);
+        self.ready.notify_one();
+        true
+    }
+
+    /// Block until at least one item is queued (or the queue closes),
+    /// then move up to `max_batch` items into `out` in FIFO order.
+    /// Returns `false` once the queue is closed *and* drained — the
+    /// consumer's signal to exit. `out` is cleared first, so a worker
+    /// can reuse one buffer across its whole life.
+    pub fn pop_batch(&self, max_batch: usize, out: &mut Vec<T>) -> bool {
+        out.clear();
+        let cap = max_batch.max(1);
+        let mut state = self.state.lock();
+        loop {
+            if !state.items.is_empty() {
+                while out.len() < cap {
+                    match state.items.pop_front() {
+                        Some(item) => out.push(item),
+                        None => break,
+                    }
+                }
+                // More work left: wake a sibling consumer that may have
+                // been notified for an item this batch just swallowed.
+                let more = !state.items.is_empty();
+                drop(state);
+                if more {
+                    self.ready.notify_one();
+                }
+                return true;
+            }
+            if state.closed {
+                return false;
+            }
+            state = self
+                .ready
+                .wait(state)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+    }
+
+    /// Close the queue: future `push`es are refused, blocked consumers
+    /// drain what remains and then see `false`. Idempotent.
+    pub fn close(&self) {
+        self.state.lock().closed = true;
+        self.ready.notify_all();
+    }
+
+    /// Whether [`close`](BatchQueue::close) has run.
+    pub fn is_closed(&self) -> bool {
+        self.state.lock().closed
+    }
+
+    /// Items currently queued (snapshot; for tests and reporting).
+    pub fn len(&self) -> usize {
+        self.state.lock().items.len()
+    }
+
+    /// Whether nothing is queued right now.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+enum SlotState<R> {
+    Empty,
+    Full(R),
+    Taken,
+}
+
+/// One-shot rendezvous cell: a producer parks on [`wait`]
+/// (ResponseSlot::wait) until a consumer [`fulfill`]s
+/// (ResponseSlot::fulfill) it.
+pub struct ResponseSlot<R> {
+    state: Mutex<SlotState<R>>,
+    filled: Condvar,
+}
+
+impl<R> Default for ResponseSlot<R> {
+    fn default() -> Self {
+        ResponseSlot::new()
+    }
+}
+
+impl<R> ResponseSlot<R> {
+    /// An unfulfilled slot.
+    pub fn new() -> ResponseSlot<R> {
+        ResponseSlot {
+            state: Mutex::new(SlotState::Empty),
+            filled: Condvar::new(),
+        }
+    }
+
+    /// Deliver the response. Returns `false` if the slot was already
+    /// fulfilled (the value is dropped) — double delivery is a caller
+    /// bug the server's panic-recovery path must tolerate, not a panic.
+    pub fn fulfill(&self, value: R) -> bool {
+        let mut state = self.state.lock();
+        if matches!(*state, SlotState::Empty) {
+            *state = SlotState::Full(value);
+            drop(state);
+            self.filled.notify_all();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Block until the response arrives and take it. A second `wait` on
+    /// the same slot would block forever, so slots are single-consumer
+    /// by convention (the server hands each one to exactly one client).
+    pub fn wait(&self) -> R {
+        let mut state = self.state.lock();
+        loop {
+            match std::mem::replace(&mut *state, SlotState::Taken) {
+                SlotState::Full(value) => return value,
+                other => *state = other,
+            }
+            state = self
+                .filled
+                .wait(state)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+    }
+
+    /// Take the response if it has already arrived (non-blocking).
+    pub fn try_take(&self) -> Option<R> {
+        let mut state = self.state.lock();
+        match std::mem::replace(&mut *state, SlotState::Taken) {
+            SlotState::Full(value) => Some(value),
+            other => {
+                *state = other;
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn batches_preserve_fifo_order() {
+        let q = BatchQueue::new();
+        for i in 0..7 {
+            assert!(q.push(i));
+        }
+        let mut batch = Vec::new();
+        assert!(q.pop_batch(3, &mut batch));
+        assert_eq!(batch, vec![0, 1, 2]);
+        assert!(q.pop_batch(3, &mut batch));
+        assert_eq!(batch, vec![3, 4, 5]);
+        assert!(q.pop_batch(3, &mut batch));
+        assert_eq!(batch, vec![6]);
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn close_drains_then_signals_exit() {
+        let q = BatchQueue::new();
+        assert!(q.push(1));
+        q.close();
+        assert!(!q.push(2), "closed queue must refuse new work");
+        let mut batch = Vec::new();
+        assert!(q.pop_batch(8, &mut batch), "pending work survives close");
+        assert_eq!(batch, vec![1]);
+        assert!(!q.pop_batch(8, &mut batch), "drained + closed ⇒ exit");
+        assert!(batch.is_empty());
+        assert!(q.is_closed());
+    }
+
+    #[test]
+    fn zero_cap_still_makes_progress() {
+        let q = BatchQueue::new();
+        assert!(q.push(9));
+        let mut batch = Vec::new();
+        assert!(q.pop_batch(0, &mut batch));
+        assert_eq!(batch, vec![9]);
+    }
+
+    #[test]
+    fn cross_thread_handoff() {
+        let q = Arc::new(BatchQueue::new());
+        let total: usize = 100;
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let mut seen = Vec::new();
+                let mut batch = Vec::new();
+                while q.pop_batch(4, &mut batch) {
+                    seen.extend(batch.iter().copied());
+                }
+                seen
+            })
+        };
+        for i in 0..total {
+            assert!(q.push(i));
+        }
+        q.close();
+        let seen = consumer.join().expect("consumer thread must not panic");
+        assert_eq!(seen, (0..total).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn slot_fulfill_then_wait() {
+        let slot = ResponseSlot::new();
+        assert!(slot.try_take().is_none());
+        assert!(slot.fulfill(41));
+        assert!(!slot.fulfill(42), "second delivery is refused");
+        assert_eq!(slot.wait(), 41);
+        assert!(slot.try_take().is_none(), "a response is taken once");
+    }
+
+    #[test]
+    fn slot_wait_blocks_until_fulfilled() {
+        let slot = Arc::new(ResponseSlot::new());
+        let waiter = {
+            let slot = Arc::clone(&slot);
+            std::thread::spawn(move || slot.wait())
+        };
+        slot.fulfill("done");
+        assert_eq!(
+            waiter.join().expect("waiter thread must not panic"),
+            "done"
+        );
+    }
+}

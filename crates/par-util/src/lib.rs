@@ -17,11 +17,13 @@
 //! wall-clock-aware piece is [`realtime::Deadline`], confined to the
 //! bench/CLI boundary.
 
+pub mod batch;
 pub mod realtime;
 pub mod sharded;
 pub mod supervise;
 pub mod threads;
 
+pub use batch::{BatchQueue, ResponseSlot};
 pub use sharded::ShardedCache;
 pub use supervise::{
     run_supervised, CancelToken, FaultAction, FaultArm, FaultPlan, InjectedFault, Interrupted,

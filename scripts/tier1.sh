@@ -7,4 +7,8 @@ cd "$(dirname "$0")/.."
 
 cargo build --release
 cargo test -q --workspace --no-fail-fast
+# The workspace build/test above already covers crates/lamo-serve (it is
+# a workspace member); this explicit build keeps the serving layer's
+# bench bin compiling even if the workspace default-members ever narrow.
+cargo build --release -p lamo-serve --bins
 cargo run -p lamolint --release -- check
