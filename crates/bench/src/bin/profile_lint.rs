@@ -1,42 +1,223 @@
-//! Profile the lamolint static-analysis pass over the workspace: files
-//! scanned, findings, suppressions, and wall time. Writes
-//! `BENCH_lint.json` so lint cost is tracked next to the pipeline
-//! benchmarks as the tree grows.
+//! Profile the lamolint v2 analyzer over the workspace, at three
+//! granularities, and write `BENCH_lint.json`:
+//!
+//! - **per-rule**: every [`lamolint::rules::REGISTRY`] entry timed in
+//!   isolation over the prebuilt per-file IRs, so a rule that turns
+//!   quadratic shows up as its own row — the row set is derived from the
+//!   registry, never hand-listed, so a new rule is benchmarked the day
+//!   it lands;
+//! - **driver**: serial vs parallel wall time with the cache disabled
+//!   (requested workers clamped to the host's cores, as in
+//!   `profile_find`; adding workers must never make linting slower);
+//! - **cache**: a cold run that rebuilds `target/lamolint-cache.json`
+//!   from nothing vs a warm run served entirely from it.
 
-use lamofinder_bench::report::JsonObject;
+use lamofinder_bench::report::{json_array, JsonObject};
+use lamolint::config::LintConfig;
+use lamolint::rules::{FileIr, FileScope, RuleOutput, REGISTRY};
+use lamolint::RunOptions;
+use std::path::{Path, PathBuf};
 use std::time::Instant;
+
+/// Timing repetitions (minimum is reported). Lint passes are tens of
+/// milliseconds, so a handful of reps absorbs scheduler noise cheaply.
+const REPS: usize = 5;
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+fn rel_slash(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Best-of-[`REPS`] wall time for one full driver pass.
+fn time_driver(root: &Path, opts: RunOptions) -> (f64, lamolint::Report) {
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..REPS {
+        let t = Instant::now();
+        let report = lamolint::run_check_with(root, opts).expect("workspace sources are readable");
+        best = best.min(t.elapsed().as_secs_f64());
+        last = Some(report);
+    }
+    (best, last.expect("at least one rep ran"))
+}
 
 fn main() {
     let cwd = std::env::current_dir().expect("current dir is readable");
     let root = lamolint::find_workspace_root(&cwd)
         .expect("profile_lint runs from inside the workspace");
+    let config = LintConfig::load(&root);
 
-    // Warm the page cache so the timed pass measures analysis, not I/O.
-    lamolint::run_check(&root).expect("workspace sources are readable");
-
+    // ---- Layer build: lex + item graph + dataflow for every file, once.
+    let mut paths = Vec::new();
+    for sub in ["crates", "src"] {
+        collect_rs_files(&root.join(sub), &mut paths);
+    }
+    paths.sort();
+    let sources: Vec<(String, String, FileScope)> = paths
+        .iter()
+        .filter_map(|p| {
+            let rel = rel_slash(&root, p);
+            let scope = FileScope::classify_with(&rel, &config)?;
+            let src = std::fs::read_to_string(p).ok()?;
+            Some((rel, src, scope))
+        })
+        .collect();
     let t = Instant::now();
-    let report = lamolint::run_check(&root).expect("workspace sources are readable");
-    let secs = t.elapsed().as_secs_f64();
+    let irs: Vec<FileIr> = sources
+        .iter()
+        .map(|(rel, src, scope)| FileIr::build(rel, src, *scope, &config))
+        .collect();
+    let ir_secs = t.elapsed().as_secs_f64();
 
-    let files = report.files.len();
-    let findings = report.diagnostics.len();
-    println!(
-        "lint: {files} files, {findings} finding(s), {} suppressed in {secs:.3}s \
-         ({:.0} files/s)",
-        report.suppressed,
-        files as f64 / secs.max(1e-9)
+    // ---- Per-rule timing: each registry entry swept over every IR.
+    let mut rule_rows: Vec<String> = Vec::new();
+    for spec in &REGISTRY {
+        let mut best = f64::INFINITY;
+        let mut findings = 0usize;
+        for _ in 0..REPS {
+            let mut out = RuleOutput::default();
+            let t = Instant::now();
+            for ir in &irs {
+                (spec.run)(ir, &mut out);
+            }
+            best = best.min(t.elapsed().as_secs_f64());
+            findings = out.diags.len();
+        }
+        println!(
+            "rule {:<22} {:>9.1}µs  {:>3} raw finding(s)",
+            spec.rule.name(),
+            best * 1e6,
+            findings
+        );
+        rule_rows.push(
+            JsonObject::new()
+                .str("rule", spec.rule.name())
+                .num("secs", best)
+                .int("raw_findings", findings)
+                .render(),
+        );
+    }
+
+    // ---- Driver: serial vs parallel, cache disabled so both measure
+    // analysis. Requested workers are clamped to cores; on a single-core
+    // host serial and "parallel" collapse and the speedup gate is moot.
+    let cores = par_util::resolve_threads(0);
+    let (serial_secs, serial_report) = time_driver(
+        &root,
+        RunOptions {
+            threads: 1,
+            use_cache: false,
+        },
     );
+    let requested = 4usize;
+    let effective = requested.min(cores);
+    let (parallel_secs, parallel_report) = if effective > 1 {
+        time_driver(
+            &root,
+            RunOptions {
+                threads: effective,
+                use_cache: false,
+            },
+        )
+    } else {
+        (serial_secs, lamolint::run_check_with(&root, RunOptions { threads: 1, use_cache: false }).expect("rerun"))
+    };
+    assert_eq!(
+        serial_report.diagnostics, parallel_report.diagnostics,
+        "lint output must be identical at every worker count"
+    );
+    let speedup = serial_secs / parallel_secs.max(1e-9);
+    if effective > 1 {
+        assert!(
+            speedup >= 1.0,
+            "parallel lint ({effective} workers, {parallel_secs:.4}s) slower than serial \
+             ({serial_secs:.4}s)"
+        );
+    }
+
+    // ---- Cache: cold rebuild vs fully warm read-through.
+    let cache_path = root.join("target").join("lamolint-cache.json");
+    let _ = std::fs::remove_file(&cache_path);
+    let t = Instant::now();
+    let cold_report =
+        lamolint::run_check_with(&root, RunOptions::default()).expect("cold cached run");
+    let cold_secs = t.elapsed().as_secs_f64();
+    let (warm_secs, warm_report) = time_driver(&root, RunOptions::default());
+    assert_eq!(
+        cold_report.diagnostics, warm_report.diagnostics,
+        "cache temperature must not change lint output"
+    );
+
+    let files = serial_report.files.len();
+    let findings = serial_report.diagnostics.len();
+    println!(
+        "lint: {files} files; serial {serial_secs:.3}s, {effective}-worker {parallel_secs:.3}s \
+         (speedup {speedup:.2}x); cold {cold_secs:.3}s, warm {warm_secs:.3}s \
+         ({} hit(s)); IR build {ir_secs:.3}s",
+        warm_report.cache_hits
+    );
+
+    let driver_rows = vec![
+        JsonObject::new()
+            .str("mode", "serial")
+            .int("threads", 1)
+            .int("effective_threads", 1)
+            .num("secs", serial_secs)
+            .num("speedup", 1.0)
+            .render(),
+        JsonObject::new()
+            .str("mode", "parallel")
+            .int("threads", requested)
+            .int("effective_threads", effective)
+            .num("secs", parallel_secs)
+            .num("speedup", speedup)
+            .render(),
+        JsonObject::new()
+            .str("mode", "cold-cache")
+            .int("cache_hits", cold_report.cache_hits)
+            .int("cache_misses", cold_report.cache_misses)
+            .num("secs", cold_secs)
+            .render(),
+        JsonObject::new()
+            .str("mode", "warm-cache")
+            .int("cache_hits", warm_report.cache_hits)
+            .int("cache_misses", warm_report.cache_misses)
+            .num("secs", warm_secs)
+            .render(),
+    ];
 
     let mut doc = JsonObject::new()
         .str("benchmark", "lamolint_check")
         .int("files_scanned", files)
         .int("findings", findings)
-        .int("suppressed", report.suppressed)
-        .num("secs", secs)
-        .num("files_per_sec", files as f64 / secs.max(1e-9));
-    for (rule, count) in report.rule_counts() {
+        .int("suppressed", serial_report.suppressed)
+        .num("ir_build_secs", ir_secs)
+        .num("secs", parallel_secs)
+        .num("files_per_sec", files as f64 / parallel_secs.max(1e-9));
+    for (rule, count) in serial_report.rule_counts() {
         doc = doc.int(rule, count);
     }
+    doc = doc
+        .raw("rules", json_array(&rule_rows))
+        .raw("driver", json_array(&driver_rows));
     std::fs::write("BENCH_lint.json", format!("{}\n", doc.render()))
         .expect("write BENCH_lint.json");
     println!("wrote BENCH_lint.json");

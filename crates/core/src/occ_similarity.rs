@@ -157,6 +157,9 @@ impl<'a> OccurrenceScorer<'a> {
     /// Cell values are byte-identical to the memoized path: both sides
     /// canonicalize a pair to (min protein, max protein) before the SV
     /// product, so orientation can never change the FP factor order.
+    // lamolint::allow(alloc-in-hot-loop): one-shot per-motif plane build —
+    // tri is preallocated at exact triangular capacity and becomes the
+    // SvPlane's owned storage, so a caller-owned scratch could not outlive it
     pub fn precompute_sv_plane(&mut self, occurrences: &[Occurrence], run: &RunContext) {
         let Some(planes) = self.dense else {
             return;

@@ -184,6 +184,10 @@ pub struct StPlane {
     tri: Vec<f64>,
 }
 
+/// One build worker's shard output: `(row, start)` markers into a flat
+/// buffer of that shard's row values.
+type ShardRows = (Vec<(usize, usize)>, Vec<f64>);
+
 impl StPlane {
     #[inline]
     fn slot(i: usize, j: usize) -> usize {
@@ -216,6 +220,9 @@ impl StPlane {
     /// costs balance). Returns `Ok(None)` when the context tripped
     /// mid-build (the partial plane is discarded); a worker panic
     /// surfaces as `Err` like every supervised stage.
+    // lamolint::allow(alloc-in-hot-loop): per-worker flat accumulators —
+    // one allocation amortized over every row the shard owns; the build
+    // runs once per namespace and its output *is* the plane
     pub fn build(
         ontology: &Ontology,
         weights: &TermWeights,
@@ -229,34 +236,38 @@ impl StPlane {
         let rows: Vec<usize> = (0..n).collect();
         let chunks = split_chunks(&rows, threads);
         let queue = WorkQueue::new(chunks.len());
+        // Each worker appends every row it owns into one flat buffer and
+        // records `(row, start)` markers — no per-row Vec, so the shard
+        // does O(1) amortized allocations instead of one per term.
         let PoolOutcome {
             results: parts,
             panic,
-        }: PoolOutcome<Vec<(usize, Vec<f64>)>> =
+        }: PoolOutcome<ShardRows> =
             run_supervised(chunks.len().max(1), "go.st_plane", run, || {
-                let mut part: Vec<(usize, Vec<f64>)> = Vec::new();
+                let mut starts: Vec<(usize, usize)> = Vec::new();
+                let mut flat: Vec<f64> = Vec::new();
                 while let Some(c) = queue.pull() {
                     for &i in &chunks[c] {
                         if run.should_stop() {
-                            return part;
+                            return (starts, flat);
                         }
                         let ti = interner.term(i as u32);
-                        let mut row = Vec::with_capacity(i + 1);
+                        let start = flat.len();
                         for j in 0..i {
                             let tj = interner.term(j as u32);
                             // `tj < ti` (interned order is term order),
                             // matching the oracle's normalized (min, max)
                             // argument order exactly.
-                            row.push(st_value(weights, tj, ti, || {
+                            flat.push(st_value(weights, tj, ti, || {
                                 bitsets.lowest_common_parent(weights, tj, ti)
                             }));
                         }
-                        row.push(1.0);
+                        flat.push(1.0);
                         run.tick((i + 1) as u64);
-                        part.push((i, row));
+                        starts.push((i, start));
                     }
                 }
-                part
+                (starts, flat)
             });
         if let Some(panic) = panic {
             return Err(panic);
@@ -265,9 +276,10 @@ impl StPlane {
             return Ok(None);
         }
         let mut tri = vec![0.0f64; n * (n + 1) / 2];
-        for part in parts {
-            for (i, row) in part {
-                tri[Self::slot(i, 0)..=Self::slot(i, i)].copy_from_slice(&row);
+        for (starts, flat) in parts {
+            for (i, start) in starts {
+                tri[Self::slot(i, 0)..=Self::slot(i, i)]
+                    .copy_from_slice(&flat[start..start + i + 1]);
             }
         }
         Ok(Some(StPlane { n, tri }))
@@ -347,6 +359,9 @@ impl DenseSimPlanes {
     /// `terms_by_protein`, compute the ST plane with `threads` workers
     /// under `run`, and lay the per-protein term lists out in CSR form.
     /// `Ok(None)` when the context tripped mid-build.
+    // lamolint::allow(alloc-in-hot-loop): CSR output storage preallocated
+    // at exact capacity — pushes never reallocate, and the vectors are
+    // the bundle's owned fields, not per-query temporaries
     pub fn build(
         ontology: &Ontology,
         weights: &TermWeights,
@@ -364,8 +379,9 @@ impl DenseSimPlanes {
         // under a passive context.
         let n = interner.len() as u64;
         let build_ticks = n * (n + 1) / 2;
+        let total_terms: usize = terms_by_protein.iter().map(Vec::len).sum();
         let mut term_offsets = Vec::with_capacity(terms_by_protein.len() + 1);
-        let mut term_data = Vec::new();
+        let mut term_data = Vec::with_capacity(total_terms);
         term_offsets.push(0u32);
         for list in terms_by_protein {
             for &t in list {

@@ -11,13 +11,23 @@
 //! exempt = [
 //!     "crates/par-util/src/realtime.rs",
 //! ]
+//!
+//! [hot-path]
+//! # Functions held to the alloc-in-hot-loop invariant, in addition to
+//! # anything carrying #[lamolint::kernel]. An entry names a function
+//! # (`predict_into`), a type (every method of `DenseEsuWalker`), or a
+//! # qualified method (`StPlane::build`).
+//! items = [
+//!     "DenseEsuWalker",
+//!     "StPlane::build",
+//! ]
 //! ```
 //!
 //! The parser is deliberately minimal (the build is offline; no `toml`
-//! crate): section headers in brackets, one `exempt` key per section
-//! holding an array of double-quoted workspace-relative paths, `#`
-//! comments. Unknown sections and keys are ignored so the format can
-//! grow without breaking older binaries.
+//! crate): section headers in brackets, one array-valued key per section
+//! (`exempt` / `items`) holding double-quoted strings, `#` comments.
+//! Unknown sections and keys are ignored so the format can grow without
+//! breaking older binaries.
 
 use std::fs;
 use std::path::Path;
@@ -28,6 +38,9 @@ pub struct LintConfig {
     /// Workspace-relative files (forward slashes) exempt from the
     /// `wall-clock` rule.
     pub wall_clock_exempt: Vec<String>,
+    /// `[hot-path] items`: functions/types/`Type::method` entries that
+    /// the `alloc-in-hot-loop` rule treats as kernel code.
+    pub hot_path: Vec<String>,
 }
 
 impl LintConfig {
@@ -46,41 +59,60 @@ impl LintConfig {
     pub fn parse(text: &str) -> LintConfig {
         let mut config = LintConfig::default();
         let mut section = String::new();
-        // `exempt = [...]` arrays may span lines; accumulate until `]`.
-        let mut in_exempt_array = false;
+        // Array values may span lines; remember the open (section, key)
+        // until the brackets balance.
+        let mut open_key: Option<String> = None;
         for raw in text.lines() {
             let line = strip_toml_comment(raw).trim().to_string();
             if line.is_empty() {
                 continue;
             }
-            if !in_exempt_array && line.starts_with('[') && line.ends_with(']') {
+            if open_key.is_none() && line.starts_with('[') && line.ends_with(']') {
                 section = line[1..line.len() - 1].trim().to_string();
                 continue;
             }
-            let body = if in_exempt_array {
-                line.as_str()
+            let (key, body) = if let Some(k) = &open_key {
+                (k.clone(), line.as_str())
             } else if let Some((key, value)) = line.split_once('=') {
-                if key.trim() != "exempt" {
-                    continue;
-                }
-                value.trim()
+                (key.trim().to_string(), value.trim())
             } else {
                 continue;
             };
-            if section == "wall-clock" {
-                for path in quoted_strings(body) {
-                    config.wall_clock_exempt.push(path);
-                }
+            let dest: Option<&mut Vec<String>> = match (section.as_str(), key.as_str()) {
+                ("wall-clock", "exempt") => Some(&mut config.wall_clock_exempt),
+                ("hot-path", "items") => Some(&mut config.hot_path),
+                _ => None,
+            };
+            if let Some(dest) = dest {
+                dest.extend(quoted_strings(body));
             }
             let opens = body.matches('[').count();
             let closes = body.matches(']').count();
-            if in_exempt_array {
-                in_exempt_array = closes <= opens;
+            let still_open = if open_key.is_some() {
+                closes <= opens
             } else {
-                in_exempt_array = opens > closes;
-            }
+                opens > closes
+            };
+            open_key = still_open.then_some(key);
         }
         config
+    }
+
+    /// A stable fingerprint of the configuration, for cache invalidation:
+    /// any config change must re-run analysis.
+    pub fn fingerprint(&self) -> u64 {
+        let mut repr = String::new();
+        for p in &self.wall_clock_exempt {
+            repr.push_str("w:");
+            repr.push_str(p);
+            repr.push('\n');
+        }
+        for p in &self.hot_path {
+            repr.push_str("h:");
+            repr.push_str(p);
+            repr.push('\n');
+        }
+        crate::cache::fnv1a64(repr.as_bytes())
     }
 }
 
@@ -134,6 +166,20 @@ mod tests {
     }
 
     #[test]
+    fn parses_hot_path_items() {
+        let text = "[hot-path]\n\
+                    items = [\n\
+                    \u{20}   \"DenseEsuWalker\",\n\
+                    \u{20}   \"StPlane::build\",\n\
+                    ]\n\
+                    [wall-clock]\n\
+                    exempt = [\"a.rs\"]\n";
+        let cfg = LintConfig::parse(text);
+        assert_eq!(cfg.hot_path, vec!["DenseEsuWalker", "StPlane::build"]);
+        assert_eq!(cfg.wall_clock_exempt, vec!["a.rs"]);
+    }
+
+    #[test]
     fn unknown_sections_and_keys_ignored() {
         let text = "[future-rule]\nexempt = [\"x.rs\"]\n[wall-clock]\nother = 3\n";
         assert_eq!(LintConfig::parse(text), LintConfig::default());
@@ -151,5 +197,15 @@ mod tests {
     fn load_missing_file_is_default() {
         let cfg = LintConfig::load(Path::new("/nonexistent/dir"));
         assert_eq!(cfg, LintConfig::default());
+    }
+
+    #[test]
+    fn fingerprint_tracks_every_section() {
+        let base = LintConfig::parse("[hot-path]\nitems = [\"a\"]\n");
+        let more = LintConfig::parse("[hot-path]\nitems = [\"a\", \"b\"]\n");
+        let clock = LintConfig::parse("[wall-clock]\nexempt = [\"a\"]\n");
+        assert_ne!(base.fingerprint(), more.fingerprint());
+        assert_ne!(base.fingerprint(), clock.fingerprint());
+        assert_eq!(base.fingerprint(), base.clone().fingerprint());
     }
 }

@@ -1,0 +1,422 @@
+//! Intraprocedural dataflow: def-use binding events and sink
+//! reachability helpers.
+//!
+//! This is layer 2 of the v2 analyzer (DESIGN §12). It generalizes the
+//! latest-binding name tracking that `nondet-iteration` pioneered into a
+//! shared fact table: every `let` initializer and every `name: Type`
+//! ascription (params, struct fields, annotations) becomes a
+//! [`BindEvent`] carrying *all* the facts rules care about —
+//!
+//! * `hash`   — the name is bound to a `HashMap`/`HashSet` (unordered
+//!   iteration source; `nondet-iteration`, `fp-accum-order`),
+//! * `float`  — the name holds an `f32`/`f64` value (`fp-accum-order`),
+//! * `alloc`  — the name was initialized by a heap allocation in this
+//!   function (`alloc-in-hot-loop` flags pushes into such locals),
+//! * `scratch`— the name is ascribed a `*Scratch` type, the sanctioned
+//!   caller-owned reuse pattern that discharges `alloc-in-hot-loop`.
+//!
+//! Resolution semantics are positional and identical to the original
+//! tracker, byte-for-byte: the latest binding at or before a use site
+//! wins; with none, the earliest later binding does (struct fields are
+//! often declared after the methods that use them). Keeping one resolver
+//! means the existing rules reproduce their blessed goldens exactly while
+//! the new rules read richer facts from the same events.
+
+use crate::lexer::TokKind;
+use crate::model::FileModel;
+use std::collections::BTreeMap;
+
+const HASH_TYPES: [&str; 2] = ["HashMap", "HashSet"];
+const FLOAT_TYPES: [&str; 2] = ["f32", "f64"];
+/// Container types whose `::new`/`::with_capacity` constructors heap-
+/// allocate (or will on first push).
+const ALLOC_TYPES: [&str; 9] = [
+    "Vec", "VecDeque", "String", "Box", "HashMap", "HashSet", "BTreeMap", "BTreeSet", "BinaryHeap",
+];
+/// Method calls that allocate a fresh owned container.
+const ALLOC_METHODS: [&str; 5] = ["collect", "to_vec", "to_string", "to_owned", "with_capacity"];
+
+pub fn is_hash_type(name: &str) -> bool {
+    HASH_TYPES.contains(&name)
+}
+
+/// `sort`, `sort_by_key`, `sort_unstable`, `sorted_keys`, … — any name
+/// that starts with `sort` re-establishes a deterministic order.
+pub fn is_sortish(name: &str) -> bool {
+    name.starts_with("sort")
+}
+
+/// One binding event for a name at token index `idx`.
+pub struct BindEvent {
+    pub idx: usize,
+    /// Bound to a `HashMap`/`HashSet` (directly — `Vec<HashMap…>` is an
+    /// ordered source and stays `false`).
+    pub hash: bool,
+    /// Holds an `f32`/`f64` (ascribed type, or float-literal initializer).
+    pub float: bool,
+    /// Initialized by a heap allocation in this file (`let`-events only;
+    /// ascriptions — params, fields — are caller-owned and stay `false`).
+    pub alloc: bool,
+    /// Ascribed a `*Scratch` type: the sanctioned reuse buffer.
+    pub scratch: bool,
+}
+
+/// All binding events per name, token-index ascending. Negative events
+/// matter: a name re-bound to a non-hash type later in the file (another
+/// function's parameter, say) must not inherit an earlier hash binding.
+pub struct Bindings {
+    events: BTreeMap<String, Vec<BindEvent>>,
+}
+
+impl Bindings {
+    /// Resolve `name` at a use site: the latest binding at or before
+    /// `use_idx` wins; with none, the earliest later binding does.
+    pub fn resolve(&self, name: &str, use_idx: usize) -> Option<&BindEvent> {
+        let events = self.events.get(name)?;
+        events
+            .iter()
+            .rev()
+            .find(|b| b.idx <= use_idx)
+            .or_else(|| events.first())
+    }
+
+    pub fn hash_at(&self, name: &str, use_idx: usize) -> bool {
+        self.resolve(name, use_idx).is_some_and(|b| b.hash)
+    }
+
+    pub fn float_at(&self, name: &str, use_idx: usize) -> bool {
+        self.resolve(name, use_idx).is_some_and(|b| b.float)
+    }
+
+    pub fn alloc_at(&self, name: &str, use_idx: usize) -> bool {
+        self.resolve(name, use_idx).is_some_and(|b| b.alloc)
+    }
+
+    pub fn scratch_at(&self, name: &str, use_idx: usize) -> bool {
+        self.resolve(name, use_idx).is_some_and(|b| b.scratch)
+    }
+
+    /// Whether any event in the file carries the `hash` fact — the cheap
+    /// pre-filter rules use to skip hash-free files.
+    pub fn any_hash(&self) -> bool {
+        self.events.values().flatten().any(|b| b.hash)
+    }
+
+    /// Collect binding events for every name in the file: from `let`
+    /// initializers (facts read off the RHS tokens) and from
+    /// `name: Type…` type ascriptions (facts read off the ascribed type).
+    pub fn collect(model: &FileModel) -> Bindings {
+        let mut events: BTreeMap<String, Vec<BindEvent>> = BTreeMap::new();
+        let mut record = |name: &str, ev: BindEvent| {
+            events.entry(name.to_string()).or_default().push(ev);
+        };
+        for i in 0..model.code.len() {
+            // `let [mut] NAME = <rhs> ;` — facts from the initializer.
+            if model.is_ident(i, "let") {
+                let mut j = i + 1;
+                if model.is_ident(j, "mut") {
+                    j += 1;
+                }
+                let Some(name_tok) = model.tok(j) else { continue };
+                if name_tok.kind != TokKind::Ident {
+                    continue;
+                }
+                let end = model.statement_end(i);
+                // An ascribed let (`let mut x: Vec<f64> = …`) is fully
+                // handled here — the type head contributes the scratch
+                // fact, and the ascription branch below must not record
+                // a second, fact-poorer event that would mask this one.
+                let head = (model.is_punct(j + 1, ':') && !model.is_punct(j + 2, ':'))
+                    .then(|| direct_type_head(model, j + 2))
+                    .flatten();
+                record(
+                    &name_tok.text.clone(),
+                    BindEvent {
+                        idx: j,
+                        hash: (j + 1..end)
+                            .any(|k| model.tok(k).is_some_and(|t| is_hash_type(&t.text))),
+                        float: rhs_is_float(model, j + 1, end),
+                        alloc: rhs_allocates(model, j + 1, end),
+                        scratch: head.is_some_and(|h| h.ends_with("Scratch")),
+                    },
+                );
+            }
+            // `NAME : [&][mut][path::]Type…` — params, fields, annotations.
+            if model.is_punct(i + 1, ':')
+                && !model.is_punct(i + 2, ':')
+                && (i == 0 || !model.is_punct(i - 1, ':'))
+                // `let NAME : …` was already recorded with RHS facts above.
+                && !(i >= 1 && model.is_ident(i - 1, "let"))
+                && !(i >= 2 && model.is_ident(i - 1, "mut") && model.is_ident(i - 2, "let"))
+            {
+                let Some(name_tok) = model.tok(i) else { continue };
+                if name_tok.kind != TokKind::Ident {
+                    continue;
+                }
+                if let Some(head) = direct_type_head(model, i + 2) {
+                    record(
+                        &name_tok.text.clone(),
+                        BindEvent {
+                            idx: i,
+                            hash: is_hash_type(&head),
+                            float: FLOAT_TYPES.contains(&head.as_str()),
+                            alloc: false,
+                            scratch: head.ends_with("Scratch"),
+                        },
+                    );
+                } else if looks_like_type(model, i + 2) {
+                    // A definite non-hash re-binding. Ascriptions that do
+                    // not look like a type (struct-literal fields, match
+                    // arms) are ignored rather than recorded as negative.
+                    record(
+                        &name_tok.text.clone(),
+                        BindEvent {
+                            idx: i,
+                            hash: false,
+                            float: false,
+                            alloc: false,
+                            scratch: false,
+                        },
+                    );
+                }
+            }
+        }
+        Bindings { events }
+    }
+}
+
+/// Whether the tokens at `p` look like a type, for negative re-binding:
+/// after `&` / `mut` / lifetimes, an uppercase-initial ident or a `::`
+/// path. Struct-literal values (`Foo { x: y.len() }`) fail this test so
+/// they never erase a real binding.
+fn looks_like_type(model: &FileModel, mut p: usize) -> bool {
+    for _ in 0..12 {
+        let Some(t) = model.tok(p) else { return false };
+        match t.kind {
+            TokKind::Ident if t.text == "mut" => p += 1,
+            TokKind::Ident => {
+                return t.text.chars().next().is_some_and(|c| c.is_ascii_uppercase())
+                    || FLOAT_TYPES.contains(&t.text.as_str())
+                    || (model.is_punct(p + 1, ':') && model.is_punct(p + 2, ':'));
+            }
+            TokKind::Lifetime => p += 1,
+            TokKind::Punct if t.is_punct('&') => p += 1,
+            _ => return false,
+        }
+    }
+    false
+}
+
+/// The head type name the ascription at `p` resolves to directly, after
+/// skipping `&`, `mut`, lifetimes, and path qualifiers — but only when
+/// that head carries a fact some rule reads (hash/float/scratch).
+/// `Vec<HashMap…>` is *not* a direct hash — iterating the Vec is ordered.
+fn direct_type_head(model: &FileModel, mut p: usize) -> Option<String> {
+    for _ in 0..12 {
+        let t = model.tok(p)?;
+        match t.kind {
+            TokKind::Ident
+                if is_hash_type(&t.text)
+                    || FLOAT_TYPES.contains(&t.text.as_str())
+                    || t.text.ends_with("Scratch") =>
+            {
+                return Some(t.text.clone());
+            }
+            TokKind::Ident if t.text == "mut" => p += 1,
+            // A path segment only if `::` follows.
+            TokKind::Ident if model.is_punct(p + 1, ':') && model.is_punct(p + 2, ':') => {
+                p += 3;
+            }
+            TokKind::Lifetime => p += 1,
+            TokKind::Punct if t.is_punct('&') => p += 1,
+            _ => return None,
+        }
+    }
+    None
+}
+
+/// Whether the initializer tokens in `(from..to)` evaluate to a float:
+/// a float literal (`0.0`, `1.5e-3`) or an `f32`/`f64` cast/turbofish.
+fn rhs_is_float(model: &FileModel, from: usize, to: usize) -> bool {
+    (from..to.min(model.code.len())).any(|k| {
+        model.tok(k).is_some_and(|t| match t.kind {
+            TokKind::Num => {
+                t.text.contains('.') || t.text.ends_with("f32") || t.text.ends_with("f64")
+            }
+            TokKind::Ident => FLOAT_TYPES.contains(&t.text.as_str()),
+            _ => false,
+        })
+    })
+}
+
+/// Whether the initializer tokens in `(from..to)` heap-allocate: a
+/// container constructor (`Vec::new()`, `Box::new(…)`), a `vec!`/
+/// `format!` macro, or an allocating method call (`.collect()`,
+/// `.to_vec()`, `.with_capacity(…)`).
+pub fn rhs_allocates(model: &FileModel, from: usize, to: usize) -> bool {
+    (from..to.min(model.code.len())).any(|k| alloc_call_at(model, k).is_some())
+}
+
+/// If token `k` is the head of a heap-allocating call, the display name
+/// to report (`Vec::new`, `vec!`, `collect`, …).
+pub fn alloc_call_at(model: &FileModel, k: usize) -> Option<String> {
+    let t = model.tok(k)?;
+    if t.kind != TokKind::Ident {
+        return None;
+    }
+    let name = t.text.as_str();
+    // `vec![…]` / `format!(…)`.
+    if (name == "vec" || name == "format") && model.is_punct(k + 1, '!') {
+        return Some(format!("{name}!"));
+    }
+    // `Vec::new(…)` / `Vec::with_capacity(…)` and friends.
+    if ALLOC_TYPES.contains(&name)
+        && model.is_punct(k + 1, ':')
+        && model.is_punct(k + 2, ':')
+        && model
+            .tok(k + 3)
+            .is_some_and(|m| m.text == "new" || m.text == "with_capacity")
+        && model.is_punct(k + 4, '(')
+    {
+        return Some(format!("{}::{}", name, model.tok(k + 3).map(|m| m.text.clone())?));
+    }
+    // `.collect()` / `.to_vec()` / `.to_string()` / `.to_owned()` —
+    // method position only.
+    if ALLOC_METHODS.contains(&name) && name != "with_capacity" && k >= 1 && model.is_punct(k - 1, '.')
+    {
+        // `collect` may take a turbofish before its parens.
+        let called = model.is_punct(k + 1, '(')
+            || (model.is_punct(k + 1, ':') && model.is_punct(k + 2, ':'));
+        if called {
+            return Some(name.to_string());
+        }
+    }
+    None
+}
+
+/// Walk back to the start of the statement containing `i`.
+pub fn statement_start(model: &FileModel, i: usize) -> usize {
+    let base = model.code[i].depth;
+    let mut j = i;
+    while j > 0 {
+        let k = j - 1;
+        let t = &model.code[k];
+        if (t.tok.is_punct(';') || t.tok.is_punct('{') || t.tok.is_punct('}')) && t.depth <= base {
+            return j;
+        }
+        j = k;
+    }
+    0
+}
+
+/// Whether `name.sort…(` appears in `(from..to)` — the "re-ordered
+/// before it escapes" discharge shared by the order-sensitivity rules.
+pub fn sorted_later(model: &FileModel, from: usize, to: usize, name: &str) -> bool {
+    (from..to.min(model.code.len())).any(|k| {
+        model.is_ident(k, name)
+            && model.is_punct(k + 1, '.')
+            && model.tok(k + 2).is_some_and(|t| is_sortish(&t.text))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flow(src: &str) -> (FileModel, Bindings) {
+        let m = FileModel::build(src);
+        let b = Bindings::collect(&m);
+        (m, b)
+    }
+
+    fn idx_of(m: &FileModel, name: &str) -> usize {
+        m.code
+            .iter()
+            .position(|t| t.tok.is_ident(name))
+            .expect("token is present in the source")
+    }
+
+    #[test]
+    fn let_rhs_facts() {
+        let (m, b) = flow(
+            "fn f() { let mut buf = Vec::new(); let x = 0.5; let s = HashSet::new(); \
+             let n = 3; }",
+        );
+        let end = m.code.len();
+        assert!(b.alloc_at("buf", end));
+        assert!(!b.hash_at("buf", end));
+        assert!(b.float_at("x", end));
+        assert!(b.hash_at("s", end));
+        assert!(b.alloc_at("s", end));
+        assert!(!b.alloc_at("n", end));
+        assert!(!b.float_at("n", end));
+    }
+
+    #[test]
+    fn ascription_facts() {
+        let (m, b) = flow(
+            "fn f(map: &HashMap<u32, u32>, w: f32, scratch: &mut PredictScratch, \
+             out: &mut Vec<u32>) {}",
+        );
+        let end = m.code.len();
+        assert!(b.hash_at("map", end));
+        assert!(b.float_at("w", end));
+        assert!(b.scratch_at("scratch", end));
+        assert!(!b.alloc_at("out", end), "params are caller-owned, never local allocs");
+        assert!(!b.hash_at("out", end));
+    }
+
+    #[test]
+    fn positional_resolution_latest_wins() {
+        let (m, b) = flow(
+            "fn a(set: &HashSet<u32>) { use_it(set); }\
+             fn b(set: &BTreeSet<u32>) { use_it(set); }",
+        );
+        let first_use = idx_of(&m, "use_it");
+        let second_use = m
+            .code
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.tok.is_ident("use_it"))
+            .map(|(i, _)| i)
+            .nth(1)
+            .expect("two uses");
+        assert!(b.hash_at("set", first_use));
+        assert!(!b.hash_at("set", second_use));
+    }
+
+    #[test]
+    fn field_declared_after_use_resolves_forward() {
+        let (m, b) = flow(
+            "impl S { fn f(&self) { go(self.items); } } struct S { items: HashSet<u32> }",
+        );
+        assert!(b.hash_at("items", idx_of(&m, "go")));
+    }
+
+    #[test]
+    fn vec_of_hash_is_not_direct_hash() {
+        let (m, b) = flow("fn f(shards: Vec<HashMap<u32, u32>>) {}");
+        assert!(!b.hash_at("shards", m.code.len()));
+    }
+
+    #[test]
+    fn alloc_call_detection() {
+        let m = FileModel::build(
+            "fn f() { a(vec![1]); b(x.to_vec()); c(Vec::with_capacity(4)); \
+             d(items.collect::<Vec<_>>()); e(self.collect); }",
+        );
+        let heads: Vec<String> = (0..m.code.len())
+            .filter_map(|k| alloc_call_at(&m, k))
+            .collect();
+        assert_eq!(heads, ["vec!", "to_vec", "Vec::with_capacity", "collect"]);
+    }
+
+    #[test]
+    fn float_literal_initializer() {
+        let (m, b) = flow("fn f() { let acc = 0.0; let g = 1f64; let i = 10; }");
+        let end = m.code.len();
+        assert!(b.float_at("acc", end));
+        assert!(b.float_at("g", end));
+        assert!(!b.float_at("i", end));
+    }
+}

@@ -1,0 +1,624 @@
+//! The workspace **item graph**: a total, error-recovering item parser
+//! over the token stream.
+//!
+//! [`ItemGraph::build`] walks a [`FileModel`] and recovers the file's
+//! item structure — functions, impl blocks, traits, modules — with their
+//! attributes, header and body token ranges, and parent links. It is the
+//! first layer of the v2 analyzer (DESIGN §12): rules no longer guess at
+//! function boundaries positionally; they ask the graph.
+//!
+//! The parser is *total*: any byte soup produces a (possibly empty)
+//! graph, never a panic, and every recorded token index is in bounds.
+//! Unknown constructs are skipped one statement or one balanced block at
+//! a time, so a syntax error quarantines at most its own statement — the
+//! same error-recovery discipline production linters use.
+//!
+//! The second per-function layer, [`BodyTree`], annotates every token of
+//! a function body with its **loop depth** (`for`/`while`/`loop` blocks
+//! plus closures passed to per-element iterator adapters) and **closure
+//! depth**. The hot-path rules (`alloc-in-hot-loop`) and the dataflow
+//! layer both read these annotations.
+
+use crate::lexer::TokKind;
+use crate::model::FileModel;
+
+/// What kind of item a node is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ItemKind {
+    Fn,
+    Impl,
+    Trait,
+    Mod,
+    /// struct / enum / union / macro_rules / other named declarations.
+    Other,
+}
+
+/// One parsed item with its token-range anchors into the [`FileModel`].
+#[derive(Clone, Debug)]
+pub struct Item {
+    pub kind: ItemKind,
+    /// Declared name: the fn/mod/trait name, or the impl'd type's last
+    /// path segment (`impl fmt::Display for Diagnostic` → `Diagnostic`).
+    pub name: String,
+    /// Index into [`ItemGraph::items`] of the enclosing item.
+    pub parent: Option<usize>,
+    /// Token ranges `(hash_idx, close_bracket_idx)` of each outer
+    /// `#[...]` attribute on this item.
+    pub attrs: Vec<(usize, usize)>,
+    /// First token of the item (first attribute or the keyword).
+    pub header_start: usize,
+    /// Token index of the defining keyword (`fn`, `impl`, …).
+    pub kw: usize,
+    /// Token indices of the body's `{` and its matching `}`, if any.
+    pub body: Option<(usize, usize)>,
+    /// Last token index of the item, inclusive.
+    pub end: usize,
+}
+
+/// The item graph of one file. Items appear in source order; parents
+/// always precede children.
+#[derive(Debug, Default)]
+pub struct ItemGraph {
+    items: Vec<Item>,
+}
+
+/// Keywords that decide an item's kind once seen at item level.
+fn decider_kind(name: &str) -> Option<ItemKind> {
+    Some(match name {
+        "fn" => ItemKind::Fn,
+        "impl" => ItemKind::Impl,
+        "trait" => ItemKind::Trait,
+        "mod" => ItemKind::Mod,
+        "struct" | "enum" | "union" | "macro_rules" => ItemKind::Other,
+        _ => None?,
+    })
+}
+
+impl ItemGraph {
+    /// Parse the file into an item graph. Total and deterministic.
+    pub fn build(model: &FileModel) -> ItemGraph {
+        let mut graph = ItemGraph::default();
+        graph.parse_level(model, 0, model.code.len(), None);
+        graph
+    }
+
+    /// All items, in source order.
+    pub fn items(&self) -> &[Item] {
+        &self.items
+    }
+
+    /// The innermost item whose span contains token `idx`.
+    pub fn item_at(&self, idx: usize) -> Option<usize> {
+        // Items are in source order and parents precede children, so the
+        // last containing item is the innermost.
+        self.items
+            .iter()
+            .enumerate()
+            .filter(|(_, it)| it.header_start <= idx && idx <= it.end)
+            .map(|(i, _)| i)
+            .next_back()
+    }
+
+    /// All `Fn` items named `name`, in source order.
+    pub fn fns_named<'g>(&'g self, name: &'g str) -> impl Iterator<Item = &'g Item> + 'g {
+        self.items
+            .iter()
+            .filter(move |it| it.kind == ItemKind::Fn && it.name == name)
+    }
+
+    /// The nearest `Impl` or `Trait` ancestor of item `id` (for
+    /// `Type::method` qualified-name matching).
+    pub fn container_of(&self, id: usize) -> Option<&Item> {
+        let mut cur = self.items.get(id)?.parent;
+        while let Some(p) = cur {
+            let it = self.items.get(p)?;
+            if matches!(it.kind, ItemKind::Impl | ItemKind::Trait) {
+                return Some(it);
+            }
+            cur = it.parent;
+        }
+        None
+    }
+
+    /// Whether any attribute of `item` is the two-segment path
+    /// `first::second` (e.g. `#[lamolint::kernel]`).
+    pub fn has_attr_path(&self, model: &FileModel, item: &Item, first: &str, second: &str) -> bool {
+        item.attrs.iter().any(|&(open, close)| {
+            (open..close.min(model.code.len())).any(|j| {
+                model.is_ident(j, first)
+                    && model.is_punct(j + 1, ':')
+                    && model.is_punct(j + 2, ':')
+                    && model.is_ident(j + 3, second)
+            })
+        })
+    }
+
+    /// One pass over `[start, end)` at a single nesting level.
+    fn parse_level(&mut self, model: &FileModel, start: usize, end: usize, parent: Option<usize>) {
+        let end = end.min(model.code.len());
+        let mut i = start;
+        while i < end {
+            let next = self.parse_one(model, i, end, parent);
+            // Progress guarantee: every dispatch advances at least one
+            // token, whatever close_of/statement_end degrade to.
+            i = next.max(i + 1);
+        }
+    }
+
+    /// Parse one item or skip one statement/block starting at `i`.
+    /// Returns the index to resume from.
+    fn parse_one(&mut self, model: &FileModel, i: usize, end: usize, parent: Option<usize>) -> usize {
+        let header_start = i;
+        let (attrs, mut j) = collect_attrs(model, i, end);
+        // Scan for the deciding keyword at this level, jumping over
+        // nested brackets.
+        let mut kw: Option<(usize, ItemKind)> = None;
+        while j < end {
+            if model.is_punct(j, '(') || model.is_punct(j, '[') {
+                j = model.close_of(j).saturating_add(1).max(j + 1);
+                continue;
+            }
+            if model.is_punct(j, '{') {
+                // An anonymous block (loop body, match arm, bare scope):
+                // recurse so nested items inside it are still found.
+                let close = model.close_of(j);
+                self.parse_level(model, j + 1, close, parent);
+                return close.saturating_add(1);
+            }
+            if model.is_punct(j, ';') || model.is_punct(j, '}') {
+                return j + 1; // plain statement / level end — no item
+            }
+            if let Some(t) = model.tok(j) {
+                if t.kind == TokKind::Ident {
+                    if let Some(kind) = decider_kind(&t.text) {
+                        kw = Some((j, kind));
+                        break;
+                    }
+                }
+            }
+            j += 1;
+        }
+        let Some((kw, kind)) = kw else {
+            return end; // ran off the level without a decider
+        };
+
+        let name = match kind {
+            ItemKind::Impl => impl_target_name(model, kw, end),
+            _ => model
+                .tok(kw + 1)
+                .filter(|t| t.kind == TokKind::Ident)
+                .map(|t| t.text.clone())
+                .unwrap_or_default(),
+        };
+        // The item's extent: first `;` or `{` at the keyword's depth.
+        let head_end = model.statement_end(kw);
+        let (body, item_end) = if model.is_punct(head_end, '{') {
+            // An unterminated body (truncated file) runs to the last token.
+            let last = model.code.len() - 1; // head_end is a real token
+            let close = model.close_of(head_end).clamp(head_end, last);
+            (Some((head_end, close)), close)
+        } else {
+            (None, head_end.min(end.saturating_sub(1).max(kw)))
+        };
+
+        let id = self.items.len();
+        self.items.push(Item {
+            kind,
+            name,
+            parent,
+            attrs,
+            header_start,
+            kw,
+            body,
+            end: item_end,
+        });
+        if let Some((open, close)) = body {
+            // Recurse into fn/impl/trait/mod bodies; `Other` bodies
+            // (struct fields, enum variants, macro arms) hold no items.
+            if kind != ItemKind::Other {
+                self.parse_level(model, open + 1, close, Some(id));
+            }
+        }
+        item_end.saturating_add(1)
+    }
+}
+
+/// Leading outer attributes `#[...]` at `i`; inner attributes `#![...]`
+/// are skipped without recording. Returns (attrs, next index).
+fn collect_attrs(model: &FileModel, mut i: usize, end: usize) -> (Vec<(usize, usize)>, usize) {
+    let mut attrs = Vec::new();
+    while i < end {
+        if model.is_punct(i, '#') && model.is_punct(i + 1, '[') {
+            let close = model.close_of(i + 1);
+            attrs.push((i, close));
+            i = close.saturating_add(1).max(i + 1);
+        } else if model.is_punct(i, '#') && model.is_punct(i + 1, '!') && model.is_punct(i + 2, '[')
+        {
+            i = model.close_of(i + 2).saturating_add(1).max(i + 1);
+        } else {
+            break;
+        }
+    }
+    (attrs, i)
+}
+
+/// The self-type name of an `impl` header: the last path segment of the
+/// implemented type — after `for` when a trait is being implemented,
+/// with `<...>` generic arguments skipped by angle counting.
+fn impl_target_name(model: &FileModel, impl_kw: usize, end: usize) -> String {
+    let head_end = model.statement_end(impl_kw).min(end);
+    // If a `for` appears outside angle brackets, the self type follows it.
+    let mut angle = 0i32;
+    let mut scan_from = impl_kw + 1;
+    for j in impl_kw + 1..head_end {
+        match model.tok(j) {
+            Some(t) if t.is_punct('<') => angle += 1,
+            Some(t) if t.is_punct('>') => angle -= 1,
+            Some(t) if angle == 0 && t.is_ident("for") => scan_from = j + 1,
+            _ => {}
+        }
+    }
+    // Last identifier of the leading path, ignoring generics.
+    let mut name = String::new();
+    let mut angle = 0i32;
+    for j in scan_from..head_end {
+        let Some(t) = model.tok(j) else { break };
+        if t.is_punct('<') {
+            angle += 1;
+        } else if t.is_punct('>') {
+            angle -= 1;
+        } else if angle == 0 {
+            if t.is_ident("where") || t.is_punct('(') || t.is_punct('{') {
+                // The type path ends at the where clause or body.
+                break;
+            }
+            if t.kind == TokKind::Ident && !matches!(t.text.as_str(), "mut" | "dyn" | "const") {
+                name = t.text.clone();
+            }
+            // Anything else (`::`, `&`, lifetimes) is path / reference
+            // machinery — keep scanning.
+        }
+    }
+    name
+}
+
+/// Iterator-adapter methods whose closure argument runs once per
+/// element — allocation inside such a closure is per-element allocation,
+/// so [`BodyTree`] counts these closures as loops.
+const ITER_ADAPTERS: [&str; 18] = [
+    "map",
+    "for_each",
+    "filter",
+    "filter_map",
+    "flat_map",
+    "fold",
+    "try_fold",
+    "retain",
+    "scan",
+    "inspect",
+    "any",
+    "all",
+    "find",
+    "find_map",
+    "position",
+    "partition",
+    "map_while",
+    "take_while",
+];
+
+/// Per-token loop/closure nesting annotations for one function body.
+pub struct BodyTree {
+    start: usize,
+    loop_depth: Vec<u8>,
+    closure_depth: Vec<u8>,
+}
+
+impl BodyTree {
+    /// Annotate the tokens of `body = (open, close)` (a `{`/`}` pair).
+    pub fn build(model: &FileModel, body: (usize, usize)) -> BodyTree {
+        let (open, close) = body;
+        let close = close.min(model.code.len());
+        let len = close.saturating_sub(open);
+        let mut tree = BodyTree {
+            start: open,
+            loop_depth: vec![0; len],
+            closure_depth: vec![0; len],
+        };
+        if len == 0 {
+            return tree;
+        }
+        // Loop blocks: a `for`/`while`/`loop` statement head whose
+        // statement ends at a `{` marks that block as a loop body.
+        for i in open..close {
+            let is_loop_head = model.is_ident(i, "for")
+                || model.is_ident(i, "while")
+                || model.is_ident(i, "loop");
+            if !is_loop_head {
+                continue;
+            }
+            // `for` in generic bounds (`for<'a>`) has no block statement.
+            let head = model.statement_end(i);
+            if head > i && model.is_punct(head, '{') {
+                let block_close = model.close_of(head);
+                tree.add(open, close, head + 1, block_close, true, false);
+            }
+        }
+        // Closures: `|params| body`, optionally `move`-prefixed. A
+        // closure passed to a per-element iterator adapter counts as a
+        // loop; any closure counts toward closure depth.
+        let mut i = open;
+        while i < close {
+            if let Some((params_close, body_start, body_end)) = closure_at(model, i, close) {
+                let adapter = closure_is_adapter_arg(model, i);
+                tree.add(open, close, body_start, body_end, adapter, true);
+                i = params_close + 1;
+                continue;
+            }
+            i += 1;
+        }
+        tree
+    }
+
+    fn add(
+        &mut self,
+        base: usize,
+        limit: usize,
+        from: usize,
+        to: usize,
+        is_loop: bool,
+        is_closure: bool,
+    ) {
+        let from = from.max(base);
+        let to = to.min(limit);
+        for idx in from..to {
+            let slot = idx - base;
+            if is_loop {
+                self.loop_depth[slot] = self.loop_depth[slot].saturating_add(1);
+            }
+            if is_closure {
+                self.closure_depth[slot] = self.closure_depth[slot].saturating_add(1);
+            }
+        }
+    }
+
+    /// Loop nesting depth of token `idx` (0 = straight-line body code).
+    pub fn loop_depth(&self, idx: usize) -> u8 {
+        idx.checked_sub(self.start)
+            .and_then(|i| self.loop_depth.get(i).copied())
+            .unwrap_or(0)
+    }
+
+    /// Closure nesting depth of token `idx`.
+    pub fn closure_depth(&self, idx: usize) -> u8 {
+        idx.checked_sub(self.start)
+            .and_then(|i| self.closure_depth.get(i).copied())
+            .unwrap_or(0)
+    }
+}
+
+/// If a closure's parameter list opens at `i` (a `|` or a `move` +
+/// `|`), return `(params_close, body_start, body_end)`.
+fn closure_at(model: &FileModel, i: usize, limit: usize) -> Option<(usize, usize, usize)> {
+    let bar = if model.is_ident(i, "move") && model.is_punct(i + 1, '|') {
+        i + 1
+    } else if model.is_punct(i, '|') {
+        // Only treat `|` as a closure opener in argument/binding
+        // position, so binary `a | b` stays an operator.
+        let prev_ok = i == 0
+            || model.is_punct(i - 1, '(')
+            || model.is_punct(i - 1, ',')
+            || model.is_punct(i - 1, '=')
+            || model.is_punct(i - 1, '{')
+            || model.is_ident(i - 1, "return")
+            || model.is_ident(i - 1, "move");
+        if !prev_ok {
+            return None;
+        }
+        i
+    } else {
+        return None;
+    };
+    let depth = model.code.get(bar)?.depth;
+    // Closing `|` of the parameter list: nearest following `|` at the
+    // same depth (closure params hold no `|` operators in this tree).
+    let params_close = (bar + 1..limit.min(bar + 64)).find(|&j| {
+        model.code.get(j).map(|c| c.depth) == Some(depth) && model.is_punct(j, '|')
+    })?;
+    let body_start = params_close + 1;
+    let body_end = if model.is_punct(body_start, '{') {
+        model.close_of(body_start)
+    } else {
+        // Expression-bodied closure: runs to the first `,`/`;` at the
+        // closure's depth or the token closing the enclosing bracket.
+        let mut j = body_start;
+        loop {
+            match model.code.get(j) {
+                None => break j,
+                Some(c) if c.depth < depth => break j,
+                Some(c)
+                    if c.depth == depth
+                        && (model.is_punct(j, ',') || model.is_punct(j, ';')) =>
+                {
+                    break j
+                }
+                Some(_) => j += 1,
+            }
+        }
+    };
+    Some((params_close, body_start, body_end.min(limit)))
+}
+
+/// Whether the closure opening at `i` is the argument of a per-element
+/// iterator-adapter method call: `.map(|x| …)`.
+fn closure_is_adapter_arg(model: &FileModel, i: usize) -> bool {
+    if i < 3 || !model.is_punct(i - 1, '(') {
+        return false;
+    }
+    let Some(method) = model.tok(i - 2) else {
+        return false;
+    };
+    method.kind == TokKind::Ident
+        && ITER_ADAPTERS.contains(&method.text.as_str())
+        && model.is_punct(i - 3, '.')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph(src: &str) -> (FileModel, ItemGraph) {
+        let model = FileModel::build(src);
+        let g = ItemGraph::build(&model);
+        (model, g)
+    }
+
+    fn names(g: &ItemGraph) -> Vec<(ItemKind, &str)> {
+        g.items().iter().map(|i| (i.kind, i.name.as_str())).collect()
+    }
+
+    #[test]
+    fn top_level_fns_and_structs() {
+        let (_, g) = graph("pub fn a() { x(); }\nstruct S { f: u32 }\nfn b(v: u32) -> u32 { v }");
+        assert_eq!(
+            names(&g),
+            vec![(ItemKind::Fn, "a"), (ItemKind::Other, "S"), (ItemKind::Fn, "b")]
+        );
+        assert!(g.items()[0].body.is_some());
+    }
+
+    #[test]
+    fn impl_methods_are_children() {
+        let (_, g) = graph(
+            "impl<'a> DenseEsuWalker<'a> {\n\
+             pub fn new() -> Self { Self }\n\
+             fn extend(&mut self) { self.walk(); }\n\
+             }",
+        );
+        assert_eq!(
+            names(&g),
+            vec![
+                (ItemKind::Impl, "DenseEsuWalker"),
+                (ItemKind::Fn, "new"),
+                (ItemKind::Fn, "extend")
+            ]
+        );
+        assert_eq!(g.items()[1].parent, Some(0));
+        assert_eq!(g.container_of(2).map(|i| i.name.as_str()), Some("DenseEsuWalker"));
+    }
+
+    #[test]
+    fn trait_impl_names_the_self_type() {
+        let (_, g) = graph("impl fmt::Display for Diagnostic { fn fmt(&self) {} }");
+        assert_eq!(g.items()[0].name, "Diagnostic");
+    }
+
+    #[test]
+    fn mods_nest() {
+        let (_, g) = graph("mod outer { mod inner { fn deep() {} } fn shallow() {} }");
+        let kinds = names(&g);
+        assert_eq!(
+            kinds,
+            vec![
+                (ItemKind::Mod, "outer"),
+                (ItemKind::Mod, "inner"),
+                (ItemKind::Fn, "deep"),
+                (ItemKind::Fn, "shallow")
+            ]
+        );
+        assert_eq!(g.items()[2].parent, Some(1));
+        assert_eq!(g.items()[3].parent, Some(0));
+    }
+
+    #[test]
+    fn attrs_attach_and_marker_is_found() {
+        let (m, g) = graph("#[inline]\n#[lamolint::kernel]\nfn hot() { work(); }\nfn cold() {}");
+        let hot = &g.items()[0];
+        assert_eq!(hot.attrs.len(), 2);
+        assert!(g.has_attr_path(&m, hot, "lamolint", "kernel"));
+        assert!(!g.has_attr_path(&m, &g.items()[1], "lamolint", "kernel"));
+    }
+
+    #[test]
+    fn nested_fn_inside_fn_body() {
+        let (_, g) = graph("fn outer() { fn inner() {} inner(); }");
+        assert_eq!(names(&g), vec![(ItemKind::Fn, "outer"), (ItemKind::Fn, "inner")]);
+        assert_eq!(g.items()[1].parent, Some(0));
+    }
+
+    #[test]
+    fn item_at_finds_innermost() {
+        let (m, g) = graph("fn a() { b(); }\nfn c() { d(); }");
+        let d_idx = m
+            .code
+            .iter()
+            .position(|t| t.tok.is_ident("d"))
+            .expect("d token is present");
+        let item = g.item_at(d_idx).expect("d is inside an item");
+        assert_eq!(g.items()[item].name, "c");
+    }
+
+    #[test]
+    fn bodyless_and_malformed_items_recover() {
+        let (_, g) = graph("trait T { fn sig(&self); }\nfn after() {}\nstruct ; impl { }");
+        assert!(g.items().iter().any(|i| i.name == "sig" && i.body.is_none()));
+        assert!(g.items().iter().any(|i| i.name == "after"));
+    }
+
+    #[test]
+    fn spans_stay_in_bounds_on_garbage() {
+        for src in ["fn", "impl {{{", "fn f( {", "mod m { fn ", "#[x fn y", "}}}fn g(){}"] {
+            let (m, g) = graph(src);
+            for it in g.items() {
+                assert!(it.kw < m.code.len().max(1), "{src}");
+                assert!(it.end < m.code.len().max(1) || m.code.is_empty(), "{src}");
+                if let Some((o, c)) = it.body {
+                    assert!(o <= c.min(m.code.len()), "{src}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn body_tree_loop_depths() {
+        let src = "fn f() { setup(); for i in 0..n { a(); while x { b(); } } tail(); }";
+        let m = FileModel::build(src);
+        let g = ItemGraph::build(&m);
+        let body = g.items()[0].body.expect("f has a body");
+        let tree = BodyTree::build(&m, body);
+        let pos = |name: &str| {
+            m.code
+                .iter()
+                .position(|t| t.tok.is_ident(name))
+                .expect("token is present in the source")
+        };
+        assert_eq!(tree.loop_depth(pos("setup")), 0);
+        assert_eq!(tree.loop_depth(pos("a")), 1);
+        assert_eq!(tree.loop_depth(pos("b")), 2);
+        assert_eq!(tree.loop_depth(pos("tail")), 0);
+    }
+
+    #[test]
+    fn adapter_closures_count_as_loops_plain_closures_do_not() {
+        let src = "fn f() { xs.iter().map(|x| alloc(x)).collect(); spawn(|| solo()); }";
+        let m = FileModel::build(src);
+        let g = ItemGraph::build(&m);
+        let tree = BodyTree::build(&m, g.items()[0].body.expect("f has a body"));
+        let alloc = m.code.iter().position(|t| t.tok.is_ident("alloc")).expect("present");
+        let solo = m.code.iter().position(|t| t.tok.is_ident("solo")).expect("present");
+        assert_eq!(tree.loop_depth(alloc), 1, "map closure body is per-element");
+        assert_eq!(tree.closure_depth(alloc), 1);
+        assert_eq!(tree.loop_depth(solo), 0, "spawn closure is not a loop");
+        assert_eq!(tree.closure_depth(solo), 1);
+    }
+
+    #[test]
+    fn bitwise_or_is_not_a_closure() {
+        let src = "fn f() { let z = a | b; for i in s { push(i | mask); } }";
+        let m = FileModel::build(src);
+        let g = ItemGraph::build(&m);
+        let tree = BodyTree::build(&m, g.items()[0].body.expect("f has a body"));
+        let push = m.code.iter().position(|t| t.tok.is_ident("push")).expect("present");
+        assert_eq!(tree.closure_depth(push), 0);
+        assert_eq!(tree.loop_depth(push), 1);
+    }
+}

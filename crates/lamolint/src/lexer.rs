@@ -35,13 +35,17 @@ pub enum TokKind {
     Punct,
 }
 
-/// One lexed token with its 1-based source position.
+/// One lexed token with its 1-based source position and byte offset.
 #[derive(Clone, Debug)]
 pub struct Token {
     pub kind: TokKind,
     pub text: String,
     pub line: u32,
     pub col: u32,
+    /// Byte offset of the token's first character in the source. Strictly
+    /// increasing along the token stream, so sorting diagnostics by
+    /// `(path, offset)` reproduces source order exactly.
+    pub offset: u32,
 }
 
 impl Token {
@@ -133,6 +137,7 @@ impl<'a> Lexer<'a> {
                 text,
                 line,
                 col,
+                offset: self.byte_at(start) as u32,
             });
         }
         self.out
@@ -455,6 +460,21 @@ mod tests {
         let toks = lex("a\n  bb\n");
         assert_eq!((toks[0].line, toks[0].col), (1, 1));
         assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn offsets_are_byte_positions_and_strictly_increase() {
+        let src = "ab λ cd";
+        let toks = lex(src);
+        assert_eq!(toks[0].offset, 0);
+        assert_eq!(toks[1].offset, 3); // after "ab "
+        assert_eq!(toks[2].offset, 6); // λ is two bytes
+        for w in toks.windows(2) {
+            assert!(w[0].offset < w[1].offset);
+        }
+        for t in &toks {
+            assert!((t.offset as usize) < src.len());
+        }
     }
 
     #[test]

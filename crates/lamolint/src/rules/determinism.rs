@@ -3,18 +3,18 @@
 //! The byte-identical-output guarantee of the parallel pipelines (DESIGN
 //! §10–§11) dies the moment `HashMap` iteration order, the wall clock, or
 //! an entropy-seeded RNG can reach an output. These rules are syntactic
-//! over-approximations — they track names bound to hash types within one
-//! file and flag iteration that feeds a collected/extended/pushed sink
-//! with no intervening sort — so a justified
+//! over-approximations — name-to-hash-type binding resolution comes from
+//! the shared dataflow layer ([`crate::dataflow::Bindings`]) and the
+//! rules flag iteration that feeds a collected/extended/pushed sink with
+//! no intervening sort — so a justified
 //! `// lamolint::allow(nondet-iteration): …` is the escape hatch where
 //! order provably cannot matter.
 
+use crate::dataflow::{is_sortish, sorted_later, statement_start, Bindings};
 use crate::diag::{Diagnostic, Rule};
 use crate::model::FileModel;
-use std::collections::BTreeMap;
 
-const HASH_TYPES: [&str; 2] = ["HashMap", "HashSet"];
-const ITER_METHODS: [&str; 10] = [
+pub(crate) const ITER_METHODS: [&str; 10] = [
     "iter",
     "iter_mut",
     "keys",
@@ -37,16 +37,6 @@ const ORDER_FREE_TARGETS: [&str; 6] = [
     "HashBag",
 ];
 
-fn is_hash_type(name: &str) -> bool {
-    HASH_TYPES.contains(&name)
-}
-
-/// `sort`, `sort_by_key`, `sort_unstable`, `sorted_keys`, … — any name
-/// that starts with `sort` re-establishes a deterministic order.
-fn is_sortish(name: &str) -> bool {
-    name.starts_with("sort")
-}
-
 /// `wall-clock`: `Instant` / `SystemTime` / thread-id reads.
 pub fn wall_clock(path: &str, model: &FileModel, out: &mut Vec<Diagnostic>) {
     for i in 0..model.code.len() {
@@ -66,10 +56,9 @@ pub fn wall_clock(path: &str, model: &FileModel, out: &mut Vec<Diagnostic>) {
             _ => false,
         };
         if flagged {
-            out.push(Diagnostic::new(
+            out.push(Diagnostic::at_tok(
                 path,
-                t.line,
-                t.col,
+                t,
                 Rule::WallClock,
                 format!(
                     "`{}` reads wall-clock/thread state; time-dependent values \
@@ -98,10 +87,9 @@ pub fn unseeded_rng(path: &str, model: &FileModel, out: &mut Vec<Diagnostic>) {
             _ => false,
         };
         if flagged {
-            out.push(Diagnostic::new(
+            out.push(Diagnostic::at_tok(
                 path,
-                t.line,
-                t.col,
+                t,
                 Rule::UnseededRng,
                 format!(
                     "`{}` draws entropy; construct RNGs from an explicit seed \
@@ -114,146 +102,22 @@ pub fn unseeded_rng(path: &str, model: &FileModel, out: &mut Vec<Diagnostic>) {
 }
 
 /// `nondet-iteration`: hash-order iteration feeding an ordered sink.
-pub fn nondet_iteration(path: &str, model: &FileModel, out: &mut Vec<Diagnostic>) {
-    let bindings = collect_hash_bindings(model);
-    if !bindings.values().flatten().any(|b| b.hash) {
+pub fn nondet_iteration(
+    path: &str,
+    model: &FileModel,
+    flow: &Bindings,
+    out: &mut Vec<Diagnostic>,
+) {
+    if !flow.any_hash() {
         return;
     }
-    check_for_loops(path, model, &bindings, out);
-    check_chains(path, model, &bindings, out);
-}
-
-/// One `let` / type-ascription event for a name: `hash` says whether the
-/// binding ties the name to a `HashMap`/`HashSet` at token index `idx`.
-struct Binding {
-    idx: usize,
-    hash: bool,
-}
-
-/// Binding events per name, token-index ascending. Negative (`hash:
-/// false`) events matter: the same name re-bound to a non-hash type
-/// later in the file (another function's parameter, say) must not
-/// inherit an earlier hash binding.
-type Bindings = BTreeMap<String, Vec<Binding>>;
-
-/// Resolve `name` at a use site: the latest binding at or before
-/// `use_idx` wins; with none (struct fields are often declared after the
-/// methods that use them), the earliest later binding does.
-fn is_hash_at(bindings: &Bindings, name: &str, use_idx: usize) -> bool {
-    let Some(events) = bindings.get(name) else {
-        return false;
-    };
-    match events.iter().rev().find(|b| b.idx <= use_idx) {
-        Some(b) => b.hash,
-        None => events.first().is_some_and(|b| b.hash),
-    }
-}
-
-/// Binding events for every name in the file: from `let` initializers
-/// (hash iff the RHS mentions a hash constructor) and from
-/// `name: HashMap…` type ascriptions (params, struct fields, let
-/// annotations — hash iff the ascribed type is directly a hash
-/// container).
-fn collect_hash_bindings(model: &FileModel) -> Bindings {
-    let mut bindings = Bindings::new();
-    let mut record = |name: &str, idx: usize, hash: bool| {
-        bindings
-            .entry(name.to_string())
-            .or_default()
-            .push(Binding { idx, hash });
-    };
-    for i in 0..model.code.len() {
-        // `let [mut] NAME = <rhs> ;` — hash iff the RHS mentions a hash type.
-        if model.is_ident(i, "let") {
-            let mut j = i + 1;
-            if model.is_ident(j, "mut") {
-                j += 1;
-            }
-            let Some(name_tok) = model.tok(j) else { continue };
-            if name_tok.kind != crate::lexer::TokKind::Ident {
-                continue;
-            }
-            let end = model.statement_end(i);
-            let rhs_has_hash = (j + 1..end).any(|k| {
-                model
-                    .tok(k)
-                    .map(|t| is_hash_type(&t.text))
-                    .unwrap_or(false)
-            });
-            record(&name_tok.text, j, rhs_has_hash);
-        }
-        // `NAME : [&][mut][path::]Type…` — params, fields, annotations.
-        if model.is_punct(i + 1, ':') && !model.is_punct(i + 2, ':') && (i == 0 || !model.is_punct(i - 1, ':'))
-        {
-            let Some(name_tok) = model.tok(i) else { continue };
-            if name_tok.kind != crate::lexer::TokKind::Ident {
-                continue;
-            }
-            if direct_type_is_hash(model, i + 2) {
-                record(&name_tok.text, i, true);
-            } else if looks_like_type(model, i + 2) {
-                // A definite non-hash re-binding. Ascriptions that do not
-                // look like a type (struct-literal fields, match arms)
-                // are ignored rather than recorded as negative.
-                record(&name_tok.text, i, false);
-            }
-        }
-    }
-    bindings
-}
-
-/// Whether the tokens at `p` look like a type, for negative re-binding:
-/// after `&` / `mut` / lifetimes, an uppercase-initial ident or a `::`
-/// path. Struct-literal values (`Foo { x: y.len() }`) fail this test so
-/// they never erase a real binding.
-fn looks_like_type(model: &FileModel, mut p: usize) -> bool {
-    for _ in 0..12 {
-        let Some(t) = model.tok(p) else { return false };
-        match t.kind {
-            crate::lexer::TokKind::Ident if t.text == "mut" => p += 1,
-            crate::lexer::TokKind::Ident => {
-                return t.text.chars().next().is_some_and(|c| c.is_ascii_uppercase())
-                    || (model.is_punct(p + 1, ':') && model.is_punct(p + 2, ':'));
-            }
-            crate::lexer::TokKind::Lifetime => p += 1,
-            crate::lexer::TokKind::Punct if t.is_punct('&') => p += 1,
-            _ => return false,
-        }
-    }
-    false
-}
-
-/// Whether the type starting at `p` is directly a hash container (after
-/// skipping `&`, `mut`, lifetimes, and path qualifiers). `Vec<HashMap…>`
-/// is *not* direct — iterating the Vec is ordered.
-fn direct_type_is_hash(model: &FileModel, mut p: usize) -> bool {
-    for _ in 0..12 {
-        let Some(t) = model.tok(p) else { return false };
-        match t.kind {
-            crate::lexer::TokKind::Ident if is_hash_type(&t.text) => return true,
-            crate::lexer::TokKind::Ident if t.text == "mut" => p += 1,
-            // A path segment only if `::` follows.
-            crate::lexer::TokKind::Ident
-                if model.is_punct(p + 1, ':') && model.is_punct(p + 2, ':') =>
-            {
-                p += 3;
-            }
-            crate::lexer::TokKind::Lifetime => p += 1,
-            crate::lexer::TokKind::Punct if t.is_punct('&') => p += 1,
-            _ => return false,
-        }
-    }
-    false
+    check_for_loops(path, model, flow, out);
+    check_chains(path, model, flow, out);
 }
 
 /// Case A: `for pat in <expr over hash name> { body }` where the body
 /// pushes/extends into a collection that is never subsequently sorted.
-fn check_for_loops(
-    path: &str,
-    model: &FileModel,
-    bindings: &Bindings,
-    out: &mut Vec<Diagnostic>,
-) {
+fn check_for_loops(path: &str, model: &FileModel, flow: &Bindings, out: &mut Vec<Diagnostic>) {
     for i in 0..model.code.len() {
         if !model.is_ident(i, "for") {
             continue;
@@ -268,7 +132,7 @@ fn check_for_loops(
         };
         let src_name = (in_idx + 1..header_end).find_map(|k| {
             let t = model.tok(k)?;
-            (t.kind == crate::lexer::TokKind::Ident && is_hash_at(bindings, &t.text, k))
+            (t.kind == crate::lexer::TokKind::Ident && flow.hash_at(&t.text, k))
                 .then(|| (k, t.text.clone()))
         });
         let Some((name_idx, name)) = src_name else {
@@ -333,10 +197,9 @@ fn scan_sinks_for_unsorted_push(
             continue;
         }
         let t = model.tok(k).expect("sink index is in range by the loop bound");
-        out.push(Diagnostic::new(
+        out.push(Diagnostic::at_tok(
             path,
-            t.line,
-            t.col,
+            t,
             Rule::NondetIteration,
             format!(
                 "`{recv_name}.{}` collects items in `{hash_name}` hash-iteration \
@@ -348,29 +211,12 @@ fn scan_sinks_for_unsorted_push(
     }
 }
 
-/// Whether `name.sort…(` appears in `(from..to)`.
-fn sorted_later(model: &FileModel, from: usize, to: usize, name: &str) -> bool {
-    (from..to.min(model.code.len())).any(|k| {
-        model.is_ident(k, name)
-            && model.is_punct(k + 1, '.')
-            && model
-                .tok(k + 2)
-                .map(|t| is_sortish(&t.text))
-                .unwrap_or(false)
-    })
-}
-
 /// Case B: method chains `name.iter()…collect()/extend(…)` in a single
 /// statement.
-fn check_chains(
-    path: &str,
-    model: &FileModel,
-    bindings: &Bindings,
-    out: &mut Vec<Diagnostic>,
-) {
+fn check_chains(path: &str, model: &FileModel, flow: &Bindings, out: &mut Vec<Diagnostic>) {
     for i in 0..model.code.len() {
         let Some(t) = model.tok(i) else { continue };
-        if t.kind != crate::lexer::TokKind::Ident || !is_hash_at(bindings, &t.text, i) {
+        if t.kind != crate::lexer::TokKind::Ident || !flow.hash_at(&t.text, i) {
             continue;
         }
         if !(model.is_punct(i + 1, '.')
@@ -401,24 +247,8 @@ fn check_chains(
     }
 }
 
-/// Walk back to the start of the statement containing `i`.
-fn statement_start(model: &FileModel, i: usize) -> usize {
-    let base = model.code[i].depth;
-    let mut j = i;
-    while j > 0 {
-        let k = j - 1;
-        let t = &model.code[k];
-        if (t.tok.is_punct(';') || t.tok.is_punct('{') || t.tok.is_punct('}')) && t.depth <= base {
-            return j;
-        }
-        j = k;
-    }
-    0
-}
-
 /// Sinks within one statement: `collect` (to an order-observable target)
 /// and `extend`/`push` receivers.
-#[allow(clippy::too_many_arguments)]
 fn analyze_chain_sinks(
     path: &str,
     model: &FileModel,
@@ -442,10 +272,9 @@ fn analyze_chain_sinks(
                 }
             }
             let t = model.tok(k).expect("collect index is in range by the loop bound");
-            out.push(Diagnostic::new(
+            out.push(Diagnostic::at_tok(
                 path,
-                t.line,
-                t.col,
+                t,
                 Rule::NondetIteration,
                 format!(
                     "collects `{hash_name}` hash-iteration order into an \
@@ -470,10 +299,9 @@ fn analyze_chain_sinks(
             }
             let recv_name = recv.text.clone();
             let t = model.tok(k).expect("sink index is in range by the loop bound");
-            out.push(Diagnostic::new(
+            out.push(Diagnostic::at_tok(
                 path,
-                t.line,
-                t.col,
+                t,
                 Rule::NondetIteration,
                 format!(
                     "`{recv_name}.{}` feeds on `{hash_name}` hash-iteration \
@@ -540,8 +368,9 @@ mod tests {
 
     fn run(src: &str) -> Vec<Diagnostic> {
         let model = FileModel::build(src);
+        let flow = Bindings::collect(&model);
         let mut out = Vec::new();
-        nondet_iteration("f.rs", &model, &mut out);
+        nondet_iteration("f.rs", &model, &flow, &mut out);
         wall_clock("f.rs", &model, &mut out);
         unseeded_rng("f.rs", &model, &mut out);
         out

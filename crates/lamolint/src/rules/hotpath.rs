@@ -1,0 +1,461 @@
+//! Hot-path rules: `alloc-in-hot-loop` and `fp-accum-order`.
+//!
+//! These are the two invariants the dense-kernel era lives on (DESIGN
+//! §12), and both need the v2 IR — the item graph to know which function
+//! a token belongs to and how deep in loops it sits, and the dataflow
+//! layer to know what a receiver or accumulator is bound to.
+//!
+//! **`alloc-in-hot-loop`** — a function is *hot* when it carries
+//! `#[lamolint::kernel]`, its enclosing impl does, or a `lamolint.toml`
+//! `[hot-path]` entry names it (`predict_into`), its type
+//! (`DenseEsuWalker`), or both (`StPlane::build`). Inside a hot
+//! function, any heap allocation at loop depth ≥ 1 is a finding:
+//! constructor calls (`Vec::new`, `vec!`, `Box::new`, `format!`),
+//! allocating methods (`.collect()`, `.to_vec()`, `.to_string()`), and
+//! `.push`/`.extend` into a *function-local* allocation. Pushes into
+//! caller-owned state — `self.arena`, parameters, and `*Scratch`-typed
+//! receivers — are the sanctioned fix, not a finding: allocate once in
+//! the caller, reuse across calls.
+//!
+//! **`fp-accum-order`** — floating-point addition does not associate, so
+//! an `f32`/`f64` reduction fed by `HashMap`/`HashSet` iteration order
+//! produces run-to-run different bits: exactly the hazard the Eq. 1/4
+//! accumulators must never contain. Flagged forms: `acc += …` inside a
+//! `for` loop over a hash source when `acc` is float-bound, and
+//! `.sum()`/`.fold(0.0, …)` chains rooted at a hash source with float
+//! evidence (turbofish, float seed literal, or a float `let`
+//! annotation). A `sort` anywhere in the chain/loop header discharges.
+
+use crate::dataflow::{alloc_call_at, is_sortish, statement_start, Bindings};
+use crate::diag::{Diagnostic, Rule};
+use crate::items::{BodyTree, Item, ItemKind};
+use crate::lexer::TokKind;
+use crate::model::FileModel;
+use crate::rules::determinism::ITER_METHODS;
+use crate::rules::FileIr;
+
+/// `alloc-in-hot-loop`: heap allocation inside loops of hot functions.
+pub fn alloc_in_hot_loop(ir: &FileIr, out: &mut Vec<Diagnostic>) {
+    for (id, item) in ir.items.items().iter().enumerate() {
+        if item.kind != ItemKind::Fn {
+            continue;
+        }
+        let Some(body) = item.body else { continue };
+        if !is_hot(ir, id, item) {
+            continue;
+        }
+        let tree = BodyTree::build(&ir.model, body);
+        let (open, close) = body;
+        for k in open + 1..close.min(ir.model.code.len()) {
+            if tree.loop_depth(k) == 0 || ir.model.in_test_code(k) {
+                continue;
+            }
+            scan_alloc_site(ir, item, body, k, &tree, out);
+        }
+    }
+}
+
+/// Whether fn item `id` is held to the hot-path invariant: a
+/// `#[lamolint::kernel]` attribute on the fn or its impl, or a
+/// `[hot-path]` config entry naming the fn, its type, or `Type::fn`.
+fn is_hot(ir: &FileIr, id: usize, item: &Item) -> bool {
+    if ir.items.has_attr_path(&ir.model, item, "lamolint", "kernel") {
+        return true;
+    }
+    let container = ir.items.container_of(id);
+    if let Some(c) = container {
+        if ir.items.has_attr_path(&ir.model, c, "lamolint", "kernel") {
+            return true;
+        }
+    }
+    let container_name = container.map(|c| c.name.as_str()).unwrap_or("");
+    let qualified = format!("{container_name}::{}", item.name);
+    ir.config.hot_path.iter().any(|entry| {
+        entry == &item.name || entry == container_name || entry == &qualified
+    })
+}
+
+/// Check one token inside a hot loop for an allocation.
+fn scan_alloc_site(
+    ir: &FileIr,
+    item: &Item,
+    body: (usize, usize),
+    k: usize,
+    tree: &BodyTree,
+    out: &mut Vec<Diagnostic>,
+) {
+    let model = &ir.model;
+    if let Some(call) = alloc_call_at(model, k) {
+        let t = model.tok(k).expect("alloc_call_at only matches real tokens");
+        out.push(Diagnostic::at_tok(
+            ir.path,
+            t,
+            Rule::AllocInHotLoop,
+            format!(
+                "`{call}` allocates at loop depth {} in hot-path fn `{}`; \
+                 hoist the buffer into a caller-owned *Scratch and reuse it",
+                tree.loop_depth(k),
+                item.name
+            ),
+        ));
+        return;
+    }
+    // `recv.push(…)` / `recv.extend(…)` where `recv` is a function-local
+    // allocation: the buffer grows every iteration. Caller-owned
+    // receivers (params, `self.` fields, `*Scratch` types) are exempt —
+    // they are the sanctioned pattern.
+    let is_grow = (model.is_ident(k, "push") || model.is_ident(k, "extend"))
+        && k >= 2
+        && model.is_punct(k - 1, '.')
+        && model.is_punct(k + 1, '(');
+    if !is_grow {
+        return;
+    }
+    let Some(recv) = model.tok(k - 2) else { return };
+    if recv.kind != TokKind::Ident || recv.text == "self" {
+        return;
+    }
+    if k >= 3 && model.is_punct(k - 3, '.') {
+        return; // field or chained receiver: `self.arena.push`, `a.b.push`
+    }
+    let Some(event) = ir.flow.resolve(&recv.text, k) else {
+        return;
+    };
+    let (open, close) = body;
+    let local = event.idx > open && event.idx < close;
+    if !local || !event.alloc || event.scratch {
+        return;
+    }
+    let recv_name = recv.text.clone();
+    let t = model.tok(k).expect("sink index bounds-checked above");
+    out.push(Diagnostic::at_tok(
+        ir.path,
+        t,
+        Rule::AllocInHotLoop,
+        format!(
+            "`{recv_name}.{}` grows a function-local allocation at loop depth \
+             {} in hot-path fn `{}`; take a caller-owned &mut *Scratch instead",
+            t.text,
+            tree.loop_depth(k),
+            item.name
+        ),
+    ));
+}
+
+/// `fp-accum-order`: float reductions fed by hash-iteration order.
+pub fn fp_accum_order(path: &str, model: &FileModel, flow: &Bindings, out: &mut Vec<Diagnostic>) {
+    if !flow.any_hash() {
+        return;
+    }
+    check_loop_accumulators(path, model, flow, out);
+    check_reduction_chains(path, model, flow, out);
+}
+
+/// Case A: `for … in <hash source> { acc += …; }` with `acc` float-bound.
+fn check_loop_accumulators(
+    path: &str,
+    model: &FileModel,
+    flow: &Bindings,
+    out: &mut Vec<Diagnostic>,
+) {
+    for i in 0..model.code.len() {
+        if !model.is_ident(i, "for") {
+            continue;
+        }
+        let header_end = model.statement_end(i);
+        if !model.is_punct(header_end, '{') {
+            continue;
+        }
+        let Some(in_idx) = (i..header_end).find(|&k| model.is_ident(k, "in")) else {
+            continue;
+        };
+        let Some(hash_name) = hash_source_head(model, flow, in_idx + 1, header_end) else {
+            continue;
+        };
+        // A sortish call in the header re-orders: fine.
+        if (in_idx..header_end)
+            .any(|k| model.tok(k).is_some_and(|t| is_sortish(&t.text)))
+        {
+            continue;
+        }
+        let body_end = model.close_of(header_end);
+        for k in header_end + 1..body_end.min(model.code.len()) {
+            let Some(t) = model.tok(k) else { continue };
+            let is_compound_add = t.kind == TokKind::Ident
+                && model.is_punct(k + 1, '+')
+                && model.is_punct(k + 2, '=');
+            if is_compound_add && flow.float_at(&t.text, k) {
+                out.push(Diagnostic::at_tok(
+                    path,
+                    t,
+                    Rule::FpAccumOrder,
+                    format!(
+                        "float accumulator `{}` is fed in `{hash_name}` \
+                         hash-iteration order; FP addition does not associate — \
+                         accumulate over a sorted/ordered source",
+                        t.text
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// Case B: `<hash name>.<iter method>()….sum::<f32>()` / `.fold(0.0, …)`.
+fn check_reduction_chains(
+    path: &str,
+    model: &FileModel,
+    flow: &Bindings,
+    out: &mut Vec<Diagnostic>,
+) {
+    for i in 0..model.code.len() {
+        let Some(t) = model.tok(i) else { continue };
+        if t.kind != TokKind::Ident || !flow.hash_at(&t.text, i) {
+            continue;
+        }
+        if !(model.is_punct(i + 1, '.')
+            && model
+                .tok(i + 2)
+                .is_some_and(|m| ITER_METHODS.contains(&m.text.as_str())))
+        {
+            continue;
+        }
+        let stmt_start = statement_start(model, i);
+        let stmt_end = model.statement_end(stmt_start);
+        let span = stmt_start..stmt_end.min(model.code.len());
+        if span
+            .clone()
+            .any(|k| model.tok(k).is_some_and(|m| is_sortish(&m.text)))
+        {
+            continue;
+        }
+        let hash_name = t.text.clone();
+        for k in i + 2..span.end {
+            let is_method = k >= 1 && model.is_punct(k - 1, '.');
+            if !is_method {
+                continue;
+            }
+            let float = if model.is_ident(k, "sum") {
+                turbofish_is_float(model, k) || let_annotation_is_float(model, stmt_start, k)
+            } else if model.is_ident(k, "fold") && model.is_punct(k + 1, '(') {
+                fold_seed_is_float(model, k + 1)
+            } else {
+                false
+            };
+            if !float {
+                continue;
+            }
+            let m = model.tok(k).expect("method index is inside the statement span");
+            out.push(Diagnostic::at_tok(
+                path,
+                m,
+                Rule::FpAccumOrder,
+                format!(
+                    "float `{}` reduction over `{hash_name}` hash-iteration \
+                     order; FP addition does not associate — reduce over an \
+                     ordered source so parallel output stays bitwise-stable",
+                    m.text
+                ),
+            ));
+            break;
+        }
+    }
+}
+
+/// The head name of the iterated expression when it is hash-bound (same
+/// head/self-field discipline as `nondet-iteration`).
+fn hash_source_head(
+    model: &FileModel,
+    flow: &Bindings,
+    from: usize,
+    to: usize,
+) -> Option<String> {
+    let (idx, name) = (from..to).find_map(|k| {
+        let t = model.tok(k)?;
+        (t.kind == TokKind::Ident && flow.hash_at(&t.text, k)).then(|| (k, t.text.clone()))
+    })?;
+    if idx > from {
+        let prev_dot = model.is_punct(idx - 1, '.');
+        let self_field = prev_dot && model.is_ident(idx - 2, "self");
+        if prev_dot && !self_field {
+            return None;
+        }
+    }
+    Some(name)
+}
+
+/// `sum::<f32>()` — the turbofish names a float type.
+fn turbofish_is_float(model: &FileModel, sum_idx: usize) -> bool {
+    model.is_punct(sum_idx + 1, ':')
+        && model.is_punct(sum_idx + 2, ':')
+        && model.is_punct(sum_idx + 3, '<')
+        && (sum_idx + 4..model.code.len().min(sum_idx + 8)).any(|j| {
+            model.is_ident(j, "f32") || model.is_ident(j, "f64")
+        })
+}
+
+/// `let name: f32 = …sum()…` — the statement's annotation is float.
+fn let_annotation_is_float(model: &FileModel, stmt_start: usize, before: usize) -> bool {
+    if !model.is_ident(stmt_start, "let") {
+        return false;
+    }
+    let eq = (stmt_start..before).find(|&j| {
+        model.is_punct(j, '=') && model.code[j].depth == model.code[stmt_start].depth
+    });
+    let Some(eq) = eq else { return false };
+    (stmt_start..eq).any(|j| model.is_ident(j, "f32") || model.is_ident(j, "f64"))
+}
+
+/// `fold(0.0, …)` / `fold(0f32, …)` — the seed literal is a float.
+fn fold_seed_is_float(model: &FileModel, open_paren: usize) -> bool {
+    model.tok(open_paren + 1).is_some_and(|t| {
+        t.kind == TokKind::Num
+            && (t.text.contains('.') || t.text.ends_with("f32") || t.text.ends_with("f64"))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LintConfig;
+    use crate::rules::FileScope;
+
+    fn run_alloc(src: &str, config: &LintConfig) -> Vec<Diagnostic> {
+        let scope = FileScope::classify("crates/core/src/x.rs").expect("lintable");
+        let ir = FileIr::build("crates/core/src/x.rs", src, scope, config);
+        let mut out = Vec::new();
+        alloc_in_hot_loop(&ir, &mut out);
+        out
+    }
+
+    #[test]
+    fn kernel_attr_flags_alloc_in_loop() {
+        let src = "#[lamolint::kernel]\n\
+                   fn walk(n: u32) { for i in 0..n { let tmp = Vec::new(); use_it(tmp); } }";
+        let diags = run_alloc(src, &LintConfig::default());
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, Rule::AllocInHotLoop);
+        assert!(diags[0].message.contains("Vec::new"));
+        assert!(diags[0].message.contains("`walk`"));
+    }
+
+    #[test]
+    fn cold_fn_is_ignored() {
+        let src = "fn cold(n: u32) { for i in 0..n { let tmp = Vec::new(); use_it(tmp); } }";
+        assert!(run_alloc(src, &LintConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn config_entries_mark_fns_types_and_methods() {
+        let config = LintConfig::parse(
+            "[hot-path]\nitems = [\"predict_into\", \"DenseEsuWalker\", \"StPlane::build\"]\n",
+        );
+        let by_fn = "fn predict_into(n: u32) { for i in 0..n { g(vec![i]); } }";
+        assert_eq!(run_alloc(by_fn, &config).len(), 1);
+        let by_type = "impl DenseEsuWalker { fn extend(&self, n: u32) {\n\
+                       for i in 0..n { g(i.to_vec()); } } }";
+        assert_eq!(run_alloc(by_type, &config).len(), 1);
+        let by_method = "impl StPlane { fn build(&self, n: u32) {\n\
+                         for i in 0..n { g(format!(\"{i}\")); } }\n\
+                         fn cold(&self, n: u32) { for i in 0..n { g(vec![i]); } } }";
+        let diags = run_alloc(by_method, &config);
+        assert_eq!(diags.len(), 1, "only the named method is hot: {diags:?}");
+        assert!(diags[0].message.contains("`build`"));
+    }
+
+    #[test]
+    fn alloc_outside_loop_is_fine() {
+        let src = "#[lamolint::kernel]\n\
+                   fn walk(n: u32) { let mut buf = Vec::new(); for i in 0..n { use_it(&buf); } }";
+        assert!(run_alloc(src, &LintConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn push_into_local_alloc_flagged_scratch_and_fields_exempt() {
+        let src = "#[lamolint::kernel]\n\
+                   fn walk(&mut self, scratch: &mut WalkScratch, n: u32) {\n\
+                   let mut local = Vec::new();\n\
+                   for i in 0..n {\n\
+                   local.push(i);\n\
+                   scratch.buf_push(i);\n\
+                   scratch.push(i);\n\
+                   self.arena.push(i);\n\
+                   }\n\
+                   }";
+        let diags = run_alloc(src, &LintConfig::default());
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].message.contains("`local.push`"));
+    }
+
+    #[test]
+    fn adapter_closure_counts_as_loop() {
+        let src = "#[lamolint::kernel]\n\
+                   fn walk(xs: &[u32]) { xs.iter().map(|x| x.to_vec()).count(); }";
+        let diags = run_alloc(src, &LintConfig::default());
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("to_vec"));
+    }
+
+    fn run_fp(src: &str) -> Vec<Diagnostic> {
+        let model = FileModel::build(src);
+        let flow = Bindings::collect(&model);
+        let mut out = Vec::new();
+        fp_accum_order("f.rs", &model, &flow, &mut out);
+        out
+    }
+
+    #[test]
+    fn float_plus_eq_over_hash_keys_is_flagged() {
+        let src = "fn f(map: &HashMap<u32, f32>) -> f32 {\n\
+                   let mut acc = 0.0;\n\
+                   for (_, v) in map.iter() { acc += v; }\n\
+                   acc }";
+        let diags = run_fp(src);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, Rule::FpAccumOrder);
+        assert!(diags[0].message.contains("`acc`"));
+    }
+
+    #[test]
+    fn integer_accumulator_is_fine() {
+        let src = "fn f(map: &HashMap<u32, u32>) -> u32 {\n\
+                   let mut acc = 0;\n\
+                   for (_, v) in map.iter() { acc += v; }\n\
+                   acc }";
+        assert!(run_fp(src).is_empty());
+    }
+
+    #[test]
+    fn sum_turbofish_float_is_flagged() {
+        let src = "fn f(map: &HashMap<u32, f32>) -> f32 { map.values().sum::<f32>() }";
+        let diags = run_fp(src);
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("sum"));
+    }
+
+    #[test]
+    fn fold_with_float_seed_is_flagged() {
+        let src = "fn f(set: &HashSet<u32>) -> f64 {\
+                   set.iter().fold(0.0, |a, x| a + *x as f64) }";
+        assert_eq!(run_fp(src).len(), 1);
+    }
+
+    #[test]
+    fn integer_sum_and_ordered_sources_are_fine() {
+        let int_sum = "fn f(map: &HashMap<u32, u32>) -> u32 { map.values().sum::<u32>() }";
+        assert!(run_fp(int_sum).is_empty());
+        let ordered = "fn f(v: &[f32]) -> f32 { v.iter().sum::<f32>() }";
+        assert!(run_fp(ordered).is_empty());
+    }
+
+    #[test]
+    fn sorted_first_discharges() {
+        let src = "fn f(map: &HashMap<u32, f32>) -> f32 {\n\
+                   let mut vals: Vec<f32> = map.values().copied().collect::<BTreeSet<_>>()\
+                   .sorted_values();\n\
+                   let mut acc = 0.0;\n\
+                   for v in map.keys().sorted() { acc += w(v); }\n\
+                   acc }";
+        assert!(run_fp(src).is_empty());
+    }
+}

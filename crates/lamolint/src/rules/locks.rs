@@ -1,4 +1,5 @@
-//! Lock-safety rules: `guard-across-spawn` and `serve-read-lock`.
+//! Lock-safety rules: `guard-across-spawn`, `interproc-guard`, and
+//! `serve-read-lock`.
 //!
 //! The sharded memo caches (par-util's `ShardedCache`) hand out RAII
 //! guards from per-shard `RwLock`s. The deadlock shape they invite: hold
@@ -12,6 +13,7 @@
 //! statement and are not flagged.
 
 use crate::diag::{Diagnostic, Rule};
+use crate::items::{ItemGraph, ItemKind};
 use crate::lexer::TokKind;
 use crate::model::FileModel;
 
@@ -44,10 +46,9 @@ pub fn guard_across_spawn(path: &str, model: &FileModel, out: &mut Vec<Diagnosti
         for k in stmt_end..live_end {
             if let Some(hazard) = hazard_at(model, k) {
                 let t = &model.code[k].tok;
-                out.push(Diagnostic::new(
+                out.push(Diagnostic::at_tok(
                     path,
-                    t.line,
-                    t.col,
+                    t,
                     Rule::GuardAcrossSpawn,
                     format!(
                         "lock guard `{name}` is still live across `{hazard}`; \
@@ -55,6 +56,93 @@ pub fn guard_across_spawn(path: &str, model: &FileModel, out: &mut Vec<Diagnosti
                     ),
                 ));
             }
+        }
+    }
+}
+
+/// `interproc-guard`: the one-call-deep extension of
+/// `guard-across-spawn`, enabled by the item graph. Wrapping a hazard in
+/// a same-file helper used to make it invisible to the flat scanner:
+///
+/// ```text
+/// fn notify(tx: &Sender<u32>) { tx.send(1).ok(); }
+/// fn f() { let g = m.lock(); notify(&tx); }   // deadlock shape, unseen
+/// ```
+///
+/// This rule collects every `fn` item in the file whose body contains a
+/// hazard (`spawn` / `.send` / `.get_or_insert_with`), then flags any
+/// call to such a function while a lock guard is live. One call level
+/// only — the contract is "a helper does not launder a hazard", not a
+/// full interprocedural analysis.
+pub fn interproc_guard(
+    path: &str,
+    model: &FileModel,
+    items: &ItemGraph,
+    out: &mut Vec<Diagnostic>,
+) {
+    // Same-file functions whose bodies contain a hazard, by name. The
+    // item graph gives exact body extents, so a hazard in a *sibling*
+    // function never taints this one.
+    let mut hazardous: Vec<(&str, &'static str)> = Vec::new();
+    for item in items.items() {
+        if item.kind != ItemKind::Fn {
+            continue;
+        }
+        let Some((open, close)) = item.body else { continue };
+        let hazard = (open + 1..close.min(model.code.len())).find_map(|k| hazard_at(model, k));
+        if let Some(h) = hazard {
+            hazardous.push((item.name.as_str(), h));
+        }
+    }
+    if hazardous.is_empty() {
+        return;
+    }
+    for i in 0..model.code.len() {
+        if !model.is_ident(i, "let") {
+            continue;
+        }
+        let Some((name, name_idx)) = binding_name(model, i) else {
+            continue;
+        };
+        let stmt_end = model.statement_end(i);
+        if !model.is_punct(stmt_end, ';') {
+            continue;
+        }
+        let Some(eq) = (name_idx..stmt_end)
+            .find(|&j| model.is_punct(j, '=') && model.code[j].depth == model.code[i].depth)
+        else {
+            continue;
+        };
+        if !rhs_acquires_guard(model, eq + 1, stmt_end) {
+            continue;
+        }
+        let live_end = liveness_end(model, i, stmt_end, &name);
+        for k in stmt_end..live_end.min(model.code.len()) {
+            // A call site `helper(…)` or `self.helper(…)` / `x.helper(…)`.
+            let Some(t) = model.tok(k) else { continue };
+            if t.kind != TokKind::Ident || !model.is_punct(k + 1, '(') {
+                continue;
+            }
+            let Some(&(_, hazard)) = hazardous.iter().find(|(n, _)| *n == t.text) else {
+                continue;
+            };
+            // Direct hazards at the call site itself belong to
+            // guard-across-spawn; this rule reports the laundered form.
+            if hazard_at(model, k).is_some() {
+                continue;
+            }
+            let callee = t.text.clone();
+            out.push(Diagnostic::at_tok(
+                path,
+                t,
+                Rule::InterprocGuard,
+                format!(
+                    "lock guard `{name}` is still live across the call to \
+                     `{callee}`, whose body reaches `{hazard}`; drop the guard \
+                     first — wrapping the hazard in a helper does not \
+                     discharge it"
+                ),
+            ));
         }
     }
 }
@@ -149,10 +237,9 @@ pub fn serve_read_lock(path: &str, model: &FileModel, out: &mut Vec<Diagnostic>)
             continue;
         }
         if SERVE_TYPES.contains(&t.text.as_str()) {
-            out.push(Diagnostic::new(
+            out.push(Diagnostic::at_tok(
                 path,
-                t.line,
-                t.col,
+                t,
                 Rule::ServeReadLock,
                 format!(
                     "lock type `{}` in the lamo-serve read path; share immutable \
@@ -165,10 +252,9 @@ pub fn serve_read_lock(path: &str, model: &FileModel, out: &mut Vec<Diagnostic>)
             && model.is_punct(i - 1, '.')
             && model.is_punct(i + 1, '(')
         {
-            out.push(Diagnostic::new(
+            out.push(Diagnostic::at_tok(
                 path,
-                t.line,
-                t.col,
+                t,
                 Rule::ServeReadLock,
                 format!(
                     "`.{}()` acquisition in the lamo-serve read path; the serving \
@@ -263,6 +349,59 @@ mod tests {
         let diags = run(src);
         assert_eq!(diags.len(), 1);
         assert!(diags[0].message.contains("`g`"));
+    }
+
+    fn run_interproc(src: &str) -> Vec<Diagnostic> {
+        let model = FileModel::build(src);
+        let items = ItemGraph::build(&model);
+        let mut out = Vec::new();
+        interproc_guard("f.rs", &model, &items, &mut out);
+        out
+    }
+
+    #[test]
+    fn helper_wrapped_send_is_flagged() {
+        let src = "fn notify(tx: &Sender<u32>) { tx.send(1).ok(); }\n\
+                   fn f(m: &M, tx: &Sender<u32>) { let g = m.lock();\n\
+                   notify(tx); }";
+        let diags = run_interproc(src);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, Rule::InterprocGuard);
+        assert!(diags[0].message.contains("`notify`"));
+        assert!(diags[0].message.contains("send"));
+    }
+
+    #[test]
+    fn helper_wrapped_spawn_via_method_call() {
+        let src = "impl W { fn fan_out(&self) { scope.spawn(|| work()); }\n\
+                   fn f(&self, m: &M) { let g = m.lock(); self.fan_out(); } }";
+        let diags = run_interproc(src);
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("`fan_out`"));
+    }
+
+    #[test]
+    fn dropped_guard_before_helper_is_clean() {
+        let src = "fn notify(tx: &Sender<u32>) { tx.send(1).ok(); }\n\
+                   fn f(m: &M, tx: &Sender<u32>) { let g = m.lock(); use_it(&g); drop(g);\n\
+                   notify(tx); }";
+        assert!(run_interproc(src).is_empty());
+    }
+
+    #[test]
+    fn clean_helper_is_not_a_hazard() {
+        let src = "fn tally(n: u32) -> u32 { n + 1 }\n\
+                   fn f(m: &M) { let g = m.lock(); tally(*g); }";
+        assert!(run_interproc(src).is_empty());
+    }
+
+    #[test]
+    fn direct_hazard_left_to_base_rule() {
+        // `spawn` both defined in-file *and* a hazard token at the call
+        // site: interproc-guard stays silent, guard-across-spawn owns it.
+        let src = "fn spawn(f: F) { scope.spawn(f); }\n\
+                   fn f(m: &M) { let g = m.lock(); spawn(|| work()); }";
+        assert!(run_interproc(src).is_empty());
     }
 
     fn run_serve(src: &str) -> Vec<Diagnostic> {

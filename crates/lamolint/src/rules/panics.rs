@@ -26,10 +26,9 @@ pub fn lib_unwrap(path: &str, model: &FileModel, out: &mut Vec<Diagnostic>) {
         }
         match t.text.as_str() {
             "unwrap" if i >= 1 && model.is_punct(i - 1, '.') && model.is_punct(i + 1, '(') => {
-                out.push(Diagnostic::new(
+                out.push(Diagnostic::at_tok(
                     path,
-                    t.line,
-                    t.col,
+                    t,
                     Rule::LibUnwrap,
                     "`unwrap()` in library code: state the invariant with \
                      `expect(\"…\")` or return an error",
@@ -41,10 +40,9 @@ pub fn lib_unwrap(path: &str, model: &FileModel, out: &mut Vec<Diagnostic>) {
                     && model.is_punct(i + 1, '(')
                     && !expect_is_documented(model, i + 1) =>
             {
-                out.push(Diagnostic::new(
+                out.push(Diagnostic::at_tok(
                     path,
-                    t.line,
-                    t.col,
+                    t,
                     Rule::LibUnwrap,
                     format!(
                         "`expect` message does not document an invariant \
@@ -54,10 +52,9 @@ pub fn lib_unwrap(path: &str, model: &FileModel, out: &mut Vec<Diagnostic>) {
                 ));
             }
             "panic" if model.is_punct(i + 1, '!') => {
-                out.push(Diagnostic::new(
+                out.push(Diagnostic::at_tok(
                     path,
-                    t.line,
-                    t.col,
+                    t,
                     Rule::LibUnwrap,
                     "`panic!` in library code: return an error or make the \
                      state unrepresentable",

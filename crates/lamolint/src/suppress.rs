@@ -15,6 +15,11 @@ use crate::lexer::Token;
 pub struct Allow {
     /// Line the comment sits on.
     pub line: u32,
+    /// Last covered line, inclusive. The parser sets `line + 1` (own line
+    /// plus the line below); [`crate::rules::FileIr::build`] widens this
+    /// to the item's last line when the allow anchors on a `fn`/`impl`
+    /// header, giving the directive item scope.
+    pub end_line: u32,
     /// Rules it silences.
     pub rules: Vec<Rule>,
     /// The written justification (non-empty by construction).
@@ -24,7 +29,7 @@ pub struct Allow {
 impl Allow {
     /// Whether this allow covers `rule` at `line`.
     pub fn covers(&self, rule: Rule, line: u32) -> bool {
-        (self.line == line || self.line + 1 == line) && self.rules.contains(&rule)
+        self.line <= line && line <= self.end_line && self.rules.contains(&rule)
     }
 }
 
@@ -50,6 +55,7 @@ pub fn parse_allows(path: &str, comments: &[Token]) -> (Vec<Allow>, Vec<Diagnost
         match parse_directive(rest) {
             Ok((rules, justification)) => allows.push(Allow {
                 line: tok.line,
+                end_line: tok.line + 1,
                 rules,
                 justification,
             }),
@@ -151,6 +157,17 @@ mod tests {
         assert!(allows[0].covers(Rule::LibUnwrap, 2)); // line below
         assert!(!allows[0].covers(Rule::LibUnwrap, 3));
         assert!(!allows[0].covers(Rule::WallClock, 1));
+    }
+
+    #[test]
+    fn widened_end_line_gives_item_scope() {
+        let (mut allows, _) =
+            allows_of("// lamolint::allow(lib-unwrap): cold setup path, runs once\nfn f() {}");
+        assert_eq!(allows[0].end_line, 2, "parser default is next-line scope");
+        allows[0].end_line = 9; // what FileIr::build does for a header anchor
+        assert!(allows[0].covers(Rule::LibUnwrap, 5));
+        assert!(allows[0].covers(Rule::LibUnwrap, 9));
+        assert!(!allows[0].covers(Rule::LibUnwrap, 10));
     }
 
     #[test]

@@ -1,0 +1,60 @@
+//@ path: crates/demo/src/alloc_hot_loop.rs
+// Fixture: alloc-in-hot-loop — heap allocation inside loops of hot-path
+// functions. Caller-owned *Scratch buffers (and `self.` fields) are the
+// sanctioned fix and stay clean; the same allocations in a cold function
+// are no finding at all.
+
+pub struct WalkScratch {
+    pub stack: Vec<u32>,
+}
+
+#[lamolint::kernel]
+pub fn hot_kernel(n: u32, scratch: &mut WalkScratch) -> u32 {
+    let mut local = Vec::new();
+    let mut acc = 0;
+    for i in 0..n {
+        let fresh = Vec::with_capacity(4);
+        local.push(i);
+        scratch.stack.push(i);
+        acc += consume(&fresh);
+    }
+    for i in 0..n {
+        emit(format!("{i}"));
+    }
+    acc + local.len() as u32
+}
+
+#[lamolint::kernel]
+pub fn hot_adapter(xs: &[u32]) -> usize {
+    xs.iter().map(|x| x.to_string()).count()
+}
+
+pub struct DenseWalker {
+    arena: Vec<u32>,
+}
+
+#[lamolint::kernel]
+impl DenseWalker {
+    pub fn extend(&mut self, n: u32) {
+        for i in 0..n {
+            self.arena.push(i);
+        }
+    }
+}
+
+pub fn cold_path(n: u32) -> u32 {
+    let mut local = Vec::new();
+    for i in 0..n {
+        let fresh = Vec::with_capacity(4);
+        local.push(i);
+        emit(format!("{i}"));
+        consume(&fresh);
+    }
+    local.len() as u32
+}
+
+fn consume(_v: &[u32]) -> u32 {
+    0
+}
+
+fn emit(_s: String) {}

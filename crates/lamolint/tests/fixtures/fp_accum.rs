@@ -1,0 +1,50 @@
+//@ path: crates/demo/src/fp_accum.rs
+// Fixture: fp-accum-order — floating-point reductions fed by
+// hash-iteration order produce run-to-run different bits. Integer
+// reductions, ordered sources, and sorted-first accumulations stay
+// clean.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+pub fn loop_accumulator(weights: &HashMap<u32, f32>) -> f32 {
+    let mut acc = 0.0;
+    for (_, w) in weights.iter() {
+        acc += w;
+    }
+    acc
+}
+
+pub fn sum_turbofish(weights: &HashMap<u32, f32>) -> f32 {
+    let total: f32 = weights.values().sum::<f32>();
+    total
+}
+
+pub fn fold_seed(ids: &HashSet<u32>) -> f64 {
+    let folded = ids.iter().fold(0.0, |a, x| a + f64::from(*x));
+    folded
+}
+
+pub fn integer_sum_associates(counts: &HashMap<u32, u32>) -> u32 {
+    let total: u32 = counts.values().sum::<u32>();
+    total
+}
+
+pub fn sorted_first(weights: &HashMap<u32, f32>) -> f32 {
+    let mut keys: Vec<u32> = weights.keys().copied().collect();
+    keys.sort_unstable();
+    let mut acc = 0.0;
+    for k in &keys {
+        acc += weights[k];
+    }
+    acc
+}
+
+pub fn ordered_slice(values: &[f32]) -> f32 {
+    let total: f32 = values.iter().sum::<f32>();
+    total
+}
+
+pub fn btree_is_ordered(weights: &BTreeMap<u32, f64>) -> f64 {
+    let total: f64 = weights.values().sum::<f64>();
+    total
+}

@@ -1,0 +1,28 @@
+//@ path: crates/demo/src/interproc_guard.rs
+// Fixture: interproc-guard — a lock guard held across a call into a
+// same-file helper whose body sends or spawns. Wrapping the hazard in a
+// function does not discharge it; dropping the guard first does.
+
+use std::sync::mpsc::Sender;
+use std::sync::Mutex;
+
+fn notify(tx: &Sender<u32>, v: u32) {
+    let _ = tx.send(v);
+}
+
+fn plain_math(v: u32) -> u32 {
+    v + 1
+}
+
+pub fn guard_across_helper(shared: &Mutex<Vec<u32>>, tx: &Sender<u32>) {
+    let guard = shared.lock();
+    notify(tx, plain_math(guard.len() as u32));
+}
+
+pub fn guard_dropped_first(shared: &Mutex<Vec<u32>>, tx: &Sender<u32>) {
+    let len = {
+        let guard = shared.lock();
+        guard.len() as u32
+    };
+    notify(tx, plain_math(len));
+}

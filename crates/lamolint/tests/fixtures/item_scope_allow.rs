@@ -1,0 +1,18 @@
+//@ path: crates/demo/src/item_scope_allow.rs
+// Fixture: item-scope suppression. An allow on a fn/impl header covers
+// the whole item; an *unjustified* item-scope allow is still a
+// bad-suppression error and silences nothing.
+
+// lamolint::allow(lib-unwrap): startup-only loader, crash is the contract
+pub fn covered(a: Option<u32>, b: Option<u32>) -> u32 {
+    a.unwrap() + b.unwrap()
+}
+
+// lamolint::allow(lib-unwrap)
+pub fn unjustified(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+pub fn uncovered(v: Option<u32>) -> u32 {
+    v.unwrap()
+}

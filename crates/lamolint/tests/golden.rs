@@ -83,6 +83,8 @@ fn fixtures_match_golden_expectations() {
             files: vec![pretend],
             diagnostics: outcome.diagnostics,
             suppressed: outcome.suppressed,
+            cache_hits: 0,
+            cache_misses: 1,
         };
         if want.trim().is_empty() {
             assert_eq!(report.exit_code(), 0, "clean fixture {name} must exit 0");

@@ -1,0 +1,138 @@
+//! Property tests for the parallel driver: over generated miniature
+//! workspaces, the report must be byte-identical at 1, 2, and 4 workers
+//! and across cache temperatures (cold, warm, cache disabled). The
+//! merge-by-file-index design makes this a pure function of the sorted
+//! file list; these tests keep it that way.
+
+use lamolint::{run_check_with, Report, RunOptions};
+use proptest::collection::vec;
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Statement-level soup biased toward constructs the rules care about,
+/// so generated trees produce real findings, suppressions, and fault
+/// sites — not just empty reports.
+const LINES: &[&str] = &[
+    "fn frob(v: &mut Vec<u32>) {",
+    "pub fn walk(m: &HashMap<u32, u32>) -> u32 {",
+    "#[lamolint::kernel]",
+    "impl Widget {",
+    "mod inner {",
+    "}",
+    "    for k in m.keys() {",
+    "    let mut acc = 0.0f32;",
+    "    acc += *k as f32;",
+    "    let buf = Vec::with_capacity(8);",
+    "    v.push(1);",
+    "    let t = std::time::Instant::now();",
+    "    let x = v.first().unwrap();",
+    "    // lamolint::allow(lib-unwrap): generated fixture, value is total",
+    "    let s = format!(\"{k}\");",
+    "    frob(v);",
+];
+
+static NEXT_TREE: AtomicUsize = AtomicUsize::new(0);
+
+fn gen_file() -> impl Strategy<Value = String> {
+    vec(any::<u16>(), 0..24).prop_map(|picks| {
+        let mut out = String::new();
+        for p in picks {
+            out.push_str(LINES[p as usize % LINES.len()]);
+            out.push('\n');
+        }
+        // Close anything left open so some cases are well-formed; the
+        // parser must cope either way.
+        out.push_str("}\n}\n}\n");
+        out
+    })
+}
+
+/// Write `srcs` as `crates/demo/src/f<i>.rs` under a fresh temp root.
+fn write_tree(srcs: &[String]) -> PathBuf {
+    let id = NEXT_TREE.fetch_add(1, Ordering::Relaxed);
+    let root = std::env::temp_dir().join(format!("lamolint-prop-{}-{id}", std::process::id()));
+    let src_dir = root.join("crates").join("demo").join("src");
+    std::fs::create_dir_all(&src_dir).expect("create temp tree");
+    for (i, src) in srcs.iter().enumerate() {
+        std::fs::write(src_dir.join(format!("f{i}.rs")), src).expect("write temp source");
+    }
+    root
+}
+
+/// The report's JSON with the cache-temperature counters zeroed — the
+/// only fields allowed to differ between a cold and a warm run.
+fn normalized_json(mut report: Report) -> String {
+    report.cache_hits = 0;
+    report.cache_misses = 0;
+    report.to_json()
+}
+
+fn opts(threads: usize, use_cache: bool) -> RunOptions {
+    RunOptions { threads, use_cache }
+}
+
+proptest! {
+    // Each case writes a tree and runs the driver seven times; keep the
+    // case count low enough that the suite stays in CI budget.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn report_is_identical_across_workers_and_cache_temps(
+        srcs in vec(gen_file(), 1..5)
+    ) {
+        let root = write_tree(&srcs);
+
+        // Cold run at one worker fixes the reference bytes and seeds the
+        // cache on disk.
+        let cold = run_check_with(&root, opts(1, true)).expect("cold run");
+        prop_assert_eq!(cold.cache_hits, 0, "fresh tree must start cold");
+        let reference = normalized_json(cold);
+
+        // Warm runs must be served from the cache and stay byte-equal.
+        for threads in [1usize, 2, 4] {
+            let warm = run_check_with(&root, opts(threads, true)).expect("warm run");
+            prop_assert_eq!(warm.cache_misses, 0, "warm run re-analyzed files");
+            prop_assert_eq!(
+                normalized_json(warm),
+                reference.clone(),
+                "warm report diverged at {} worker(s)", threads
+            );
+        }
+
+        // Cache-disabled runs recompute everything — same bytes again.
+        for threads in [2usize, 4] {
+            let fresh = run_check_with(&root, opts(threads, false)).expect("uncached run");
+            prop_assert_eq!(fresh.cache_hits, 0);
+            prop_assert_eq!(
+                normalized_json(fresh),
+                reference.clone(),
+                "uncached report diverged at {} worker(s)", threads
+            );
+        }
+
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn editing_one_file_invalidates_exactly_that_file(
+        srcs in vec(gen_file(), 2..4)
+    ) {
+        let root = write_tree(&srcs);
+        let first = run_check_with(&root, opts(2, true)).expect("seed run");
+        let total = first.files.len();
+
+        // Touch one file with a content change; everything else must be
+        // served from the cache.
+        let edited = root.join("crates/demo/src/f0.rs");
+        let mut text = std::fs::read_to_string(&edited).expect("read back");
+        text.push_str("fn appended() {}\n");
+        std::fs::write(&edited, text).expect("rewrite");
+
+        let second = run_check_with(&root, opts(2, true)).expect("incremental run");
+        prop_assert_eq!(second.cache_misses, 1, "exactly the edited file re-analyzes");
+        prop_assert_eq!(second.cache_hits, total - 1);
+
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

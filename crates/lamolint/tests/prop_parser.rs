@@ -1,0 +1,113 @@
+//! Property tests for the v2 analyzer layers: the item parser, the body
+//! tree, and the dataflow collector are *total* — any byte sequence must
+//! produce an in-bounds, deterministic IR, never a panic. lamolint runs
+//! over every tree state including mid-edit garbage, so "recover and
+//! keep going" is a hard requirement, not a nicety.
+
+use lamolint::dataflow::Bindings;
+use lamolint::items::{BodyTree, ItemGraph};
+use lamolint::model::FileModel;
+use lamolint::rules::{check_source, FileScope};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Word-level soup: fragments chosen to hit the item parser's states —
+/// headers, attributes, nested bodies, unclosed braces, closures and
+/// iterator adapters — far more often than char-level noise would.
+const FRAGMENTS: &[&str] = &[
+    "fn", "impl", "trait", "mod", "struct", "enum", "pub", "pub(crate)", "unsafe", "async",
+    "const", "for", "in", "loop", "while", "let", "mut", "=", ";", ",", "->", "::", ":", ".",
+    "{", "}", "(", ")", "[", "]", "<", ">", "#[", "]", "#[lamolint::kernel]", "#[test]",
+    "a", "b", "frob", "HashMap", "Vec::new", ".iter()", ".map(|x| x)", ".collect()", "+=",
+    "0.5f32", "1", "\"s\"", "'c'", "// c", "/* b */", "||", "where", "dyn", "&",
+];
+
+fn item_soup() -> impl Strategy<Value = String> {
+    vec(any::<u16>(), 0..48).prop_map(|picks| {
+        picks
+            .iter()
+            .map(|&p| FRAGMENTS[p as usize % FRAGMENTS.len()])
+            .collect::<Vec<_>>()
+            .join(if picks.first().is_some_and(|p| p % 7 == 0) { "\n" } else { " " })
+    })
+}
+
+fn arbitrary_utf8() -> impl Strategy<Value = String> {
+    vec(any::<u8>(), 0..96).prop_map(|bytes| String::from_utf8_lossy(&bytes).into_owned())
+}
+
+/// Every span an [`ItemGraph`] hands out must index into `model.code`.
+fn assert_graph_in_bounds(model: &FileModel, graph: &ItemGraph) {
+    let len = model.code.len();
+    for item in graph.items() {
+        assert!(item.header_start <= item.kw, "header after kw");
+        assert!(item.kw <= item.end, "kw after end");
+        assert!(item.end < len.max(1), "end {} out of bounds (len {len})", item.end);
+        for &(a, b) in &item.attrs {
+            assert!(a <= b && b < len, "attr span out of bounds");
+        }
+        if let Some((open, close)) = item.body {
+            assert!(item.header_start <= open && open <= close, "body span inverted");
+            assert!(close <= item.end, "body leaks past item end");
+        }
+        if let Some(p) = item.parent {
+            let parent = &graph.items()[p];
+            assert!(
+                parent.header_start <= item.header_start && item.end <= parent.end,
+                "child escapes parent span"
+            );
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn item_graph_is_total_on_item_soup(src in item_soup()) {
+        let model = FileModel::build(&src);
+        let graph = ItemGraph::build(&model);
+        assert_graph_in_bounds(&model, &graph);
+        // Body trees must be buildable for every parsed body, and their
+        // depth queries must be in range for every covered token.
+        for item in graph.items() {
+            if let Some(body) = item.body {
+                let tree = BodyTree::build(&model, body);
+                for idx in body.0..=body.1 {
+                    let _ = tree.loop_depth(idx);
+                    let _ = tree.closure_depth(idx);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn item_graph_is_total_on_arbitrary_utf8(src in arbitrary_utf8()) {
+        let model = FileModel::build(&src);
+        let graph = ItemGraph::build(&model);
+        assert_graph_in_bounds(&model, &graph);
+    }
+
+    #[test]
+    fn dataflow_is_total_and_events_in_bounds(src in item_soup()) {
+        let model = FileModel::build(&src);
+        let flow = Bindings::collect(&model);
+        // Resolving any identifier the file mentions must not panic, at
+        // any use index including one past the end.
+        for (i, _) in model.code.iter().enumerate() {
+            if let Some(name) = model.code.get(i).map(|t| t.tok.text.clone()) {
+                let _ = flow.resolve(&name, i);
+                let _ = flow.hash_at(&name, model.code.len());
+            }
+        }
+    }
+
+    #[test]
+    fn analysis_is_deterministic_across_runs(src in item_soup()) {
+        let scope = FileScope::classify("crates/demo/src/fuzzed.rs")
+            .expect("demo path is lintable");
+        let a = check_source("crates/demo/src/fuzzed.rs", &src, scope);
+        let b = check_source("crates/demo/src/fuzzed.rs", &src, scope);
+        prop_assert_eq!(a.diagnostics, b.diagnostics);
+        prop_assert_eq!(a.suppressed, b.suppressed);
+        prop_assert_eq!(a.faultpoints, b.faultpoints);
+    }
+}
