@@ -6,7 +6,7 @@
 pub mod report;
 
 use function_prediction::CategoryView;
-use go_ontology::Namespace;
+use go_ontology::{Namespace, TermId};
 use lamofinder::{ClusteringConfig, LaMoFinder, LaMoFinderConfig, LabeledMotif};
 use motif_finder::{
     FinderReport, GrowthConfig, Motif, MotifFinder, MotifFinderConfig, UniquenessConfig,
@@ -149,4 +149,16 @@ pub fn label_all_namespaces(
 /// Category view for the MIPS prediction experiment.
 pub fn mips_functions(data: &MipsDataset) -> CategoryView {
     CategoryView::new(&data.ontology, &data.annotations, &data.categories)
+}
+
+/// Top `n` terms by direct annotation count (ties broken by ascending
+/// term id): the YeastDataset has no curated category list, so the
+/// serving profilers derive the paper's 13-category space
+/// deterministically from the data.
+pub fn top_categories(annotations: &go_ontology::Annotations, n: usize) -> Vec<TermId> {
+    let mut by_count: Vec<(usize, u32)> = (0..annotations.term_count())
+        .map(|t| (annotations.direct_count(TermId(t as u32)), t as u32))
+        .collect();
+    by_count.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    by_count.into_iter().take(n).map(|(_, t)| TermId(t)).collect()
 }

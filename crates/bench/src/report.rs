@@ -126,6 +126,12 @@ impl JsonObject {
         self
     }
 
+    /// Add a boolean field.
+    pub fn bool(mut self, key: &str, value: bool) -> Self {
+        self.fields.push((key.to_string(), value.to_string()));
+        self
+    }
+
     /// Add a pre-rendered JSON value (nested object or array).
     pub fn raw(mut self, key: &str, rendered: String) -> Self {
         self.fields.push((key.to_string(), rendered));

@@ -127,7 +127,7 @@ impl std::error::Error for ArtifactError {}
 
 /// FNV-1a 64 — tiny, dependency-free, and plenty for corruption
 /// detection (this is an integrity check, not an authenticity one).
-fn fnv1a(bytes: &[u8]) -> u64 {
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
     let mut hash = 0xcbf2_9ce4_8422_2325u64;
     for &b in bytes {
         hash ^= u64::from(b);

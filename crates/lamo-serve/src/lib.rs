@@ -25,7 +25,11 @@
 pub mod artifact;
 pub mod format;
 pub mod server;
+pub mod store;
 
 pub use artifact::{ArtifactMeta, ModelArtifact};
 pub use format::{read_artifact, write_artifact, ArtifactError, ArtifactErrorKind, FORMAT_VERSION};
-pub use server::{Prediction, ServeConfig, ServeError, Server};
+pub use server::{
+    AdmissionPolicy, PendingQuery, Prediction, ServeConfig, ServeError, Server, StatsSnapshot,
+};
+pub use store::{ArtifactStore, Recovery, StoreError};

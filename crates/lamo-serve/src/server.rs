@@ -1,35 +1,63 @@
-//! Multi-worker query front end over a shared [`ModelArtifact`].
+//! Multi-worker query front end over a hot-swappable [`ModelArtifact`].
 //!
 //! N worker threads drain a [`BatchQueue`] of requests; each worker
 //! owns one [`PredictScratch`] for its whole life, so the steady-state
 //! read path allocates only the response vectors it hands back.
-//! Everything the workers *read* — the artifact — sits behind a plain
-//! `Arc` with no locks (lamolint's `serve-read-lock` rule checks the
-//! crate); the only synchronization is the request queue and the
-//! per-request [`ResponseSlot`]s, both in `par_util::batch`.
+//! Everything the workers *read* — the artifact — sits behind an
+//! epoch-counted `Arc` snapshot with no locks held across prediction
+//! (lamolint's `serve-read-lock` rule checks the crate); the only
+//! synchronization is the request queue, the per-request
+//! [`ResponseSlot`]s, and the [`EpochCell`], all in `par_util::batch`.
 //!
-//! Determinism and shutdown:
+//! Robustness (DESIGN.md §16 "Serving fault model"):
 //!
-//! * batching is FIFO arrival order capped at
-//!   [`ServeConfig::max_batch`] — no timers, no wall clock anywhere in
-//!   the query path;
-//! * load is metered in [`RunContext`] work ticks (one per posting
-//!   consumed), so a tick budget bounds served work exactly the way it
-//!   bounds pipeline work, and tripping it (or the external
-//!   [`CancelToken`](par_util::CancelToken)) fails queries with
-//!   [`ServeError::Cancelled`] instead of hanging clients;
-//! * a panicking query is caught per request (`catch_unwind`): the
-//!   client gets [`ServeError::WorkerPanicked`], the worker and its
-//!   siblings keep serving;
-//! * [`Server::shutdown`] (and `Drop`) closes the queue, lets workers
-//!   drain what was already accepted, and joins them.
+//! * **Bounded admission.** The queue carries
+//!   [`ServeConfig::queue_depth`]; a full queue sheds with
+//!   [`ServeError::Overloaded`] under [`AdmissionPolicy::Shed`] or
+//!   parks the submitting thread under [`AdmissionPolicy::Block`].
+//!   Shedding is O(1): a refused request touches no postings and
+//!   charges no ticks. [`ServerStats`] counts both outcomes.
+//! * **Deadlines.** [`Server::submit_with_deadline`] stamps a request
+//!   with an absolute tick deadline (admission tick + budget); expiry
+//!   is checked only at dequeue, so answered work is always complete —
+//!   a prediction is never torn down mid-flight.
+//! * **Hot swap.** [`Server::swap_artifact`] installs a new artifact in
+//!   the [`EpochCell`]. Workers snapshot `(epoch, artifact)` once per
+//!   request; in-flight queries finish entirely on the epoch they
+//!   loaded and every [`Prediction`] records which epoch answered it.
+//! * **Panic containment.** All per-request work — including every
+//!   `faultpoint!` site — runs inside one `catch_unwind`; the client
+//!   gets [`ServeError::WorkerPanicked`], the worker and its siblings
+//!   keep serving. [`Server::shutdown`] drains accepted work;
+//!   [`Server::shutdown_now`] fails what is still queued with
+//!   [`ServeError::Closed`]. Either way every submitted request
+//!   resolves to exactly one typed response.
+//!
+//! Determinism: batching is FIFO arrival order capped at
+//! [`ServeConfig::max_batch`] — no timers, no wall clock anywhere in
+//! the query path; load is metered in [`RunContext`] work ticks (one
+//! per posting consumed), charged *after* a response is delivered so a
+//! budget trip fails the next query, never one already served.
 
 use crate::artifact::ModelArtifact;
 use function_prediction::PredictScratch;
-use par_util::{BatchQueue, ResponseSlot, RunContext};
+use par_util::faultpoint;
+use par_util::{BatchQueue, EpochCell, PushOutcome, ResponseSlot, RunContext};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+
+/// What `submit` does when the queue is at capacity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AdmissionPolicy {
+    /// Refuse immediately with [`ServeError::Overloaded`] — the caller
+    /// sees back-pressure as a typed error in O(1).
+    Shed,
+    /// Park the submitting thread until a worker drains space (or the
+    /// server closes). Bounded wait: the queue never exceeds its depth.
+    Block,
+}
 
 /// Server shape knobs.
 #[derive(Clone, Copy, Debug)]
@@ -38,6 +66,11 @@ pub struct ServeConfig {
     pub workers: usize,
     /// Max requests a worker takes per queue drain.
     pub max_batch: usize,
+    /// Max requests queued awaiting a worker (0 ⇒ unbounded, for
+    /// trusted embedded callers only — production fronts should bound).
+    pub queue_depth: usize,
+    /// What to do with a submit that finds the queue full.
+    pub admission: AdmissionPolicy,
 }
 
 impl Default for ServeConfig {
@@ -45,6 +78,8 @@ impl Default for ServeConfig {
         ServeConfig {
             workers: 1,
             max_batch: 32,
+            queue_depth: 1024,
+            admission: AdmissionPolicy::Shed,
         }
     }
 }
@@ -54,13 +89,21 @@ impl Default for ServeConfig {
 pub enum ServeError {
     /// Protein id outside the artifact's training network.
     UnknownProtein { protein: usize, protein_count: usize },
-    /// The server is shutting down and no longer accepts work.
+    /// The server is shutting down and no longer accepts work (or
+    /// [`Server::shutdown_now`] discarded this already-queued request).
     Closed,
     /// The run was cancelled (tick budget spent or token tripped)
     /// before this query was answered.
     Cancelled,
-    /// The query panicked inside a worker; the worker survived.
+    /// The query panicked inside a worker (or the admission path
+    /// panicked before the request was queued); the server survived.
     WorkerPanicked,
+    /// The queue was full under [`AdmissionPolicy::Shed`]; `depth` is
+    /// the configured capacity. The request consumed no postings.
+    Overloaded { depth: usize },
+    /// The request's tick deadline passed while it waited in the
+    /// queue. Checked at dequeue only — never mid-prediction.
+    DeadlineExpired,
 }
 
 impl std::fmt::Display for ServeError {
@@ -76,6 +119,12 @@ impl std::fmt::Display for ServeError {
             ServeError::Closed => write!(f, "server is shut down"),
             ServeError::Cancelled => write!(f, "run cancelled before the query was answered"),
             ServeError::WorkerPanicked => write!(f, "query panicked in a worker"),
+            ServeError::Overloaded { depth } => {
+                write!(f, "queue full at depth {depth}; request shed")
+            }
+            ServeError::DeadlineExpired => {
+                write!(f, "tick deadline expired while the request was queued")
+            }
         }
     }
 }
@@ -92,12 +141,18 @@ pub struct Prediction {
     pub ranked: Vec<(u32, f64)>,
     /// Postings consumed answering this query (= work ticks charged).
     pub postings: usize,
+    /// Artifact epoch that answered: 0 for the artifact the server
+    /// started with, bumped by each [`Server::swap_artifact`]. Every
+    /// prediction is computed entirely against one epoch's artifact.
+    pub epoch: u64,
 }
 
 type Response = Result<Prediction, ServeError>;
 
 struct Request {
     protein: usize,
+    /// Absolute tick deadline (admission tick + budget), if any.
+    deadline: Option<u64>,
     slot: Arc<ResponseSlot<Response>>,
 }
 
@@ -111,6 +166,61 @@ impl PendingQuery {
     pub fn wait(self) -> Response {
         self.slot.wait()
     }
+
+    /// Take the answer if it already arrived (non-blocking).
+    pub fn try_wait(&self) -> Option<Response> {
+        self.slot.try_take()
+    }
+
+    /// Stop waiting for this query. The worker's eventual delivery is
+    /// refused and dropped by the slot, so an abandoning client leaks
+    /// nothing and can never be blocked by its own query again.
+    pub fn abandon(self) {
+        self.slot.abandon();
+    }
+}
+
+/// Saturation counters, updated with plain atomics (the serving read
+/// path stays lock-free; `serve-read-lock` enforces it).
+#[derive(Default)]
+pub struct ServerStats {
+    accepted: AtomicU64,
+    shed: AtomicU64,
+    answered: AtomicU64,
+    panicked: AtomicU64,
+    deadline_expired: AtomicU64,
+    swaps: AtomicU64,
+}
+
+/// One coherent-enough read of the counters (each counter is read
+/// atomically; the set is a snapshot in the monitoring sense).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Requests that made it into the queue.
+    pub accepted: u64,
+    /// Requests refused with [`ServeError::Overloaded`].
+    pub shed: u64,
+    /// Requests answered with a prediction.
+    pub answered: u64,
+    /// Requests answered [`ServeError::WorkerPanicked`].
+    pub panicked: u64,
+    /// Requests answered [`ServeError::DeadlineExpired`].
+    pub deadline_expired: u64,
+    /// Successful [`Server::swap_artifact`] calls.
+    pub swaps: u64,
+}
+
+impl ServerStats {
+    fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            accepted: self.accepted.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            answered: self.answered.load(Ordering::Relaxed),
+            panicked: self.panicked.load(Ordering::Relaxed),
+            deadline_expired: self.deadline_expired.load(Ordering::Relaxed),
+            swaps: self.swaps.load(Ordering::Relaxed),
+        }
+    }
 }
 
 /// The serving front end. Workers run until [`Server::shutdown`] or
@@ -118,7 +228,12 @@ impl PendingQuery {
 pub struct Server {
     queue: Arc<BatchQueue<Request>>,
     ctx: Arc<RunContext>,
-    artifact: Arc<ModelArtifact>,
+    cell: Arc<EpochCell<ModelArtifact>>,
+    stats: Arc<ServerStats>,
+    /// Set by [`Server::shutdown_now`]: workers fail still-queued
+    /// requests with [`ServeError::Closed`] instead of serving them.
+    closing: Arc<AtomicBool>,
+    admission: AdmissionPolicy,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -130,33 +245,99 @@ impl Server {
     /// gracefully.
     pub fn start(artifact: Arc<ModelArtifact>, config: ServeConfig, ctx: Arc<RunContext>) -> Server {
         let worker_count = par_util::resolve_threads(config.workers);
-        let queue: Arc<BatchQueue<Request>> = Arc::new(BatchQueue::new());
+        let queue: Arc<BatchQueue<Request>> = if config.queue_depth == 0 {
+            Arc::new(BatchQueue::new())
+        } else {
+            Arc::new(BatchQueue::bounded(config.queue_depth))
+        };
+        let cell = Arc::new(EpochCell::new(artifact));
+        let stats = Arc::new(ServerStats::default());
+        let closing = Arc::new(AtomicBool::new(false));
         let workers = (0..worker_count)
             .map(|_| {
                 let queue = Arc::clone(&queue);
-                let artifact = Arc::clone(&artifact);
+                let cell = Arc::clone(&cell);
                 let ctx = Arc::clone(&ctx);
+                let stats = Arc::clone(&stats);
+                let closing = Arc::clone(&closing);
                 let max_batch = config.max_batch;
-                std::thread::spawn(move || worker_loop(&queue, &artifact, &ctx, max_batch))
+                std::thread::spawn(move || {
+                    worker_loop(&queue, &cell, &ctx, &stats, &closing, max_batch)
+                })
             })
             .collect();
         Server {
             queue,
             ctx,
-            artifact,
+            cell,
+            stats,
+            closing,
+            admission: config.admission,
             workers,
         }
     }
 
-    /// The artifact being served.
-    pub fn artifact(&self) -> &Arc<ModelArtifact> {
-        &self.artifact
+    /// The artifact currently being served (the newest epoch's).
+    pub fn artifact(&self) -> Arc<ModelArtifact> {
+        self.cell.load().1
     }
 
-    /// Enqueue a query without blocking; errors that need no worker
-    /// (bounds, shutdown, cancellation) are returned immediately.
+    /// The current artifact epoch (0 until the first swap).
+    pub fn epoch(&self) -> u64 {
+        self.cell.epoch()
+    }
+
+    /// A snapshot of the saturation counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Install `artifact` as the new current model and return its
+    /// epoch. The swap happens between batches from the workers' point
+    /// of view: queries that already snapshotted the old epoch finish
+    /// on it (their [`Prediction::epoch`] says so), queries dequeued
+    /// from now on see the new one. Readers never block — the cell is
+    /// held only long enough to clone an `Arc`.
+    ///
+    /// The artifact is validated first; a structurally invalid one is
+    /// refused and the current epoch keeps serving. An injected
+    /// `serve.swap` fault fires *before* the install, so a mid-swap
+    /// crash leaves the old epoch intact.
+    pub fn swap_artifact(&self, artifact: Arc<ModelArtifact>) -> Result<u64, &'static str> {
+        artifact.validate()?;
+        faultpoint!(self.ctx, "serve.swap");
+        let epoch = self.cell.swap(artifact);
+        self.stats.swaps.fetch_add(1, Ordering::Relaxed);
+        Ok(epoch)
+    }
+
+    /// Enqueue a query; errors that need no worker (bounds, shutdown,
+    /// cancellation, overload) are returned immediately. Blocks only
+    /// under [`AdmissionPolicy::Block`] with a full queue.
     pub fn submit(&self, protein: usize) -> Result<PendingQuery, ServeError> {
-        let protein_count = self.artifact.protein_count();
+        self.admit(protein, None)
+    }
+
+    /// [`submit`](Server::submit), stamping the request with a tick
+    /// budget: if more than `budget_ticks` work ticks are charged
+    /// between admission and dequeue, the request fails with
+    /// [`ServeError::DeadlineExpired`] instead of being served. A
+    /// budget of 0 means "serve only if no work lands ahead of me".
+    ///
+    /// Deadlines are measured on the server's [`RunContext`] tick
+    /// counter, so they only bite under a metered context
+    /// ([`RunContext::metered`] or `with_tick_budget`); under a passive
+    /// one the counter never moves and every deadline is trivially met.
+    pub fn submit_with_deadline(
+        &self,
+        protein: usize,
+        budget_ticks: u64,
+    ) -> Result<PendingQuery, ServeError> {
+        self.admit(protein, Some(budget_ticks))
+    }
+
+    fn admit(&self, protein: usize, budget: Option<u64>) -> Result<PendingQuery, ServeError> {
+        let protein_count = self.artifact().protein_count();
         if protein >= protein_count {
             return Err(ServeError::UnknownProtein {
                 protein,
@@ -166,15 +347,38 @@ impl Server {
         if self.ctx.should_stop() {
             return Err(ServeError::Cancelled);
         }
+        // The admission faultpoint runs guarded on the submitting
+        // thread: an injected panic here becomes a typed refusal, so
+        // even a faulted submit yields exactly one answer.
+        let ctx = &self.ctx;
+        if catch_unwind(AssertUnwindSafe(|| {
+            faultpoint!(ctx, "serve.admission");
+        }))
+        .is_err()
+        {
+            return Err(ServeError::WorkerPanicked);
+        }
+        let deadline = budget.map(|b| self.ctx.ticks_spent().saturating_add(b));
         let slot = Arc::new(ResponseSlot::new());
-        let accepted = self.queue.push(Request {
+        let request = Request {
             protein,
+            deadline,
             slot: Arc::clone(&slot),
-        });
-        if accepted {
-            Ok(PendingQuery { slot })
-        } else {
-            Err(ServeError::Closed)
+        };
+        let outcome = match (self.queue.capacity(), self.admission) {
+            (Some(_), AdmissionPolicy::Block) => self.queue.push_wait(request),
+            _ => self.queue.push(request),
+        };
+        match outcome {
+            PushOutcome::Queued => {
+                self.stats.accepted.fetch_add(1, Ordering::Relaxed);
+                Ok(PendingQuery { slot })
+            }
+            PushOutcome::Full { depth } => {
+                self.stats.shed.fetch_add(1, Ordering::Relaxed);
+                Err(ServeError::Overloaded { depth })
+            }
+            PushOutcome::Closed => Err(ServeError::Closed),
         }
     }
 
@@ -200,6 +404,18 @@ impl Server {
         self.shutdown_in_place();
     }
 
+    /// Stop accepting work and *discard* what is still queued: workers
+    /// answer every pending slot [`ServeError::Closed`] without
+    /// predicting, then exit. A query already being served finishes
+    /// normally. Every accepted request still resolves exactly once.
+    /// Returns the final counter values — the server is gone, so this
+    /// is the only place they are complete.
+    pub fn shutdown_now(mut self) -> StatsSnapshot {
+        self.closing.store(true, Ordering::Relaxed);
+        self.shutdown_in_place();
+        self.stats.snapshot()
+    }
+
     fn shutdown_in_place(&mut self) {
         self.queue.close();
         for handle in self.workers.drain(..) {
@@ -220,40 +436,101 @@ impl Drop for Server {
 
 fn worker_loop(
     queue: &BatchQueue<Request>,
-    artifact: &ModelArtifact,
+    cell: &EpochCell<ModelArtifact>,
     ctx: &RunContext,
+    stats: &ServerStats,
+    closing: &AtomicBool,
     max_batch: usize,
 ) {
     let mut scratch = PredictScratch::new();
     let mut batch: Vec<Request> = Vec::new();
     while queue.pop_batch(max_batch, &mut batch) {
         for request in batch.drain(..) {
-            if ctx.should_stop() {
-                request.slot.fulfill(Err(ServeError::Cancelled));
+            if closing.load(Ordering::Relaxed) {
+                request.slot.fulfill(Err(ServeError::Closed));
                 continue;
             }
-            let outcome = catch_unwind(AssertUnwindSafe(|| {
-                let (ranked, postings) = artifact.predict_into(request.protein, &mut scratch);
-                Prediction {
-                    protein: request.protein,
-                    ranked: ranked.to_vec(),
-                    postings,
-                }
-            }));
-            match outcome {
-                Ok(prediction) => {
-                    // Charge the ticks *after* answering: a budget trip
-                    // fails the next query, never one already served.
-                    let ticks = prediction.postings as u64;
-                    request.slot.fulfill(Ok(prediction));
-                    ctx.tick(ticks);
-                }
-                Err(_) => {
-                    request.slot.fulfill(Err(ServeError::WorkerPanicked));
-                }
-            }
+            serve_one(request, cell, ctx, stats, &mut scratch);
         }
     }
+}
+
+/// Serve one dequeued request. *Everything* fallible — the dequeue,
+/// predict, and fulfill faultpoints and the prediction itself — runs
+/// inside one `catch_unwind`, so an injected or organic panic anywhere
+/// in the per-request path degrades to [`ServeError::WorkerPanicked`]
+/// and the slot is still fulfilled exactly once, outside the guard.
+fn serve_one(
+    request: Request,
+    cell: &EpochCell<ModelArtifact>,
+    ctx: &RunContext,
+    stats: &ServerStats,
+    scratch: &mut PredictScratch,
+) {
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        answer(request.protein, request.deadline, cell, ctx, scratch)
+    }));
+    let (response, ticks) = match outcome {
+        Ok(answered) => answered,
+        Err(_) => (Err(ServeError::WorkerPanicked), 0),
+    };
+    match &response {
+        Ok(_) => stats.answered.fetch_add(1, Ordering::Relaxed),
+        Err(ServeError::WorkerPanicked) => stats.panicked.fetch_add(1, Ordering::Relaxed),
+        Err(ServeError::DeadlineExpired) => {
+            stats.deadline_expired.fetch_add(1, Ordering::Relaxed)
+        }
+        Err(_) => 0,
+    };
+    // Deliver first, charge after: a budget trip fails the next query,
+    // never one already served. A refused delivery (abandoned client)
+    // still charges — the work happened.
+    request.slot.fulfill(response);
+    ctx.tick(ticks);
+}
+
+fn answer(
+    protein: usize,
+    deadline: Option<u64>,
+    cell: &EpochCell<ModelArtifact>,
+    ctx: &RunContext,
+    scratch: &mut PredictScratch,
+) -> (Response, u64) {
+    faultpoint!(ctx, "serve.dequeue");
+    if ctx.should_stop() {
+        return (Err(ServeError::Cancelled), 0);
+    }
+    // Deadline is checked here, at dequeue, and nowhere later: once a
+    // prediction starts it always completes.
+    if let Some(deadline) = deadline {
+        if ctx.ticks_spent() > deadline {
+            return (Err(ServeError::DeadlineExpired), 0);
+        }
+    }
+    let (epoch, artifact) = cell.load();
+    // Admission checked bounds against the artifact of its moment; a
+    // swap to a smaller network in between must degrade to a typed
+    // refusal, not an out-of-range panic.
+    let protein_count = artifact.protein_count();
+    if protein >= protein_count {
+        return (
+            Err(ServeError::UnknownProtein {
+                protein,
+                protein_count,
+            }),
+            0,
+        );
+    }
+    faultpoint!(ctx, "serve.predict");
+    let (ranked, postings) = artifact.predict_into(protein, scratch);
+    let prediction = Prediction {
+        protein,
+        ranked: ranked.to_vec(),
+        postings,
+        epoch,
+    };
+    faultpoint!(ctx, "serve.fulfill");
+    (Ok(prediction), postings as u64)
 }
 
 #[cfg(test)]
@@ -263,6 +540,7 @@ mod tests {
     use go_ontology::{Namespace, TermId};
     use lamofinder::{LabeledMotif, LabelingScheme, VertexLabel};
     use motif_finder::Occurrence;
+    use par_util::{FaultAction, FaultPlan};
     use ppi_graph::{Graph, VertexId};
 
     fn artifact() -> Arc<ModelArtifact> {
@@ -292,13 +570,42 @@ mod tests {
         ))
     }
 
-    fn expected(artifact: &ModelArtifact, p: usize) -> Prediction {
+    /// A second artifact over a smaller network (3 proteins), so a swap
+    /// to it shrinks the valid id range.
+    fn small_artifact() -> Arc<ModelArtifact> {
+        let motifs = vec![LabeledMotif {
+            pattern: Graph::from_edges(2, &[(0, 1)]),
+            namespace: Namespace::BiologicalProcess,
+            scheme: LabelingScheme::new(vec![VertexLabel::unknown(); 2]),
+            occurrences: vec![
+                Occurrence::new(vec![VertexId(0), VertexId(1)]),
+                Occurrence::new(vec![VertexId(1), VertexId(2)]),
+            ],
+            motif_frequency: 2,
+            uniqueness: Some(1.0),
+        }];
+        let network = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        let functions = vec![vec![1], vec![0], vec![1]];
+        let terms = vec![TermId(10), TermId(20)];
+        Arc::new(ModelArtifact::build(
+            &motifs,
+            &PredictionContext {
+                network: &network,
+                functions: &functions,
+                n_categories: 2,
+                category_terms: &terms,
+            },
+        ))
+    }
+
+    fn expected(artifact: &ModelArtifact, p: usize, epoch: u64) -> Prediction {
         let mut scratch = PredictScratch::new();
         let (ranked, postings) = artifact.predict_into(p, &mut scratch);
         Prediction {
             protein: p,
             ranked: ranked.to_vec(),
             postings,
+            epoch,
         }
     }
 
@@ -311,8 +618,12 @@ mod tests {
             Arc::new(RunContext::unbounded()),
         );
         for p in 0..artifact.protein_count() {
-            assert_eq!(server.query(p), Ok(expected(&artifact, p)));
+            assert_eq!(server.query(p), Ok(expected(&artifact, p, 0)));
         }
+        let stats = server.stats();
+        assert_eq!(stats.accepted, 4);
+        assert_eq!(stats.answered, 4);
+        assert_eq!(stats.shed, 0);
         server.shutdown();
     }
 
@@ -324,13 +635,14 @@ mod tests {
             ServeConfig {
                 workers: 2,
                 max_batch: 2,
+                ..ServeConfig::default()
             },
             Arc::new(RunContext::unbounded()),
         );
         let asked = [3, 0, 2, 0, 1];
         let answers = server.query_batch(&asked);
         for (&p, answer) in asked.iter().zip(&answers) {
-            assert_eq!(answer, &Ok(expected(&artifact, p)));
+            assert_eq!(answer, &Ok(expected(&artifact, p, 0)));
         }
     }
 
@@ -367,7 +679,7 @@ mod tests {
         // query and trips before the second.
         let ctx = Arc::new(RunContext::with_tick_budget(1));
         let server = Server::start(Arc::clone(&artifact), ServeConfig::default(), Arc::clone(&ctx));
-        assert_eq!(server.query(1), Ok(expected(&artifact, 1)));
+        assert_eq!(server.query(1), Ok(expected(&artifact, 1, 0)));
         assert_eq!(server.query(1), Err(ServeError::Cancelled));
         assert_eq!(ctx.ticks_spent(), 2);
     }
@@ -381,5 +693,221 @@ mod tests {
         let server = Server::start(artifact, ServeConfig::default(), Arc::new(RunContext::unbounded()));
         server.queue.close();
         assert_eq!(server.query(0), Err(ServeError::Closed));
+    }
+
+    #[test]
+    fn full_queue_sheds_in_constant_work() {
+        let artifact = artifact();
+        let ctx = Arc::new(RunContext::unbounded());
+        // No workers drain the queue here: we want a deterministically
+        // full queue, so we build the raw parts without Server::start.
+        let server = Server {
+            queue: Arc::new(BatchQueue::bounded(2)),
+            ctx: Arc::clone(&ctx),
+            cell: Arc::new(EpochCell::new(Arc::clone(&artifact))),
+            stats: Arc::new(ServerStats::default()),
+            closing: Arc::new(AtomicBool::new(false)),
+            admission: AdmissionPolicy::Shed,
+            workers: Vec::new(),
+        };
+        let a = server.submit(0).expect("depth 2 admits the first");
+        let b = server.submit(1).expect("and the second");
+        assert_eq!(
+            server.submit(2).map(|_| ()),
+            Err(ServeError::Overloaded { depth: 2 })
+        );
+        let stats = server.stats();
+        assert_eq!((stats.accepted, stats.shed), (2, 1));
+        // The shed was O(1): no ticks were charged for any of it.
+        assert_eq!(ctx.ticks_spent(), 0);
+        // Pending queries resolve once the queue closes and a worker
+        // drains — here no worker exists, so just drop the handles and
+        // the queue; abandoned slots leak nothing.
+        a.abandon();
+        b.abandon();
+        server.queue.close();
+    }
+
+    #[test]
+    fn deadline_expires_at_dequeue_not_mid_flight() {
+        let artifact = artifact();
+        // Deadlines ride the tick counter, so the context must meter.
+        let ctx = Arc::new(RunContext::metered());
+        // Raw parts, no live workers: both requests must be queued
+        // before any work is charged, which a racing worker can't
+        // guarantee. FIFO then charges the plain query's postings
+        // before the budget-0 request is dequeued, so its deadline
+        // (stamped at admission) has passed by then.
+        let server = Server {
+            queue: Arc::new(BatchQueue::new()),
+            ctx: Arc::clone(&ctx),
+            cell: Arc::new(EpochCell::new(Arc::clone(&artifact))),
+            stats: Arc::new(ServerStats::default()),
+            closing: Arc::new(AtomicBool::new(false)),
+            admission: AdmissionPolicy::Shed,
+            workers: Vec::new(),
+        };
+        let first = server.submit(1).expect("admitted");
+        let strict = server.submit_with_deadline(1, 0).expect("admitted");
+        let generous = server
+            .submit_with_deadline(1, u64::MAX)
+            .expect("admitted");
+        server.queue.close();
+        worker_loop(
+            &server.queue,
+            &server.cell,
+            &ctx,
+            &server.stats,
+            &server.closing,
+            8,
+        );
+        assert_eq!(first.wait(), Ok(expected(&artifact, 1, 0)));
+        assert_eq!(strict.wait(), Err(ServeError::DeadlineExpired));
+        // A generous budget survives the queueing delay.
+        assert_eq!(generous.wait(), Ok(expected(&artifact, 1, 0)));
+        let stats = server.stats();
+        assert_eq!(stats.deadline_expired, 1);
+        assert_eq!(stats.answered, 2);
+    }
+
+    #[test]
+    fn swap_changes_epoch_and_bounds() {
+        let big = artifact();
+        let small = small_artifact();
+        let server = Server::start(
+            Arc::clone(&big),
+            ServeConfig::default(),
+            Arc::new(RunContext::unbounded()),
+        );
+        assert_eq!(server.query(3), Ok(expected(&big, 3, 0)));
+        assert_eq!(server.epoch(), 0);
+        assert_eq!(server.swap_artifact(Arc::clone(&small)), Ok(1));
+        assert_eq!(server.epoch(), 1);
+        // Answers now come from the new epoch's artifact...
+        assert_eq!(server.query(2), Ok(expected(&small, 2, 1)));
+        // ...and ids beyond its smaller network are refused at submit.
+        assert_eq!(
+            server.query(3),
+            Err(ServeError::UnknownProtein {
+                protein: 3,
+                protein_count: 3
+            })
+        );
+        assert_eq!(server.stats().swaps, 1);
+    }
+
+    #[test]
+    fn request_admitted_before_shrinking_swap_gets_typed_refusal() {
+        let big = artifact();
+        let small = small_artifact();
+        let ctx = Arc::new(RunContext::unbounded());
+        // Raw parts again: the request must sit in the queue across the
+        // swap, which needs no worker racing us.
+        let server = Server {
+            queue: Arc::new(BatchQueue::new()),
+            ctx: Arc::clone(&ctx),
+            cell: Arc::new(EpochCell::new(Arc::clone(&big))),
+            stats: Arc::new(ServerStats::default()),
+            closing: Arc::new(AtomicBool::new(false)),
+            admission: AdmissionPolicy::Shed,
+            workers: Vec::new(),
+        };
+        let pending = server.submit(3).expect("valid under the big artifact");
+        assert_eq!(server.swap_artifact(small), Ok(1));
+        // Drain the queue by hand the way a worker would.
+        let mut batch = Vec::new();
+        assert!(server.queue.pop_batch(8, &mut batch));
+        let mut scratch = PredictScratch::new();
+        for request in batch {
+            serve_one(request, &server.cell, &ctx, &server.stats, &mut scratch);
+        }
+        assert_eq!(
+            pending.wait(),
+            Err(ServeError::UnknownProtein {
+                protein: 3,
+                protein_count: 3
+            })
+        );
+        server.queue.close();
+    }
+
+    #[test]
+    fn shutdown_now_fails_queued_requests_closed() {
+        let artifact = artifact();
+        let ctx = Arc::new(RunContext::unbounded());
+        // Build with no live workers so requests stay queued, then flip
+        // closing and run a worker loop to completion by hand.
+        let server = Server {
+            queue: Arc::new(BatchQueue::new()),
+            ctx: Arc::clone(&ctx),
+            cell: Arc::new(EpochCell::new(Arc::clone(&artifact))),
+            stats: Arc::new(ServerStats::default()),
+            closing: Arc::new(AtomicBool::new(false)),
+            admission: AdmissionPolicy::Shed,
+            workers: Vec::new(),
+        };
+        let pending: Vec<PendingQuery> =
+            (0..3).map(|p| server.submit(p).expect("admitted")).collect();
+        server.closing.store(true, Ordering::Relaxed);
+        server.queue.close();
+        worker_loop(
+            &server.queue,
+            &server.cell,
+            &ctx,
+            &server.stats,
+            &server.closing,
+            8,
+        );
+        for handle in pending {
+            assert_eq!(handle.wait(), Err(ServeError::Closed));
+        }
+    }
+
+    #[test]
+    fn injected_predict_panic_is_contained() {
+        let artifact = artifact();
+        let plan = FaultPlan::new().inject("serve.predict", 0, FaultAction::Panic);
+        let ctx = Arc::new(RunContext::unbounded().with_faults(plan));
+        let server = Server::start(Arc::clone(&artifact), ServeConfig::default(), ctx);
+        // First query eats the injected panic; the worker survives and
+        // the second query is served normally.
+        assert_eq!(server.query(0), Err(ServeError::WorkerPanicked));
+        assert_eq!(server.query(0), Ok(expected(&artifact, 0, 0)));
+        let stats = server.stats();
+        assert_eq!((stats.panicked, stats.answered), (1, 1));
+        server.shutdown();
+    }
+
+    #[test]
+    fn injected_admission_panic_is_a_typed_refusal() {
+        let artifact = artifact();
+        let plan = FaultPlan::new().inject("serve.admission", 0, FaultAction::Panic);
+        let ctx = Arc::new(RunContext::unbounded().with_faults(plan));
+        let server = Server::start(Arc::clone(&artifact), ServeConfig::default(), ctx);
+        assert_eq!(
+            server.submit(0).map(|_| ()),
+            Err(ServeError::WorkerPanicked)
+        );
+        // Only the first admission hit is faulted; service continues.
+        assert_eq!(server.query(0), Ok(expected(&artifact, 0, 0)));
+    }
+
+    #[test]
+    fn invalid_swap_is_refused_and_old_epoch_serves_on() {
+        let artifact = artifact();
+        let server = Server::start(
+            Arc::clone(&artifact),
+            ServeConfig::default(),
+            Arc::new(RunContext::unbounded()),
+        );
+        let broken = {
+            let mut m = (*artifact).clone();
+            m.category_terms.pop();
+            Arc::new(m)
+        };
+        assert!(server.swap_artifact(broken).is_err());
+        assert_eq!(server.epoch(), 0);
+        assert_eq!(server.query(0), Ok(expected(&artifact, 0, 0)));
+        assert_eq!(server.stats().swaps, 0);
     }
 }

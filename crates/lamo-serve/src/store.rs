@@ -1,0 +1,236 @@
+//! Crash-safe on-disk home for [`ModelArtifact`] generations.
+//!
+//! An [`ArtifactStore`] is a directory of immutable generation files
+//! (`gen-N.art`, each a complete [`write_artifact`] image) plus a
+//! `MANIFEST` naming the newest one. Publishing is write-temp →
+//! checksum → atomic rename:
+//!
+//! 1. the full image is written to `gen-N.art.tmp` and fsynced;
+//! 2. the bytes on disk are read back and verified against the
+//!    whole-file checksum recorded before writing;
+//! 3. `rename(2)` installs `gen-N.art` — the only step that makes the
+//!    generation visible, and it is atomic on POSIX filesystems;
+//! 4. the manifest is rewritten the same way (temp + rename).
+//!
+//! A crash anywhere in that sequence leaves either nothing (a stray
+//! `.tmp`, ignored and swept at open) or a complete, verified
+//! generation. The `serve.store_write` faultpoint sits between steps 1
+//! and 3 so the chaos suite can crash exactly inside the window.
+//!
+//! Recovery trusts *files*, not the manifest: [`ArtifactStore::recover`]
+//! walks generations newest-first and returns the first whose bytes
+//! decode — the total [`read_artifact`] reader classifies torn and
+//! corrupt files instead of crashing on them — reporting everything it
+//! skipped. A stale or missing manifest therefore costs nothing but the
+//! walk; it exists so operators (and the `lamo-artifact` CLI) can see
+//! the intended latest without decoding anything.
+
+use crate::artifact::ModelArtifact;
+use crate::format::{fnv1a, read_artifact, write_artifact, ArtifactError};
+use par_util::{faultpoint, RunContext};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Why a store operation failed.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Filesystem failure; `path` is the file or directory involved.
+    Io { path: PathBuf, source: std::io::Error },
+    /// The written generation's bytes read back different from what
+    /// was written — the medium corrupted them inside the publish
+    /// window, so the rename never happened.
+    WriteVerifyFailed { path: PathBuf },
+    /// Every generation present failed to decode (or none exist).
+    /// `skipped` lists each candidate newest-first with its defect.
+    NoGoodGeneration { skipped: Vec<(u64, ArtifactError)> },
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io { path, source } => {
+                write!(f, "store I/O on {}: {source}", path.display())
+            }
+            StoreError::WriteVerifyFailed { path } => write!(
+                f,
+                "published bytes did not verify at {}; rename aborted",
+                path.display()
+            ),
+            StoreError::NoGoodGeneration { skipped } => write!(
+                f,
+                "no decodable generation in the store ({} candidate(s) skipped)",
+                skipped.len()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+fn io_err(path: &Path, source: std::io::Error) -> StoreError {
+    StoreError::Io {
+        path: path.to_path_buf(),
+        source,
+    }
+}
+
+/// A recovered store state: the newest decodable generation plus the
+/// wreckage passed over to reach it.
+pub struct Recovery {
+    /// Generation number of the artifact returned.
+    pub generation: u64,
+    /// The decoded artifact.
+    pub artifact: ModelArtifact,
+    /// Newer generations that existed but failed to decode, newest
+    /// first, each with the reader's classification of its defect.
+    pub skipped: Vec<(u64, ArtifactError)>,
+}
+
+/// Directory of artifact generations with atomic publish and
+/// walk-backwards recovery.
+pub struct ArtifactStore {
+    dir: PathBuf,
+}
+
+impl ArtifactStore {
+    /// Open (creating if needed) the store at `dir` and sweep stray
+    /// `.tmp` files — leftovers of publishes that crashed before their
+    /// rename; they were never visible and never will be.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<ArtifactStore, StoreError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir).map_err(|e| io_err(&dir, e))?;
+        let store = ArtifactStore { dir };
+        for entry in std::fs::read_dir(&store.dir).map_err(|e| io_err(&store.dir, e))? {
+            let entry = entry.map_err(|e| io_err(&store.dir, e))?;
+            let path = entry.path();
+            if path.extension().is_some_and(|ext| ext == "tmp") {
+                // Best-effort: a sweep failure is not an open failure.
+                let _ = std::fs::remove_file(&path);
+            }
+        }
+        Ok(store)
+    }
+
+    /// The directory backing this store.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn generation_path(&self, generation: u64) -> PathBuf {
+        self.dir.join(format!("gen-{generation}.art"))
+    }
+
+    fn manifest_path(&self) -> PathBuf {
+        self.dir.join("MANIFEST")
+    }
+
+    /// Generation numbers present on disk (decodable or not),
+    /// ascending.
+    pub fn generations(&self) -> Result<Vec<u64>, StoreError> {
+        let mut found = Vec::new();
+        for entry in std::fs::read_dir(&self.dir).map_err(|e| io_err(&self.dir, e))? {
+            let entry = entry.map_err(|e| io_err(&self.dir, e))?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if let Some(n) = name
+                .strip_prefix("gen-")
+                .and_then(|rest| rest.strip_suffix(".art"))
+                .and_then(|num| num.parse::<u64>().ok())
+            {
+                found.push(n);
+            }
+        }
+        found.sort_unstable();
+        Ok(found)
+    }
+
+    /// The generation the manifest says is newest, if a well-formed
+    /// manifest exists. A hint only — recovery never trusts it.
+    pub fn manifest_latest(&self) -> Option<u64> {
+        let text = std::fs::read_to_string(self.manifest_path()).ok()?;
+        text.lines()
+            .find_map(|line| line.strip_prefix("latest="))
+            .and_then(|v| v.trim().parse().ok())
+    }
+
+    /// Persist `artifact` as the next generation and return its number.
+    ///
+    /// The generation becomes visible only at the final rename; any
+    /// failure (or injected `serve.store_write` fault) before that
+    /// leaves the store exactly as it was, plus at most one `.tmp`
+    /// swept at the next open.
+    pub fn publish(
+        &self,
+        artifact: &ModelArtifact,
+        ctx: &RunContext,
+    ) -> Result<u64, StoreError> {
+        let generation = self.generations()?.last().map_or(0, |last| last + 1);
+        let bytes = write_artifact(artifact);
+        let checksum = fnv1a(&bytes);
+        let final_path = self.generation_path(generation);
+        let tmp_path = self.dir.join(format!("gen-{generation}.art.tmp"));
+
+        let mut file = std::fs::File::create(&tmp_path).map_err(|e| io_err(&tmp_path, e))?;
+        file.write_all(&bytes).map_err(|e| io_err(&tmp_path, e))?;
+        file.sync_all().map_err(|e| io_err(&tmp_path, e))?;
+        drop(file);
+
+        // The chaos window: a fault here models a crash after the temp
+        // image is durable but before it is installed.
+        faultpoint!(ctx, "serve.store_write");
+
+        // Read back and verify before the rename makes anything
+        // visible: a medium that mangled the bytes must not get to
+        // publish them.
+        let on_disk = std::fs::read(&tmp_path).map_err(|e| io_err(&tmp_path, e))?;
+        if fnv1a(&on_disk) != checksum {
+            let _ = std::fs::remove_file(&tmp_path);
+            return Err(StoreError::WriteVerifyFailed { path: tmp_path });
+        }
+
+        std::fs::rename(&tmp_path, &final_path).map_err(|e| io_err(&final_path, e))?;
+        self.write_manifest(generation, checksum)?;
+        Ok(generation)
+    }
+
+    fn write_manifest(&self, generation: u64, checksum: u64) -> Result<(), StoreError> {
+        let manifest = self.manifest_path();
+        let tmp = self.dir.join("MANIFEST.tmp");
+        let body = format!("lamo-artifact-store v1\nlatest={generation}\nchecksum={checksum:016x}\n");
+        std::fs::write(&tmp, body).map_err(|e| io_err(&tmp, e))?;
+        std::fs::rename(&tmp, &manifest).map_err(|e| io_err(&manifest, e))?;
+        Ok(())
+    }
+
+    /// Load the newest decodable generation, walking backwards past
+    /// torn or corrupt files. Total: every way a file can be bad is a
+    /// skip entry, not a panic.
+    pub fn recover(&self) -> Result<Recovery, StoreError> {
+        let mut skipped = Vec::new();
+        for generation in self.generations()?.into_iter().rev() {
+            let path = self.generation_path(generation);
+            // An unreadable file (vanished mid-walk, permissions) is
+            // classified as truncated-at-zero rather than aborting the
+            // walk: recovery's job is to get past wreckage.
+            let bytes = std::fs::read(&path).unwrap_or_default();
+            match read_artifact(&bytes) {
+                Ok(artifact) => {
+                    return Ok(Recovery {
+                        generation,
+                        artifact,
+                        skipped,
+                    })
+                }
+                Err(err) => skipped.push((generation, err)),
+            }
+        }
+        Err(StoreError::NoGoodGeneration { skipped })
+    }
+}

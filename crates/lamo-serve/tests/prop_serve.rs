@@ -8,6 +8,12 @@
 //!   [`ArtifactError`] carrying a byte offset.
 //! * **Roundtrip identity** — serialize → deserialize → re-serialize is
 //!   the identity on bytes, and the decoded artifact equals the source.
+//! * **Epoch atomicity** — under a mid-stream [`Server::swap_artifact`],
+//!   every response is bit-identical to the oracle of the *single*
+//!   epoch it reports; no answer mixes artifacts.
+//! * **Shutdown totality** — [`Server::shutdown_now`] with requests
+//!   still queued resolves every pending slot to `Closed` or a real
+//!   (oracle-exact) prediction, at workers 1/2/4 — never a hang.
 
 use std::sync::Arc;
 
@@ -15,7 +21,9 @@ use function_prediction::{
     rank_scores, FunctionPredictor, LabeledMotifPredictor, PredictionContext,
 };
 use go_ontology::{Namespace, TermId};
-use lamo_serve::{read_artifact, write_artifact, ModelArtifact, ServeConfig, Server};
+use lamo_serve::{
+    read_artifact, write_artifact, ModelArtifact, PendingQuery, ServeConfig, ServeError, Server,
+};
 use lamofinder::{LabeledMotif, LabelingScheme, VertexLabel};
 use motif_finder::Occurrence;
 use par_util::RunContext;
@@ -119,7 +127,7 @@ proptest! {
         for workers in [1usize, 2, 4] {
             let server = Server::start(
                 Arc::clone(&artifact),
-                ServeConfig { workers, max_batch: 3 },
+                ServeConfig { workers, max_batch: 3, ..ServeConfig::default() },
                 Arc::new(RunContext::unbounded()),
             );
             let proteins: Vec<usize> = (0..w.n).collect();
@@ -185,5 +193,97 @@ proptest! {
         let err = read_artifact(&bytes).expect_err("corrupted artifact cannot decode");
         prop_assert!(err.offset <= bytes.len());
         prop_assert!(!err.to_string().is_empty());
+    }
+
+    /// Swap atomicity: queries race a hot swap between two different
+    /// worlds, and every answer matches — bit for bit — the full-scan
+    /// oracle of exactly the epoch it reports. A torn read (scores from
+    /// one artifact, ranking or epoch from the other) cannot satisfy
+    /// this for both oracles at once.
+    #[test]
+    fn every_response_is_bit_identical_to_one_epoch(
+        w1 in world_strategy(),
+        w2 in world_strategy(),
+    ) {
+        let (a1, oracle1) = build_artifact(&w1);
+        let (a2, oracle2) = build_artifact(&w2);
+        let a1 = Arc::new(a1);
+        let a2 = Arc::new(a2);
+        // Stay in the id range both epochs can answer, so every
+        // response is a prediction carrying an epoch to check against.
+        let shared = w1.n.min(w2.n);
+        for workers in [1usize, 2, 4] {
+            let server = Server::start(
+                Arc::clone(&a1),
+                ServeConfig { workers, max_batch: 3, ..ServeConfig::default() },
+                Arc::new(RunContext::unbounded()),
+            );
+            let mut pending: Vec<(usize, PendingQuery)> = Vec::new();
+            for round in 0..4usize {
+                for p in 0..shared {
+                    pending.push((p, server.submit(p).expect("in-range submit")));
+                }
+                if round == 1 {
+                    server.swap_artifact(Arc::clone(&a2)).expect("valid swap");
+                }
+            }
+            let mut want = Vec::new();
+            for (p, handle) in pending {
+                let got = handle.wait().expect("in-range query is served");
+                let oracle = match got.epoch {
+                    0 => &oracle1,
+                    1 => &oracle2,
+                    other => return Err(TestCaseError::fail(format!("epoch {other}"))),
+                };
+                rank_scores(&oracle[p], &mut want);
+                prop_assert_eq!(&got.ranked, &want, "workers={} p={} epoch={}", workers, p, got.epoch);
+                for (g, e) in got.ranked.iter().zip(&want) {
+                    prop_assert_eq!(g.1.to_bits(), e.1.to_bits());
+                }
+            }
+            server.shutdown();
+        }
+    }
+
+    /// Shutdown totality: `shutdown_now` with a backlog still queued
+    /// resolves every pending slot — each answer is either `Closed`
+    /// (discarded at dequeue) or a real, oracle-exact prediction
+    /// (already being served). Waiting on every handle also proves no
+    /// hang at any worker count.
+    #[test]
+    fn shutdown_now_resolves_every_pending_slot(w in world_strategy()) {
+        let (artifact, oracle) = build_artifact(&w);
+        let artifact = Arc::new(artifact);
+        for workers in [1usize, 2, 4] {
+            let server = Server::start(
+                Arc::clone(&artifact),
+                ServeConfig { workers, max_batch: 2, ..ServeConfig::default() },
+                Arc::new(RunContext::unbounded()),
+            );
+            let pending: Vec<(usize, PendingQuery)> = (0..3 * w.n)
+                .map(|i| {
+                    let p = i % w.n;
+                    (p, server.submit(p).expect("in-range submit"))
+                })
+                .collect();
+            let stats = server.shutdown_now();
+            let mut served = 0usize;
+            let mut want = Vec::new();
+            for (p, handle) in pending {
+                match handle.wait() {
+                    Ok(prediction) => {
+                        served += 1;
+                        rank_scores(&oracle[p], &mut want);
+                        prop_assert_eq!(&prediction.ranked, &want, "workers={} p={}", workers, p);
+                    }
+                    Err(ServeError::Closed) => {}
+                    Err(other) => {
+                        return Err(TestCaseError::fail(format!("unexpected error: {other}")));
+                    }
+                }
+            }
+            // Sanity: the counters agree with what the clients saw.
+            prop_assert_eq!(served as u64, stats.answered);
+        }
     }
 }

@@ -1,0 +1,230 @@
+//! Crash-safety contracts of the [`ArtifactStore`]:
+//!
+//! * publish → recover is the identity on artifacts, and the manifest
+//!   tracks the newest generation;
+//! * recovery walks newest-first past torn and corrupt generations,
+//!   classifying every file it skips;
+//! * an empty (or fully wrecked) store fails with a typed
+//!   [`StoreError::NoGoodGeneration`], never a panic;
+//! * stray `.tmp` files — the only debris a crashed publish can leave —
+//!   are invisible to recovery and swept at the next open;
+//! * a crash injected inside the publish window (`serve.store_write`)
+//!   leaves the store exactly as it was.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use function_prediction::PredictionContext;
+use go_ontology::{Namespace, TermId};
+use lamo_serve::{write_artifact, ArtifactStore, ModelArtifact, StoreError};
+use lamofinder::{LabeledMotif, LabelingScheme, VertexLabel};
+use motif_finder::Occurrence;
+use par_util::{FaultAction, FaultPlan, RunContext};
+use ppi_graph::{Graph, VertexId};
+
+/// Fresh per-test directory under the cargo-managed tmp root.
+fn store_dir(name: &str) -> PathBuf {
+    let dir = Path::new(env!("CARGO_TARGET_TMPDIR")).join(name);
+    if dir.exists() {
+        std::fs::remove_dir_all(&dir).expect("clear stale test dir");
+    }
+    dir
+}
+
+/// Small deterministic artifact; `variant` perturbs the annotations so
+/// successive generations have different bytes.
+fn artifact(variant: usize) -> ModelArtifact {
+    let motifs = vec![LabeledMotif {
+        pattern: Graph::from_edges(2, &[(0, 1)]),
+        namespace: Namespace::BiologicalProcess,
+        scheme: LabelingScheme::new(vec![VertexLabel::unknown(); 2]),
+        occurrences: vec![
+            Occurrence::new(vec![VertexId(0), VertexId(1)]),
+            Occurrence::new(vec![VertexId(1), VertexId(2)]),
+        ],
+        motif_frequency: 2,
+        uniqueness: Some(1.0),
+    }];
+    let network = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+    let functions = vec![vec![variant % 2], vec![0], vec![1]];
+    let terms = vec![TermId(10), TermId(20)];
+    ModelArtifact::build(
+        &motifs,
+        &PredictionContext {
+            network: &network,
+            functions: &functions,
+            n_categories: 2,
+            category_terms: &terms,
+        },
+    )
+}
+
+#[test]
+fn publish_then_recover_roundtrips() {
+    let store = ArtifactStore::open(store_dir("roundtrip")).expect("open");
+    let ctx = RunContext::unbounded();
+    let a0 = artifact(0);
+    let a1 = artifact(1);
+    assert_eq!(store.publish(&a0, &ctx).expect("publish gen 0"), 0);
+    assert_eq!(store.publish(&a1, &ctx).expect("publish gen 1"), 1);
+    assert_eq!(store.generations().expect("list"), vec![0, 1]);
+    assert_eq!(store.manifest_latest(), Some(1));
+
+    let recovery = store.recover().expect("two good generations");
+    assert_eq!(recovery.generation, 1);
+    assert_eq!(recovery.artifact, a1);
+    assert!(recovery.skipped.is_empty());
+}
+
+#[test]
+fn recovery_walks_newest_first_past_torn_and_corrupt_generations() {
+    let store = ArtifactStore::open(store_dir("walk-back")).expect("open");
+    let ctx = RunContext::unbounded();
+    let good = artifact(0);
+    for v in 0..3 {
+        store.publish(&artifact(v), &ctx).expect("publish");
+    }
+
+    // Tear gen 2 (truncate mid-file) and corrupt gen 1 (bit flip).
+    let gen2 = store.dir().join("gen-2.art");
+    let bytes = std::fs::read(&gen2).expect("read gen 2");
+    std::fs::write(&gen2, &bytes[..bytes.len() / 2]).expect("tear gen 2");
+    let gen1 = store.dir().join("gen-1.art");
+    let mut bytes = std::fs::read(&gen1).expect("read gen 1");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&gen1, &bytes).expect("corrupt gen 1");
+
+    let recovery = store.recover().expect("gen 0 is still good");
+    assert_eq!(recovery.generation, 0);
+    assert_eq!(recovery.artifact, good);
+    let skipped: Vec<u64> = recovery.skipped.iter().map(|(g, _)| *g).collect();
+    assert_eq!(skipped, vec![2, 1], "wreckage reported newest-first");
+    for (generation, err) in &recovery.skipped {
+        assert!(
+            !err.to_string().is_empty(),
+            "gen {generation} skip carries a classification"
+        );
+    }
+}
+
+#[test]
+fn empty_store_is_a_typed_error() {
+    let store = ArtifactStore::open(store_dir("empty")).expect("open");
+    match store.recover() {
+        Err(StoreError::NoGoodGeneration { skipped }) => assert!(skipped.is_empty()),
+        other => panic!("expected NoGoodGeneration, got {:?}", other.map(|r| r.generation)),
+    }
+}
+
+#[test]
+fn fully_wrecked_store_reports_every_casualty() {
+    let store = ArtifactStore::open(store_dir("wrecked")).expect("open");
+    let ctx = RunContext::unbounded();
+    for v in 0..2 {
+        store.publish(&artifact(v), &ctx).expect("publish");
+    }
+    for g in 0..2 {
+        std::fs::write(store.dir().join(format!("gen-{g}.art")), b"not an artifact")
+            .expect("wreck generation");
+    }
+    match store.recover() {
+        Err(StoreError::NoGoodGeneration { skipped }) => {
+            let gens: Vec<u64> = skipped.iter().map(|(g, _)| *g).collect();
+            assert_eq!(gens, vec![1, 0], "every casualty listed, newest-first");
+        }
+        other => panic!("expected NoGoodGeneration, got {:?}", other.map(|r| r.generation)),
+    }
+}
+
+#[test]
+fn open_sweeps_stray_tmp_files_and_recovery_ignores_them() {
+    let dir = store_dir("tmp-sweep");
+    {
+        let store = ArtifactStore::open(&dir).expect("open");
+        store
+            .publish(&artifact(0), &RunContext::unbounded())
+            .expect("publish");
+    }
+    // Simulate publishes that crashed before their rename.
+    std::fs::write(dir.join("gen-1.art.tmp"), b"torn publish").expect("plant tmp");
+    std::fs::write(dir.join("MANIFEST.tmp"), b"torn manifest").expect("plant tmp");
+
+    let store = ArtifactStore::open(&dir).expect("reopen");
+    assert!(!dir.join("gen-1.art.tmp").exists(), "stray artifact tmp swept");
+    assert!(!dir.join("MANIFEST.tmp").exists(), "stray manifest tmp swept");
+    assert_eq!(store.generations().expect("list"), vec![0]);
+    assert_eq!(store.recover().expect("gen 0 good").generation, 0);
+
+    // The next publish reuses the number the crashed one never claimed.
+    let gen = store
+        .publish(&artifact(1), &RunContext::unbounded())
+        .expect("publish after sweep");
+    assert_eq!(gen, 1);
+}
+
+#[test]
+fn injected_crash_inside_publish_window_leaves_store_unchanged() {
+    let dir = store_dir("crash-window");
+    let store = ArtifactStore::open(&dir).expect("open");
+    store
+        .publish(&artifact(0), &RunContext::unbounded())
+        .expect("baseline generation");
+    let manifest_before = std::fs::read(dir.join("MANIFEST")).expect("manifest exists");
+
+    // Crash after the temp image is durable but before the rename.
+    let ctx = RunContext::unbounded().with_faults(FaultPlan::new().inject(
+        "serve.store_write",
+        0,
+        FaultAction::Panic,
+    ));
+    let crashed = catch_unwind(AssertUnwindSafe(|| store.publish(&artifact(1), &ctx)));
+    assert!(crashed.is_err(), "injected fault fires inside publish");
+
+    // The aborted generation never became visible; the manifest still
+    // names the old one; reopening sweeps the debris.
+    let store = ArtifactStore::open(&dir).expect("reopen after crash");
+    assert_eq!(store.generations().expect("list"), vec![0]);
+    assert_eq!(store.manifest_latest(), Some(0));
+    assert_eq!(
+        std::fs::read(dir.join("MANIFEST")).expect("manifest intact"),
+        manifest_before
+    );
+    assert!(!dir.join("gen-1.art.tmp").exists(), "debris swept at open");
+    let recovery = store.recover().expect("old generation serves");
+    assert_eq!(recovery.generation, 0);
+    assert_eq!(recovery.artifact, artifact(0));
+}
+
+#[test]
+fn recovery_never_trusts_the_manifest() {
+    let store = ArtifactStore::open(store_dir("manifest-hint")).expect("open");
+    let ctx = RunContext::unbounded();
+    store.publish(&artifact(0), &ctx).expect("publish");
+    store.publish(&artifact(1), &ctx).expect("publish");
+
+    // A stale manifest pointing at a deleted generation is harmless...
+    std::fs::remove_file(store.dir().join("gen-1.art")).expect("lose newest");
+    assert_eq!(store.manifest_latest(), Some(1), "manifest is now stale");
+    assert_eq!(store.recover().expect("gen 0 good").generation, 0);
+
+    // ...and so is no manifest at all.
+    std::fs::remove_file(store.dir().join("MANIFEST")).expect("lose manifest");
+    assert_eq!(store.manifest_latest(), None);
+    assert_eq!(store.recover().expect("still recovers").generation, 0);
+}
+
+#[test]
+fn recovered_artifact_is_byte_identical_to_what_was_published() {
+    let store = ArtifactStore::open(store_dir("byte-identity")).expect("open");
+    let published = artifact(0);
+    store
+        .publish(&published, &RunContext::unbounded())
+        .expect("publish");
+    let recovered = store.recover().expect("good generation").artifact;
+    assert_eq!(write_artifact(&recovered), write_artifact(&published));
+    // And the recovered artifact is servable as-is.
+    let served = Arc::new(recovered);
+    served.validate().expect("recovered artifact validates");
+}

@@ -1,0 +1,36 @@
+//@ path: crates/lamo-serve/src/chaos_demo.rs
+// Fixture: the serving layer's chaos sites. The real `serve.*` sites
+// (admission, dequeue, predict, fulfill, swap, store_write) live in
+// library code and are unique — mirrored here as the clean half.
+// Violations seeded below: a re-declared serve site, and a serve site
+// computed at run time (fault plans could no longer be checked against
+// it statically).
+
+pub fn ok_the_serving_sites(ctx: &RunContext) {
+    faultpoint!(ctx, "serve.admission");
+    faultpoint!(ctx, "serve.dequeue");
+    faultpoint!(ctx, "serve.predict");
+    faultpoint!(ctx, "serve.fulfill");
+    faultpoint!(ctx, "serve.swap");
+    faultpoint!(ctx, "serve.store_write");
+}
+
+pub fn bad_redeclared_serve_site(ctx: &RunContext) {
+    // Same site name as the admission path above: a fault plan armed at
+    // "serve.predict" would fire in two places.
+    faultpoint!(ctx, "serve.predict");
+}
+
+pub fn bad_computed_serve_site(ctx: &RunContext, stage: &str) {
+    ctx.faultpoint(stage);
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code may exercise sites freely; this is not a declaration.
+    #[test]
+    fn drives_the_sites() {
+        let ctx = RunContext::unbounded();
+        faultpoint!(ctx, "serve.predict");
+    }
+}

@@ -7,12 +7,28 @@
 //! arrival order and cap — no timers, no wall clock — which keeps the
 //! serving read path inside the workspace determinism rules.
 //!
+//! The queue may carry a *capacity* ([`BatchQueue::bounded`]): a full
+//! queue refuses new work with [`PushOutcome::Full`] (load shedding) or
+//! parks the producer in [`BatchQueue::push_wait`] until a consumer
+//! drains space (bounded-wait admission). Either way memory and queueing
+//! delay are bounded by the capacity — overload degrades into typed
+//! refusals, never into unbounded growth.
+//!
 //! [`ResponseSlot`] is the matching one-shot reply cell. Producers park
 //! on [`ResponseSlot::wait`]; the serving worker fulfills every slot of
 //! a batch exactly once, even when a query panics (the server wraps
-//! batches in `catch_unwind` and fulfills survivors with an error).
+//! batches in `catch_unwind` and fulfills survivors with an error). A
+//! client that stops caring can [`ResponseSlot::abandon`] its slot: the
+//! consumer's later `fulfill` is refused and the value dropped, so an
+//! abandoned query can neither block its client nor leak its response.
 //!
-//! Both types synchronize *coordination*, not shared prediction state:
+//! [`EpochCell`] is the artifact hot-swap cell: an epoch-counted slot
+//! holding an `Arc<T>`. Readers snapshot `(epoch, Arc)` per batch — the
+//! lock is held only for the clone, never across any user code — and a
+//! swap installs a new value for *subsequent* loads, so every in-flight
+//! batch finishes entirely on the epoch it started with.
+//!
+//! These types synchronize *coordination*, not shared prediction state:
 //! the artifact itself is read lock-free behind an `Arc`, and lamolint's
 //! `serve-read-lock` rule keeps lock acquisitions out of `lamo-serve`
 //! entirely — which is why these primitives live here.
@@ -20,16 +36,43 @@
 use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::sync::Condvar;
+use std::sync::Arc;
 
 struct QueueState<T> {
     items: VecDeque<T>,
     closed: bool,
 }
 
-/// Closeable FIFO queue with batched consumption.
+/// What happened to a pushed item.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PushOutcome {
+    /// The item was enqueued.
+    Queued,
+    /// The queue was at capacity and the item was refused (shed).
+    /// `depth` is the capacity it was full at.
+    Full { depth: usize },
+    /// The queue is closed; the item was refused — producers racing a
+    /// shutdown see the refusal instead of a silently lost request.
+    Closed,
+}
+
+impl PushOutcome {
+    /// Whether the item made it into the queue.
+    pub fn is_queued(self) -> bool {
+        self == PushOutcome::Queued
+    }
+}
+
+/// Closeable FIFO queue with batched consumption and optional capacity.
 pub struct BatchQueue<T> {
     state: Mutex<QueueState<T>>,
+    /// Capacity; `usize::MAX` means unbounded.
+    capacity: usize,
+    /// Signalled when items arrive or the queue closes (consumer side).
     ready: Condvar,
+    /// Signalled when space frees up or the queue closes (producer
+    /// side, only used by [`BatchQueue::push_wait`]).
+    space: Condvar,
 }
 
 impl<T> Default for BatchQueue<T> {
@@ -39,29 +82,75 @@ impl<T> Default for BatchQueue<T> {
 }
 
 impl<T> BatchQueue<T> {
-    /// An open, empty queue.
+    /// An open, empty, *unbounded* queue.
     pub fn new() -> BatchQueue<T> {
+        BatchQueue::with_capacity(usize::MAX)
+    }
+
+    /// An open, empty queue refusing pushes beyond `capacity` pending
+    /// items. A zero capacity is promoted to 1 — a queue that can hold
+    /// nothing could never hand a request to a worker.
+    pub fn bounded(capacity: usize) -> BatchQueue<T> {
+        BatchQueue::with_capacity(capacity.max(1))
+    }
+
+    fn with_capacity(capacity: usize) -> BatchQueue<T> {
         BatchQueue {
             state: Mutex::new(QueueState {
                 items: VecDeque::new(),
                 closed: false,
             }),
+            capacity,
             ready: Condvar::new(),
+            space: Condvar::new(),
         }
     }
 
-    /// Enqueue one item. Returns `false` (dropping the item) when the
-    /// queue is closed — producers racing a shutdown see the refusal
-    /// instead of a silently lost request.
-    pub fn push(&self, item: T) -> bool {
+    /// The capacity, or `None` when unbounded.
+    pub fn capacity(&self) -> Option<usize> {
+        (self.capacity != usize::MAX).then_some(self.capacity)
+    }
+
+    /// Enqueue one item without ever blocking. A closed queue refuses
+    /// with [`PushOutcome::Closed`]; a full one sheds with
+    /// [`PushOutcome::Full`]. The item is dropped on refusal.
+    pub fn push(&self, item: T) -> PushOutcome {
         let mut state = self.state.lock();
         if state.closed {
-            return false;
+            return PushOutcome::Closed;
+        }
+        if state.items.len() >= self.capacity {
+            return PushOutcome::Full {
+                depth: self.capacity,
+            };
         }
         state.items.push_back(item);
         drop(state);
         self.ready.notify_one();
-        true
+        PushOutcome::Queued
+    }
+
+    /// Enqueue one item, parking while the queue is full until a
+    /// consumer drains space or the queue closes. Never returns
+    /// [`PushOutcome::Full`]: the outcome is `Queued`, or `Closed` when
+    /// the queue shut down before space appeared.
+    pub fn push_wait(&self, item: T) -> PushOutcome {
+        let mut state = self.state.lock();
+        loop {
+            if state.closed {
+                return PushOutcome::Closed;
+            }
+            if state.items.len() < self.capacity {
+                state.items.push_back(item);
+                drop(state);
+                self.ready.notify_one();
+                return PushOutcome::Queued;
+            }
+            state = self
+                .space
+                .wait(state)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
     }
 
     /// Block until at least one item is queued (or the queue closes),
@@ -88,6 +177,8 @@ impl<T> BatchQueue<T> {
                 if more {
                     self.ready.notify_one();
                 }
+                // Space freed: wake producers parked in push_wait.
+                self.space.notify_all();
                 return true;
             }
             if state.closed {
@@ -100,11 +191,13 @@ impl<T> BatchQueue<T> {
         }
     }
 
-    /// Close the queue: future `push`es are refused, blocked consumers
-    /// drain what remains and then see `false`. Idempotent.
+    /// Close the queue: future pushes are refused, parked producers and
+    /// blocked consumers wake, consumers drain what remains and then see
+    /// `false`. Idempotent.
     pub fn close(&self) {
         self.state.lock().closed = true;
         self.ready.notify_all();
+        self.space.notify_all();
     }
 
     /// Whether [`close`](BatchQueue::close) has run.
@@ -153,8 +246,10 @@ impl<R> ResponseSlot<R> {
     }
 
     /// Deliver the response. Returns `false` if the slot was already
-    /// fulfilled (the value is dropped) — double delivery is a caller
-    /// bug the server's panic-recovery path must tolerate, not a panic.
+    /// fulfilled, taken, or abandoned (the value is dropped) — double
+    /// delivery is a caller bug the server's panic-recovery path must
+    /// tolerate, not a panic; delivery to an abandoned slot is the
+    /// normal fate of a query whose client stopped waiting.
     pub fn fulfill(&self, value: R) -> bool {
         let mut state = self.state.lock();
         if matches!(*state, SlotState::Empty) {
@@ -195,6 +290,64 @@ impl<R> ResponseSlot<R> {
             }
         }
     }
+
+    /// Abandon the slot: the client stops caring about the response. A
+    /// response already delivered is dropped here; one delivered later
+    /// is refused by [`fulfill`](ResponseSlot::fulfill) and dropped
+    /// there. Either way nothing leaks and no future `wait` could hang
+    /// on this slot. Returns `true` if a delivered response was
+    /// discarded.
+    pub fn abandon(&self) -> bool {
+        let mut state = self.state.lock();
+        matches!(
+            std::mem::replace(&mut *state, SlotState::Taken),
+            SlotState::Full(_)
+        )
+    }
+}
+
+/// Epoch-counted hot-swap cell for an immutable shared value.
+///
+/// Readers call [`EpochCell::load`] to snapshot `(epoch, Arc<T>)`; a
+/// writer calls [`EpochCell::swap`] to install a new value and bump the
+/// epoch. The internal lock is held only long enough to clone the `Arc`
+/// (a reference-count increment), so readers never block behind user
+/// code and a swap never waits for readers: queries in flight keep the
+/// `Arc` they loaded and finish entirely on that epoch.
+pub struct EpochCell<T> {
+    state: Mutex<(u64, Arc<T>)>,
+}
+
+impl<T> EpochCell<T> {
+    /// A cell holding `initial` at epoch 0.
+    pub fn new(initial: Arc<T>) -> EpochCell<T> {
+        EpochCell {
+            state: Mutex::new((0, initial)),
+        }
+    }
+
+    /// Snapshot the current `(epoch, value)` pair. The two are read
+    /// under one lock, so a load never pairs an old epoch with a new
+    /// value or vice versa.
+    pub fn load(&self) -> (u64, Arc<T>) {
+        let state = self.state.lock();
+        (state.0, Arc::clone(&state.1))
+    }
+
+    /// The current epoch.
+    pub fn epoch(&self) -> u64 {
+        self.state.lock().0
+    }
+
+    /// Install `value` as the new current, bumping the epoch. Returns
+    /// the new epoch. Loads that already happened keep their old `Arc`;
+    /// loads from now on see the new pair.
+    pub fn swap(&self, value: Arc<T>) -> u64 {
+        let mut state = self.state.lock();
+        state.0 += 1;
+        state.1 = value;
+        state.0
+    }
 }
 
 #[cfg(test)]
@@ -206,7 +359,7 @@ mod tests {
     fn batches_preserve_fifo_order() {
         let q = BatchQueue::new();
         for i in 0..7 {
-            assert!(q.push(i));
+            assert!(q.push(i).is_queued());
         }
         let mut batch = Vec::new();
         assert!(q.pop_batch(3, &mut batch));
@@ -221,9 +374,9 @@ mod tests {
     #[test]
     fn close_drains_then_signals_exit() {
         let q = BatchQueue::new();
-        assert!(q.push(1));
+        assert!(q.push(1).is_queued());
         q.close();
-        assert!(!q.push(2), "closed queue must refuse new work");
+        assert_eq!(q.push(2), PushOutcome::Closed, "closed queue must refuse new work");
         let mut batch = Vec::new();
         assert!(q.pop_batch(8, &mut batch), "pending work survives close");
         assert_eq!(batch, vec![1]);
@@ -235,10 +388,75 @@ mod tests {
     #[test]
     fn zero_cap_still_makes_progress() {
         let q = BatchQueue::new();
-        assert!(q.push(9));
+        assert!(q.push(9).is_queued());
         let mut batch = Vec::new();
         assert!(q.pop_batch(0, &mut batch));
         assert_eq!(batch, vec![9]);
+    }
+
+    #[test]
+    fn bounded_queue_sheds_at_capacity() {
+        let q = BatchQueue::bounded(2);
+        assert_eq!(q.capacity(), Some(2));
+        assert!(q.push(1).is_queued());
+        assert!(q.push(2).is_queued());
+        assert_eq!(q.push(3), PushOutcome::Full { depth: 2 });
+        assert_eq!(q.len(), 2, "the shed item was dropped, not queued");
+        // Draining restores admission.
+        let mut batch = Vec::new();
+        assert!(q.pop_batch(1, &mut batch));
+        assert_eq!(batch, vec![1]);
+        assert!(q.push(3).is_queued());
+        assert_eq!(q.push(4), PushOutcome::Full { depth: 2 });
+    }
+
+    #[test]
+    fn zero_capacity_promoted_to_one() {
+        let q = BatchQueue::bounded(0);
+        assert_eq!(q.capacity(), Some(1));
+        assert!(q.push(7).is_queued());
+        assert_eq!(q.push(8), PushOutcome::Full { depth: 1 });
+    }
+
+    #[test]
+    fn unbounded_queue_reports_no_capacity() {
+        let q: BatchQueue<u32> = BatchQueue::new();
+        assert_eq!(q.capacity(), None);
+    }
+
+    #[test]
+    fn push_wait_parks_until_space() {
+        let q = Arc::new(BatchQueue::bounded(1));
+        assert!(q.push(0).is_queued());
+        let producer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.push_wait(1))
+        };
+        // Drain one item; the parked producer must then get through.
+        let mut batch = Vec::new();
+        assert!(q.pop_batch(1, &mut batch));
+        assert_eq!(batch, vec![0]);
+        assert_eq!(
+            producer.join().expect("producer thread must not panic"),
+            PushOutcome::Queued
+        );
+        assert!(q.pop_batch(1, &mut batch));
+        assert_eq!(batch, vec![1]);
+    }
+
+    #[test]
+    fn push_wait_wakes_on_close() {
+        let q = Arc::new(BatchQueue::bounded(1));
+        assert!(q.push(0).is_queued());
+        let producer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.push_wait(1))
+        };
+        q.close();
+        assert_eq!(
+            producer.join().expect("producer thread must not panic"),
+            PushOutcome::Closed
+        );
     }
 
     #[test]
@@ -257,7 +475,30 @@ mod tests {
             })
         };
         for i in 0..total {
-            assert!(q.push(i));
+            assert!(q.push_wait(i).is_queued());
+        }
+        q.close();
+        let seen = consumer.join().expect("consumer thread must not panic");
+        assert_eq!(seen, (0..total).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn bounded_cross_thread_handoff_loses_nothing() {
+        let q = Arc::new(BatchQueue::bounded(3));
+        let total: usize = 200;
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let mut seen = Vec::new();
+                let mut batch = Vec::new();
+                while q.pop_batch(2, &mut batch) {
+                    seen.extend(batch.iter().copied());
+                }
+                seen
+            })
+        };
+        for i in 0..total {
+            assert!(q.push_wait(i).is_queued());
         }
         q.close();
         let seen = consumer.join().expect("consumer thread must not panic");
@@ -286,5 +527,55 @@ mod tests {
             waiter.join().expect("waiter thread must not panic"),
             "done"
         );
+    }
+
+    #[test]
+    fn abandoned_slot_refuses_late_delivery() {
+        let slot: ResponseSlot<u32> = ResponseSlot::new();
+        assert!(!slot.abandon(), "nothing delivered yet, nothing discarded");
+        assert!(!slot.fulfill(9), "delivery to an abandoned slot is refused");
+        assert!(slot.try_take().is_none());
+    }
+
+    #[test]
+    fn abandon_discards_a_delivered_response() {
+        let slot = ResponseSlot::new();
+        assert!(slot.fulfill(5));
+        assert!(slot.abandon(), "the delivered response is discarded");
+        assert!(slot.try_take().is_none());
+    }
+
+    #[test]
+    fn epoch_cell_swaps_and_counts() {
+        let cell = EpochCell::new(Arc::new(10u32));
+        assert_eq!(cell.epoch(), 0);
+        let (e0, v0) = cell.load();
+        assert_eq!((e0, *v0), (0, 10));
+        assert_eq!(cell.swap(Arc::new(20)), 1);
+        let (e1, v1) = cell.load();
+        assert_eq!((e1, *v1), (1, 20));
+        // The old snapshot is untouched by the swap.
+        assert_eq!(*v0, 10);
+        assert_eq!(cell.swap(Arc::new(30)), 2);
+        assert_eq!(cell.epoch(), 2);
+    }
+
+    #[test]
+    fn epoch_cell_pairs_epoch_with_value() {
+        let cell = Arc::new(EpochCell::new(Arc::new(0u64)));
+        let reader = {
+            let cell = Arc::clone(&cell);
+            std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    let (epoch, value) = cell.load();
+                    // The invariant: value == epoch, atomically paired.
+                    assert_eq!(*value, epoch);
+                }
+            })
+        };
+        for i in 1..=100u64 {
+            assert_eq!(cell.swap(Arc::new(i)), i);
+        }
+        reader.join().expect("reader thread must not panic");
     }
 }

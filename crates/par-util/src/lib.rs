@@ -23,7 +23,7 @@ pub mod sharded;
 pub mod supervise;
 pub mod threads;
 
-pub use batch::{BatchQueue, ResponseSlot};
+pub use batch::{BatchQueue, EpochCell, PushOutcome, ResponseSlot};
 pub use sharded::ShardedCache;
 pub use supervise::{
     run_supervised, CancelToken, FaultAction, FaultArm, FaultPlan, InjectedFault, Interrupted,

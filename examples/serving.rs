@@ -99,6 +99,7 @@ fn main() {
         ServeConfig {
             workers: 4,
             max_batch: 16,
+            ..ServeConfig::default()
         },
         Arc::new(RunContext::unbounded()),
     );

@@ -7,8 +7,9 @@ cd "$(dirname "$0")/.."
 
 cargo build --release
 cargo test -q --workspace --no-fail-fast
-# The workspace build/test above already covers crates/lamo-serve (it is
-# a workspace member); this explicit build keeps the serving layer's
-# bench bin compiling even if the workspace default-members ever narrow.
-cargo build --release -p lamo-serve --bins
+# The workspace pass above runs the serving robustness suites (chaos,
+# store, prop_serve) in debug; this keeps them and the profiling bins
+# compiling in release even if workspace default-members ever narrow.
+cargo test --release -p lamo-serve --no-run
+cargo build --release -p lamofinder-bench --bins
 cargo run -p lamolint --release -- check
