@@ -1,0 +1,272 @@
+//! Profile incremental delta maintenance and write `BENCH_incremental.json`.
+//!
+//! For each fixture (the 420v/720e small network, and with the default
+//! `full` argument also the paper-scale 4141v/7095e yeast network):
+//! train an [`IncrementalTrainer`] once, then for delta sizes
+//! 1/4/16/64 edges (half adds, half removes, deterministic; plus a
+//! 0-edge row that measures the no-op floor of the pipeline) measure
+//! `apply_delta` against a from-scratch rebuild on the post-delta
+//! network — asserting the two artifacts are **byte-identical** every
+//! time — plus the live `publish_delta` hop (crash-safe store write +
+//! epoch swap) under a running server.
+//!
+//! Acceptance bar (ISSUE 10): on the yeast fixture, every delta of
+//! ≤ 16 edges must apply ≥ 25× faster than training from scratch.
+//!
+//! Timing code is allowed here (bench crate only — the `wall-clock`
+//! lint confines `Instant` to this boundary).
+
+use function_prediction::CategoryView;
+use go_ontology::Namespace;
+use lamo_serve::{
+    publish_delta, write_artifact, ArtifactStore, IncrementalTrainer, ServeConfig, Server,
+    TrainerConfig,
+};
+use lamofinder::{ClusteringConfig, LaMoFinder, LaMoFinderConfig};
+use lamofinder_bench::report::{json_array, JsonObject};
+use lamofinder_bench::{top_categories, yeast, Scale};
+use par_util::RunContext;
+use ppi_graph::{EdgeDelta, Graph};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The paper evaluates against the top 13 functional categories.
+const N_CATEGORIES: usize = 13;
+/// Edge counts per delta, the ISSUE 10 sweep.
+const DELTA_SIZES: [usize; 5] = [0, 1, 4, 16, 64];
+/// The acceptance bar: ≤16-edge deltas on yeast beat from-scratch 25×.
+const YEAST_BAR: f64 = 25.0;
+
+fn xorshift(s: &mut u64) -> u64 {
+    *s ^= *s << 13;
+    *s ^= *s >> 7;
+    *s ^= *s << 17;
+    *s
+}
+
+/// Deterministic delta against `g`: `edges - edges/2` additions of
+/// absent edges, `edges/2` removals of present edges.
+fn make_delta(g: &Graph, edges: usize, s: &mut u64) -> EdgeDelta {
+    let n = g.vertex_count() as u32;
+    let present: Vec<(u32, u32)> = g.edges().map(|e| (e.0 .0, e.1 .0)).collect();
+    let n_removed = edges / 2;
+    let mut removed: Vec<(u32, u32)> = Vec::with_capacity(n_removed);
+    while removed.len() < n_removed {
+        let e = present[(xorshift(s) % present.len() as u64) as usize];
+        if !removed.contains(&e) {
+            removed.push(e);
+        }
+    }
+    let mut added: Vec<(u32, u32)> = Vec::with_capacity(edges - n_removed);
+    while added.len() < edges - n_removed {
+        let a = (xorshift(s) % n as u64) as u32;
+        let b = (xorshift(s) % n as u64) as u32;
+        let e = (a.min(b), a.max(b));
+        if a != b && !g.has_edge(e.0.into(), e.1.into()) && !added.contains(&e) {
+            added.push(e);
+        }
+    }
+    EdgeDelta::new(&added, &removed)
+}
+
+fn trainer_config(scale: Scale) -> TrainerConfig {
+    match scale {
+        Scale::Full => TrainerConfig {
+            sizes: vec![3, 4],
+            frequency_threshold: 100,
+            max_stored: 64,
+            max_classes: 200,
+        },
+        Scale::Small => TrainerConfig {
+            sizes: vec![3, 4],
+            frequency_threshold: 20,
+            max_stored: 2_000,
+            max_classes: 300,
+        },
+    }
+}
+
+fn profile_fixture(name: &str, scale: Scale, assert_bar: bool) -> String {
+    let data = yeast(scale);
+    let categories = top_categories(&data.annotations, N_CATEGORIES);
+    let view = CategoryView::new(&data.ontology, &data.annotations, &categories);
+    let (sigma, min_direct) = match scale {
+        Scale::Full => (5, 5),
+        Scale::Small => (5, 5),
+    };
+    let labeler = || {
+        LaMoFinder::new(
+            &data.ontology,
+            &data.annotations,
+            LaMoFinderConfig {
+                namespace: Namespace::BiologicalProcess,
+                clustering: ClusteringConfig {
+                    sigma,
+                    ..Default::default()
+                },
+                informative: go_ontology::InformativeConfig {
+                    min_direct,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        )
+    };
+    let config = trainer_config(scale);
+    let calm = RunContext::unbounded();
+
+    let t_train = Instant::now();
+    let mut trainer = IncrementalTrainer::new(
+        &data.network,
+        labeler(),
+        &view.functions,
+        &categories,
+        config.clone(),
+        &calm,
+    )
+    .expect("unbounded context never cancels");
+    let train_secs = t_train.elapsed().as_secs_f64();
+    println!(
+        "{name}: trained in {train_secs:.3}s — {} labeled motifs over {}v/{}e",
+        trainer.artifact().motifs.motif_count(),
+        data.network.vertex_count(),
+        data.network.edge_count()
+    );
+
+    // Live serving stack for the swap-latency measurement.
+    let store_dir = format!("target/lamo-delta-store-{name}");
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let store = ArtifactStore::open(&store_dir).expect("fresh store under target/ opens");
+    let serve_ctx = Arc::new(RunContext::unbounded());
+    let server = Server::start(
+        Arc::new(trainer.artifact().clone()),
+        ServeConfig::default(),
+        serve_ctx.clone(),
+    );
+
+    let mut seed = 0x1a2b_3c4d_5e6f_7081u64 ^ data.network.edge_count() as u64;
+    let mut rows: Vec<String> = Vec::new();
+    for &edges in &DELTA_SIZES {
+        let delta = make_delta(trainer.graph(), edges, &mut seed);
+        let t_delta = Instant::now();
+        let report = trainer
+            .apply_delta(&delta, &calm)
+            .expect("generated deltas are valid");
+        let delta_secs = t_delta.elapsed().as_secs_f64();
+
+        let t_swap = Instant::now();
+        let (generation, epoch) = publish_delta(trainer.artifact(), &store, &server, &serve_ctx)
+            .expect("publish into a healthy store and server succeeds");
+        let swap_secs = t_swap.elapsed().as_secs_f64();
+
+        let post = trainer.graph().clone();
+        let t_rebuild = Instant::now();
+        let scratch = IncrementalTrainer::new(
+            &post,
+            labeler(),
+            &view.functions,
+            &categories,
+            config.clone(),
+            &calm,
+        )
+        .expect("unbounded context never cancels");
+        let rebuild_secs = t_rebuild.elapsed().as_secs_f64();
+        assert_eq!(
+            write_artifact(trainer.artifact()),
+            write_artifact(scratch.artifact()),
+            "{name} delta[{edges}]: incremental artifact diverged from from-scratch rebuild"
+        );
+
+        let speedup = rebuild_secs / delta_secs.max(1e-12);
+        println!(
+            "{name} delta[{edges:>2} edges]: apply {delta_secs:.5}s vs rebuild \
+             {rebuild_secs:.3}s = {speedup:.0}x  (dirty {} vertices / {} roots, \
+             retracted {} inserted {}, \
+             labels {}r/{}n, segments {}r/{}n, swap {swap_secs:.5}s, gen {generation}, epoch {epoch})",
+            report.dirty_vertices(),
+            report.dirty_roots(),
+            report.census.iter().map(|c| c.retracted).sum::<usize>(),
+            report.census.iter().map(|c| c.inserted).sum::<usize>(),
+            report.labels.reused,
+            report.labels.relabeled,
+            report.index.segments_reused,
+            report.index.segments_rebuilt,
+        );
+        if assert_bar && edges <= 16 {
+            assert!(
+                speedup >= YEAST_BAR,
+                "ISSUE 10 bar missed: {edges}-edge delta on {name} applied only \
+                 {speedup:.1}x faster than from-scratch (need ≥ {YEAST_BAR}x)"
+            );
+        }
+
+        rows.push(
+            JsonObject::new()
+                .int("delta_edges", edges)
+                .int("added", delta.added.len())
+                .int("removed", delta.removed.len())
+                .int("dirty_vertices", report.dirty_vertices())
+                .int("dirty_roots", report.dirty_roots())
+                .int("labels_reused", report.labels.reused)
+                .int("labels_relabeled", report.labels.relabeled)
+                .int("segments_reused", report.index.segments_reused)
+                .int("segments_rebuilt", report.index.segments_rebuilt)
+                .int("motifs", report.motif_count)
+                .int("labeled_motifs", report.labeled_count)
+                .num("apply_secs", delta_secs)
+                .num("rebuild_secs", rebuild_secs)
+                .num("speedup", speedup)
+                .num("swap_secs", swap_secs)
+                .bool("byte_identical", true)
+                .render(),
+        );
+    }
+    server.shutdown();
+
+    JsonObject::new()
+        .str("fixture", name)
+        .int("vertices", data.network.vertex_count())
+        .int("edges", data.network.edge_count())
+        .int("categories", view.n_categories())
+        .str(
+            "sizes",
+            &config
+                .sizes
+                .iter()
+                .map(|k| k.to_string())
+                .collect::<Vec<_>>()
+                .join(","),
+        )
+        .num("train_secs", train_secs)
+        .raw("deltas", json_array(&rows))
+        .render()
+}
+
+fn main() {
+    let scale = Scale::from_args();
+
+    let mut fixtures: Vec<String> = Vec::new();
+    fixtures.push(profile_fixture("small", Scale::Small, false));
+    // The yeast fixture carries the ≥25× acceptance bar; CI runs
+    // `profile_delta -- small` and relies on the committed full run.
+    if scale == Scale::Full {
+        fixtures.push(profile_fixture("yeast", Scale::Full, true));
+    }
+
+    let doc = JsonObject::new()
+        .str("benchmark", "incremental")
+        .str(
+            "scale",
+            if scale == Scale::Full { "full" } else { "small" },
+        )
+        .int(
+            "available_parallelism",
+            std::thread::available_parallelism().map_or(1, |p| p.get()),
+        )
+        .num("yeast_bar", YEAST_BAR)
+        .raw("fixtures", json_array(&fixtures))
+        .render();
+    std::fs::write("BENCH_incremental.json", format!("{doc}\n"))
+        .expect("write BENCH_incremental.json");
+    println!("wrote BENCH_incremental.json");
+}

@@ -1,29 +1,47 @@
 //! Profile the labeling hot path: memoized [`TermSimilarity`] oracle vs
-//! the precomputed dense ST/SV kernels (DESIGN.md §14), at 1/2/4 worker
-//! threads, over the motifs of one discovery pass. Also times the dense
-//! plane build alone so its amortization against the end-to-end win is
-//! visible. Writes `BENCH_labeling.json`; the acceptance bar is a ≥ 2×
-//! single-thread speedup at small scale.
+//! the precomputed dense ST/SV kernels (DESIGN.md §14), swept over
+//! requested worker threads 1/2/4 on the active fixture AND the
+//! paper-scale 4141v/7095e yeast network. Writes `BENCH_labeling.json`;
+//! the acceptance bar is a ≥ 2× single-thread speedup at small scale.
+//!
+//! Requested worker counts are clamped to the host's available
+//! parallelism before measuring, and requests that collapse to the same
+//! effective count share one measurement (the same dedup as
+//! `profile_find`'s growth sweep). Every row carries
+//! `{kernel, threads, effective_threads, secs, labeled_motifs}`, with
+//! `"clamped": true` added where `effective_threads < threads` so
+//! speedup tripwires can skip rows that measured the clamp rather than
+//! the engine. Both sections emit the same row schema so dashboards can
+//! diff scales without special-casing.
+//!
+//! The dense plane build is also timed alone so its amortization
+//! against the end-to-end win is visible: the labeler caches the built
+//! planes after the untimed warm-up pass, so `secs` on dense rows
+//! measures steady-state labeling with the build already paid.
 
 use go_ontology::DenseSimPlanes;
 use lamofinder_bench::report::{check, json_array, JsonObject};
 use lamofinder_bench::{finder_config, yeast, Scale};
-use lamofinder::{
-    ClusteringConfig, LaMoFinder, LaMoFinderConfig, SimilarityKernel,
-};
-use motif_finder::{resume_growth, GrowthCheckpoint, Motif};
+use lamofinder::{ClusteringConfig, LaMoFinder, LaMoFinderConfig, SimilarityKernel};
+use motif_finder::{resume_growth, GrowthCheckpoint, GrowthConfig, Motif};
 use par_util::RunContext;
 use std::time::Instant;
+use synthetic_data::YeastDataset;
 
+/// Timing repetitions (the minimum is reported) on the small fixture.
+/// The yeast section runs each measurement once — labeling the paper
+/// network takes long enough that repeats would stretch CI for noise
+/// reduction it does not need.
 const REPEATS: usize = 2;
 const SPEEDUP_BAR: f64 = 2.0;
 const THREADS: [usize; 3] = [1, 2, 4];
 
-/// Minimum wall time of `run` over [`REPEATS`] repetitions, after one
-/// untimed warm-up pass.
-fn min_secs(mut run: impl FnMut()) -> f64 {
+/// Minimum wall time of `run` over `reps` repetitions, after one
+/// untimed warm-up pass (which also populates the labeler's dense-plane
+/// cache, keeping the timed passes steady-state).
+fn min_secs(reps: usize, mut run: impl FnMut()) -> f64 {
     run();
-    (0..REPEATS)
+    (0..reps)
         .map(|_| {
             let t = Instant::now();
             run();
@@ -32,14 +50,23 @@ fn min_secs(mut run: impl FnMut()) -> f64 {
         .fold(f64::INFINITY, f64::min)
 }
 
-fn main() {
-    let scale = Scale::from_args();
-    let data = yeast(scale);
-    let config = finder_config(scale);
-
+/// One kernel × threads labeling sweep over a fixture, rendered as the
+/// JSON object `{vertices, edges, motifs, reps, plane_build_secs,
+/// plane_build_pct_of_dense_run, speedup_1t, speedup_bar, kernel_stats,
+/// runs}`. The speedup bar is only *asserted* by the caller at small
+/// scale; the section always records it.
+fn profile_section(
+    label: &str,
+    data: &YeastDataset,
+    growth: &GrowthConfig,
+    sigma: usize,
+    min_direct: usize,
+    cores: usize,
+    reps: usize,
+) -> String {
     let report = resume_growth(
         &data.network,
-        &config.growth,
+        growth,
         GrowthCheckpoint::default(),
         &RunContext::unbounded(),
     )
@@ -55,16 +82,12 @@ fn main() {
         })
         .collect();
     println!(
-        "profiling labeling over {} motifs ({} vertices, {} edges)",
+        "{label}: profiling labeling over {} motifs ({} vertices, {} edges)",
         motifs.len(),
         data.network.vertex_count(),
         data.network.edge_count()
     );
 
-    let (sigma, min_direct) = match scale {
-        Scale::Full => (10, 30),
-        Scale::Small => (5, 5),
-    };
     let labeler_with = |kernel: SimilarityKernel, threads: usize| {
         LaMoFinder::new(
             &data.ontology,
@@ -86,10 +109,10 @@ fn main() {
     };
 
     // Dense plane build alone, for amortization: built once per
-    // namespace, it is paid once per labeling run regardless of how many
-    // motifs follow.
+    // namespace, it is paid once per labeler lifetime regardless of how
+    // many labeling runs follow.
     let probe = labeler_with(SimilarityKernel::Dense, 1);
-    let plane_build_secs = min_secs(|| {
+    let plane_build_secs = min_secs(reps, || {
         DenseSimPlanes::build(
             &data.ontology,
             probe.weights(),
@@ -100,7 +123,7 @@ fn main() {
         .expect("no faults injected")
         .expect("passive context never cancels");
     });
-    println!("dense plane build: {plane_build_secs:.4}s (1 thread)");
+    println!("{label}: dense plane build {plane_build_secs:.4}s (1 thread)");
 
     let mut rows: Vec<String> = Vec::new();
     let mut secs_1t = [0.0f64; 2];
@@ -109,49 +132,116 @@ fn main() {
         .into_iter()
         .enumerate()
     {
-        for threads in THREADS {
-            let labeler = labeler_with(kernel, threads);
-            let mut labeled = 0usize;
-            let secs = min_secs(|| {
-                labeled = labeler.label_motifs(&motifs).len();
-            });
-            if threads == 1 {
+        let kernel_name = match kernel {
+            SimilarityKernel::Memoized => "memoized",
+            SimilarityKernel::Dense => "dense",
+        };
+        // Requests that clamp to the same effective count share one
+        // measurement: running more workers than cores measures the
+        // scheduler, not the kernel (the output is identical either
+        // way).
+        let mut measured: Vec<(usize, f64, usize)> = Vec::new();
+        for requested in THREADS {
+            let effective = requested.min(cores);
+            let (secs, labeled) = match measured.iter().find(|&&(e, _, _)| e == effective) {
+                Some(&(_, secs, labeled)) => (secs, labeled),
+                None => {
+                    let labeler = labeler_with(kernel, effective);
+                    let mut labeled = 0usize;
+                    let secs = min_secs(reps, || {
+                        labeled = labeler.label_motifs(&motifs).len();
+                    });
+                    if kernel == SimilarityKernel::Dense && effective == 1 {
+                        let stats = labeler.kernel_stats();
+                        stats_row = JsonObject::new()
+                            .int("st_plane_terms", stats.st_plane_terms)
+                            .int("st_plane_bytes", stats.st_plane_bytes)
+                            .int("st_plane_build_ticks", stats.st_plane_build_ticks as usize)
+                            .int("sv_planes", stats.sv_planes)
+                            .int("sv_plane_pairs", stats.sv_plane_pairs)
+                            .int("sv_plane_bytes", stats.sv_plane_bytes)
+                            .int("sv_oracle_calls", stats.sv_oracle_calls as usize)
+                            .render();
+                    }
+                    measured.push((effective, secs, labeled));
+                    (secs, labeled)
+                }
+            };
+            if requested == 1 {
                 secs_1t[ki] = secs;
             }
-            let kernel_name = match kernel {
-                SimilarityKernel::Memoized => "memoized",
-                SimilarityKernel::Dense => "dense",
-            };
-            println!("{kernel_name} @ {threads} threads: {secs:.3}s ({labeled} labeled motifs)");
-            rows.push(
-                JsonObject::new()
-                    .str("kernel", kernel_name)
-                    .int("threads", threads)
-                    .num("secs", secs)
-                    .int("labeled_motifs", labeled)
-                    .render(),
+            println!(
+                "{label}: {kernel_name} @ threads={requested} effective={effective}: \
+                 {secs:.3}s ({labeled} labeled motifs)"
             );
-            if kernel == SimilarityKernel::Dense && threads == 1 {
-                let stats = labeler.kernel_stats();
-                stats_row = JsonObject::new()
-                    .int("st_plane_terms", stats.st_plane_terms)
-                    .int("st_plane_bytes", stats.st_plane_bytes)
-                    .int("st_plane_build_ticks", stats.st_plane_build_ticks as usize)
-                    .int("sv_planes", stats.sv_planes)
-                    .int("sv_plane_pairs", stats.sv_plane_pairs)
-                    .int("sv_plane_bytes", stats.sv_plane_bytes)
-                    .int("sv_oracle_calls", stats.sv_oracle_calls as usize)
-                    .render();
+            let mut row = JsonObject::new()
+                .str("kernel", kernel_name)
+                .int("threads", requested)
+                .int("effective_threads", effective);
+            if effective < requested {
+                row = row.bool("clamped", true);
             }
+            rows.push(row.num("secs", secs).int("labeled_motifs", labeled).render());
         }
     }
 
     let speedup_1t = secs_1t[0] / secs_1t[1];
     let amortization_pct = plane_build_secs / secs_1t[1] * 100.0;
     println!(
-        "1-thread speedup: {speedup_1t:.2}x (bar {SPEEDUP_BAR}x) [{}]; \
+        "{label}: 1-thread speedup {speedup_1t:.2}x (bar {SPEEDUP_BAR}x) [{}]; \
          plane build is {amortization_pct:.1}% of the dense run",
         check(speedup_1t >= SPEEDUP_BAR)
+    );
+
+    JsonObject::new()
+        .int("vertices", data.network.vertex_count())
+        .int("edges", data.network.edge_count())
+        .int("motifs", motifs.len())
+        .int("reps", reps)
+        .num("plane_build_secs", plane_build_secs)
+        .num("plane_build_pct_of_dense_run", amortization_pct)
+        .num("speedup_1t", speedup_1t)
+        .num("speedup_bar", SPEEDUP_BAR)
+        .raw("kernel_stats", stats_row)
+        .raw("runs", json_array(&rows))
+        .render()
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let data = yeast(scale);
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let (sigma, min_direct) = match scale {
+        Scale::Full => (10, 30),
+        Scale::Small => (5, 5),
+    };
+    let reps = if scale == Scale::Small { REPEATS } else { 1 };
+
+    let section = profile_section(
+        "labeling",
+        &data,
+        &finder_config(scale).growth,
+        sigma,
+        min_direct,
+        cores,
+        reps,
+    );
+
+    // Yeast-scale section (the paper's 4141v/7095e network), always run
+    // once per distinct effective count. Clustering parameters follow
+    // `profile_delta`'s yeast settings (σ = 5, min_direct = 5) rather
+    // than the paper's (10, 30): the synthetic yeast annotations are
+    // sparser than real SGD curation, so the paper regime labels
+    // nothing and the sweep would time work with an empty output.
+    let yeast_full = yeast(Scale::Full);
+    let yeast_section = profile_section(
+        "yeast labeling",
+        &yeast_full,
+        &finder_config(Scale::Full).growth,
+        5,
+        5,
+        cores,
+        1,
     );
 
     let doc = JsonObject::new()
@@ -160,16 +250,9 @@ fn main() {
             "scale",
             if scale == Scale::Full { "full" } else { "small" },
         )
-        .int("vertices", data.network.vertex_count())
-        .int("edges", data.network.edge_count())
-        .int("motifs", motifs.len())
-        .int("repeats", REPEATS)
-        .num("plane_build_secs", plane_build_secs)
-        .num("plane_build_pct_of_dense_run", amortization_pct)
-        .num("speedup_1t", speedup_1t)
-        .num("speedup_bar", SPEEDUP_BAR)
-        .raw("kernel_stats", stats_row)
-        .raw("runs", json_array(&rows))
+        .int("available_parallelism", cores)
+        .raw("fixture", section)
+        .raw("yeast", yeast_section)
         .render();
     std::fs::write("BENCH_labeling.json", format!("{doc}\n")).expect("write BENCH_labeling.json");
     println!("wrote BENCH_labeling.json");

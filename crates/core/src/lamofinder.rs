@@ -13,6 +13,7 @@ use go_ontology::{
 use motif_finder::{Motif, Occurrence};
 use par_util::{faultpoint, run_supervised, Interrupted, RunContext, WorkQueue, WorkerPanic};
 use parking_lot::Mutex;
+use std::sync::Arc;
 
 /// Which similarity implementation drives the labeling hot path.
 ///
@@ -98,6 +99,12 @@ pub struct LaMoFinder<'a> {
     /// Kernel diagnostics of the most recent labeling run (plane
     /// dimensions and bytes, build ticks, oracle-fallback counts).
     last_kernel_stats: Mutex<KernelStats>,
+    /// Completed dense kernel bundle, built once on first use. The
+    /// bundle is a pure function of `(ontology, weights,
+    /// terms_by_protein)` — all fixed for the finder's lifetime — so
+    /// every labeling run reads identical plane content. Only finished
+    /// builds are stored; a build cancelled mid-flight caches nothing.
+    dense_cache: Mutex<Option<Arc<DenseSimPlanes>>>,
 }
 
 impl<'a> LaMoFinder<'a> {
@@ -129,6 +136,7 @@ impl<'a> LaMoFinder<'a> {
             frontier,
             terms_by_protein,
             last_kernel_stats: Mutex::new(KernelStats::default()),
+            dense_cache: Mutex::new(None),
         }
     }
 
@@ -144,24 +152,36 @@ impl<'a> LaMoFinder<'a> {
         *self.last_kernel_stats.lock()
     }
 
-    /// Build the dense ST/SV kernels when the config selects them.
-    /// `Ok(None)` means the run context tripped mid-build (or the config
-    /// selects the memoized oracle, where `None` is the non-cancelled
-    /// answer — callers distinguish via `run.should_stop()`).
+    /// Dense ST/SV kernels when the config selects them, built on first
+    /// use and cached for the finder's lifetime (the bundle depends only
+    /// on finder-fixed inputs, so a cache hit is byte-for-byte the same
+    /// plane a rebuild would produce). `Ok(None)` means the run context
+    /// tripped mid-build (or the config selects the memoized oracle,
+    /// where `None` is the non-cancelled answer — callers distinguish
+    /// via `run.should_stop()`); cancelled builds are not cached.
     fn build_dense(
         &self,
         run: &RunContext,
-    ) -> Result<Option<DenseSimPlanes>, WorkerPanic> {
+    ) -> Result<Option<Arc<DenseSimPlanes>>, WorkerPanic> {
         if self.config.kernel != SimilarityKernel::Dense {
             return Ok(None);
         }
-        DenseSimPlanes::build(
+        if let Some(planes) = self.dense_cache.lock().clone() {
+            planes.reset_run_counters();
+            return Ok(Some(planes));
+        }
+        let built = DenseSimPlanes::build(
             self.ontology,
             &self.weights,
             &self.terms_by_protein,
             resolve_threads(self.config.threads),
             run,
-        )
+        )?;
+        Ok(built.map(|planes| {
+            let planes = Arc::new(planes);
+            *self.dense_cache.lock() = Some(Arc::clone(&planes));
+            planes
+        }))
     }
 
     /// Fold this run's kernel diagnostics into `last_kernel_stats`.
@@ -273,10 +293,11 @@ impl<'a> LaMoFinder<'a> {
         run: &RunContext,
     ) -> Result<Vec<LabeledMotif>, Interrupted<LabelCheckpoint>> {
         let sim = TermSimilarity::new(self.ontology, &self.weights);
-        // The dense planes are rebuilt on every (re)entry — they are a
-        // pure function of the finder, so resuming from a checkpoint
-        // reproduces them exactly. A context that trips mid-build
-        // surfaces as a cancellation carrying the incoming checkpoint.
+        // The dense planes come from the finder-lifetime cache (built
+        // once; a pure function of the finder), so resuming from a
+        // checkpoint sees the identical bundle. A context that trips
+        // mid-build surfaces as a cancellation carrying the incoming
+        // checkpoint, and caches nothing.
         let dense = match self.build_dense(run) {
             Ok(planes) => planes,
             Err(panic) => {
@@ -292,7 +313,7 @@ impl<'a> LaMoFinder<'a> {
             informative: &self.informative,
             terms_by_protein: &self.terms_by_protein,
             frontier: &self.frontier,
-            dense: dense.as_ref(),
+            dense: dense.as_deref(),
         };
         // The plan is derived from the *full* motif count, so a resumed
         // run splits the thread budget exactly as the original did.
@@ -341,7 +362,7 @@ impl<'a> LaMoFinder<'a> {
         done.extend(completed.into_inner());
         done.sort_by_key(|&(mi, _)| mi);
         let checkpoint = LabelCheckpoint { done };
-        self.record_kernel_stats(dense.as_ref(), &sim);
+        self.record_kernel_stats(dense.as_deref(), &sim);
         if let Some(panic) = nested.into_inner().or(outcome.panic) {
             return Err(Interrupted::WorkerPanicked { panic, checkpoint });
         }
@@ -376,13 +397,13 @@ impl<'a> LaMoFinder<'a> {
             informative: &self.informative,
             terms_by_protein: &self.terms_by_protein,
             frontier: &self.frontier,
-            dense: dense.as_ref(),
+            dense: dense.as_deref(),
         };
         let (motif_threads, clustering) = self.thread_plan(motifs.len());
         let out = Self::label_parallel(motif_threads, motifs.len(), |mi| {
             self.label_directed_one(&motifs[mi], &ctx, &clustering)
         });
-        self.record_kernel_stats(dense.as_ref(), &sim);
+        self.record_kernel_stats(dense.as_deref(), &sim);
         out
     }
 

@@ -29,6 +29,7 @@ pub mod clustering;
 pub mod dictionary;
 pub mod flat;
 pub mod kmeans;
+pub mod label_cache;
 pub mod labeled;
 pub mod labeling;
 pub mod lamofinder;
@@ -42,6 +43,7 @@ pub use clustering::{
     LabelContext, LabeledCluster, Linkage, MotifSymmetry,
 };
 pub use kmeans::kmedoids_label;
+pub use label_cache::{LabelCache, LabelCacheStats, MotifKey};
 pub use dictionary::{parse_dictionary, write_dictionary, DictionaryError};
 pub use flat::{namespace_from_tag, FlatMotifs};
 pub use labeled::{LabeledDirectedMotif, LabeledMotif};

@@ -15,6 +15,7 @@
 pub mod categories;
 pub mod chi2;
 pub mod context;
+pub mod delta;
 pub mod eval;
 pub mod lms;
 pub mod motif_predictor;
@@ -27,6 +28,7 @@ pub mod prodistin;
 pub use categories::CategoryView;
 pub use chi2::Chi2Predictor;
 pub use context::{FunctionPredictor, PredictionContext};
+pub use delta::{IndexDeltaStats, SegmentedIndex};
 pub use eval::{EvalCheckpoint, LeaveOneOut, PrCurve, PrPoint};
 pub use lms::lms_scores;
 pub use motif_predictor::LabeledMotifPredictor;

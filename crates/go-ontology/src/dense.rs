@@ -463,6 +463,16 @@ impl DenseSimPlanes {
         self.sv_oracle_calls.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Zero the per-run SV counters. A cached bundle is reused across
+    /// labeling runs; resetting at run entry keeps `stats()` scoped to
+    /// the current run, exactly as a fresh build would report.
+    pub fn reset_run_counters(&self) {
+        self.sv_planes.store(0, Ordering::Relaxed);
+        self.sv_plane_proteins.store(0, Ordering::Relaxed);
+        self.sv_plane_pairs.store(0, Ordering::Relaxed);
+        self.sv_oracle_calls.store(0, Ordering::Relaxed);
+    }
+
     /// Diagnostics snapshot for this bundle (memo counters are the
     /// oracle's side — see [`TermSimilarity::kernel_stats`]).
     pub fn stats(&self) -> KernelStats {

@@ -23,11 +23,13 @@
 //!   measure latency.
 
 pub mod artifact;
+pub mod delta;
 pub mod format;
 pub mod server;
 pub mod store;
 
 pub use artifact::{ArtifactMeta, ModelArtifact};
+pub use delta::{publish_delta, DeltaReport, IncrementalTrainer, PublishError, TrainerConfig};
 pub use format::{read_artifact, write_artifact, ArtifactError, ArtifactErrorKind, FORMAT_VERSION};
 pub use server::{
     AdmissionPolicy, PendingQuery, Prediction, ServeConfig, ServeError, Server, StatsSnapshot,

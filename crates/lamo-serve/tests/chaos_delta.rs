@@ -1,0 +1,215 @@
+//! Chaos contracts of the incremental-delta path: a crash or
+//! cancellation injected anywhere in `apply_delta` → `publish_delta`
+//! leaves the *served* state (live epoch, artifact store) and the
+//! trainer's published artifact exactly as they were, and the trainer
+//! remains usable afterwards.
+//!
+//! Sites exercised: `delta.patch` and `delta.census` (inside the
+//! census repair), `delta.publish` (entry to the publish path) and
+//! `serve.store_write` (the store's crash window from PR 9). As in
+//! `chaos.rs`, every fault is seeded and injected — a failure here is
+//! a repro, not a flake.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use go_ontology::{
+    Annotations, InformativeConfig, Namespace, Ontology, OntologyBuilder, ProteinId, Relation,
+    TermId,
+};
+use lamo_serve::{
+    publish_delta, write_artifact, ArtifactStore, IncrementalTrainer, ServeConfig, Server,
+    TrainerConfig,
+};
+use lamofinder::{ClusteringConfig, LaMoFinder, LaMoFinderConfig};
+use par_util::{FaultAction, FaultPlan, RunContext};
+use ppi_graph::{DeltaError, EdgeDelta, Graph};
+
+/// Six triangles, annotated so labeling emits schemes; enough structure
+/// that a delta actually moves the artifact.
+struct World {
+    ontology: Ontology,
+    annotations: Annotations,
+    network: Graph,
+    categories: Vec<TermId>,
+    functions: Vec<Vec<usize>>,
+}
+
+fn world() -> World {
+    let mut ob = OntologyBuilder::new();
+    let root = ob.add_term("GO:0", "root", Namespace::BiologicalProcess);
+    let f = ob.add_term("GO:1", "F", Namespace::BiologicalProcess);
+    let f1 = ob.add_term("GO:2", "f1", Namespace::BiologicalProcess);
+    let f2 = ob.add_term("GO:3", "f2", Namespace::BiologicalProcess);
+    ob.add_edge(f, root, Relation::IsA);
+    ob.add_edge(f1, f, Relation::IsA);
+    ob.add_edge(f2, f, Relation::IsA);
+    let ontology = ob.build().expect("static DAG is well-formed");
+    let n_tri = 6u32;
+    let n = 3 * n_tri as usize + 4;
+    let mut annotations = Annotations::new(n, ontology.term_count());
+    let mut edges = Vec::new();
+    let mut functions = vec![Vec::new(); n];
+    for t in 0..n_tri {
+        let b = 3 * t;
+        edges.extend([(b, b + 1), (b + 1, b + 2), (b, b + 2)]);
+        annotations.annotate(ProteinId(b), f1);
+        annotations.annotate(ProteinId(b + 1), f1);
+        annotations.annotate(ProteinId(b + 2), f2);
+        functions[b as usize] = vec![0];
+        functions[b as usize + 1] = vec![0];
+        functions[b as usize + 2] = vec![1];
+    }
+    for p in 0..4 {
+        annotations.annotate(ProteinId(3 * n_tri + p), f);
+    }
+    World {
+        ontology,
+        annotations,
+        network: Graph::from_edges(n, &edges),
+        categories: vec![f1, f2],
+        functions,
+    }
+}
+
+fn trainer<'a>(w: &'a World, ctx: &RunContext) -> IncrementalTrainer<'a> {
+    IncrementalTrainer::new(
+        &w.network,
+        LaMoFinder::new(
+            &w.ontology,
+            &w.annotations,
+            LaMoFinderConfig {
+                namespace: Namespace::BiologicalProcess,
+                informative: InformativeConfig {
+                    min_direct: 3,
+                    ..Default::default()
+                },
+                clustering: ClusteringConfig {
+                    sigma: 3,
+                    ..Default::default()
+                },
+                threads: 1,
+                ..Default::default()
+            },
+        ),
+        &w.functions,
+        &w.categories,
+        TrainerConfig {
+            sizes: vec![3],
+            frequency_threshold: 1,
+            max_stored: 2_000,
+            max_classes: 300,
+        },
+        ctx,
+    )
+    .expect("unbounded build never cancels")
+}
+
+/// Cancellation tripped at `delta.patch` or `delta.census` (the two
+/// faultpoints inside the census repair) leaves the trainer on the
+/// pre-delta graph with its artifact untouched — and the same delta
+/// then applies cleanly on a calm context, matching from-scratch.
+#[test]
+fn cancelled_delta_rolls_back_and_trainer_stays_usable() {
+    let w = world();
+    let delta = EdgeDelta::new(&[(0, 3)], &[(1, 2)]);
+    for site in ["delta.patch", "delta.census"] {
+        let mut tr = trainer(&w, &RunContext::unbounded());
+        let before = write_artifact(tr.artifact());
+        let pre_graph = tr.graph().clone();
+        let storm = RunContext::unbounded()
+            .with_faults(FaultPlan::new().inject(site, 0, FaultAction::Cancel));
+        let err = tr
+            .apply_delta(&delta, &storm)
+            .expect_err("tripped cancel token must surface");
+        assert_eq!(err, DeltaError::Cancelled, "site {site}");
+        assert_eq!(write_artifact(tr.artifact()), before, "site {site}");
+        assert_eq!(
+            tr.graph().edges().collect::<Vec<_>>(),
+            pre_graph.edges().collect::<Vec<_>>(),
+            "site {site}: trainer must sit on the pre-delta graph"
+        );
+        // Same trainer, calm context: the delta goes through and the
+        // result is byte-identical to a from-scratch rebuild.
+        tr.apply_delta(&delta, &RunContext::unbounded())
+            .expect("delta is valid on a calm context");
+        let scratch_graph = tr.graph().clone();
+        let scratch = {
+            let mut t = trainer(&w, &RunContext::unbounded());
+            t.apply_delta(&delta, &RunContext::unbounded())
+                .expect("same delta, same graph");
+            assert_eq!(
+                t.graph().edges().collect::<Vec<_>>(),
+                scratch_graph.edges().collect::<Vec<_>>()
+            );
+            write_artifact(t.artifact())
+        };
+        assert_eq!(write_artifact(tr.artifact()), scratch, "site {site}");
+    }
+}
+
+/// A crash at `delta.publish` (before anything durable) or inside the
+/// store's write window leaves the served epoch, the served bytes and
+/// the store's recovery outcome unchanged; a calm retry then converges.
+#[test]
+fn mid_publish_crash_leaves_served_epoch_and_store_unchanged() {
+    let w = world();
+    for site in ["delta.publish", "serve.store_write"] {
+        let mut tr = trainer(&w, &RunContext::unbounded());
+        let serve_ctx = Arc::new(RunContext::unbounded());
+        let store = ArtifactStore::open(test_dir(&format!("chaos_delta_{site}")))
+            .expect("fresh store opens");
+        let gen0 = store
+            .publish(tr.artifact(), &RunContext::unbounded())
+            .expect("baseline publish succeeds");
+        let first = Arc::new(tr.artifact().clone());
+        let server = Server::start(first.clone(), ServeConfig::default(), serve_ctx.clone());
+        let epoch0 = server.epoch();
+        let baseline = write_artifact(&first);
+
+        tr.apply_delta(&EdgeDelta::new(&[], &[(0, 1)]), &RunContext::unbounded())
+            .expect("cutting an existing edge is valid");
+        assert_ne!(
+            write_artifact(tr.artifact()),
+            baseline,
+            "the delta must actually move the artifact for this test to bite"
+        );
+
+        let storm =
+            RunContext::unbounded().with_faults(FaultPlan::new().inject(site, 0, FaultAction::Panic));
+        let crashed = catch_unwind(AssertUnwindSafe(|| {
+            publish_delta(tr.artifact(), &store, &server, &storm)
+        }));
+        assert!(crashed.is_err(), "site {site}: injected panic must fire");
+
+        // Served state: same epoch, same bytes.
+        assert_eq!(server.epoch(), epoch0, "site {site}");
+        assert_eq!(write_artifact(&server.artifact()), baseline, "site {site}");
+        // Store: recovery still lands on the baseline generation.
+        let recovered = store.recover().expect("store recovers past the crash");
+        assert_eq!(recovered.generation, gen0, "site {site}");
+        assert_eq!(write_artifact(&recovered.artifact), baseline, "site {site}");
+
+        // Calm retry converges: new generation, bumped epoch, new bytes.
+        let (generation, epoch) = publish_delta(tr.artifact(), &store, &server, &serve_ctx)
+            .expect("calm publish succeeds");
+        assert!(generation > gen0, "site {site}");
+        assert_eq!(epoch, epoch0 + 1, "site {site}");
+        assert_eq!(
+            write_artifact(&server.artifact()),
+            write_artifact(tr.artifact()),
+            "site {site}"
+        );
+        server.shutdown();
+    }
+}
+
+/// Fresh per-test directory under the cargo-managed tmp root.
+fn test_dir(name: &str) -> PathBuf {
+    let dir = Path::new(env!("CARGO_TARGET_TMPDIR")).join(name);
+    if dir.exists() {
+        std::fs::remove_dir_all(&dir).expect("clear stale test dir");
+    }
+    dir
+}

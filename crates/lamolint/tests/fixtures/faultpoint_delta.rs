@@ -1,0 +1,37 @@
+//@ path: crates/motif-finder/src/delta_demo.rs
+// Fixture: the incremental-delta chaos sites. The real sites live in
+// library code — `delta.patch` / `delta.census` inside
+// `IncrementalCensus::apply` (motif-finder) and `delta.publish` ahead
+// of the store-write + epoch-swap (lamo-serve) — each unique, so a
+// seeded `FaultPlan` pins exactly one crash window. Mirrored here as
+// the clean half. Violations seeded below: a re-declared delta site,
+// and a site name assembled at run time (a plan could no longer be
+// checked against it statically).
+
+pub fn ok_the_delta_sites(ctx: &RunContext) {
+    faultpoint!(ctx, "delta.patch");
+    faultpoint!(ctx, "delta.census");
+    faultpoint!(ctx, "delta.publish");
+}
+
+pub fn bad_redeclared_delta_site(ctx: &RunContext) {
+    // Same site as the repair path above: a fault plan armed at
+    // "delta.census" would fire both before and after the patch,
+    // destroying the one-crash-window-per-site contract the rollback
+    // tests rely on.
+    faultpoint!(ctx, "delta.census");
+}
+
+pub fn bad_computed_delta_site(ctx: &RunContext, layer_site: &str) {
+    ctx.faultpoint(layer_site);
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code may exercise sites freely; this is not a declaration.
+    #[test]
+    fn drives_the_sites() {
+        let ctx = RunContext::unbounded();
+        faultpoint!(ctx, "delta.publish");
+    }
+}

@@ -138,7 +138,7 @@ fn induced_small(network: &Graph, verts: &[VertexId]) -> (Graph, Vec<VertexId>) 
 /// ascending, at most [`SMALL_CANON_MAX`] vertices), read off the
 /// bit-packed rows — one shift-and-mask per vertex pair, no binary
 /// search, and the induced subgraph itself is never materialized.
-fn packed_bits_of(bits: &AdjBits, sorted: &[VertexId]) -> u64 {
+pub(crate) fn packed_bits_of(bits: &AdjBits, sorted: &[VertexId]) -> u64 {
     let n = sorted.len();
     let mut packed = 0u64;
     for i in 0..n {

@@ -15,6 +15,7 @@
 //! * [`finder`] — the end-to-end [`MotifFinder`].
 
 pub mod classes;
+pub mod delta;
 pub mod directed;
 pub mod esu;
 pub mod finder;
@@ -25,6 +26,7 @@ pub mod subgraph_match;
 pub mod uniqueness;
 
 pub use classes::{classify_size_k, CanonCodeCache, ClassCollector, SubgraphClass};
+pub use delta::{CensusDeltaStats, ClassKey, IncrementalCensus};
 pub use directed::{classify_directed_size_k, find_directed_motifs, DirectedClass, DirectedMotif};
 pub use esu::{
     count_connected_subgraphs, enumerate_connected_subgraphs, enumerate_connected_subgraphs_rooted,

@@ -1,0 +1,303 @@
+//! Edge deltas — the unit of incremental interactome revision.
+//!
+//! Real PPI datasets arrive as revision streams: a BIND/MIPS release
+//! adds and retracts a handful of interactions at a time. An
+//! [`EdgeDelta`] captures one such revision against a [`Graph`];
+//! [`EdgeDelta::normalize`] validates it (typed errors carry the
+//! offending pair) and produces the canonical [`NormalizedDelta`] the
+//! incremental census consumes.
+//!
+//! Semantics: additions are applied before removals, so an edge listed
+//! in *both* lists is an add-then-remove no-op and cancels out during
+//! normalization. Within a single list, duplicates are rejected — a
+//! revision that names the same pair twice is malformed, not idempotent.
+
+use crate::graph::{Edge, Graph, VertexId};
+use std::collections::HashSet;
+use std::fmt;
+
+/// One revision: edges to add and edges to remove, in either endpoint
+/// order (normalization canonicalizes to smaller-endpoint-first).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct EdgeDelta {
+    /// Edges to insert (must be absent from the graph).
+    pub added: Vec<Edge>,
+    /// Edges to retract (must be present in the graph).
+    pub removed: Vec<Edge>,
+}
+
+impl EdgeDelta {
+    /// A delta from raw endpoint pairs.
+    pub fn new(added: &[(u32, u32)], removed: &[(u32, u32)]) -> Self {
+        let conv = |pairs: &[(u32, u32)]| {
+            pairs
+                .iter()
+                .map(|&(a, b)| Edge(VertexId(a), VertexId(b)))
+                .collect()
+        };
+        EdgeDelta {
+            added: conv(added),
+            removed: conv(removed),
+        }
+    }
+
+    /// Validate against `g` and canonicalize. See [`DeltaError`] for
+    /// the rejection cases; add-then-remove pairs cancel to a no-op.
+    pub fn normalize(&self, g: &Graph) -> Result<NormalizedDelta, DeltaError> {
+        let n = g.vertex_count();
+        let canonize = |list: &[Edge]| -> Result<Vec<(u32, u32)>, DeltaError> {
+            let mut seen = HashSet::with_capacity(list.len());
+            let mut out = Vec::with_capacity(list.len());
+            for e in list {
+                let (a, b) = (e.0.min(e.1).0, e.0.max(e.1).0);
+                if a == b {
+                    return Err(DeltaError::SelfLoop { edge: (a, b) });
+                }
+                if b as usize >= n {
+                    return Err(DeltaError::OutOfRange {
+                        edge: (a, b),
+                        vertex_count: n,
+                    });
+                }
+                if !seen.insert((a, b)) {
+                    return Err(DeltaError::DuplicateEdge { edge: (a, b) });
+                }
+                out.push((a, b));
+            }
+            Ok(out)
+        };
+        let added = canonize(&self.added)?;
+        let removed = canonize(&self.removed)?;
+        // Add-then-remove of the same edge within one delta is a no-op:
+        // cancel the intersection before checking presence.
+        let add_set: HashSet<(u32, u32)> = added.iter().copied().collect();
+        let rem_set: HashSet<(u32, u32)> = removed.iter().copied().collect();
+        let mut added: Vec<(u32, u32)> = added
+            .into_iter()
+            .filter(|e| !rem_set.contains(e))
+            .collect();
+        let mut removed: Vec<(u32, u32)> = removed
+            .into_iter()
+            .filter(|e| !add_set.contains(e))
+            .collect();
+        for &(a, b) in &added {
+            if g.has_edge(VertexId(a), VertexId(b)) {
+                return Err(DeltaError::AlreadyPresent { edge: (a, b) });
+            }
+        }
+        for &(a, b) in &removed {
+            if !g.has_edge(VertexId(a), VertexId(b)) {
+                return Err(DeltaError::NotPresent { edge: (a, b) });
+            }
+        }
+        added.sort_unstable();
+        removed.sort_unstable();
+        Ok(NormalizedDelta { added, removed })
+    }
+}
+
+/// A validated, canonicalized delta: both lists hold `(min, max)`
+/// pairs, sorted, deduplicated, with add-then-remove pairs cancelled.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct NormalizedDelta {
+    /// Edges to insert, all absent from the validated graph.
+    pub added: Vec<(u32, u32)>,
+    /// Edges to retract, all present in the validated graph.
+    pub removed: Vec<(u32, u32)>,
+}
+
+impl NormalizedDelta {
+    /// Whether the delta changes nothing.
+    pub fn is_empty(&self) -> bool {
+        self.added.is_empty() && self.removed.is_empty()
+    }
+
+    /// Every endpoint incident to a changed edge (deduplicated,
+    /// ascending) — the seed set of the dirty region.
+    pub fn touched_vertices(&self) -> Vec<u32> {
+        let mut vs: Vec<u32> = self
+            .added
+            .iter()
+            .chain(&self.removed)
+            .flat_map(|&(a, b)| [a, b])
+            .collect();
+        vs.sort_unstable();
+        vs.dedup();
+        vs
+    }
+
+    /// Apply to `g` (adds then removes). Panics if the delta was not
+    /// normalized against this graph state.
+    pub fn apply_to(&self, g: &mut Graph) {
+        for &(a, b) in &self.added {
+            assert!(g.add_edge(VertexId(a), VertexId(b)), "stale delta: add");
+        }
+        for &(a, b) in &self.removed {
+            assert!(g.remove_edge(VertexId(a), VertexId(b)), "stale delta: remove");
+        }
+    }
+
+    /// Undo [`NormalizedDelta::apply_to`].
+    pub fn revert(&self, g: &mut Graph) {
+        for &(a, b) in &self.removed {
+            assert!(g.add_edge(VertexId(a), VertexId(b)), "stale revert: add");
+        }
+        for &(a, b) in &self.added {
+            assert!(g.remove_edge(VertexId(a), VertexId(b)), "stale revert: remove");
+        }
+    }
+}
+
+/// Why a delta was rejected. Every variant carries the offending pair
+/// in canonical `(min, max)` order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DeltaError {
+    /// An edge with equal endpoints.
+    SelfLoop {
+        /// The offending pair.
+        edge: (u32, u32),
+    },
+    /// An endpoint at or beyond the graph's vertex count.
+    OutOfRange {
+        /// The offending pair.
+        edge: (u32, u32),
+        /// The graph's vertex count.
+        vertex_count: usize,
+    },
+    /// The same edge listed twice in one list.
+    DuplicateEdge {
+        /// The offending pair.
+        edge: (u32, u32),
+    },
+    /// An added edge that is already in the graph.
+    AlreadyPresent {
+        /// The offending pair.
+        edge: (u32, u32),
+    },
+    /// A removed edge that is not in the graph.
+    NotPresent {
+        /// The offending pair.
+        edge: (u32, u32),
+    },
+    /// The run context cancelled mid-apply; the census state was left
+    /// unchanged (patches reverted).
+    Cancelled,
+}
+
+impl fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeltaError::SelfLoop { edge } => {
+                write!(f, "delta edge ({}, {}) is a self-loop", edge.0, edge.1)
+            }
+            DeltaError::OutOfRange { edge, vertex_count } => write!(
+                f,
+                "delta edge ({}, {}) exceeds vertex count {}",
+                edge.0, edge.1, vertex_count
+            ),
+            DeltaError::DuplicateEdge { edge } => write!(
+                f,
+                "delta lists edge ({}, {}) more than once",
+                edge.0, edge.1
+            ),
+            DeltaError::AlreadyPresent { edge } => write!(
+                f,
+                "added edge ({}, {}) is already in the graph",
+                edge.0, edge.1
+            ),
+            DeltaError::NotPresent { edge } => write!(
+                f,
+                "removed edge ({}, {}) is not in the graph",
+                edge.0, edge.1
+            ),
+            DeltaError::Cancelled => write!(f, "delta application was cancelled"),
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle_plus() -> Graph {
+        // 0-1-2 triangle with a pendant 3.
+        Graph::from_edges(5, &[(0, 1), (1, 2), (0, 2), (2, 3)])
+    }
+
+    #[test]
+    fn normalize_canonicalizes_and_sorts() {
+        let g = triangle_plus();
+        let d = EdgeDelta::new(&[(4, 3), (1, 3)], &[(2, 0)]);
+        let n = d.normalize(&g).unwrap();
+        assert_eq!(n.added, vec![(1, 3), (3, 4)]);
+        assert_eq!(n.removed, vec![(0, 2)]);
+        assert_eq!(n.touched_vertices(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn self_loop_rejected_with_pair() {
+        let g = triangle_plus();
+        let err = EdgeDelta::new(&[(3, 3)], &[]).normalize(&g).unwrap_err();
+        assert_eq!(err, DeltaError::SelfLoop { edge: (3, 3) });
+    }
+
+    #[test]
+    fn out_of_range_rejected_with_pair() {
+        let g = triangle_plus();
+        let err = EdgeDelta::new(&[], &[(1, 9)]).normalize(&g).unwrap_err();
+        assert_eq!(
+            err,
+            DeltaError::OutOfRange {
+                edge: (1, 9),
+                vertex_count: 5
+            }
+        );
+    }
+
+    #[test]
+    fn duplicate_within_list_rejected_even_reordered() {
+        let g = triangle_plus();
+        let err = EdgeDelta::new(&[(1, 3), (3, 1)], &[]).normalize(&g).unwrap_err();
+        assert_eq!(err, DeltaError::DuplicateEdge { edge: (1, 3) });
+    }
+
+    #[test]
+    fn presence_checks_carry_pair() {
+        let g = triangle_plus();
+        assert_eq!(
+            EdgeDelta::new(&[(0, 1)], &[]).normalize(&g).unwrap_err(),
+            DeltaError::AlreadyPresent { edge: (0, 1) }
+        );
+        assert_eq!(
+            EdgeDelta::new(&[], &[(1, 3)]).normalize(&g).unwrap_err(),
+            DeltaError::NotPresent { edge: (1, 3) }
+        );
+    }
+
+    #[test]
+    fn add_then_remove_cancels_to_noop() {
+        let g = triangle_plus();
+        let n = EdgeDelta::new(&[(1, 3)], &[(1, 3)]).normalize(&g).unwrap();
+        assert!(n.is_empty());
+        // The cancelled edge is exempt from presence checks in both
+        // directions: an existing edge in both lists also cancels.
+        let n = EdgeDelta::new(&[(0, 1)], &[(0, 1)]).normalize(&g).unwrap();
+        assert!(n.is_empty());
+    }
+
+    #[test]
+    fn apply_and_revert_round_trip() {
+        let mut g = triangle_plus();
+        let before = g.clone();
+        let n = EdgeDelta::new(&[(1, 3), (3, 4)], &[(0, 2)])
+            .normalize(&g)
+            .unwrap();
+        n.apply_to(&mut g);
+        assert!(g.has_edge(VertexId(1), VertexId(3)));
+        assert!(!g.has_edge(VertexId(0), VertexId(2)));
+        n.revert(&mut g);
+        assert_eq!(g, before);
+    }
+}

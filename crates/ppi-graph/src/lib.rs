@@ -19,12 +19,15 @@
 //!   randomization required by motif uniqueness testing ([`random`]);
 //! * directed graphs with directed isomorphism/orbit machinery for the
 //!   paper's future-work extension ([`digraph`]);
-//! * named PPI networks and an edge-list interchange format ([`io`]).
+//! * named PPI networks and an edge-list interchange format ([`io`]);
+//! * validated edge deltas for incremental interactome revisions
+//!   ([`delta`]).
 
 pub mod algo;
 pub mod automorphism;
 pub mod bits;
 pub mod canonical;
+pub mod delta;
 pub mod digraph;
 pub mod graph;
 pub mod io;
@@ -42,6 +45,7 @@ pub use canonical::{
     canonical_form, canonical_graph, canonical_labeling, small_adjacency_bits,
     small_canonical_code, small_graph_from_bits, CanonicalKey, SMALL_CANON_MAX,
 };
+pub use delta::{DeltaError, EdgeDelta, NormalizedDelta};
 pub use graph::{Edge, Graph, GraphBuilder, VertexId};
 pub use io::{ParseError, PpiNetwork};
 pub use isomorphism::{are_isomorphic, enumerate_isomorphisms, find_isomorphism, Mapping};
